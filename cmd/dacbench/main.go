@@ -1,0 +1,73 @@
+// Command dacbench regenerates the evaluation artifacts of the paper: Table 1
+// (split automatic vectorization), Figure 1 (the split compilation flow,
+// quantified), the split register allocation claim, the bytecode compactness
+// claim and the Section 3 heterogeneous offload scenario.
+//
+// Usage:
+//
+//	dacbench -exp table1|figure1|regalloc|codesize|hetero|all [-n 4096] [-frames 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1, figure1, regalloc, codesize, hetero or all")
+	n := flag.Int("n", 4096, "elements per kernel invocation (table1)")
+	frames := flag.Int("frames", 8, "frames for the heterogeneous scenario")
+	flag.Parse()
+
+	run := func(name string) error {
+		switch name {
+		case "table1":
+			r, err := bench.RunTable1(bench.Table1Options{N: *n})
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+		case "figure1":
+			r, err := bench.RunFigure1()
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+		case "regalloc":
+			r, err := bench.RunRegAlloc(bench.RegAllocOptions{})
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+		case "codesize":
+			r, err := bench.RunCodeSize()
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+		case "hetero":
+			r, err := bench.RunHetero(bench.HeteroOptions{Frames: *frames})
+			if err != nil {
+				return err
+			}
+			fmt.Println(r)
+		default:
+			return fmt.Errorf("unknown experiment %q", name)
+		}
+		return nil
+	}
+
+	experiments := []string{*exp}
+	if *exp == "all" {
+		experiments = []string{"table1", "figure1", "regalloc", "codesize", "hetero"}
+	}
+	for _, e := range experiments {
+		if err := run(e); err != nil {
+			fmt.Fprintf(os.Stderr, "dacbench: %s: %v\n", e, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,60 @@
+// Command svc is the offline compiler of the split toolchain: it compiles
+// MiniC source files to the portable, annotated bytecode format.
+//
+// Usage:
+//
+//	svc -o app.svbc [-novec] [-noannot] [-disasm] file.mc...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cil"
+	"repro/internal/core"
+)
+
+func main() {
+	out := flag.String("o", "app.svbc", "output bytecode file")
+	name := flag.String("name", "app", "module name")
+	novec := flag.Bool("novec", false, "disable the auto-vectorizer")
+	noannot := flag.Bool("noannot", false, "strip all split-compilation annotations")
+	disasm := flag.Bool("disasm", false, "print the bytecode disassembly to stdout")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "svc: no input files")
+		os.Exit(2)
+	}
+	var src strings.Builder
+	for _, path := range flag.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svc: %v\n", err)
+			os.Exit(1)
+		}
+		src.Write(data)
+		src.WriteString("\n")
+	}
+
+	res, err := core.CompileOffline(src.String(), core.OfflineOptions{
+		ModuleName:         *name,
+		DisableVectorize:   *novec,
+		DisableAnnotations: *noannot,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svc: %v\n", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(*out, res.Encoded, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "svc: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("svc: wrote %s (%d bytes, %d bytes of annotations, %d methods)\n",
+		*out, len(res.Encoded), res.AnnotationBytes, len(res.Module.Methods))
+	if *disasm {
+		fmt.Println(cil.Disassemble(res.Module))
+	}
+}

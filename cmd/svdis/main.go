@@ -1,0 +1,55 @@
+// Command svdis disassembles an encoded bytecode module: signatures, locals,
+// annotations and the instruction stream. With -native it also prints the
+// native code a JIT would generate for the given target.
+//
+// Usage:
+//
+//	svdis app.svbc
+//	svdis -native -target powerpc app.svbc
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cil"
+	"repro/internal/jit"
+	"repro/internal/target"
+)
+
+func main() {
+	native := flag.Bool("native", false, "also print the JIT-generated native code")
+	arch := flag.String("target", string(target.X86SSE), "target architecture for -native")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "svdis: missing bytecode file")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svdis: %v\n", err)
+		os.Exit(1)
+	}
+	mod, err := cil.Decode(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svdis: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Print(cil.Disassemble(mod))
+	if !*native {
+		return
+	}
+	tgt, err := target.Lookup(target.Arch(*arch))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svdis: %v\n", err)
+		os.Exit(1)
+	}
+	prog, err := jit.New(tgt, jit.Options{RegAlloc: jit.RegAllocSplit}).CompileModule(mod)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svdis: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	fmt.Print(prog.Disassemble())
+}

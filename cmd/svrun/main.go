@@ -1,0 +1,155 @@
+// Command svrun deploys an encoded bytecode module on one simulated target
+// (decode, verify, JIT) and runs an entry point with integer or float
+// arguments, printing the result and the cycle count. With -interp it runs
+// the reference interpreter instead of the JIT.
+//
+// Usage:
+//
+//	svrun -target x86-sse -entry sumsq app.svbc 1000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/cil"
+	"repro/internal/core"
+	"repro/internal/jit"
+	"repro/internal/sim"
+	"repro/internal/target"
+	"repro/internal/vm"
+)
+
+func main() {
+	arch := flag.String("target", string(target.X86SSE), "target architecture: x86-sse, ultrasparc, powerpc, spu, mcu")
+	entry := flag.String("entry", "main", "entry point method")
+	interp := flag.Bool("interp", false, "run on the reference interpreter instead of the JIT")
+	regalloc := flag.String("regalloc", "split", "register allocation mode: online, split, optimal")
+	flag.Parse()
+	if flag.NArg() < 1 {
+		fmt.Fprintln(os.Stderr, "svrun: missing bytecode file")
+		os.Exit(2)
+	}
+	encoded, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
+		os.Exit(1)
+	}
+	rawArgs := flag.Args()[1:]
+
+	if *interp {
+		runInterp(encoded, *entry, rawArgs)
+		return
+	}
+
+	tgt, err := target.Lookup(target.Arch(*arch))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
+		os.Exit(1)
+	}
+	mode := map[string]jit.RegAllocMode{
+		"online": jit.RegAllocOnline, "split": jit.RegAllocSplit, "optimal": jit.RegAllocOptimal,
+	}[*regalloc]
+	dep, err := core.Deploy(encoded, tgt, jit.Options{RegAlloc: mode})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
+		os.Exit(1)
+	}
+	m := dep.Module.Method(*entry)
+	if m == nil {
+		fmt.Fprintf(os.Stderr, "svrun: no method %q in module\n", *entry)
+		os.Exit(1)
+	}
+	simArgs, err := parseSimArgs(m, rawArgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
+		os.Exit(1)
+	}
+	res, err := dep.Run(*entry, simArgs...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
+		os.Exit(1)
+	}
+	if m.Ret.Kind.IsFloat() {
+		fmt.Printf("%s = %g\n", *entry, res.F)
+	} else {
+		fmt.Printf("%s = %d\n", *entry, res.I)
+	}
+	fmt.Printf("target %s: %d cycles, %d instructions, %d spill accesses\n",
+		tgt.Name, dep.Machine.Stats.Cycles, dep.Machine.Stats.Instructions,
+		dep.Machine.Stats.SpillLoads+dep.Machine.Stats.SpillStores)
+}
+
+func parseSimArgs(m *cil.Method, raw []string) ([]sim.Value, error) {
+	if len(raw) != len(m.Params) {
+		return nil, fmt.Errorf("%s expects %d arguments, got %d", m.Name, len(m.Params), len(raw))
+	}
+	out := make([]sim.Value, len(raw))
+	for i, s := range raw {
+		p := m.Params[i]
+		if p.IsArray() {
+			return nil, fmt.Errorf("argument %d of %s is an array; array arguments are only supported programmatically", i+1, m.Name)
+		}
+		if p.Kind.IsFloat() || strings.Contains(s, ".") {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = sim.FloatArg(v)
+			continue
+		}
+		v, err := strconv.ParseInt(s, 0, 64)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = sim.IntArg(v)
+	}
+	return out, nil
+}
+
+func runInterp(encoded []byte, entry string, raw []string) {
+	rt, err := vm.Load(encoded)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
+		os.Exit(1)
+	}
+	m := rt.Module.Method(entry)
+	if m == nil {
+		fmt.Fprintf(os.Stderr, "svrun: no method %q in module\n", entry)
+		os.Exit(1)
+	}
+	args := make([]vm.Value, len(raw))
+	for i, s := range raw {
+		if i >= len(m.Params) {
+			break
+		}
+		if m.Params[i].Kind.IsFloat() {
+			v, err := strconv.ParseFloat(s, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
+				os.Exit(1)
+			}
+			args[i] = vm.FloatValue(m.Params[i].Kind, v)
+			continue
+		}
+		v, err := strconv.ParseInt(s, 0, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
+			os.Exit(1)
+		}
+		args[i] = vm.IntValue(m.Params[i].Kind, v)
+	}
+	res, err := rt.Call(entry, args...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
+		os.Exit(1)
+	}
+	if m.Ret.Kind.IsFloat() {
+		fmt.Printf("%s = %g (interpreted, %d bytecode steps)\n", entry, res.Float(), rt.Steps)
+	} else {
+		fmt.Printf("%s = %d (interpreted, %d bytecode steps)\n", entry, res.Int(), rt.Steps)
+	}
+}

@@ -1,0 +1,51 @@
+// Quickstart: compile a MiniC function once to portable bytecode, then run
+// the very same byte stream on three different simulated processors — the
+// elevator pitch of processor virtualization.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/jit"
+	"repro/internal/sim"
+	"repro/internal/target"
+)
+
+const source = `
+// Sum of squares 1..n, written once, deployed everywhere.
+i64 sumsq(i32 n) {
+    i64 s = 0;
+    for (i32 i = 1; i <= n; i++) {
+        s = s + (i64) (i * i);
+    }
+    return s;
+}
+`
+
+func main() {
+	// Offline step (developer workstation): front end, optimizer,
+	// annotations, bytecode encoding.
+	offline, err := core.CompileOffline(source, core.OfflineOptions{ModuleName: "quickstart"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("offline: %d bytes of deployable bytecode, %d bytes of annotations\n\n",
+		len(offline.Encoded), offline.AnnotationBytes)
+
+	// Online step (device): decode, verify, JIT for whatever core is there.
+	for _, arch := range []target.Arch{target.X86SSE, target.Sparc, target.MCU} {
+		tgt := target.MustLookup(arch)
+		dep, err := core.Deploy(offline.Encoded, tgt, jit.Options{RegAlloc: jit.RegAllocSplit})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := dep.Run("sumsq", sim.IntArg(1000))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12s sumsq(1000) = %-12d %8d cycles, %4d B native code\n",
+			tgt.Name, res.I, dep.Cycles(), dep.NativeCodeBytes())
+	}
+}

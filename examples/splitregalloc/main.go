@@ -1,0 +1,59 @@
+// Split register allocation: the Section 4 example. The offline compiler
+// records portable spill priorities in an annotation; on an embedded core
+// with a tiny register file, the annotation-driven JIT keeps the hot loop
+// variables in registers where the plain online allocator spills them.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+	"repro/internal/jit"
+	"repro/internal/sim"
+	"repro/internal/target"
+)
+
+const source = `
+i32 filter(i32 n, i32 seed) {
+    i32 cfg0 = seed + 1;
+    i32 cfg1 = seed + 2;
+    i32 cfg2 = seed + 3;
+    i32 cfg3 = seed + 4;
+    i32 cfg4 = seed + 5;
+    i32 cfg5 = seed + 6;
+    i32 acc = 0;
+    i32 state = seed;
+    for (i32 i = 0; i < n; i++) {
+        state = state * 1103515245 + 12345;
+        acc = acc + (state >> 16) % 64 + i;
+    }
+    return acc + cfg0 + cfg1 + cfg2 + cfg3 + cfg4 + cfg5;
+}
+`
+
+func main() {
+	offline, err := core.CompileOffline(source, core.OfflineOptions{ModuleName: "filter"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tgt := target.MustLookup(target.MCU).WithIntRegs(5)
+	fmt.Printf("target: %s\n", tgt.Name)
+	fmt.Printf("annotation bytes carried in the bytecode: %d\n\n", offline.AnnotationBytes)
+
+	fmt.Printf("%-22s %14s %18s %16s %14s\n", "allocator", "spilled vars", "spill instrs", "dynamic spills", "total cycles")
+	for _, mode := range []jit.RegAllocMode{jit.RegAllocOnline, jit.RegAllocSplit, jit.RegAllocOptimal} {
+		dep, err := core.Deploy(offline.Encoded, tgt, jit.Options{RegAlloc: mode})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if _, err := dep.Run("filter", sim.IntArg(10000), sim.IntArg(7)); err != nil {
+			log.Fatal(err)
+		}
+		slots, loads, stores := dep.SpillSummary()
+		fmt.Printf("%-22s %14d %18d %16d %14d\n",
+			mode, slots, loads+stores, dep.Machine.Stats.SpillLoads+dep.Machine.Stats.SpillStores, dep.Cycles())
+	}
+	fmt.Println("\nThe split allocator reads the offline priorities instead of guessing from scan order,")
+	fmt.Println("so the loop-carried variables stay in registers and spill traffic drops.")
+}

@@ -1,0 +1,184 @@
+package anno
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cil"
+)
+
+func TestVectorInfoRoundTrip(t *testing.T) {
+	v := &VectorInfo{Loops: []VectorLoop{
+		{LoopID: 0, Elem: cil.F64, Lanes: 2, Pattern: PatternMap, NoAliasProven: true},
+		{LoopID: 3, Elem: cil.U8, Lanes: 16, Pattern: PatternReduceMax},
+	}}
+	got, err := DecodeVectorInfo(EncodeVectorInfo(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v, got) {
+		t.Errorf("round trip mismatch: %+v vs %+v", v, got)
+	}
+}
+
+func TestRegAllocInfoRoundTrip(t *testing.T) {
+	v := &RegAllocInfo{
+		NumSlots: 7,
+		Intervals: []SlotInterval{
+			{Slot: 2, Start: 0, End: 45, Weight: 900},
+			{Slot: 0, Start: 0, End: 10, Weight: 12},
+			{Slot: 6, Start: 20, End: 21, Weight: 1},
+		},
+	}
+	got, err := DecodeRegAllocInfo(EncodeRegAllocInfo(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v, got) {
+		t.Errorf("round trip mismatch: %+v vs %+v", v, got)
+	}
+}
+
+func TestHWReqRoundTrip(t *testing.T) {
+	v := &HWReq{UsesVector: true, UsesFloat: true, VectorKinds: []cil.Kind{cil.F64, cil.U8}, EstimatedWork: 123456}
+	got, err := DecodeHWReq(EncodeHWReq(v))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v, got) {
+		t.Errorf("round trip mismatch: %+v vs %+v", v, got)
+	}
+	empty := &HWReq{}
+	got, err = DecodeHWReq(EncodeHWReq(empty))
+	if err != nil || got.UsesVector || got.UsesFloat || len(got.VectorKinds) != 0 {
+		t.Errorf("empty HWReq round trip failed: %+v (%v)", got, err)
+	}
+}
+
+func TestDecodeRejectsBadInput(t *testing.T) {
+	if _, err := DecodeVectorInfo(nil); err == nil {
+		t.Error("empty vector payload accepted")
+	}
+	if _, err := DecodeVectorInfo([]byte{99}); err == nil {
+		t.Error("bad schema version accepted")
+	}
+	ok := EncodeRegAllocInfo(&RegAllocInfo{NumSlots: 1, Intervals: []SlotInterval{{Slot: 0, Start: 0, End: 5, Weight: 3}}})
+	if _, err := DecodeRegAllocInfo(ok[:len(ok)-1]); err == nil {
+		t.Error("truncated regalloc payload accepted")
+	}
+	if _, err := DecodeRegAllocInfo(append(ok, 0)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	if _, err := DecodeHWReq([]byte{schemaVersion}); err == nil {
+		t.Error("truncated hwreq payload accepted")
+	}
+}
+
+func TestMethodAttachAndLookup(t *testing.T) {
+	m := cil.NewMethod("k", nil, cil.Scalar(cil.Void))
+	if VectorInfoOf(m) != nil || RegAllocInfoOf(m) != nil || HWReqOf(m) != nil {
+		t.Error("annotations reported on a method without any")
+	}
+	AttachVectorInfo(m, &VectorInfo{Loops: []VectorLoop{{LoopID: 1, Elem: cil.F32, Lanes: 4, Pattern: PatternReduceAdd, NoAliasProven: true}}})
+	AttachRegAllocInfo(m, &RegAllocInfo{NumSlots: 3})
+	AttachHWReq(m, &HWReq{UsesFloat: true})
+	if v := VectorInfoOf(m); v == nil || v.Loops[0].Elem != cil.F32 {
+		t.Error("VectorInfoOf failed")
+	}
+	if v := RegAllocInfoOf(m); v == nil || v.NumSlots != 3 {
+		t.Error("RegAllocInfoOf failed")
+	}
+	if v := HWReqOf(m); v == nil || !v.UsesFloat {
+		t.Error("HWReqOf failed")
+	}
+	// A corrupt annotation is treated as absent (annotations are advisory).
+	m.SetAnnotation(KeyVector, []byte{0xFF, 0x00})
+	if VectorInfoOf(m) != nil {
+		t.Error("corrupt annotation should be ignored")
+	}
+}
+
+func TestTotalAnnotationBytes(t *testing.T) {
+	mod := cil.NewModule("m")
+	mod.SetAnnotation("x", []byte{1, 2, 3})
+	m := cil.NewMethod("f", nil, cil.Scalar(cil.Void))
+	m.SetAnnotation("y", []byte{4, 5})
+	if err := mod.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	if got := TotalAnnotationBytes(mod); got != 5 {
+		t.Errorf("TotalAnnotationBytes = %d, want 5", got)
+	}
+}
+
+func TestPatternString(t *testing.T) {
+	for p, want := range map[VecPattern]string{
+		PatternMap: "map", PatternReduceAdd: "reduce-add",
+		PatternReduceMax: "reduce-max", PatternReduceMin: "reduce-min",
+		VecPattern(9): "pattern(9)",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q, want %q", p, p.String(), want)
+		}
+	}
+}
+
+func TestRegAllocRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := &RegAllocInfo{NumSlots: r.Intn(64)}
+		n := r.Intn(20)
+		for i := 0; i < n; i++ {
+			start := r.Intn(1000)
+			v.Intervals = append(v.Intervals, SlotInterval{
+				Slot:   r.Intn(64),
+				Start:  start,
+				End:    start + r.Intn(500),
+				Weight: uint32(r.Intn(1 << 20)),
+			})
+		}
+		got, err := DecodeRegAllocInfo(EncodeRegAllocInfo(v))
+		if err != nil {
+			return false
+		}
+		if len(v.Intervals) == 0 {
+			return got.NumSlots == v.NumSlots && len(got.Intervals) == 0
+		}
+		return reflect.DeepEqual(v, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVectorInfoRoundTripProperty(t *testing.T) {
+	kinds := []cil.Kind{cil.U8, cil.I8, cil.U16, cil.I16, cil.I32, cil.U32, cil.F32, cil.F64}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		v := &VectorInfo{}
+		n := r.Intn(8)
+		for i := 0; i < n; i++ {
+			k := kinds[r.Intn(len(kinds))]
+			v.Loops = append(v.Loops, VectorLoop{
+				LoopID:        i,
+				Elem:          k,
+				Lanes:         k.Lanes(),
+				Pattern:       VecPattern(r.Intn(4)),
+				NoAliasProven: r.Intn(2) == 0,
+			})
+		}
+		got, err := DecodeVectorInfo(EncodeVectorInfo(v))
+		if err != nil {
+			return false
+		}
+		if len(v.Loops) == 0 {
+			return len(got.Loops) == 0
+		}
+		return reflect.DeepEqual(v, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,43 @@
+package bench
+
+import (
+	"repro/internal/core"
+	"repro/internal/jit"
+	"repro/internal/kernels"
+	"repro/internal/target"
+)
+
+// ScalarizationAblation measures, on the SIMD-capable x86 target, how much
+// faster the same vectorized bytecode runs when the JIT uses the vector unit
+// compared to being forced to scalarize the builtins (the design choice the
+// paper's Table 1 isolates across targets, here isolated on a single target).
+// It returns the cycles(forced-scalarized) / cycles(SIMD) ratio.
+func ScalarizationAblation(kernel string, n int) (float64, error) {
+	res, k, err := core.CompileKernel(kernel, core.OfflineOptions{})
+	if err != nil {
+		return 0, err
+	}
+	in, err := kernels.NewInputs(kernel, n, 11)
+	if err != nil {
+		return 0, err
+	}
+	tgt := target.MustLookup(target.X86SSE)
+
+	simd, err := core.Deploy(res.Encoded, tgt, jit.Options{RegAlloc: jit.RegAllocSplit})
+	if err != nil {
+		return 0, err
+	}
+	simdRun, err := simd.RunKernel(k, in)
+	if err != nil {
+		return 0, err
+	}
+	forced, err := core.Deploy(res.Encoded, tgt, jit.Options{RegAlloc: jit.RegAllocSplit, ForceScalarize: true})
+	if err != nil {
+		return 0, err
+	}
+	forcedRun, err := forced.RunKernel(k, in)
+	if err != nil {
+		return 0, err
+	}
+	return float64(forcedRun.Cycles) / float64(simdRun.Cycles), nil
+}

@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/target"
+)
+
+func TestTable1ShapeMatchesPaper(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table 1 takes a few seconds")
+	}
+	r, err := RunTable1(Table1Options{N: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(r.Rows))
+	}
+	// Shape assertions mirroring the paper's qualitative result, not its
+	// absolute numbers:
+	//  1. every kernel speeds up substantially on the SIMD target;
+	//  2. byte/halfword kernels gain more than f64 kernels there;
+	//  3. targets without SIMD see no dramatic change in either direction;
+	//  4. the JIT used the vector unit only on x86.
+	for _, row := range r.Rows {
+		x86, ok := r.Speedup(row.Kernel, target.X86SSE)
+		if !ok {
+			t.Fatalf("missing x86 cell for %s", row.Kernel)
+		}
+		if x86 < 1.3 {
+			t.Errorf("%s: x86 speedup %.2f, want clear win (>1.3x)", row.Kernel, x86)
+		}
+		for _, arch := range []target.Arch{target.Sparc, target.PPC} {
+			rel, _ := r.Speedup(row.Kernel, arch)
+			if rel < 0.5 || rel > 3.5 {
+				t.Errorf("%s on %s: scalarized relative %.2f outside the no-drama band", row.Kernel, arch, rel)
+			}
+		}
+		for _, cell := range row.Cells {
+			wantSIMD := cell.Target == target.X86SSE
+			if cell.VectorLowered != wantSIMD {
+				t.Errorf("%s on %s: vector unit used = %v, want %v", row.Kernel, cell.Target, cell.VectorLowered, wantSIMD)
+			}
+		}
+	}
+	maxU8, _ := r.Speedup("max_u8", target.X86SSE)
+	vecadd, _ := r.Speedup("vecadd_fp", target.X86SSE)
+	sumU8, _ := r.Speedup("sum_u8", target.X86SSE)
+	sumU16, _ := r.Speedup("sum_u16", target.X86SSE)
+	if maxU8 <= vecadd || sumU8 <= sumU16 {
+		t.Errorf("x86 ordering wrong: max_u8 %.1f, sum_u8 %.1f, sum_u16 %.1f, vecadd %.1f (paper: 15.6, 5.3, 2.6, 2.2)",
+			maxU8, sumU8, sumU16, vecadd)
+	}
+	if !strings.Contains(r.String(), "relative") {
+		t.Error("report rendering looks wrong")
+	}
+}
+
+func TestFigure1AnnotationsShrinkOnlineWork(t *testing.T) {
+	r, err := RunFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 6 {
+		t.Fatalf("rows = %d, want 6", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if row.AnnotationBytes <= 0 {
+			t.Errorf("%s: no annotation bytes", row.Kernel)
+		}
+		if row.AnnotationBytes > row.EncodedBytes/2 {
+			t.Errorf("%s: annotations (%dB) are not compact relative to the module (%dB)", row.Kernel, row.AnnotationBytes, row.EncodedBytes)
+		}
+		if row.JITStepsWithAnnotations >= row.JITStepsWithoutAnnotations {
+			t.Errorf("%s: JIT with annotations (%d steps) is not cheaper than without (%d steps)",
+				row.Kernel, row.JITStepsWithAnnotations, row.JITStepsWithoutAnnotations)
+		}
+		if row.OfflineSteps <= 0 {
+			t.Errorf("%s: offline step accounting missing", row.Kernel)
+		}
+	}
+	if !strings.Contains(r.String(), "offline steps") {
+		t.Error("report rendering looks wrong")
+	}
+}
+
+func TestRegAllocSplitSavesSpills(t *testing.T) {
+	r, err := RunRegAlloc(RegAllocOptions{RegisterFiles: []int{4, 6, 8}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 3 {
+		t.Fatalf("points = %d, want 3", len(r.Points))
+	}
+	for _, p := range r.Points {
+		if p.SpillsOnline == 0 || p.WeightedOnline == 0 {
+			t.Errorf("%d regs: the online baseline should spill on the pressure suite", p.IntRegs)
+		}
+		if p.WeightedSplit > p.WeightedOnline {
+			t.Errorf("%d regs: split allocation (%d weighted spills) must not be worse than online (%d)",
+				p.IntRegs, p.WeightedSplit, p.WeightedOnline)
+		}
+		if p.WeightedOptimal > p.WeightedSplit {
+			t.Errorf("%d regs: 'optimal' (%d weighted spills) should not be worse than split (%d)",
+				p.IntRegs, p.WeightedOptimal, p.WeightedSplit)
+		}
+		if p.GapToOptimal > 0.25 {
+			t.Errorf("%d regs: split allocation is %.0f%% away from the offline-quality reference, want comparable quality",
+				p.IntRegs, p.GapToOptimal*100)
+		}
+	}
+	if r.MaxSavings < 0.15 {
+		t.Errorf("max spill savings %.0f%%, want a substantial reduction (paper: up to 40%%)", r.MaxSavings*100)
+	}
+	if !strings.Contains(r.String(), "saved vs online") {
+		t.Error("report rendering looks wrong")
+	}
+}
+
+func TestCodeSizeBytecodeIsCompact(t *testing.T) {
+	r, err := RunCodeSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) == 0 {
+		t.Fatal("no rows")
+	}
+	if r.AverageExpansion <= 1.0 {
+		t.Errorf("native code should be larger than the deployable bytecode on average, got ratio %.2f", r.AverageExpansion)
+	}
+	for _, row := range r.Rows {
+		for arch, n := range row.NativeBytes {
+			if n <= 0 {
+				t.Errorf("%s on %s: missing native size", row.Module, arch)
+			}
+		}
+	}
+	if !strings.Contains(r.String(), "bytecode") {
+		t.Error("report rendering looks wrong")
+	}
+}
+
+func TestHeteroOffloadWinsAndMatches(t *testing.T) {
+	r, err := RunHetero(HeteroOptions{Frames: 2, Samples: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.ResultsMatch {
+		t.Error("host-only and offloaded runs disagree on results")
+	}
+	if !r.NumericalOffloaded {
+		t.Error("the numerical kernel should be offloaded under the annotation-guided policy")
+	}
+	if !r.ControlStayedOnHost {
+		t.Error("the control-heavy kernel should stay on the host")
+	}
+	if r.Speedup <= 1.0 {
+		t.Errorf("offloading should pay off, got speedup %.2f", r.Speedup)
+	}
+	if !strings.Contains(r.String(), "host only") {
+		t.Error("report rendering looks wrong")
+	}
+}
+
+func TestScalarizationAblation(t *testing.T) {
+	ratio, err := ScalarizationAblation("sum_u8", 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= 1 {
+		t.Errorf("SIMD lowering should beat forced scalarization, got ratio %.2f", ratio)
+	}
+}
+
+func TestPressureSourceCompiles(t *testing.T) {
+	src := pressureSource("p", 6, 4)
+	if !strings.Contains(src, "i32 p(") || !strings.Contains(src, "for (") {
+		t.Errorf("unexpected generated source:\n%s", src)
+	}
+}

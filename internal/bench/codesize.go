@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cil"
+	"repro/internal/core"
+	"repro/internal/jit"
+	"repro/internal/kernels"
+	"repro/internal/target"
+)
+
+// CodeSizeRow compares the deployable bytecode size of one module with the
+// native code the JIT generates for each target (Section 2.1: CLI bytecode is
+// a compact deployment format for embedded systems). BytecodeBytes is the
+// size of the code-only encoding (the representation the compactness claim is
+// about); annotations and the full deployable size are reported separately.
+type CodeSizeRow struct {
+	Module          string
+	BytecodeBytes   int
+	AnnotationBytes int
+	TotalBytes      int
+	NativeBytes     map[target.Arch]int
+}
+
+// CodeSizeReport is the code-compactness experiment.
+type CodeSizeReport struct {
+	Rows []CodeSizeRow
+	// AverageExpansion is the mean native/bytecode size ratio across
+	// modules and targets.
+	AverageExpansion float64
+}
+
+// RunCodeSize measures encoded bytecode sizes against generated native code
+// sizes for the kernel suite and a combined application module.
+func RunCodeSize() (*CodeSizeReport, error) {
+	report := &CodeSizeReport{}
+	modules := make(map[string]string)
+	for _, k := range kernels.All() {
+		modules[k.Name] = k.Source
+	}
+	var app strings.Builder
+	for _, k := range kernels.All() {
+		app.WriteString(k.Source)
+	}
+	modules["whole-app"] = app.String()
+
+	names := append(append([]string{}, kernels.Table1Names...), "checksum", "fir", "whole-app")
+	var ratioSum float64
+	var ratioCount int
+	for _, name := range names {
+		src, ok := modules[name]
+		if !ok {
+			continue
+		}
+		res, err := core.CompileOffline(src, core.OfflineOptions{ModuleName: name})
+		if err != nil {
+			return nil, err
+		}
+		row := CodeSizeRow{
+			Module:          name,
+			BytecodeBytes:   cil.EncodedSize(res.Module.StripAnnotations()),
+			AnnotationBytes: res.AnnotationBytes,
+			TotalBytes:      len(res.Encoded),
+			NativeBytes:     make(map[target.Arch]int),
+		}
+		for _, tgt := range target.Table1() {
+			dep, err := core.Deploy(res.Encoded, tgt, jit.Options{RegAlloc: jit.RegAllocSplit})
+			if err != nil {
+				return nil, err
+			}
+			n := dep.NativeCodeBytes()
+			row.NativeBytes[tgt.Arch] = n
+			ratioSum += float64(n) / float64(row.BytecodeBytes)
+			ratioCount++
+		}
+		report.Rows = append(report.Rows, row)
+	}
+	if ratioCount > 0 {
+		report.AverageExpansion = ratioSum / float64(ratioCount)
+	}
+	return report, nil
+}
+
+// String renders the report.
+func (r *CodeSizeReport) String() string {
+	var b strings.Builder
+	b.WriteString("Code size: deployable bytecode vs JIT-generated native code (Section 2.1 compactness claim)\n\n")
+	fmt.Fprintf(&b, "%-12s %10s %8s", "module", "bytecode", "annot")
+	for _, tgt := range target.Table1() {
+		fmt.Fprintf(&b, " %12s", tgt.Arch)
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 12+10+8+3+12*3) + "\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s %9dB %7dB", row.Module, row.BytecodeBytes, row.AnnotationBytes)
+		for _, tgt := range target.Table1() {
+			fmt.Fprintf(&b, " %11dB", row.NativeBytes[tgt.Arch])
+		}
+		b.WriteString("\n")
+	}
+	fmt.Fprintf(&b, "\naverage native/bytecode expansion: %.2fx\n", r.AverageExpansion)
+	return b.String()
+}

@@ -1,0 +1,165 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cil"
+	"repro/internal/core"
+	"repro/internal/hetero"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// HeteroOptions parameterizes the whole-system offload experiment.
+type HeteroOptions struct {
+	// Frames is the number of application iterations (each frame runs a
+	// control-heavy pass on the host plus a numerical kernel that can be
+	// offloaded).
+	Frames int
+	// Samples is the size of the numerical working set per frame.
+	Samples int
+	Seed    int64
+}
+
+func (o *HeteroOptions) defaults() {
+	if o.Frames == 0 {
+		o.Frames = 8
+	}
+	if o.Samples == 0 {
+		o.Samples = 2048
+	}
+	if o.Seed == 0 {
+		o.Seed = 3
+	}
+}
+
+// HeteroReport compares running a mixed control + numerical application on
+// the host core only against the annotation-guided mapping that offloads the
+// numerical kernels to the vector accelerator (the Cell-like scenario of
+// Section 3).
+type HeteroReport struct {
+	Options HeteroOptions
+	System  string
+
+	HostOnlyCycles  int64
+	OffloadedCycles int64
+	Speedup         float64
+
+	// NumericalOffloaded reports whether the numerical kernel ran on an
+	// accelerator under the annotation-guided policy.
+	NumericalOffloaded bool
+	// ControlStayedOnHost reports whether the control-heavy kernel stayed
+	// on the host under the annotation-guided policy.
+	ControlStayedOnHost bool
+	// ResultsMatch confirms both mappings computed identical results.
+	ResultsMatch bool
+}
+
+// heteroAppSource is the mixed application: a control-heavy checksum (scalar,
+// branchy: belongs on the host) and a vectorizable numerical kernel (belongs
+// on the accelerator).
+func heteroAppSource() string {
+	return kernels.MustGet("checksum").Source + kernels.MustGet("saxpy_fp").Source
+}
+
+// RunHetero runs the same deployable module on a Cell-like system under both
+// placement policies and compares end-to-end cycles.
+func RunHetero(opts HeteroOptions) (*HeteroReport, error) {
+	opts.defaults()
+	res, err := core.CompileOffline(heteroAppSource(), core.OfflineOptions{ModuleName: "hetero-app"})
+	if err != nil {
+		return nil, err
+	}
+	sys := hetero.CellLike()
+	report := &HeteroReport{Options: opts, System: sys.Name, ResultsMatch: true, ControlStayedOnHost: true}
+
+	run := func(policy hetero.Policy) (int64, []float64, []int64, error) {
+		rt, err := hetero.NewRuntime(sys, res.Encoded, policy)
+		if err != nil {
+			return 0, nil, nil, err
+		}
+		var total int64
+		var numeric []float64
+		var control []int64
+		for frame := 0; frame < opts.Frames; frame++ {
+			header := vm.NewArray(cil.U8, 256)
+			for i := 0; i < header.Len(); i++ {
+				header.SetInt(i, int64((frame*31+i*7)%256))
+			}
+			cres, err := rt.Call("checksum",
+				hetero.ArrayArg(header),
+				hetero.ScalarArg(cil.I32, sim.IntArg(int64(header.Len()))))
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			total += cres.Cycles
+			control = append(control, cres.Result.I)
+			if policy == hetero.Annotated && cres.Offloaded {
+				report.ControlStayedOnHost = false
+			}
+
+			y := vm.NewArray(cil.F64, opts.Samples)
+			x := vm.NewArray(cil.F64, opts.Samples)
+			for i := 0; i < opts.Samples; i++ {
+				y.SetFloat(i, float64((i+frame)%17))
+				x.SetFloat(i, float64((i*3+frame)%13))
+			}
+			nres, err := rt.Call("saxpy",
+				hetero.ArrayArg(y), hetero.ArrayArg(x),
+				hetero.ScalarArg(cil.F64, sim.FloatArg(1.5)),
+				hetero.ScalarArg(cil.I32, sim.IntArg(int64(opts.Samples))))
+			if err != nil {
+				return 0, nil, nil, err
+			}
+			total += nres.Cycles
+			if policy == hetero.Annotated && nres.Offloaded {
+				report.NumericalOffloaded = true
+			}
+			out := nres.Outputs[0]
+			numeric = append(numeric, out.Float(opts.Samples/2), out.Float(opts.Samples-1))
+		}
+		return total, numeric, control, nil
+	}
+
+	hostCycles, hostNumeric, hostControl, err := run(hetero.HostOnly)
+	if err != nil {
+		return nil, err
+	}
+	offCycles, offNumeric, offControl, err := run(hetero.Annotated)
+	if err != nil {
+		return nil, err
+	}
+	report.HostOnlyCycles = hostCycles
+	report.OffloadedCycles = offCycles
+	if offCycles > 0 {
+		report.Speedup = float64(hostCycles) / float64(offCycles)
+	}
+	for i := range hostNumeric {
+		if hostNumeric[i] != offNumeric[i] {
+			report.ResultsMatch = false
+		}
+	}
+	for i := range hostControl {
+		if hostControl[i] != offControl[i] {
+			report.ResultsMatch = false
+		}
+	}
+	return report, nil
+}
+
+// String renders the report.
+func (r *HeteroReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Heterogeneous offload (Section 3, %s system): %d frames, %d samples/frame\n\n",
+		r.System, r.Options.Frames, r.Options.Samples)
+	fmt.Fprintf(&b, "%-28s %16s\n", "policy", "host cycles")
+	b.WriteString(strings.Repeat("-", 46) + "\n")
+	fmt.Fprintf(&b, "%-28s %16d\n", "host only", r.HostOnlyCycles)
+	fmt.Fprintf(&b, "%-28s %16d\n", "annotation-guided offload", r.OffloadedCycles)
+	fmt.Fprintf(&b, "\nspeedup from opening the accelerator to portable code: %.2fx\n", r.Speedup)
+	fmt.Fprintf(&b, "numerical kernel offloaded: %v, control code stayed on host: %v, results match: %v\n",
+		r.NumericalOffloaded, r.ControlStayedOnHost, r.ResultsMatch)
+	return b.String()
+}

@@ -1,0 +1,189 @@
+// Package bench implements the experiment harness: one entry point per table
+// or figure of the paper (plus the quantified claims of Sections 2-4), each
+// producing a structured report and a formatted table that mirrors the
+// paper's presentation. The testing.B benchmarks in the repository root and
+// the cmd/dacbench tool are thin wrappers around this package.
+package bench
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/jit"
+	"repro/internal/kernels"
+	"repro/internal/target"
+)
+
+// Table1Options parameterizes the split-vectorization experiment.
+type Table1Options struct {
+	// N is the number of elements per kernel invocation (the paper does not
+	// state its vector length; 4096 keeps the working set cache-resident).
+	N int
+	// Seed makes the pseudo-random inputs reproducible.
+	Seed int64
+}
+
+func (o *Table1Options) defaults() {
+	if o.N == 0 {
+		o.N = 4096
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// Table1Cell is one (kernel, target) measurement.
+type Table1Cell struct {
+	Target        target.Arch
+	ScalarCycles  int64
+	VectorCycles  int64
+	Relative      float64 // scalar / vectorized, the paper's "relative" column
+	ScalarMillis  float64 // scaled by the paper's iteration counts and the target clock
+	VectorMillis  float64
+	Iterations    int64
+	VectorLowered bool // true when the JIT used the SIMD unit, false when it scalarized
+}
+
+// Table1Row is one kernel of Table 1 across the three targets.
+type Table1Row struct {
+	Kernel string
+	Cells  []Table1Cell
+}
+
+// Table1Report is the full reproduction of Table 1.
+type Table1Report struct {
+	Options Table1Options
+	Rows    []Table1Row
+}
+
+// paperIterations mirrors the outer iteration counts of the paper's Table 1
+// header (10^6 on x86, 10^5 on UltraSparc and PowerPC).
+func paperIterations(arch target.Arch) int64 {
+	if arch == target.X86SSE {
+		return 1_000_000
+	}
+	return 100_000
+}
+
+// RunTable1 reproduces Table 1: each kernel is compiled once to scalar
+// bytecode and once to vectorized bytecode (portable builtins), deployed on
+// the three simulated targets, and timed for one pass over N elements.
+func RunTable1(opts Table1Options) (*Table1Report, error) {
+	opts.defaults()
+	report := &Table1Report{Options: opts}
+
+	for _, name := range kernels.Table1Names {
+		k := kernels.MustGet(name)
+		scalar, _, err := core.CompileKernel(name, core.OfflineOptions{DisableVectorize: true})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s scalar: %w", name, err)
+		}
+		vector, _, err := core.CompileKernel(name, core.OfflineOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s vectorized: %w", name, err)
+		}
+		inputs, err := kernels.NewInputs(name, opts.N, opts.Seed)
+		if err != nil {
+			return nil, err
+		}
+
+		row := Table1Row{Kernel: k.Name}
+		for _, tgt := range target.Table1() {
+			cell, err := measureCell(k, scalar, vector, inputs, tgt)
+			if err != nil {
+				return nil, err
+			}
+			row.Cells = append(row.Cells, cell)
+		}
+		report.Rows = append(report.Rows, row)
+	}
+	return report, nil
+}
+
+func measureCell(k kernels.Kernel, scalar, vector *core.OfflineResult, in *kernels.Inputs, tgt *target.Desc) (Table1Cell, error) {
+	jopts := jit.Options{RegAlloc: jit.RegAllocSplit}
+
+	depScalar, err := core.Deploy(scalar.Encoded, tgt, jopts)
+	if err != nil {
+		return Table1Cell{}, err
+	}
+	runScalar, err := depScalar.RunKernel(k, in)
+	if err != nil {
+		return Table1Cell{}, err
+	}
+	depVector, err := core.Deploy(vector.Encoded, tgt, jopts)
+	if err != nil {
+		return Table1Cell{}, err
+	}
+	runVector, err := depVector.RunKernel(k, in)
+	if err != nil {
+		return Table1Cell{}, err
+	}
+
+	iters := paperIterations(tgt.Arch)
+	toMillis := func(cycles int64) float64 {
+		return float64(cycles) * float64(iters) / (float64(tgt.ClockMHz) * 1e3)
+	}
+	cell := Table1Cell{
+		Target:        tgt.Arch,
+		ScalarCycles:  runScalar.Cycles,
+		VectorCycles:  runVector.Cycles,
+		Relative:      float64(runScalar.Cycles) / float64(runVector.Cycles),
+		ScalarMillis:  toMillis(runScalar.Cycles),
+		VectorMillis:  toMillis(runVector.Cycles),
+		Iterations:    iters,
+		VectorLowered: depVector.Program.Func(k.Entry).Stats.VectorLowered > 0,
+	}
+	return cell, nil
+}
+
+// String renders the report in the layout of the paper's Table 1.
+func (r *Table1Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: run times and speedup of split automatic vectorization (n=%d elements per call)\n", r.Options.N)
+	b.WriteString("run times are scaled to the paper's iteration counts; 'relative' = scalar/vectorized\n\n")
+	fmt.Fprintf(&b, "%-12s", "benchmark")
+	for _, tgt := range target.Table1() {
+		fmt.Fprintf(&b, " | %-32s", fmt.Sprintf("%s (10^%d iter)", tgt.Name, exp10(paperIterations(tgt.Arch))))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-12s", "")
+	for range target.Table1() {
+		fmt.Fprintf(&b, " | %10s %10s %8s", "scalar", "vect.", "relative")
+	}
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", 12+3*36) + "\n")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-12s", row.Kernel)
+		for _, c := range row.Cells {
+			fmt.Fprintf(&b, " | %10.0f %10.0f %8.2f", c.ScalarMillis, c.VectorMillis, c.Relative)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+func exp10(v int64) int {
+	e := 0
+	for v >= 10 {
+		v /= 10
+		e++
+	}
+	return e
+}
+
+// Speedup returns the relative speedup measured for a kernel on a target.
+func (r *Table1Report) Speedup(kernel string, arch target.Arch) (float64, bool) {
+	for _, row := range r.Rows {
+		if row.Kernel != kernel {
+			continue
+		}
+		for _, c := range row.Cells {
+			if c.Target == arch {
+				return c.Relative, true
+			}
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,182 @@
+package cil
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildAddMethod builds: func add(a, b i32) i32 { return a + b }
+func buildAddMethod(t *testing.T) *Method {
+	t.Helper()
+	b := NewMethodBuilder("add", []Type{Scalar(I32), Scalar(I32)}, Scalar(I32))
+	b.LoadArg(0).LoadArg(1).OpK(Add, I32).Return()
+	m, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return m
+}
+
+// buildSumLoop builds: func sum(a i32[], n i32) i32 { s=0; for i=0;i<n;i++ s+=a[i]; return s }
+func buildSumLoop(t testing.TB) *Method {
+	b := NewMethodBuilder("sum", []Type{Array(I32), Scalar(I32)}, Scalar(I32))
+	s := b.AddLocal(Scalar(I32))
+	i := b.AddLocal(Scalar(I32))
+	head := b.NewLabel()
+	exit := b.NewLabel()
+	b.ConstI(I32, 0).StoreLocal(s)
+	b.ConstI(I32, 0).StoreLocal(i)
+	b.Bind(head)
+	b.LoadLocal(i).LoadArg(1).OpK(CmpLt, I32).BranchFalse(exit)
+	b.LoadLocal(s).LoadArg(0).LoadLocal(i).OpK(LdElem, I32).OpK(Add, I32).StoreLocal(s)
+	b.LoadLocal(i).ConstI(I32, 1).OpK(Add, I32).StoreLocal(i)
+	b.Branch(head)
+	b.Bind(exit)
+	b.LoadLocal(s).Return()
+	m, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return m
+}
+
+func TestBuilderResolvesLabels(t *testing.T) {
+	m := buildSumLoop(t)
+	var sawBranch bool
+	for _, in := range m.Code {
+		if in.Op.IsBranch() {
+			sawBranch = true
+			if in.Target < 0 || in.Target >= len(m.Code) {
+				t.Errorf("unresolved or out-of-range branch target %d", in.Target)
+			}
+		}
+	}
+	if !sawBranch {
+		t.Fatal("expected at least one branch in the loop method")
+	}
+}
+
+func TestBuilderUnboundLabel(t *testing.T) {
+	b := NewMethodBuilder("bad", nil, Scalar(Void))
+	l := b.NewLabel()
+	b.Branch(l)
+	b.Return()
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("Finish should fail with an unbound label")
+	}
+}
+
+func TestBuilderFinishTwice(t *testing.T) {
+	b := NewMethodBuilder("m", nil, Scalar(Void))
+	b.Return()
+	if _, err := b.Finish(); err != nil {
+		t.Fatalf("first Finish: %v", err)
+	}
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("second Finish should fail")
+	}
+}
+
+func TestModuleAddAndLookup(t *testing.T) {
+	mod := NewModule("m")
+	add := buildAddMethod(t)
+	if err := mod.AddMethod(add); err != nil {
+		t.Fatalf("AddMethod: %v", err)
+	}
+	if err := mod.AddMethod(buildAddMethod(t)); err == nil {
+		t.Fatal("duplicate method name should be rejected")
+	}
+	if mod.Method("add") != add {
+		t.Error("Method lookup failed")
+	}
+	if mod.Method("missing") != nil {
+		t.Error("Method lookup should return nil for unknown names")
+	}
+	names := mod.MethodNames()
+	if len(names) != 1 || names[0] != "add" {
+		t.Errorf("MethodNames = %v", names)
+	}
+}
+
+func TestAnnotations(t *testing.T) {
+	m := buildAddMethod(t)
+	m.SetAnnotation("k", []byte{1, 2, 3})
+	v, ok := m.Annotation("k")
+	if !ok || len(v) != 3 || v[2] != 3 {
+		t.Fatalf("Annotation round trip failed: %v %v", v, ok)
+	}
+	if _, ok := m.Annotation("missing"); ok {
+		t.Error("missing annotation should not be found")
+	}
+	m.SetAnnotation("a", nil)
+	keys := m.AnnotationKeys()
+	if len(keys) != 2 || keys[0] != "a" || keys[1] != "k" {
+		t.Errorf("AnnotationKeys = %v", keys)
+	}
+
+	mod := NewModule("m")
+	mod.SetAnnotation("mk", []byte("x"))
+	if v, ok := mod.Annotation("mk"); !ok || string(v) != "x" {
+		t.Error("module annotation round trip failed")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	mod := NewModule("m")
+	m := buildAddMethod(t)
+	m.SetAnnotation("k", []byte{9})
+	if err := mod.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	mod.SetAnnotation("top", []byte{1})
+
+	c := mod.Clone()
+	c.Methods[0].Code[0].Int = 99
+	c.Methods[0].Annotations["k"][0] = 42
+	c.Annotations["top"][0] = 42
+	if m.Code[0].Int == 99 {
+		t.Error("Clone shares instruction storage")
+	}
+	if m.Annotations["k"][0] == 42 {
+		t.Error("Clone shares method annotation storage")
+	}
+	if mod.Annotations["top"][0] == 42 {
+		t.Error("Clone shares module annotation storage")
+	}
+}
+
+func TestStripAnnotations(t *testing.T) {
+	mod := NewModule("m")
+	m := buildAddMethod(t)
+	m.SetAnnotation("k", []byte{9})
+	if err := mod.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	mod.SetAnnotation("top", []byte{1})
+	s := mod.StripAnnotations()
+	if len(s.Annotations) != 0 || len(s.Methods[0].Annotations) != 0 {
+		t.Error("StripAnnotations left annotations behind")
+	}
+	if len(mod.Annotations) != 1 || len(mod.Methods[0].Annotations) != 1 {
+		t.Error("StripAnnotations modified the original")
+	}
+}
+
+func TestDisassembleContainsStructure(t *testing.T) {
+	mod := NewModule("demo")
+	mod.SetAnnotation("module-key", []byte{1, 2})
+	m := buildSumLoop(t)
+	m.SetAnnotation("vec", []byte{0})
+	if err := mod.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(mod); err != nil {
+		t.Fatal(err)
+	}
+	out := Disassemble(mod)
+	for _, want := range []string{"module demo", "method sum(i32[], i32) i32", ".locals", ".maxstack", ".annotation vec", ".annotation module-key", "ldelem.i32", "br @"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+}

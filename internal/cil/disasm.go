@@ -1,0 +1,77 @@
+package cil
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble returns a human-readable listing of the module: signatures,
+// locals, annotations (keys and payload sizes) and the instruction stream
+// with branch-target markers.
+func Disassemble(mod *Module) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "module %s\n", mod.Name)
+	for _, k := range sortedKeys(mod.Annotations) {
+		fmt.Fprintf(&b, "  .annotation %s (%d bytes)\n", k, len(mod.Annotations[k]))
+	}
+	for _, m := range mod.Methods {
+		b.WriteString(DisassembleMethod(m))
+	}
+	return b.String()
+}
+
+// DisassembleMethod returns a human-readable listing of a single method.
+func DisassembleMethod(m *Method) string {
+	var b strings.Builder
+	params := make([]string, len(m.Params))
+	for i, t := range m.Params {
+		params[i] = t.String()
+	}
+	fmt.Fprintf(&b, "\nmethod %s(%s) %s\n", m.Name, strings.Join(params, ", "), m.Ret)
+	if len(m.Locals) > 0 {
+		locals := make([]string, len(m.Locals))
+		for i, t := range m.Locals {
+			locals[i] = fmt.Sprintf("[%d]%s", i, t)
+		}
+		fmt.Fprintf(&b, "  .locals %s\n", strings.Join(locals, " "))
+	}
+	fmt.Fprintf(&b, "  .maxstack %d\n", m.MaxStack)
+	for _, k := range sortedKeys(m.Annotations) {
+		fmt.Fprintf(&b, "  .annotation %s (%d bytes)\n", k, len(m.Annotations[k]))
+	}
+	targets := branchTargets(m)
+	for pc, in := range m.Code {
+		marker := "  "
+		if targets[pc] {
+			marker = "L:"
+		}
+		fmt.Fprintf(&b, "  %s %4d: %s\n", marker, pc, in)
+	}
+	return b.String()
+}
+
+// branchTargets returns the set of instruction indices that are targets of a
+// branch in the method.
+func branchTargets(m *Method) map[int]bool {
+	targets := make(map[int]bool)
+	for _, in := range m.Code {
+		if in.Op.IsBranch() {
+			targets[in.Target] = true
+		}
+	}
+	return targets
+}
+
+func sortedKeys(a map[string][]byte) []string {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	// insertion sort keeps this dependency-free and the maps are tiny.
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	return keys
+}

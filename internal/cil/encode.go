@@ -1,0 +1,353 @@
+package cil
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Binary format of an encoded module ("SVBC": split-compilation virtual
+// bytecode). All integers are unsigned LEB128 varints unless noted; signed
+// quantities use zig-zag encoding. Strings are length-prefixed UTF-8.
+//
+//	magic   "SVBC"
+//	u8      format version
+//	string  module name
+//	uvarint annotation count, then (string key, bytes value)*
+//	uvarint method count, then method*
+//
+// Each method:
+//
+//	string  name
+//	uvarint param count,  then type*
+//	type    return type
+//	uvarint local count,  then type*
+//	uvarint max stack
+//	uvarint annotation count, then (string key, bytes value)*
+//	uvarint instruction count, then instruction*
+//
+// Each type is one byte kind plus, for Ref, one byte element kind. Each
+// instruction is one opcode byte, one kind byte, then operands selected by
+// the opcode (see encodeInstr).
+const (
+	formatMagic   = "SVBC"
+	formatVersion = 1
+)
+
+// Encode serializes the module to its compact binary deployment format. The
+// size of this encoding is what the code-size experiment (EXP-SIZE) compares
+// against native code.
+func Encode(mod *Module) []byte {
+	var w encoder
+	w.raw([]byte(formatMagic))
+	w.u8(formatVersion)
+	w.str(mod.Name)
+	w.annotations(mod.Annotations)
+	w.uvarint(uint64(len(mod.Methods)))
+	for _, m := range mod.Methods {
+		w.method(m)
+	}
+	return w.buf.Bytes()
+}
+
+// Decode parses a module previously produced by Encode.
+func Decode(data []byte) (*Module, error) {
+	r := &decoder{data: data}
+	magic := r.raw(4)
+	if r.err == nil && string(magic) != formatMagic {
+		return nil, fmt.Errorf("cil: bad magic %q", magic)
+	}
+	if v := r.u8(); r.err == nil && v != formatVersion {
+		return nil, fmt.Errorf("cil: unsupported format version %d", v)
+	}
+	mod := NewModule(r.str())
+	mod.Annotations = r.annotations()
+	n := int(r.uvarint())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n < 0 || n > 1<<20 {
+		return nil, fmt.Errorf("cil: implausible method count %d", n)
+	}
+	for i := 0; i < n; i++ {
+		m, err := r.method()
+		if err != nil {
+			return nil, err
+		}
+		if err := mod.AddMethod(m); err != nil {
+			return nil, err
+		}
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	if r.pos != len(r.data) {
+		return nil, fmt.Errorf("cil: %d trailing bytes after module", len(r.data)-r.pos)
+	}
+	return mod, nil
+}
+
+// EncodedSize returns the size in bytes of the module's binary encoding.
+func EncodedSize(mod *Module) int { return len(Encode(mod)) }
+
+type encoder struct {
+	buf bytes.Buffer
+}
+
+func (w *encoder) raw(b []byte) { w.buf.Write(b) }
+func (w *encoder) u8(v uint8)   { w.buf.WriteByte(v) }
+func (w *encoder) uvarint(v uint64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(tmp[:], v)
+	w.buf.Write(tmp[:n])
+}
+func (w *encoder) svarint(v int64) {
+	var tmp [binary.MaxVarintLen64]byte
+	n := binary.PutVarint(tmp[:], v)
+	w.buf.Write(tmp[:n])
+}
+func (w *encoder) f64(v float64) {
+	var tmp [8]byte
+	binary.LittleEndian.PutUint64(tmp[:], math.Float64bits(v))
+	w.buf.Write(tmp[:])
+}
+func (w *encoder) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf.WriteString(s)
+}
+func (w *encoder) bytesv(b []byte) {
+	w.uvarint(uint64(len(b)))
+	w.buf.Write(b)
+}
+
+func (w *encoder) annotations(a map[string][]byte) {
+	keys := make([]string, 0, len(a))
+	for k := range a {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	w.uvarint(uint64(len(keys)))
+	for _, k := range keys {
+		w.str(k)
+		w.bytesv(a[k])
+	}
+}
+
+func (w *encoder) typ(t Type) {
+	w.u8(uint8(t.Kind))
+	if t.Kind == Ref {
+		w.u8(uint8(t.Elem))
+	}
+}
+
+func (w *encoder) method(m *Method) {
+	w.str(m.Name)
+	w.uvarint(uint64(len(m.Params)))
+	for _, t := range m.Params {
+		w.typ(t)
+	}
+	w.typ(m.Ret)
+	w.uvarint(uint64(len(m.Locals)))
+	for _, t := range m.Locals {
+		w.typ(t)
+	}
+	w.uvarint(uint64(m.MaxStack))
+	w.annotations(m.Annotations)
+	w.uvarint(uint64(len(m.Code)))
+	for _, in := range m.Code {
+		w.instr(in)
+	}
+}
+
+// opNeedsKind reports whether the opcode carries an element/operand kind in
+// the encoding. Untyped opcodes (loads of variables, branches, stack
+// manipulation) omit the kind byte, which keeps the deployment format
+// compact.
+func opNeedsKind(op Opcode) bool {
+	switch op {
+	case Nop, LdArg, StArg, LdLoc, StLoc, Dup, Pop, Br, BrTrue, BrFalse, Call, Ret, LdLen:
+		return false
+	}
+	return true
+}
+
+func (w *encoder) instr(in Instr) {
+	w.u8(uint8(in.Op))
+	if opNeedsKind(in.Op) {
+		w.u8(uint8(in.Kind))
+	}
+	switch in.Op {
+	case LdcI, LdArg, StArg, LdLoc, StLoc:
+		w.svarint(in.Int)
+	case LdcF:
+		w.f64(in.Float)
+	case Br, BrTrue, BrFalse:
+		w.svarint(int64(in.Target))
+	case Call:
+		w.str(in.Str)
+	}
+}
+
+type decoder struct {
+	data []byte
+	pos  int
+	err  error
+}
+
+func (r *decoder) fail(format string, args ...interface{}) {
+	if r.err == nil {
+		r.err = fmt.Errorf("cil: decode at offset %d: %s", r.pos, fmt.Sprintf(format, args...))
+	}
+}
+
+func (r *decoder) raw(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.pos+n > len(r.data) {
+		r.fail("truncated input (need %d bytes)", n)
+		return nil
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+func (r *decoder) u8() uint8 {
+	b := r.raw(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+func (r *decoder) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *decoder) svarint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.data[r.pos:])
+	if n <= 0 {
+		r.fail("bad varint")
+		return 0
+	}
+	r.pos += n
+	return v
+}
+
+func (r *decoder) f64() float64 {
+	b := r.raw(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(b))
+}
+
+func (r *decoder) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		r.fail("string length %d exceeds remaining input", n)
+		return ""
+	}
+	return string(r.raw(int(n)))
+}
+
+func (r *decoder) bytesv() []byte {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	if n > uint64(len(r.data)-r.pos) {
+		r.fail("byte-string length %d exceeds remaining input", n)
+		return nil
+	}
+	return append([]byte(nil), r.raw(int(n))...)
+}
+
+func (r *decoder) annotations() map[string][]byte {
+	n := int(r.uvarint())
+	a := make(map[string][]byte, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		k := r.str()
+		a[k] = r.bytesv()
+	}
+	return a
+}
+
+func (r *decoder) typ() Type {
+	k := Kind(r.u8())
+	t := Type{Kind: k}
+	if k == Ref {
+		t.Elem = Kind(r.u8())
+	}
+	if r.err == nil && int(k) >= len(kindNames) {
+		r.fail("invalid kind %d", k)
+	}
+	return t
+}
+
+func (r *decoder) method() (*Method, error) {
+	m := NewMethod(r.str(), nil, Scalar(Void))
+	np := int(r.uvarint())
+	for i := 0; i < np && r.err == nil; i++ {
+		m.Params = append(m.Params, r.typ())
+	}
+	m.Ret = r.typ()
+	nl := int(r.uvarint())
+	for i := 0; i < nl && r.err == nil; i++ {
+		m.Locals = append(m.Locals, r.typ())
+	}
+	m.MaxStack = int(r.uvarint())
+	m.Annotations = r.annotations()
+	nc := int(r.uvarint())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if nc < 0 || nc > 1<<24 {
+		return nil, fmt.Errorf("cil: implausible instruction count %d in %q", nc, m.Name)
+	}
+	m.Code = make([]Instr, 0, nc)
+	for i := 0; i < nc && r.err == nil; i++ {
+		m.Code = append(m.Code, r.instr())
+	}
+	return m, r.err
+}
+
+func (r *decoder) instr() Instr {
+	in := Instr{Op: Opcode(r.u8())}
+	if r.err == nil && !in.Op.Valid() {
+		r.fail("invalid opcode %d", in.Op)
+		return in
+	}
+	if opNeedsKind(in.Op) {
+		in.Kind = Kind(r.u8())
+	}
+	switch in.Op {
+	case LdcI, LdArg, StArg, LdLoc, StLoc:
+		in.Int = r.svarint()
+	case LdcF:
+		in.Float = r.f64()
+	case Br, BrTrue, BrFalse:
+		in.Target = int(r.svarint())
+	case Call:
+		in.Str = r.str()
+	}
+	return in
+}

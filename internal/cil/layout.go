@@ -1,0 +1,14 @@
+package cil
+
+// StackLayouts verifies the method and returns, for every instruction, the
+// types on the evaluation stack at its entry. Unreachable instructions have
+// a nil layout. Deployment-side compilers use this to reconstruct the
+// abstract stack at control-flow join points without re-deriving the
+// verifier's analysis themselves.
+func StackLayouts(mod *Module, m *Method) ([][]Type, error) {
+	v := &verifier{mod: mod, m: m}
+	if err := v.run(); err != nil {
+		return nil, err
+	}
+	return v.states, nil
+}

@@ -1,0 +1,163 @@
+package cil
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Method is a single bytecode method: typed signature, typed locals, a flat
+// instruction stream with instruction-index branch targets, and metadata
+// annotations produced by the offline compiler.
+type Method struct {
+	Name        string
+	Params      []Type
+	Ret         Type
+	Locals      []Type
+	Code        []Instr
+	Annotations map[string][]byte
+
+	// MaxStack is the maximum evaluation-stack depth; it is computed by
+	// Verify and stored so that deployment-side compilers do not need to
+	// recompute it.
+	MaxStack int
+}
+
+// NewMethod returns an empty method with the given signature.
+func NewMethod(name string, params []Type, ret Type) *Method {
+	return &Method{
+		Name:        name,
+		Params:      append([]Type(nil), params...),
+		Ret:         ret,
+		Annotations: make(map[string][]byte),
+	}
+}
+
+// AddLocal appends a local of the given type and returns its index.
+func (m *Method) AddLocal(t Type) int {
+	m.Locals = append(m.Locals, t)
+	return len(m.Locals) - 1
+}
+
+// SetAnnotation attaches (or replaces) an annotation on the method.
+func (m *Method) SetAnnotation(key string, value []byte) {
+	if m.Annotations == nil {
+		m.Annotations = make(map[string][]byte)
+	}
+	m.Annotations[key] = append([]byte(nil), value...)
+}
+
+// Annotation returns the annotation payload for key and whether it exists.
+func (m *Method) Annotation(key string) ([]byte, bool) {
+	v, ok := m.Annotations[key]
+	return v, ok
+}
+
+// AnnotationKeys returns the method's annotation keys in sorted order.
+func (m *Method) AnnotationKeys() []string {
+	keys := make([]string, 0, len(m.Annotations))
+	for k := range m.Annotations {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Clone returns a deep copy of the method.
+func (m *Method) Clone() *Method {
+	c := &Method{
+		Name:     m.Name,
+		Params:   append([]Type(nil), m.Params...),
+		Ret:      m.Ret,
+		Locals:   append([]Type(nil), m.Locals...),
+		Code:     append([]Instr(nil), m.Code...),
+		MaxStack: m.MaxStack,
+	}
+	if m.Annotations != nil {
+		c.Annotations = make(map[string][]byte, len(m.Annotations))
+		for k, v := range m.Annotations {
+			c.Annotations[k] = append([]byte(nil), v...)
+		}
+	}
+	return c
+}
+
+// Module is a deployable unit: a named collection of methods plus
+// module-level annotations (for example hardware-requirement summaries used
+// by the heterogeneous runtime).
+type Module struct {
+	Name        string
+	Methods     []*Method
+	Annotations map[string][]byte
+}
+
+// NewModule returns an empty module with the given name.
+func NewModule(name string) *Module {
+	return &Module{Name: name, Annotations: make(map[string][]byte)}
+}
+
+// AddMethod appends a method to the module. It returns an error if a method
+// with the same name already exists.
+func (mod *Module) AddMethod(m *Method) error {
+	if mod.Method(m.Name) != nil {
+		return fmt.Errorf("cil: duplicate method %q in module %q", m.Name, mod.Name)
+	}
+	mod.Methods = append(mod.Methods, m)
+	return nil
+}
+
+// Method returns the method with the given name, or nil if absent.
+func (mod *Module) Method(name string) *Method {
+	for _, m := range mod.Methods {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// MethodNames returns the names of all methods in declaration order.
+func (mod *Module) MethodNames() []string {
+	names := make([]string, len(mod.Methods))
+	for i, m := range mod.Methods {
+		names[i] = m.Name
+	}
+	return names
+}
+
+// SetAnnotation attaches (or replaces) a module-level annotation.
+func (mod *Module) SetAnnotation(key string, value []byte) {
+	if mod.Annotations == nil {
+		mod.Annotations = make(map[string][]byte)
+	}
+	mod.Annotations[key] = append([]byte(nil), value...)
+}
+
+// Annotation returns the module-level annotation for key.
+func (mod *Module) Annotation(key string) ([]byte, bool) {
+	v, ok := mod.Annotations[key]
+	return v, ok
+}
+
+// Clone returns a deep copy of the module.
+func (mod *Module) Clone() *Module {
+	c := NewModule(mod.Name)
+	for _, m := range mod.Methods {
+		c.Methods = append(c.Methods, m.Clone())
+	}
+	for k, v := range mod.Annotations {
+		c.Annotations[k] = append([]byte(nil), v...)
+	}
+	return c
+}
+
+// StripAnnotations returns a deep copy of the module with every method-level
+// and module-level annotation removed. It is used by ablation experiments
+// that measure the cost of re-deriving information online.
+func (mod *Module) StripAnnotations() *Module {
+	c := mod.Clone()
+	c.Annotations = make(map[string][]byte)
+	for _, m := range c.Methods {
+		m.Annotations = make(map[string][]byte)
+	}
+	return c
+}

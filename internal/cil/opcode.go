@@ -1,0 +1,199 @@
+package cil
+
+import "fmt"
+
+// Opcode identifies a bytecode operation. The instruction set is stack based:
+// operands are popped from and results pushed onto a typed evaluation stack.
+type Opcode uint8
+
+// Core opcodes.
+const (
+	Nop Opcode = iota
+
+	// Constants and variable access.
+	LdcI  // push integer constant Instr.Int with kind Instr.Kind
+	LdcF  // push float constant Instr.Float with kind Instr.Kind
+	LdArg // push argument Instr.Int
+	StArg // pop into argument Instr.Int
+	LdLoc // push local Instr.Int
+	StLoc // pop into local Instr.Int
+
+	// Stack manipulation.
+	Dup // duplicate top of stack
+	Pop // discard top of stack
+
+	// Arithmetic and bitwise, operating on two operands of kind Instr.Kind.
+	Add
+	Sub
+	Mul
+	Div
+	Rem
+	Neg // unary
+	And
+	Or
+	Xor
+	Shl
+	Shr
+	Not // unary bitwise complement
+
+	// Conversion of the top of stack to kind Instr.Kind.
+	Conv
+
+	// Comparisons pop two operands of kind Instr.Kind and push a Bool (I32).
+	CmpEq
+	CmpNe
+	CmpLt
+	CmpLe
+	CmpGt
+	CmpGe
+
+	// Control flow. Branch targets are instruction indices (Instr.Target).
+	Br
+	BrTrue
+	BrFalse
+	Call // call method Instr.Str
+	Ret
+
+	// Arrays of element kind Instr.Kind.
+	NewArr // [n] -> [arr]
+	LdLen  // [arr] -> [len]
+	LdElem // [arr, idx] -> [value]
+	StElem // [arr, idx, value] -> []
+
+	// Portable vector builtins of element kind Instr.Kind. These are the
+	// "set of portable builtins" of the paper's split vectorizer: the
+	// offline compiler emits them, the online compiler either maps them to
+	// the target SIMD unit or scalarizes them.
+	VLoad   // [arr, idx] -> [vec]     loads Lanes() consecutive elements
+	VStore  // [arr, idx, vec] -> []   stores Lanes() consecutive elements
+	VAdd    // [vec, vec] -> [vec]
+	VSub    // [vec, vec] -> [vec]
+	VMul    // [vec, vec] -> [vec]
+	VMax    // [vec, vec] -> [vec]
+	VMin    // [vec, vec] -> [vec]
+	VSplat  // [scalar] -> [vec]       broadcast
+	VRedAdd // [vec] -> [scalar]       horizontal sum (widened accumulator)
+	VRedMax // [vec] -> [scalar]       horizontal max
+	VRedMin // [vec] -> [scalar]       horizontal min
+
+	numOpcodes // sentinel, keep last
+)
+
+var opcodeNames = [...]string{
+	Nop:     "nop",
+	LdcI:    "ldc.i",
+	LdcF:    "ldc.f",
+	LdArg:   "ldarg",
+	StArg:   "starg",
+	LdLoc:   "ldloc",
+	StLoc:   "stloc",
+	Dup:     "dup",
+	Pop:     "pop",
+	Add:     "add",
+	Sub:     "sub",
+	Mul:     "mul",
+	Div:     "div",
+	Rem:     "rem",
+	Neg:     "neg",
+	And:     "and",
+	Or:      "or",
+	Xor:     "xor",
+	Shl:     "shl",
+	Shr:     "shr",
+	Not:     "not",
+	Conv:    "conv",
+	CmpEq:   "ceq",
+	CmpNe:   "cne",
+	CmpLt:   "clt",
+	CmpLe:   "cle",
+	CmpGt:   "cgt",
+	CmpGe:   "cge",
+	Br:      "br",
+	BrTrue:  "brtrue",
+	BrFalse: "brfalse",
+	Call:    "call",
+	Ret:     "ret",
+	NewArr:  "newarr",
+	LdLen:   "ldlen",
+	LdElem:  "ldelem",
+	StElem:  "stelem",
+	VLoad:   "vload",
+	VStore:  "vstore",
+	VAdd:    "vadd",
+	VSub:    "vsub",
+	VMul:    "vmul",
+	VMax:    "vmax",
+	VMin:    "vmin",
+	VSplat:  "vsplat",
+	VRedAdd: "vredadd",
+	VRedMax: "vredmax",
+	VRedMin: "vredmin",
+}
+
+func (op Opcode) String() string {
+	if int(op) < len(opcodeNames) && opcodeNames[op] != "" {
+		return opcodeNames[op]
+	}
+	return fmt.Sprintf("op(%d)", uint8(op))
+}
+
+// Valid reports whether op is a defined opcode.
+func (op Opcode) Valid() bool { return op < numOpcodes }
+
+// IsBranch reports whether the opcode transfers control to Instr.Target.
+func (op Opcode) IsBranch() bool { return op == Br || op == BrTrue || op == BrFalse }
+
+// IsConditionalBranch reports whether the opcode is a conditional branch.
+func (op Opcode) IsConditionalBranch() bool { return op == BrTrue || op == BrFalse }
+
+// IsTerminator reports whether the opcode ends a basic block.
+func (op Opcode) IsTerminator() bool { return op.IsBranch() || op == Ret }
+
+// IsVector reports whether the opcode is one of the portable vector builtins.
+func (op Opcode) IsVector() bool { return op >= VLoad && op <= VRedMin }
+
+// IsBinaryArith reports whether the opcode is a two-operand arithmetic or
+// bitwise operation.
+func (op Opcode) IsBinaryArith() bool {
+	switch op {
+	case Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr:
+		return true
+	}
+	return false
+}
+
+// IsCompare reports whether the opcode is a comparison.
+func (op Opcode) IsCompare() bool { return op >= CmpEq && op <= CmpGe }
+
+// Instr is a single bytecode instruction. The meaning of the operand fields
+// depends on the opcode; unused fields are zero.
+type Instr struct {
+	Op     Opcode
+	Kind   Kind    // element/operand kind for typed opcodes
+	Int    int64   // integer immediate, arg/local index
+	Float  float64 // floating-point immediate
+	Str    string  // callee name for Call
+	Target int     // branch target (instruction index)
+}
+
+func (in Instr) String() string {
+	switch in.Op {
+	case LdcI:
+		return fmt.Sprintf("%s.%s %d", in.Op, in.Kind, in.Int)
+	case LdcF:
+		return fmt.Sprintf("%s.%s %g", in.Op, in.Kind, in.Float)
+	case LdArg, StArg, LdLoc, StLoc:
+		return fmt.Sprintf("%s %d", in.Op, in.Int)
+	case Add, Sub, Mul, Div, Rem, Neg, And, Or, Xor, Shl, Shr, Not,
+		Conv, CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe,
+		NewArr, LdElem, StElem,
+		VLoad, VStore, VAdd, VSub, VMul, VMax, VMin, VSplat, VRedAdd, VRedMax, VRedMin:
+		return fmt.Sprintf("%s.%s", in.Op, in.Kind)
+	case Br, BrTrue, BrFalse:
+		return fmt.Sprintf("%s @%d", in.Op, in.Target)
+	case Call:
+		return fmt.Sprintf("%s %s", in.Op, in.Str)
+	default:
+		return in.Op.String()
+	}
+}

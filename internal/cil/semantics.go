@@ -1,0 +1,28 @@
+package cil
+
+// ReduceAddKind returns the kind of the scalar produced by VRedAdd on a
+// vector with elements of kind k. Integer elements accumulate into a 64-bit
+// integer so that, for example, summing byte elements over long arrays does
+// not overflow; floating-point elements keep their own precision.
+func ReduceAddKind(k Kind) Kind {
+	if k.IsFloat() {
+		return k
+	}
+	if k.IsSigned() {
+		return I64
+	}
+	return U64
+}
+
+// ReduceMinMaxKind returns the kind of the scalar produced by VRedMax and
+// VRedMin on a vector with elements of kind k: the element's natural
+// evaluation-stack kind.
+func ReduceMinMaxKind(k Kind) Kind { return k.StackKind() }
+
+// ReduceKind returns the scalar result kind of any vector reduction opcode.
+func ReduceKind(op Opcode, k Kind) Kind {
+	if op == VRedAdd {
+		return ReduceAddKind(k)
+	}
+	return ReduceMinMaxKind(k)
+}

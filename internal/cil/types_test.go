@@ -1,0 +1,134 @@
+package cil
+
+import "testing"
+
+func TestKindSize(t *testing.T) {
+	cases := []struct {
+		k    Kind
+		size int
+	}{
+		{Void, 0}, {Bool, 1}, {I8, 1}, {U8, 1}, {I16, 2}, {U16, 2},
+		{I32, 4}, {U32, 4}, {I64, 8}, {U64, 8}, {F32, 4}, {F64, 8},
+		{Ref, 4}, {Vec, 16},
+	}
+	for _, c := range cases {
+		if got := c.k.Size(); got != c.size {
+			t.Errorf("%s.Size() = %d, want %d", c.k, got, c.size)
+		}
+	}
+}
+
+func TestKindLanes(t *testing.T) {
+	cases := []struct {
+		k     Kind
+		lanes int
+	}{
+		{U8, 16}, {I8, 16}, {U16, 8}, {I16, 8}, {I32, 4}, {U32, 4},
+		{F32, 4}, {I64, 2}, {U64, 2}, {F64, 2}, {Ref, 0}, {Void, 0}, {Bool, 0},
+	}
+	for _, c := range cases {
+		if got := c.k.Lanes(); got != c.lanes {
+			t.Errorf("%s.Lanes() = %d, want %d", c.k, got, c.lanes)
+		}
+	}
+}
+
+func TestKindPredicates(t *testing.T) {
+	if !I8.IsSigned() || U8.IsSigned() || F32.IsSigned() {
+		t.Error("IsSigned misclassifies kinds")
+	}
+	if !F32.IsFloat() || !F64.IsFloat() || I32.IsFloat() {
+		t.Error("IsFloat misclassifies kinds")
+	}
+	if !U16.IsInteger() || F64.IsInteger() || Ref.IsInteger() {
+		t.Error("IsInteger misclassifies kinds")
+	}
+	if !F64.IsNumeric() || !I64.IsNumeric() || Ref.IsNumeric() || Void.IsNumeric() {
+		t.Error("IsNumeric misclassifies kinds")
+	}
+}
+
+func TestStackKind(t *testing.T) {
+	cases := []struct{ in, want Kind }{
+		{Bool, I32}, {I8, I32}, {I16, I32}, {I32, I32},
+		{U8, U32}, {U16, U32}, {U32, U32},
+		{I64, I64}, {U64, U64}, {F32, F32}, {F64, F64}, {Vec, Vec}, {Ref, Ref},
+	}
+	for _, c := range cases {
+		if got := c.in.StackKind(); got != c.want {
+			t.Errorf("%s.StackKind() = %s, want %s", c.in, got, c.want)
+		}
+	}
+}
+
+func TestTypeString(t *testing.T) {
+	if got := Array(U8).String(); got != "u8[]" {
+		t.Errorf("Array(U8).String() = %q, want %q", got, "u8[]")
+	}
+	if got := Scalar(F64).String(); got != "f64" {
+		t.Errorf("Scalar(F64).String() = %q, want %q", got, "f64")
+	}
+	if !Array(I32).IsArray() || Scalar(I32).IsArray() {
+		t.Error("IsArray misclassifies types")
+	}
+}
+
+func TestReduceKinds(t *testing.T) {
+	if ReduceAddKind(U8) != U64 || ReduceAddKind(I16) != I64 {
+		t.Error("integer reductions must widen to 64-bit accumulators")
+	}
+	if ReduceAddKind(F32) != F32 || ReduceAddKind(F64) != F64 {
+		t.Error("float reductions keep their precision")
+	}
+	if ReduceMinMaxKind(U8) != U32 || ReduceMinMaxKind(F64) != F64 {
+		t.Error("min/max reductions produce the element stack kind")
+	}
+	if ReduceKind(VRedAdd, U8) != U64 || ReduceKind(VRedMax, U8) != U32 {
+		t.Error("ReduceKind dispatches on opcode")
+	}
+}
+
+func TestOpcodePredicates(t *testing.T) {
+	if !Br.IsBranch() || !BrTrue.IsBranch() || Ret.IsBranch() {
+		t.Error("IsBranch misclassifies opcodes")
+	}
+	if !BrTrue.IsConditionalBranch() || Br.IsConditionalBranch() {
+		t.Error("IsConditionalBranch misclassifies opcodes")
+	}
+	if !Ret.IsTerminator() || !Br.IsTerminator() || Add.IsTerminator() {
+		t.Error("IsTerminator misclassifies opcodes")
+	}
+	if !VLoad.IsVector() || !VRedMin.IsVector() || Add.IsVector() {
+		t.Error("IsVector misclassifies opcodes")
+	}
+	if !Add.IsBinaryArith() || Neg.IsBinaryArith() || CmpEq.IsBinaryArith() {
+		t.Error("IsBinaryArith misclassifies opcodes")
+	}
+	if !CmpLt.IsCompare() || Add.IsCompare() {
+		t.Error("IsCompare misclassifies opcodes")
+	}
+	if Opcode(200).Valid() || !Nop.Valid() {
+		t.Error("Valid misclassifies opcodes")
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Op: LdcI, Kind: I32, Int: 7}, "ldc.i.i32 7"},
+		{Instr{Op: LdcF, Kind: F64, Float: 1.5}, "ldc.f.f64 1.5"},
+		{Instr{Op: LdLoc, Int: 3}, "ldloc 3"},
+		{Instr{Op: Add, Kind: F64}, "add.f64"},
+		{Instr{Op: Br, Target: 12}, "br @12"},
+		{Instr{Op: Call, Str: "f"}, "call f"},
+		{Instr{Op: Ret}, "ret"},
+		{Instr{Op: VRedMax, Kind: U8}, "vredmax.u8"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Instr.String() = %q, want %q", got, c.want)
+		}
+	}
+}

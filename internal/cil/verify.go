@@ -1,0 +1,410 @@
+package cil
+
+import "fmt"
+
+// VerifyError describes a verification failure at a specific instruction.
+type VerifyError struct {
+	Module string
+	Method string
+	PC     int
+	Msg    string
+}
+
+func (e *VerifyError) Error() string {
+	if e.PC < 0 {
+		return fmt.Sprintf("cil: verify %s.%s: %s", e.Module, e.Method, e.Msg)
+	}
+	return fmt.Sprintf("cil: verify %s.%s @%d: %s", e.Module, e.Method, e.PC, e.Msg)
+}
+
+// Verify type-checks every method of the module and computes MaxStack for
+// each. Verification simulates the typed evaluation stack across all
+// control-flow paths (the CLI verification discipline): stack depths and
+// kinds must agree at every join point, branch targets must be in range,
+// variable indices valid, call signatures respected, and every path must end
+// in ret with an empty stack.
+func Verify(mod *Module) error {
+	for _, m := range mod.Methods {
+		if err := VerifyMethod(mod, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyMethod verifies a single method in the context of its module (the
+// module is needed to resolve call signatures) and sets m.MaxStack.
+func VerifyMethod(mod *Module, m *Method) error {
+	v := &verifier{mod: mod, m: m}
+	return v.run()
+}
+
+type verifier struct {
+	mod      *Module
+	m        *Method
+	states   [][]Type // entry stack per pc; nil = unvisited
+	worklist []int
+	maxStack int
+}
+
+func (v *verifier) errf(pc int, format string, args ...interface{}) error {
+	name := "?"
+	if v.mod != nil {
+		name = v.mod.Name
+	}
+	return &VerifyError{Module: name, Method: v.m.Name, PC: pc, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (v *verifier) run() error {
+	m := v.m
+	if len(m.Code) == 0 {
+		return v.errf(-1, "empty method body")
+	}
+	for _, t := range m.Params {
+		if t.Kind == Void || t.Kind == Vec {
+			return v.errf(-1, "invalid parameter type %s", t)
+		}
+	}
+	for _, t := range m.Locals {
+		if t.Kind == Void {
+			return v.errf(-1, "invalid local type %s", t)
+		}
+	}
+	v.states = make([][]Type, len(m.Code))
+	v.merge(0, []Type{})
+	for len(v.worklist) > 0 {
+		pc := v.worklist[len(v.worklist)-1]
+		v.worklist = v.worklist[:len(v.worklist)-1]
+		if err := v.step(pc); err != nil {
+			return err
+		}
+	}
+	m.MaxStack = v.maxStack
+	return nil
+}
+
+// merge records the entry stack for pc, scheduling it for simulation when it
+// has not been visited, and reports an inconsistency otherwise.
+func (v *verifier) merge(pc int, stack []Type) error {
+	if pc < 0 || pc >= len(v.m.Code) {
+		return v.errf(pc, "control flow falls outside the method body")
+	}
+	if prev := v.states[pc]; prev != nil {
+		if len(prev) != len(stack) {
+			return v.errf(pc, "stack depth mismatch at join: %d vs %d", len(prev), len(stack))
+		}
+		for i := range prev {
+			if prev[i] != stack[i] {
+				return v.errf(pc, "stack kind mismatch at join slot %d: %s vs %s", i, prev[i], stack[i])
+			}
+		}
+		return nil
+	}
+	// Store a non-nil slice even for an empty stack: nil means "unvisited"
+	// and an empty entry state must not be confused with it (otherwise a
+	// loop whose instructions all have empty entry stacks never converges).
+	state := make([]Type, len(stack))
+	copy(state, stack)
+	v.states[pc] = state
+	v.worklist = append(v.worklist, pc)
+	if len(stack) > v.maxStack {
+		v.maxStack = len(stack)
+	}
+	return nil
+}
+
+func (v *verifier) step(pc int) error {
+	m := v.m
+	in := m.Code[pc]
+	stack := append([]Type(nil), v.states[pc]...)
+
+	push := func(t Type) { stack = append(stack, t) }
+	pop := func() (Type, error) {
+		if len(stack) == 0 {
+			return Type{}, v.errf(pc, "%s: evaluation stack underflow", in.Op)
+		}
+		t := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		return t, nil
+	}
+	popKind := func(want Kind) error {
+		t, err := pop()
+		if err != nil {
+			return err
+		}
+		if t.Kind != want.StackKind() {
+			return v.errf(pc, "%s: expected %s on stack, found %s", in.Op, want.StackKind(), t)
+		}
+		return nil
+	}
+	popArray := func(elem Kind) error {
+		t, err := pop()
+		if err != nil {
+			return err
+		}
+		if !t.IsArray() || t.Elem != elem {
+			return v.errf(pc, "%s: expected %s[] on stack, found %s", in.Op, elem, t)
+		}
+		return nil
+	}
+
+	fallthru := true
+	branch := false
+
+	switch in.Op {
+	case Nop:
+	case LdcI:
+		if !in.Kind.IsInteger() && in.Kind != Bool {
+			return v.errf(pc, "ldc.i with non-integer kind %s", in.Kind)
+		}
+		push(Scalar(in.Kind.StackKind()))
+	case LdcF:
+		if !in.Kind.IsFloat() {
+			return v.errf(pc, "ldc.f with non-float kind %s", in.Kind)
+		}
+		push(Scalar(in.Kind))
+	case LdArg, StArg:
+		i := int(in.Int)
+		if i < 0 || i >= len(m.Params) {
+			return v.errf(pc, "%s: argument index %d out of range (%d params)", in.Op, i, len(m.Params))
+		}
+		t := m.Params[i]
+		if in.Op == LdArg {
+			push(normalize(t))
+		} else if err := popAssignable(v, pc, in, &stack, t); err != nil {
+			return err
+		}
+	case LdLoc, StLoc:
+		i := int(in.Int)
+		if i < 0 || i >= len(m.Locals) {
+			return v.errf(pc, "%s: local index %d out of range (%d locals)", in.Op, i, len(m.Locals))
+		}
+		t := m.Locals[i]
+		if in.Op == LdLoc {
+			push(normalize(t))
+		} else if err := popAssignable(v, pc, in, &stack, t); err != nil {
+			return err
+		}
+	case Dup:
+		if len(stack) == 0 {
+			return v.errf(pc, "dup on empty stack")
+		}
+		push(stack[len(stack)-1])
+	case Pop:
+		if _, err := pop(); err != nil {
+			return err
+		}
+	case Add, Sub, Mul, Div, Rem, And, Or, Xor, Shl, Shr:
+		if !in.Kind.IsNumeric() {
+			return v.errf(pc, "%s with non-numeric kind %s", in.Op, in.Kind)
+		}
+		if in.Kind.IsFloat() && (in.Op == And || in.Op == Or || in.Op == Xor || in.Op == Shl || in.Op == Shr || in.Op == Rem) {
+			return v.errf(pc, "%s not defined on floating-point kind %s", in.Op, in.Kind)
+		}
+		if err := popKind(in.Kind); err != nil {
+			return err
+		}
+		if err := popKind(in.Kind); err != nil {
+			return err
+		}
+		push(Scalar(in.Kind.StackKind()))
+	case Neg, Not:
+		if in.Op == Not && !in.Kind.IsInteger() {
+			return v.errf(pc, "not with non-integer kind %s", in.Kind)
+		}
+		if !in.Kind.IsNumeric() {
+			return v.errf(pc, "%s with non-numeric kind %s", in.Op, in.Kind)
+		}
+		if err := popKind(in.Kind); err != nil {
+			return err
+		}
+		push(Scalar(in.Kind.StackKind()))
+	case Conv:
+		if !in.Kind.IsNumeric() {
+			return v.errf(pc, "conv to non-numeric kind %s", in.Kind)
+		}
+		t, err := pop()
+		if err != nil {
+			return err
+		}
+		if !t.Kind.IsNumeric() {
+			return v.errf(pc, "conv from non-numeric %s", t)
+		}
+		push(Scalar(in.Kind.StackKind()))
+	case CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe:
+		if !in.Kind.IsNumeric() {
+			return v.errf(pc, "%s with non-numeric kind %s", in.Op, in.Kind)
+		}
+		if err := popKind(in.Kind); err != nil {
+			return err
+		}
+		if err := popKind(in.Kind); err != nil {
+			return err
+		}
+		push(Scalar(I32))
+	case Br:
+		fallthru = false
+		branch = true
+	case BrTrue, BrFalse:
+		if err := popKind(I32); err != nil {
+			return err
+		}
+		branch = true
+	case Call:
+		callee := v.mod.Method(in.Str)
+		if callee == nil {
+			return v.errf(pc, "call to unknown method %q", in.Str)
+		}
+		for i := len(callee.Params) - 1; i >= 0; i-- {
+			if err := popAssignable(v, pc, in, &stack, callee.Params[i]); err != nil {
+				return err
+			}
+		}
+		if callee.Ret.Kind != Void {
+			push(normalize(callee.Ret))
+		}
+	case Ret:
+		if m.Ret.Kind != Void {
+			if err := popAssignable(v, pc, in, &stack, m.Ret); err != nil {
+				return err
+			}
+		}
+		if len(stack) != 0 {
+			return v.errf(pc, "ret with %d values left on the stack", len(stack))
+		}
+		fallthru = false
+	case NewArr:
+		if !in.Kind.IsNumeric() || in.Kind == Bool {
+			return v.errf(pc, "newarr with element kind %s", in.Kind)
+		}
+		if err := popKind(I32); err != nil {
+			return err
+		}
+		push(Array(in.Kind))
+	case LdLen:
+		t, err := pop()
+		if err != nil {
+			return err
+		}
+		if !t.IsArray() {
+			return v.errf(pc, "ldlen on non-array %s", t)
+		}
+		push(Scalar(I32))
+	case LdElem:
+		if err := popKind(I32); err != nil {
+			return err
+		}
+		if err := popArray(in.Kind); err != nil {
+			return err
+		}
+		push(Scalar(in.Kind.StackKind()))
+	case StElem:
+		if err := popKind(in.Kind); err != nil {
+			return err
+		}
+		if err := popKind(I32); err != nil {
+			return err
+		}
+		if err := popArray(in.Kind); err != nil {
+			return err
+		}
+	case VLoad:
+		if in.Kind.Lanes() == 0 {
+			return v.errf(pc, "vload with element kind %s", in.Kind)
+		}
+		if err := popKind(I32); err != nil {
+			return err
+		}
+		if err := popArray(in.Kind); err != nil {
+			return err
+		}
+		push(Scalar(Vec))
+	case VStore:
+		if in.Kind.Lanes() == 0 {
+			return v.errf(pc, "vstore with element kind %s", in.Kind)
+		}
+		if err := popKind(Vec); err != nil {
+			return err
+		}
+		if err := popKind(I32); err != nil {
+			return err
+		}
+		if err := popArray(in.Kind); err != nil {
+			return err
+		}
+	case VAdd, VSub, VMul, VMax, VMin:
+		if in.Kind.Lanes() == 0 {
+			return v.errf(pc, "%s with element kind %s", in.Op, in.Kind)
+		}
+		if err := popKind(Vec); err != nil {
+			return err
+		}
+		if err := popKind(Vec); err != nil {
+			return err
+		}
+		push(Scalar(Vec))
+	case VSplat:
+		if in.Kind.Lanes() == 0 {
+			return v.errf(pc, "vsplat with element kind %s", in.Kind)
+		}
+		if err := popKind(in.Kind); err != nil {
+			return err
+		}
+		push(Scalar(Vec))
+	case VRedAdd, VRedMax, VRedMin:
+		if in.Kind.Lanes() == 0 {
+			return v.errf(pc, "%s with element kind %s", in.Op, in.Kind)
+		}
+		if err := popKind(Vec); err != nil {
+			return err
+		}
+		push(Scalar(ReduceKind(in.Op, in.Kind)))
+	default:
+		return v.errf(pc, "invalid opcode %d", in.Op)
+	}
+
+	if len(stack) > v.maxStack {
+		v.maxStack = len(stack)
+	}
+	if branch {
+		if in.Target < 0 || in.Target >= len(m.Code) {
+			return v.errf(pc, "branch target %d out of range", in.Target)
+		}
+		if err := v.merge(in.Target, stack); err != nil {
+			return err
+		}
+	}
+	if fallthru {
+		if pc+1 >= len(m.Code) {
+			return v.errf(pc, "control flow falls off the end of the method")
+		}
+		if err := v.merge(pc+1, stack); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// normalize converts a declared variable type to its evaluation-stack type.
+func normalize(t Type) Type {
+	if t.IsArray() {
+		return t
+	}
+	return Scalar(t.Kind.StackKind())
+}
+
+// popAssignable pops a stack value and checks it may be stored into a slot of
+// declared type want.
+func popAssignable(v *verifier, pc int, in Instr, stack *[]Type, want Type) error {
+	s := *stack
+	if len(s) == 0 {
+		return v.errf(pc, "%s: evaluation stack underflow", in.Op)
+	}
+	got := s[len(s)-1]
+	*stack = s[:len(s)-1]
+	wantN := normalize(want)
+	if got != wantN {
+		return v.errf(pc, "%s: cannot store %s into slot of type %s", in.Op, got, want)
+	}
+	return nil
+}

@@ -1,0 +1,226 @@
+package cil
+
+import (
+	"strings"
+	"testing"
+)
+
+func moduleWith(t *testing.T, methods ...*Method) *Module {
+	t.Helper()
+	mod := NewModule("test")
+	for _, m := range methods {
+		if err := mod.AddMethod(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return mod
+}
+
+func TestVerifyAcceptsStraightLine(t *testing.T) {
+	m := buildAddMethod(t)
+	mod := moduleWith(t, m)
+	if err := Verify(mod); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if m.MaxStack != 2 {
+		t.Errorf("MaxStack = %d, want 2", m.MaxStack)
+	}
+}
+
+func TestVerifyAcceptsLoop(t *testing.T) {
+	m := buildSumLoop(t)
+	mod := moduleWith(t, m)
+	if err := Verify(mod); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	if m.MaxStack < 3 {
+		t.Errorf("MaxStack = %d, want >= 3", m.MaxStack)
+	}
+}
+
+func TestVerifyAcceptsCalls(t *testing.T) {
+	callee := buildAddMethod(t)
+	b := NewMethodBuilder("caller", []Type{Scalar(I32)}, Scalar(I32))
+	b.LoadArg(0).ConstI(I32, 5).CallMethod("add").Return()
+	caller := b.MustFinish()
+	mod := moduleWith(t, callee, caller)
+	if err := Verify(mod); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestVerifyAcceptsVectorOps(t *testing.T) {
+	// vadd16(dst u8[], a u8[], b u8[]): one vector iteration at index 0.
+	b := NewMethodBuilder("vadd16", []Type{Array(U8), Array(U8), Array(U8)}, Scalar(Void))
+	b.LoadArg(0).ConstI(I32, 0)
+	b.LoadArg(1).ConstI(I32, 0).OpK(VLoad, U8)
+	b.LoadArg(2).ConstI(I32, 0).OpK(VLoad, U8)
+	b.OpK(VAdd, U8)
+	b.OpK(VStore, U8)
+	b.Return()
+	m := b.MustFinish()
+	mod := moduleWith(t, m)
+	if err := Verify(mod); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+
+	// Reduction result kinds are enforced.
+	b2 := NewMethodBuilder("redmax", []Type{Array(U8)}, Scalar(U32))
+	b2.LoadArg(0).ConstI(I32, 0).OpK(VLoad, U8).OpK(VRedMax, U8).Return()
+	mod2 := moduleWith(t, b2.MustFinish())
+	if err := Verify(mod2); err != nil {
+		t.Fatalf("Verify reduction: %v", err)
+	}
+}
+
+func TestVerifyAcceptsVectorLocalAccumulator(t *testing.T) {
+	b := NewMethodBuilder("acc", []Type{Array(F64)}, Scalar(F64))
+	acc := b.AddLocal(Scalar(Vec))
+	b.ConstF(F64, 0).OpK(VSplat, F64).StoreLocal(acc)
+	b.LoadLocal(acc).LoadArg(0).ConstI(I32, 0).OpK(VLoad, F64).OpK(VAdd, F64).StoreLocal(acc)
+	b.LoadLocal(acc).OpK(VRedAdd, F64).Return()
+	mod := moduleWith(t, b.MustFinish())
+	if err := Verify(mod); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func rejectCase(t *testing.T, name string, build func(b *MethodBuilder), params []Type, ret Type, wantSubstr string) {
+	t.Helper()
+	b := NewMethodBuilder(name, params, ret)
+	build(b)
+	m := b.MustFinish()
+	mod := moduleWith(t, m)
+	err := Verify(mod)
+	if err == nil {
+		t.Fatalf("%s: Verify accepted invalid method", name)
+	}
+	if !strings.Contains(err.Error(), wantSubstr) {
+		t.Errorf("%s: error %q does not mention %q", name, err, wantSubstr)
+	}
+	var verr *VerifyError
+	if !errorsAs(err, &verr) {
+		t.Errorf("%s: error is not a *VerifyError: %T", name, err)
+	}
+}
+
+// errorsAs is a tiny local stand-in for errors.As for the concrete type used
+// here (the verifier returns *VerifyError directly).
+func errorsAs(err error, target **VerifyError) bool {
+	v, ok := err.(*VerifyError)
+	if ok {
+		*target = v
+	}
+	return ok
+}
+
+func TestVerifyRejections(t *testing.T) {
+	rejectCase(t, "underflow", func(b *MethodBuilder) {
+		b.OpK(Add, I32).Op(Pop).Return()
+	}, nil, Scalar(Void), "underflow")
+
+	rejectCase(t, "falloff", func(b *MethodBuilder) {
+		b.ConstI(I32, 1).Op(Pop)
+	}, nil, Scalar(Void), "falls off the end")
+
+	rejectCase(t, "retval-left", func(b *MethodBuilder) {
+		b.ConstI(I32, 1).Return()
+	}, nil, Scalar(Void), "values left")
+
+	rejectCase(t, "bad-local", func(b *MethodBuilder) {
+		b.LoadLocal(0).Op(Pop).Return()
+	}, nil, Scalar(Void), "out of range")
+
+	rejectCase(t, "bad-arg", func(b *MethodBuilder) {
+		b.LoadArg(2).Op(Pop).Return()
+	}, []Type{Scalar(I32)}, Scalar(Void), "out of range")
+
+	rejectCase(t, "kind-mismatch", func(b *MethodBuilder) {
+		b.ConstI(I32, 1).ConstF(F64, 2).OpK(Add, I32).Op(Pop).Return()
+	}, nil, Scalar(Void), "expected i32")
+
+	rejectCase(t, "float-bitand", func(b *MethodBuilder) {
+		b.ConstF(F64, 1).ConstF(F64, 2).OpK(And, F64).Op(Pop).Return()
+	}, nil, Scalar(Void), "not defined on floating-point")
+
+	rejectCase(t, "store-mismatch", func(b *MethodBuilder) {
+		l := b.AddLocal(Scalar(F64))
+		b.ConstI(I32, 1).StoreLocal(l).Return()
+	}, nil, Scalar(Void), "cannot store")
+
+	rejectCase(t, "unknown-callee", func(b *MethodBuilder) {
+		b.CallMethod("nope").Return()
+	}, nil, Scalar(Void), "unknown method")
+
+	rejectCase(t, "array-elem-mismatch", func(b *MethodBuilder) {
+		b.LoadArg(0).ConstI(I32, 0).OpK(LdElem, F64).Op(Pop).Return()
+	}, []Type{Array(I32)}, Scalar(Void), "expected f64[]")
+
+	rejectCase(t, "vload-on-scalar", func(b *MethodBuilder) {
+		b.LoadArg(0).ConstI(I32, 0).OpK(VLoad, U8).Op(Pop).Return()
+	}, []Type{Scalar(I32)}, Scalar(Void), "expected u8[]")
+
+	rejectCase(t, "wrong-return-kind", func(b *MethodBuilder) {
+		b.ConstF(F64, 1).Return()
+	}, nil, Scalar(I32), "cannot store")
+
+	rejectCase(t, "vsplat-ref", func(b *MethodBuilder) {
+		b.LoadArg(0).OpK(VSplat, Ref).Op(Pop).Return()
+	}, []Type{Array(U8)}, Scalar(Void), "vsplat")
+}
+
+func TestVerifyRejectsStackJoinMismatch(t *testing.T) {
+	// if (arg0) push i32 else push f64; join -> mismatch.
+	b := NewMethodBuilder("join", []Type{Scalar(I32)}, Scalar(Void))
+	elseL := b.NewLabel()
+	joinL := b.NewLabel()
+	b.LoadArg(0).BranchFalse(elseL)
+	b.ConstI(I32, 1)
+	b.Branch(joinL)
+	b.Bind(elseL)
+	b.ConstF(F64, 1)
+	b.Bind(joinL)
+	b.Op(Pop)
+	b.Return()
+	mod := moduleWith(t, b.MustFinish())
+	if err := Verify(mod); err == nil {
+		t.Fatal("Verify accepted inconsistent stack at join point")
+	}
+}
+
+func TestVerifyRejectsEmptyBodyAndBadTargets(t *testing.T) {
+	mod := NewModule("test")
+	empty := NewMethod("empty", nil, Scalar(Void))
+	if err := mod.AddMethod(empty); err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(mod); err == nil {
+		t.Fatal("Verify accepted empty method body")
+	}
+
+	bad := NewMethod("bad", nil, Scalar(Void))
+	bad.Code = []Instr{{Op: Br, Target: 99}, {Op: Ret}}
+	mod2 := moduleWith(t, bad)
+	if err := Verify(mod2); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Fatalf("Verify should reject out-of-range targets, got %v", err)
+	}
+}
+
+func TestVerifyRejectsVecParam(t *testing.T) {
+	m := NewMethod("v", []Type{Scalar(Vec)}, Scalar(Void))
+	m.Code = []Instr{{Op: Ret}}
+	mod := moduleWith(t, m)
+	if err := Verify(mod); err == nil {
+		t.Fatal("Verify should reject vec-typed parameters")
+	}
+}
+
+func TestVerifyCallArgumentMismatch(t *testing.T) {
+	callee := buildAddMethod(t)
+	b := NewMethodBuilder("caller", nil, Scalar(Void))
+	b.ConstF(F64, 1).ConstI(I32, 2).CallMethod("add").Op(Pop).Return()
+	mod := moduleWith(t, callee, b.MustFinish())
+	if err := Verify(mod); err == nil {
+		t.Fatal("Verify should reject ill-typed call arguments")
+	}
+}

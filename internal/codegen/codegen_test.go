@@ -1,0 +1,338 @@
+package codegen
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/anno"
+	"repro/internal/cil"
+	"repro/internal/kernels"
+	"repro/internal/minic"
+	"repro/internal/opt"
+	"repro/internal/vm"
+)
+
+// compileSource runs the full offline pipeline (parse, check, fold,
+// vectorize, lower) on MiniC source text.
+func compileSource(t testing.TB, src string, opts Options) *cil.Module {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	chk, err := minic.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	opt.FoldConstants(chk)
+	opt.Vectorize(chk)
+	mod, err := Compile(chk, "test", opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return mod
+}
+
+func run(t testing.TB, mod *cil.Module, entry string, args []vm.Value) vm.Value {
+	t.Helper()
+	rt, err := vm.NewRuntime(mod)
+	if err != nil {
+		t.Fatalf("runtime: %v", err)
+	}
+	rt.StepLimit = 50_000_000
+	v, err := rt.Call(entry, args...)
+	if err != nil {
+		t.Fatalf("call %s: %v", entry, err)
+	}
+	return v
+}
+
+func TestCompileScalarPrograms(t *testing.T) {
+	cases := []struct {
+		name  string
+		src   string
+		entry string
+		args  []vm.Value
+		want  int64
+	}{
+		{
+			name:  "arith and calls",
+			src:   "i32 sq(i32 x) { return x * x; } i32 f(i32 a, i32 b) { return sq(a) + sq(b) - 1; }",
+			entry: "f", args: []vm.Value{vm.IntValue(cil.I32, 3), vm.IntValue(cil.I32, 4)}, want: 24,
+		},
+		{
+			name:  "recursion",
+			src:   "i32 fib(i32 n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }",
+			entry: "fib", args: []vm.Value{vm.IntValue(cil.I32, 15)}, want: 610,
+		},
+		{
+			name: "while and compound assign",
+			src: `i32 collatz(i32 n) {
+				i32 steps = 0;
+				while (n != 1) {
+					if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+					steps++;
+				}
+				return steps;
+			}`,
+			entry: "collatz", args: []vm.Value{vm.IntValue(cil.I32, 27)}, want: 111,
+		},
+		{
+			name:  "logical operators short circuit",
+			src:   "i32 f(i32 a, i32 b) { if (a != 0 && 10 / a > 1 || b == 7) return 1; return 0; }",
+			entry: "f", args: []vm.Value{vm.IntValue(cil.I32, 0), vm.IntValue(cil.I32, 7)}, want: 1,
+		},
+		{
+			name:  "logical result is strict boolean",
+			src:   "i32 f(i32 a, i32 b) { bool c = a && b; return (i32) c; }",
+			entry: "f", args: []vm.Value{vm.IntValue(cil.I32, 5), vm.IntValue(cil.I32, 9)}, want: 1,
+		},
+		{
+			name:  "intrinsics",
+			src:   "i32 f(i32 a, i32 b) { return max(a, b) * 100 + min(a, b) * 10 + abs(a - b); }",
+			entry: "f", args: []vm.Value{vm.IntValue(cil.I32, 3), vm.IntValue(cil.I32, 8)}, want: 835,
+		},
+		{
+			name:  "casts and narrowing",
+			src:   "i32 f(f64 x) { u8 b = (u8) x; i16 s = (i16) (x * 4.0); return b + s; }",
+			entry: "f", args: []vm.Value{vm.FloatValue(cil.F64, 300.5)}, want: 300%256 + 1202,
+		},
+		{
+			name: "new array and len",
+			src: `i32 f(i32 n) {
+				i32 a[] = new i32[n];
+				for (i32 i = 0; i < len(a); i++) { a[i] = i * i; }
+				i32 s = 0;
+				for (i32 i = 0; i < n; i++) { s += a[i]; }
+				return s;
+			}`,
+			entry: "f", args: []vm.Value{vm.IntValue(cil.I32, 10)}, want: 285,
+		},
+		{
+			name:  "unsigned comparison",
+			src:   "i32 f(u32 a, u32 b) { if (a < b) return 1; return 0; }",
+			entry: "f", args: []vm.Value{vm.IntValue(cil.U32, -1), vm.IntValue(cil.U32, 1)}, want: 0,
+		},
+		{
+			name:  "unary operators",
+			src:   "i32 f(i32 a) { return -a + ~a + (i32) !a; }",
+			entry: "f", args: []vm.Value{vm.IntValue(cil.I32, 5)}, want: -11,
+		},
+		{
+			name:  "shifts",
+			src:   "i64 f(i64 a, i32 s) { return (a << s) >> 2; }",
+			entry: "f", args: []vm.Value{vm.IntValue(cil.I64, 3), vm.IntValue(cil.I32, 8)}, want: 192,
+		},
+		{
+			name:  "for loop without plan",
+			src:   "i32 tri(i32 n) { i32 s = 0; for (i32 i = 1; i <= n; i++) { s += i; } return s; }",
+			entry: "tri", args: []vm.Value{vm.IntValue(cil.I32, 100)}, want: 5050,
+		},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			mod := compileSource(t, c.src, Options{})
+			got := run(t, mod, c.entry, c.args)
+			if got.Int() != c.want {
+				t.Errorf("%s = %d, want %d", c.entry, got.Int(), c.want)
+			}
+		})
+	}
+}
+
+func TestCompileFloatProgram(t *testing.T) {
+	src := `
+f64 horner(f64 x) {
+    f64 c0 = 1.0;
+    f64 c1 = 0.5;
+    f64 c2 = 0.25;
+    return (c2 * x + c1) * x + c0;
+}`
+	mod := compileSource(t, src, Options{})
+	got := run(t, mod, "horner", []vm.Value{vm.FloatValue(cil.F64, 2)})
+	if got.Float() != 3.0 {
+		t.Errorf("horner(2) = %v, want 3", got.Float())
+	}
+}
+
+func TestCompileVoidFallOff(t *testing.T) {
+	// A value-returning function whose last statement is a loop must still
+	// verify (the generator appends a default return).
+	src := "i32 f(i32 n) { for (i32 i = 0; i < n; i++) { if (i == 3) return i; } return n; }"
+	mod := compileSource(t, src, Options{})
+	if got := run(t, mod, "f", []vm.Value{vm.IntValue(cil.I32, 10)}); got.Int() != 3 {
+		t.Errorf("f(10) = %d, want 3", got.Int())
+	}
+}
+
+// hasVectorOps reports whether a method contains portable vector builtins.
+func hasVectorOps(m *cil.Method) bool {
+	for _, in := range m.Code {
+		if in.Op.IsVector() {
+			return true
+		}
+	}
+	return false
+}
+
+func TestVectorizedKernelsMatchScalarAndReference(t *testing.T) {
+	sizes := []int{0, 1, 5, 16, 17, 64, 100, 1023}
+	for _, k := range kernels.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			scalarMod := compileSource(t, k.Source, Options{DisableVectorPlans: true})
+			vectorMod := compileSource(t, k.Source, Options{})
+			for _, n := range sizes {
+				base, err := kernels.NewInputs(k.Name, n, int64(n)*7+1)
+				if err != nil {
+					t.Fatal(err)
+				}
+				refIn := base.Clone()
+				wantScalar, err := kernels.Reference(k.Name, refIn)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				scalarIn := base.Clone()
+				vectorIn := base.Clone()
+				sres := run(t, scalarMod, k.Entry, scalarIn.Args)
+				vres := run(t, vectorMod, k.Entry, vectorIn.Args)
+
+				if k.Reduction {
+					var sval, vval float64
+					if k.Elem.IsFloat() || k.Name == "dotprod_fp" {
+						sval, vval = sres.Float(), vres.Float()
+					} else {
+						sval, vval = float64(sres.Int()), float64(vres.Int())
+					}
+					if sval != wantScalar {
+						t.Errorf("n=%d: scalar result %v != reference %v", n, sval, wantScalar)
+					}
+					if math.Abs(vval-sval) > 1e-9*math.Abs(sval) {
+						t.Errorf("n=%d: vectorized result %v != scalar result %v", n, vval, sval)
+					}
+				} else {
+					// Compare output arrays element by element against both
+					// the scalar run and the reference.
+					for ai := range refIn.Arrays {
+						ref, sa, va := refIn.Arrays[ai], scalarIn.Arrays[ai], vectorIn.Arrays[ai]
+						for i := 0; i < ref.Len(); i++ {
+							if sa.Elem.IsFloat() {
+								if sa.Float(i) != ref.Float(i) || va.Float(i) != ref.Float(i) {
+									t.Fatalf("n=%d: array %d element %d mismatch: ref %v scalar %v vector %v",
+										n, ai, i, ref.Float(i), sa.Float(i), va.Float(i))
+								}
+							} else if sa.Int(i) != ref.Int(i) || va.Int(i) != ref.Int(i) {
+								t.Fatalf("n=%d: array %d element %d mismatch: ref %v scalar %v vector %v",
+									n, ai, i, ref.Int(i), sa.Int(i), va.Int(i))
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestTable1KernelsAreVectorized(t *testing.T) {
+	for _, k := range kernels.Table1() {
+		vectorMod := compileSource(t, k.Source, Options{})
+		scalarMod := compileSource(t, k.Source, Options{DisableVectorPlans: true})
+		vm1 := vectorMod.Method(k.Entry)
+		sm := scalarMod.Method(k.Entry)
+		if !hasVectorOps(vm1) {
+			t.Errorf("%s: vectorized module contains no vector builtins", k.Name)
+		}
+		if hasVectorOps(sm) {
+			t.Errorf("%s: scalar module contains vector builtins", k.Name)
+		}
+		info := anno.VectorInfoOf(vm1)
+		if info == nil || len(info.Loops) != 1 {
+			t.Errorf("%s: missing or wrong vectorization annotation: %+v", k.Name, info)
+			continue
+		}
+		if info.Loops[0].Elem != k.Elem || info.Loops[0].Lanes != k.Elem.Lanes() || !info.Loops[0].NoAliasProven {
+			t.Errorf("%s: annotation content wrong: %+v", k.Name, info.Loops[0])
+		}
+		req := anno.HWReqOf(vm1)
+		if req == nil || !req.UsesVector {
+			t.Errorf("%s: hardware requirement annotation missing UsesVector", k.Name)
+		}
+		if k.Elem.IsFloat() && !req.UsesFloat {
+			t.Errorf("%s: hardware requirement annotation missing UsesFloat", k.Name)
+		}
+	}
+}
+
+func TestNonVectorizableKernelsStayScalar(t *testing.T) {
+	for _, name := range []string{"fir", "checksum", "dotprod_fp"} {
+		k := kernels.MustGet(name)
+		mod := compileSource(t, k.Source, Options{})
+		if hasVectorOps(mod.Method(k.Entry)) {
+			t.Errorf("%s: must not be vectorized (dependences / FP reassociation / control flow)", name)
+		}
+	}
+}
+
+func TestDisableAnnotationsOption(t *testing.T) {
+	k := kernels.MustGet("saxpy_fp")
+	mod := compileSource(t, k.Source, Options{DisableAnnotations: true})
+	m := mod.Method(k.Entry)
+	if len(m.Annotations) != 0 {
+		t.Errorf("annotations present despite DisableAnnotations: %v", m.AnnotationKeys())
+	}
+	if !hasVectorOps(m) {
+		t.Error("vector code should still be emitted when only annotations are disabled")
+	}
+}
+
+func TestCompileRejectsBadStatements(t *testing.T) {
+	// Directly exercise generator error paths with a malformed AST (these
+	// cannot be produced by the front end, but the generator must not
+	// panic).
+	g := &generator{}
+	if err := g.genStmt(nil); err == nil {
+		t.Error("genStmt(nil) should fail")
+	}
+	if err := g.genExpr(nil); err == nil {
+		t.Error("genExpr(nil) should fail")
+	}
+	if err := g.genLoadSym(nil); err == nil {
+		t.Error("genLoadSym(nil) should fail")
+	}
+	if err := g.genStoreSym(nil); err == nil {
+		t.Error("genStoreSym(nil) should fail")
+	}
+}
+
+func TestVectorizedSumProperty(t *testing.T) {
+	k := kernels.MustGet("sum_u8")
+	scalarMod := compileSource(t, k.Source, Options{DisableVectorPlans: true})
+	vectorMod := compileSource(t, k.Source, Options{})
+	f := func(seed int64, nRaw uint16) bool {
+		n := int(nRaw % 300)
+		in, err := kernels.NewInputs(k.Name, n, seed)
+		if err != nil {
+			return false
+		}
+		s := run(t, scalarMod, k.Entry, in.Clone().Args)
+		v := run(t, vectorMod, k.Entry, in.Clone().Args)
+		return s.Int() == v.Int()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeneratedCodeDisassembles(t *testing.T) {
+	k := kernels.MustGet("max_u8")
+	mod := compileSource(t, k.Source, Options{})
+	dis := cil.Disassemble(mod)
+	for _, want := range []string{"vload.u8", "vredmax.u8", ".annotation split.vec", ".annotation split.hwreq"} {
+		if !strings.Contains(dis, want) {
+			t.Errorf("disassembly missing %q", want)
+		}
+	}
+}

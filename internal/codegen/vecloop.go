@@ -1,0 +1,246 @@
+package codegen
+
+import (
+	"fmt"
+
+	"repro/internal/anno"
+	"repro/internal/cil"
+	"repro/internal/minic"
+	"repro/internal/opt"
+)
+
+// genVectorLoop lowers a for loop that the offline vectorizer planned for
+// vectorization. The emitted shape is the classic strip-mined form:
+//
+//	<init>
+//	while (i + LANES <= bound) {            // vector main loop
+//	        <portable vector builtins processing LANES elements>
+//	        i += LANES
+//	}
+//	while (i < bound) {                      // scalar epilogue
+//	        <original scalar body>
+//	        <original post statement>
+//	}
+//
+// The builtins are target independent; the JIT later maps them to SIMD
+// instructions or scalarizes them, which is the online half of the split.
+func (g *generator) genVectorLoop(loop *minic.ForStmt, plan *opt.VectorPlan) error {
+	g.plans = append(g.plans, plan)
+
+	if loop.Init != nil {
+		if err := g.genStmt(loop.Init); err != nil {
+			return err
+		}
+	}
+
+	vhead := g.b.NewLabel()
+	vexit := g.b.NewLabel()
+	shead := g.b.NewLabel()
+	sexit := g.b.NewLabel()
+
+	// Hoist the vector trip-count limit out of the loop: the main loop runs
+	// while i < bound - (LANES-1), so the per-iteration test is a single
+	// compare-and-branch just like in the scalar loop. The limit gets its
+	// own local (not a shared scratch temp) because the loop body may use
+	// the scratch temps for min/max lowering.
+	vlimit := g.b.AddLocal(cil.Scalar(cil.I32))
+	if err := g.genExpr(plan.Bound); err != nil {
+		return err
+	}
+	g.b.ConstI(cil.I32, int64(plan.Lanes-1))
+	g.b.OpK(cil.Sub, cil.I32)
+	g.b.StoreLocal(vlimit)
+
+	// Vector main loop: while (i < vlimit)
+	g.b.Bind(vhead)
+	if err := g.genLoadSym(plan.Index); err != nil {
+		return err
+	}
+	g.b.LoadLocal(vlimit)
+	g.b.OpK(cil.CmpLt, cil.I32)
+	g.b.BranchFalse(vexit)
+
+	switch plan.Pattern {
+	case anno.PatternMap:
+		if err := g.genVectorMapBody(plan); err != nil {
+			return err
+		}
+	case anno.PatternReduceAdd, anno.PatternReduceMax, anno.PatternReduceMin:
+		if err := g.genVectorReduceBody(plan); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("codegen: unknown vector pattern %v", plan.Pattern)
+	}
+
+	// i += LANES
+	if err := g.genLoadSym(plan.Index); err != nil {
+		return err
+	}
+	g.b.ConstI(cil.I32, int64(plan.Lanes))
+	g.b.OpK(cil.Add, cil.I32)
+	if err := g.genStoreSym(plan.Index); err != nil {
+		return err
+	}
+	g.b.Branch(vhead)
+	g.b.Bind(vexit)
+
+	// Scalar epilogue reusing the original body and post statement.
+	g.b.Bind(shead)
+	if err := g.genLoadSym(plan.Index); err != nil {
+		return err
+	}
+	if err := g.genExpr(plan.Bound); err != nil {
+		return err
+	}
+	g.b.OpK(cil.CmpLt, cil.I32)
+	g.b.BranchFalse(sexit)
+	if err := g.genBlock(loop.Body); err != nil {
+		return err
+	}
+	if loop.Post != nil {
+		if err := g.genStmt(loop.Post); err != nil {
+			return err
+		}
+	}
+	g.b.Branch(shead)
+	g.b.Bind(sexit)
+	return nil
+}
+
+// genVectorMapBody emits one vector iteration of `dst[i] = rhs`.
+func (g *generator) genVectorMapBody(plan *opt.VectorPlan) error {
+	dst := plan.Store.LHS.(*minic.IndexExpr)
+	if err := g.genExpr(dst.Arr); err != nil {
+		return err
+	}
+	if err := g.genLoadSym(plan.Index); err != nil {
+		return err
+	}
+	if err := g.genVectorExpr(plan.Store.RHS, plan); err != nil {
+		return err
+	}
+	g.b.OpK(cil.VStore, plan.Elem)
+	return nil
+}
+
+// genVectorExpr emits code computing the element-wise expression as a
+// portable vector value.
+func (g *generator) genVectorExpr(e minic.Expr, plan *opt.VectorPlan) error {
+	// Loop-invariant subexpressions are evaluated as scalars and splatted.
+	if opt.IsLoopInvariantScalar(e, plan.Index) {
+		if err := g.genExpr(e); err != nil {
+			return err
+		}
+		g.b.OpK(cil.VSplat, plan.Elem)
+		return nil
+	}
+	switch ex := e.(type) {
+	case *minic.IndexExpr:
+		if !opt.IndexIsInduction(ex.Index, plan.Index) {
+			return fmt.Errorf("codegen: vector plan references a non-induction subscript")
+		}
+		if err := g.genExpr(ex.Arr); err != nil {
+			return err
+		}
+		if err := g.genLoadSym(plan.Index); err != nil {
+			return err
+		}
+		g.b.OpK(cil.VLoad, plan.Elem)
+		return nil
+	case *minic.BinaryExpr:
+		var op cil.Opcode
+		switch ex.Op {
+		case minic.OpAdd:
+			op = cil.VAdd
+		case minic.OpSub:
+			op = cil.VSub
+		case minic.OpMul:
+			op = cil.VMul
+		default:
+			return fmt.Errorf("codegen: operator %v is not vectorizable", ex.Op)
+		}
+		if err := g.genVectorExpr(ex.L, plan); err != nil {
+			return err
+		}
+		if err := g.genVectorExpr(ex.R, plan); err != nil {
+			return err
+		}
+		g.b.OpK(op, plan.Elem)
+		return nil
+	case *minic.CallExpr:
+		var op cil.Opcode
+		switch ex.Name {
+		case minic.IntrinsicMin:
+			op = cil.VMin
+		case minic.IntrinsicMax:
+			op = cil.VMax
+		default:
+			return fmt.Errorf("codegen: call to %q is not vectorizable", ex.Name)
+		}
+		if err := g.genVectorExpr(ex.Args[0], plan); err != nil {
+			return err
+		}
+		if err := g.genVectorExpr(ex.Args[1], plan); err != nil {
+			return err
+		}
+		g.b.OpK(op, plan.Elem)
+		return nil
+	case *minic.CastExpr:
+		// Casts inside a vectorizable map expression can only be
+		// representation-neutral (the vectorizer requires every node to
+		// already have the element kind).
+		return g.genVectorExpr(ex.X, plan)
+	}
+	return fmt.Errorf("codegen: expression %T is not vectorizable", e)
+}
+
+// genVectorReduceBody emits one vector iteration of a reduction:
+//
+//	acc = acc OP hreduce(vload(a, i))
+//
+// where the horizontal reduction produces a scalar partial result per vector
+// so that integer reductions remain bit-exact with the scalar loop.
+func (g *generator) genVectorReduceBody(plan *opt.VectorPlan) error {
+	accKind := plan.Acc.Type.Kind.StackKind()
+
+	if err := g.genLoadSym(plan.Acc); err != nil {
+		return err
+	}
+
+	// Load the vector and reduce it horizontally.
+	load := plan.ReduceArg.(*minic.IndexExpr)
+	if err := g.genExpr(load.Arr); err != nil {
+		return err
+	}
+	if err := g.genLoadSym(plan.Index); err != nil {
+		return err
+	}
+	g.b.OpK(cil.VLoad, plan.Elem)
+
+	var redOp cil.Opcode
+	switch plan.Pattern {
+	case anno.PatternReduceAdd:
+		redOp = cil.VRedAdd
+	case anno.PatternReduceMax:
+		redOp = cil.VRedMax
+	case anno.PatternReduceMin:
+		redOp = cil.VRedMin
+	}
+	g.b.OpK(redOp, plan.Elem)
+	partialKind := cil.ReduceKind(redOp, plan.Elem)
+	if partialKind.StackKind() != accKind {
+		g.b.OpK(cil.Conv, accKind)
+	}
+
+	// Combine the partial result into the accumulator.
+	switch plan.Pattern {
+	case anno.PatternReduceAdd:
+		g.b.OpK(cil.Add, accKind)
+	case anno.PatternReduceMax:
+		g.emitMinMaxFromStack(accKind, true)
+	case anno.PatternReduceMin:
+		g.emitMinMaxFromStack(accKind, false)
+	}
+	return g.genStoreSym(plan.Acc)
+}

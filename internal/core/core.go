@@ -1,0 +1,267 @@
+// Package core assembles the paper's proposal into one API: processor
+// virtualization (compile once to portable bytecode, deploy the byte stream)
+// combined with split compilation (expensive offline analyses whose results
+// travel as annotations, cheap target-specific online steps).
+//
+// The package exposes the two halves explicitly:
+//
+//   - CompileOffline runs the developer-side toolchain: MiniC front end,
+//     constant folding, auto-vectorization, lowering to bytecode, split
+//     register allocation analysis, annotation attachment, and binary
+//     encoding. Its output is the deployable byte stream.
+//
+//   - Deploy runs the device-side toolchain for one simulated target: decode,
+//     verify, JIT-compile (mapping or scalarizing the portable vector
+//     builtins, consuming the register allocation annotation) and instantiate
+//     a cycle-approximate machine ready to Run entry points.
+//
+// Everything the experiments measure (cycles, spills, compile effort,
+// annotation bytes, code sizes) is reachable from these two results.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/anno"
+	"repro/internal/cil"
+	"repro/internal/codegen"
+	"repro/internal/jit"
+	"repro/internal/kernels"
+	"repro/internal/minic"
+	"repro/internal/nisa"
+	"repro/internal/opt"
+	"repro/internal/regalloc"
+	"repro/internal/sim"
+	"repro/internal/target"
+	"repro/internal/vm"
+)
+
+// OfflineOptions configures the developer-side (offline) compiler.
+type OfflineOptions struct {
+	// ModuleName names the produced module; defaults to "app".
+	ModuleName string
+	// DisableVectorize skips the auto-vectorizer (produces the scalar
+	// bytecode baseline of Table 1).
+	DisableVectorize bool
+	// DisableRegAllocAnnotations skips the offline register allocation
+	// analysis.
+	DisableRegAllocAnnotations bool
+	// DisableAnnotations strips every annotation from the produced module
+	// while keeping the code identical (ablation for Figure 1).
+	DisableAnnotations bool
+	// DisableConstFold skips constant folding.
+	DisableConstFold bool
+}
+
+// OfflineResult is the outcome of the offline compilation step.
+type OfflineResult struct {
+	Module  *cil.Module
+	Encoded []byte
+
+	VectorizeResults []opt.VectorizeResult
+	RegAllocAnalyses []*regalloc.Analysis
+
+	// FoldedConstants counts constant-folding rewrites.
+	FoldedConstants int
+	// AnnotationBytes is the total size of all annotations in the module.
+	AnnotationBytes int
+	// OfflineSteps approximates the work spent in offline analyses
+	// (vectorization legality tests, liveness, weights); it feeds the
+	// Figure 1 comparison of offline versus online effort.
+	OfflineSteps int64
+}
+
+// CompileOffline compiles MiniC source text into an encoded, annotated,
+// deployable module.
+func CompileOffline(source string, opts OfflineOptions) (*OfflineResult, error) {
+	name := opts.ModuleName
+	if name == "" {
+		name = "app"
+	}
+	prog, err := minic.Parse(source)
+	if err != nil {
+		return nil, err
+	}
+	chk, err := minic.Check(prog)
+	if err != nil {
+		return nil, err
+	}
+	res := &OfflineResult{}
+	if !opts.DisableConstFold {
+		res.FoldedConstants = opt.FoldConstants(chk)
+	}
+	if !opts.DisableVectorize {
+		res.VectorizeResults = opt.Vectorize(chk)
+		for _, r := range res.VectorizeResults {
+			res.OfflineSteps += int64(20 * len(r.Plans))    // dependence + shape analysis per loop
+			res.OfflineSteps += int64(5 * (r.Rejected + 1)) // rejected candidates still cost analysis
+		}
+	}
+	mod, err := codegen.Compile(chk, name, codegen.Options{
+		DisableVectorPlans: opts.DisableVectorize,
+		DisableAnnotations: opts.DisableAnnotations,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !opts.DisableRegAllocAnnotations && !opts.DisableAnnotations {
+		res.RegAllocAnalyses = regalloc.AnnotateModule(mod)
+		for _, a := range res.RegAllocAnalyses {
+			res.OfflineSteps += a.Steps
+		}
+	}
+	for _, m := range mod.Methods {
+		res.OfflineSteps += int64(len(m.Code))
+	}
+	res.Module = mod
+	res.Encoded = cil.Encode(mod)
+	res.AnnotationBytes = anno.TotalAnnotationBytes(mod)
+	return res, nil
+}
+
+// CompileKernel compiles one named benchmark kernel (see internal/kernels).
+func CompileKernel(name string, opts OfflineOptions) (*OfflineResult, kernels.Kernel, error) {
+	k, err := kernels.Get(name)
+	if err != nil {
+		return nil, kernels.Kernel{}, err
+	}
+	if opts.ModuleName == "" {
+		opts.ModuleName = name
+	}
+	res, err := CompileOffline(k.Source, opts)
+	return res, k, err
+}
+
+// Deployment is a module deployed on one simulated target: the decoded and
+// verified module, the JIT-compiled native image and the machine executing
+// it.
+type Deployment struct {
+	Target  *target.Desc
+	Module  *cil.Module
+	Program *nisa.Program
+	Machine *sim.Machine
+
+	// JITSteps approximates the work the online compiler performed; with
+	// split compilation this stays small even when the generated code is
+	// aggressive.
+	JITSteps int64
+}
+
+// Deploy decodes, verifies and JIT-compiles an encoded module for a target.
+// This is everything that happens on the device side of the distribution
+// boundary.
+func Deploy(encoded []byte, tgt *target.Desc, jopts jit.Options) (*Deployment, error) {
+	mod, err := cil.Decode(encoded)
+	if err != nil {
+		return nil, err
+	}
+	if err := cil.Verify(mod); err != nil {
+		return nil, err
+	}
+	prog, err := jit.New(tgt, jopts).CompileModule(mod)
+	if err != nil {
+		return nil, err
+	}
+	d := &Deployment{
+		Target:  tgt,
+		Module:  mod,
+		Program: prog,
+		Machine: sim.New(tgt, prog),
+	}
+	for _, f := range prog.Funcs {
+		d.JITSteps += f.Stats.CompileSteps
+	}
+	return d, nil
+}
+
+// Run executes an entry point on the deployment's machine.
+func (d *Deployment) Run(entry string, args ...sim.Value) (sim.Value, error) {
+	return d.Machine.Call(entry, args...)
+}
+
+// Cycles returns the cycles consumed so far by the deployment's machine.
+func (d *Deployment) Cycles() int64 { return d.Machine.Stats.Cycles }
+
+// ResetCycles clears the machine's statistics (keeping its memory image).
+func (d *Deployment) ResetCycles() { d.Machine.ResetStats() }
+
+// SpillSummary sums the static spill statistics over all compiled functions.
+func (d *Deployment) SpillSummary() (slots, loads, stores int) {
+	for _, f := range d.Program.Funcs {
+		slots += f.Stats.SpillSlots
+		loads += f.Stats.SpillLoads
+		stores += f.Stats.SpillStores
+	}
+	return
+}
+
+// SpillWeight sums the estimated dynamic spill accesses (loop-depth weighted
+// use counts of spilled variables) over all compiled functions.
+func (d *Deployment) SpillWeight() int64 {
+	var total int64
+	for _, f := range d.Program.Funcs {
+		total += f.Stats.SpillWeight
+	}
+	return total
+}
+
+// NativeCodeBytes estimates the native code size of the deployment.
+func (d *Deployment) NativeCodeBytes() int {
+	return d.Program.CodeBytes(d.Target.BytesPerInstr)
+}
+
+// KernelRun is the result of running a kernel once on a deployment.
+type KernelRun struct {
+	Result sim.Value
+	Cycles int64
+	// Outputs are the kernel's array arguments copied back out of simulated
+	// memory after the run (in the order of kernels.Inputs.Arrays).
+	Outputs []*vm.Array
+}
+
+// RunKernel marshals kernel inputs into the deployment's memory, runs the
+// kernel entry point once and returns the result, the cycles it took and the
+// output arrays. The inputs are not modified (they are cloned first).
+func (d *Deployment) RunKernel(k kernels.Kernel, in *kernels.Inputs) (*KernelRun, error) {
+	work := in.Clone()
+	args := make([]sim.Value, len(work.Args))
+	addrs := make([]sim.Addr, 0, len(work.Arrays))
+	arrIdx := 0
+	for i, a := range work.Args {
+		switch {
+		case a.Kind == cil.Ref:
+			addr := d.Machine.CopyInArray(work.Arrays[arrIdx])
+			addrs = append(addrs, addr)
+			arrIdx++
+			args[i] = sim.IntArg(int64(addr))
+		case a.Kind.IsFloat():
+			args[i] = sim.FloatArg(a.Float())
+		default:
+			args[i] = sim.IntArg(a.Int())
+		}
+	}
+	before := d.Machine.Stats.Cycles
+	res, err := d.Machine.Call(k.Entry, args...)
+	if err != nil {
+		return nil, fmt.Errorf("core: running %s on %s: %w", k.Entry, d.Target.Name, err)
+	}
+	run := &KernelRun{Result: res, Cycles: d.Machine.Stats.Cycles - before}
+	for i, addr := range addrs {
+		out := vm.NewArray(work.Arrays[i].Elem, work.Arrays[i].Len())
+		if err := d.Machine.CopyOutArray(addr, out); err != nil {
+			return nil, err
+		}
+		run.Outputs = append(run.Outputs, out)
+	}
+	return run, nil
+}
+
+// Interpret runs an entry point of the offline result on the reference
+// interpreter (the managed runtime), for functional cross-checking.
+func (r *OfflineResult) Interpret(entry string, args ...vm.Value) (vm.Value, error) {
+	rt, err := vm.NewRuntime(r.Module.Clone())
+	if err != nil {
+		return vm.Value{}, err
+	}
+	return rt.Call(entry, args...)
+}

@@ -1,0 +1,215 @@
+// Package hetero models the whole-system scenario of Section 3 of the paper:
+// a heterogeneous multicore (a Cell-like chip with a general-purpose host
+// core and vector accelerators) running a single portable module. Because
+// final code generation happens at deployment time, the same bytecode is
+// JIT-compiled once per core type, and a small runtime maps each call onto a
+// core using the hardware-requirement annotations produced by the offline
+// compiler.
+package hetero
+
+import (
+	"fmt"
+
+	"repro/internal/anno"
+	"repro/internal/cil"
+	"repro/internal/core"
+	"repro/internal/jit"
+	"repro/internal/sim"
+	"repro/internal/target"
+	"repro/internal/vm"
+)
+
+// Core is one processing element of the system.
+type Core struct {
+	Name string
+	Desc *target.Desc
+	// DispatchCycles is the fixed cost of shipping a call (arguments and
+	// results) to this core; the host core has zero dispatch cost.
+	DispatchCycles int64
+}
+
+// System describes a heterogeneous multicore.
+type System struct {
+	Name  string
+	Host  Core
+	Accel []Core
+}
+
+// CellLike returns a Cell-BE-like system: a PowerPC-like host core plus two
+// SPU-like vector accelerators reachable over an on-chip interconnect.
+func CellLike() *System {
+	return &System{
+		Name: "cell-like",
+		Host: Core{Name: "ppe", Desc: target.MustLookup(target.PPC)},
+		Accel: []Core{
+			{Name: "spu0", Desc: target.MustLookup(target.SPU), DispatchCycles: 800},
+			{Name: "spu1", Desc: target.MustLookup(target.SPU), DispatchCycles: 800},
+		},
+	}
+}
+
+// EmbeddedSoC returns a small set-top-box-like system: an MCU host and one
+// SPU-like DSP/accelerator.
+func EmbeddedSoC() *System {
+	return &System{
+		Name: "embedded-soc",
+		Host: Core{Name: "mcu", Desc: target.MustLookup(target.MCU)},
+		Accel: []Core{
+			{Name: "dsp0", Desc: target.MustLookup(target.SPU), DispatchCycles: 1500},
+		},
+	}
+}
+
+// Policy selects how calls are mapped onto cores.
+type Policy int
+
+// Placement policies.
+const (
+	// HostOnly runs everything on the host core (the state of the art the
+	// paper criticizes: accelerators closed to third-party code).
+	HostOnly Policy = iota
+	// Annotated uses the offline hardware-requirement annotations: methods
+	// that benefit from vector/float hardware and are heavy enough to
+	// amortize the dispatch cost run on an accelerator.
+	Annotated
+)
+
+func (p Policy) String() string {
+	if p == HostOnly {
+		return "host-only"
+	}
+	return "annotation-guided"
+}
+
+// Arg is one argument of a heterogeneous call: either a scalar or a managed
+// array (marshalled into the chosen core's memory).
+type Arg struct {
+	Scalar sim.Value
+	Kind   cil.Kind
+	Array  *vm.Array
+}
+
+// ScalarArg wraps a scalar value.
+func ScalarArg(k cil.Kind, v sim.Value) Arg { return Arg{Kind: k, Scalar: v} }
+
+// ArrayArg wraps an array argument.
+func ArrayArg(a *vm.Array) Arg { return Arg{Kind: cil.Ref, Array: a} }
+
+// CallResult describes where a call ran and what it cost.
+type CallResult struct {
+	CoreName  string
+	Offloaded bool
+	Result    sim.Value
+	// Cycles is the end-to-end cost charged to the application: execution
+	// cycles on the chosen core plus dispatch overhead when offloaded,
+	// normalized to host-clock cycles so different policies are comparable.
+	Cycles int64
+	// Outputs holds the array arguments copied back after the call, in
+	// argument order.
+	Outputs []*vm.Array
+}
+
+// Runtime is the deployment of one module on a heterogeneous system.
+type Runtime struct {
+	Sys    *System
+	Policy Policy
+
+	deployments map[string]*core.Deployment
+	// WorkThreshold is the minimum estimated work (from the annotation)
+	// before offloading is considered worthwhile.
+	WorkThreshold int64
+}
+
+// NewRuntime decodes and JIT-compiles the module once per distinct core type
+// of the system. This is processor virtualization at the system level: one
+// byte stream, one native image per kind of core.
+func NewRuntime(sys *System, encoded []byte, policy Policy) (*Runtime, error) {
+	rt := &Runtime{Sys: sys, Policy: policy, deployments: make(map[string]*core.Deployment), WorkThreshold: 16}
+	cores := append([]Core{sys.Host}, sys.Accel...)
+	for _, c := range cores {
+		if _, done := rt.deployments[c.Name]; done {
+			continue
+		}
+		d, err := core.Deploy(encoded, c.Desc, jit.Options{RegAlloc: jit.RegAllocSplit})
+		if err != nil {
+			return nil, fmt.Errorf("hetero: deploying on %s: %w", c.Name, err)
+		}
+		rt.deployments[c.Name] = d
+	}
+	return rt, nil
+}
+
+// Deployment returns the deployment for a named core (useful in tests).
+func (rt *Runtime) Deployment(coreName string) *core.Deployment { return rt.deployments[coreName] }
+
+// place decides which core a method runs on.
+func (rt *Runtime) place(method string) Core {
+	if rt.Policy == HostOnly || len(rt.Sys.Accel) == 0 {
+		return rt.Sys.Host
+	}
+	hostDep := rt.deployments[rt.Sys.Host.Name]
+	m := hostDep.Module.Method(method)
+	if m == nil {
+		return rt.Sys.Host
+	}
+	req := anno.HWReqOf(m)
+	if req == nil {
+		return rt.Sys.Host
+	}
+	if (req.UsesVector || req.UsesFloat) && req.EstimatedWork >= rt.WorkThreshold {
+		// Round-robin over accelerators would need call history; the first
+		// accelerator is enough for the single-threaded experiments.
+		return rt.Sys.Accel[0]
+	}
+	return rt.Sys.Host
+}
+
+// Call runs a method under the runtime's placement policy.
+func (rt *Runtime) Call(method string, args ...Arg) (*CallResult, error) {
+	c := rt.place(method)
+	dep := rt.deployments[c.Name]
+
+	simArgs := make([]sim.Value, len(args))
+	addrs := make([]sim.Addr, len(args))
+	for i, a := range args {
+		if a.Kind == cil.Ref {
+			addr := dep.Machine.CopyInArray(a.Array)
+			addrs[i] = addr
+			simArgs[i] = sim.IntArg(int64(addr))
+			continue
+		}
+		addrs[i] = -1
+		simArgs[i] = a.Scalar
+	}
+
+	before := dep.Machine.Stats.Cycles
+	res, err := dep.Run(method, simArgs...)
+	if err != nil {
+		return nil, err
+	}
+	elapsed := dep.Machine.Stats.Cycles - before
+
+	out := &CallResult{
+		CoreName:  c.Name,
+		Offloaded: c.Name != rt.Sys.Host.Name,
+		Result:    res,
+	}
+	// Normalize device cycles to host cycles through the clock ratio so
+	// host-only and offloaded runs are comparable, then add the dispatch
+	// cost of shipping the call.
+	hostClock := float64(rt.Sys.Host.Desc.ClockMHz)
+	devClock := float64(c.Desc.ClockMHz)
+	out.Cycles = int64(float64(elapsed)*hostClock/devClock) + c.DispatchCycles
+
+	for i, a := range args {
+		if a.Kind != cil.Ref {
+			continue
+		}
+		back := vm.NewArray(a.Array.Elem, a.Array.Len())
+		if err := dep.Machine.CopyOutArray(addrs[i], back); err != nil {
+			return nil, err
+		}
+		out.Outputs = append(out.Outputs, back)
+	}
+	return out, nil
+}

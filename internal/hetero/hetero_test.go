@@ -1,0 +1,116 @@
+package hetero
+
+import (
+	"testing"
+
+	"repro/internal/cil"
+	"repro/internal/core"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+func compiledApp(t *testing.T) []byte {
+	t.Helper()
+	src := kernels.MustGet("checksum").Source + kernels.MustGet("saxpy_fp").Source
+	res, err := core.CompileOffline(src, core.OfflineOptions{ModuleName: "app"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Encoded
+}
+
+func TestSystemDescriptions(t *testing.T) {
+	cell := CellLike()
+	if cell.Host.Desc == nil || len(cell.Accel) != 2 || !cell.Accel[0].Desc.HasSIMD {
+		t.Error("CellLike system malformed")
+	}
+	soc := EmbeddedSoC()
+	if soc.Host.Desc.HasSIMD || len(soc.Accel) != 1 {
+		t.Error("EmbeddedSoC system malformed")
+	}
+	if HostOnly.String() == "" || Annotated.String() == "" {
+		t.Error("policy names missing")
+	}
+}
+
+func TestPlacementFollowsAnnotations(t *testing.T) {
+	encoded := compiledApp(t)
+	rt, err := NewRuntime(CellLike(), encoded, Annotated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.place("saxpy"); got.Name != "spu0" {
+		t.Errorf("saxpy placed on %s, want spu0 (vector + heavy)", got.Name)
+	}
+	if got := rt.place("checksum"); got.Name != "ppe" {
+		t.Errorf("checksum placed on %s, want the host", got.Name)
+	}
+	if got := rt.place("missing"); got.Name != "ppe" {
+		t.Errorf("unknown methods must fall back to the host, got %s", got.Name)
+	}
+	host, err := NewRuntime(CellLike(), encoded, HostOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := host.place("saxpy"); got.Name != "ppe" {
+		t.Errorf("host-only policy must keep saxpy on the host, got %s", got.Name)
+	}
+	if host.Deployment("ppe") == nil || host.Deployment("spu0") == nil {
+		t.Error("every core must have a deployment")
+	}
+}
+
+func TestCallMarshalsArraysAndMatchesHost(t *testing.T) {
+	encoded := compiledApp(t)
+	const n = 100
+	mkArrays := func() (*vm.Array, *vm.Array) {
+		y := vm.NewArray(cil.F64, n)
+		x := vm.NewArray(cil.F64, n)
+		for i := 0; i < n; i++ {
+			y.SetFloat(i, float64(i%7))
+			x.SetFloat(i, float64(i%5))
+		}
+		return y, x
+	}
+
+	run := func(policy Policy) (*CallResult, error) {
+		rt, err := NewRuntime(CellLike(), encoded, policy)
+		if err != nil {
+			return nil, err
+		}
+		y, x := mkArrays()
+		return rt.Call("saxpy", ArrayArg(y), ArrayArg(x),
+			ScalarArg(cil.F64, sim.FloatArg(2.0)), ScalarArg(cil.I32, sim.IntArg(n)))
+	}
+
+	hostRes, err := run(HostOnly)
+	if err != nil {
+		t.Fatal(err)
+	}
+	offRes, err := run(Annotated)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hostRes.Offloaded || !offRes.Offloaded {
+		t.Errorf("offload flags wrong: host=%v annotated=%v", hostRes.Offloaded, offRes.Offloaded)
+	}
+	if hostRes.Cycles <= 0 || offRes.Cycles <= 0 {
+		t.Error("cycle accounting missing")
+	}
+	for i := 0; i < n; i++ {
+		if hostRes.Outputs[0].Float(i) != offRes.Outputs[0].Float(i) {
+			t.Fatalf("output %d differs between host and accelerator", i)
+		}
+		want := 2.0*float64(i%5) + float64(i%7)
+		if hostRes.Outputs[0].Float(i) != want {
+			t.Fatalf("output %d = %v, want %v", i, hostRes.Outputs[0].Float(i), want)
+		}
+	}
+}
+
+func TestNewRuntimeRejectsBadModule(t *testing.T) {
+	if _, err := NewRuntime(CellLike(), []byte("garbage"), Annotated); err == nil {
+		t.Error("NewRuntime accepted garbage bytes")
+	}
+}

@@ -1,0 +1,117 @@
+// Package jit implements the online half of the split compiler: the
+// target-specific just-in-time compiler that translates portable bytecode
+// into native code for one simulated target.
+//
+// The two split optimizations of the paper meet here:
+//
+//   - Vectorization: the portable vector builtins emitted by the offline
+//     compiler are mapped one-to-one onto the target's SIMD unit when it has
+//     one, and scalarized into unrolled per-lane scalar code otherwise. The
+//     JIT never re-runs the dependence analysis — the offline step already
+//     proved safety and said so in the bytecode (and its annotation).
+//
+//   - Register allocation: the annotation produced by the offline allocator
+//     (internal/regalloc) orders variables by spill priority, so the online
+//     assignment is a single linear pass; without the annotation the JIT
+//     falls back to its plain linear-scan allocator (the baseline of the
+//     split register allocation experiment).
+package jit
+
+import (
+	"fmt"
+
+	"repro/internal/cil"
+	"repro/internal/nisa"
+	"repro/internal/target"
+)
+
+// RegAllocMode selects the register allocation strategy of the JIT.
+type RegAllocMode int
+
+// Register allocation modes.
+const (
+	// RegAllocOnline is the baseline purely-online allocator: linear scan
+	// in interval-start order with the classic furthest-end spill
+	// heuristic, no profitability weights.
+	RegAllocOnline RegAllocMode = iota
+	// RegAllocSplit consumes the split register allocation annotation: the
+	// offline step ordered named variables by spill priority; the online
+	// step assigns registers in that order in linear time. Without an
+	// annotation it silently degrades to RegAllocOnline.
+	RegAllocSplit
+	// RegAllocOptimal recomputes full weights from the native code and
+	// allocates by decreasing weight with exact interference information.
+	// It stands in for an "offline optimal" allocation and serves as the
+	// quality reference in the experiments (it is too slow for a real JIT).
+	RegAllocOptimal
+)
+
+func (m RegAllocMode) String() string {
+	switch m {
+	case RegAllocOnline:
+		return "online"
+	case RegAllocSplit:
+		return "split"
+	case RegAllocOptimal:
+		return "optimal"
+	}
+	return fmt.Sprintf("mode(%d)", int(m))
+}
+
+// Options configures a Compiler.
+type Options struct {
+	// RegAlloc selects the register allocation strategy.
+	RegAlloc RegAllocMode
+	// ForceScalarize makes the JIT ignore the target's SIMD unit and
+	// scalarize every vector builtin (ablation: "the JIT simply ignores the
+	// vectorization").
+	ForceScalarize bool
+}
+
+// Compiler is a JIT compiler instance for one target.
+type Compiler struct {
+	Target *target.Desc
+	Opts   Options
+}
+
+// New returns a JIT compiler for the given target.
+func New(t *target.Desc, opts Options) *Compiler {
+	return &Compiler{Target: t, Opts: opts}
+}
+
+// useSIMD reports whether vector builtins are mapped to the vector unit.
+func (c *Compiler) useSIMD() bool { return c.Target.HasSIMD && !c.Opts.ForceScalarize }
+
+// CompileModule compiles every method of a verified module into a native
+// program for the compiler's target.
+func (c *Compiler) CompileModule(mod *cil.Module) (*nisa.Program, error) {
+	prog := nisa.NewProgram(c.Target.Name)
+	for _, m := range mod.Methods {
+		f, err := c.CompileMethod(mod, m)
+		if err != nil {
+			return nil, err
+		}
+		prog.Add(f)
+	}
+	return prog, nil
+}
+
+// CompileMethod compiles a single method.
+func (c *Compiler) CompileMethod(mod *cil.Module, m *cil.Method) (*nisa.Func, error) {
+	tr := newTranslator(c, mod, m)
+	if err := tr.run(); err != nil {
+		return nil, fmt.Errorf("jit: %s: %w", m.Name, err)
+	}
+	f := &nisa.Func{
+		Name:   m.Name,
+		Params: append([]cil.Type(nil), m.Params...),
+		Ret:    m.Ret,
+		Code:   tr.code,
+		Stats:  tr.stats,
+	}
+	ra := newAssigner(c, m, tr, f)
+	if err := ra.run(); err != nil {
+		return nil, fmt.Errorf("jit: %s: register assignment: %w", m.Name, err)
+	}
+	return f, nil
+}

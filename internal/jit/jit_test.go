@@ -1,0 +1,436 @@
+package jit
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cil"
+	"repro/internal/codegen"
+	"repro/internal/kernels"
+	"repro/internal/minic"
+	"repro/internal/nisa"
+	"repro/internal/opt"
+	"repro/internal/sim"
+	"repro/internal/target"
+	"repro/internal/vm"
+)
+
+// offline compiles MiniC source through the full offline pipeline.
+func offline(t testing.TB, src string, opts codegen.Options) *cil.Module {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	chk, err := minic.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	opt.FoldConstants(chk)
+	opt.Vectorize(chk)
+	mod, err := codegen.Compile(chk, "test", opts)
+	if err != nil {
+		t.Fatalf("compile: %v", err)
+	}
+	return mod
+}
+
+// deploy JIT-compiles a module for a target and returns a fresh machine.
+func deploy(t testing.TB, mod *cil.Module, tgt *target.Desc, opts Options) (*sim.Machine, *nisa.Program) {
+	t.Helper()
+	prog, err := New(tgt, opts).CompileModule(mod)
+	if err != nil {
+		t.Fatalf("jit %s: %v", tgt.Name, err)
+	}
+	return sim.New(tgt, prog), prog
+}
+
+// runKernelOnMachine marshals kernel inputs into simulated memory, runs the
+// entry point and returns the scalar result plus the output arrays copied
+// back into fresh VM arrays.
+func runKernelOnMachine(t testing.TB, m *sim.Machine, k kernels.Kernel, in *kernels.Inputs) (sim.Value, []*vm.Array) {
+	t.Helper()
+	args := make([]sim.Value, len(in.Args))
+	addrs := make([]sim.Addr, 0, len(in.Arrays))
+	arrIdx := 0
+	for i, a := range in.Args {
+		if a.Kind == cil.Ref {
+			addr := m.CopyInArray(in.Arrays[arrIdx])
+			addrs = append(addrs, addr)
+			arrIdx++
+			args[i] = sim.IntArg(int64(addr))
+		} else if a.Kind.IsFloat() {
+			args[i] = sim.FloatArg(a.Float())
+		} else {
+			args[i] = sim.IntArg(a.Int())
+		}
+	}
+	res, err := m.Call(k.Entry, args...)
+	if err != nil {
+		t.Fatalf("sim call %s: %v", k.Entry, err)
+	}
+	outs := make([]*vm.Array, len(addrs))
+	for i, addr := range addrs {
+		outs[i] = vm.NewArray(in.Arrays[i].Elem, in.Arrays[i].Len())
+		if err := m.CopyOutArray(addr, outs[i]); err != nil {
+			t.Fatalf("copy out: %v", err)
+		}
+	}
+	return res, outs
+}
+
+// TestJITMatchesInterpreterOnKernels is the central differential test of the
+// deployment side: for every kernel, every Table 1 target plus the SPU and
+// MCU, scalar and vectorized bytecode, and every register allocation mode,
+// the JIT-compiled code must produce exactly the results of the reference
+// interpreter.
+func TestJITMatchesInterpreterOnKernels(t *testing.T) {
+	targets := target.All()
+	modes := []RegAllocMode{RegAllocOnline, RegAllocSplit, RegAllocOptimal}
+	const n = 100
+
+	for _, k := range kernels.All() {
+		k := k
+		t.Run(k.Name, func(t *testing.T) {
+			for _, vectorized := range []bool{false, true} {
+				mod := offline(t, k.Source, codegen.Options{DisableVectorPlans: !vectorized})
+				rt, err := vm.NewRuntime(mod.Clone())
+				if err != nil {
+					t.Fatal(err)
+				}
+				baseIn, err := kernels.NewInputs(k.Name, n, 42)
+				if err != nil {
+					t.Fatal(err)
+				}
+				interpIn := baseIn.Clone()
+				want, err := rt.Call(k.Entry, interpIn.Args...)
+				if err != nil {
+					t.Fatal(err)
+				}
+
+				for _, tgt := range targets {
+					for _, mode := range modes {
+						machine, _ := deploy(t, mod, tgt, Options{RegAlloc: mode})
+						simIn := baseIn.Clone()
+						got, outs := runKernelOnMachine(t, machine, k, simIn)
+
+						if k.Reduction {
+							if k.Elem.IsFloat() || k.Name == "dotprod_fp" {
+								if math.Abs(got.F-want.Float()) > 1e-12*math.Abs(want.Float()) {
+									t.Errorf("%s/%s/%s vectorized=%v: result %v, interpreter %v",
+										k.Name, tgt.Arch, mode, vectorized, got.F, want.Float())
+								}
+							} else if got.I != want.Int() {
+								t.Errorf("%s/%s/%s vectorized=%v: result %d, interpreter %d",
+									k.Name, tgt.Arch, mode, vectorized, got.I, want.Int())
+							}
+						} else {
+							for ai, out := range outs {
+								ref := interpIn.Arrays[ai]
+								for i := 0; i < ref.Len(); i++ {
+									var same bool
+									if ref.Elem.IsFloat() {
+										same = out.Float(i) == ref.Float(i)
+									} else {
+										same = out.Int(i) == ref.Int(i)
+									}
+									if !same {
+										t.Fatalf("%s/%s/%s vectorized=%v: array %d element %d differs from interpreter",
+											k.Name, tgt.Arch, mode, vectorized, ai, i)
+									}
+								}
+							}
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestJITGeneralPrograms(t *testing.T) {
+	src := `
+i32 fib(i32 n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+i32 collatz(i32 n) {
+    i32 steps = 0;
+    while (n != 1) {
+        if (n % 2 == 0) { n = n / 2; } else { n = 3 * n + 1; }
+        steps++;
+    }
+    return steps;
+}
+f64 poly(f64 x, i32 n) {
+    f64 acc = 0.0;
+    for (i32 i = 0; i < n; i++) {
+        acc = acc * x + (f64) i;
+    }
+    return acc;
+}
+i64 mixed(i32 a, u8 b, i64 c) {
+    u16 t = (u16) (a * 3 + b);
+    return c + t - abs(a) + max(a, (i32) b);
+}
+i32 arrays(i32 n) {
+    i32 buf[] = new i32[n];
+    for (i32 i = 0; i < n; i++) { buf[i] = i * i - 3; }
+    i32 s = 0;
+    for (i32 i = 0; i < len(buf); i++) { s += buf[i]; }
+    return s;
+}
+i32 logic(i32 a, i32 b) {
+    bool x = a > 0 && b > 0 || a == b;
+    if (!x) return -1;
+    return (i32) x + a;
+}
+`
+	mod := offline(t, src, codegen.Options{})
+	rt, err := vm.NewRuntime(mod.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	calls := []struct {
+		name string
+		args []vm.Value
+	}{
+		{"fib", []vm.Value{vm.IntValue(cil.I32, 14)}},
+		{"collatz", []vm.Value{vm.IntValue(cil.I32, 97)}},
+		{"poly", []vm.Value{vm.FloatValue(cil.F64, 1.5), vm.IntValue(cil.I32, 10)}},
+		{"mixed", []vm.Value{vm.IntValue(cil.I32, -7), vm.IntValue(cil.U8, 250), vm.IntValue(cil.I64, 1<<40)}},
+		{"arrays", []vm.Value{vm.IntValue(cil.I32, 50)}},
+		{"logic", []vm.Value{vm.IntValue(cil.I32, 3), vm.IntValue(cil.I32, 0)}},
+		{"logic", []vm.Value{vm.IntValue(cil.I32, 0), vm.IntValue(cil.I32, 0)}},
+	}
+	for _, tgt := range target.All() {
+		for _, mode := range []RegAllocMode{RegAllocOnline, RegAllocSplit, RegAllocOptimal} {
+			machine, _ := deploy(t, mod, tgt, Options{RegAlloc: mode})
+			for _, c := range calls {
+				want, err := rt.Call(c.name, c.args...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				simArgs := make([]sim.Value, len(c.args))
+				for i, a := range c.args {
+					if a.Kind.IsFloat() {
+						simArgs[i] = sim.FloatArg(a.Float())
+					} else {
+						simArgs[i] = sim.IntArg(a.Int())
+					}
+				}
+				got, err := machine.Call(c.name, simArgs...)
+				if err != nil {
+					t.Fatalf("%s on %s/%s: %v", c.name, tgt.Arch, mode, err)
+				}
+				if want.Kind.IsFloat() {
+					if got.F != want.Float() {
+						t.Errorf("%s on %s/%s = %v, interpreter %v", c.name, tgt.Arch, mode, got.F, want.Float())
+					}
+				} else if got.I != want.Int() {
+					t.Errorf("%s on %s/%s = %d, interpreter %d", c.name, tgt.Arch, mode, got.I, want.Int())
+				}
+			}
+		}
+	}
+}
+
+func TestJITVectorLoweringVsScalarization(t *testing.T) {
+	k := kernels.MustGet("vecadd_fp")
+	mod := offline(t, k.Source, codegen.Options{})
+
+	x86 := target.MustLookup(target.X86SSE)
+	sparc := target.MustLookup(target.Sparc)
+
+	progSIMD, err := New(x86, Options{}).CompileModule(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progScalarized, err := New(sparc, Options{}).CompileModule(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progForced, err := New(x86, Options{ForceScalarize: true}).CompileModule(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if progSIMD.Func(k.Entry).Stats.VectorLowered == 0 {
+		t.Error("x86 JIT should lower vector builtins to SIMD")
+	}
+	if progSIMD.Func(k.Entry).Stats.VectorScalarized != 0 {
+		t.Error("x86 JIT should not scalarize")
+	}
+	if progScalarized.Func(k.Entry).Stats.VectorScalarized == 0 {
+		t.Error("UltraSparc JIT should scalarize vector builtins")
+	}
+	if progForced.Func(k.Entry).Stats.VectorLowered != 0 {
+		t.Error("ForceScalarize must prevent SIMD lowering")
+	}
+	hasVec := false
+	for _, in := range progScalarized.Func(k.Entry).Code {
+		if in.Op.IsVector() {
+			hasVec = true
+		}
+	}
+	if hasVec {
+		t.Error("scalarized code must not contain native vector instructions")
+	}
+}
+
+func TestJITVectorizedFasterOnSIMDTarget(t *testing.T) {
+	x86 := target.MustLookup(target.X86SSE)
+	for _, name := range kernels.Table1Names {
+		k := kernels.MustGet(name)
+		scalarMod := offline(t, k.Source, codegen.Options{DisableVectorPlans: true})
+		vectorMod := offline(t, k.Source, codegen.Options{})
+
+		in, err := kernels.NewInputs(k.Name, 1024, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mScalar, _ := deploy(t, scalarMod, x86, Options{})
+		runKernelOnMachine(t, mScalar, k, in.Clone())
+		mVector, _ := deploy(t, vectorMod, x86, Options{})
+		runKernelOnMachine(t, mVector, k, in.Clone())
+
+		sc := mScalar.Stats.Cycles
+		vc := mVector.Stats.Cycles
+		if vc >= sc {
+			t.Errorf("%s: vectorized code (%d cycles) is not faster than scalar (%d cycles) on x86+SSE", name, vc, sc)
+		}
+		speedup := float64(sc) / float64(vc)
+		if k.Elem == cil.F64 && speedup > 4 {
+			t.Errorf("%s: implausible f64 speedup %.1fx for 2-lane vectors", name, speedup)
+		}
+	}
+}
+
+func TestJITScalarizedWithinReasonOfScalar(t *testing.T) {
+	// On targets without SIMD, running the vectorized bytecode must stay in
+	// the same ballpark as the scalar bytecode (the paper reports 0.78x to
+	// 1.5x); here we only assert it is not catastrophically slower.
+	for _, arch := range []target.Arch{target.Sparc, target.PPC} {
+		tgt := target.MustLookup(arch)
+		for _, name := range kernels.Table1Names {
+			k := kernels.MustGet(name)
+			scalarMod := offline(t, k.Source, codegen.Options{DisableVectorPlans: true})
+			vectorMod := offline(t, k.Source, codegen.Options{})
+			in, err := kernels.NewInputs(k.Name, 512, 13)
+			if err != nil {
+				t.Fatal(err)
+			}
+			mScalar, _ := deploy(t, scalarMod, tgt, Options{})
+			runKernelOnMachine(t, mScalar, k, in.Clone())
+			mVector, _ := deploy(t, vectorMod, tgt, Options{})
+			runKernelOnMachine(t, mVector, k, in.Clone())
+			ratio := float64(mScalar.Stats.Cycles) / float64(mVector.Stats.Cycles)
+			if ratio < 0.4 || ratio > 3.0 {
+				t.Errorf("%s on %s: scalarized 'speedup' %.2fx outside the plausible band", name, arch, ratio)
+			}
+		}
+	}
+}
+
+func TestJITSpillsUnderSmallRegisterFiles(t *testing.T) {
+	// High register pressure source: many simultaneously live locals.
+	src := `
+i32 pressure(i32 a, i32 b, i32 c, i32 d) {
+    i32 t0 = a + b;
+    i32 t1 = b + c;
+    i32 t2 = c + d;
+    i32 t3 = a * d;
+    i32 t4 = t0 + t1;
+    i32 t5 = t2 + t3;
+    i32 t6 = t0 * t2;
+    i32 t7 = t1 * t3;
+    i32 s = 0;
+    for (i32 i = 0; i < 100; i++) {
+        s = s + t0 + t1 + t2 + t3 + t4 + t5 + t6 + t7 + i;
+    }
+    return s;
+}
+`
+	mod := offline(t, src, codegen.Options{})
+	small := target.MustLookup(target.MCU).WithIntRegs(4)
+	big := target.MustLookup(target.PPC)
+
+	progSmall, err := New(small, Options{}).CompileModule(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	progBig, err := New(big, Options{}).CompileModule(mod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if progSmall.Func("pressure").Stats.SpillSlots == 0 {
+		t.Error("a 4-register target must spill in the pressure kernel")
+	}
+	if progBig.Func("pressure").Stats.SpillSlots > progSmall.Func("pressure").Stats.SpillSlots {
+		t.Error("a 26-register target must not spill more than a 4-register target")
+	}
+
+	// Both must still compute the same value as the interpreter.
+	rt, err := vm.NewRuntime(mod.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := rt.Call("pressure", vm.IntValue(cil.I32, 3), vm.IntValue(cil.I32, 5), vm.IntValue(cil.I32, 7), vm.IntValue(cil.I32, 11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := sim.New(small, progSmall)
+	got, err := m.Call("pressure", sim.IntArg(3), sim.IntArg(5), sim.IntArg(7), sim.IntArg(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.I != want.Int() {
+		t.Errorf("pressure = %d with spilling, interpreter %d", got.I, want.Int())
+	}
+	if m.Stats.SpillLoads == 0 || m.Stats.SpillStores == 0 {
+		t.Error("dynamic spill counters should be non-zero on the 4-register target")
+	}
+}
+
+func TestJITRejectsUnknownCall(t *testing.T) {
+	m := cil.NewMethod("f", nil, cil.Scalar(cil.Void))
+	m.Code = []cil.Instr{{Op: cil.Call, Str: "missing"}, {Op: cil.Ret}}
+	mod := cil.NewModule("bad")
+	if err := mod.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	// Note: the module does not verify, and the JIT surfaces the problem.
+	if _, err := New(target.MustLookup(target.X86SSE), Options{}).CompileModule(mod); err == nil {
+		t.Error("JIT accepted a call to an unknown method")
+	}
+}
+
+func TestRegAllocModeString(t *testing.T) {
+	if RegAllocOnline.String() != "online" || RegAllocSplit.String() != "split" || RegAllocOptimal.String() != "optimal" {
+		t.Error("RegAllocMode.String wrong")
+	}
+	if RegAllocMode(9).String() == "" {
+		t.Error("unknown mode should still format")
+	}
+}
+
+func TestNativeDisassemblyIsReadable(t *testing.T) {
+	k := kernels.MustGet("saxpy_fp")
+	mod := offline(t, k.Source, codegen.Options{})
+	_, prog := deploy(t, mod, target.MustLookup(target.X86SSE), Options{})
+	text := prog.Disassemble()
+	if len(text) == 0 {
+		t.Fatal("empty disassembly")
+	}
+	for _, want := range []string{"saxpy:", "vload", "vadd.f64", "getarg", "ret"} {
+		if !containsStr(text, want) {
+			t.Errorf("native disassembly missing %q", want)
+		}
+	}
+}
+
+func containsStr(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,553 @@
+package jit
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/anno"
+	"repro/internal/nisa"
+)
+
+// ScratchRegs is the number of per-class scratch registers the JIT reserves
+// beyond the allocatable register file for spill reloads. The simulated
+// register files are sized to target.IntRegs + ScratchRegs (and likewise for
+// the other classes).
+const ScratchRegs = 3
+
+// interval is the live range and estimated dynamic weight of one virtual
+// register over the linearized native code.
+type interval struct {
+	used   bool
+	start  int
+	end    int
+	weight int64
+}
+
+// assigner performs register assignment and spill-code insertion on the
+// virtual-register code produced by the translator.
+type assigner struct {
+	c  *Compiler
+	tr *translator
+	f  *nisa.Func
+
+	annot *anno.RegAllocInfo
+
+	intervals []interval
+	assigned  []int // physical register index per vreg, -1 = spilled/unused
+	slot      []int // spill slot per vreg, -1 = none
+	numSlots  int
+
+	steps int64
+}
+
+func newAssigner(c *Compiler, m interface{ Annotation(string) ([]byte, bool) }, tr *translator, f *nisa.Func) *assigner {
+	a := &assigner{c: c, tr: tr, f: f}
+	if c.Opts.RegAlloc == RegAllocSplit {
+		if data, ok := m.Annotation(anno.KeyRegAlloc); ok {
+			if info, err := anno.DecodeRegAllocInfo(data); err == nil {
+				a.annot = info
+			}
+		}
+	}
+	return a
+}
+
+func (a *assigner) run() error {
+	n := len(a.tr.vregs)
+	a.intervals = make([]interval, n)
+	a.assigned = make([]int, n)
+	a.slot = make([]int, n)
+	for i := range a.assigned {
+		a.assigned[i] = -1
+		a.slot[i] = -1
+	}
+
+	a.computeIntervals()
+	a.extendAcrossLoops()
+	a.computeWeights()
+
+	for _, class := range []nisa.RegClass{nisa.ClassInt, nisa.ClassFloat, nisa.ClassVec} {
+		if err := a.allocateClass(class); err != nil {
+			return err
+		}
+	}
+	a.rewrite()
+
+	a.f.FrameSlots = a.numSlots
+	a.f.Stats.CompileSteps += a.steps
+	return nil
+}
+
+// regRefs returns the register operands of an instruction split into
+// definitions and uses. The returned pointers alias the instruction so the
+// rewriter can substitute physical registers in place.
+func regRefs(in *nisa.Instr) (defs, uses []*nisa.Reg) {
+	add := func(list []*nisa.Reg, r *nisa.Reg) []*nisa.Reg {
+		if r.Class == nisa.ClassNone {
+			return list
+		}
+		return append(list, r)
+	}
+	switch in.Op {
+	case nisa.Store, nisa.VStore, nisa.SpillStore:
+		uses = add(uses, &in.Rd)
+		uses = add(uses, &in.Ra)
+		uses = add(uses, &in.Rb)
+	case nisa.Ret:
+		uses = add(uses, &in.Ra)
+	case nisa.Call:
+		for i := range in.Args {
+			uses = add(uses, &in.Args[i])
+		}
+		defs = add(defs, &in.Rd)
+	default:
+		defs = add(defs, &in.Rd)
+		uses = add(uses, &in.Ra)
+		uses = add(uses, &in.Rb)
+	}
+	return defs, uses
+}
+
+func (a *assigner) touch(vreg, pos int) {
+	iv := &a.intervals[vreg]
+	if !iv.used {
+		iv.used = true
+		iv.start, iv.end = pos, pos
+		return
+	}
+	if pos < iv.start {
+		iv.start = pos
+	}
+	if pos > iv.end {
+		iv.end = pos
+	}
+}
+
+func (a *assigner) computeIntervals() {
+	for pos := range a.f.Code {
+		defs, uses := regRefs(&a.f.Code[pos])
+		for _, r := range append(defs, uses...) {
+			if r.Virtual {
+				a.touch(r.Index, pos)
+			}
+		}
+	}
+}
+
+// loopRegions returns the [start, end] index ranges of backward branches.
+func (a *assigner) loopRegions() [][2]int {
+	var regions [][2]int
+	for pos, in := range a.f.Code {
+		if in.Op.IsBranch() && in.Target <= pos {
+			regions = append(regions, [2]int{in.Target, pos})
+		}
+	}
+	return regions
+}
+
+// extendAcrossLoops widens every live interval that overlaps a loop so it
+// covers the whole loop: a value live anywhere inside the loop must keep its
+// location across the back edge.
+func (a *assigner) extendAcrossLoops() {
+	regions := a.loopRegions()
+	for changed := true; changed; {
+		changed = false
+		for _, reg := range regions {
+			for i := range a.intervals {
+				iv := &a.intervals[i]
+				if !iv.used || iv.end < reg[0] || iv.start > reg[1] {
+					continue
+				}
+				if iv.start > reg[0] {
+					iv.start = reg[0]
+					changed = true
+				}
+				if iv.end < reg[1] {
+					iv.end = reg[1]
+					changed = true
+				}
+				a.steps++
+			}
+		}
+	}
+}
+
+// computeWeights estimates dynamic use counts: every occurrence counts
+// 10^loop-depth.
+func (a *assigner) computeWeights() {
+	regions := a.loopRegions()
+	depthAt := func(pos int) int {
+		d := 0
+		for _, reg := range regions {
+			if pos >= reg[0] && pos <= reg[1] {
+				d++
+			}
+		}
+		if d > 4 {
+			d = 4
+		}
+		return d
+	}
+	for pos := range a.f.Code {
+		defs, uses := regRefs(&a.f.Code[pos])
+		w := int64(1)
+		for i, d := 0, depthAt(pos); i < d; i++ {
+			w *= 10
+		}
+		for _, r := range append(defs, uses...) {
+			if r.Virtual {
+				a.intervals[r.Index].weight += w
+			}
+		}
+	}
+}
+
+// classRegs returns the allocatable register count for a class.
+func (a *assigner) classRegs(class nisa.RegClass) int {
+	switch class {
+	case nisa.ClassInt:
+		return a.c.Target.IntRegs
+	case nisa.ClassFloat:
+		return a.c.Target.FloatRegs
+	default:
+		return a.c.Target.VecRegs
+	}
+}
+
+// vregsOfClass lists the used virtual registers of a class.
+func (a *assigner) vregsOfClass(class nisa.RegClass) []int {
+	var out []int
+	for i, info := range a.tr.vregs {
+		if info.class == class && a.intervals[i].used {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+func (a *assigner) allocateClass(class nisa.RegClass) error {
+	vregs := a.vregsOfClass(class)
+	if len(vregs) == 0 {
+		return nil
+	}
+	numRegs := a.classRegs(class)
+	if numRegs <= 0 {
+		if class == nisa.ClassVec {
+			return fmt.Errorf("vector registers required but target %q has none", a.c.Target.Name)
+		}
+		// Pathological configuration: everything spills.
+		for _, v := range vregs {
+			a.spill(v)
+		}
+		return nil
+	}
+
+	mode := a.c.Opts.RegAlloc
+	if mode == RegAllocSplit && a.annot == nil {
+		mode = RegAllocOnline
+	}
+	// Charge each mode the analysis work it has to perform online. The
+	// split mode follows the offline priority order directly; the other
+	// modes pay for ordering the intervals themselves, and the
+	// offline-quality mode additionally pays for recomputing profitability
+	// weights over the whole native code (the work the annotation avoids).
+	sortCost := int64(len(vregs)) * int64(log2(len(vregs)))
+	switch mode {
+	case RegAllocOnline:
+		a.steps += sortCost
+		a.linearScan(vregs, numRegs)
+	case RegAllocSplit:
+		a.priorityAllocate(vregs, numRegs, a.splitOrder(vregs))
+	case RegAllocOptimal:
+		a.steps += int64(len(a.f.Code)) + sortCost
+		a.priorityAllocate(vregs, numRegs, a.weightOrder(vregs))
+	default:
+		return fmt.Errorf("unknown register allocation mode %v", mode)
+	}
+	return nil
+}
+
+// log2 returns the integer binary logarithm of n (at least 1).
+func log2(n int) int {
+	l := 1
+	for n > 2 {
+		n >>= 1
+		l++
+	}
+	return l
+}
+
+func (a *assigner) spill(v int) {
+	if a.slot[v] >= 0 {
+		return
+	}
+	a.slot[v] = a.numSlots
+	a.numSlots++
+	a.f.Stats.SpillSlots++
+	a.f.Stats.SpillWeight += a.intervals[v].weight
+}
+
+// linearScan is the baseline purely-online allocator: Poletto/Sarkar linear
+// scan in interval start order with the furthest-end spill heuristic and no
+// profitability information.
+func (a *assigner) linearScan(vregs []int, numRegs int) {
+	order := append([]int(nil), vregs...)
+	sort.Slice(order, func(i, j int) bool {
+		si, sj := a.intervals[order[i]].start, a.intervals[order[j]].start
+		if si != sj {
+			return si < sj
+		}
+		return order[i] < order[j]
+	})
+	free := make([]int, 0, numRegs)
+	for r := numRegs - 1; r >= 0; r-- {
+		free = append(free, r)
+	}
+	type act struct{ vreg, reg int }
+	var active []act
+
+	expire := func(pos int) {
+		keep := active[:0]
+		for _, x := range active {
+			if a.intervals[x.vreg].end < pos {
+				free = append(free, x.reg)
+			} else {
+				keep = append(keep, x)
+			}
+		}
+		active = keep
+	}
+
+	for _, v := range order {
+		a.steps++
+		iv := a.intervals[v]
+		expire(iv.start)
+		if len(free) > 0 {
+			reg := free[len(free)-1]
+			free = free[:len(free)-1]
+			a.assigned[v] = reg
+			active = append(active, act{v, reg})
+			continue
+		}
+		// Spill the interval that ends furthest in the future.
+		furthest := -1
+		for i, x := range active {
+			if furthest < 0 || a.intervals[x.vreg].end > a.intervals[active[furthest].vreg].end {
+				furthest = i
+			}
+		}
+		if furthest >= 0 && a.intervals[active[furthest].vreg].end > iv.end {
+			victim := active[furthest]
+			a.spill(victim.vreg)
+			a.assigned[victim.vreg] = -1
+			a.assigned[v] = victim.reg
+			active[furthest] = act{v, victim.reg}
+		} else {
+			a.spill(v)
+		}
+	}
+}
+
+// splitOrder builds the allocation order from the offline annotation. Named
+// variables take their spill priority (weight) from the annotation — the
+// offline half already ordered them — while the JIT's own short-lived
+// temporaries keep their locally-computed weight; the two sorted sequences
+// are merged by weight. This is the linear-time online half of the split
+// register allocator: no interference or profitability analysis is redone
+// for the program's variables.
+func (a *assigner) splitOrder(vregs []int) []int {
+	inClass := make(map[int]bool, len(vregs))
+	for _, v := range vregs {
+		inClass[v] = true
+	}
+	slotToVreg := make(map[int]int)
+	for v, info := range a.tr.vregs {
+		if info.named && inClass[v] {
+			slotToVreg[info.slot] = v
+		}
+	}
+	// Named variables in annotation order (already sorted by weight).
+	type weighted struct {
+		vreg   int
+		weight int64
+	}
+	var named []weighted
+	taken := make(map[int]bool)
+	for _, iv := range a.annot.Intervals {
+		if v, ok := slotToVreg[iv.Slot]; ok && !taken[v] {
+			named = append(named, weighted{vreg: v, weight: int64(iv.Weight)})
+			taken[v] = true
+		}
+		a.steps++
+	}
+	// Temporaries (and any named slot missing from the annotation) by
+	// decreasing native weight.
+	var rest []weighted
+	for _, v := range vregs {
+		if !taken[v] {
+			rest = append(rest, weighted{vreg: v, weight: a.intervals[v].weight})
+		}
+	}
+	sort.Slice(rest, func(i, j int) bool {
+		if rest[i].weight != rest[j].weight {
+			return rest[i].weight > rest[j].weight
+		}
+		return rest[i].vreg < rest[j].vreg
+	})
+	// Merge the two weight-sorted sequences (linear).
+	order := make([]int, 0, len(named)+len(rest))
+	i, j := 0, 0
+	for i < len(named) || j < len(rest) {
+		a.steps++
+		if j >= len(rest) || (i < len(named) && named[i].weight >= rest[j].weight) {
+			order = append(order, named[i].vreg)
+			i++
+		} else {
+			order = append(order, rest[j].vreg)
+			j++
+		}
+	}
+	return order
+}
+
+// weightOrder orders every virtual register by decreasing locally-computed
+// weight: the "offline quality" reference allocation.
+func (a *assigner) weightOrder(vregs []int) []int {
+	order := append([]int(nil), vregs...)
+	sort.Slice(order, func(i, j int) bool {
+		wi, wj := a.intervals[order[i]].weight, a.intervals[order[j]].weight
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+	return order
+}
+
+// priorityAllocate assigns registers greedily in the given priority order,
+// using exact interval overlap as the interference test.
+func (a *assigner) priorityAllocate(vregs []int, numRegs int, order []int) {
+	perReg := make([][]int, numRegs) // vregs assigned to each register
+	overlaps := func(x, y int) bool {
+		ix, iy := a.intervals[x], a.intervals[y]
+		return ix.start <= iy.end && iy.start <= ix.end
+	}
+	for _, v := range order {
+		placed := false
+		for r := 0; r < numRegs && !placed; r++ {
+			conflict := false
+			for _, other := range perReg[r] {
+				a.steps++
+				if overlaps(v, other) {
+					conflict = true
+					break
+				}
+			}
+			if !conflict {
+				perReg[r] = append(perReg[r], v)
+				a.assigned[v] = r
+				placed = true
+			}
+		}
+		if !placed {
+			a.spill(v)
+		}
+	}
+}
+
+// rewrite replaces virtual registers with physical ones and inserts spill
+// loads/stores around instructions that touch spilled values.
+func (a *assigner) rewrite() {
+	var out []nisa.Instr
+	// oldToNew maps original instruction indices to their new positions so
+	// branch targets can be fixed afterwards.
+	oldToNew := make([]int, len(a.f.Code)+1)
+
+	phys := func(r nisa.Reg) nisa.Reg {
+		return nisa.Reg{Class: r.Class, Index: a.assigned[r.Index]}
+	}
+	scratch := func(class nisa.RegClass, n int) nisa.Reg {
+		return nisa.Reg{Class: class, Index: a.classRegs(class) + n}
+	}
+
+	for pos := range a.f.Code {
+		oldToNew[pos] = len(out)
+		in := a.f.Code[pos] // copy
+		// Calls keep spilled arguments in their frame slots; the simulator
+		// reads them from there directly.
+		if in.Op == nisa.Call {
+			args := make([]nisa.Reg, len(in.Args))
+			slots := make([]int, len(in.Args))
+			for i, r := range in.Args {
+				slots[i] = -1
+				if r.Virtual && a.assigned[r.Index] < 0 {
+					slots[i] = a.slot[r.Index]
+					args[i] = nisa.NoReg
+					a.f.Stats.SpillLoads++
+				} else if r.Virtual {
+					args[i] = phys(r)
+				} else {
+					args[i] = r
+				}
+			}
+			in.Args = args
+			in.ArgSlots = slots
+			if in.Rd.Class != nisa.ClassNone && in.Rd.Virtual {
+				if a.assigned[in.Rd.Index] < 0 {
+					slot := a.slot[in.Rd.Index]
+					in.Rd = scratch(in.Rd.Class, 0)
+					out = append(out, in)
+					out = append(out, nisa.Instr{Op: nisa.SpillStore, Rd: in.Rd, Imm: int64(slot)})
+					a.f.Stats.SpillStores++
+					continue
+				}
+				in.Rd = phys(in.Rd)
+			}
+			out = append(out, in)
+			continue
+		}
+
+		defs, uses := regRefs(&in)
+		nextScratch := 0
+		var pre, post []nisa.Instr
+		for _, u := range uses {
+			if !u.Virtual {
+				continue
+			}
+			if a.assigned[u.Index] >= 0 {
+				*u = phys(*u)
+				continue
+			}
+			s := scratch(u.Class, nextScratch)
+			nextScratch++
+			pre = append(pre, nisa.Instr{Op: nisa.SpillLoad, Rd: s, Imm: int64(a.slot[u.Index])})
+			a.f.Stats.SpillLoads++
+			*u = s
+		}
+		for _, d := range defs {
+			if !d.Virtual {
+				continue
+			}
+			if a.assigned[d.Index] >= 0 {
+				*d = phys(*d)
+				continue
+			}
+			s := scratch(d.Class, 0)
+			post = append(post, nisa.Instr{Op: nisa.SpillStore, Rd: s, Imm: int64(a.slot[d.Index])})
+			a.f.Stats.SpillStores++
+			*d = s
+		}
+		out = append(out, pre...)
+		out = append(out, in)
+		out = append(out, post...)
+	}
+	oldToNew[len(a.f.Code)] = len(out)
+
+	// Re-target branches to the new instruction positions.
+	for i := range out {
+		if out[i].Op.IsBranch() {
+			out[i].Target = oldToNew[out[i].Target]
+		}
+	}
+	a.f.Code = out
+}

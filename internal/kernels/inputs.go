@@ -1,0 +1,222 @@
+package kernels
+
+import (
+	"math/rand"
+
+	"repro/internal/cil"
+	"repro/internal/vm"
+)
+
+// Inputs bundles the VM-level argument values for one kernel invocation plus
+// the Go-side copies the reference implementations operate on.
+type Inputs struct {
+	// Args are the values passed to the kernel entry point, in order.
+	Args []vm.Value
+	// Arrays holds the managed arrays referenced by Args (in Args order for
+	// array-typed parameters), so tests and harnesses can inspect outputs.
+	Arrays []*vm.Array
+	// N is the element count.
+	N int
+}
+
+// NewInputs builds deterministic pseudo-random inputs of n elements for the
+// named kernel, seeded so experiments are reproducible.
+func NewInputs(name string, n int, seed int64) (*Inputs, error) {
+	k, err := Get(name)
+	if err != nil {
+		return nil, err
+	}
+	r := rand.New(rand.NewSource(seed))
+	in := &Inputs{N: n}
+
+	newFloatArr := func(scale float64) *vm.Array {
+		a := vm.NewArray(k.Elem, n)
+		for i := 0; i < n; i++ {
+			// Small integer-valued contents keep float map kernels exactly
+			// comparable between scalar and vectorized code.
+			a.SetFloat(i, float64(r.Intn(64))*scale)
+		}
+		in.Arrays = append(in.Arrays, a)
+		return a
+	}
+	newIntArr := func(kind cil.Kind, mod int64) *vm.Array {
+		a := vm.NewArray(kind, n)
+		for i := 0; i < n; i++ {
+			a.SetInt(i, r.Int63n(mod))
+		}
+		in.Arrays = append(in.Arrays, a)
+		return a
+	}
+
+	switch name {
+	case "vecadd_fp":
+		c := vm.NewArray(cil.F64, n)
+		in.Arrays = append(in.Arrays, c)
+		a := newFloatArr(1)
+		b := newFloatArr(0.5)
+		in.Args = []vm.Value{vm.RefValue(c), vm.RefValue(a), vm.RefValue(b), vm.IntValue(cil.I32, int64(n))}
+	case "saxpy_fp":
+		y := newFloatArr(1)
+		x := newFloatArr(0.25)
+		in.Args = []vm.Value{vm.RefValue(y), vm.RefValue(x), vm.FloatValue(cil.F64, 2.0), vm.IntValue(cil.I32, int64(n))}
+	case "dscal_fp":
+		x := newFloatArr(1)
+		in.Args = []vm.Value{vm.RefValue(x), vm.FloatValue(cil.F64, 0.5), vm.IntValue(cil.I32, int64(n))}
+	case "max_u8", "sum_u8", "min_u8", "checksum":
+		a := newIntArr(cil.U8, 256)
+		in.Args = []vm.Value{vm.RefValue(a), vm.IntValue(cil.I32, int64(n))}
+	case "sum_u16":
+		a := newIntArr(cil.U16, 65536)
+		in.Args = []vm.Value{vm.RefValue(a), vm.IntValue(cil.I32, int64(n))}
+	case "sum_i32":
+		a := newIntArr(cil.I32, 1<<20)
+		in.Args = []vm.Value{vm.RefValue(a), vm.IntValue(cil.I32, int64(n))}
+	case "dotprod_fp":
+		a := newFloatArr(1)
+		b := newFloatArr(1)
+		in.Args = []vm.Value{vm.RefValue(a), vm.RefValue(b), vm.IntValue(cil.I32, int64(n))}
+	case "scale_add_f32":
+		d := vm.NewArray(cil.F32, n)
+		in.Arrays = append(in.Arrays, d)
+		x := vm.NewArray(cil.F32, n)
+		y := vm.NewArray(cil.F32, n)
+		for i := 0; i < n; i++ {
+			x.SetFloat(i, float64(r.Intn(32)))
+			y.SetFloat(i, float64(r.Intn(32)))
+		}
+		in.Arrays = append(in.Arrays, x, y)
+		in.Args = []vm.Value{vm.RefValue(d), vm.RefValue(x), vm.RefValue(y),
+			vm.FloatValue(cil.F32, 3), vm.FloatValue(cil.F32, 0.5), vm.IntValue(cil.I32, int64(n))}
+	case "fir":
+		out := vm.NewArray(cil.F64, n)
+		in.Arrays = append(in.Arrays, out)
+		src := newFloatArr(1)
+		in.Args = []vm.Value{vm.RefValue(out), vm.RefValue(src),
+			vm.FloatValue(cil.F64, 0.25), vm.FloatValue(cil.F64, 0.5), vm.FloatValue(cil.F64, 0.25),
+			vm.IntValue(cil.I32, int64(n))}
+	default:
+		return nil, errUnknownInputs(name)
+	}
+	return in, nil
+}
+
+type errUnknownInputs string
+
+func (e errUnknownInputs) Error() string { return "kernels: no input generator for " + string(e) }
+
+// Clone deep-copies the inputs so that a kernel with in/out arrays can be run
+// several times (or by several back ends) from identical initial state.
+func (in *Inputs) Clone() *Inputs {
+	c := &Inputs{N: in.N}
+	replaced := make(map[*vm.Array]*vm.Array)
+	for _, a := range in.Arrays {
+		na := vm.NewArray(a.Elem, a.Len())
+		copy(na.Data, a.Data)
+		replaced[a] = na
+		c.Arrays = append(c.Arrays, na)
+	}
+	for _, v := range in.Args {
+		if v.Kind == cil.Ref && v.Ref != nil {
+			c.Args = append(c.Args, vm.RefValue(replaced[v.Ref]))
+		} else {
+			c.Args = append(c.Args, v)
+		}
+	}
+	return c
+}
+
+// Reference computes the expected result of the kernel on the (current)
+// contents of the inputs using a plain Go implementation. For map kernels it
+// returns 0 and fills the output array in place; callers compare arrays.
+func Reference(name string, in *Inputs) (float64, error) {
+	switch name {
+	case "vecadd_fp":
+		c, a, b := in.Arrays[0], in.Arrays[1], in.Arrays[2]
+		for i := 0; i < in.N; i++ {
+			c.SetFloat(i, a.Float(i)+b.Float(i))
+		}
+		return 0, nil
+	case "saxpy_fp":
+		y, x := in.Arrays[0], in.Arrays[1]
+		alpha := in.Args[2].Float()
+		for i := 0; i < in.N; i++ {
+			y.SetFloat(i, alpha*x.Float(i)+y.Float(i))
+		}
+		return 0, nil
+	case "dscal_fp":
+		x := in.Arrays[0]
+		alpha := in.Args[1].Float()
+		for i := 0; i < in.N; i++ {
+			x.SetFloat(i, alpha*x.Float(i))
+		}
+		return 0, nil
+	case "max_u8":
+		a := in.Arrays[0]
+		m := int64(0)
+		for i := 0; i < in.N; i++ {
+			if v := a.Int(i); v > m {
+				m = v
+			}
+		}
+		return float64(m), nil
+	case "min_u8":
+		a := in.Arrays[0]
+		m := int64(255)
+		for i := 0; i < in.N; i++ {
+			if v := a.Int(i); v < m {
+				m = v
+			}
+		}
+		return float64(m), nil
+	case "sum_u8", "sum_u16":
+		a := in.Arrays[0]
+		s := uint32(0)
+		for i := 0; i < in.N; i++ {
+			s += uint32(a.Int(i))
+		}
+		return float64(s), nil
+	case "sum_i32":
+		a := in.Arrays[0]
+		s := int64(0)
+		for i := 0; i < in.N; i++ {
+			s += a.Int(i)
+		}
+		return float64(s), nil
+	case "dotprod_fp":
+		a, b := in.Arrays[0], in.Arrays[1]
+		s := 0.0
+		for i := 0; i < in.N; i++ {
+			s += a.Float(i) * b.Float(i)
+		}
+		return s, nil
+	case "scale_add_f32":
+		d, x, y := in.Arrays[0], in.Arrays[1], in.Arrays[2]
+		a := float32(in.Args[3].Float())
+		b := float32(in.Args[4].Float())
+		for i := 0; i < in.N; i++ {
+			d.SetFloat(i, float64(a*float32(x.Float(i))+b*float32(y.Float(i))))
+		}
+		return 0, nil
+	case "fir":
+		out, src := in.Arrays[0], in.Arrays[1]
+		c0, c1, c2 := in.Args[2].Float(), in.Args[3].Float(), in.Args[4].Float()
+		for i := 0; i < in.N-2; i++ {
+			out.SetFloat(i, c0*src.Float(i)+c1*src.Float(i+1)+c2*src.Float(i+2))
+		}
+		return 0, nil
+	case "checksum":
+		a := in.Arrays[0]
+		acc := uint32(0)
+		for i := 0; i < in.N; i++ {
+			v := uint32(a.Int(i))
+			if v&1 == 1 {
+				acc += v * 3
+			} else {
+				acc ^= v << 1
+			}
+			acc %= 65521
+		}
+		return float64(acc), nil
+	}
+	return 0, errUnknownInputs(name)
+}

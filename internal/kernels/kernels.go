@@ -1,0 +1,268 @@
+// Package kernels provides the MiniC sources of the benchmark kernels used
+// throughout the evaluation — in particular the six kernels of the paper's
+// Table 1 (vecadd fp, saxpy fp, dscal fp, max u8, sum u8, sum u16) — together
+// with pure-Go reference implementations and deterministic input generators
+// used by the differential tests and the benchmark harness.
+package kernels
+
+import (
+	"fmt"
+
+	"repro/internal/cil"
+)
+
+// Kernel describes one benchmark kernel.
+type Kernel struct {
+	// Name is the kernel identifier used in Table 1 ("vecadd_fp", ...).
+	Name string
+	// Entry is the MiniC function name to invoke.
+	Entry string
+	// Source is the MiniC source text of the kernel (it may define helper
+	// functions as well).
+	Source string
+	// Elem is the element kind the kernel processes.
+	Elem cil.Kind
+	// Reduction reports whether the kernel produces a scalar result
+	// (reduction) rather than writing an output array (map).
+	Reduction bool
+	// Description is a one-line summary used by reports.
+	Description string
+}
+
+// Table1Names lists the kernels of the paper's Table 1, in the paper's row
+// order.
+var Table1Names = []string{"vecadd_fp", "saxpy_fp", "dscal_fp", "max_u8", "sum_u8", "sum_u16"}
+
+// table1 holds the kernel definitions, keyed by name.
+var table1 = map[string]Kernel{
+	"vecadd_fp": {
+		Name:        "vecadd_fp",
+		Entry:       "vecadd",
+		Elem:        cil.F64,
+		Description: "element-wise double-precision vector addition c[i] = a[i] + b[i]",
+		Source: `
+void vecadd(f64 c[], f64 a[], f64 b[], i32 n) {
+    for (i32 i = 0; i < n; i++) {
+        c[i] = a[i] + b[i];
+    }
+}
+`,
+	},
+	"saxpy_fp": {
+		Name:        "saxpy_fp",
+		Entry:       "saxpy",
+		Elem:        cil.F64,
+		Description: "scalar-alpha-x-plus-y y[i] = a*x[i] + y[i] in double precision",
+		Source: `
+void saxpy(f64 y[], f64 x[], f64 a, i32 n) {
+    for (i32 i = 0; i < n; i++) {
+        y[i] = a * x[i] + y[i];
+    }
+}
+`,
+	},
+	"dscal_fp": {
+		Name:        "dscal_fp",
+		Entry:       "dscal",
+		Elem:        cil.F64,
+		Description: "in-place scaling x[i] = a * x[i] in double precision",
+		Source: `
+void dscal(f64 x[], f64 a, i32 n) {
+    for (i32 i = 0; i < n; i++) {
+        x[i] = a * x[i];
+    }
+}
+`,
+	},
+	"max_u8": {
+		Name:        "max_u8",
+		Entry:       "max_u8",
+		Elem:        cil.U8,
+		Reduction:   true,
+		Description: "maximum of an unsigned byte array",
+		Source: `
+u32 max_u8(u8 a[], i32 n) {
+    u32 m = 0;
+    for (i32 i = 0; i < n; i++) {
+        m = max(m, a[i]);
+    }
+    return m;
+}
+`,
+	},
+	"sum_u8": {
+		Name:        "sum_u8",
+		Entry:       "sum_u8",
+		Elem:        cil.U8,
+		Reduction:   true,
+		Description: "sum of an unsigned byte array (32-bit accumulator)",
+		Source: `
+u32 sum_u8(u8 a[], i32 n) {
+    u32 s = 0;
+    for (i32 i = 0; i < n; i++) {
+        s = s + a[i];
+    }
+    return s;
+}
+`,
+	},
+	"sum_u16": {
+		Name:        "sum_u16",
+		Entry:       "sum_u16",
+		Elem:        cil.U16,
+		Reduction:   true,
+		Description: "sum of an unsigned 16-bit array (32-bit accumulator)",
+		Source: `
+u32 sum_u16(u16 a[], i32 n) {
+    u32 s = 0;
+    for (i32 i = 0; i < n; i++) {
+        s = s + a[i];
+    }
+    return s;
+}
+`,
+	},
+}
+
+// extra holds kernels beyond Table 1 used by the examples, the heterogeneous
+// offload scenario and the register-pressure suite.
+var extra = map[string]Kernel{
+	"dotprod_fp": {
+		Name:        "dotprod_fp",
+		Entry:       "dotprod",
+		Elem:        cil.F64,
+		Reduction:   true,
+		Description: "double-precision dot product (scalar only: FP reductions are not reassociated)",
+		Source: `
+f64 dotprod(f64 a[], f64 b[], i32 n) {
+    f64 s = 0.0;
+    for (i32 i = 0; i < n; i++) {
+        s = s + a[i] * b[i];
+    }
+    return s;
+}
+`,
+	},
+	"min_u8": {
+		Name:        "min_u8",
+		Entry:       "min_u8",
+		Elem:        cil.U8,
+		Reduction:   true,
+		Description: "minimum of an unsigned byte array",
+		Source: `
+u32 min_u8(u8 a[], i32 n) {
+    u32 m = 255;
+    for (i32 i = 0; i < n; i++) {
+        m = min(m, a[i]);
+    }
+    return m;
+}
+`,
+	},
+	"sum_i32": {
+		Name:        "sum_i32",
+		Entry:       "sum_i32",
+		Elem:        cil.I32,
+		Reduction:   true,
+		Description: "sum of a 32-bit integer array (64-bit accumulator)",
+		Source: `
+i64 sum_i32(i32 a[], i32 n) {
+    i64 s = 0;
+    for (i32 i = 0; i < n; i++) {
+        s = s + a[i];
+    }
+    return s;
+}
+`,
+	},
+	"scale_add_f32": {
+		Name:        "scale_add_f32",
+		Entry:       "scale_add",
+		Elem:        cil.F32,
+		Description: "single-precision fused scale-and-add d[i] = a*x[i] + b*y[i]",
+		Source: `
+void scale_add(f32 d[], f32 x[], f32 y[], f32 a, f32 b, i32 n) {
+    for (i32 i = 0; i < n; i++) {
+        d[i] = a * x[i] + b * y[i];
+    }
+}
+`,
+	},
+	"fir": {
+		Name:        "fir",
+		Entry:       "fir",
+		Elem:        cil.F64,
+		Description: "small FIR filter (not vectorizable: shifted subscripts), exercises the vectorizer's rejection path",
+		Source: `
+void fir(f64 out[], f64 in[], f64 c0, f64 c1, f64 c2, i32 n) {
+    for (i32 i = 0; i < n - 2; i++) {
+        out[i] = c0 * in[i] + c1 * in[i + 1] + c2 * in[i + 2];
+    }
+}
+`,
+	},
+	"checksum": {
+		Name:        "checksum",
+		Entry:       "checksum",
+		Elem:        cil.U8,
+		Reduction:   true,
+		Description: "control-heavy byte checksum with data-dependent branches (host-core workload)",
+		Source: `
+u32 checksum(u8 a[], i32 n) {
+    u32 acc = 0;
+    for (i32 i = 0; i < n; i++) {
+        u32 v = a[i];
+        if ((v & 1) == 1) {
+            acc = acc + v * 3;
+        } else {
+            acc = acc ^ (v << 1);
+        }
+        acc = acc % 65521;
+    }
+    return acc;
+}
+`,
+	},
+}
+
+// Get returns the kernel with the given name (Table 1 or extra).
+func Get(name string) (Kernel, error) {
+	if k, ok := table1[name]; ok {
+		return k, nil
+	}
+	if k, ok := extra[name]; ok {
+		return k, nil
+	}
+	return Kernel{}, fmt.Errorf("kernels: unknown kernel %q", name)
+}
+
+// MustGet is Get for known-good names; it panics on unknown names.
+func MustGet(name string) Kernel {
+	k, err := Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return k
+}
+
+// All returns every kernel, Table 1 first, then the extras, in a stable
+// order.
+func All() []Kernel {
+	var out []Kernel
+	for _, name := range Table1Names {
+		out = append(out, table1[name])
+	}
+	for _, name := range []string{"dotprod_fp", "min_u8", "sum_i32", "scale_add_f32", "fir", "checksum"} {
+		out = append(out, extra[name])
+	}
+	return out
+}
+
+// Table1 returns the six kernels of the paper's Table 1 in row order.
+func Table1() []Kernel {
+	out := make([]Kernel, 0, len(Table1Names))
+	for _, name := range Table1Names {
+		out = append(out, table1[name])
+	}
+	return out
+}

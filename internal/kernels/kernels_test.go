@@ -1,0 +1,101 @@
+package kernels
+
+import (
+	"testing"
+
+	"repro/internal/cil"
+	"repro/internal/minic"
+)
+
+func TestAllKernelsParseAndCheck(t *testing.T) {
+	for _, k := range All() {
+		prog, err := minic.Parse(k.Source)
+		if err != nil {
+			t.Errorf("%s: parse: %v", k.Name, err)
+			continue
+		}
+		if _, err := minic.Check(prog); err != nil {
+			t.Errorf("%s: check: %v", k.Name, err)
+		}
+		if prog.Func(k.Entry) == nil {
+			t.Errorf("%s: entry point %q not defined", k.Name, k.Entry)
+		}
+		if k.Description == "" {
+			t.Errorf("%s: missing description", k.Name)
+		}
+	}
+}
+
+func TestGetAndTable1(t *testing.T) {
+	if len(Table1()) != 6 || len(Table1Names) != 6 {
+		t.Fatal("Table 1 must have six kernels")
+	}
+	if _, err := Get("vecadd_fp"); err != nil {
+		t.Error(err)
+	}
+	if _, err := Get("nope"); err == nil {
+		t.Error("unknown kernel accepted")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustGet should panic on unknown kernels")
+		}
+	}()
+	MustGet("nope")
+}
+
+func TestInputsAreReproducibleAndCloned(t *testing.T) {
+	a, err := NewInputs("sum_u8", 64, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewInputs("sum_u8", 64, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 64; i++ {
+		if a.Arrays[0].Int(i) != b.Arrays[0].Int(i) {
+			t.Fatal("same seed must give identical inputs")
+		}
+	}
+	c := a.Clone()
+	c.Arrays[0].SetInt(0, 111)
+	if a.Arrays[0].Int(0) == 111 {
+		t.Error("Clone must not share storage")
+	}
+	if c.Args[0].Ref == a.Args[0].Ref {
+		t.Error("Clone must rebind array arguments to the copies")
+	}
+	if _, err := NewInputs("nope", 8, 1); err == nil {
+		t.Error("unknown kernel accepted by NewInputs")
+	}
+}
+
+func TestReferenceImplementations(t *testing.T) {
+	for _, k := range All() {
+		in, err := NewInputs(k.Name, 50, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		res, err := Reference(k.Name, in)
+		if err != nil {
+			t.Fatalf("%s: %v", k.Name, err)
+		}
+		if k.Reduction && k.Name != "min_u8" && res == 0 && k.Elem != cil.F64 {
+			t.Errorf("%s: reference reduction returned 0, inputs look degenerate", k.Name)
+		}
+	}
+	// Spot check sum_u8 against a manual sum.
+	in, _ := NewInputs("sum_u8", 10, 7)
+	want := 0.0
+	for i := 0; i < 10; i++ {
+		want += float64(in.Arrays[0].Int(i))
+	}
+	got, _ := Reference("sum_u8", in)
+	if got != want {
+		t.Errorf("sum_u8 reference = %v, want %v", got, want)
+	}
+	if _, err := Reference("nope", in); err == nil {
+		t.Error("unknown kernel accepted by Reference")
+	}
+}

@@ -1,0 +1,295 @@
+package minic
+
+import "repro/internal/cil"
+
+// Program is a parsed MiniC translation unit.
+type Program struct {
+	Funcs []*FuncDecl
+}
+
+// Func returns the function with the given name, or nil.
+func (p *Program) Func(name string) *FuncDecl {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f
+		}
+	}
+	return nil
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Pos    Pos
+	Name   string
+	Params []Param
+	Ret    cil.Type
+	Body   *BlockStmt
+}
+
+// Param is a function parameter.
+type Param struct {
+	Pos  Pos
+	Name string
+	Type cil.Type
+}
+
+// Stmt is a MiniC statement.
+type Stmt interface{ stmtNode() }
+
+// Expr is a MiniC expression. After type checking, Type() returns the
+// expression's static type.
+type Expr interface {
+	exprNode()
+	Type() cil.Type
+	Position() Pos
+}
+
+// ---- Statements ----
+
+// BlockStmt is a brace-delimited statement list introducing a scope.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// DeclStmt declares a local variable, optionally with an initializer.
+type DeclStmt struct {
+	Pos  Pos
+	Name string
+	Typ  cil.Type
+	Init Expr // may be nil
+}
+
+// AssignStmt assigns RHS to LHS (an *Ident or an *IndexExpr).
+type AssignStmt struct {
+	Pos Pos
+	LHS Expr
+	RHS Expr
+}
+
+// IfStmt is a conditional with an optional else branch.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then *BlockStmt
+	Else *BlockStmt // may be nil
+}
+
+// WhileStmt is a pre-tested loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body *BlockStmt
+}
+
+// ForStmt is a C-style for loop. Init and Post may be nil.
+//
+// The offline vectorizer (internal/opt) attaches its decision to Plan; the
+// code generator emits a vectorized main loop plus a scalar epilogue when
+// Plan is non-nil. Plan is declared as an opaque interface here so that the
+// front end does not depend on the optimizer.
+type ForStmt struct {
+	Pos  Pos
+	Init Stmt // DeclStmt or AssignStmt or nil
+	Cond Expr
+	Post Stmt // AssignStmt or nil
+	Body *BlockStmt
+
+	Plan interface{}
+}
+
+// ReturnStmt returns from the enclosing function, with an optional value.
+type ReturnStmt struct {
+	Pos   Pos
+	Value Expr // nil for void returns
+}
+
+// ExprStmt evaluates an expression for its side effects (a call).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+func (*BlockStmt) stmtNode()  {}
+func (*DeclStmt) stmtNode()   {}
+func (*AssignStmt) stmtNode() {}
+func (*IfStmt) stmtNode()     {}
+func (*WhileStmt) stmtNode()  {}
+func (*ForStmt) stmtNode()    {}
+func (*ReturnStmt) stmtNode() {}
+func (*ExprStmt) stmtNode()   {}
+
+// ---- Expressions ----
+
+// typeInfo carries the type annotation set by the type checker.
+type typeInfo struct{ typ cil.Type }
+
+func (t *typeInfo) Type() cil.Type { return t.typ }
+
+// SetType records the expression's static type. It is called by the type
+// checker and by optimizer passes that synthesize new (already-typed) nodes.
+func (t *typeInfo) SetType(x cil.Type) { t.typ = x }
+
+func (t *typeInfo) setType(x cil.Type) { t.SetType(x) }
+
+// Ident is a reference to a named variable or parameter. Sym is filled in by
+// the type checker with the resolved storage location.
+type Ident struct {
+	typeInfo
+	Pos  Pos
+	Name string
+	Sym  *Symbol
+}
+
+// IntLit is an integer (or character) literal.
+type IntLit struct {
+	typeInfo
+	Pos   Pos
+	Value int64
+}
+
+// FloatLit is a floating-point literal.
+type FloatLit struct {
+	typeInfo
+	Pos   Pos
+	Value float64
+}
+
+// BinOp identifies a binary operator.
+type BinOp int
+
+// Binary operators.
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpEq
+	OpNe
+	OpLogAnd
+	OpLogOr
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpRem: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>",
+	OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", OpEq: "==", OpNe: "!=",
+	OpLogAnd: "&&", OpLogOr: "||",
+}
+
+func (op BinOp) String() string { return binOpNames[op] }
+
+// IsComparison reports whether the operator yields a boolean.
+func (op BinOp) IsComparison() bool { return op >= OpLt && op <= OpNe }
+
+// IsLogical reports whether the operator is && or ||.
+func (op BinOp) IsLogical() bool { return op == OpLogAnd || op == OpLogOr }
+
+// BinaryExpr is a binary operation.
+type BinaryExpr struct {
+	typeInfo
+	Pos  Pos
+	Op   BinOp
+	L, R Expr
+}
+
+// UnOp identifies a unary operator.
+type UnOp int
+
+// Unary operators.
+const (
+	OpNeg   UnOp = iota // -
+	OpNot               // !
+	OpCompl             // ~
+)
+
+func (op UnOp) String() string {
+	switch op {
+	case OpNeg:
+		return "-"
+	case OpNot:
+		return "!"
+	default:
+		return "~"
+	}
+}
+
+// UnaryExpr is a unary operation.
+type UnaryExpr struct {
+	typeInfo
+	Pos Pos
+	Op  UnOp
+	X   Expr
+}
+
+// CallExpr is a function call. Min/max intrinsics are represented as calls
+// to "min"/"max" and resolved by the type checker.
+type CallExpr struct {
+	typeInfo
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+// IndexExpr is an array element access a[i].
+type IndexExpr struct {
+	typeInfo
+	Pos   Pos
+	Arr   Expr // always an *Ident after parsing
+	Index Expr
+}
+
+// CastExpr is an explicit conversion (T) x.
+type CastExpr struct {
+	typeInfo
+	Pos Pos
+	To  cil.Type
+	X   Expr
+}
+
+// LenExpr is the built-in len(a) returning the length of an array.
+type LenExpr struct {
+	typeInfo
+	Pos Pos
+	Arr Expr
+}
+
+// NewArrayExpr allocates a new array: new T[n].
+type NewArrayExpr struct {
+	typeInfo
+	Pos  Pos
+	Elem cil.Kind
+	Len  Expr
+}
+
+func (*Ident) exprNode()        {}
+func (*IntLit) exprNode()       {}
+func (*FloatLit) exprNode()     {}
+func (*BinaryExpr) exprNode()   {}
+func (*UnaryExpr) exprNode()    {}
+func (*CallExpr) exprNode()     {}
+func (*IndexExpr) exprNode()    {}
+func (*CastExpr) exprNode()     {}
+func (*LenExpr) exprNode()      {}
+func (*NewArrayExpr) exprNode() {}
+
+func (e *Ident) Position() Pos        { return e.Pos }
+func (e *IntLit) Position() Pos       { return e.Pos }
+func (e *FloatLit) Position() Pos     { return e.Pos }
+func (e *BinaryExpr) Position() Pos   { return e.Pos }
+func (e *UnaryExpr) Position() Pos    { return e.Pos }
+func (e *CallExpr) Position() Pos     { return e.Pos }
+func (e *IndexExpr) Position() Pos    { return e.Pos }
+func (e *CastExpr) Position() Pos     { return e.Pos }
+func (e *LenExpr) Position() Pos      { return e.Pos }
+func (e *NewArrayExpr) Position() Pos { return e.Pos }

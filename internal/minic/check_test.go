@@ -1,0 +1,204 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cil"
+)
+
+func mustCheck(t *testing.T, src string) *Checked {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	chk, err := Check(prog)
+	if err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	return chk
+}
+
+func TestCheckSaxpyTypes(t *testing.T) {
+	chk := mustCheck(t, saxpySrc)
+	info := chk.Funcs["saxpy"]
+	if info == nil {
+		t.Fatal("missing FuncInfo for saxpy")
+	}
+	if info.NumParams != 4 {
+		t.Errorf("NumParams = %d, want 4", info.NumParams)
+	}
+	if len(info.Locals) != 1 || info.Locals[0].Name != "i" || info.Locals[0].Type != cil.Scalar(cil.I32) {
+		t.Errorf("locals = %+v, want a single i32 local i", info.Locals)
+	}
+	loop := info.Decl.Body.Stmts[0].(*ForStmt)
+	asg := loop.Body.Stmts[0].(*AssignStmt)
+	if asg.RHS.Type() != cil.Scalar(cil.F64) {
+		t.Errorf("RHS type = %v, want f64", asg.RHS.Type())
+	}
+	idx := asg.LHS.(*IndexExpr)
+	if idx.Type() != cil.Scalar(cil.F64) {
+		t.Errorf("y[i] type = %v, want f64", idx.Type())
+	}
+	if ident := idx.Arr.(*Ident); ident.Sym == nil || !ident.Sym.IsParam || ident.Sym.Index != 0 {
+		t.Errorf("y symbol not resolved to parameter 0: %+v", idx.Arr)
+	}
+}
+
+func TestCheckImplicitConversions(t *testing.T) {
+	chk := mustCheck(t, `
+f64 mix(i32 a, f64 b, u8 c) {
+    return a + b * c;
+}`)
+	ret := chk.Funcs["mix"].Decl.Body.Stmts[0].(*ReturnStmt)
+	if ret.Value.Type() != cil.Scalar(cil.F64) {
+		t.Errorf("result type = %v, want f64", ret.Value.Type())
+	}
+	add := ret.Value.(*BinaryExpr)
+	if add.L.Type() != cil.Scalar(cil.F64) || add.R.Type() != cil.Scalar(cil.F64) {
+		t.Error("operands of + must both be converted to f64")
+	}
+	if _, ok := add.L.(*CastExpr); !ok {
+		t.Errorf("i32 operand should be wrapped in a cast, got %T", add.L)
+	}
+}
+
+func TestCheckUsualArithmeticConversions(t *testing.T) {
+	cases := []struct {
+		expr string
+		want cil.Kind
+	}{
+		{"a8 + b8", cil.I32},     // sub-word ints promote to i32
+		{"a8 + i", cil.I32},      // u8 + i32 -> i32
+		{"i + u", cil.U32},       // i32 + u32 -> u32
+		{"i + l", cil.I64},       // i32 + i64 -> i64
+		{"u + ul", cil.U64},      // u32 + u64 -> u64
+		{"i + f", cil.F32},       // i32 + f32 -> f32
+		{"f + d", cil.F64},       // f32 + f64 -> f64
+		{"a8 << 2", cil.I32},     // shift takes the promoted left type
+		{"l << i", cil.I64},      // shift keeps i64
+		{"i < u", cil.Bool},      // comparisons yield bool
+		{"b && i > 0", cil.Bool}, // logical ops yield bool
+	}
+	for _, c := range cases {
+		src := "void f(u8 a8, u8 b8, i32 i, u32 u, i64 l, u64 ul, f32 f, f64 d, bool b) { " +
+			"f64 sink = (f64)(" + c.expr + "); }"
+		prog, err := Parse(src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", c.expr, err)
+		}
+		chk, err := Check(prog)
+		if err != nil {
+			t.Fatalf("%s: check: %v", c.expr, err)
+		}
+		decl := chk.Funcs["f"].Decl.Body.Stmts[0].(*DeclStmt)
+		cast := decl.Init.(*CastExpr)
+		if cast.X.Type().Kind != c.want {
+			t.Errorf("%s: type = %v, want %v", c.expr, cast.X.Type().Kind, c.want)
+		}
+	}
+}
+
+func TestCheckIntrinsics(t *testing.T) {
+	chk := mustCheck(t, `
+u32 m(u8 a, u8 b, f64 x) {
+    f64 t = max(x, 1.0);
+    i32 u = abs(0 - 3);
+    return (u32) (min(a, b) + (i32) t + u);
+}`)
+	decl := chk.Funcs["m"].Decl.Body.Stmts[0].(*DeclStmt)
+	call := decl.Init.(*CallExpr)
+	if call.Name != "max" || call.Type() != cil.Scalar(cil.F64) {
+		t.Errorf("max type = %v", call.Type())
+	}
+}
+
+func TestCheckLargeIntLiteral(t *testing.T) {
+	chk := mustCheck(t, "i64 big() { return 5000000000; }")
+	ret := chk.Funcs["big"].Decl.Body.Stmts[0].(*ReturnStmt)
+	if ret.Value.Type() != cil.Scalar(cil.I64) {
+		t.Errorf("large literal type = %v, want i64", ret.Value.Type())
+	}
+}
+
+func TestCheckArrayRules(t *testing.T) {
+	// Arrays pass by reference and must match exactly.
+	mustCheck(t, `
+void fill(u8 dst[], i32 n) { for (i32 i = 0; i < n; i++) dst[i] = (u8) i; }
+void run(u8 buf[]) { fill(buf, len(buf)); }
+`)
+}
+
+func TestCheckErrors(t *testing.T) {
+	cases := map[string]string{
+		"undefined variable":   "i32 f() { return x; }",
+		"undefined function":   "i32 f() { return g(); }",
+		"duplicate function":   "i32 f() { return 0; } i32 f() { return 1; }",
+		"duplicate param":      "i32 f(i32 a, i32 a) { return 0; }",
+		"redeclared local":     "i32 f() { i32 x = 0; i32 x = 1; return x; }",
+		"void variable":        "void f() { void x; }",
+		"void param":           "void f(void x) { }",
+		"arity mismatch":       "i32 g(i32 a) { return a; } i32 f() { return g(); }",
+		"array arg mismatch":   "i32 g(u8 a[]) { return 0; } i32 f(i32 b[]) { return g(b); }",
+		"array return":         "u8[] f(u8 a[]) { return a; }",
+		"index non-array":      "i32 f(i32 x) { return x[0]; }",
+		"float index":          "i32 f(i32 a[], f64 x) { return a[x]; }",
+		"float modulo":         "f64 f(f64 a, f64 b) { return a % b; }",
+		"float bitand":         "f64 f(f64 a, f64 b) { return a & b; }",
+		"compl of float":       "i32 f(f64 a) { return ~a; }",
+		"neg of array":         "i32 f(i32 a[]) { return -a; }",
+		"not of array":         "i32 f(i32 a[]) { return !a; }",
+		"return from void":     "void f() { return 1; }",
+		"missing return value": "i32 f() { return; }",
+		"condition is array":   "void f(i32 a[]) { if (a) { } }",
+		"assign array mismatch": `
+void f(u8 a[], i32 b[]) { i32 c[] = new i32[4]; a = c; }`,
+		"non-call expr stmt": "void f(i32 x) { x + 1; }",
+		"cast array":         "void f(i32 a[]) { f64 x = (f64) a; }",
+		"reserved name":      "i32 max(i32 a, i32 b) { return a; }",
+		"len of scalar":      "i32 f(i32 x) { return len(x); }",
+		"arith on array":     "i32 f(i32 a[], i32 b[]) { return a + b; }",
+		"min arity":          "i32 f() { return min(1); }",
+		"abs arity":          "i32 f() { return abs(1, 2); }",
+		"min of arrays":      "i32 f(i32 a[]) { return min(a, a); }",
+		"new negative type":  "void f() { f64 x[] = new f64[1.5]; }",
+		"intrinsic arg kind": "i32 f(i32 a[]) { return abs(a); }",
+	}
+	for name, src := range cases {
+		prog, err := Parse(src)
+		if err != nil {
+			t.Errorf("%s: unexpected parse error: %v", name, err)
+			continue
+		}
+		if _, err := Check(prog); err == nil {
+			t.Errorf("%s: Check should fail for %q", name, src)
+		} else if !strings.Contains(err.Error(), "minic:") {
+			t.Errorf("%s: error %q lacks position info", name, err)
+		}
+	}
+}
+
+func TestCheckScoping(t *testing.T) {
+	// A block-scoped variable may shadow an outer one and both get slots.
+	chk := mustCheck(t, `
+i32 f(i32 n) {
+    i32 x = 1;
+    if (n > 0) {
+        i32 x = 2;
+        n = n + x;
+    }
+    return x + n;
+}`)
+	if got := len(chk.Funcs["f"].Locals); got != 2 {
+		t.Errorf("locals = %d, want 2 (shadowing allocates a second slot)", got)
+	}
+	// The for-init variable is scoped to the loop.
+	prog, err := Parse("i32 f() { for (i32 i = 0; i < 3; i++) { } return i; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Check(prog); err == nil {
+		t.Error("loop variable should not be visible after the loop")
+	}
+}

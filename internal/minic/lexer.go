@@ -1,0 +1,302 @@
+package minic
+
+import (
+	"strconv"
+	"strings"
+)
+
+// Lexer turns MiniC source text into a token stream.
+type Lexer struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// NewLexer returns a lexer over the given source text.
+func NewLexer(src string) *Lexer {
+	return &Lexer{src: src, line: 1, col: 1}
+}
+
+// Lex scans the entire input and returns the token stream terminated by a
+// TokEOF token, or the first lexical error.
+func Lex(src string) ([]Token, error) {
+	lx := NewLexer(src)
+	var toks []Token
+	for {
+		t, err := lx.Next()
+		if err != nil {
+			return nil, err
+		}
+		toks = append(toks, t)
+		if t.Kind == TokEOF {
+			return toks, nil
+		}
+	}
+}
+
+func (lx *Lexer) peek() byte {
+	if lx.off >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off]
+}
+
+func (lx *Lexer) peek2() byte {
+	if lx.off+1 >= len(lx.src) {
+		return 0
+	}
+	return lx.src[lx.off+1]
+}
+
+func (lx *Lexer) advance() byte {
+	c := lx.src[lx.off]
+	lx.off++
+	if c == '\n' {
+		lx.line++
+		lx.col = 1
+	} else {
+		lx.col++
+	}
+	return c
+}
+
+func (lx *Lexer) pos() Pos { return Pos{Line: lx.line, Col: lx.col} }
+
+func (lx *Lexer) skipSpaceAndComments() error {
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			lx.advance()
+		case c == '/' && lx.peek2() == '/':
+			for lx.off < len(lx.src) && lx.peek() != '\n' {
+				lx.advance()
+			}
+		case c == '/' && lx.peek2() == '*':
+			start := lx.pos()
+			lx.advance()
+			lx.advance()
+			closed := false
+			for lx.off < len(lx.src) {
+				if lx.peek() == '*' && lx.peek2() == '/' {
+					lx.advance()
+					lx.advance()
+					closed = true
+					break
+				}
+				lx.advance()
+			}
+			if !closed {
+				return errf(start, "unterminated block comment")
+			}
+		default:
+			return nil
+		}
+	}
+	return nil
+}
+
+// Next returns the next token.
+func (lx *Lexer) Next() (Token, error) {
+	if err := lx.skipSpaceAndComments(); err != nil {
+		return Token{}, err
+	}
+	pos := lx.pos()
+	if lx.off >= len(lx.src) {
+		return Token{Kind: TokEOF, Pos: pos}, nil
+	}
+	c := lx.peek()
+	switch {
+	case isLetter(c):
+		return lx.lexIdent(pos), nil
+	case isDigit(c) || (c == '.' && isDigit(lx.peek2())):
+		return lx.lexNumber(pos)
+	case c == '\'':
+		return lx.lexChar(pos)
+	}
+	lx.advance()
+	two := func(next byte, ifTwo, ifOne TokKind) Token {
+		if lx.peek() == next {
+			lx.advance()
+			return Token{Kind: ifTwo, Pos: pos}
+		}
+		return Token{Kind: ifOne, Pos: pos}
+	}
+	switch c {
+	case '(':
+		return Token{Kind: TokLParen, Pos: pos}, nil
+	case ')':
+		return Token{Kind: TokRParen, Pos: pos}, nil
+	case '{':
+		return Token{Kind: TokLBrace, Pos: pos}, nil
+	case '}':
+		return Token{Kind: TokRBrace, Pos: pos}, nil
+	case '[':
+		return Token{Kind: TokLBracket, Pos: pos}, nil
+	case ']':
+		return Token{Kind: TokRBracket, Pos: pos}, nil
+	case ',':
+		return Token{Kind: TokComma, Pos: pos}, nil
+	case ';':
+		return Token{Kind: TokSemi, Pos: pos}, nil
+	case '+':
+		if lx.peek() == '+' {
+			lx.advance()
+			return Token{Kind: TokPlusPlus, Pos: pos}, nil
+		}
+		return two('=', TokPlusEq, TokPlus), nil
+	case '-':
+		if lx.peek() == '-' {
+			lx.advance()
+			return Token{Kind: TokMinusMinus, Pos: pos}, nil
+		}
+		return two('=', TokMinusEq, TokMinus), nil
+	case '*':
+		return two('=', TokStarEq, TokStar), nil
+	case '/':
+		return Token{Kind: TokSlash, Pos: pos}, nil
+	case '%':
+		return Token{Kind: TokPercent, Pos: pos}, nil
+	case '^':
+		return Token{Kind: TokCaret, Pos: pos}, nil
+	case '~':
+		return Token{Kind: TokTilde, Pos: pos}, nil
+	case '&':
+		return two('&', TokAndAnd, TokAmp), nil
+	case '|':
+		return two('|', TokOrOr, TokPipe), nil
+	case '<':
+		if lx.peek() == '<' {
+			lx.advance()
+			return Token{Kind: TokShl, Pos: pos}, nil
+		}
+		return two('=', TokLe, TokLt), nil
+	case '>':
+		if lx.peek() == '>' {
+			lx.advance()
+			return Token{Kind: TokShr, Pos: pos}, nil
+		}
+		return two('=', TokGe, TokGt), nil
+	case '=':
+		return two('=', TokEq, TokAssign), nil
+	case '!':
+		return two('=', TokNe, TokBang), nil
+	}
+	return Token{}, errf(pos, "unexpected character %q", string(c))
+}
+
+func (lx *Lexer) lexIdent(pos Pos) Token {
+	start := lx.off
+	for lx.off < len(lx.src) && (isLetter(lx.peek()) || isDigit(lx.peek())) {
+		lx.advance()
+	}
+	text := lx.src[start:lx.off]
+	if kw, ok := keywords[text]; ok {
+		return Token{Kind: kw, Pos: pos, Text: text}
+	}
+	return Token{Kind: TokIdent, Pos: pos, Text: text}
+}
+
+func (lx *Lexer) lexNumber(pos Pos) (Token, error) {
+	start := lx.off
+	isFloat := false
+	if lx.peek() == '0' && (lx.peek2() == 'x' || lx.peek2() == 'X') {
+		lx.advance()
+		lx.advance()
+		for lx.off < len(lx.src) && isHexDigit(lx.peek()) {
+			lx.advance()
+		}
+		text := lx.src[start:lx.off]
+		v, err := strconv.ParseUint(text[2:], 16, 64)
+		if err != nil {
+			return Token{}, errf(pos, "bad hexadecimal literal %q", text)
+		}
+		return Token{Kind: TokIntLit, Pos: pos, Text: text, Int: int64(v)}, nil
+	}
+	for lx.off < len(lx.src) {
+		c := lx.peek()
+		if isDigit(c) {
+			lx.advance()
+			continue
+		}
+		if c == '.' && !isFloat {
+			isFloat = true
+			lx.advance()
+			continue
+		}
+		if (c == 'e' || c == 'E') && lx.off > start {
+			isFloat = true
+			lx.advance()
+			if lx.peek() == '+' || lx.peek() == '-' {
+				lx.advance()
+			}
+			continue
+		}
+		break
+	}
+	text := lx.src[start:lx.off]
+	if isFloat {
+		v, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return Token{}, errf(pos, "bad float literal %q", text)
+		}
+		return Token{Kind: TokFloatLit, Pos: pos, Text: text, Float: v}, nil
+	}
+	v, err := strconv.ParseUint(text, 10, 64)
+	if err != nil {
+		return Token{}, errf(pos, "bad integer literal %q", text)
+	}
+	return Token{Kind: TokIntLit, Pos: pos, Text: text, Int: int64(v)}, nil
+}
+
+func (lx *Lexer) lexChar(pos Pos) (Token, error) {
+	lx.advance() // opening quote
+	if lx.off >= len(lx.src) {
+		return Token{}, errf(pos, "unterminated character literal")
+	}
+	var v byte
+	c := lx.advance()
+	if c == '\\' {
+		if lx.off >= len(lx.src) {
+			return Token{}, errf(pos, "unterminated character literal")
+		}
+		esc := lx.advance()
+		switch esc {
+		case 'n':
+			v = '\n'
+		case 't':
+			v = '\t'
+		case 'r':
+			v = '\r'
+		case '0':
+			v = 0
+		case '\\', '\'':
+			v = esc
+		default:
+			return Token{}, errf(pos, "unknown escape \\%s", string(esc))
+		}
+	} else {
+		v = c
+	}
+	if lx.off >= len(lx.src) || lx.peek() != '\'' {
+		return Token{}, errf(pos, "unterminated character literal")
+	}
+	lx.advance()
+	return Token{Kind: TokCharLit, Pos: pos, Text: string(v), Int: int64(v)}, nil
+}
+
+func isLetter(c byte) bool {
+	return c == '_' || ('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z')
+}
+
+func isDigit(c byte) bool { return '0' <= c && c <= '9' }
+
+func isHexDigit(c byte) bool {
+	return isDigit(c) || ('a' <= c && c <= 'f') || ('A' <= c && c <= 'F')
+}
+
+// stripBOM removes a UTF-8 byte-order mark if present; exported via Parse.
+func stripBOM(src string) string {
+	return strings.TrimPrefix(src, "\xef\xbb\xbf")
+}

@@ -1,0 +1,606 @@
+package minic
+
+import "repro/internal/cil"
+
+// Parse lexes and parses a MiniC translation unit.
+func Parse(src string) (*Program, error) {
+	toks, err := Lex(stripBOM(src))
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	return p.parseProgram()
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) cur() Token  { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+
+func (p *parser) at(k TokKind) bool { return p.cur().Kind == k }
+
+func (p *parser) accept(k TokKind) bool {
+	if p.at(k) {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(k TokKind) (Token, error) {
+	if !p.at(k) {
+		return Token{}, errf(p.cur().Pos, "expected %s, found %s", k, p.cur())
+	}
+	return p.next(), nil
+}
+
+func (p *parser) parseProgram() (*Program, error) {
+	prog := &Program{}
+	for !p.at(TokEOF) {
+		f, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		prog.Funcs = append(prog.Funcs, f)
+	}
+	return prog, nil
+}
+
+// kindOf maps a type keyword to its cil.Kind.
+func kindOf(k TokKind) cil.Kind {
+	switch k {
+	case TokKwVoid:
+		return cil.Void
+	case TokKwBool:
+		return cil.Bool
+	case TokKwI8:
+		return cil.I8
+	case TokKwU8:
+		return cil.U8
+	case TokKwI16:
+		return cil.I16
+	case TokKwU16:
+		return cil.U16
+	case TokKwI32:
+		return cil.I32
+	case TokKwU32:
+		return cil.U32
+	case TokKwI64:
+		return cil.I64
+	case TokKwU64:
+		return cil.U64
+	case TokKwF32:
+		return cil.F32
+	case TokKwF64:
+		return cil.F64
+	}
+	return cil.Void
+}
+
+// parseType parses "kw" optionally followed by "[]" (array-of-kw).
+func (p *parser) parseType() (cil.Type, error) {
+	t := p.cur()
+	if !t.Kind.IsTypeKeyword() {
+		return cil.Type{}, errf(t.Pos, "expected a type, found %s", t)
+	}
+	p.next()
+	k := kindOf(t.Kind)
+	if p.at(TokLBracket) && p.toks[p.pos+1].Kind == TokRBracket {
+		p.next()
+		p.next()
+		if k == cil.Void {
+			return cil.Type{}, errf(t.Pos, "void[] is not a valid type")
+		}
+		return cil.Array(k), nil
+	}
+	return cil.Scalar(k), nil
+}
+
+func (p *parser) parseFunc() (*FuncDecl, error) {
+	start := p.cur().Pos
+	ret, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	var params []Param
+	for !p.at(TokRParen) {
+		if len(params) > 0 {
+			if _, err := p.expect(TokComma); err != nil {
+				return nil, err
+			}
+		}
+		pt, err := p.parseType()
+		if err != nil {
+			return nil, err
+		}
+		pn, err := p.expect(TokIdent)
+		if err != nil {
+			return nil, err
+		}
+		// Allow the C-style suffix form "u8 a[]".
+		if p.at(TokLBracket) && p.toks[p.pos+1].Kind == TokRBracket {
+			p.next()
+			p.next()
+			if pt.IsArray() {
+				return nil, errf(pn.Pos, "parameter %q declared as array twice", pn.Text)
+			}
+			if pt.Kind == cil.Void {
+				return nil, errf(pn.Pos, "void[] is not a valid type")
+			}
+			pt = cil.Array(pt.Kind)
+		}
+		params = append(params, Param{Pos: pn.Pos, Name: pn.Text, Type: pt})
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	return &FuncDecl{Pos: start, Name: nameTok.Text, Params: params, Ret: ret, Body: body}, nil
+}
+
+func (p *parser) parseBlock() (*BlockStmt, error) {
+	lb, err := p.expect(TokLBrace)
+	if err != nil {
+		return nil, err
+	}
+	blk := &BlockStmt{Pos: lb.Pos}
+	for !p.at(TokRBrace) {
+		if p.at(TokEOF) {
+			return nil, errf(lb.Pos, "unterminated block")
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		blk.Stmts = append(blk.Stmts, s)
+	}
+	p.next()
+	return blk, nil
+}
+
+// parseBlockOrStmt parses either a braced block or a single statement
+// wrapped in a block.
+func (p *parser) parseBlockOrStmt() (*BlockStmt, error) {
+	if p.at(TokLBrace) {
+		return p.parseBlock()
+	}
+	s, err := p.parseStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &BlockStmt{Pos: p.cur().Pos, Stmts: []Stmt{s}}, nil
+}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.cur()
+	switch {
+	case t.Kind == TokLBrace:
+		return p.parseBlock()
+	case t.Kind.IsTypeKeyword():
+		s, err := p.parseDecl()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	case t.Kind == TokKwIf:
+		return p.parseIf()
+	case t.Kind == TokKwWhile:
+		return p.parseWhile()
+	case t.Kind == TokKwFor:
+		return p.parseFor()
+	case t.Kind == TokKwReturn:
+		p.next()
+		r := &ReturnStmt{Pos: t.Pos}
+		if !p.at(TokSemi) {
+			e, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			r.Value = e
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return r, nil
+	default:
+		s, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokSemi); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+}
+
+// parseDecl parses "type ident (= expr)?" without the trailing semicolon.
+func (p *parser) parseDecl() (Stmt, error) {
+	start := p.cur().Pos
+	typ, err := p.parseType()
+	if err != nil {
+		return nil, err
+	}
+	nameTok, err := p.expect(TokIdent)
+	if err != nil {
+		return nil, err
+	}
+	// Allow the C-style suffix form "i32 a[] = ...".
+	if p.at(TokLBracket) && p.toks[p.pos+1].Kind == TokRBracket {
+		p.next()
+		p.next()
+		if typ.IsArray() {
+			return nil, errf(nameTok.Pos, "variable %q declared as array twice", nameTok.Text)
+		}
+		if typ.Kind == cil.Void {
+			return nil, errf(nameTok.Pos, "void[] is not a valid type")
+		}
+		typ = cil.Array(typ.Kind)
+	}
+	d := &DeclStmt{Pos: start, Name: nameTok.Text, Typ: typ}
+	if p.accept(TokAssign) {
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		d.Init = e
+	}
+	return d, nil
+}
+
+func (p *parser) parseIf() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	then, err := p.parseBlockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	s := &IfStmt{Pos: t.Pos, Cond: cond, Then: then}
+	if p.accept(TokKwElse) {
+		els, err := p.parseBlockOrStmt()
+		if err != nil {
+			return nil, err
+		}
+		s.Else = els
+	}
+	return s, nil
+}
+
+func (p *parser) parseWhile() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	cond, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	return &WhileStmt{Pos: t.Pos, Cond: cond, Body: body}, nil
+}
+
+func (p *parser) parseFor() (Stmt, error) {
+	t := p.next()
+	if _, err := p.expect(TokLParen); err != nil {
+		return nil, err
+	}
+	f := &ForStmt{Pos: t.Pos}
+	if !p.at(TokSemi) {
+		var err error
+		if p.cur().Kind.IsTypeKeyword() {
+			f.Init, err = p.parseDecl()
+		} else {
+			f.Init, err = p.parseSimpleStmt()
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if !p.at(TokSemi) {
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		f.Cond = cond
+	}
+	if _, err := p.expect(TokSemi); err != nil {
+		return nil, err
+	}
+	if !p.at(TokRParen) {
+		post, err := p.parseSimpleStmt()
+		if err != nil {
+			return nil, err
+		}
+		f.Post = post
+	}
+	if _, err := p.expect(TokRParen); err != nil {
+		return nil, err
+	}
+	body, err := p.parseBlockOrStmt()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+// parseSimpleStmt parses an assignment, increment/decrement, compound
+// assignment or expression statement (without the trailing semicolon).
+func (p *parser) parseSimpleStmt() (Stmt, error) {
+	start := p.cur().Pos
+	lhs, err := p.parseExpr()
+	if err != nil {
+		return nil, err
+	}
+	switch p.cur().Kind {
+	case TokAssign:
+		p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := checkLValue(lhs); err != nil {
+			return nil, err
+		}
+		return &AssignStmt{Pos: start, LHS: lhs, RHS: rhs}, nil
+	case TokPlusEq, TokMinusEq, TokStarEq:
+		opTok := p.next()
+		rhs, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if err := checkLValue(lhs); err != nil {
+			return nil, err
+		}
+		op := map[TokKind]BinOp{TokPlusEq: OpAdd, TokMinusEq: OpSub, TokStarEq: OpMul}[opTok.Kind]
+		return &AssignStmt{Pos: start, LHS: lhs, RHS: &BinaryExpr{Pos: start, Op: op, L: cloneLValue(lhs), R: rhs}}, nil
+	case TokPlusPlus, TokMinusMinus:
+		opTok := p.next()
+		if err := checkLValue(lhs); err != nil {
+			return nil, err
+		}
+		op := OpAdd
+		if opTok.Kind == TokMinusMinus {
+			op = OpSub
+		}
+		one := &IntLit{Pos: start, Value: 1}
+		return &AssignStmt{Pos: start, LHS: lhs, RHS: &BinaryExpr{Pos: start, Op: op, L: cloneLValue(lhs), R: one}}, nil
+	default:
+		return &ExprStmt{Pos: start, X: lhs}, nil
+	}
+}
+
+// checkLValue verifies that an expression can appear on the left of an
+// assignment: a variable or an array element.
+func checkLValue(e Expr) error {
+	switch e.(type) {
+	case *Ident, *IndexExpr:
+		return nil
+	}
+	return errf(e.Position(), "expression is not assignable")
+}
+
+// cloneLValue builds a fresh read of the same location, used to desugar
+// compound assignments (x += e becomes x = x + e).
+func cloneLValue(e Expr) Expr {
+	switch v := e.(type) {
+	case *Ident:
+		return &Ident{Pos: v.Pos, Name: v.Name}
+	case *IndexExpr:
+		return &IndexExpr{Pos: v.Pos, Arr: cloneLValue(v.Arr), Index: v.Index}
+	}
+	return e
+}
+
+// ---- Expressions (precedence climbing) ----
+
+var binPrec = map[TokKind]int{
+	TokOrOr:   1,
+	TokAndAnd: 2,
+	TokPipe:   3,
+	TokCaret:  4,
+	TokAmp:    5,
+	TokEq:     6, TokNe: 6,
+	TokLt: 7, TokLe: 7, TokGt: 7, TokGe: 7,
+	TokShl: 8, TokShr: 8,
+	TokPlus: 9, TokMinus: 9,
+	TokStar: 10, TokSlash: 10, TokPercent: 10,
+}
+
+var binOpOf = map[TokKind]BinOp{
+	TokOrOr: OpLogOr, TokAndAnd: OpLogAnd,
+	TokPipe: OpOr, TokCaret: OpXor, TokAmp: OpAnd,
+	TokEq: OpEq, TokNe: OpNe,
+	TokLt: OpLt, TokLe: OpLe, TokGt: OpGt, TokGe: OpGe,
+	TokShl: OpShl, TokShr: OpShr,
+	TokPlus: OpAdd, TokMinus: OpSub,
+	TokStar: OpMul, TokSlash: OpDiv, TokPercent: OpRem,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		prec, ok := binPrec[p.cur().Kind]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		opTok := p.next()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &BinaryExpr{Pos: opTok.Pos, Op: binOpOf[opTok.Kind], L: lhs, R: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokMinus:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: t.Pos, Op: OpNeg, X: x}, nil
+	case TokBang:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: t.Pos, Op: OpNot, X: x}, nil
+	case TokTilde:
+		p.next()
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return &UnaryExpr{Pos: t.Pos, Op: OpCompl, X: x}, nil
+	case TokLParen:
+		// A cast if the parenthesis is followed by a type keyword.
+		if p.toks[p.pos+1].Kind.IsTypeKeyword() {
+			p.next()
+			typ, err := p.parseType()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRParen); err != nil {
+				return nil, err
+			}
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &CastExpr{Pos: t.Pos, To: typ, X: x}, nil
+		}
+	}
+	return p.parsePostfix()
+}
+
+func (p *parser) parsePostfix() (Expr, error) {
+	e, err := p.parsePrimary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		switch p.cur().Kind {
+		case TokLBracket:
+			lb := p.next()
+			idx, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokRBracket); err != nil {
+				return nil, err
+			}
+			e = &IndexExpr{Pos: lb.Pos, Arr: e, Index: idx}
+		default:
+			return e, nil
+		}
+	}
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.cur()
+	switch t.Kind {
+	case TokIntLit, TokCharLit:
+		p.next()
+		return &IntLit{Pos: t.Pos, Value: t.Int}, nil
+	case TokFloatLit:
+		p.next()
+		return &FloatLit{Pos: t.Pos, Value: t.Float}, nil
+	case TokIdent:
+		p.next()
+		if p.at(TokLParen) {
+			p.next()
+			var args []Expr
+			for !p.at(TokRParen) {
+				if len(args) > 0 {
+					if _, err := p.expect(TokComma); err != nil {
+						return nil, err
+					}
+				}
+				a, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				args = append(args, a)
+			}
+			p.next()
+			if t.Text == "len" && len(args) == 1 {
+				return &LenExpr{Pos: t.Pos, Arr: args[0]}, nil
+			}
+			return &CallExpr{Pos: t.Pos, Name: t.Text, Args: args}, nil
+		}
+		return &Ident{Pos: t.Pos, Name: t.Text}, nil
+	case TokLParen:
+		p.next()
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRParen); err != nil {
+			return nil, err
+		}
+		return e, nil
+	case TokKwNew:
+		p.next()
+		elemTok := p.cur()
+		if !elemTok.Kind.IsTypeKeyword() || elemTok.Kind == TokKwVoid {
+			return nil, errf(elemTok.Pos, "expected an element type after new, found %s", elemTok)
+		}
+		p.next()
+		if _, err := p.expect(TokLBracket); err != nil {
+			return nil, err
+		}
+		n, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(TokRBracket); err != nil {
+			return nil, err
+		}
+		return &NewArrayExpr{Pos: t.Pos, Elem: kindOf(elemTok.Kind), Len: n}, nil
+	}
+	return nil, errf(t.Pos, "unexpected %s in expression", t)
+}

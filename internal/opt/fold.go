@@ -1,0 +1,218 @@
+// Package opt implements the offline optimizer of the split compiler. It
+// runs on the type-checked MiniC AST (the stand-in for GCC's middle end in
+// the paper's toolchain) and performs the expensive analyses whose results
+// are either applied directly (constant folding) or recorded as vectorization
+// plans that the offline code generator lowers to portable vector builtins
+// and annotations.
+package opt
+
+import (
+	"repro/internal/cil"
+	"repro/internal/minic"
+	"repro/internal/prim"
+)
+
+// FoldConstants performs constant folding over every function of the checked
+// program, in place. Only arithmetic on literals of the same type is folded;
+// division by zero is left untouched so that run-time trapping semantics are
+// preserved.
+func FoldConstants(chk *minic.Checked) int {
+	f := &folder{}
+	for _, fn := range chk.Prog.Funcs {
+		f.foldBlock(fn.Body)
+	}
+	return f.folded
+}
+
+type folder struct {
+	folded int
+}
+
+func (f *folder) foldBlock(b *minic.BlockStmt) {
+	for _, s := range b.Stmts {
+		f.foldStmt(s)
+	}
+}
+
+func (f *folder) foldStmt(s minic.Stmt) {
+	switch st := s.(type) {
+	case *minic.BlockStmt:
+		f.foldBlock(st)
+	case *minic.DeclStmt:
+		if st.Init != nil {
+			st.Init = f.foldExpr(st.Init)
+		}
+	case *minic.AssignStmt:
+		st.LHS = f.foldExpr(st.LHS)
+		st.RHS = f.foldExpr(st.RHS)
+	case *minic.IfStmt:
+		st.Cond = f.foldExpr(st.Cond)
+		f.foldBlock(st.Then)
+		if st.Else != nil {
+			f.foldBlock(st.Else)
+		}
+	case *minic.WhileStmt:
+		st.Cond = f.foldExpr(st.Cond)
+		f.foldBlock(st.Body)
+	case *minic.ForStmt:
+		if st.Init != nil {
+			f.foldStmt(st.Init)
+		}
+		if st.Cond != nil {
+			st.Cond = f.foldExpr(st.Cond)
+		}
+		if st.Post != nil {
+			f.foldStmt(st.Post)
+		}
+		f.foldBlock(st.Body)
+	case *minic.ReturnStmt:
+		if st.Value != nil {
+			st.Value = f.foldExpr(st.Value)
+		}
+	case *minic.ExprStmt:
+		st.X = f.foldExpr(st.X)
+	}
+}
+
+func (f *folder) foldExpr(e minic.Expr) minic.Expr {
+	switch ex := e.(type) {
+	case *minic.BinaryExpr:
+		ex.L = f.foldExpr(ex.L)
+		ex.R = f.foldExpr(ex.R)
+		return f.foldBinary(ex)
+	case *minic.UnaryExpr:
+		ex.X = f.foldExpr(ex.X)
+		return f.foldUnary(ex)
+	case *minic.CastExpr:
+		ex.X = f.foldExpr(ex.X)
+		return f.foldCast(ex)
+	case *minic.CallExpr:
+		for i := range ex.Args {
+			ex.Args[i] = f.foldExpr(ex.Args[i])
+		}
+		return ex
+	case *minic.IndexExpr:
+		ex.Index = f.foldExpr(ex.Index)
+		return ex
+	case *minic.LenExpr:
+		return ex
+	case *minic.NewArrayExpr:
+		ex.Len = f.foldExpr(ex.Len)
+		return ex
+	default:
+		return e
+	}
+}
+
+// literalOf extracts a constant scalar from an expression, if it is one.
+func literalOf(e minic.Expr) (prim.Scalar, cil.Kind, bool) {
+	switch v := e.(type) {
+	case *minic.IntLit:
+		return prim.Int(v.Type().Kind, v.Value), v.Type().Kind, true
+	case *minic.FloatLit:
+		return prim.Float(v.Type().Kind, v.Value), v.Type().Kind, true
+	}
+	return prim.Scalar{}, cil.Void, false
+}
+
+// makeLiteral builds a literal expression of the given kind from a scalar.
+// Folded literals inherit the type of the expression they replace.
+func makeLiteral(pos minic.Pos, k cil.Kind, s prim.Scalar, t cil.Type) minic.Expr {
+	if k.IsFloat() {
+		lit := &minic.FloatLit{Pos: pos, Value: s.F}
+		lit.SetType(t)
+		return lit
+	}
+	lit := &minic.IntLit{Pos: pos, Value: s.I}
+	lit.SetType(t)
+	return lit
+}
+
+var binOpToCil = map[minic.BinOp]cil.Opcode{
+	minic.OpAdd: cil.Add, minic.OpSub: cil.Sub, minic.OpMul: cil.Mul,
+	minic.OpDiv: cil.Div, minic.OpRem: cil.Rem,
+	minic.OpAnd: cil.And, minic.OpOr: cil.Or, minic.OpXor: cil.Xor,
+	minic.OpShl: cil.Shl, minic.OpShr: cil.Shr,
+}
+
+var cmpOpToCil = map[minic.BinOp]cil.Opcode{
+	minic.OpEq: cil.CmpEq, minic.OpNe: cil.CmpNe,
+	minic.OpLt: cil.CmpLt, minic.OpLe: cil.CmpLe,
+	minic.OpGt: cil.CmpGt, minic.OpGe: cil.CmpGe,
+}
+
+func (f *folder) foldBinary(ex *minic.BinaryExpr) minic.Expr {
+	l, lk, okL := literalOf(ex.L)
+	r, _, okR := literalOf(ex.R)
+	if !okL || !okR || ex.Op.IsLogical() {
+		return ex
+	}
+	if op, ok := binOpToCil[ex.Op]; ok {
+		// Keep division/remainder by a zero literal: it must trap at run time.
+		if (ex.Op == minic.OpDiv || ex.Op == minic.OpRem) && !lk.IsFloat() && r.I == 0 {
+			return ex
+		}
+		res, err := prim.Binary(op, ex.Type().Kind, l, r)
+		if err != nil {
+			return ex
+		}
+		f.folded++
+		return makeLiteral(ex.Pos, ex.Type().Kind, res, ex.Type())
+	}
+	if op, ok := cmpOpToCil[ex.Op]; ok {
+		// Comparison operands share the type of the left operand after the
+		// checker's conversions.
+		res, err := prim.Compare(op, ex.L.Type().Kind, l, r)
+		if err != nil {
+			return ex
+		}
+		f.folded++
+		v := int64(0)
+		if res {
+			v = 1
+		}
+		return makeLiteral(ex.Pos, cil.Bool, prim.Scalar{I: v}, ex.Type())
+	}
+	return ex
+}
+
+func (f *folder) foldUnary(ex *minic.UnaryExpr) minic.Expr {
+	v, _, ok := literalOf(ex.X)
+	if !ok {
+		return ex
+	}
+	switch ex.Op {
+	case minic.OpNeg:
+		res, err := prim.Unary(cil.Neg, ex.Type().Kind, v)
+		if err != nil {
+			return ex
+		}
+		f.folded++
+		return makeLiteral(ex.Pos, ex.Type().Kind, res, ex.Type())
+	case minic.OpCompl:
+		res, err := prim.Unary(cil.Not, ex.Type().Kind, v)
+		if err != nil {
+			return ex
+		}
+		f.folded++
+		return makeLiteral(ex.Pos, ex.Type().Kind, res, ex.Type())
+	case minic.OpNot:
+		f.folded++
+		out := int64(1)
+		if prim.IsTrue(ex.X.Type().Kind, v) {
+			out = 0
+		}
+		return makeLiteral(ex.Pos, cil.Bool, prim.Scalar{I: out}, ex.Type())
+	}
+	return ex
+}
+
+func (f *folder) foldCast(ex *minic.CastExpr) minic.Expr {
+	v, fromKind, ok := literalOf(ex.X)
+	if !ok {
+		return ex
+	}
+	f.folded++
+	res := prim.Convert(fromKind, ex.To.Kind, v)
+	return makeLiteral(ex.Pos, ex.To.Kind, res, ex.To)
+}

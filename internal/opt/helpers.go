@@ -1,0 +1,21 @@
+package opt
+
+import "repro/internal/minic"
+
+// IsLoopInvariantScalar reports whether the expression does not depend on the
+// induction variable and contains no array accesses or calls, so the code
+// generator may evaluate it once per iteration as a scalar and splat it into
+// a vector. Exported for use by the offline code generator when it lowers a
+// VectorPlan.
+func IsLoopInvariantScalar(e minic.Expr, index *minic.Symbol) bool {
+	return isInvariantScalar(e, index)
+}
+
+// StripCasts removes any chain of conversion wrappers around an expression.
+func StripCasts(e minic.Expr) minic.Expr { return stripCasts(e) }
+
+// IndexIsInduction reports whether the subscript expression is exactly the
+// induction variable (possibly behind the checker's i32 conversion).
+func IndexIsInduction(e minic.Expr, index *minic.Symbol) bool {
+	return indexIsInduction(e, index)
+}

@@ -1,0 +1,174 @@
+package opt
+
+import (
+	"testing"
+
+	"repro/internal/anno"
+	"repro/internal/cil"
+	"repro/internal/kernels"
+	"repro/internal/minic"
+)
+
+func checked(t *testing.T, src string) *minic.Checked {
+	t.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	chk, err := minic.Check(prog)
+	if err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	return chk
+}
+
+func plansOf(t *testing.T, src, fn string) []*VectorPlan {
+	t.Helper()
+	chk := checked(t, src)
+	results := Vectorize(chk)
+	for _, r := range results {
+		if r.Function == fn {
+			return r.Plans
+		}
+	}
+	t.Fatalf("function %q not found in results", fn)
+	return nil
+}
+
+func TestVectorizeTable1Kernels(t *testing.T) {
+	expect := map[string]anno.VecPattern{
+		"vecadd_fp": anno.PatternMap,
+		"saxpy_fp":  anno.PatternMap,
+		"dscal_fp":  anno.PatternMap,
+		"max_u8":    anno.PatternReduceMax,
+		"sum_u8":    anno.PatternReduceAdd,
+		"sum_u16":   anno.PatternReduceAdd,
+	}
+	for name, pattern := range expect {
+		k := kernels.MustGet(name)
+		plans := plansOf(t, k.Source, k.Entry)
+		if len(plans) != 1 {
+			t.Errorf("%s: %d plans, want 1", name, len(plans))
+			continue
+		}
+		p := plans[0]
+		if p.Pattern != pattern {
+			t.Errorf("%s: pattern %v, want %v", name, p.Pattern, pattern)
+		}
+		if p.Elem != k.Elem || p.Lanes != k.Elem.Lanes() {
+			t.Errorf("%s: elem %v lanes %d, want %v/%d", name, p.Elem, p.Lanes, k.Elem, k.Elem.Lanes())
+		}
+		if p.Index == nil || p.Bound == nil {
+			t.Errorf("%s: plan missing induction variable or bound", name)
+		}
+		info := AnnotationLoops(VectorizeResult{Plans: plans})
+		if len(info.Loops) != 1 || !info.Loops[0].NoAliasProven {
+			t.Errorf("%s: annotation conversion wrong: %+v", name, info)
+		}
+	}
+}
+
+func TestVectorizeRejections(t *testing.T) {
+	cases := map[string]string{
+		"shifted subscript (loop-carried reuse)": kernels.MustGet("fir").Source,
+		"control flow in body":                   kernels.MustGet("checksum").Source,
+		"fp reduction (reassociation)":           kernels.MustGet("dotprod_fp").Source,
+		"non-unit step": `
+void f(f64 a[], i32 n) { for (i32 i = 0; i < n; i += 2) { a[i] = a[i] * 2.0; } }`,
+		"decrementing induction variable": `
+void f(f64 a[], i32 n) { for (i32 i = n - 1; i < n; i--) { a[i] = 1.0; } }`,
+		"bound modified in body": `
+void f(f64 a[], i32 n) { for (i32 i = 0; i < n; i++) { a[i] = 1.0; n = n - 1; } }`,
+		"accumulator is float": `
+f32 f(f32 a[], i32 n) { f32 s = 0.0; for (i32 i = 0; i < n; i++) { s = s + a[i]; } return s; }`,
+		"call in body": `
+i32 g(i32 x) { return x; }
+void f(i32 a[], i32 n) { for (i32 i = 0; i < n; i++) { a[i] = g(a[i]); } }`,
+		"i64 induction": `
+void f(f64 a[], i64 n) { for (i64 i = 0; i < n; i++) { a[(i32) i] = 1.0; } }`,
+	}
+	for name, src := range cases {
+		chk := checked(t, src)
+		results := Vectorize(chk)
+		for _, r := range results {
+			if len(r.Plans) != 0 {
+				t.Errorf("%s: loop in %q was vectorized but must not be", name, r.Function)
+			}
+		}
+	}
+}
+
+func TestVectorizeMarksForStmtPlan(t *testing.T) {
+	k := kernels.MustGet("vecadd_fp")
+	chk := checked(t, k.Source)
+	Vectorize(chk)
+	fn := chk.Prog.Func(k.Entry)
+	loop := fn.Body.Stmts[0].(*minic.ForStmt)
+	if PlanOf(loop) == nil {
+		t.Fatal("plan not attached to the ForStmt")
+	}
+	scalarLoop := &minic.ForStmt{}
+	if PlanOf(scalarLoop) != nil {
+		t.Error("PlanOf on an unplanned loop should be nil")
+	}
+}
+
+func TestFoldConstants(t *testing.T) {
+	src := `
+f64 f(f64 x) {
+    f64 a = 2.0 * 3.0 + 1.0;
+    i32 b = (10 / 2) << 1;
+    i32 c = -(3 - 5);
+    bool d = 3 < 4;
+    i32 e = (i32) 2.75;
+    return x + a + (f64) (b + c + (i32) d + e);
+}
+i32 trap() { return 1 / 0; }
+`
+	chk := checked(t, src)
+	folded := FoldConstants(chk)
+	if folded < 6 {
+		t.Errorf("folded %d expressions, want at least 6", folded)
+	}
+	// The division by a zero literal must survive folding (it traps at run
+	// time).
+	trapFn := chk.Prog.Func("trap")
+	ret := trapFn.Body.Stmts[0].(*minic.ReturnStmt)
+	if _, isLit := ret.Value.(*minic.IntLit); isLit {
+		t.Error("division by zero was folded away")
+	}
+	// The initializer of a should now be a literal 7.0.
+	f := chk.Prog.Func("f")
+	decl := f.Body.Stmts[0].(*minic.DeclStmt)
+	lit, ok := decl.Init.(*minic.FloatLit)
+	if !ok || lit.Value != 7.0 {
+		t.Errorf("2*3+1 folded to %v, want the literal 7.0", decl.Init)
+	}
+	if lit.Type() != cil.Scalar(cil.F64) {
+		t.Errorf("folded literal type %v, want f64", lit.Type())
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	k := kernels.MustGet("saxpy_fp")
+	chk := checked(t, k.Source)
+	results := Vectorize(chk)
+	plan := results[0].Plans[0]
+	loop := chk.Prog.Func(k.Entry).Body.Stmts[0].(*minic.ForStmt)
+	asg := loop.Body.Stmts[0].(*minic.AssignStmt)
+	rhs := asg.RHS.(*minic.BinaryExpr) // a*x[i] + y[i]
+	mul := rhs.L.(*minic.BinaryExpr)
+	if !IsLoopInvariantScalar(mul.L, plan.Index) {
+		t.Error("the scalar a should be loop invariant")
+	}
+	if IsLoopInvariantScalar(mul.R, plan.Index) {
+		t.Error("x[i] is not loop invariant")
+	}
+	idx := mul.R.(*minic.IndexExpr)
+	if !IndexIsInduction(idx.Index, plan.Index) {
+		t.Error("x[i] subscript should be the induction variable")
+	}
+	if StripCasts(idx.Index) == nil {
+		t.Error("StripCasts should return the underlying expression")
+	}
+}

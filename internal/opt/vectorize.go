@@ -1,0 +1,464 @@
+package opt
+
+import (
+	"repro/internal/anno"
+	"repro/internal/cil"
+	"repro/internal/minic"
+)
+
+// VectorPlan is the offline vectorizer's decision for one for loop. It is
+// attached to minic.ForStmt.Plan and consumed by the offline code generator,
+// which emits a vectorized main loop built from portable vector builtins plus
+// a scalar epilogue.
+//
+// The plan is the "expensive half" of split vectorization: proving the
+// absence of loop-carried dependences and classifying the loop. The "cheap
+// half" — mapping the builtins to SIMD instructions or scalarizing them — is
+// left to the target-specific JIT.
+type VectorPlan struct {
+	// LoopID is the ordinal of the loop within its function (source order).
+	LoopID int
+	// Index is the canonical induction variable (starts at a loop-invariant
+	// lower bound, increments by one, only assigned by the loop post
+	// statement).
+	Index *minic.Symbol
+	// Bound is the loop-invariant upper bound expression of `index < bound`.
+	Bound minic.Expr
+	// Elem is the element kind the loop operates on.
+	Elem cil.Kind
+	// Lanes is Elem.Lanes(): the number of elements per portable vector.
+	Lanes int
+	// Pattern classifies the loop.
+	Pattern anno.VecPattern
+
+	// Map pattern: the single `dst[index] = rhs` assignment.
+	Store *minic.AssignStmt
+
+	// Reduction patterns: the accumulator variable and the reduced
+	// array-load expression (an IndexExpr at the induction variable,
+	// possibly wrapped in widening casts).
+	Acc       *minic.Symbol
+	ReduceArg minic.Expr
+}
+
+// VectorizeResult summarizes what the vectorizer did to one function.
+type VectorizeResult struct {
+	Function string
+	Plans    []*VectorPlan
+	// Rejected counts analyzable for loops that were considered but not
+	// vectorized (failed the dependence or shape tests).
+	Rejected int
+}
+
+// Vectorize runs the offline auto-vectorizer over every function of the
+// checked program. Vectorizable loops get a VectorPlan attached to their
+// ForStmt; the returned results describe the decisions (they also feed the
+// bytecode annotations emitted by the code generator).
+func Vectorize(chk *minic.Checked) []VectorizeResult {
+	var results []VectorizeResult
+	for _, fn := range chk.Prog.Funcs {
+		v := &vectorizer{fn: fn}
+		v.block(fn.Body)
+		results = append(results, VectorizeResult{Function: fn.Name, Plans: v.plans, Rejected: v.rejected})
+	}
+	return results
+}
+
+type vectorizer struct {
+	fn       *minic.FuncDecl
+	loopID   int
+	plans    []*VectorPlan
+	rejected int
+}
+
+func (v *vectorizer) block(b *minic.BlockStmt) {
+	for _, s := range b.Stmts {
+		v.stmt(s)
+	}
+}
+
+func (v *vectorizer) stmt(s minic.Stmt) {
+	switch st := s.(type) {
+	case *minic.BlockStmt:
+		v.block(st)
+	case *minic.IfStmt:
+		v.block(st.Then)
+		if st.Else != nil {
+			v.block(st.Else)
+		}
+	case *minic.WhileStmt:
+		v.block(st.Body)
+	case *minic.ForStmt:
+		id := v.loopID
+		v.loopID++
+		if plan := v.analyze(st, id); plan != nil {
+			st.Plan = plan
+			v.plans = append(v.plans, plan)
+		} else {
+			v.rejected++
+			// Inner loops of a rejected loop may still be vectorizable.
+			v.block(st.Body)
+		}
+	}
+}
+
+// analyze decides whether the for loop is vectorizable and builds its plan.
+func (v *vectorizer) analyze(loop *minic.ForStmt, id int) *VectorPlan {
+	index, bound, ok := canonicalInduction(loop)
+	if !ok {
+		return nil
+	}
+	// The loop body must be a single statement (after the front end's block
+	// wrapping): either a map store or a reduction update.
+	if len(loop.Body.Stmts) != 1 {
+		return nil
+	}
+	asg, ok := loop.Body.Stmts[0].(*minic.AssignStmt)
+	if !ok {
+		return nil
+	}
+	// The bound must be loop invariant: it must not mention the induction
+	// variable or anything assigned in the body, and must have i32 type so
+	// the vector trip-count test stays a plain i32 comparison.
+	if bound.Type().Kind.StackKind() != cil.I32 {
+		return nil
+	}
+	if mentionsSymbol(bound, index) || mentionsSymbol(bound, assignedSymbol(asg)) {
+		return nil
+	}
+
+	if plan := v.analyzeMap(loop, id, index, bound, asg); plan != nil {
+		return plan
+	}
+	return v.analyzeReduction(loop, id, index, bound, asg)
+}
+
+// canonicalInduction recognizes `for (i = <invariant>; i < bound; i++)`
+// (with or without a declaration in the init clause) and returns the
+// induction variable and bound.
+func canonicalInduction(loop *minic.ForStmt) (*minic.Symbol, minic.Expr, bool) {
+	if loop.Init == nil || loop.Cond == nil || loop.Post == nil {
+		return nil, nil, false
+	}
+	var index *minic.Symbol
+	switch init := loop.Init.(type) {
+	case *minic.DeclStmt:
+		// The checker allocated a slot for the declared variable; find it
+		// through the condition below since DeclStmt carries no symbol.
+	case *minic.AssignStmt:
+		id, ok := init.LHS.(*minic.Ident)
+		if !ok {
+			return nil, nil, false
+		}
+		index = id.Sym
+	default:
+		return nil, nil, false
+	}
+	cond, ok := loop.Cond.(*minic.BinaryExpr)
+	if !ok || cond.Op != minic.OpLt {
+		return nil, nil, false
+	}
+	condVar, ok := cond.L.(*minic.Ident)
+	if !ok || condVar.Sym == nil {
+		return nil, nil, false
+	}
+	if index == nil {
+		// Declared induction variable: match it by name against the decl.
+		decl, isDecl := loop.Init.(*minic.DeclStmt)
+		if !isDecl || decl.Name != condVar.Name {
+			return nil, nil, false
+		}
+		index = condVar.Sym
+	} else if condVar.Sym != index {
+		return nil, nil, false
+	}
+	if index.Type.Kind.StackKind() != cil.I32 {
+		return nil, nil, false
+	}
+	// Post must be `i = i + 1`.
+	post, ok := loop.Post.(*minic.AssignStmt)
+	if !ok {
+		return nil, nil, false
+	}
+	postLHS, ok := post.LHS.(*minic.Ident)
+	if !ok || postLHS.Sym != index {
+		return nil, nil, false
+	}
+	inc, ok := post.RHS.(*minic.BinaryExpr)
+	if !ok || inc.Op != minic.OpAdd {
+		return nil, nil, false
+	}
+	incVar, okL := inc.L.(*minic.Ident)
+	incLit, okR := inc.R.(*minic.IntLit)
+	if !okL || !okR || incVar.Sym != index || incLit.Value != 1 {
+		return nil, nil, false
+	}
+	return index, cond.R, true
+}
+
+// analyzeMap recognizes `dst[i] = rhs` where rhs is an element-wise
+// expression over array loads at i and loop-invariant scalars, all of the
+// destination's element kind.
+func (v *vectorizer) analyzeMap(loop *minic.ForStmt, id int, index *minic.Symbol, bound minic.Expr, asg *minic.AssignStmt) *VectorPlan {
+	dst, ok := asg.LHS.(*minic.IndexExpr)
+	if !ok {
+		return nil
+	}
+	if !indexIsInduction(dst.Index, index) {
+		return nil
+	}
+	dstArr, ok := dst.Arr.(*minic.Ident)
+	if !ok || !dstArr.Sym.Type.IsArray() {
+		return nil
+	}
+	elem := dstArr.Sym.Type.Elem
+	lanes := elem.Lanes()
+	if lanes == 0 {
+		return nil
+	}
+	// Every other use of the induction variable must be as a direct
+	// subscript (guaranteeing iteration independence: iteration k touches
+	// only element k of each array), and the RHS must be expressible with
+	// the portable element-wise builtins.
+	if !vectorizableElementwise(asg.RHS, index, elem) {
+		return nil
+	}
+	return &VectorPlan{
+		LoopID:  id,
+		Index:   index,
+		Bound:   bound,
+		Elem:    elem,
+		Lanes:   lanes,
+		Pattern: anno.PatternMap,
+		Store:   asg,
+	}
+}
+
+// analyzeReduction recognizes `acc = acc + a[i]`, `acc = max(acc, a[i])` and
+// `acc = min(acc, a[i])` (the array load possibly wrapped in widening casts).
+func (v *vectorizer) analyzeReduction(loop *minic.ForStmt, id int, index *minic.Symbol, bound minic.Expr, asg *minic.AssignStmt) *VectorPlan {
+	accIdent, ok := asg.LHS.(*minic.Ident)
+	if !ok || accIdent.Sym == nil || accIdent.Sym.Type.IsArray() {
+		return nil
+	}
+	acc := accIdent.Sym
+
+	var pattern anno.VecPattern
+	var arg minic.Expr
+	switch rhs := asg.RHS.(type) {
+	case *minic.BinaryExpr:
+		if rhs.Op != minic.OpAdd {
+			return nil
+		}
+		// Accept acc + X and X + acc.
+		if isAccRef(rhs.L, acc) {
+			arg = rhs.R
+		} else if isAccRef(rhs.R, acc) {
+			arg = rhs.L
+		} else {
+			return nil
+		}
+		pattern = anno.PatternReduceAdd
+	case *minic.CallExpr:
+		if rhs.Name == minic.IntrinsicMax {
+			pattern = anno.PatternReduceMax
+		} else if rhs.Name == minic.IntrinsicMin {
+			pattern = anno.PatternReduceMin
+		} else {
+			return nil
+		}
+		if len(rhs.Args) != 2 {
+			return nil
+		}
+		if isAccRef(rhs.Args[0], acc) {
+			arg = rhs.Args[1]
+		} else if isAccRef(rhs.Args[1], acc) {
+			arg = rhs.Args[0]
+		} else {
+			return nil
+		}
+	default:
+		return nil
+	}
+
+	// The reduced argument must be a single array load at the induction
+	// variable, under any number of pure conversions, and must not mention
+	// the accumulator.
+	load := stripCasts(arg)
+	idx, ok := load.(*minic.IndexExpr)
+	if !ok || !indexIsInduction(idx.Index, index) {
+		return nil
+	}
+	arrIdent, ok := idx.Arr.(*minic.Ident)
+	if !ok || mentionsSymbol(arg, acc) {
+		return nil
+	}
+	elem := arrIdent.Sym.Type.Elem
+	lanes := elem.Lanes()
+	if lanes == 0 {
+		return nil
+	}
+	// Floating-point reductions are not vectorized: the horizontal
+	// reduction reassociates the sum, which the offline compiler only
+	// allows for exact (integer) arithmetic. This mirrors GCC refusing to
+	// vectorize FP reductions without -ffast-math.
+	if elem.IsFloat() || acc.Type.Kind.IsFloat() {
+		return nil
+	}
+	return &VectorPlan{
+		LoopID:    id,
+		Index:     index,
+		Bound:     bound,
+		Elem:      elem,
+		Lanes:     lanes,
+		Pattern:   pattern,
+		Acc:       acc,
+		ReduceArg: idx,
+	}
+}
+
+// vectorizableElementwise checks that an expression can be evaluated with
+// the element-wise portable builtins at element kind elem: array loads
+// subscripted exactly by the induction variable, loop-invariant scalar
+// subexpressions (splat), and +, -, *, min, max over those.
+func vectorizableElementwise(e minic.Expr, index *minic.Symbol, elem cil.Kind) bool {
+	if e.Type().Kind != elem {
+		// A loop-invariant subexpression of a different kind could still be
+		// splatted after conversion, but the offline compiler keeps the
+		// profitable, simple case: everything at the element kind.
+		return false
+	}
+	switch ex := e.(type) {
+	case *minic.IndexExpr:
+		arr, ok := ex.Arr.(*minic.Ident)
+		return ok && arr.Sym.Type.Elem == elem && indexIsInduction(ex.Index, index)
+	case *minic.BinaryExpr:
+		switch ex.Op {
+		case minic.OpAdd, minic.OpSub, minic.OpMul:
+			return vectorizableElementwise(ex.L, index, elem) && vectorizableElementwise(ex.R, index, elem)
+		}
+		return isInvariantScalar(e, index)
+	case *minic.CallExpr:
+		if ex.Name == minic.IntrinsicMin || ex.Name == minic.IntrinsicMax {
+			return len(ex.Args) == 2 &&
+				vectorizableElementwise(ex.Args[0], index, elem) &&
+				vectorizableElementwise(ex.Args[1], index, elem)
+		}
+		return false
+	default:
+		// Anything else (identifier, literal, cast of an invariant) is
+		// acceptable if it is loop invariant: it will be evaluated once and
+		// splatted.
+		return isInvariantScalar(e, index)
+	}
+}
+
+// isInvariantScalar reports whether the expression does not depend on the
+// induction variable and contains no array accesses or calls (so it can be
+// hoisted and splatted).
+func isInvariantScalar(e minic.Expr, index *minic.Symbol) bool {
+	switch ex := e.(type) {
+	case *minic.IntLit, *minic.FloatLit:
+		return true
+	case *minic.Ident:
+		return ex.Sym != index && !ex.Sym.Type.IsArray()
+	case *minic.CastExpr:
+		return isInvariantScalar(ex.X, index)
+	case *minic.UnaryExpr:
+		return isInvariantScalar(ex.X, index)
+	case *minic.BinaryExpr:
+		return isInvariantScalar(ex.L, index) && isInvariantScalar(ex.R, index)
+	default:
+		return false
+	}
+}
+
+// indexIsInduction reports whether the subscript expression is exactly the
+// induction variable (possibly behind the checker's i32 conversion).
+func indexIsInduction(e minic.Expr, index *minic.Symbol) bool {
+	id, ok := stripCasts(e).(*minic.Ident)
+	return ok && id.Sym == index
+}
+
+// isAccRef reports whether the expression reads the accumulator (possibly
+// behind conversions inserted by the checker).
+func isAccRef(e minic.Expr, acc *minic.Symbol) bool {
+	id, ok := stripCasts(e).(*minic.Ident)
+	return ok && id.Sym == acc
+}
+
+// stripCasts removes any chain of CastExpr wrappers.
+func stripCasts(e minic.Expr) minic.Expr {
+	for {
+		c, ok := e.(*minic.CastExpr)
+		if !ok {
+			return e
+		}
+		e = c.X
+	}
+}
+
+// assignedSymbol returns the symbol written by an assignment to a plain
+// variable, or nil when the assignment writes an array element.
+func assignedSymbol(asg *minic.AssignStmt) *minic.Symbol {
+	if id, ok := asg.LHS.(*minic.Ident); ok {
+		return id.Sym
+	}
+	return nil
+}
+
+// mentionsSymbol reports whether the expression references the symbol. A nil
+// symbol is never mentioned.
+func mentionsSymbol(e minic.Expr, sym *minic.Symbol) bool {
+	if sym == nil || e == nil {
+		return false
+	}
+	switch ex := e.(type) {
+	case *minic.Ident:
+		return ex.Sym == sym
+	case *minic.BinaryExpr:
+		return mentionsSymbol(ex.L, sym) || mentionsSymbol(ex.R, sym)
+	case *minic.UnaryExpr:
+		return mentionsSymbol(ex.X, sym)
+	case *minic.CastExpr:
+		return mentionsSymbol(ex.X, sym)
+	case *minic.IndexExpr:
+		return mentionsSymbol(ex.Arr, sym) || mentionsSymbol(ex.Index, sym)
+	case *minic.LenExpr:
+		return mentionsSymbol(ex.Arr, sym)
+	case *minic.NewArrayExpr:
+		return mentionsSymbol(ex.Len, sym)
+	case *minic.CallExpr:
+		for _, a := range ex.Args {
+			if mentionsSymbol(a, sym) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// PlanOf returns the vector plan attached to a for statement, or nil.
+func PlanOf(loop *minic.ForStmt) *VectorPlan {
+	if loop.Plan == nil {
+		return nil
+	}
+	p, _ := loop.Plan.(*VectorPlan)
+	return p
+}
+
+// AnnotationLoops converts vectorizer results into the annotation payload
+// recorded in the bytecode for the function.
+func AnnotationLoops(res VectorizeResult) *anno.VectorInfo {
+	info := &anno.VectorInfo{}
+	for _, p := range res.Plans {
+		info.Loops = append(info.Loops, anno.VectorLoop{
+			LoopID:        p.LoopID,
+			Elem:          p.Elem,
+			Lanes:         p.Lanes,
+			Pattern:       p.Pattern,
+			NoAliasProven: true,
+		})
+	}
+	return info
+}

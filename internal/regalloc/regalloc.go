@@ -1,0 +1,166 @@
+// Package regalloc implements the offline half of split register allocation
+// (Diouf et al., cited in Section 4 of the paper): an analysis over the
+// portable bytecode that computes, for every variable slot (arguments and
+// locals), its live range and an estimated dynamic access weight, and encodes
+// the result as a compact, target-independent annotation.
+//
+// The online half lives in the JIT (internal/jit, RegAllocSplit mode): it
+// reads the annotation and assigns physical registers in priority order in a
+// single linear pass, instead of re-deriving spill priorities itself. The
+// register-allocation experiment (EXP-RA) compares the spills produced by
+// the baseline online allocator, the annotation-driven allocator and a full
+// offline-quality allocation.
+package regalloc
+
+import (
+	"sort"
+
+	"repro/internal/anno"
+	"repro/internal/cil"
+)
+
+// Analysis is the offline allocation result for one method.
+type Analysis struct {
+	Method string
+	Info   *anno.RegAllocInfo
+	// Steps counts elementary analysis operations; the Figure 1 experiment
+	// uses it to show how much work the offline step absorbs.
+	Steps int64
+}
+
+// AnalyzeMethod computes live ranges and spill weights for every variable
+// slot of the method (arguments first, then locals), over the bytecode.
+func AnalyzeMethod(m *cil.Method) *Analysis {
+	numSlots := len(m.Params) + len(m.Locals)
+	a := &Analysis{Method: m.Name, Info: &anno.RegAllocInfo{NumSlots: numSlots}}
+
+	type slotState struct {
+		used       bool
+		start, end int
+		weight     uint32
+	}
+	slots := make([]slotState, numSlots)
+
+	// Loop regions from backward branches give the nesting depth used to
+	// weight accesses (an access in a loop body is worth 10x one outside).
+	type region struct{ start, end int }
+	var regions []region
+	for pc, in := range m.Code {
+		if in.Op.IsBranch() && in.Target <= pc {
+			regions = append(regions, region{in.Target, pc})
+		}
+	}
+	depthAt := func(pc int) int {
+		d := 0
+		for _, r := range regions {
+			if pc >= r.start && pc <= r.end {
+				d++
+			}
+		}
+		if d > 4 {
+			d = 4
+		}
+		return d
+	}
+
+	slotOf := func(in cil.Instr) int {
+		switch in.Op {
+		case cil.LdArg, cil.StArg:
+			return int(in.Int)
+		case cil.LdLoc, cil.StLoc:
+			return len(m.Params) + int(in.Int)
+		}
+		return -1
+	}
+
+	for pc, in := range m.Code {
+		s := slotOf(in)
+		if s < 0 {
+			continue
+		}
+		a.Steps++
+		st := &slots[s]
+		if !st.used {
+			st.used = true
+			st.start, st.end = pc, pc
+		}
+		if pc < st.start {
+			st.start = pc
+		}
+		if pc > st.end {
+			st.end = pc
+		}
+		w := uint32(1)
+		for i, d := 0, depthAt(pc); i < d; i++ {
+			w *= 10
+		}
+		st.weight += w
+	}
+
+	// Arguments are live from method entry even before their first use.
+	for i := range m.Params {
+		if slots[i].used {
+			slots[i].start = 0
+		}
+	}
+
+	// Extend ranges across loops: a slot accessed anywhere inside a loop is
+	// live across its back edge.
+	for changed := true; changed; {
+		changed = false
+		for _, r := range regions {
+			for i := range slots {
+				st := &slots[i]
+				if !st.used || st.end < r.start || st.start > r.end {
+					continue
+				}
+				a.Steps++
+				if st.start > r.start {
+					st.start = r.start
+					changed = true
+				}
+				if st.end < r.end {
+					st.end = r.end
+					changed = true
+				}
+			}
+		}
+	}
+
+	for i, st := range slots {
+		if !st.used {
+			continue
+		}
+		a.Info.Intervals = append(a.Info.Intervals, anno.SlotInterval{
+			Slot: i, Start: st.start, End: st.end + 1, Weight: st.weight,
+		})
+	}
+	// Decreasing weight, ties by slot index: this order *is* the portable
+	// allocation decision the online assigner follows.
+	sort.Slice(a.Info.Intervals, func(i, j int) bool {
+		wi, wj := a.Info.Intervals[i].Weight, a.Info.Intervals[j].Weight
+		if wi != wj {
+			return wi > wj
+		}
+		return a.Info.Intervals[i].Slot < a.Info.Intervals[j].Slot
+	})
+	return a
+}
+
+// AnnotateMethod runs the offline analysis and attaches its annotation to the
+// method. It returns the analysis for inspection.
+func AnnotateMethod(m *cil.Method) *Analysis {
+	a := AnalyzeMethod(m)
+	anno.AttachRegAllocInfo(m, a.Info)
+	return a
+}
+
+// AnnotateModule runs the offline register allocation analysis on every
+// method of the module.
+func AnnotateModule(mod *cil.Module) []*Analysis {
+	out := make([]*Analysis, 0, len(mod.Methods))
+	for _, m := range mod.Methods {
+		out = append(out, AnnotateMethod(m))
+	}
+	return out
+}

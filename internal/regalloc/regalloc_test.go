@@ -1,0 +1,138 @@
+package regalloc
+
+import (
+	"testing"
+
+	"repro/internal/anno"
+	"repro/internal/cil"
+)
+
+// pressureMethod builds a method with one hot loop variable and several cold
+// variables declared earlier, so that declaration order and profitability
+// order disagree.
+func pressureMethod(t *testing.T) *cil.Method {
+	t.Helper()
+	b := cil.NewMethodBuilder("hot", []cil.Type{cil.Scalar(cil.I32)}, cil.Scalar(cil.I32))
+	cold1 := b.AddLocal(cil.Scalar(cil.I32))
+	cold2 := b.AddLocal(cil.Scalar(cil.I32))
+	hot := b.AddLocal(cil.Scalar(cil.I32))
+	i := b.AddLocal(cil.Scalar(cil.I32))
+
+	b.ConstI(cil.I32, 1).StoreLocal(cold1)
+	b.ConstI(cil.I32, 2).StoreLocal(cold2)
+	b.ConstI(cil.I32, 0).StoreLocal(hot)
+	b.ConstI(cil.I32, 0).StoreLocal(i)
+	head := b.NewLabel()
+	exit := b.NewLabel()
+	b.Bind(head)
+	b.LoadLocal(i).LoadArg(0).OpK(cil.CmpLt, cil.I32).BranchFalse(exit)
+	b.LoadLocal(hot).LoadLocal(i).OpK(cil.Add, cil.I32).StoreLocal(hot)
+	b.LoadLocal(i).ConstI(cil.I32, 1).OpK(cil.Add, cil.I32).StoreLocal(i)
+	b.Branch(head)
+	b.Bind(exit)
+	b.LoadLocal(hot).LoadLocal(cold1).OpK(cil.Add, cil.I32).LoadLocal(cold2).OpK(cil.Add, cil.I32).Return()
+	m := b.MustFinish()
+	mod := cil.NewModule("t")
+	if err := mod.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	if err := cil.Verify(mod); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestAnalyzePrioritizesLoopVariables(t *testing.T) {
+	m := pressureMethod(t)
+	a := AnalyzeMethod(m)
+	if a.Info.NumSlots != 1+4 {
+		t.Fatalf("NumSlots = %d, want 5", a.Info.NumSlots)
+	}
+	if len(a.Info.Intervals) != 5 {
+		t.Fatalf("intervals = %d, want 5 (every slot is used)", len(a.Info.Intervals))
+	}
+	// The two hottest slots must be the loop accumulator (slot 1+2=3) and
+	// the induction variable (slot 4), in some order, ahead of the cold
+	// locals and the argument.
+	top := map[int]bool{a.Info.Intervals[0].Slot: true, a.Info.Intervals[1].Slot: true}
+	if !top[3] || !top[4] {
+		t.Errorf("hottest slots = %v, want the loop variables {3,4}; intervals: %+v", top, a.Info.Intervals)
+	}
+	for _, iv := range a.Info.Intervals {
+		if iv.End <= iv.Start {
+			t.Errorf("slot %d has an empty interval [%d,%d)", iv.Slot, iv.Start, iv.End)
+		}
+		if iv.Slot == 3 || iv.Slot == 4 {
+			if iv.Weight < 10 {
+				t.Errorf("loop slot %d weight %d, want >= 10 (loop depth weighting)", iv.Slot, iv.Weight)
+			}
+		}
+	}
+	if a.Steps == 0 {
+		t.Error("analysis step counter should be non-zero")
+	}
+}
+
+func TestArgumentsLiveFromEntry(t *testing.T) {
+	m := pressureMethod(t)
+	a := AnalyzeMethod(m)
+	for _, iv := range a.Info.Intervals {
+		if iv.Slot == 0 && iv.Start != 0 {
+			t.Errorf("argument interval starts at %d, want 0", iv.Start)
+		}
+	}
+}
+
+func TestLoopExtension(t *testing.T) {
+	m := pressureMethod(t)
+	a := AnalyzeMethod(m)
+	// The accumulator is initialized before the loop and read after it, so
+	// its range must cover the whole loop region.
+	var hot anno.SlotInterval
+	for _, iv := range a.Info.Intervals {
+		if iv.Slot == 3 {
+			hot = iv
+		}
+	}
+	var loopStart, loopEnd int
+	for pc, in := range m.Code {
+		if in.Op.IsBranch() && in.Target <= pc {
+			loopStart, loopEnd = in.Target, pc
+		}
+	}
+	if hot.Start > loopStart || hot.End <= loopEnd {
+		t.Errorf("hot interval [%d,%d) does not cover the loop [%d,%d]", hot.Start, hot.End, loopStart, loopEnd)
+	}
+}
+
+func TestAnnotateMethodAndModule(t *testing.T) {
+	m := pressureMethod(t)
+	AnnotateMethod(m)
+	if anno.RegAllocInfoOf(m) == nil {
+		t.Fatal("annotation not attached")
+	}
+	mod := cil.NewModule("mod")
+	m2 := pressureMethod(t)
+	m2.Name = "hot2"
+	if err := mod.AddMethod(m2); err != nil {
+		t.Fatal(err)
+	}
+	res := AnnotateModule(mod)
+	if len(res) != 1 || anno.RegAllocInfoOf(m2) == nil {
+		t.Error("AnnotateModule did not annotate every method")
+	}
+}
+
+func TestUnusedSlotsOmitted(t *testing.T) {
+	b := cil.NewMethodBuilder("f", []cil.Type{cil.Scalar(cil.I32), cil.Scalar(cil.I32)}, cil.Scalar(cil.I32))
+	b.AddLocal(cil.Scalar(cil.I32)) // never touched
+	b.LoadArg(0).Return()
+	m := b.MustFinish()
+	a := AnalyzeMethod(m)
+	if len(a.Info.Intervals) != 1 {
+		t.Errorf("intervals = %d, want 1 (only arg 0 is used)", len(a.Info.Intervals))
+	}
+	if a.Info.NumSlots != 3 {
+		t.Errorf("NumSlots = %d, want 3", a.Info.NumSlots)
+	}
+}

@@ -1,0 +1,627 @@
+// Package sim executes native programs produced by the JIT on a
+// cycle-approximate model of one simulated target processor.
+//
+// The simulator is the stand-in for the paper's physical evaluation machines:
+// it interprets the native instruction set of internal/nisa over a flat
+// little-endian memory, charging each instruction the latency given by the
+// target's cost model (internal/target). Absolute cycle counts are not meant
+// to match 2010 silicon; the relative numbers (scalar vs vectorized code on
+// the same target, the same bytecode across targets) are what the experiments
+// report.
+package sim
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"repro/internal/cil"
+	"repro/internal/nisa"
+	"repro/internal/prim"
+	"repro/internal/target"
+	"repro/internal/vm"
+)
+
+// Value is a native-level value: integers and addresses in I, floating-point
+// values in F.
+type Value struct {
+	I int64
+	F float64
+}
+
+// IntArg builds an integer argument.
+func IntArg(v int64) Value { return Value{I: v} }
+
+// FloatArg builds a floating-point argument.
+func FloatArg(v float64) Value { return Value{F: v} }
+
+// Addr is an address in simulated memory.
+type Addr = int64
+
+// Stats aggregates execution statistics.
+type Stats struct {
+	Cycles       int64
+	Instructions int64
+	Loads        int64
+	Stores       int64
+	SpillLoads   int64
+	SpillStores  int64
+	VectorOps    int64
+	Branches     int64
+	Calls        int64
+}
+
+// Machine is one simulated processor executing one native program. It is not
+// safe for concurrent use.
+type Machine struct {
+	Target  *target.Desc
+	Program *nisa.Program
+
+	// MaxSteps aborts execution after this many instructions (a safety net
+	// against generated infinite loops); 0 means the default of 2e9.
+	MaxSteps int64
+
+	Stats Stats
+
+	mem     []byte
+	callDep int
+}
+
+const (
+	arrayHeader  = 8 // length (4 bytes) + padding to keep data 8-aligned
+	maxCallDepth = 512
+)
+
+// New returns a machine for the target and program. The initial heap is
+// small and grows on demand.
+func New(t *target.Desc, prog *nisa.Program) *Machine {
+	m := &Machine{Target: t, Program: prog, MaxSteps: 2_000_000_000}
+	// Address 0 is the null reference; start the heap past it.
+	m.mem = make([]byte, 64)
+	return m
+}
+
+// ResetStats clears the execution statistics (the memory image is kept).
+func (m *Machine) ResetStats() { m.Stats = Stats{} }
+
+// AllocArray allocates an array of n elements of kind elem in simulated
+// memory and returns the address of its first element.
+func (m *Machine) AllocArray(elem cil.Kind, n int) Addr {
+	size := n * elem.Size()
+	base := len(m.mem)
+	grow := arrayHeader + size
+	// Keep subsequent arrays 16-byte aligned so vector accesses behave.
+	if rem := (base + arrayHeader + grow) % 16; rem != 0 {
+		grow += 16 - rem
+	}
+	m.mem = append(m.mem, make([]byte, grow)...)
+	binary.LittleEndian.PutUint32(m.mem[base:], uint32(n))
+	return Addr(base + arrayHeader)
+}
+
+// CopyInArray copies a managed VM array into simulated memory and returns its
+// address. It is how the experiment harness shares one set of inputs between
+// the interpreter and the simulated targets.
+func (m *Machine) CopyInArray(a *vm.Array) Addr {
+	addr := m.AllocArray(a.Elem, a.Len())
+	copy(m.mem[addr:], a.Data)
+	return addr
+}
+
+// CopyOutArray copies array contents from simulated memory back into a
+// managed VM array (sizes must match).
+func (m *Machine) CopyOutArray(addr Addr, a *vm.Array) error {
+	n := int(binary.LittleEndian.Uint32(m.mem[addr-arrayHeader:]))
+	if n != a.Len() {
+		return fmt.Errorf("sim: array length mismatch: %d in memory, %d in destination", n, a.Len())
+	}
+	copy(a.Data, m.mem[addr:int(addr)+len(a.Data)])
+	return nil
+}
+
+// frame is one activation record.
+type frame struct {
+	fn    *nisa.Func
+	ints  []int64
+	flts  []float64
+	vecs  []prim.Vec
+	spill []prim.Vec
+	args  []argval
+}
+
+type argval struct {
+	i int64
+	f float64
+}
+
+// Call executes the named function with the given arguments and returns its
+// result (integers and addresses in I, floats in F).
+func (m *Machine) Call(name string, args ...Value) (Value, error) {
+	f := m.Program.Func(name)
+	if f == nil {
+		return Value{}, fmt.Errorf("sim: unknown function %q", name)
+	}
+	if len(args) != len(f.Params) {
+		return Value{}, fmt.Errorf("sim: %q expects %d arguments, got %d", name, len(f.Params), len(args))
+	}
+	av := make([]argval, len(args))
+	for i, a := range args {
+		av[i] = argval{i: a.I, f: a.F}
+	}
+	return m.exec(f, av)
+}
+
+func (m *Machine) regCounts() (ints, flts, vecs int) {
+	return m.Target.IntRegs + 4, m.Target.FloatRegs + 4, m.Target.VecRegs + 4
+}
+
+func (m *Machine) exec(f *nisa.Func, args []argval) (Value, error) {
+	m.callDep++
+	defer func() { m.callDep-- }()
+	if m.callDep > maxCallDepth {
+		return Value{}, fmt.Errorf("sim: call depth exceeds %d", maxCallDepth)
+	}
+	ni, nf, nv := m.regCounts()
+	fr := &frame{
+		fn:    f,
+		ints:  make([]int64, ni),
+		flts:  make([]float64, nf),
+		vecs:  make([]prim.Vec, nv),
+		spill: make([]prim.Vec, f.FrameSlots),
+		args:  args,
+	}
+	maxSteps := m.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = 2_000_000_000
+	}
+	cost := &m.Target.Cost
+
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(f.Code) {
+			return Value{}, fmt.Errorf("sim: %s: program counter %d out of range", f.Name, pc)
+		}
+		if m.Stats.Instructions >= maxSteps {
+			return Value{}, fmt.Errorf("sim: instruction budget of %d exhausted in %s", maxSteps, f.Name)
+		}
+		in := &f.Code[pc]
+		m.Stats.Instructions++
+		next := pc + 1
+
+		switch in.Op {
+		case nisa.Nop:
+			m.Stats.Cycles += int64(cost.Move)
+
+		case nisa.MovImm:
+			fr.setInt(in.Rd, in.Imm)
+			m.Stats.Cycles += int64(cost.Move)
+		case nisa.MovFImm:
+			fr.flts[in.Rd.Index] = in.FImm
+			m.Stats.Cycles += int64(cost.Move)
+		case nisa.Mov:
+			switch in.Rd.Class {
+			case nisa.ClassInt:
+				fr.ints[in.Rd.Index] = fr.ints[in.Ra.Index]
+			case nisa.ClassFloat:
+				fr.flts[in.Rd.Index] = fr.flts[in.Ra.Index]
+			default:
+				fr.vecs[in.Rd.Index] = fr.vecs[in.Ra.Index]
+			}
+			m.Stats.Cycles += int64(cost.Move)
+		case nisa.GetArg:
+			a := fr.args[in.Imm]
+			if in.Rd.Class == nisa.ClassFloat {
+				fr.flts[in.Rd.Index] = a.f
+			} else {
+				fr.ints[in.Rd.Index] = a.i
+			}
+			m.Stats.Cycles += int64(cost.Move)
+
+		case nisa.Add, nisa.Sub, nisa.Mul, nisa.Div, nisa.Rem, nisa.And, nisa.Or, nisa.Xor, nisa.Shl, nisa.Shr:
+			a := prim.Scalar{I: fr.ints[in.Ra.Index]}
+			b := prim.Scalar{I: fr.ints[in.Rb.Index]}
+			r, err := prim.Binary(cilALUOp(in.Op), in.Kind, a, b)
+			if err != nil {
+				return Value{}, fmt.Errorf("sim: %s @%d: %v", f.Name, pc, err)
+			}
+			fr.ints[in.Rd.Index] = r.I
+			m.Stats.Cycles += aluCost(cost, in.Op)
+		case nisa.Neg, nisa.Not:
+			a := prim.Scalar{I: fr.ints[in.Ra.Index]}
+			op := cil.Neg
+			if in.Op == nisa.Not {
+				op = cil.Not
+			}
+			r, err := prim.Unary(op, in.Kind, a)
+			if err != nil {
+				return Value{}, fmt.Errorf("sim: %s @%d: %v", f.Name, pc, err)
+			}
+			fr.ints[in.Rd.Index] = r.I
+			m.Stats.Cycles += int64(cost.IntALU)
+
+		case nisa.FAdd, nisa.FSub, nisa.FMul, nisa.FDiv:
+			a := prim.Scalar{F: fr.flts[in.Ra.Index]}
+			b := prim.Scalar{F: fr.flts[in.Rb.Index]}
+			r, err := prim.Binary(cilALUOp(in.Op), in.Kind, a, b)
+			if err != nil {
+				return Value{}, fmt.Errorf("sim: %s @%d: %v", f.Name, pc, err)
+			}
+			fr.flts[in.Rd.Index] = r.F
+			m.Stats.Cycles += fpuCost(cost, in.Op)
+		case nisa.FNeg:
+			fr.flts[in.Rd.Index] = -fr.flts[in.Ra.Index]
+			m.Stats.Cycles += int64(cost.FloatALU)
+
+		case nisa.SetCmp, nisa.Select:
+			res, err := m.compare(fr, in)
+			if err != nil {
+				return Value{}, fmt.Errorf("sim: %s @%d: %v", f.Name, pc, err)
+			}
+			if in.Op == nisa.SetCmp {
+				if res {
+					fr.ints[in.Rd.Index] = 1
+				} else {
+					fr.ints[in.Rd.Index] = 0
+				}
+				m.Stats.Cycles += int64(cost.IntALU)
+			} else {
+				src := in.Rb
+				if res {
+					src = in.Ra
+				}
+				if in.Rd.Class == nisa.ClassFloat {
+					fr.flts[in.Rd.Index] = fr.flts[src.Index]
+				} else {
+					fr.ints[in.Rd.Index] = fr.ints[src.Index]
+				}
+				m.Stats.Cycles += 2 * int64(cost.IntALU) // compare + conditional move
+			}
+
+		case nisa.Conv:
+			var src prim.Scalar
+			if in.Ra.Class == nisa.ClassFloat {
+				src = prim.Scalar{F: fr.flts[in.Ra.Index]}
+			} else {
+				src = prim.Scalar{I: fr.ints[in.Ra.Index]}
+			}
+			r := prim.Convert(in.SrcKind, in.Kind, src)
+			if in.Rd.Class == nisa.ClassFloat {
+				fr.flts[in.Rd.Index] = r.F
+			} else {
+				fr.ints[in.Rd.Index] = r.I
+			}
+			m.Stats.Cycles += int64(cost.Convert)
+
+		case nisa.Load:
+			addr, err := m.elemAddr(fr, in)
+			if err != nil {
+				return Value{}, fmt.Errorf("sim: %s @%d: %v", f.Name, pc, err)
+			}
+			s := m.loadScalar(in.Kind, addr)
+			if in.Rd.Class == nisa.ClassFloat {
+				fr.flts[in.Rd.Index] = s.F
+			} else {
+				fr.ints[in.Rd.Index] = s.I
+			}
+			m.Stats.Loads++
+			m.Stats.Cycles += m.memCost(in.Kind, cost.Load)
+		case nisa.Store:
+			addr, err := m.elemAddr(fr, in)
+			if err != nil {
+				return Value{}, fmt.Errorf("sim: %s @%d: %v", f.Name, pc, err)
+			}
+			var s prim.Scalar
+			if in.Rd.Class == nisa.ClassFloat {
+				s = prim.Scalar{F: fr.flts[in.Rd.Index]}
+			} else {
+				s = prim.Scalar{I: fr.ints[in.Rd.Index]}
+			}
+			m.storeScalar(in.Kind, addr, s)
+			m.Stats.Stores++
+			m.Stats.Cycles += m.memCost(in.Kind, cost.Store)
+
+		case nisa.SpillLoad:
+			slot := fr.spill[in.Imm]
+			if in.Rd.Class == nisa.ClassFloat {
+				fr.flts[in.Rd.Index] = math.Float64frombits(binary.LittleEndian.Uint64(slot[:8]))
+			} else if in.Rd.Class == nisa.ClassVec {
+				fr.vecs[in.Rd.Index] = slot
+			} else {
+				fr.ints[in.Rd.Index] = int64(binary.LittleEndian.Uint64(slot[:8]))
+			}
+			m.Stats.SpillLoads++
+			m.Stats.Cycles += int64(cost.Load)
+		case nisa.SpillStore:
+			var slot prim.Vec
+			if in.Rd.Class == nisa.ClassFloat {
+				binary.LittleEndian.PutUint64(slot[:8], math.Float64bits(fr.flts[in.Rd.Index]))
+			} else if in.Rd.Class == nisa.ClassVec {
+				slot = fr.vecs[in.Rd.Index]
+			} else {
+				binary.LittleEndian.PutUint64(slot[:8], uint64(fr.ints[in.Rd.Index]))
+			}
+			fr.spill[in.Imm] = slot
+			m.Stats.SpillStores++
+			m.Stats.Cycles += int64(cost.Store)
+
+		case nisa.Alloc:
+			n := fr.ints[in.Ra.Index]
+			if n < 0 {
+				return Value{}, fmt.Errorf("sim: %s @%d: negative array length %d", f.Name, pc, n)
+			}
+			fr.ints[in.Rd.Index] = m.AllocArray(in.Kind, int(n))
+			m.Stats.Cycles += int64(cost.Call)
+		case nisa.ArrLen:
+			base := fr.ints[in.Ra.Index]
+			if base < arrayHeader || int(base) > len(m.mem) {
+				return Value{}, fmt.Errorf("sim: %s @%d: arrlen on invalid address %d", f.Name, pc, base)
+			}
+			fr.ints[in.Rd.Index] = int64(binary.LittleEndian.Uint32(m.mem[base-arrayHeader:]))
+			m.Stats.Cycles += m.memCost(cil.I32, cost.Load)
+
+		case nisa.Jump:
+			next = in.Target
+			m.Stats.Branches++
+			m.Stats.Cycles += int64(cost.BranchTaken)
+		case nisa.BranchCmp:
+			res, err := m.compare(fr, in)
+			if err != nil {
+				return Value{}, fmt.Errorf("sim: %s @%d: %v", f.Name, pc, err)
+			}
+			m.Stats.Branches++
+			if res {
+				next = in.Target
+				m.Stats.Cycles += int64(cost.BranchTaken)
+			} else {
+				m.Stats.Cycles += int64(cost.BranchNotTaken)
+			}
+
+		case nisa.Call:
+			callee := m.Program.Func(in.Sym)
+			if callee == nil {
+				return Value{}, fmt.Errorf("sim: %s @%d: unknown callee %q", f.Name, pc, in.Sym)
+			}
+			cargs := make([]argval, len(in.Args))
+			for i := range in.Args {
+				if in.ArgSlots != nil && in.ArgSlots[i] >= 0 {
+					slot := fr.spill[in.ArgSlots[i]]
+					cargs[i] = argval{
+						i: int64(binary.LittleEndian.Uint64(slot[:8])),
+						f: math.Float64frombits(binary.LittleEndian.Uint64(slot[:8])),
+					}
+					m.Stats.Cycles += int64(cost.Load)
+					continue
+				}
+				r := in.Args[i]
+				if r.Class == nisa.ClassFloat {
+					cargs[i] = argval{f: fr.flts[r.Index]}
+				} else {
+					cargs[i] = argval{i: fr.ints[r.Index]}
+				}
+				m.Stats.Cycles += int64(cost.Move)
+			}
+			m.Stats.Calls++
+			m.Stats.Cycles += int64(cost.Call)
+			ret, err := m.exec(callee, cargs)
+			if err != nil {
+				return Value{}, err
+			}
+			if in.Rd.Class == nisa.ClassFloat {
+				fr.flts[in.Rd.Index] = ret.F
+			} else if in.Rd.Class == nisa.ClassInt {
+				fr.ints[in.Rd.Index] = ret.I
+			}
+
+		case nisa.Ret:
+			m.Stats.Cycles += int64(cost.BranchTaken)
+			var ret Value
+			if in.Ra.Class == nisa.ClassFloat {
+				ret.F = fr.flts[in.Ra.Index]
+			} else if in.Ra.Class == nisa.ClassInt {
+				ret.I = fr.ints[in.Ra.Index]
+			}
+			return ret, nil
+
+		default:
+			if in.Op.IsVector() {
+				if err := m.execVector(fr, in); err != nil {
+					return Value{}, fmt.Errorf("sim: %s @%d: %v", f.Name, pc, err)
+				}
+				break
+			}
+			return Value{}, fmt.Errorf("sim: %s @%d: unimplemented opcode %s", f.Name, pc, in.Op)
+		}
+		pc = next
+	}
+}
+
+func (fr *frame) setInt(r nisa.Reg, v int64) { fr.ints[r.Index] = v }
+
+// compare evaluates the condition of SetCmp, Select and BranchCmp.
+func (m *Machine) compare(fr *frame, in *nisa.Instr) (bool, error) {
+	var a, b prim.Scalar
+	if in.Ra.Class == nisa.ClassFloat {
+		a, b = prim.Scalar{F: fr.flts[in.Ra.Index]}, prim.Scalar{F: fr.flts[in.Rb.Index]}
+	} else {
+		a, b = prim.Scalar{I: fr.ints[in.Ra.Index]}, prim.Scalar{I: fr.ints[in.Rb.Index]}
+	}
+	return prim.Compare(cilCondOp(in.Cond), in.Kind, a, b)
+}
+
+// elemAddr computes the effective address of an indexed access and checks it
+// against the heap bounds.
+func (m *Machine) elemAddr(fr *frame, in *nisa.Instr) (int, error) {
+	base := fr.ints[in.Ra.Index]
+	idx := fr.ints[in.Rb.Index] + in.Imm
+	addr := base + idx*int64(in.Kind.Size())
+	span := int64(in.Kind.Size())
+	if in.Op == nisa.VLoad || in.Op == nisa.VStore {
+		span = cil.VecBytes
+	}
+	if base == 0 {
+		return 0, fmt.Errorf("null reference access")
+	}
+	if addr < arrayHeader || addr+span > int64(len(m.mem)) {
+		return 0, fmt.Errorf("memory access at %d (+%d) outside the heap of %d bytes", addr, span, len(m.mem))
+	}
+	return int(addr), nil
+}
+
+func (m *Machine) loadScalar(k cil.Kind, addr int) prim.Scalar {
+	var vec prim.Vec
+	copy(vec[:k.Size()], m.mem[addr:addr+k.Size()])
+	return prim.LaneGet(k, vec, 0)
+}
+
+func (m *Machine) storeScalar(k cil.Kind, addr int, s prim.Scalar) {
+	var vec prim.Vec
+	prim.LaneSet(k, &vec, 0, s)
+	copy(m.mem[addr:addr+k.Size()], vec[:k.Size()])
+}
+
+// memCost charges a scalar memory access, including the target's sub-word and
+// address-calculation penalties.
+func (m *Machine) memCost(k cil.Kind, base int) int64 {
+	c := base + m.Target.Cost.AddrCalcPenalty
+	if k.Size() < 4 {
+		c += m.Target.Cost.SubWordPenalty
+	}
+	return int64(c)
+}
+
+func aluCost(c *target.CostModel, op nisa.Op) int64 {
+	switch op {
+	case nisa.Mul:
+		return int64(c.IntMul)
+	case nisa.Div, nisa.Rem:
+		return int64(c.IntDiv)
+	default:
+		return int64(c.IntALU)
+	}
+}
+
+func fpuCost(c *target.CostModel, op nisa.Op) int64 {
+	switch op {
+	case nisa.FMul:
+		return int64(c.FloatMul)
+	case nisa.FDiv:
+		return int64(c.FloatDiv)
+	default:
+		return int64(c.FloatALU)
+	}
+}
+
+// cilALUOp maps native ALU opcodes back to the shared primitive semantics.
+func cilALUOp(op nisa.Op) cil.Opcode {
+	switch op {
+	case nisa.Add, nisa.FAdd:
+		return cil.Add
+	case nisa.Sub, nisa.FSub:
+		return cil.Sub
+	case nisa.Mul, nisa.FMul:
+		return cil.Mul
+	case nisa.Div, nisa.FDiv:
+		return cil.Div
+	case nisa.Rem:
+		return cil.Rem
+	case nisa.And:
+		return cil.And
+	case nisa.Or:
+		return cil.Or
+	case nisa.Xor:
+		return cil.Xor
+	case nisa.Shl:
+		return cil.Shl
+	case nisa.Shr:
+		return cil.Shr
+	}
+	return cil.Nop
+}
+
+func cilCondOp(c nisa.Cond) cil.Opcode {
+	switch c {
+	case nisa.CondEq:
+		return cil.CmpEq
+	case nisa.CondNe:
+		return cil.CmpNe
+	case nisa.CondLt:
+		return cil.CmpLt
+	case nisa.CondLe:
+		return cil.CmpLe
+	case nisa.CondGt:
+		return cil.CmpGt
+	default:
+		return cil.CmpGe
+	}
+}
+
+// execVector executes one native vector instruction.
+func (m *Machine) execVector(fr *frame, in *nisa.Instr) error {
+	c := &m.Target.Cost
+	if !m.Target.HasSIMD {
+		return fmt.Errorf("vector instruction %s on a target without a vector unit", in.Op)
+	}
+	m.Stats.VectorOps++
+	switch in.Op {
+	case nisa.VLoad:
+		addr, err := m.elemAddr(fr, in)
+		if err != nil {
+			return err
+		}
+		var v prim.Vec
+		copy(v[:], m.mem[addr:addr+cil.VecBytes])
+		fr.vecs[in.Rd.Index] = v
+		m.Stats.Loads++
+		m.Stats.Cycles += int64(c.VecLoad + c.AddrCalcPenalty)
+	case nisa.VStore:
+		addr, err := m.elemAddr(fr, in)
+		if err != nil {
+			return err
+		}
+		v := fr.vecs[in.Rd.Index]
+		copy(m.mem[addr:addr+cil.VecBytes], v[:])
+		m.Stats.Stores++
+		m.Stats.Cycles += int64(c.VecStore + c.AddrCalcPenalty)
+	case nisa.VAdd, nisa.VSub, nisa.VMul, nisa.VMax, nisa.VMin:
+		op := map[nisa.Op]cil.Opcode{
+			nisa.VAdd: cil.VAdd, nisa.VSub: cil.VSub, nisa.VMul: cil.VMul,
+			nisa.VMax: cil.VMax, nisa.VMin: cil.VMin,
+		}[in.Op]
+		r, err := prim.VecBinary(op, in.Kind, fr.vecs[in.Ra.Index], fr.vecs[in.Rb.Index])
+		if err != nil {
+			return err
+		}
+		fr.vecs[in.Rd.Index] = r
+		if in.Op == nisa.VMul {
+			m.Stats.Cycles += int64(c.VecMul)
+		} else {
+			m.Stats.Cycles += int64(c.VecALU)
+		}
+	case nisa.VSplat:
+		var s prim.Scalar
+		if in.Ra.Class == nisa.ClassFloat {
+			s = prim.Scalar{F: fr.flts[in.Ra.Index]}
+		} else {
+			s = prim.Scalar{I: fr.ints[in.Ra.Index]}
+		}
+		fr.vecs[in.Rd.Index] = prim.VecSplat(in.Kind, s)
+		m.Stats.Cycles += int64(c.VecSplat)
+	case nisa.VRedAdd, nisa.VRedMax, nisa.VRedMin:
+		op := map[nisa.Op]cil.Opcode{
+			nisa.VRedAdd: cil.VRedAdd, nisa.VRedMax: cil.VRedMax, nisa.VRedMin: cil.VRedMin,
+		}[in.Op]
+		s, err := prim.VecReduce(op, in.Kind, fr.vecs[in.Ra.Index])
+		if err != nil {
+			return err
+		}
+		if in.Rd.Class == nisa.ClassFloat {
+			fr.flts[in.Rd.Index] = s.F
+		} else {
+			fr.ints[in.Rd.Index] = s.I
+		}
+		m.Stats.Cycles += int64(c.VecReduce)
+	default:
+		return fmt.Errorf("unimplemented vector opcode %s", in.Op)
+	}
+	return nil
+}

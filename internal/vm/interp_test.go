@@ -1,0 +1,358 @@
+package vm
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cil"
+	"repro/internal/prim"
+)
+
+func runtimeFor(t testing.TB, methods ...*cil.Method) *Runtime {
+	mod := cil.NewModule("test")
+	for _, m := range methods {
+		if err := mod.AddMethod(m); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rt, err := NewRuntime(mod)
+	if err != nil {
+		t.Fatalf("NewRuntime: %v", err)
+	}
+	return rt
+}
+
+func buildAdd(t testing.TB) *cil.Method {
+	b := cil.NewMethodBuilder("add", []cil.Type{cil.Scalar(cil.I32), cil.Scalar(cil.I32)}, cil.Scalar(cil.I32))
+	b.LoadArg(0).LoadArg(1).OpK(cil.Add, cil.I32).Return()
+	return b.MustFinish()
+}
+
+// buildSumLoop: func sum(a i32[], n i32) i32
+func buildSumLoop(t testing.TB) *cil.Method {
+	b := cil.NewMethodBuilder("sum", []cil.Type{cil.Array(cil.I32), cil.Scalar(cil.I32)}, cil.Scalar(cil.I32))
+	s := b.AddLocal(cil.Scalar(cil.I32))
+	i := b.AddLocal(cil.Scalar(cil.I32))
+	head := b.NewLabel()
+	exit := b.NewLabel()
+	b.ConstI(cil.I32, 0).StoreLocal(s)
+	b.ConstI(cil.I32, 0).StoreLocal(i)
+	b.Bind(head)
+	b.LoadLocal(i).LoadArg(1).OpK(cil.CmpLt, cil.I32).BranchFalse(exit)
+	b.LoadLocal(s).LoadArg(0).LoadLocal(i).OpK(cil.LdElem, cil.I32).OpK(cil.Add, cil.I32).StoreLocal(s)
+	b.LoadLocal(i).ConstI(cil.I32, 1).OpK(cil.Add, cil.I32).StoreLocal(i)
+	b.Branch(head)
+	b.Bind(exit)
+	b.LoadLocal(s).Return()
+	return b.MustFinish()
+}
+
+// buildFib: recursive fibonacci.
+func buildFib(t testing.TB) *cil.Method {
+	b := cil.NewMethodBuilder("fib", []cil.Type{cil.Scalar(cil.I32)}, cil.Scalar(cil.I32))
+	rec := b.NewLabel()
+	b.LoadArg(0).ConstI(cil.I32, 2).OpK(cil.CmpLt, cil.I32).BranchFalse(rec)
+	b.LoadArg(0).Return()
+	b.Bind(rec)
+	b.LoadArg(0).ConstI(cil.I32, 1).OpK(cil.Sub, cil.I32).CallMethod("fib")
+	b.LoadArg(0).ConstI(cil.I32, 2).OpK(cil.Sub, cil.I32).CallMethod("fib")
+	b.OpK(cil.Add, cil.I32).Return()
+	return b.MustFinish()
+}
+
+func TestInterpStraightLine(t *testing.T) {
+	rt := runtimeFor(t, buildAdd(t))
+	v, err := rt.Call("add", IntValue(cil.I32, 2), IntValue(cil.I32, 40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 42 {
+		t.Errorf("add(2,40) = %d, want 42", v.Int())
+	}
+	if rt.Steps == 0 {
+		t.Error("step counter did not advance")
+	}
+}
+
+func TestInterpLoopOverArray(t *testing.T) {
+	rt := runtimeFor(t, buildSumLoop(t))
+	a := NewArray(cil.I32, 100)
+	want := int64(0)
+	for i := 0; i < 100; i++ {
+		if err := a.SetInt(i, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+		want += int64(i)
+	}
+	v, err := rt.Call("sum", RefValue(a), IntValue(cil.I32, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != want {
+		t.Errorf("sum = %d, want %d", v.Int(), want)
+	}
+}
+
+func TestInterpRecursion(t *testing.T) {
+	rt := runtimeFor(t, buildFib(t))
+	v, err := rt.Call("fib", IntValue(cil.I32, 12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 144 {
+		t.Errorf("fib(12) = %d, want 144", v.Int())
+	}
+}
+
+func TestInterpCallDepthLimit(t *testing.T) {
+	b := cil.NewMethodBuilder("loopforever", nil, cil.Scalar(cil.Void))
+	b.CallMethod("loopforever").Return()
+	rt := runtimeFor(t, b.MustFinish())
+	rt.MaxCallDepth = 50
+	if _, err := rt.Call("loopforever"); err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Errorf("expected call-depth error, got %v", err)
+	}
+}
+
+func TestInterpStepLimit(t *testing.T) {
+	b := cil.NewMethodBuilder("spin", nil, cil.Scalar(cil.Void))
+	head := b.NewLabel()
+	b.Bind(head)
+	b.Branch(head)
+	b.Return()
+	rt := runtimeFor(t, b.MustFinish())
+	rt.StepLimit = 1000
+	if _, err := rt.Call("spin"); err == nil || !strings.Contains(err.Error(), "step limit") {
+		t.Errorf("expected step-limit error, got %v", err)
+	}
+}
+
+func TestInterpTraps(t *testing.T) {
+	// Division by zero.
+	b := cil.NewMethodBuilder("divz", []cil.Type{cil.Scalar(cil.I32)}, cil.Scalar(cil.I32))
+	b.LoadArg(0).ConstI(cil.I32, 0).OpK(cil.Div, cil.I32).Return()
+	rt := runtimeFor(t, b.MustFinish())
+	if _, err := rt.Call("divz", IntValue(cil.I32, 7)); err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Errorf("expected division trap, got %v", err)
+	}
+
+	// Out-of-bounds element access.
+	b2 := cil.NewMethodBuilder("oob", []cil.Type{cil.Array(cil.I32)}, cil.Scalar(cil.I32))
+	b2.LoadArg(0).ConstI(cil.I32, 100).OpK(cil.LdElem, cil.I32).Return()
+	rt2 := runtimeFor(t, b2.MustFinish())
+	if _, err := rt2.Call("oob", RefValue(NewArray(cil.I32, 4))); err == nil || !strings.Contains(err.Error(), "out of range") {
+		t.Errorf("expected bounds trap, got %v", err)
+	}
+
+	// Null array.
+	if _, err := rt2.Call("oob", RefValue(nil)); err == nil {
+		t.Error("expected null-array trap")
+	}
+
+	// Negative array length.
+	b3 := cil.NewMethodBuilder("badnew", nil, cil.Scalar(cil.I32))
+	b3.ConstI(cil.I32, -3).OpK(cil.NewArr, cil.I32).OpK(cil.LdLen, cil.I32).Return()
+	rt3 := runtimeFor(t, b3.MustFinish())
+	if _, err := rt3.Call("badnew"); err == nil || !strings.Contains(err.Error(), "negative array length") {
+		t.Errorf("expected negative-length trap, got %v", err)
+	}
+}
+
+func TestInterpArgumentChecking(t *testing.T) {
+	rt := runtimeFor(t, buildAdd(t))
+	if _, err := rt.Call("add", IntValue(cil.I32, 1)); err == nil {
+		t.Error("wrong arity accepted")
+	}
+	if _, err := rt.Call("add", FloatValue(cil.F64, 1), IntValue(cil.I32, 2)); err == nil {
+		t.Error("wrong argument kind accepted")
+	}
+	if _, err := rt.Call("missing"); err == nil {
+		t.Error("unknown method accepted")
+	}
+	rt2 := runtimeFor(t, buildSumLoop(t))
+	if _, err := rt2.Call("sum", RefValue(NewArray(cil.F64, 4)), IntValue(cil.I32, 4)); err == nil {
+		t.Error("array element kind mismatch accepted")
+	}
+}
+
+func TestInterpNewArrAndStElem(t *testing.T) {
+	// make(n): arr = new u16[n]; arr[1] = 70000; return arr[1] + len(arr)
+	b := cil.NewMethodBuilder("make", []cil.Type{cil.Scalar(cil.I32)}, cil.Scalar(cil.U32))
+	arr := b.AddLocal(cil.Array(cil.U16))
+	b.LoadArg(0).OpK(cil.NewArr, cil.U16).StoreLocal(arr)
+	b.LoadLocal(arr).ConstI(cil.I32, 1).ConstI(cil.U16, 70000).OpK(cil.StElem, cil.U16)
+	b.LoadLocal(arr).ConstI(cil.I32, 1).OpK(cil.LdElem, cil.U16)
+	b.LoadLocal(arr).OpK(cil.LdLen, cil.U16).OpK(cil.Conv, cil.U32).OpK(cil.Add, cil.U32).Return()
+	rt := runtimeFor(t, b.MustFinish())
+	v, err := rt.Call("make", IntValue(cil.I32, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(70000%65536 + 8)
+	if v.Int() != want {
+		t.Errorf("make(8) = %d, want %d", v.Int(), want)
+	}
+}
+
+func TestInterpConvAndCompare(t *testing.T) {
+	// trunc(x f64) i32 { if x > 10.5 return i32(x) else return -1 }
+	b := cil.NewMethodBuilder("trunc", []cil.Type{cil.Scalar(cil.F64)}, cil.Scalar(cil.I32))
+	els := b.NewLabel()
+	b.LoadArg(0).ConstF(cil.F64, 10.5).OpK(cil.CmpGt, cil.F64).BranchFalse(els)
+	b.LoadArg(0).OpK(cil.Conv, cil.I32).Return()
+	b.Bind(els)
+	b.ConstI(cil.I32, -1).OpK(cil.Neg, cil.I32).OpK(cil.Neg, cil.I32).Return()
+	rt := runtimeFor(t, b.MustFinish())
+	v, err := rt.Call("trunc", FloatValue(cil.F64, 42.9))
+	if err != nil || v.Int() != 42 {
+		t.Errorf("trunc(42.9) = %d (%v), want 42", v.Int(), err)
+	}
+	v, err = rt.Call("trunc", FloatValue(cil.F64, 3.0))
+	if err != nil || v.Int() != -1 {
+		t.Errorf("trunc(3.0) = %d (%v), want -1", v.Int(), err)
+	}
+}
+
+func TestInterpVectorKernel(t *testing.T) {
+	// vadd(dst, a, b u8[], n i32): vectorized main loop + scalar epilogue.
+	b := cil.NewMethodBuilder("vadd", []cil.Type{cil.Array(cil.U8), cil.Array(cil.U8), cil.Array(cil.U8), cil.Scalar(cil.I32)}, cil.Scalar(cil.Void))
+	i := b.AddLocal(cil.Scalar(cil.I32))
+	lanes := int64(cil.U8.Lanes())
+	vhead, vexit, shead, sexit := b.NewLabel(), b.NewLabel(), b.NewLabel(), b.NewLabel()
+	b.ConstI(cil.I32, 0).StoreLocal(i)
+	b.Bind(vhead)
+	b.LoadLocal(i).ConstI(cil.I32, lanes).OpK(cil.Add, cil.I32).LoadArg(3).OpK(cil.CmpGt, cil.I32).BranchTrue(vexit)
+	b.LoadArg(0).LoadLocal(i)
+	b.LoadArg(1).LoadLocal(i).OpK(cil.VLoad, cil.U8)
+	b.LoadArg(2).LoadLocal(i).OpK(cil.VLoad, cil.U8)
+	b.OpK(cil.VAdd, cil.U8)
+	b.OpK(cil.VStore, cil.U8)
+	b.LoadLocal(i).ConstI(cil.I32, lanes).OpK(cil.Add, cil.I32).StoreLocal(i)
+	b.Branch(vhead)
+	b.Bind(vexit)
+	b.Bind(shead)
+	b.LoadLocal(i).LoadArg(3).OpK(cil.CmpLt, cil.I32).BranchFalse(sexit)
+	b.LoadArg(0).LoadLocal(i)
+	b.LoadArg(1).LoadLocal(i).OpK(cil.LdElem, cil.U8)
+	b.LoadArg(2).LoadLocal(i).OpK(cil.LdElem, cil.U8)
+	b.OpK(cil.Add, cil.U32)
+	b.OpK(cil.StElem, cil.U8)
+	b.LoadLocal(i).ConstI(cil.I32, 1).OpK(cil.Add, cil.I32).StoreLocal(i)
+	b.Branch(shead)
+	b.Bind(sexit)
+	b.Return()
+	rt := runtimeFor(t, b.MustFinish())
+
+	n := 37 // deliberately not a multiple of 16 to exercise the epilogue
+	dst := NewArray(cil.U8, n)
+	a := NewArray(cil.U8, n)
+	c := NewArray(cil.U8, n)
+	for k := 0; k < n; k++ {
+		a.SetInt(k, int64(3*k))
+		c.SetInt(k, int64(200+k))
+	}
+	if _, err := rt.Call("vadd", RefValue(dst), RefValue(a), RefValue(c), IntValue(cil.I32, int64(n))); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < n; k++ {
+		want := int64(uint8(3*k + 200 + k))
+		if got := dst.Int(k); got != want {
+			t.Fatalf("dst[%d] = %d, want %d", k, got, want)
+		}
+	}
+}
+
+func TestInterpVectorReduction(t *testing.T) {
+	// maxv(a u8[]) u32: single vector load + horizontal max, plus splat use.
+	b := cil.NewMethodBuilder("maxv", []cil.Type{cil.Array(cil.U8)}, cil.Scalar(cil.U32))
+	b.LoadArg(0).ConstI(cil.I32, 0).OpK(cil.VLoad, cil.U8)
+	b.ConstI(cil.U8, 7).OpK(cil.VSplat, cil.U8)
+	b.OpK(cil.VMax, cil.U8)
+	b.OpK(cil.VRedMax, cil.U8)
+	b.Return()
+	rt := runtimeFor(t, b.MustFinish())
+	a := NewArray(cil.U8, 16)
+	for k := 0; k < 16; k++ {
+		a.SetInt(k, int64(k))
+	}
+	v, err := rt.Call("maxv", RefValue(a))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Int() != 15 {
+		t.Errorf("maxv = %d, want 15", v.Int())
+	}
+	a2 := NewArray(cil.U8, 16) // all zero: the splatted 7 must win
+	v, err = rt.Call("maxv", RefValue(a2))
+	if err != nil || v.Int() != 7 {
+		t.Errorf("maxv(zeros) = %d (%v), want 7", v.Int(), err)
+	}
+}
+
+func TestLoadFromEncodedBytes(t *testing.T) {
+	mod := cil.NewModule("wire")
+	if err := mod.AddMethod(buildAdd(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := cil.Verify(mod); err != nil {
+		t.Fatal(err)
+	}
+	rt, err := Load(cil.Encode(mod))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := rt.Call("add", IntValue(cil.I32, 20), IntValue(cil.I32, 22))
+	if err != nil || v.Int() != 42 {
+		t.Errorf("add over the wire = %d (%v), want 42", v.Int(), err)
+	}
+	if _, err := Load([]byte("garbage")); err == nil {
+		t.Error("Load accepted garbage bytes")
+	}
+	// A structurally valid but unverifiable module must be rejected at load.
+	bad := cil.NewModule("bad")
+	m := cil.NewMethod("f", nil, cil.Scalar(cil.Void))
+	m.Code = []cil.Instr{{Op: cil.Pop}, {Op: cil.Ret}}
+	if err := bad.AddMethod(m); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(cil.Encode(bad)); err == nil {
+		t.Error("Load accepted an unverifiable module")
+	}
+}
+
+func TestInterpStArgAndDup(t *testing.T) {
+	// f(x i32) i32 { x = x*2; return x + x }  (uses starg and dup)
+	b := cil.NewMethodBuilder("f", []cil.Type{cil.Scalar(cil.I32)}, cil.Scalar(cil.I32))
+	b.LoadArg(0).ConstI(cil.I32, 2).OpK(cil.Mul, cil.I32).StoreArg(0)
+	b.LoadArg(0).Op(cil.Dup).OpK(cil.Add, cil.I32).Return()
+	rt := runtimeFor(t, b.MustFinish())
+	v, err := rt.Call("f", IntValue(cil.I32, 5))
+	if err != nil || v.Int() != 20 {
+		t.Errorf("f(5) = %d (%v), want 20", v.Int(), err)
+	}
+}
+
+func TestZeroValueAndCoerce(t *testing.T) {
+	if zeroValue(cil.Scalar(cil.F32)).Kind != cil.F32 {
+		t.Error("zeroValue float kind wrong")
+	}
+	if zeroValue(cil.Array(cil.U8)).Kind != cil.Ref {
+		t.Error("zeroValue array kind wrong")
+	}
+	if zeroValue(cil.Scalar(cil.Vec)).Kind != cil.Vec {
+		t.Error("zeroValue vec kind wrong")
+	}
+	if _, err := coerce(VecValue(prim.Vec{}), cil.Scalar(cil.I32)); err == nil {
+		t.Error("coerce vec to int accepted")
+	}
+	if _, err := coerce(IntValue(cil.I32, 1), cil.Scalar(cil.Vec)); err == nil {
+		t.Error("coerce int to vec accepted")
+	}
+	if _, err := coerce(IntValue(cil.I32, 1), cil.Scalar(cil.F64)); err == nil {
+		t.Error("coerce int to float accepted")
+	}
+	v, err := coerce(IntValue(cil.I32, 300), cil.Scalar(cil.U8))
+	if err != nil || v.Int() != 44 {
+		t.Error("coerce to u8 should truncate")
+	}
+}

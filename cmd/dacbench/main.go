@@ -3,56 +3,89 @@
 // quantified), the split register allocation claim, the bytecode compactness
 // claim and the Section 3 heterogeneous offload scenario.
 //
+// Besides the human-readable tables it writes the reports of the experiments
+// it ran to a machine-readable JSON file (per-kernel cycles and speedups,
+// code sizes, spill counts), so successive runs can be tracked as a
+// performance trajectory.
+//
 // Usage:
 //
-//	dacbench -exp table1|figure1|regalloc|codesize|hetero|all [-n 4096] [-frames 8]
+//	dacbench -exp table1|figure1|regalloc|codesize|hetero|all [-n 4096] [-frames 8] [-json BENCH_results.json]
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 
-	"repro/internal/bench"
+	"repro/pkg/splitvm"
 )
+
+// results is the schema of the JSON artifact. Only the experiments that ran
+// are present.
+type results struct {
+	// Table1 has, per kernel and target, scalar and vectorized cycles, the
+	// speedup and the native lowering used.
+	Table1 *splitvm.Table1Report `json:"table1,omitempty"`
+	// Figure1 has, per kernel, offline analysis steps, annotation bytes and
+	// JIT effort with and without annotations.
+	Figure1 *splitvm.Figure1Report `json:"figure1,omitempty"`
+	// RegAlloc has, per register file size, static and weighted spill
+	// counts for the online, split and offline-quality allocators.
+	RegAlloc *splitvm.RegAllocReport `json:"regalloc,omitempty"`
+	// CodeSize has, per module, bytecode, annotation and per-target native
+	// code sizes.
+	CodeSize *splitvm.CodeSizeReport `json:"codesize,omitempty"`
+	// Hetero has the host-only and offloaded cycle totals of the Cell-like
+	// scenario.
+	Hetero *splitvm.HeteroReport `json:"hetero,omitempty"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: table1, figure1, regalloc, codesize, hetero or all")
 	n := flag.Int("n", 4096, "elements per kernel invocation (table1)")
 	frames := flag.Int("frames", 8, "frames for the heterogeneous scenario")
+	jsonPath := flag.String("json", "BENCH_results.json", "write the reports of the executed experiments to this JSON file (empty to skip)")
 	flag.Parse()
 
+	var res results
 	run := func(name string) error {
 		switch name {
 		case "table1":
-			r, err := bench.RunTable1(bench.Table1Options{N: *n})
+			r, err := splitvm.RunTable1(splitvm.Table1Options{N: *n})
 			if err != nil {
 				return err
 			}
+			res.Table1 = r
 			fmt.Println(r)
 		case "figure1":
-			r, err := bench.RunFigure1()
+			r, err := splitvm.RunFigure1()
 			if err != nil {
 				return err
 			}
+			res.Figure1 = r
 			fmt.Println(r)
 		case "regalloc":
-			r, err := bench.RunRegAlloc(bench.RegAllocOptions{})
+			r, err := splitvm.RunRegAlloc(splitvm.RegAllocOptions{})
 			if err != nil {
 				return err
 			}
+			res.RegAlloc = r
 			fmt.Println(r)
 		case "codesize":
-			r, err := bench.RunCodeSize()
+			r, err := splitvm.RunCodeSize()
 			if err != nil {
 				return err
 			}
+			res.CodeSize = r
 			fmt.Println(r)
 		case "hetero":
-			r, err := bench.RunHetero(bench.HeteroOptions{Frames: *frames})
+			r, err := splitvm.RunHetero(splitvm.HeteroOptions{Frames: *frames})
 			if err != nil {
 				return err
 			}
+			res.Hetero = r
 			fmt.Println(r)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
@@ -69,5 +102,19 @@ func main() {
 			fmt.Fprintf(os.Stderr, "dacbench: %s: %v\n", e, err)
 			os.Exit(1)
 		}
+	}
+
+	if *jsonPath != "" {
+		data, err := json.MarshalIndent(&res, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "dacbench: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "dacbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("dacbench: wrote %s\n", *jsonPath)
 	}
 }

@@ -12,8 +12,7 @@ import (
 	"os"
 	"strings"
 
-	"repro/internal/cil"
-	"repro/internal/core"
+	"repro/pkg/splitvm"
 )
 
 func main() {
@@ -39,22 +38,24 @@ func main() {
 		src.WriteString("\n")
 	}
 
-	res, err := core.CompileOffline(src.String(), core.OfflineOptions{
-		ModuleName:         *name,
-		DisableVectorize:   *novec,
-		DisableAnnotations: *noannot,
-	})
+	eng := splitvm.New()
+	mod, err := eng.Compile(src.String(),
+		splitvm.WithModuleName(*name),
+		splitvm.WithVectorize(!*novec),
+		splitvm.WithAnnotations(!*noannot),
+	)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "svc: %v\n", err)
 		os.Exit(1)
 	}
-	if err := os.WriteFile(*out, res.Encoded, 0o644); err != nil {
+	if err := os.WriteFile(*out, mod.Encoded(), 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "svc: %v\n", err)
 		os.Exit(1)
 	}
+	stats := mod.Stats()
 	fmt.Printf("svc: wrote %s (%d bytes, %d bytes of annotations, %d methods)\n",
-		*out, len(res.Encoded), res.AnnotationBytes, len(res.Module.Methods))
+		*out, stats.EncodedBytes, stats.AnnotationBytes, len(mod.Methods()))
 	if *disasm {
-		fmt.Println(cil.Disassemble(res.Module))
+		fmt.Println(mod.Disassemble())
 	}
 }

@@ -13,9 +13,8 @@ import (
 	"fmt"
 	"os"
 
-	"repro/internal/cil"
-	"repro/internal/jit"
 	"repro/internal/target"
+	"repro/pkg/splitvm"
 )
 
 func main() {
@@ -31,25 +30,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "svdis: %v\n", err)
 		os.Exit(1)
 	}
-	mod, err := cil.Decode(data)
+	eng := splitvm.New()
+	mod, err := eng.Load(data)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "svdis: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Print(cil.Disassemble(mod))
+	fmt.Print(mod.Disassemble())
 	if !*native {
 		return
 	}
-	tgt, err := target.Lookup(target.Arch(*arch))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "svdis: %v\n", err)
-		os.Exit(1)
-	}
-	prog, err := jit.New(tgt, jit.Options{RegAlloc: jit.RegAllocSplit}).CompileModule(mod)
+	dep, err := eng.Deploy(mod, splitvm.WithTarget(target.Arch(*arch)))
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "svdis: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Println()
-	fmt.Print(prog.Disassemble())
+	fmt.Print(dep.DisassembleNative())
 }

@@ -12,15 +12,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
-	"strings"
 
-	"repro/internal/cil"
-	"repro/internal/core"
-	"repro/internal/jit"
-	"repro/internal/sim"
 	"repro/internal/target"
-	"repro/internal/vm"
+	"repro/pkg/splitvm"
 )
 
 func main() {
@@ -40,116 +34,64 @@ func main() {
 	}
 	rawArgs := flag.Args()[1:]
 
+	eng := splitvm.New()
+	mod, err := eng.Load(encoded)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
+		os.Exit(1)
+	}
+	sig, err := mod.Signature(*entry)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
+		os.Exit(1)
+	}
+	args, err := sig.ParseArgs(rawArgs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
+		os.Exit(1)
+	}
+
 	if *interp {
-		runInterp(encoded, *entry, rawArgs)
-		return
-	}
-
-	tgt, err := target.Lookup(target.Arch(*arch))
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
-		os.Exit(1)
-	}
-	mode := map[string]jit.RegAllocMode{
-		"online": jit.RegAllocOnline, "split": jit.RegAllocSplit, "optimal": jit.RegAllocOptimal,
-	}[*regalloc]
-	dep, err := core.Deploy(encoded, tgt, jit.Options{RegAlloc: mode})
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
-		os.Exit(1)
-	}
-	m := dep.Module.Method(*entry)
-	if m == nil {
-		fmt.Fprintf(os.Stderr, "svrun: no method %q in module\n", *entry)
-		os.Exit(1)
-	}
-	simArgs, err := parseSimArgs(m, rawArgs)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
-		os.Exit(1)
-	}
-	res, err := dep.Run(*entry, simArgs...)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
-		os.Exit(1)
-	}
-	if m.Ret.Kind.IsFloat() {
-		fmt.Printf("%s = %g\n", *entry, res.F)
-	} else {
-		fmt.Printf("%s = %d\n", *entry, res.I)
-	}
-	fmt.Printf("target %s: %d cycles, %d instructions, %d spill accesses\n",
-		tgt.Name, dep.Machine.Stats.Cycles, dep.Machine.Stats.Instructions,
-		dep.Machine.Stats.SpillLoads+dep.Machine.Stats.SpillStores)
-}
-
-func parseSimArgs(m *cil.Method, raw []string) ([]sim.Value, error) {
-	if len(raw) != len(m.Params) {
-		return nil, fmt.Errorf("%s expects %d arguments, got %d", m.Name, len(m.Params), len(raw))
-	}
-	out := make([]sim.Value, len(raw))
-	for i, s := range raw {
-		p := m.Params[i]
-		if p.IsArray() {
-			return nil, fmt.Errorf("argument %d of %s is an array; array arguments are only supported programmatically", i+1, m.Name)
-		}
-		if p.Kind.IsFloat() || strings.Contains(s, ".") {
-			v, err := strconv.ParseFloat(s, 64)
-			if err != nil {
-				return nil, err
-			}
-			out[i] = sim.FloatArg(v)
-			continue
-		}
-		v, err := strconv.ParseInt(s, 0, 64)
-		if err != nil {
-			return nil, err
-		}
-		out[i] = sim.IntArg(v)
-	}
-	return out, nil
-}
-
-func runInterp(encoded []byte, entry string, raw []string) {
-	rt, err := vm.Load(encoded)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
-		os.Exit(1)
-	}
-	m := rt.Module.Method(entry)
-	if m == nil {
-		fmt.Fprintf(os.Stderr, "svrun: no method %q in module\n", entry)
-		os.Exit(1)
-	}
-	args := make([]vm.Value, len(raw))
-	for i, s := range raw {
-		if i >= len(m.Params) {
-			break
-		}
-		if m.Params[i].Kind.IsFloat() {
-			v, err := strconv.ParseFloat(s, 64)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
-				os.Exit(1)
-			}
-			args[i] = vm.FloatValue(m.Params[i].Kind, v)
-			continue
-		}
-		v, err := strconv.ParseInt(s, 0, 64)
+		res, err := mod.Interpret(*entry, args...)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
 			os.Exit(1)
 		}
-		args[i] = vm.IntValue(m.Params[i].Kind, v)
+		if res.Float {
+			fmt.Printf("%s = %g (interpreted, %d bytecode steps)\n", *entry, res.Value.F, res.Steps)
+		} else {
+			fmt.Printf("%s = %d (interpreted, %d bytecode steps)\n", *entry, res.Value.I, res.Steps)
+		}
+		return
 	}
-	res, err := rt.Call(entry, args...)
+
+	mode, ok := map[string]splitvm.RegAllocMode{
+		"online": splitvm.RegAllocOnline, "split": splitvm.RegAllocSplit, "optimal": splitvm.RegAllocOptimal,
+	}[*regalloc]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "svrun: unknown register allocation mode %q (known: online, split, optimal)\n", *regalloc)
+		os.Exit(2)
+	}
+	dep, err := eng.Deploy(mod,
+		splitvm.WithTarget(target.Arch(*arch)),
+		splitvm.WithRegAllocMode(mode),
+	)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
 		os.Exit(1)
 	}
-	if m.Ret.Kind.IsFloat() {
-		fmt.Printf("%s = %g (interpreted, %d bytecode steps)\n", entry, res.Float(), rt.Steps)
-	} else {
-		fmt.Printf("%s = %d (interpreted, %d bytecode steps)\n", entry, res.Int(), rt.Steps)
+	res, err := dep.Run(*entry, args...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "svrun: %v\n", err)
+		os.Exit(1)
 	}
+	if sig.ReturnsFloat {
+		fmt.Printf("%s = %g\n", *entry, res.F)
+	} else {
+		fmt.Printf("%s = %d\n", *entry, res.I)
+	}
+	stats := dep.Stats()
+	fmt.Printf("target %s: %d cycles, %d instructions, %d spill accesses\n",
+		dep.Target().Name, stats.Cycles, stats.Instructions,
+		stats.SpillLoads+stats.SpillStores)
 }

@@ -9,36 +9,38 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/cil"
-	"repro/internal/core"
-	"repro/internal/hetero"
-	"repro/internal/kernels"
-	"repro/internal/sim"
-	"repro/internal/vm"
+	"repro/pkg/splitvm"
 )
 
 func main() {
-	source := kernels.MustGet("checksum").Source + kernels.MustGet("vecadd_fp").Source
-	offline, err := core.CompileOffline(source, core.OfflineOptions{ModuleName: "media-app"})
+	eng := splitvm.New()
+
+	var source string
+	for _, k := range splitvm.Kernels() {
+		if k.Name == "checksum" || k.Name == "vecadd_fp" {
+			source += k.Source
+		}
+	}
+	mod, err := eng.Compile(source, splitvm.WithModuleName("media-app"))
 	if err != nil {
 		log.Fatal(err)
 	}
-	sys := hetero.CellLike()
+	sys := splitvm.CellLike()
 	fmt.Printf("system %s: host %s + %d vector accelerators\n\n", sys.Name, sys.Host.Desc.Name, len(sys.Accel))
 
-	for _, policy := range []hetero.Policy{hetero.HostOnly, hetero.Annotated} {
-		rt, err := hetero.NewRuntime(sys, offline.Encoded, policy)
+	for _, policy := range []splitvm.Policy{splitvm.HostOnly, splitvm.Annotated} {
+		rt, err := eng.DeployHetero(sys, mod, policy)
 		if err != nil {
 			log.Fatal(err)
 		}
 		var total int64
 
 		// Control-heavy pass over a small header buffer.
-		header := vm.NewArray(cil.U8, 512)
+		header := splitvm.NewArray(splitvm.U8, 512)
 		for i := 0; i < header.Len(); i++ {
 			header.SetInt(i, int64(i*37%256))
 		}
-		cres, err := rt.Call("checksum", hetero.ArrayArg(header), hetero.ScalarArg(cil.I32, sim.IntArg(512)))
+		cres, err := rt.Call("checksum", splitvm.ArrayArg(header), splitvm.ScalarArg(splitvm.I32, splitvm.IntArg(512)))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -46,16 +48,16 @@ func main() {
 
 		// Numerical pass over the sample buffer.
 		const n = 4096
-		c := vm.NewArray(cil.F64, n)
-		a := vm.NewArray(cil.F64, n)
-		b := vm.NewArray(cil.F64, n)
+		c := splitvm.NewArray(splitvm.F64, n)
+		a := splitvm.NewArray(splitvm.F64, n)
+		b := splitvm.NewArray(splitvm.F64, n)
 		for i := 0; i < n; i++ {
 			a.SetFloat(i, float64(i%21))
 			b.SetFloat(i, float64(i%13))
 		}
 		nres, err := rt.Call("vecadd",
-			hetero.ArrayArg(c), hetero.ArrayArg(a), hetero.ArrayArg(b),
-			hetero.ScalarArg(cil.I32, sim.IntArg(n)))
+			splitvm.ArrayArg(c), splitvm.ArrayArg(a), splitvm.ArrayArg(b),
+			splitvm.ScalarArg(splitvm.I32, splitvm.IntArg(n)))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -65,4 +67,5 @@ func main() {
 			policy, cres.CoreName, cres.Result.I, nres.CoreName, total)
 	}
 	fmt.Println("\nThe same byte stream ran in both configurations; only the run-time mapping changed.")
+	fmt.Printf("code cache after both deployments: %+v\n", eng.CacheStats())
 }

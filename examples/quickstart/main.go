@@ -7,10 +7,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/jit"
-	"repro/internal/sim"
 	"repro/internal/target"
+	"repro/pkg/splitvm"
 )
 
 const source = `
@@ -25,27 +23,28 @@ i64 sumsq(i32 n) {
 `
 
 func main() {
+	eng := splitvm.New()
+
 	// Offline step (developer workstation): front end, optimizer,
 	// annotations, bytecode encoding.
-	offline, err := core.CompileOffline(source, core.OfflineOptions{ModuleName: "quickstart"})
+	mod, err := eng.Compile(source, splitvm.WithModuleName("quickstart"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("offline: %d bytes of deployable bytecode, %d bytes of annotations\n\n",
-		len(offline.Encoded), offline.AnnotationBytes)
+		mod.Stats().EncodedBytes, mod.Stats().AnnotationBytes)
 
 	// Online step (device): decode, verify, JIT for whatever core is there.
 	for _, arch := range []target.Arch{target.X86SSE, target.Sparc, target.MCU} {
-		tgt := target.MustLookup(arch)
-		dep, err := core.Deploy(offline.Encoded, tgt, jit.Options{RegAlloc: jit.RegAllocSplit})
+		dep, err := eng.Deploy(mod, splitvm.WithTarget(arch))
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := dep.Run("sumsq", sim.IntArg(1000))
+		res, err := dep.Run("sumsq", splitvm.IntArg(1000))
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("%-12s sumsq(1000) = %-12d %8d cycles, %4d B native code\n",
-			tgt.Name, res.I, dep.Cycles(), dep.NativeCodeBytes())
+			dep.Target().Name, res.I, dep.Cycles(), dep.NativeCodeBytes())
 	}
 }

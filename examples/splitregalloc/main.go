@@ -8,10 +8,8 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/jit"
-	"repro/internal/sim"
 	"repro/internal/target"
+	"repro/pkg/splitvm"
 )
 
 const source = `
@@ -33,26 +31,28 @@ i32 filter(i32 n, i32 seed) {
 `
 
 func main() {
-	offline, err := core.CompileOffline(source, core.OfflineOptions{ModuleName: "filter"})
+	eng := splitvm.New()
+	mod, err := eng.Compile(source, splitvm.WithModuleName("filter"))
 	if err != nil {
 		log.Fatal(err)
 	}
 	tgt := target.MustLookup(target.MCU).WithIntRegs(5)
 	fmt.Printf("target: %s\n", tgt.Name)
-	fmt.Printf("annotation bytes carried in the bytecode: %d\n\n", offline.AnnotationBytes)
+	fmt.Printf("annotation bytes carried in the bytecode: %d\n\n", mod.Stats().AnnotationBytes)
 
 	fmt.Printf("%-22s %14s %18s %16s %14s\n", "allocator", "spilled vars", "spill instrs", "dynamic spills", "total cycles")
-	for _, mode := range []jit.RegAllocMode{jit.RegAllocOnline, jit.RegAllocSplit, jit.RegAllocOptimal} {
-		dep, err := core.Deploy(offline.Encoded, tgt, jit.Options{RegAlloc: mode})
+	for _, mode := range []splitvm.RegAllocMode{splitvm.RegAllocOnline, splitvm.RegAllocSplit, splitvm.RegAllocOptimal} {
+		dep, err := eng.Deploy(mod, splitvm.WithTargetDesc(tgt), splitvm.WithRegAllocMode(mode))
 		if err != nil {
 			log.Fatal(err)
 		}
-		if _, err := dep.Run("filter", sim.IntArg(10000), sim.IntArg(7)); err != nil {
+		if _, err := dep.Run("filter", splitvm.IntArg(10000), splitvm.IntArg(7)); err != nil {
 			log.Fatal(err)
 		}
 		slots, loads, stores := dep.SpillSummary()
+		stats := dep.Stats()
 		fmt.Printf("%-22s %14d %18d %16d %14d\n",
-			mode, slots, loads+stores, dep.Machine.Stats.SpillLoads+dep.Machine.Stats.SpillStores, dep.Cycles())
+			mode, slots, loads+stores, stats.SpillLoads+stats.SpillStores, dep.Cycles())
 	}
 	fmt.Println("\nThe split allocator reads the offline priorities instead of guessing from scan order,")
 	fmt.Println("so the loop-carried variables stay in registers and spill traffic drops.")

@@ -8,36 +8,35 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
-	"repro/internal/jit"
-	"repro/internal/kernels"
 	"repro/internal/target"
+	"repro/pkg/splitvm"
 )
 
 func main() {
 	const n = 4096
 	kernelName := "saxpy_fp"
+	eng := splitvm.New()
 
-	scalar, k, err := core.CompileKernel(kernelName, core.OfflineOptions{DisableVectorize: true})
+	scalar, k, err := eng.CompileKernel(kernelName, splitvm.WithVectorize(false))
 	if err != nil {
 		log.Fatal(err)
 	}
-	vector, _, err := core.CompileKernel(kernelName, core.OfflineOptions{})
+	vector, _, err := eng.CompileKernel(kernelName)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("kernel %s: %s\n", k.Name, k.Description)
 	fmt.Printf("scalar bytecode: %d bytes, vectorized bytecode: %d bytes (+%d bytes of annotations)\n\n",
-		len(scalar.Encoded), len(vector.Encoded), vector.AnnotationBytes)
+		scalar.Stats().EncodedBytes, vector.Stats().EncodedBytes, vector.Stats().AnnotationBytes)
 
-	inputs, err := kernels.NewInputs(kernelName, n, 1)
+	inputs, err := splitvm.NewInputs(kernelName, n, 1)
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("%-14s %14s %14s %10s %s\n", "target", "scalar cycles", "vector cycles", "speedup", "how the JIT lowered the builtins")
 	for _, tgt := range target.Table1() {
-		depS, err := core.Deploy(scalar.Encoded, tgt, jit.Options{RegAlloc: jit.RegAllocSplit})
+		depS, err := eng.Deploy(scalar, splitvm.WithTarget(tgt.Arch))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -45,7 +44,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		depV, err := core.Deploy(vector.Encoded, tgt, jit.Options{RegAlloc: jit.RegAllocSplit})
+		depV, err := eng.Deploy(vector, splitvm.WithTarget(tgt.Arch))
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -54,7 +53,7 @@ func main() {
 			log.Fatal(err)
 		}
 		how := "scalarized (no SIMD unit)"
-		if depV.Program.Func(k.Entry).Stats.VectorLowered > 0 {
+		if depV.UsedSIMD(k.Entry) {
 			how = "mapped to the 128-bit vector unit"
 		}
 		fmt.Printf("%-14s %14d %14d %9.2fx %s\n",

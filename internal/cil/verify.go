@@ -36,7 +36,14 @@ func Verify(mod *Module) error {
 // module is needed to resolve call signatures) and sets m.MaxStack.
 func VerifyMethod(mod *Module, m *Method) error {
 	v := &verifier{mod: mod, m: m}
-	return v.run()
+	if err := v.run(); err != nil {
+		return err
+	}
+	// Publishing the analysis result is the verifier's only write into the
+	// method; read-only consumers of the analysis (StackLayouts) stay pure
+	// so already-verified modules can be JIT-compiled concurrently.
+	m.MaxStack = v.maxStack
+	return nil
 }
 
 type verifier struct {
@@ -79,7 +86,6 @@ func (v *verifier) run() error {
 			return err
 		}
 	}
-	m.MaxStack = v.maxStack
 	return nil
 }
 

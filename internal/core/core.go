@@ -132,6 +132,73 @@ func CompileKernel(name string, opts OfflineOptions) (*OfflineResult, kernels.Ke
 	return res, k, err
 }
 
+// Image is the immutable, target-specific half of a deployment: the decoded
+// and verified module together with the native program the JIT produced for
+// one target. An Image holds no execution state, so it can be built once and
+// instantiated into any number of machines — it is the unit the public
+// engine's code cache stores and shares between concurrent deployments.
+type Image struct {
+	Target  *target.Desc
+	Module  *cil.Module
+	Program *nisa.Program
+
+	// JITSteps approximates the work the online compiler performed; with
+	// split compilation this stays small even when the generated code is
+	// aggressive.
+	JITSteps int64
+}
+
+// BuildImage decodes, verifies and JIT-compiles an encoded module for a
+// target. This is everything that happens on the device side of the
+// distribution boundary, short of instantiating a machine.
+func BuildImage(encoded []byte, tgt *target.Desc, jopts jit.Options) (*Image, error) {
+	mod, err := cil.Decode(encoded)
+	if err != nil {
+		return nil, err
+	}
+	return ImageFromModule(mod, tgt, jopts)
+}
+
+// ImageFromModule verifies and JIT-compiles an already-decoded module. The
+// image keeps a reference to the module; callers that mutate the module
+// afterwards must pass a clone.
+func ImageFromModule(mod *cil.Module, tgt *target.Desc, jopts jit.Options) (*Image, error) {
+	if err := cil.Verify(mod); err != nil {
+		return nil, err
+	}
+	return ImageFromVerifiedModule(mod, tgt, jopts)
+}
+
+// ImageFromVerifiedModule JIT-compiles a module that has already passed
+// verification. Verification writes per-method results (MaxStack) into the
+// module, so callers building images for several targets concurrently must
+// verify once up front and use this entry point: the JIT itself only reads
+// the module.
+func ImageFromVerifiedModule(mod *cil.Module, tgt *target.Desc, jopts jit.Options) (*Image, error) {
+	prog, err := jit.New(tgt, jopts).CompileModule(mod)
+	if err != nil {
+		return nil, err
+	}
+	img := &Image{Target: tgt, Module: mod, Program: prog}
+	for _, f := range prog.Funcs {
+		img.JITSteps += f.Stats.CompileSteps
+	}
+	return img, nil
+}
+
+// Instantiate creates a fresh machine executing the image. The machine owns
+// its memory and statistics; the image itself is shared and never mutated,
+// so concurrent instantiations are safe.
+func (img *Image) Instantiate() *Deployment {
+	return &Deployment{
+		Target:   img.Target,
+		Module:   img.Module,
+		Program:  img.Program,
+		Machine:  sim.New(img.Target, img.Program),
+		JITSteps: img.JITSteps,
+	}
+}
+
 // Deployment is a module deployed on one simulated target: the decoded and
 // verified module, the JIT-compiled native image and the machine executing
 // it.
@@ -147,31 +214,16 @@ type Deployment struct {
 	JITSteps int64
 }
 
-// Deploy decodes, verifies and JIT-compiles an encoded module for a target.
-// This is everything that happens on the device side of the distribution
-// boundary.
+// Deploy decodes, verifies and JIT-compiles an encoded module for a target,
+// then instantiates a machine for it. Callers that deploy the same module
+// repeatedly should build an Image once (or use the pkg/splitvm engine,
+// which caches images) and instantiate it per deployment.
 func Deploy(encoded []byte, tgt *target.Desc, jopts jit.Options) (*Deployment, error) {
-	mod, err := cil.Decode(encoded)
+	img, err := BuildImage(encoded, tgt, jopts)
 	if err != nil {
 		return nil, err
 	}
-	if err := cil.Verify(mod); err != nil {
-		return nil, err
-	}
-	prog, err := jit.New(tgt, jopts).CompileModule(mod)
-	if err != nil {
-		return nil, err
-	}
-	d := &Deployment{
-		Target:  tgt,
-		Module:  mod,
-		Program: prog,
-		Machine: sim.New(tgt, prog),
-	}
-	for _, f := range prog.Funcs {
-		d.JITSteps += f.Stats.CompileSteps
-	}
-	return d, nil
+	return img.Instantiate(), nil
 }
 
 // Run executes an entry point on the deployment's machine.

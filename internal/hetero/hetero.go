@@ -120,17 +120,27 @@ type Runtime struct {
 	WorkThreshold int64
 }
 
+// DeployFunc produces a deployment of an encoded module on one target. It
+// lets callers route the per-core JIT compilations through a shared code
+// cache (pkg/splitvm's engine does) instead of compiling from scratch.
+type DeployFunc func(encoded []byte, tgt *target.Desc, jopts jit.Options) (*core.Deployment, error)
+
 // NewRuntime decodes and JIT-compiles the module once per distinct core type
 // of the system. This is processor virtualization at the system level: one
 // byte stream, one native image per kind of core.
 func NewRuntime(sys *System, encoded []byte, policy Policy) (*Runtime, error) {
+	return NewRuntimeWith(sys, encoded, policy, core.Deploy)
+}
+
+// NewRuntimeWith is NewRuntime with a caller-supplied deployment function.
+func NewRuntimeWith(sys *System, encoded []byte, policy Policy, deploy DeployFunc) (*Runtime, error) {
 	rt := &Runtime{Sys: sys, Policy: policy, deployments: make(map[string]*core.Deployment), WorkThreshold: 16}
 	cores := append([]Core{sys.Host}, sys.Accel...)
 	for _, c := range cores {
 		if _, done := rt.deployments[c.Name]; done {
 			continue
 		}
-		d, err := core.Deploy(encoded, c.Desc, jit.Options{RegAlloc: jit.RegAllocSplit})
+		d, err := deploy(encoded, c.Desc, jit.Options{RegAlloc: jit.RegAllocSplit})
 		if err != nil {
 			return nil, fmt.Errorf("hetero: deploying on %s: %w", c.Name, err)
 		}

@@ -1,0 +1,335 @@
+// Package target describes the simulated deployment targets of the split
+// toolchain: the machine-level parameters the online compiler (internal/jit)
+// and the cycle-approximate simulator (internal/sim) need about each
+// processor the portable bytecode may be deployed on.
+//
+// The built-in descriptors model the three evaluation machines of the
+// paper's Table 1 (an x86 with a 128-bit SSE unit, an UltraSparc and a
+// PowerPC without usable SIMD from the JIT) plus the two device-side cores of
+// the Section 3 scenarios (a Cell-SPU-like vector accelerator and a small
+// embedded MCU with a tiny register file). Absolute latencies are not meant
+// to match any real silicon; they are chosen so the *relative* numbers the
+// experiments report (scalar versus vectorized code on one target, the same
+// bytecode across targets) behave like the paper's.
+//
+// The registry is extensible: user-defined targets can be added with
+// Register and then looked up by every tool that accepts a target name.
+package target
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Arch identifies a target architecture in the registry. The value doubles
+// as the command-line spelling used by the tools (svrun -target x86-sse).
+type Arch string
+
+// Built-in architectures.
+const (
+	// X86SSE is the paper's general-purpose evaluation machine: a variable
+	// instruction length CISC with few architectural registers and a 128-bit
+	// SIMD unit the JIT maps the portable vector builtins onto.
+	X86SSE Arch = "x86-sse"
+	// Sparc is the UltraSparc column of Table 1: a classic RISC with a large
+	// register file and no SIMD unit reachable from the JIT, so vector
+	// builtins are scalarized.
+	Sparc Arch = "ultrasparc"
+	// PPC is the PowerPC column of Table 1, treated like the paper's
+	// machine: plenty of registers, no SIMD lowering (the JIT scalarizes).
+	PPC Arch = "powerpc"
+	// SPU is a Cell-SPU-like vector accelerator: a fast core with a large
+	// unified register file and a 128-bit vector unit, reachable only
+	// through the heterogeneous runtime of Section 3.
+	SPU Arch = "spu"
+	// MCU is a small embedded microcontroller: slow clock, short
+	// instructions, a tiny register file (the register-pressure sweep of the
+	// split register allocation experiment resizes it) and no vector unit.
+	MCU Arch = "mcu"
+)
+
+// String returns the registry spelling of the architecture.
+func (a Arch) String() string { return string(a) }
+
+// CostModel gives per-instruction latencies in cycles for one target. The
+// simulator charges these values; the JIT never reads them (the split design
+// keeps target-specific profitability knowledge offline or in the hardware
+// model, not in the online compiler).
+type CostModel struct {
+	// Scalar integer unit.
+	Move   int // register moves, immediates, argument fetch
+	IntALU int // add/sub/logic/shift/compare
+	IntMul int
+	IntDiv int
+
+	// Scalar floating-point unit.
+	FloatALU int // add/sub/neg
+	FloatMul int
+	FloatDiv int
+
+	// Conversions between kinds.
+	Convert int
+
+	// Scalar memory accesses and their penalties.
+	Load            int
+	Store           int
+	AddrCalcPenalty int // indexed address computation
+	SubWordPenalty  int // byte/halfword access on word-oriented memory paths
+
+	// Control flow.
+	Call           int
+	BranchTaken    int
+	BranchNotTaken int
+
+	// 128-bit vector unit (ignored when the target has none).
+	VecLoad   int
+	VecStore  int
+	VecALU    int // add/sub/min/max, any lane kind
+	VecMul    int
+	VecSplat  int
+	VecReduce int // horizontal add/min/max
+}
+
+// Desc describes one deployment target.
+type Desc struct {
+	// Arch is the registry key.
+	Arch Arch
+	// Name is the human-readable name used in reports and disassembly.
+	Name string
+	// ClockMHz scales simulated cycles to the wall-clock-style numbers of
+	// Table 1 and normalizes cycles between cores of a heterogeneous system.
+	ClockMHz int
+	// BytesPerInstr is the average encoded size of one native instruction,
+	// used for the code-size comparison (values below 4 mark variable-length
+	// encodings, which pay extra bytes for vector prefixes and wide
+	// immediates).
+	BytesPerInstr int
+	// HasSIMD reports whether the JIT may map portable vector builtins onto
+	// a 128-bit vector unit. Without it the JIT scalarizes.
+	HasSIMD bool
+	// IntRegs, FloatRegs and VecRegs size the allocatable register files by
+	// class. The JIT reserves a few scratch registers beyond these for spill
+	// reloads.
+	IntRegs   int
+	FloatRegs int
+	VecRegs   int
+	// Cost is the target's latency model.
+	Cost CostModel
+}
+
+// WithIntRegs returns a copy of the descriptor with the integer register
+// file resized (the knob of the split register allocation sweep). The copy
+// keeps the original architecture key but documents the resize in its name.
+func (d *Desc) WithIntRegs(n int) *Desc {
+	c := *d
+	c.IntRegs = n
+	c.Name = fmt.Sprintf("%s/%dr", d.Name, n)
+	return &c
+}
+
+// baseCost is the latency model shared by the general-purpose targets;
+// per-target descriptors tweak the fields where the machines differ.
+var baseCost = CostModel{
+	Move:   1,
+	IntALU: 1,
+	IntMul: 3,
+	IntDiv: 12,
+
+	FloatALU: 3,
+	FloatMul: 4,
+	FloatDiv: 16,
+
+	Convert: 2,
+
+	Load:            3,
+	Store:           3,
+	AddrCalcPenalty: 1,
+	SubWordPenalty:  1,
+
+	Call:           10,
+	BranchTaken:    2,
+	BranchNotTaken: 1,
+
+	VecLoad:   4,
+	VecStore:  4,
+	VecALU:    2,
+	VecMul:    5,
+	VecSplat:  2,
+	VecReduce: 4,
+}
+
+// registry holds the known targets. Built-ins are installed at package
+// initialization; Register adds user-defined ones. The lock makes the
+// registry safe to extend and read from concurrent deployments.
+var (
+	mu       sync.RWMutex
+	registry = map[Arch]*Desc{}
+)
+
+func init() {
+	x86 := &Desc{
+		Arch:          X86SSE,
+		Name:          "x86+SSE",
+		ClockMHz:      2667,
+		BytesPerInstr: 3,
+		HasSIMD:       true,
+		IntRegs:       6,
+		FloatRegs:     8,
+		VecRegs:       8,
+		Cost:          baseCost,
+	}
+
+	sparc := &Desc{
+		Arch:          Sparc,
+		Name:          "UltraSparc",
+		ClockMHz:      900,
+		BytesPerInstr: 4,
+		HasSIMD:       false,
+		IntRegs:       24,
+		FloatRegs:     16,
+		VecRegs:       0,
+		Cost:          baseCost,
+	}
+	// In-order RISC: cheaper taken branches, slower divides.
+	sparc.Cost.BranchTaken = 1
+	sparc.Cost.IntDiv = 20
+	sparc.Cost.FloatDiv = 22
+
+	ppc := &Desc{
+		Arch:          PPC,
+		Name:          "PowerPC",
+		ClockMHz:      2000,
+		BytesPerInstr: 4,
+		HasSIMD:       false,
+		IntRegs:       26,
+		FloatRegs:     26,
+		VecRegs:       0,
+		Cost:          baseCost,
+	}
+
+	spu := &Desc{
+		Arch:          SPU,
+		Name:          "SPU",
+		ClockMHz:      3200,
+		BytesPerInstr: 4,
+		HasSIMD:       true,
+		IntRegs:       32,
+		FloatRegs:     32,
+		VecRegs:       32,
+		Cost:          baseCost,
+	}
+	// The SPU's local store is fast and vector-oriented; scalar sub-word
+	// accesses pay for the read-modify-write path instead.
+	spu.Cost.VecLoad = 3
+	spu.Cost.VecStore = 3
+	spu.Cost.SubWordPenalty = 2
+
+	mcu := &Desc{
+		Arch:          MCU,
+		Name:          "MCU",
+		ClockMHz:      200,
+		BytesPerInstr: 2,
+		HasSIMD:       false,
+		IntRegs:       8,
+		FloatRegs:     4,
+		VecRegs:       0,
+		Cost:          baseCost,
+	}
+	// Software-assisted FP and a slow multiplier.
+	mcu.Cost.IntMul = 5
+	mcu.Cost.IntDiv = 24
+	mcu.Cost.FloatALU = 8
+	mcu.Cost.FloatMul = 12
+	mcu.Cost.FloatDiv = 40
+
+	for _, d := range []*Desc{x86, sparc, ppc, spu, mcu} {
+		registry[d.Arch] = d
+	}
+}
+
+// Register adds a user-defined target to the registry (or replaces an
+// existing registration with the same Arch). The descriptor is copied, so
+// later mutation of the argument does not affect the registry. It returns an
+// error for descriptors a JIT deployment could not use.
+func Register(d *Desc) error {
+	if d == nil || d.Arch == "" {
+		return fmt.Errorf("target: Register needs a descriptor with a non-empty Arch")
+	}
+	if d.IntRegs < 1 {
+		return fmt.Errorf("target %q: at least one integer register is required", d.Arch)
+	}
+	if d.HasSIMD && d.VecRegs < 1 {
+		return fmt.Errorf("target %q: HasSIMD requires vector registers", d.Arch)
+	}
+	c := *d
+	if c.Name == "" {
+		c.Name = string(c.Arch)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	registry[c.Arch] = &c
+	return nil
+}
+
+// Lookup returns the descriptor registered for an architecture.
+func Lookup(a Arch) (*Desc, error) {
+	mu.RLock()
+	d, ok := registry[a]
+	mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("target: unknown architecture %q (known: %s)", a, knownNames())
+	}
+	return d, nil
+}
+
+// MustLookup is Lookup for known-good architectures; it panics on unknown
+// ones.
+func MustLookup(a Arch) *Desc {
+	d, err := Lookup(a)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// Table1 returns the three evaluation targets of the paper's Table 1, in the
+// paper's column order.
+func Table1() []*Desc {
+	return []*Desc{MustLookup(X86SSE), MustLookup(Sparc), MustLookup(PPC)}
+}
+
+// All returns every built-in target: the Table 1 columns first, then the
+// device-side cores of the Section 3 scenarios. User-registered targets
+// follow in name order.
+func All() []*Desc {
+	builtin := []Arch{X86SSE, Sparc, PPC, SPU, MCU}
+	out := make([]*Desc, 0, len(builtin))
+	seen := make(map[Arch]bool, len(builtin))
+	for _, a := range builtin {
+		out = append(out, MustLookup(a))
+		seen[a] = true
+	}
+	mu.RLock()
+	var extra []*Desc
+	for a, d := range registry {
+		if !seen[a] {
+			extra = append(extra, d)
+		}
+	}
+	mu.RUnlock()
+	sort.Slice(extra, func(i, j int) bool { return extra[i].Arch < extra[j].Arch })
+	return append(out, extra...)
+}
+
+func knownNames() string {
+	mu.RLock()
+	defer mu.RUnlock()
+	names := make([]string, 0, len(registry))
+	for a := range registry {
+		names = append(names, string(a))
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

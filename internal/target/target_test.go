@@ -1,0 +1,106 @@
+package target
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuiltinRegistry(t *testing.T) {
+	for _, a := range []Arch{X86SSE, Sparc, PPC, SPU, MCU} {
+		d, err := Lookup(a)
+		if err != nil {
+			t.Fatalf("Lookup(%s): %v", a, err)
+		}
+		if d.Arch != a || d.Name == "" || d.ClockMHz <= 0 || d.BytesPerInstr <= 0 {
+			t.Errorf("%s: incomplete descriptor %+v", a, d)
+		}
+		if d.IntRegs <= 0 {
+			t.Errorf("%s: no integer registers", a)
+		}
+		if d.HasSIMD != (d.VecRegs > 0) {
+			t.Errorf("%s: HasSIMD=%v but VecRegs=%d", a, d.HasSIMD, d.VecRegs)
+		}
+	}
+	if _, err := Lookup("vax"); err == nil || !strings.Contains(err.Error(), "unknown architecture") {
+		t.Errorf("unknown arch accepted: %v", err)
+	}
+	if len(Table1()) != 3 || Table1()[0].Arch != X86SSE {
+		t.Error("Table1 must be the three paper columns, x86 first")
+	}
+	if got := len(All()); got < 5 {
+		t.Errorf("All() = %d targets, want at least the 5 built-ins", got)
+	}
+}
+
+func TestOnlyX86AndSPUHaveSIMD(t *testing.T) {
+	// Table 1 depends on exactly one SIMD column; Section 3 depends on the
+	// SPU accelerator being vector-capable.
+	for _, d := range All() {
+		wantSIMD := d.Arch == X86SSE || d.Arch == SPU
+		if d.HasSIMD != wantSIMD {
+			t.Errorf("%s: HasSIMD = %v, want %v", d.Arch, d.HasSIMD, wantSIMD)
+		}
+	}
+}
+
+func TestWithIntRegsIsACopy(t *testing.T) {
+	base := MustLookup(MCU)
+	small := base.WithIntRegs(4)
+	if small.IntRegs != 4 {
+		t.Fatalf("WithIntRegs: got %d", small.IntRegs)
+	}
+	if base.IntRegs == 4 {
+		t.Fatal("WithIntRegs mutated the registry descriptor")
+	}
+	if small.Arch != base.Arch || small.Cost != base.Cost {
+		t.Error("WithIntRegs must keep arch and cost model")
+	}
+	if !strings.Contains(small.Name, "4r") {
+		t.Errorf("resized name should record the register file: %q", small.Name)
+	}
+}
+
+func TestRegisterUserTarget(t *testing.T) {
+	d := &Desc{
+		Arch:          "riscv-test",
+		ClockMHz:      1000,
+		BytesPerInstr: 4,
+		IntRegs:       28,
+		FloatRegs:     28,
+		Cost:          baseCost,
+	}
+	if err := Register(d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Lookup("riscv-test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "riscv-test" {
+		t.Errorf("Register should default the name, got %q", got.Name)
+	}
+	// The registry holds a copy.
+	d.IntRegs = 1
+	if got2 := MustLookup("riscv-test"); got2.IntRegs != 28 {
+		t.Error("Register must copy the descriptor")
+	}
+	found := false
+	for _, x := range All() {
+		if x.Arch == "riscv-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("user target missing from All()")
+	}
+
+	if err := Register(nil); err == nil {
+		t.Error("nil descriptor accepted")
+	}
+	if err := Register(&Desc{Arch: "bad", IntRegs: 0}); err == nil {
+		t.Error("descriptor without integer registers accepted")
+	}
+	if err := Register(&Desc{Arch: "bad", IntRegs: 4, HasSIMD: true, VecRegs: 0}); err == nil {
+		t.Error("SIMD descriptor without vector registers accepted")
+	}
+}

@@ -1,0 +1,62 @@
+package splitvm
+
+import (
+	"repro/internal/bench"
+)
+
+// The experiment harness behind cmd/dacbench and the top-level benchmarks,
+// re-exported so tools built on the public API can regenerate the paper's
+// evaluation artifacts without reaching into internal packages. Each Run
+// function reproduces one table or figure; the report types render
+// themselves in the paper's layout via String and marshal cleanly to JSON
+// for machine-readable result tracking.
+
+// Table1Options parameterizes the split-vectorization experiment.
+type Table1Options = bench.Table1Options
+
+// Table1Report reproduces Table 1 (split automatic vectorization).
+type Table1Report = bench.Table1Report
+
+// Figure1Report quantifies the split compilation flow of Figure 1.
+type Figure1Report = bench.Figure1Report
+
+// RegAllocOptions parameterizes the split register allocation sweep.
+type RegAllocOptions = bench.RegAllocOptions
+
+// RegAllocReport reproduces the Section 4 split register allocation claim.
+type RegAllocReport = bench.RegAllocReport
+
+// CodeSizeReport is the Section 2.1 bytecode-compactness experiment.
+type CodeSizeReport = bench.CodeSizeReport
+
+// HeteroOptions parameterizes the Section 3 whole-system offload scenario.
+type HeteroOptions = bench.HeteroOptions
+
+// HeteroReport compares host-only against annotation-guided offload.
+type HeteroReport = bench.HeteroReport
+
+// RunTable1 reproduces Table 1: each kernel compiled to scalar and
+// vectorized bytecode, deployed on the three simulated targets, and timed.
+func RunTable1(opts Table1Options) (*Table1Report, error) { return bench.RunTable1(opts) }
+
+// RunFigure1 measures the distribution of optimization effort between the
+// offline and online compilation steps, with and without annotations.
+func RunFigure1() (*Figure1Report, error) { return bench.RunFigure1() }
+
+// RunRegAlloc sweeps embedded-class register file sizes and compares the
+// spills of the online, split and offline-quality allocators.
+func RunRegAlloc(opts RegAllocOptions) (*RegAllocReport, error) { return bench.RunRegAlloc(opts) }
+
+// RunCodeSize measures deployable bytecode sizes against generated native
+// code sizes.
+func RunCodeSize() (*CodeSizeReport, error) { return bench.RunCodeSize() }
+
+// RunHetero runs the same deployable module on a Cell-like system under
+// both placement policies and compares end-to-end cycles.
+func RunHetero(opts HeteroOptions) (*HeteroReport, error) { return bench.RunHetero(opts) }
+
+// RunScalarizationAblation returns cycles(forced-scalarized)/cycles(SIMD)
+// for one kernel on the SIMD-capable x86 target.
+func RunScalarizationAblation(kernel string, n int) (float64, error) {
+	return bench.ScalarizationAblation(kernel, n)
+}

@@ -1,0 +1,130 @@
+package splitvm
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/target"
+)
+
+// TestConcurrentDeploymentsShareCache is the concurrency contract of the
+// code cache: one module deployed from many goroutines across several
+// targets must JIT-compile exactly once per (target, options) key, every
+// later deployment must be a cache hit, and every machine must compute the
+// same results. Run under -race this also checks the cache's locking and
+// that cached images are never mutated by concurrent machines.
+func TestConcurrentDeploymentsShareCache(t *testing.T) {
+	eng := New()
+	m, err := eng.Compile(sumsqSource, WithModuleName("conc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := m.Interpret("sumsq", IntArg(500))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	archs := []target.Arch{target.X86SSE, target.Sparc, target.PPC, target.SPU, target.MCU}
+	const perTarget = 16
+
+	var wg sync.WaitGroup
+	results := make(chan int64, len(archs)*perTarget)
+	errs := make(chan error, len(archs)*perTarget)
+	for _, arch := range archs {
+		for g := 0; g < perTarget; g++ {
+			wg.Add(1)
+			go func(a target.Arch) {
+				defer wg.Done()
+				dep, err := eng.Deploy(m, WithTarget(a))
+				if err != nil {
+					errs <- err
+					return
+				}
+				v, err := dep.Run("sumsq", IntArg(500))
+				if err != nil {
+					errs <- err
+					return
+				}
+				results <- v.I
+			}(arch)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	close(results)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	n := 0
+	for v := range results {
+		n++
+		if v != want.Value.I {
+			t.Fatalf("concurrent deployment computed %d, interpreter %d", v, want.Value.I)
+		}
+	}
+	if n != len(archs)*perTarget {
+		t.Fatalf("%d results, want %d", n, len(archs)*perTarget)
+	}
+
+	st := eng.CacheStats()
+	if st.Misses != int64(len(archs)) {
+		t.Errorf("misses = %d, want exactly one JIT compilation per target (%d)", st.Misses, len(archs))
+	}
+	if st.Hits != int64(len(archs)*(perTarget-1)) {
+		t.Errorf("hits = %d, want %d (every later deployment served from cache)", st.Hits, len(archs)*(perTarget-1))
+	}
+	if st.Entries != len(archs) {
+		t.Errorf("entries = %d, want %d", st.Entries, len(archs))
+	}
+}
+
+// TestConcurrentMixedModules deploys two different modules concurrently and
+// checks the cache keys them apart by content hash.
+func TestConcurrentMixedModules(t *testing.T) {
+	eng := New()
+	m1, err := eng.Compile(sumsqSource, WithModuleName("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := eng.Compile(`i32 twice(i32 n) { return 2 * n; }`, WithModuleName("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 32)
+	for g := 0; g < 16; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			dep1, err := eng.Deploy(m1)
+			if err != nil {
+				errs <- err
+				return
+			}
+			dep2, err := eng.Deploy(m2)
+			if err != nil {
+				errs <- err
+				return
+			}
+			if v, err := dep1.Run("sumsq", IntArg(10)); err != nil || v.I != 385 {
+				errs <- err
+				return
+			}
+			if v, err := dep2.Run("twice", IntArg(21)); err != nil || v.I != 42 {
+				errs <- err
+				return
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := eng.CacheStats()
+	if st.Entries != 2 || st.Misses != 2 {
+		t.Errorf("cache stats = %+v, want 2 entries from 2 misses", st)
+	}
+}

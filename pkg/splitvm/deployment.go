@@ -1,0 +1,87 @@
+package splitvm
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/target"
+)
+
+// Deployment is one module deployed on one simulated target: a JIT-compiled
+// native image (possibly shared through the engine's code cache) plus a
+// private machine executing it. The machine owns mutable state — memory and
+// statistics — so a Deployment must not be used from multiple goroutines
+// concurrently; deploy once per goroutine instead, which is cheap when the
+// image is cached.
+type Deployment struct {
+	d         *core.Deployment
+	fromCache bool
+}
+
+// KernelRun is the result of running a benchmark kernel once on a
+// deployment.
+type KernelRun = core.KernelRun
+
+// Target returns the deployment's target description.
+func (dp *Deployment) Target() *target.Desc { return dp.d.Target }
+
+// FromCache reports whether the native code came from the engine's code
+// cache rather than a fresh JIT compilation.
+func (dp *Deployment) FromCache() bool { return dp.fromCache }
+
+// Run executes an entry point on the deployment's machine.
+func (dp *Deployment) Run(entry string, args ...Value) (Value, error) {
+	return dp.d.Run(entry, args...)
+}
+
+// RunKernel marshals kernel inputs into the deployment's memory, runs the
+// kernel entry point once and returns the result, the cycles it took and
+// the output arrays. The inputs are cloned, not modified.
+func (dp *Deployment) RunKernel(k Kernel, in *Inputs) (*KernelRun, error) {
+	return dp.d.RunKernel(k, in)
+}
+
+// Signature returns the signature of a named method of the deployed module.
+func (dp *Deployment) Signature(entry string) (Signature, error) {
+	meth := dp.d.Module.Method(entry)
+	if meth == nil {
+		return Signature{}, fmt.Errorf("splitvm: no method %q in module %s", entry, dp.d.Module.Name)
+	}
+	return signatureOf(meth), nil
+}
+
+// Cycles returns the cycles consumed so far by the deployment's machine.
+func (dp *Deployment) Cycles() int64 { return dp.d.Cycles() }
+
+// ResetCycles clears the machine's statistics (keeping its memory image).
+func (dp *Deployment) ResetCycles() { dp.d.ResetCycles() }
+
+// Stats returns a snapshot of the machine's execution statistics.
+func (dp *Deployment) Stats() Stats { return dp.d.Machine.Stats }
+
+// JITSteps approximates the work the online compiler performed for this
+// deployment's image; with split compilation this stays small even when the
+// generated code is aggressive.
+func (dp *Deployment) JITSteps() int64 { return dp.d.JITSteps }
+
+// SpillSummary sums the static spill statistics over all compiled
+// functions: spilled variables, spill loads and spill stores.
+func (dp *Deployment) SpillSummary() (slots, loads, stores int) { return dp.d.SpillSummary() }
+
+// SpillWeight sums the estimated dynamic spill accesses (loop-depth
+// weighted use counts of spilled variables) over all compiled functions.
+func (dp *Deployment) SpillWeight() int64 { return dp.d.SpillWeight() }
+
+// NativeCodeBytes estimates the native code size of the deployment.
+func (dp *Deployment) NativeCodeBytes() int { return dp.d.NativeCodeBytes() }
+
+// UsedSIMD reports whether the JIT mapped at least one portable vector
+// builtin of the named method onto the target's vector unit (as opposed to
+// scalarizing).
+func (dp *Deployment) UsedSIMD(entry string) bool {
+	f := dp.d.Program.Func(entry)
+	return f != nil && f.Stats.VectorLowered > 0
+}
+
+// DisassembleNative renders the JIT-generated native code.
+func (dp *Deployment) DisassembleNative() string { return dp.d.Program.Disassemble() }

@@ -1,0 +1,112 @@
+package splitvm
+
+import (
+	"repro/internal/target"
+)
+
+// Option configures one engine or one Compile/Deploy call. Options given to
+// New apply to every call on that engine; options given to a call apply on
+// top, last writer wins.
+type Option func(*config)
+
+// config is the resolved configuration of one call. Offline options are read
+// by Compile, online options by Deploy; passing either kind to either call
+// is harmless.
+type config struct {
+	// Offline (Compile) options.
+	moduleName          string
+	vectorize           bool
+	constFold           bool
+	annotations         bool
+	regAllocAnnotations bool
+
+	// Online (Deploy) options.
+	arch           target.Arch
+	desc           *target.Desc
+	regAlloc       RegAllocMode
+	forceScalarize bool
+	noCache        bool
+}
+
+func defaultConfig() config {
+	return config{
+		vectorize:           true,
+		constFold:           true,
+		annotations:         true,
+		regAllocAnnotations: true,
+		arch:                target.X86SSE,
+		regAlloc:            RegAllocSplit,
+	}
+}
+
+// targetDesc resolves the deployment target: an explicit descriptor wins
+// over a registry name.
+func (c *config) targetDesc() (*target.Desc, error) {
+	if c.desc != nil {
+		return c.desc, nil
+	}
+	return target.Lookup(c.arch)
+}
+
+// WithModuleName names the module the offline compiler produces (default
+// "app"; CompileKernel defaults to the kernel name).
+func WithModuleName(name string) Option {
+	return func(c *config) { c.moduleName = name }
+}
+
+// WithVectorize enables or disables the offline auto-vectorizer. Disabling
+// it produces the scalar-bytecode baseline of Table 1.
+func WithVectorize(on bool) Option {
+	return func(c *config) { c.vectorize = on }
+}
+
+// WithConstFold enables or disables offline constant folding.
+func WithConstFold(on bool) Option {
+	return func(c *config) { c.constFold = on }
+}
+
+// WithAnnotations(false) strips every split-compilation annotation from the
+// produced module while keeping the code identical (the Figure 1 ablation).
+func WithAnnotations(on bool) Option {
+	return func(c *config) { c.annotations = on }
+}
+
+// WithRegAllocAnnotations enables or disables only the offline register
+// allocation analysis (the annotation the split allocator consumes).
+func WithRegAllocAnnotations(on bool) Option {
+	return func(c *config) { c.regAllocAnnotations = on }
+}
+
+// WithTarget selects the deployment target by registry name (default
+// target.X86SSE). The name is resolved against the registry at Deploy time,
+// so targets added with target.Register are reachable.
+func WithTarget(a target.Arch) Option {
+	return func(c *config) { c.arch = a; c.desc = nil }
+}
+
+// WithTargetDesc selects the deployment target by explicit descriptor,
+// bypassing the registry — the way to deploy on ad-hoc variants such as
+// desc.WithIntRegs(n).
+func WithTargetDesc(d *target.Desc) Option {
+	return func(c *config) { c.desc = d }
+}
+
+// WithRegAllocMode selects the JIT's register allocation strategy (default
+// RegAllocSplit, the annotation-driven allocator).
+func WithRegAllocMode(m RegAllocMode) Option {
+	return func(c *config) { c.regAlloc = m }
+}
+
+// WithForceScalarize makes the JIT ignore the target's SIMD unit and
+// scalarize every vector builtin (the "JIT simply ignores the
+// vectorization" ablation).
+func WithForceScalarize(on bool) Option {
+	return func(c *config) { c.forceScalarize = on }
+}
+
+// WithCache enables or disables the engine's code cache for a deployment
+// (default enabled). With the cache off the JIT always runs and the
+// resulting image is not shared.
+func WithCache(on bool) Option {
+	return func(c *config) { c.noCache = !on }
+}

@@ -1,0 +1,267 @@
+// Package splitvm is the public API of the split-compilation toolchain: the
+// reproduction of Cohen & Rohou's "Processor virtualization and split
+// compilation" design, grown into a reusable engine.
+//
+// The toolchain has two halves, and the Engine exposes both:
+//
+//   - The offline stage (Compile / CompileContext) runs the developer-side
+//     compiler: MiniC front end, constant folding, auto-vectorization to
+//     portable builtins, lowering to verified CIL-style bytecode, split
+//     register allocation analysis, and annotation attachment. Its output is
+//     a Module — the deployable, annotated byte stream.
+//
+//   - The online stage (Deploy / DeployContext) runs the device-side
+//     compiler for one target (internal/target): decode, verify, JIT
+//     (mapping or scalarizing the portable vector builtins, consuming the
+//     register allocation annotation) and instantiate a cycle-approximate
+//     machine ready to Run entry points.
+//
+// Both stages are configured with functional options (WithTarget,
+// WithRegAllocMode, WithVectorize, WithAnnotations, ...). Options passed to
+// New become engine-wide defaults; options passed to a single call override
+// them for that call.
+//
+// The engine maintains a concurrency-safe code cache keyed by (module
+// content hash, target description, JIT options): repeated deployments of
+// the same module on the same kind of core reuse the JIT-compiled native
+// program and only pay for a fresh machine. Concurrent deployments of the
+// same key JIT-compile once; the losers of the race wait for the winner's
+// image. This is the first scaling primitive toward serving many concurrent
+// deployment requests from one engine.
+//
+// A minimal round trip:
+//
+//	eng := splitvm.New(splitvm.WithTarget(target.X86SSE))
+//	mod, err := eng.Compile(source)
+//	dep, err := eng.Deploy(mod)
+//	res, err := dep.Run("sumsq", splitvm.IntArg(1000))
+package splitvm
+
+import (
+	"context"
+	"crypto/sha256"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/jit"
+	"repro/internal/kernels"
+	"repro/internal/target"
+)
+
+// Engine unifies the offline and online compilation stages behind one
+// configuration and one shared code cache. An Engine is safe for concurrent
+// use by multiple goroutines; the zero value is not usable — construct
+// engines with New.
+type Engine struct {
+	defaults []Option
+
+	mu     sync.Mutex
+	cache  map[cacheKey]*cacheEntry
+	hits   int64
+	misses int64
+}
+
+// New returns an engine. The options become the engine's defaults; every
+// Compile/Deploy call starts from them and applies its own options on top.
+func New(defaults ...Option) *Engine {
+	return &Engine{
+		defaults: append([]Option(nil), defaults...),
+		cache:    make(map[cacheKey]*cacheEntry),
+	}
+}
+
+// config resolves the effective configuration for one call.
+func (e *Engine) config(opts []Option) config {
+	cfg := defaultConfig()
+	for _, o := range e.defaults {
+		o(&cfg)
+	}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return cfg
+}
+
+// Compile runs the offline stage on MiniC source text and returns the
+// deployable module.
+func (e *Engine) Compile(source string, opts ...Option) (*Module, error) {
+	return e.CompileContext(context.Background(), source, opts...)
+}
+
+// CompileContext is Compile with cancellation between pipeline stages.
+func (e *Engine) CompileContext(ctx context.Context, source string, opts ...Option) (*Module, error) {
+	cfg := e.config(opts)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := core.CompileOffline(source, core.OfflineOptions{
+		ModuleName:                 cfg.moduleName,
+		DisableVectorize:           !cfg.vectorize,
+		DisableRegAllocAnnotations: !cfg.regAllocAnnotations,
+		DisableAnnotations:         !cfg.annotations,
+		DisableConstFold:           !cfg.constFold,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return newCompiledModule(res)
+}
+
+// CompileKernel compiles one named benchmark kernel (see Kernels) with the
+// kernel's name as the default module name.
+func (e *Engine) CompileKernel(name string, opts ...Option) (*Module, Kernel, error) {
+	k, err := kernels.Get(name)
+	if err != nil {
+		return nil, Kernel{}, err
+	}
+	m, err := e.Compile(k.Source, append([]Option{WithModuleName(name)}, opts...)...)
+	return m, k, err
+}
+
+// Load decodes and verifies an encoded module (the device-side entry point
+// for byte streams produced elsewhere, e.g. read from a file).
+func (e *Engine) Load(encoded []byte) (*Module, error) {
+	return loadModule(encoded)
+}
+
+// Deploy runs the online stage: JIT-compile the module for the configured
+// target (through the engine's code cache) and instantiate a machine.
+func (e *Engine) Deploy(m *Module, opts ...Option) (*Deployment, error) {
+	return e.DeployContext(context.Background(), m, opts...)
+}
+
+// DeployContext is Deploy with cancellation. A caller whose context expires
+// while another goroutine JIT-compiles the shared image returns early; the
+// compilation itself finishes and stays cached.
+func (e *Engine) DeployContext(ctx context.Context, m *Module, opts ...Option) (*Deployment, error) {
+	if m == nil {
+		return nil, fmt.Errorf("splitvm: Deploy needs a module (did Compile fail?)")
+	}
+	cfg := e.config(opts)
+	tgt, err := cfg.targetDesc()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	jopts := jit.Options{RegAlloc: cfg.regAlloc, ForceScalarize: cfg.forceScalarize}
+	if cfg.noCache {
+		priv := *tgt // the image outlives the call; never alias the caller's descriptor
+		img, err := core.ImageFromVerifiedModule(m.mod, &priv, jopts)
+		if err != nil {
+			return nil, err
+		}
+		return &Deployment{d: img.Instantiate()}, nil
+	}
+	img, hit, err := e.image(ctx, m, tgt, jopts)
+	if err != nil {
+		return nil, err
+	}
+	return &Deployment{d: img.Instantiate(), fromCache: hit}, nil
+}
+
+// cacheKey identifies one JIT compilation. The target description is keyed
+// by value, so two descriptors that differ in any machine parameter (for
+// example a WithIntRegs-resized register file) never share native code.
+type cacheKey struct {
+	hash           [sha256.Size]byte
+	desc           target.Desc
+	regAlloc       jit.RegAllocMode
+	forceScalarize bool
+}
+
+// cacheEntry is one cached (or in-flight) JIT compilation. ready is closed
+// once img/err are final.
+type cacheEntry struct {
+	ready chan struct{}
+	img   *core.Image
+	err   error
+}
+
+// image returns the JIT-compiled image for (module, target, options),
+// building it at most once per key. The boolean reports whether the image
+// came from the cache (joining an in-flight compilation counts as a hit).
+func (e *Engine) image(ctx context.Context, m *Module, tgt *target.Desc, jopts jit.Options) (*core.Image, bool, error) {
+	key := cacheKey{hash: m.hash, desc: *tgt, regAlloc: jopts.RegAlloc, forceScalarize: jopts.ForceScalarize}
+	// The cached image must describe exactly the key it is stored under:
+	// build and instantiate from the key's private copy of the descriptor,
+	// never the caller's pointer, so later mutation of a WithTargetDesc
+	// argument cannot corrupt cached deployments.
+	tgt = &key.desc
+
+	e.mu.Lock()
+	if ent, ok := e.cache[key]; ok {
+		e.mu.Unlock()
+		select {
+		case <-ent.ready:
+		case <-ctx.Done():
+			return nil, false, ctx.Err()
+		}
+		if ent.err != nil {
+			return nil, false, ent.err
+		}
+		// Count the hit only once the deployment is actually served from
+		// the shared image; cancelled or failed waits are neither hits nor
+		// misses.
+		e.mu.Lock()
+		e.hits++
+		e.mu.Unlock()
+		return ent.img, true, nil
+	}
+	ent := &cacheEntry{ready: make(chan struct{})}
+	e.cache[key] = ent
+	e.misses++
+	e.mu.Unlock()
+
+	ent.img, ent.err = core.ImageFromVerifiedModule(m.mod, tgt, jopts)
+	close(ent.ready)
+	if ent.err != nil {
+		// Do not cache failures: a later attempt (e.g. after Register
+		// replaced a target) should retry.
+		e.mu.Lock()
+		delete(e.cache, key)
+		e.mu.Unlock()
+		return nil, false, ent.err
+	}
+	return ent.img, false, nil
+}
+
+// CacheStats reports code cache effectiveness.
+type CacheStats struct {
+	// Hits counts deployments served from a cached (or in-flight) image.
+	Hits int64
+	// Misses counts deployments that had to JIT-compile.
+	Misses int64
+	// Entries is the number of native images currently cached.
+	Entries int
+}
+
+// CacheStats returns a snapshot of the engine's code cache counters.
+// Entries counts completed images only; in-flight compilations are excluded.
+func (e *Engine) CacheStats() CacheStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	st := CacheStats{Hits: e.hits, Misses: e.misses}
+	for _, ent := range e.cache {
+		select {
+		case <-ent.ready:
+			if ent.err == nil {
+				st.Entries++
+			}
+		default:
+		}
+	}
+	return st
+}
+
+// ClearCache drops every cached native image (counters are kept).
+func (e *Engine) ClearCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cache = make(map[cacheKey]*cacheEntry)
+}

@@ -1,0 +1,84 @@
+package splitvm
+
+import (
+	"repro/internal/cil"
+	"repro/internal/jit"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+	"repro/internal/vm"
+)
+
+// Value is a machine-level value: integers and addresses in I,
+// floating-point values in F.
+type Value = sim.Value
+
+// IntArg builds an integer argument.
+func IntArg(v int64) Value { return sim.IntArg(v) }
+
+// FloatArg builds a floating-point argument.
+func FloatArg(v float64) Value { return sim.FloatArg(v) }
+
+// Stats aggregates a machine's execution statistics (cycles, instructions,
+// memory and spill traffic, vector operations, branches, calls).
+type Stats = sim.Stats
+
+// Kind identifies a value kind of the portable bytecode.
+type Kind = cil.Kind
+
+// The scalar kinds of the portable bytecode, re-exported so API users do
+// not need to reach into internal packages to build arrays and arguments.
+const (
+	Bool Kind = cil.Bool
+	I8   Kind = cil.I8
+	U8   Kind = cil.U8
+	I16  Kind = cil.I16
+	U16  Kind = cil.U16
+	I32  Kind = cil.I32
+	U32  Kind = cil.U32
+	I64  Kind = cil.I64
+	U64  Kind = cil.U64
+	F32  Kind = cil.F32
+	F64  Kind = cil.F64
+)
+
+// Array is a managed array usable both by the reference interpreter and —
+// marshalled — by deployed machines.
+type Array = vm.Array
+
+// NewArray allocates a managed array of n elements of the given kind.
+func NewArray(elem Kind, n int) *Array { return vm.NewArray(elem, n) }
+
+// RegAllocMode selects the JIT's register allocation strategy.
+type RegAllocMode = jit.RegAllocMode
+
+// Register allocation modes.
+const (
+	// RegAllocOnline is the baseline purely-online linear-scan allocator.
+	RegAllocOnline RegAllocMode = jit.RegAllocOnline
+	// RegAllocSplit consumes the split register allocation annotation
+	// produced offline; without one it degrades to RegAllocOnline.
+	RegAllocSplit RegAllocMode = jit.RegAllocSplit
+	// RegAllocOptimal recomputes full weights online (the offline-quality
+	// reference; too slow for a real JIT).
+	RegAllocOptimal RegAllocMode = jit.RegAllocOptimal
+)
+
+// Kernel describes one benchmark kernel of the evaluation suite.
+type Kernel = kernels.Kernel
+
+// Inputs is a deterministic, reproducible input set for one kernel.
+type Inputs = kernels.Inputs
+
+// Kernels returns every benchmark kernel, the paper's Table 1 rows first.
+func Kernels() []Kernel { return kernels.All() }
+
+// Table1KernelNames lists the kernels of the paper's Table 1 in row order.
+func Table1KernelNames() []string {
+	return append([]string(nil), kernels.Table1Names...)
+}
+
+// NewInputs builds the pseudo-random input set for a named kernel with n
+// elements per array.
+func NewInputs(name string, n int, seed int64) (*Inputs, error) {
+	return kernels.NewInputs(name, n, seed)
+}

@@ -22,26 +22,6 @@ import (
 	"repro/pkg/splitvm"
 )
 
-// results is the schema of the JSON artifact. Only the experiments that ran
-// are present.
-type results struct {
-	// Table1 has, per kernel and target, scalar and vectorized cycles, the
-	// speedup and the native lowering used.
-	Table1 *splitvm.Table1Report `json:"table1,omitempty"`
-	// Figure1 has, per kernel, offline analysis steps, annotation bytes and
-	// JIT effort with and without annotations.
-	Figure1 *splitvm.Figure1Report `json:"figure1,omitempty"`
-	// RegAlloc has, per register file size, static and weighted spill
-	// counts for the online, split and offline-quality allocators.
-	RegAlloc *splitvm.RegAllocReport `json:"regalloc,omitempty"`
-	// CodeSize has, per module, bytecode, annotation and per-target native
-	// code sizes.
-	CodeSize *splitvm.CodeSizeReport `json:"codesize,omitempty"`
-	// Hetero has the host-only and offloaded cycle totals of the Cell-like
-	// scenario.
-	Hetero *splitvm.HeteroReport `json:"hetero,omitempty"`
-}
-
 func main() {
 	exp := flag.String("exp", "all", "experiment to run: table1, figure1, regalloc, codesize, hetero or all")
 	n := flag.Int("n", 4096, "elements per kernel invocation (table1)")
@@ -49,7 +29,9 @@ func main() {
 	jsonPath := flag.String("json", "BENCH_results.json", "write the reports of the executed experiments to this JSON file (empty to skip)")
 	flag.Parse()
 
-	var res results
+	// The artifact schema is shared with cmd/benchdiff (splitvm.Results), so
+	// successive runs can be gated against a committed baseline.
+	var res splitvm.Results
 	run := func(name string) error {
 		switch name {
 		case "table1":

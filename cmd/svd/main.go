@@ -1,0 +1,81 @@
+// Command svd is the batch deploy daemon: one long-lived process wrapping a
+// shared splitvm.Engine behind the HTTP API of pkg/splitvm/server. Upload a
+// module once, deploy it on many simulated targets in batches, invoke entry
+// points on the live machines, and watch the code cache amortize the JIT
+// work across the fleet.
+//
+// Usage:
+//
+//	svd [-addr :7420] [-workers 4] [-queue 64] [-cache-size 0] [-retry-after 1s]
+//
+// A walkthrough with curl lives in the repository README. SIGINT/SIGTERM
+// trigger a graceful shutdown: the listener drains, then the worker pools.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/pkg/splitvm"
+	"repro/pkg/splitvm/server"
+)
+
+func main() {
+	addr := flag.String("addr", ":7420", "listen address")
+	workers := flag.Int("workers", 4, "deploy workers per target")
+	queue := flag.Int("queue", 64, "pending deployments per target before batches are rejected with 429")
+	cacheSize := flag.Int("cache-size", 0, "max native images kept in the code cache (0 = unbounded)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
+	maxModule := flag.Int64("max-module-bytes", 4<<20, "largest accepted module upload")
+	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	flag.Parse()
+
+	eng := splitvm.New(splitvm.WithCacheSize(*cacheSize))
+	srv := server.New(eng, server.Config{
+		WorkersPerTarget: *workers,
+		QueueDepth:       *queue,
+		RetryAfter:       *retryAfter,
+		MaxModuleBytes:   *maxModule,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("svd: serving on %s (workers/target=%d, queue=%d, cache-size=%d)",
+		*addr, *workers, *queue, *cacheSize)
+
+	select {
+	case err := <-errc:
+		// Listener died on its own (port in use, ...).
+		srv.Close()
+		log.Fatalf("svd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("svd: shutting down (draining for up to %s)", *drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("svd: drain: %v", err)
+	}
+	srv.Close()
+
+	st := eng.CacheStats()
+	fmt.Printf("svd: final cache stats: %d hits, %d misses, %d evictions, %d entries\n",
+		st.Hits, st.Misses, st.Evictions, st.Entries)
+}

@@ -1,0 +1,177 @@
+package bench
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/target"
+)
+
+// sampleResults builds a small artifact by hand (running the real
+// experiments is covered elsewhere; the gate logic is pure arithmetic).
+func sampleResults() *Results {
+	return &Results{
+		Table1: &Table1Report{
+			Rows: []Table1Row{
+				{Kernel: "saxpy_fp", Cells: []Table1Cell{
+					{Target: target.X86SSE, ScalarCycles: 10000, VectorCycles: 4000},
+					{Target: target.Sparc, ScalarCycles: 20000, VectorCycles: 21000},
+				}},
+			},
+		},
+		Figure1: &Figure1Report{
+			Rows: []Figure1Row{{Kernel: "saxpy_fp", JITStepsWithAnnotations: 120, AnnotationBytes: 30}},
+		},
+		RegAlloc: &RegAllocReport{
+			Points: []RegAllocPoint{{IntRegs: 4, WeightedOnline: 900, WeightedSplit: 600, WeightedOptimal: 550}},
+		},
+		CodeSize: &CodeSizeReport{
+			Rows: []CodeSizeRow{{
+				Module:      "saxpy_fp",
+				TotalBytes:  150,
+				NativeBytes: map[target.Arch]int{target.X86SSE: 400, target.MCU: 220},
+			}},
+		},
+		Hetero: &HeteroReport{HostOnlyCycles: 50000, OffloadedCycles: 21000},
+	}
+}
+
+// clone round-trips through JSON — exactly what the CLI does with the two
+// artifact files, so the test also covers schema symmetry.
+func clone(t *testing.T, r *Results) *Results {
+	t.Helper()
+	data, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := ParseResults(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestCompareIdenticalPasses(t *testing.T) {
+	base := sampleResults()
+	rep := Compare(base, clone(t, base), DiffOptions{})
+	if rep.Failed() {
+		t.Fatalf("identical artifacts failed the gate:\n%s", rep)
+	}
+	if rep.Regressions != 0 || rep.Missing != 0 || rep.Improved != 0 || rep.New != 0 {
+		t.Errorf("identical artifacts classified oddly: %+v", rep)
+	}
+	if len(rep.Rows) == 0 {
+		t.Error("no metrics extracted; the gate would pass vacuously")
+	}
+}
+
+// TestCompareCatchesDeliberateSlowdown is the CI contract: inflate one
+// kernel's cycle count beyond the tolerance and the gate must fail, naming
+// the offending metric.
+func TestCompareCatchesDeliberateSlowdown(t *testing.T) {
+	base := sampleResults()
+	slow := clone(t, base)
+	slow.Table1.Rows[0].Cells[0].VectorCycles = 4600 // +15% on saxpy_fp/x86-sse
+
+	rep := Compare(base, slow, DiffOptions{RelTol: 0.02})
+	if !rep.Failed() {
+		t.Fatal("a 15% cycle regression passed the gate")
+	}
+	if rep.Regressions != 1 {
+		t.Errorf("regressions = %d, want exactly the slowed metric", rep.Regressions)
+	}
+	if !strings.Contains(rep.String(), "table1/saxpy_fp/x86-sse/vector_cycles") {
+		t.Errorf("report does not name the regressed metric:\n%s", rep)
+	}
+}
+
+func TestCompareTolerances(t *testing.T) {
+	base := sampleResults()
+
+	// The zero value is the exact gate: any increase at all regresses (the
+	// simulators are deterministic, so this is a usable configuration, and
+	// an explicitly requested zero tolerance must not be "defaulted" away).
+	exact := clone(t, base)
+	exact.Table1.Rows[0].Cells[0].ScalarCycles = 10001
+	if rep := Compare(base, exact, DiffOptions{}); !rep.Failed() {
+		t.Error("+1 cycle passed the exact (zero-tolerance) gate")
+	}
+
+	// Within relative tolerance: +1% on a big metric.
+	ok := clone(t, base)
+	ok.Table1.Rows[0].Cells[0].ScalarCycles = 10100
+	if rep := Compare(base, ok, DiffOptions{RelTol: 0.02}); rep.Failed() {
+		t.Errorf("+1%% failed a 2%% gate:\n%s", rep)
+	}
+
+	// A tiny absolute bump on a tiny metric passes only with AbsTol.
+	tiny := clone(t, base)
+	tiny.Figure1.Rows[0].AnnotationBytes = 32 // 30 -> 32 is +6.7%
+	if rep := Compare(base, tiny, DiffOptions{RelTol: 0.02}); !rep.Failed() {
+		t.Error("+2 bytes on a 30-byte metric passed without absolute slack")
+	}
+	if rep := Compare(base, tiny, DiffOptions{RelTol: 0.02, AbsTol: 4}); rep.Failed() {
+		t.Errorf("+2 bytes failed despite AbsTol=4:\n%s", rep)
+	}
+
+	// Improvements don't fail and are counted.
+	fast := clone(t, base)
+	fast.Hetero.OffloadedCycles = 15000
+	rep := Compare(base, fast, DiffOptions{})
+	if rep.Failed() || rep.Improved != 1 {
+		t.Errorf("improvement misclassified: failed=%v improved=%d", rep.Failed(), rep.Improved)
+	}
+}
+
+// TestCompareMissingExperimentFails: silently dropping an experiment from
+// the current run must not pass the gate.
+func TestCompareMissingExperimentFails(t *testing.T) {
+	base := sampleResults()
+	partial := clone(t, base)
+	partial.Hetero = nil
+
+	rep := Compare(base, partial, DiffOptions{})
+	if !rep.Failed() {
+		t.Fatal("dropping the hetero experiment passed the gate")
+	}
+	if rep.Missing != 2 {
+		t.Errorf("missing = %d, want the 2 hetero metrics", rep.Missing)
+	}
+
+	// The reverse — current has more than baseline — is informational only.
+	rep = Compare(partial, base, DiffOptions{})
+	if rep.Failed() {
+		t.Errorf("extra metrics in the current run failed the gate:\n%s", rep)
+	}
+	if rep.New != 2 {
+		t.Errorf("new = %d, want 2", rep.New)
+	}
+}
+
+// TestMetricsRealArtifact sanity-checks extraction against a real (small)
+// experiment run end to end, so metric names track schema changes.
+func TestMetricsRealArtifact(t *testing.T) {
+	table1, err := RunTable1(Table1Options{N: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &Results{Table1: table1}
+	metrics := clone(t, res).Metrics()
+	if len(metrics) == 0 {
+		t.Fatal("no metrics from a real table1 run")
+	}
+	names := make(map[string]bool)
+	for _, m := range metrics {
+		if m.Value <= 0 {
+			t.Errorf("metric %s = %v, want positive cycle counts", m.Name, m.Value)
+		}
+		if names[m.Name] {
+			t.Errorf("duplicate metric name %s", m.Name)
+		}
+		names[m.Name] = true
+	}
+	if !names["table1/saxpy_fp/x86-sse/vector_cycles"] {
+		t.Error("expected metric table1/saxpy_fp/x86-sse/vector_cycles not extracted")
+	}
+}

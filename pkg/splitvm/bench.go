@@ -60,3 +60,24 @@ func RunHetero(opts HeteroOptions) (*HeteroReport, error) { return bench.RunHete
 func RunScalarizationAblation(kernel string, n int) (float64, error) {
 	return bench.ScalarizationAblation(kernel, n)
 }
+
+// Results is the machine-readable artifact schema cmd/dacbench writes
+// (BENCH_results.json): one optional report per experiment.
+type Results = bench.Results
+
+// DiffOptions tunes the performance-regression gate of CompareResults.
+type DiffOptions = bench.DiffOptions
+
+// DiffReport is the outcome of comparing two Results artifacts.
+type DiffReport = bench.DiffReport
+
+// ParseResults decodes a BENCH_results.json artifact.
+func ParseResults(data []byte) (*Results, error) { return bench.ParseResults(data) }
+
+// CompareResults evaluates a current artifact against a baseline: every
+// lower-is-better metric (cycles, JIT steps, spill weights, code sizes) may
+// grow at most RelTol (fractional) plus AbsTol (absolute) before the report
+// Failed()s — the contract behind the CI perf gate (cmd/benchdiff).
+func CompareResults(baseline, current *Results, opts DiffOptions) *DiffReport {
+	return bench.Compare(baseline, current, opts)
+}

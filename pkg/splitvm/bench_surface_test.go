@@ -1,0 +1,141 @@
+package splitvm
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// These tests cover the bench.go surface: every Run* re-export must produce
+// a structurally sound report through the public API. Small problem sizes
+// keep them cheap; the quantitative shape of the paper's results is
+// asserted by internal/bench's own tests.
+
+func TestRunTable1Surface(t *testing.T) {
+	rep, err := RunTable1(Table1Options{N: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := Table1KernelNames()
+	if len(rep.Rows) != len(names) {
+		t.Fatalf("table1 has %d rows, want %d kernels", len(rep.Rows), len(names))
+	}
+	for i, row := range rep.Rows {
+		if row.Kernel != names[i] {
+			t.Errorf("row %d is %s, want %s (paper's order)", i, row.Kernel, names[i])
+		}
+		if len(row.Cells) != 3 {
+			t.Fatalf("%s has %d cells, want the 3 Table 1 targets", row.Kernel, len(row.Cells))
+		}
+		for _, cell := range row.Cells {
+			if cell.ScalarCycles <= 0 || cell.VectorCycles <= 0 {
+				t.Errorf("%s on %s reports non-positive cycles (%d scalar, %d vector)",
+					row.Kernel, cell.Target, cell.ScalarCycles, cell.VectorCycles)
+			}
+		}
+	}
+}
+
+func TestRunFigure1Surface(t *testing.T) {
+	rep, err := RunFigure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("figure1 report is empty")
+	}
+	for _, row := range rep.Rows {
+		if row.JITStepsWithAnnotations >= row.JITStepsWithoutAnnotations {
+			t.Errorf("%s: annotations did not reduce JIT effort (%d with vs %d without)",
+				row.Kernel, row.JITStepsWithAnnotations, row.JITStepsWithoutAnnotations)
+		}
+		if row.AnnotationBytes <= 0 || row.EncodedBytes <= 0 {
+			t.Errorf("%s: degenerate sizes (%d annotation bytes in %d encoded)",
+				row.Kernel, row.AnnotationBytes, row.EncodedBytes)
+		}
+	}
+}
+
+func TestRunRegAllocSurface(t *testing.T) {
+	rep, err := RunRegAlloc(RegAllocOptions{RegisterFiles: []int{6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Points) != 1 {
+		t.Fatalf("regalloc sweep has %d points, want 1", len(rep.Points))
+	}
+	pt := rep.Points[0]
+	if pt.IntRegs != 6 {
+		t.Errorf("point is for %d registers, want 6", pt.IntRegs)
+	}
+	if pt.WeightedSplit > pt.WeightedOnline {
+		t.Errorf("split allocator spills more than the online baseline (%d vs %d)",
+			pt.WeightedSplit, pt.WeightedOnline)
+	}
+}
+
+func TestRunCodeSizeSurface(t *testing.T) {
+	rep, err := RunCodeSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) == 0 {
+		t.Fatal("codesize report is empty")
+	}
+	if rep.AverageExpansion <= 1 {
+		t.Errorf("average native/bytecode expansion = %.2f, want > 1 (bytecode is the compact form)",
+			rep.AverageExpansion)
+	}
+}
+
+func TestRunHeteroSurface(t *testing.T) {
+	rep, err := RunHetero(HeteroOptions{Frames: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.ResultsMatch {
+		t.Error("host-only and offloaded runs disagree on results")
+	}
+	if !rep.NumericalOffloaded || !rep.ControlStayedOnHost {
+		t.Errorf("placement went wrong: numerical offloaded=%v, control on host=%v",
+			rep.NumericalOffloaded, rep.ControlStayedOnHost)
+	}
+	if rep.Speedup <= 1 {
+		t.Errorf("offload speedup = %.2f, want > 1", rep.Speedup)
+	}
+}
+
+func TestRunScalarizationAblationSurface(t *testing.T) {
+	ratio, err := RunScalarizationAblation("saxpy_fp", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio <= 1 {
+		t.Errorf("scalarized/SIMD cycle ratio = %.2f, want > 1 on the SIMD-capable target", ratio)
+	}
+}
+
+// TestResultsRoundTrip covers the artifact surface end to end: build a
+// Results value from real (small) runs, marshal it the way cmd/dacbench
+// does, parse it back and gate it against itself.
+func TestResultsRoundTrip(t *testing.T) {
+	table1, err := RunTable1(Table1Options{N: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := &Results{Table1: table1}
+	data, err := json.MarshalIndent(res, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := ParseResults(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := CompareResults(res, parsed, DiffOptions{})
+	if rep.Failed() {
+		t.Fatalf("artifact failed the gate against itself:\n%s", rep)
+	}
+	if len(rep.Rows) == 0 {
+		t.Error("no metrics extracted from a real artifact")
+	}
+}

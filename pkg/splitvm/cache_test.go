@@ -1,6 +1,7 @@
 package splitvm
 
 import (
+	"fmt"
 	"sync"
 	"testing"
 
@@ -76,6 +77,9 @@ func TestConcurrentDeploymentsShareCache(t *testing.T) {
 	if st.Entries != len(archs) {
 		t.Errorf("entries = %d, want %d", st.Entries, len(archs))
 	}
+	if st.Evictions != 0 || st.MaxEntries != 0 {
+		t.Errorf("unbounded engine reported evictions=%d maxEntries=%d, want 0/0", st.Evictions, st.MaxEntries)
+	}
 }
 
 // TestConcurrentMixedModules deploys two different modules concurrently and
@@ -126,5 +130,95 @@ func TestConcurrentMixedModules(t *testing.T) {
 	st := eng.CacheStats()
 	if st.Entries != 2 || st.Misses != 2 {
 		t.Errorf("cache stats = %+v, want 2 entries from 2 misses", st)
+	}
+}
+
+// TestCacheSizeBoundEvictsLRU checks the WithCacheSize bound: the cache
+// never holds more than the configured number of images, evicts in
+// least-recently-deployed order, and counts evictions.
+func TestCacheSizeBoundEvictsLRU(t *testing.T) {
+	eng := New(WithCacheSize(2))
+	m, err := eng.Compile(sumsqSource, WithModuleName("lru"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deploy := func(a target.Arch) {
+		t.Helper()
+		dep, err := eng.Deploy(m, WithTarget(a))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v, err := dep.Run("sumsq", IntArg(10)); err != nil || v.I != 385 {
+			t.Fatalf("sumsq on %s = (%v, %v), want 385", a, v.I, err)
+		}
+	}
+
+	deploy(target.X86SSE) // miss; cache {x86}
+	deploy(target.Sparc)  // miss; cache {sparc, x86}
+	deploy(target.X86SSE) // hit; x86 becomes most recent
+	deploy(target.PPC)    // miss; evicts sparc (LRU), not x86
+	deploy(target.Sparc)  // miss again: it was evicted; evicts x86
+	deploy(target.PPC)    // hit: still resident
+
+	st := eng.CacheStats()
+	if st.Misses != 4 {
+		t.Errorf("misses = %d, want 4 (x86, sparc, ppc, sparc-again)", st.Misses)
+	}
+	if st.Hits != 2 {
+		t.Errorf("hits = %d, want 2 (x86 touch, final ppc)", st.Hits)
+	}
+	if st.Evictions != 2 {
+		t.Errorf("evictions = %d, want 2", st.Evictions)
+	}
+	if st.Entries != 2 || st.MaxEntries != 2 {
+		t.Errorf("entries = %d (max %d), want bound of 2 enforced", st.Entries, st.MaxEntries)
+	}
+}
+
+// TestCacheSizeBoundConcurrent hammers a size-1 cache from many goroutines
+// across several targets; run under -race this checks the eviction path's
+// locking. Every deployment must still compute correct results, and the
+// bound must hold at the end.
+func TestCacheSizeBoundConcurrent(t *testing.T) {
+	eng := New(WithCacheSize(1))
+	m, err := eng.Compile(sumsqSource, WithModuleName("lru-conc"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	archs := []target.Arch{target.X86SSE, target.Sparc, target.MCU}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(archs)*8)
+	for _, arch := range archs {
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func(a target.Arch) {
+				defer wg.Done()
+				dep, err := eng.Deploy(m, WithTarget(a))
+				if err != nil {
+					errs <- err
+					return
+				}
+				if v, err := dep.Run("sumsq", IntArg(10)); err != nil {
+					errs <- err
+				} else if v.I != 385 {
+					errs <- fmt.Errorf("sumsq on %s = %d, want 385", a, v.I)
+				}
+			}(arch)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	st := eng.CacheStats()
+	if st.Entries > 1 {
+		t.Errorf("entries = %d, want at most the bound of 1", st.Entries)
+	}
+	if st.Hits+st.Misses != int64(len(archs)*8) {
+		t.Errorf("hits+misses = %d, want %d deployments accounted", st.Hits+st.Misses, len(archs)*8)
+	}
+	if st.Evictions < int64(len(archs)-1) {
+		t.Errorf("evictions = %d, want at least %d on a size-1 cache over %d targets", st.Evictions, len(archs)-1, len(archs))
 	}
 }

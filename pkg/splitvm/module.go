@@ -2,6 +2,7 @@ package splitvm
 
 import (
 	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strconv"
 	"sync"
@@ -94,6 +95,11 @@ func loadModule(encoded []byte) (*Module, error) {
 
 // Name returns the module name.
 func (m *Module) Name() string { return m.mod.Name }
+
+// Hash returns the hex-encoded SHA-256 of the encoded byte stream — the
+// content identity the engine's code cache keys on, usable as a stable
+// module identifier by services built on the engine.
+func (m *Module) Hash() string { return hex.EncodeToString(m.hash[:]) }
 
 // Encoded returns a copy of the deployable byte stream.
 func (m *Module) Encoded() []byte { return append([]byte(nil), m.encoded...) }

@@ -26,6 +26,9 @@ type config struct {
 	regAlloc       RegAllocMode
 	forceScalarize bool
 	noCache        bool
+
+	// Engine-wide options (read by New only).
+	cacheSize int
 }
 
 func defaultConfig() config {
@@ -102,6 +105,21 @@ func WithRegAllocMode(m RegAllocMode) Option {
 // vectorization" ablation).
 func WithForceScalarize(on bool) Option {
 	return func(c *config) { c.forceScalarize = on }
+}
+
+// WithCacheSize bounds the engine's code cache to at most n native images;
+// when a completed JIT compilation would exceed the bound, the least
+// recently deployed image is evicted (and counted in CacheStats.Evictions).
+// n <= 0 — the default — keeps the cache unbounded. The bound is a property
+// of the whole engine: it takes effect when passed to New and is ignored on
+// individual Compile/Deploy calls.
+func WithCacheSize(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 0
+		}
+		c.cacheSize = n
+	}
 }
 
 // WithCache enables or disables the engine's code cache for a deployment

@@ -1,0 +1,78 @@
+package server
+
+import (
+	"context"
+
+	"repro/internal/target"
+	"repro/pkg/splitvm"
+)
+
+// deployJob is one machine to instantiate. res is buffered so a worker's
+// send never blocks: a client that gave up (cancelled request, rejected
+// batch) simply abandons the result.
+type deployJob struct {
+	ctx  context.Context
+	m    *splitvm.Module
+	opts []splitvm.Option
+	res  chan deployResult
+}
+
+type deployResult struct {
+	dep *splitvm.Deployment
+	err error
+}
+
+// pool is the per-target deployment executor: a bounded queue drained by a
+// fixed set of workers. The bound is the server's backpressure valve — when
+// it is full, trySubmit fails and the caller answers 429 instead of letting
+// one saturated target queue work without limit.
+type pool struct {
+	arch target.Arch
+	jobs chan *deployJob
+}
+
+// trySubmit enqueues without blocking; false means the queue is full.
+func (p *pool) trySubmit(j *deployJob) bool {
+	select {
+	case p.jobs <- j:
+		return true
+	default:
+		return false
+	}
+}
+
+// poolFor returns the pool for one target, creating it (and starting its
+// workers) on first use.
+func (s *Server) poolFor(a target.Arch) *pool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.pools[a]; ok {
+		return p
+	}
+	p := &pool{arch: a, jobs: make(chan *deployJob, s.cfg.QueueDepth)}
+	s.pools[a] = p
+	for i := 0; i < s.cfg.WorkersPerTarget; i++ {
+		s.wg.Add(1)
+		go s.worker(p)
+	}
+	return p
+}
+
+// worker drains one pool until the server closes. Deployments instantiate
+// machines from the engine's code cache, so after the first job per
+// (module, options) key the work per job is a cheap machine construction.
+func (s *Server) worker(p *pool) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case j := <-p.jobs:
+			if gate := s.gateDeploy; gate != nil {
+				gate()
+			}
+			dep, err := s.eng.DeployContext(j.ctx, j.m, j.opts...)
+			j.res <- deployResult{dep: dep, err: err}
+		}
+	}
+}

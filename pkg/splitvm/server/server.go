@@ -1,0 +1,548 @@
+// Package server exposes a shared splitvm.Engine over HTTP: the batch
+// deploy service of the split-compilation model. One long-lived process
+// holds one engine, so verification happens once per uploaded module and
+// JIT compilation once per (module, target, options) key; every further
+// deployment anywhere in the fleet of simulated devices is a code-cache hit
+// that only pays for a fresh machine.
+//
+// The API (all bodies JSON unless noted):
+//
+//	POST /v1/modules               upload an encoded module (raw bytes) → id
+//	GET  /v1/modules               list uploaded modules
+//	POST /v1/deploy                batch deploy: one module × many targets
+//	GET  /v1/deployments           list live deployments
+//	POST /v1/deployments/{id}/run  invoke an entry point on a deployment
+//	GET  /v1/stats                 cache, pool and registry counters
+//	GET  /healthz                  liveness
+//
+// Deploy requests fan out to per-target worker pools with bounded queues;
+// when a target's queue is full the whole batch is rejected with 429 and a
+// Retry-After hint instead of queueing unboundedly — backpressure is the
+// contract that keeps one slow target from absorbing the server's memory.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/target"
+	"repro/pkg/splitvm"
+)
+
+// Config parameterizes a Server. The zero value gets sensible defaults.
+type Config struct {
+	// WorkersPerTarget is the number of concurrent deployments each target's
+	// pool executes (default 4).
+	WorkersPerTarget int
+	// QueueDepth bounds each target's pending-deployment queue (default 64).
+	// A batch that cannot enqueue every job immediately is rejected with 429.
+	QueueDepth int
+	// RetryAfter is the hint sent with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// MaxModuleBytes caps uploaded module size (default 4 MiB).
+	MaxModuleBytes int64
+	// MaxBatchJobs caps targets × replicas of one deploy request (default
+	// 256) so a single request cannot reserve every queue slot of the server.
+	MaxBatchJobs int
+}
+
+func (c *Config) defaults() {
+	if c.WorkersPerTarget <= 0 {
+		c.WorkersPerTarget = 4
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxModuleBytes <= 0 {
+		c.MaxModuleBytes = 4 << 20
+	}
+	if c.MaxBatchJobs <= 0 {
+		c.MaxBatchJobs = 256
+	}
+}
+
+// Server is the HTTP façade over one shared engine. Create it with New,
+// serve it like any http.Handler, and Close it to stop the worker pools.
+type Server struct {
+	eng *splitvm.Engine
+	cfg Config
+	mux *http.ServeMux
+
+	baseCtx context.Context
+	cancel  context.CancelFunc
+	wg      sync.WaitGroup
+
+	mu          sync.Mutex
+	closed      bool
+	modules     map[string]*splitvm.Module
+	moduleOrder []string
+	deployments map[string]*liveDeployment
+	deployOrder []string
+	pools       map[target.Arch]*pool
+	nextDep     int64
+	rejected    int64
+
+	// gateDeploy, when non-nil, is called by every pool worker before it
+	// deploys a job — a test hook to hold workers and saturate the queues
+	// deterministically. Set it before the first request is served.
+	gateDeploy func()
+}
+
+// liveDeployment is one instantiated machine. Machines own mutable state
+// (memory, statistics), so the mutex serializes runs per deployment.
+type liveDeployment struct {
+	id     string
+	module string
+	arch   target.Arch
+
+	mu  sync.Mutex
+	dep *splitvm.Deployment
+}
+
+// New wraps an engine in a batch deploy server. The engine may be shared
+// with other (non-HTTP) users; the server only adds state of its own for
+// the module and deployment registries and the worker pools.
+func New(eng *splitvm.Engine, cfg Config) *Server {
+	cfg.defaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		eng:         eng,
+		cfg:         cfg,
+		baseCtx:     ctx,
+		cancel:      cancel,
+		modules:     make(map[string]*splitvm.Module),
+		deployments: make(map[string]*liveDeployment),
+		pools:       make(map[target.Arch]*pool),
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/modules", s.handleUpload)
+	mux.HandleFunc("GET /v1/modules", s.handleListModules)
+	mux.HandleFunc("POST /v1/deploy", s.handleDeploy)
+	mux.HandleFunc("GET /v1/deployments", s.handleListDeployments)
+	mux.HandleFunc("POST /v1/deployments/{id}/run", s.handleRun)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Engine returns the wrapped engine (shared; e.g. for out-of-band stats).
+func (s *Server) Engine() *splitvm.Engine { return s.eng }
+
+// Close stops the worker pools and waits for in-flight deployments to
+// finish. Requests arriving after Close are rejected with 503. Close is the
+// second half of a graceful shutdown: first drain the HTTP listener
+// (http.Server.Shutdown), then Close the deploy pools.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	s.cancel()
+	s.wg.Wait()
+}
+
+// errorBody is the uniform error payload.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v) // the status line is already out; nothing to recover
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// ModuleInfo describes one uploaded module.
+type ModuleInfo struct {
+	// ID is the hex SHA-256 of the encoded byte stream; uploads are
+	// idempotent by content.
+	ID              string   `json:"id"`
+	Name            string   `json:"name"`
+	Methods         []string `json:"methods"`
+	EncodedBytes    int      `json:"encoded_bytes"`
+	AnnotationBytes int      `json:"annotation_bytes"`
+}
+
+func moduleInfo(id string, m *splitvm.Module) ModuleInfo {
+	st := m.Stats()
+	return ModuleInfo{
+		ID:              id,
+		Name:            m.Name(),
+		Methods:         m.Methods(),
+		EncodedBytes:    st.EncodedBytes,
+		AnnotationBytes: st.AnnotationBytes,
+	}
+}
+
+// handleUpload ingests an encoded module: decode + verify once, then the
+// module is deployable any number of times. The body is the raw byte stream
+// produced by the offline compiler (svc -o …).
+func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, s.cfg.MaxModuleBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if int64(len(data)) > s.cfg.MaxModuleBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "module exceeds %d bytes", s.cfg.MaxModuleBytes)
+		return
+	}
+	if len(data) == 0 {
+		writeError(w, http.StatusBadRequest, "empty module body")
+		return
+	}
+	m, err := s.eng.Load(data)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "loading module: %v", err)
+		return
+	}
+	id := m.Hash()
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	if _, ok := s.modules[id]; !ok {
+		s.modules[id] = m
+		s.moduleOrder = append(s.moduleOrder, id)
+	}
+	m = s.modules[id]
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, moduleInfo(id, m))
+}
+
+func (s *Server) handleListModules(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]ModuleInfo, 0, len(s.moduleOrder))
+	for _, id := range s.moduleOrder {
+		out = append(out, moduleInfo(id, s.modules[id]))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]any{"modules": out})
+}
+
+// DeployRequest is one batch: deploy a module on every listed target,
+// replicas machines each.
+type DeployRequest struct {
+	// Module is the id returned by the upload endpoint.
+	Module string `json:"module"`
+	// Targets are registry names (x86-sse, ultrasparc, powerpc, spu, mcu,
+	// plus anything added with target.Register).
+	Targets []string `json:"targets"`
+	// Replicas is the number of machines per target (default 1).
+	Replicas int `json:"replicas,omitempty"`
+	// RegAlloc selects the JIT register allocator: "split" (default),
+	// "online" or "optimal".
+	RegAlloc string `json:"reg_alloc,omitempty"`
+	// ForceScalarize makes the JIT ignore the target's SIMD unit.
+	ForceScalarize bool `json:"force_scalarize,omitempty"`
+}
+
+// DeploymentInfo describes one live deployment.
+type DeploymentInfo struct {
+	ID     string `json:"id"`
+	Module string `json:"module"`
+	Target string `json:"target"`
+	// FromCache reports whether the native code came from the engine's code
+	// cache rather than a fresh JIT compilation.
+	FromCache bool `json:"from_cache"`
+	// JITSteps approximates the online compilation work this deployment paid.
+	JITSteps        int64 `json:"jit_steps"`
+	NativeCodeBytes int   `json:"native_code_bytes"`
+}
+
+// DeployResponse lists the deployments a batch created, in target-major,
+// replica-minor order.
+type DeployResponse struct {
+	Deployments []DeploymentInfo `json:"deployments"`
+}
+
+func regAllocMode(name string) (splitvm.RegAllocMode, error) {
+	switch name {
+	case "", "split":
+		return splitvm.RegAllocSplit, nil
+	case "online":
+		return splitvm.RegAllocOnline, nil
+	case "optimal":
+		return splitvm.RegAllocOptimal, nil
+	default:
+		return 0, fmt.Errorf("unknown reg_alloc %q (want online, split or optimal)", name)
+	}
+}
+
+// handleDeploy fans a batch out to the per-target pools and collects the
+// machines. Saturation anywhere rejects the whole batch: partial deployment
+// would leave the client guessing which replicas exist.
+func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	var req DeployRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Replicas == 0 {
+		req.Replicas = 1
+	}
+	if req.Replicas < 0 {
+		writeError(w, http.StatusBadRequest, "replicas must be positive")
+		return
+	}
+	if len(req.Targets) == 0 {
+		writeError(w, http.StatusBadRequest, "no targets listed")
+		return
+	}
+	if jobs := len(req.Targets) * req.Replicas; jobs > s.cfg.MaxBatchJobs {
+		writeError(w, http.StatusBadRequest, "batch of %d deployments exceeds the limit of %d", jobs, s.cfg.MaxBatchJobs)
+		return
+	}
+	mode, err := regAllocMode(req.RegAlloc)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	archs := make([]target.Arch, len(req.Targets))
+	for i, name := range req.Targets {
+		a := target.Arch(name)
+		if _, err := target.Lookup(a); err != nil {
+			writeError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		archs[i] = a
+	}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+		return
+	}
+	m, ok := s.modules[req.Module]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown module %q (upload it first)", req.Module)
+		return
+	}
+
+	opts := []splitvm.Option{
+		splitvm.WithRegAllocMode(mode),
+		splitvm.WithForceScalarize(req.ForceScalarize),
+	}
+
+	// Enqueue every job before waiting on any: the pools work concurrently
+	// across targets, and a full queue is detected up front.
+	type pending struct {
+		arch target.Arch
+		job  *deployJob
+	}
+	var queued []pending
+	for _, a := range archs {
+		p := s.poolFor(a)
+		for i := 0; i < req.Replicas; i++ {
+			j := &deployJob{
+				ctx:  r.Context(),
+				m:    m,
+				opts: append([]splitvm.Option{splitvm.WithTarget(a)}, opts...),
+				res:  make(chan deployResult, 1),
+			}
+			if !p.trySubmit(j) {
+				// Backpressure: the batch does not fit. Jobs already queued
+				// run to completion against the request context (now about
+				// to be cancelled) and their results are dropped; nothing
+				// was registered yet.
+				s.mu.Lock()
+				s.rejected++
+				s.mu.Unlock()
+				w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Seconds()+0.999)))
+				writeError(w, http.StatusTooManyRequests,
+					"deploy queue for target %q is full (depth %d); retry later", a, s.cfg.QueueDepth)
+				return
+			}
+			queued = append(queued, pending{arch: a, job: j})
+		}
+	}
+
+	infos := make([]DeploymentInfo, 0, len(queued))
+	var deps []*liveDeployment
+	for _, pq := range queued {
+		var res deployResult
+		select {
+		case res = <-pq.job.res:
+		case <-r.Context().Done():
+			writeError(w, http.StatusServiceUnavailable, "request cancelled: %v", r.Context().Err())
+			return
+		case <-s.baseCtx.Done():
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		}
+		if res.err != nil {
+			writeError(w, http.StatusInternalServerError, "deploying on %s: %v", pq.arch, res.err)
+			return
+		}
+		ld := &liveDeployment{module: req.Module, arch: pq.arch, dep: res.dep}
+		deps = append(deps, ld)
+		infos = append(infos, DeploymentInfo{
+			Module:          req.Module,
+			Target:          string(pq.arch),
+			FromCache:       res.dep.FromCache(),
+			JITSteps:        res.dep.JITSteps(),
+			NativeCodeBytes: res.dep.NativeCodeBytes(),
+		})
+	}
+
+	// Register the whole batch atomically, so clients never observe half a
+	// batch in the deployments listing.
+	s.mu.Lock()
+	for i, ld := range deps {
+		s.nextDep++
+		ld.id = fmt.Sprintf("d-%06d", s.nextDep)
+		infos[i].ID = ld.id
+		s.deployments[ld.id] = ld
+		s.deployOrder = append(s.deployOrder, ld.id)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusCreated, DeployResponse{Deployments: infos})
+}
+
+func (s *Server) handleListDeployments(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	out := make([]DeploymentInfo, 0, len(s.deployOrder))
+	for _, id := range s.deployOrder {
+		ld := s.deployments[id]
+		out = append(out, DeploymentInfo{
+			ID:              id,
+			Module:          ld.module,
+			Target:          string(ld.arch),
+			FromCache:       ld.dep.FromCache(),
+			JITSteps:        ld.dep.JITSteps(),
+			NativeCodeBytes: ld.dep.NativeCodeBytes(),
+		})
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, DeployResponse{Deployments: out})
+}
+
+// RunRequest invokes one entry point with textual scalar arguments (parsed
+// against the method signature, like svrun's command line).
+type RunRequest struct {
+	Entry string   `json:"entry"`
+	Args  []string `json:"args,omitempty"`
+}
+
+// RunResponse is the result of one invocation.
+type RunResponse struct {
+	// Value is the integer result; Float the floating-point one. IsFloat
+	// says which is meaningful.
+	Value   int64   `json:"value"`
+	Float   float64 `json:"float"`
+	IsFloat bool    `json:"is_float"`
+	// Cycles is the simulated cost of this invocation alone.
+	Cycles int64  `json:"cycles"`
+	Target string `json:"target"`
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	ld, ok := s.deployments[id]
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown deployment %q", id)
+		return
+	}
+	var req RunRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Entry == "" {
+		writeError(w, http.StatusBadRequest, "missing entry point name")
+		return
+	}
+	sig, err := ld.dep.Signature(req.Entry)
+	if err != nil {
+		writeError(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	args, err := sig.ParseArgs(req.Args)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+
+	// Machines are single-threaded devices; concurrent runs on one
+	// deployment serialize here (deploy replicas to run in parallel).
+	ld.mu.Lock()
+	before := ld.dep.Cycles()
+	val, err := ld.dep.Run(req.Entry, args...)
+	elapsed := ld.dep.Cycles() - before
+	ld.mu.Unlock()
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, "running %s: %v", req.Entry, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, RunResponse{
+		Value:   val.I,
+		Float:   val.F,
+		IsFloat: sig.ReturnsFloat,
+		Cycles:  elapsed,
+		Target:  string(ld.arch),
+	})
+}
+
+// PoolStats describes one per-target worker pool.
+type PoolStats struct {
+	Target   string `json:"target"`
+	Workers  int    `json:"workers"`
+	QueueLen int    `json:"queue_len"`
+	QueueCap int    `json:"queue_cap"`
+}
+
+// StatsResponse is the /v1/stats payload: code-cache effectiveness plus the
+// server's own registries and backpressure counters.
+type StatsResponse struct {
+	Cache       splitvm.CacheStats `json:"cache"`
+	Modules     int                `json:"modules"`
+	Deployments int                `json:"deployments"`
+	// Rejected counts batches refused with 429 since the server started.
+	Rejected int64       `json:"rejected"`
+	Pools    []PoolStats `json:"pools"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	st := StatsResponse{Cache: s.eng.CacheStats()}
+	s.mu.Lock()
+	st.Modules = len(s.modules)
+	st.Deployments = len(s.deployments)
+	st.Rejected = s.rejected
+	for a, p := range s.pools {
+		st.Pools = append(st.Pools, PoolStats{
+			Target:   string(a),
+			Workers:  s.cfg.WorkersPerTarget,
+			QueueLen: len(p.jobs),
+			QueueCap: cap(p.jobs),
+		})
+	}
+	s.mu.Unlock()
+	sort.Slice(st.Pools, func(i, j int) bool { return st.Pools[i].Target < st.Pools[j].Target })
+	writeJSON(w, http.StatusOK, st)
+}

@@ -1,0 +1,440 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/pkg/splitvm"
+)
+
+const sumsqSource = `
+i64 sumsq(i32 n) {
+    i64 s = 0;
+    for (i32 i = 1; i <= n; i++) { s = s + (i64) (i * i); }
+    return s;
+}
+`
+
+// encodeModule runs the offline compiler out of band (the role of cmd/svc)
+// and returns the deployable byte stream.
+func encodeModule(t *testing.T, source string) []byte {
+	t.Helper()
+	offline := splitvm.New()
+	m, err := offline.Compile(source, splitvm.WithModuleName("test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m.Encoded()
+}
+
+// newTestServer wires a Server over a fresh engine into httptest.
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(splitvm.New(), cfg)
+	ts := httptest.NewServer(srv)
+	t.Cleanup(func() {
+		ts.Close()
+		srv.Close()
+	})
+	return srv, ts
+}
+
+func decodeJSON[T any](t *testing.T, body io.Reader) T {
+	t.Helper()
+	var v T
+	if err := json.NewDecoder(body).Decode(&v); err != nil {
+		t.Fatalf("decoding response: %v", err)
+	}
+	return v
+}
+
+// upload posts an encoded module and returns its id.
+func upload(t *testing.T, ts *httptest.Server, encoded []byte) string {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/v1/modules", "application/octet-stream", bytes.NewReader(encoded))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("upload: status %d: %s", resp.StatusCode, body)
+	}
+	info := decodeJSON[ModuleInfo](t, resp.Body)
+	if info.ID == "" {
+		t.Fatal("upload returned empty module id")
+	}
+	return info.ID
+}
+
+func postJSON(t *testing.T, url string, req any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func getStats(t *testing.T, ts *httptest.Server) StatsResponse {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stats: status %d", resp.StatusCode)
+	}
+	return decodeJSON[StatsResponse](t, resp.Body)
+}
+
+// TestUploadDeployRunStats is the full client walkthrough: upload an encoded
+// module, batch deploy it on two targets with two replicas each, invoke the
+// entry point on every machine, and read the stats.
+func TestUploadDeployRunStats(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := upload(t, ts, encodeModule(t, sumsqSource))
+
+	resp := postJSON(t, ts.URL+"/v1/deploy", DeployRequest{
+		Module:   id,
+		Targets:  []string{"x86-sse", "mcu"},
+		Replicas: 2,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("deploy: status %d: %s", resp.StatusCode, body)
+	}
+	batch := decodeJSON[DeployResponse](t, resp.Body)
+	if len(batch.Deployments) != 4 {
+		t.Fatalf("deployed %d machines, want 4", len(batch.Deployments))
+	}
+
+	// Same module, same options: within each target one JIT compilation at
+	// most — so across 4 machines on 2 targets at least 2 were cache-served.
+	cached := 0
+	for _, d := range batch.Deployments {
+		if d.FromCache {
+			cached++
+		}
+	}
+	if cached < 2 {
+		t.Errorf("only %d of 4 replicas came from the code cache, want >= 2", cached)
+	}
+
+	for _, d := range batch.Deployments {
+		resp := postJSON(t, ts.URL+"/v1/deployments/"+d.ID+"/run", RunRequest{
+			Entry: "sumsq",
+			Args:  []string{"100"},
+		})
+		run := decodeJSON[RunResponse](t, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run on %s: status %d", d.ID, resp.StatusCode)
+		}
+		if run.Value != 338350 {
+			t.Errorf("sumsq(100) on %s (%s) = %d, want 338350", d.ID, d.Target, run.Value)
+		}
+		if run.Cycles <= 0 {
+			t.Errorf("run on %s reported %d cycles, want > 0", d.ID, run.Cycles)
+		}
+	}
+
+	st := getStats(t, ts)
+	if st.Modules != 1 || st.Deployments != 4 {
+		t.Errorf("stats report %d modules / %d deployments, want 1/4", st.Modules, st.Deployments)
+	}
+	if st.Cache.Misses != 2 {
+		t.Errorf("cache misses = %d, want one JIT per target (2)", st.Cache.Misses)
+	}
+	if st.Cache.Hits < 2 {
+		t.Errorf("cache hits = %d, want >= 2", st.Cache.Hits)
+	}
+	if len(st.Pools) != 2 {
+		t.Errorf("stats report %d pools, want 2", len(st.Pools))
+	}
+}
+
+// TestConcurrentBatchDeploysShareCache drives many concurrent batch deploys
+// of the same module through the server (the acceptance scenario). Under
+// -race this exercises the handler registries, the worker pools and the
+// engine cache concurrently; afterwards the cache must show exactly one JIT
+// compilation per target and hits for everything else.
+func TestConcurrentBatchDeploysShareCache(t *testing.T) {
+	_, ts := newTestServer(t, Config{WorkersPerTarget: 4, QueueDepth: 128})
+	id := upload(t, ts, encodeModule(t, sumsqSource))
+
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/v1/deploy", DeployRequest{
+				Module:   id,
+				Targets:  []string{"x86-sse", "ultrasparc"},
+				Replicas: 2,
+			})
+			defer resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				body, _ := io.ReadAll(resp.Body)
+				errs <- fmt.Errorf("deploy: status %d: %s", resp.StatusCode, body)
+				return
+			}
+			batch := decodeJSON[DeployResponse](t, resp.Body)
+			if len(batch.Deployments) != 4 {
+				errs <- fmt.Errorf("deployed %d machines, want 4", len(batch.Deployments))
+				return
+			}
+			// Every machine of every concurrent batch must be runnable and
+			// compute the same result.
+			d := batch.Deployments[0]
+			rr := postJSON(t, ts.URL+"/v1/deployments/"+d.ID+"/run", RunRequest{Entry: "sumsq", Args: []string{"50"}})
+			run := decodeJSON[RunResponse](t, rr.Body)
+			rr.Body.Close()
+			if run.Value != 42925 {
+				errs <- fmt.Errorf("sumsq(50) = %d, want 42925", run.Value)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+
+	st := getStats(t, ts)
+	total := st.Cache.Hits + st.Cache.Misses
+	if total != clients*4 {
+		t.Errorf("cache accounted %d deployments, want %d", total, clients*4)
+	}
+	if st.Cache.Misses != 2 {
+		t.Errorf("cache misses = %d, want one JIT compilation per target (2)", st.Cache.Misses)
+	}
+	if st.Cache.Hits <= 0 {
+		t.Errorf("cache hits = %d, want > 0 (batches must share the cache)", st.Cache.Hits)
+	}
+	if st.Deployments != clients*4 {
+		t.Errorf("stats report %d deployments, want %d", st.Deployments, clients*4)
+	}
+}
+
+// TestBackpressure429 saturates a deliberately tiny pool (one worker, queue
+// depth one, workers held by a gate) and checks that excess batches are
+// rejected with 429 + Retry-After instead of queueing without bound, and
+// that the held batches complete once the gate opens.
+func TestBackpressure429(t *testing.T) {
+	srv, ts := newTestServer(t, Config{WorkersPerTarget: 1, QueueDepth: 1, RetryAfter: 2 * time.Second})
+	gate := make(chan struct{})
+	// Workers start lazily on the first deploy, so setting the hook before
+	// any request is race-free.
+	srv.gateDeploy = func() { <-gate }
+
+	id := upload(t, ts, encodeModule(t, sumsqSource))
+
+	// With one worker (held at the gate) and one queue slot, at most two
+	// jobs fit in the system; firing four single-deploy batches must reject
+	// at least two of them immediately.
+	const batches = 4
+	var wg sync.WaitGroup
+	type outcome struct {
+		status     int
+		retryAfter string
+	}
+	outcomes := make(chan outcome, batches)
+	for i := 0; i < batches; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"mcu"}})
+			defer resp.Body.Close()
+			io.Copy(io.Discard, resp.Body)
+			outcomes <- outcome{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After")}
+		}()
+	}
+
+	// Open the gate once enough batches were rejected (only two jobs fit in
+	// the system, so with four batches the count must reach two); the
+	// rejected ones have already answered by then.
+	go func() {
+		defer close(gate) // worst case the test fails on outcome counts, not a hang
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			srv.mu.Lock()
+			rejected := srv.rejected
+			srv.mu.Unlock()
+			if rejected >= batches-2 {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	wg.Wait()
+	close(outcomes)
+	var ok, rejected int
+	for o := range outcomes {
+		switch o.status {
+		case http.StatusCreated:
+			ok++
+		case http.StatusTooManyRequests:
+			rejected++
+			if o.retryAfter == "" {
+				t.Error("429 response missing Retry-After header")
+			}
+		default:
+			t.Errorf("unexpected deploy status %d", o.status)
+		}
+	}
+	if rejected < 2 {
+		t.Errorf("%d batches rejected with 429, want >= 2 under saturation", rejected)
+	}
+	if ok < 1 {
+		t.Errorf("%d batches succeeded, want >= 1 (held jobs must finish after the gate opens)", ok)
+	}
+	if st := getStats(t, ts); st.Rejected != int64(rejected) {
+		t.Errorf("stats count %d rejections, client saw %d", st.Rejected, rejected)
+	}
+}
+
+// TestDeployValidation exercises the request validation paths.
+func TestDeployValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := upload(t, ts, encodeModule(t, sumsqSource))
+
+	cases := []struct {
+		name string
+		req  DeployRequest
+		want int
+	}{
+		{"unknown module", DeployRequest{Module: "nope", Targets: []string{"mcu"}}, http.StatusNotFound},
+		{"unknown target", DeployRequest{Module: id, Targets: []string{"vax"}}, http.StatusBadRequest},
+		{"no targets", DeployRequest{Module: id}, http.StatusBadRequest},
+		{"bad reg_alloc", DeployRequest{Module: id, Targets: []string{"mcu"}, RegAlloc: "mystic"}, http.StatusBadRequest},
+		{"negative replicas", DeployRequest{Module: id, Targets: []string{"mcu"}, Replicas: -1}, http.StatusBadRequest},
+		{"oversized batch", DeployRequest{Module: id, Targets: []string{"mcu"}, Replicas: 10_000}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+"/v1/deploy", tc.req)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestRunValidation exercises the invocation error paths.
+func TestRunValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := upload(t, ts, encodeModule(t, sumsqSource))
+	resp := postJSON(t, ts.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"x86-sse"}})
+	batch := decodeJSON[DeployResponse](t, resp.Body)
+	resp.Body.Close()
+	dep := batch.Deployments[0].ID
+
+	cases := []struct {
+		name string
+		url  string
+		req  RunRequest
+		want int
+	}{
+		{"unknown deployment", ts.URL + "/v1/deployments/d-999999/run", RunRequest{Entry: "sumsq", Args: []string{"1"}}, http.StatusNotFound},
+		{"unknown entry", ts.URL + "/v1/deployments/" + dep + "/run", RunRequest{Entry: "nope"}, http.StatusNotFound},
+		{"missing entry", ts.URL + "/v1/deployments/" + dep + "/run", RunRequest{}, http.StatusBadRequest},
+		{"arity mismatch", ts.URL + "/v1/deployments/" + dep + "/run", RunRequest{Entry: "sumsq"}, http.StatusBadRequest},
+		{"bad argument", ts.URL + "/v1/deployments/" + dep + "/run", RunRequest{Entry: "sumsq", Args: []string{"banana"}}, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, tc.url, tc.req)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+// TestUploadValidation rejects junk and oversized uploads.
+func TestUploadValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxModuleBytes: 64})
+
+	resp, err := http.Post(ts.URL+"/v1/modules", "application/octet-stream", bytes.NewReader([]byte("not a module")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("garbage upload: status %d, want 400", resp.StatusCode)
+	}
+
+	resp, err = http.Post(ts.URL+"/v1/modules", "application/octet-stream", bytes.NewReader(make([]byte, 128)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Errorf("oversized upload: status %d, want 413", resp.StatusCode)
+	}
+}
+
+// TestUploadIdempotent checks content addressing: uploading the same bytes
+// twice yields the same id and one registry entry.
+func TestUploadIdempotent(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	encoded := encodeModule(t, sumsqSource)
+	id1 := upload(t, ts, encoded)
+	id2 := upload(t, ts, encoded)
+	if id1 != id2 {
+		t.Errorf("same module uploaded twice got ids %s and %s", id1, id2)
+	}
+	if st := getStats(t, ts); st.Modules != 1 {
+		t.Errorf("registry holds %d modules, want 1", st.Modules)
+	}
+}
+
+// TestGracefulClose: after Close the pools are drained and new work is
+// refused with 503.
+func TestGracefulClose(t *testing.T) {
+	srv := New(splitvm.New(), Config{})
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+
+	id := upload(t, ts, encodeModule(t, sumsqSource))
+	resp := postJSON(t, ts.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"mcu"}})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy before close: status %d", resp.StatusCode)
+	}
+
+	done := make(chan struct{})
+	go func() { srv.Close(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close did not return; worker pools leaked")
+	}
+
+	resp = postJSON(t, ts.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"mcu"}})
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("deploy after close: status %d, want 503", resp.StatusCode)
+	}
+}

@@ -38,6 +38,7 @@
 package splitvm
 
 import (
+	"container/list"
 	"context"
 	"crypto/sha256"
 	"fmt"
@@ -56,19 +57,28 @@ import (
 type Engine struct {
 	defaults []Option
 
-	mu     sync.Mutex
-	cache  map[cacheKey]*cacheEntry
-	hits   int64
-	misses int64
+	mu    sync.Mutex
+	cache map[cacheKey]*cacheEntry
+	// lru orders the completed cache entries, most recently used first;
+	// in-flight compilations live only in the map and are never evicted.
+	lru *list.List
+	// maxEntries bounds the number of completed images kept (0 = unbounded).
+	maxEntries int
+	hits       int64
+	misses     int64
+	evictions  int64
 }
 
 // New returns an engine. The options become the engine's defaults; every
 // Compile/Deploy call starts from them and applies its own options on top.
 func New(defaults ...Option) *Engine {
-	return &Engine{
+	e := &Engine{
 		defaults: append([]Option(nil), defaults...),
 		cache:    make(map[cacheKey]*cacheEntry),
+		lru:      list.New(),
 	}
+	e.maxEntries = e.config(nil).cacheSize
+	return e
 }
 
 // config resolves the effective configuration for one call.
@@ -178,9 +188,13 @@ type cacheKey struct {
 // cacheEntry is one cached (or in-flight) JIT compilation. ready is closed
 // once img/err are final.
 type cacheEntry struct {
+	key   cacheKey
 	ready chan struct{}
 	img   *core.Image
 	err   error
+	// elem is the entry's position in the engine's LRU list, nil while the
+	// compilation is in flight or after eviction. Guarded by Engine.mu.
+	elem *list.Element
 }
 
 // image returns the JIT-compiled image for (module, target, options),
@@ -196,6 +210,9 @@ func (e *Engine) image(ctx context.Context, m *Module, tgt *target.Desc, jopts j
 
 	e.mu.Lock()
 	if ent, ok := e.cache[key]; ok {
+		if ent.elem != nil {
+			e.lru.MoveToFront(ent.elem)
+		}
 		e.mu.Unlock()
 		select {
 		case <-ent.ready:
@@ -213,19 +230,38 @@ func (e *Engine) image(ctx context.Context, m *Module, tgt *target.Desc, jopts j
 		e.mu.Unlock()
 		return ent.img, true, nil
 	}
-	ent := &cacheEntry{ready: make(chan struct{})}
+	ent := &cacheEntry{key: key, ready: make(chan struct{})}
 	e.cache[key] = ent
 	e.misses++
 	e.mu.Unlock()
 
 	ent.img, ent.err = core.ImageFromVerifiedModule(m.mod, tgt, jopts)
 	close(ent.ready)
-	if ent.err != nil {
+	e.mu.Lock()
+	switch {
+	case ent.err != nil:
 		// Do not cache failures: a later attempt (e.g. after Register
-		// replaced a target) should retry.
-		e.mu.Lock()
-		delete(e.cache, key)
-		e.mu.Unlock()
+		// replaced a target) should retry. Delete only our own entry — a
+		// concurrent ClearCache may already have installed a new one.
+		if e.cache[key] == ent {
+			delete(e.cache, key)
+		}
+	case e.cache[key] == ent:
+		// Publish to the LRU list and enforce the size bound. Only completed
+		// entries are evictable; an in-flight compilation is pinned by its
+		// waiters.
+		ent.elem = e.lru.PushFront(ent)
+		for e.maxEntries > 0 && e.lru.Len() > e.maxEntries {
+			old := e.lru.Remove(e.lru.Back()).(*cacheEntry)
+			old.elem = nil
+			if e.cache[old.key] == old {
+				delete(e.cache, old.key)
+			}
+			e.evictions++
+		}
+	}
+	e.mu.Unlock()
+	if ent.err != nil {
 		return nil, false, ent.err
 	}
 	return ent.img, false, nil
@@ -234,11 +270,16 @@ func (e *Engine) image(ctx context.Context, m *Module, tgt *target.Desc, jopts j
 // CacheStats reports code cache effectiveness.
 type CacheStats struct {
 	// Hits counts deployments served from a cached (or in-flight) image.
-	Hits int64
+	Hits int64 `json:"hits"`
 	// Misses counts deployments that had to JIT-compile.
-	Misses int64
+	Misses int64 `json:"misses"`
+	// Evictions counts completed images dropped by the LRU size bound
+	// (WithCacheSize); always zero on an unbounded engine.
+	Evictions int64 `json:"evictions"`
 	// Entries is the number of native images currently cached.
-	Entries int
+	Entries int `json:"entries"`
+	// MaxEntries is the configured size bound (0 = unbounded).
+	MaxEntries int `json:"max_entries"`
 }
 
 // CacheStats returns a snapshot of the engine's code cache counters.
@@ -246,22 +287,24 @@ type CacheStats struct {
 func (e *Engine) CacheStats() CacheStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	st := CacheStats{Hits: e.hits, Misses: e.misses}
-	for _, ent := range e.cache {
-		select {
-		case <-ent.ready:
-			if ent.err == nil {
-				st.Entries++
-			}
-		default:
-		}
+	return CacheStats{
+		Hits:       e.hits,
+		Misses:     e.misses,
+		Evictions:  e.evictions,
+		Entries:    e.lru.Len(),
+		MaxEntries: e.maxEntries,
 	}
-	return st
 }
 
-// ClearCache drops every cached native image (counters are kept).
+// ClearCache drops every cached native image (counters are kept; a clear is
+// not counted as eviction). In-flight compilations finish and are delivered
+// to their waiters but are not re-cached.
 func (e *Engine) ClearCache() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	for elem := e.lru.Front(); elem != nil; elem = elem.Next() {
+		elem.Value.(*cacheEntry).elem = nil
+	}
 	e.cache = make(map[cacheKey]*cacheEntry)
+	e.lru.Init()
 }

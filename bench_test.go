@@ -14,6 +14,9 @@ import (
 	"testing"
 
 	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/jit"
+	"repro/internal/kernels"
 	"repro/internal/target"
 )
 
@@ -150,6 +153,52 @@ func BenchmarkAblationVectorizedOnScalarJIT(b *testing.B) {
 	b.ReportMetric(speedup, "simd_vs_forced_scalarization")
 	if speedup <= 1 {
 		b.Errorf("SIMD lowering should beat forced scalarization on %s", target.X86SSE)
+	}
+}
+
+// BenchmarkHostDispatch is the wall-clock twin of the simulated-cycle
+// benchmarks above: it times real host nanoseconds of the simulator's
+// pre-decoded dispatch loop running each Table 1 kernel (vectorized
+// bytecode) on each Table 1 target, with -benchmem showing the loop's zero
+// steady-state allocations. Unlike every other benchmark in this file the
+// numbers are host-dependent; compare runs with benchstat. The same matrix
+// is recorded into BENCH_results.json by `dacbench -exp host`.
+func BenchmarkHostDispatch(b *testing.B) {
+	const n = 4096
+	for _, name := range kernels.Table1Names {
+		res, k, err := core.CompileKernel(name, core.OfflineOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, tgt := range target.Table1() {
+			dep, err := core.Deploy(res.Encoded, tgt, jit.Options{RegAlloc: jit.RegAllocSplit})
+			if err != nil {
+				b.Fatal(err)
+			}
+			in, err := kernels.NewInputs(name, n, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			m := dep.Machine
+			args, _ := bench.MarshalKernelArgs(m, in)
+			b.Run(name+"/"+string(tgt.Arch), func(b *testing.B) {
+				if _, err := m.Call(k.Entry, args...); err != nil {
+					b.Fatal(err)
+				}
+				m.ResetStats()
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := m.Call(k.Entry, args...); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				if sec := b.Elapsed().Seconds(); sec > 0 {
+					b.ReportMetric(float64(m.Stats.Instructions)/sec/1e6, "sim_MIPS")
+				}
+			})
+		}
 	}
 }
 

@@ -16,6 +16,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,11 +39,26 @@ func main() {
 		os.Exit(2)
 	}
 	if *update {
-		if err := os.WriteFile(*baselinePath, current, 0o644); err != nil {
+		// The baseline only gates the deterministic simulated metrics, so
+		// strip the machine-dependent host-throughput section: committing
+		// the refresher's wall-clock numbers would be meaningless churn.
+		cur, err := splitvm.ParseResults(current)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: current: %v\n", err)
+			os.Exit(2)
+		}
+		cur.Host = nil
+		data, err := json.MarshalIndent(cur, "", "  ")
+		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 			os.Exit(2)
 		}
-		fmt.Printf("benchdiff: baseline %s refreshed from %s\n", *baselinePath, *currentPath)
+		data = append(data, '\n')
+		if err := os.WriteFile(*baselinePath, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Printf("benchdiff: baseline %s refreshed from %s (host-throughput section excluded)\n", *baselinePath, *currentPath)
 		return
 	}
 	baseline, err := os.ReadFile(*baselinePath)

@@ -8,9 +8,15 @@
 // code sizes, spill counts), so successive runs can be tracked as a
 // performance trajectory.
 //
+// Besides the deterministic simulated metrics, the host experiment records
+// how fast the simulator itself runs on this host (ns/run, allocs/run,
+// simulated instructions per host-second); those numbers are tracked in the
+// artifact but never gated by cmd/benchdiff.
+//
 // Usage:
 //
-//	dacbench -exp table1|figure1|regalloc|codesize|hetero|all [-n 4096] [-frames 8] [-json BENCH_results.json]
+//	dacbench -exp table1|figure1|regalloc|codesize|hetero|host|all [-n 4096] [-frames 8]
+//	         [-json BENCH_results.json] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 package main
 
 import (
@@ -18,16 +24,50 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"repro/pkg/splitvm"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, figure1, regalloc, codesize, hetero or all")
-	n := flag.Int("n", 4096, "elements per kernel invocation (table1)")
+	exp := flag.String("exp", "all", "experiment to run: table1, figure1, regalloc, codesize, hetero, host or all")
+	n := flag.Int("n", 4096, "elements per kernel invocation (table1, host)")
 	frames := flag.Int("frames", 8, "frames for the heterogeneous scenario")
+	hostRuns := flag.Int("hostruns", 16, "timed executions per cell of the host-throughput experiment")
 	jsonPath := flag.String("json", "BENCH_results.json", "write the reports of the executed experiments to this JSON file (empty to skip)")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	flag.Parse()
+
+	// fail flushes the CPU profile before exiting: os.Exit skips deferred
+	// calls, and a truncated profile of a failing run would be useless
+	// exactly when it is wanted most.
+	var profileOut *os.File
+	fail := func(format string, args ...any) {
+		if profileOut != nil {
+			pprof.StopCPUProfile()
+			profileOut.Close()
+		}
+		fmt.Fprintf(os.Stderr, format, args...)
+		os.Exit(1)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail("dacbench: %v\n", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			fail("dacbench: %v\n", err)
+		}
+		profileOut = f
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
 
 	// The artifact schema is shared with cmd/benchdiff (splitvm.Results), so
 	// successive runs can be gated against a committed baseline.
@@ -69,6 +109,13 @@ func main() {
 			}
 			res.Hetero = r
 			fmt.Println(r)
+		case "host":
+			r, err := splitvm.RunHost(splitvm.HostOptions{N: *n, Runs: *hostRuns})
+			if err != nil {
+				return err
+			}
+			res.Host = r
+			fmt.Println(r)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -77,25 +124,35 @@ func main() {
 
 	experiments := []string{*exp}
 	if *exp == "all" {
-		experiments = []string{"table1", "figure1", "regalloc", "codesize", "hetero"}
+		experiments = []string{"table1", "figure1", "regalloc", "codesize", "hetero", "host"}
 	}
 	for _, e := range experiments {
 		if err := run(e); err != nil {
-			fmt.Fprintf(os.Stderr, "dacbench: %s: %v\n", e, err)
-			os.Exit(1)
+			fail("dacbench: %s: %v\n", e, err)
 		}
+	}
+
+	if *memProfile != "" {
+		f, err := os.Create(*memProfile)
+		if err != nil {
+			fail("dacbench: %v\n", err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fail("dacbench: %v\n", err)
+		}
+		fmt.Printf("dacbench: wrote heap profile to %s\n", *memProfile)
 	}
 
 	if *jsonPath != "" {
 		data, err := json.MarshalIndent(&res, "", "  ")
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "dacbench: %v\n", err)
-			os.Exit(1)
+			fail("dacbench: %v\n", err)
 		}
 		data = append(data, '\n')
 		if err := os.WriteFile(*jsonPath, data, 0o644); err != nil {
-			fmt.Fprintf(os.Stderr, "dacbench: %v\n", err)
-			os.Exit(1)
+			fail("dacbench: %v\n", err)
 		}
 		fmt.Printf("dacbench: wrote %s\n", *jsonPath)
 	}

@@ -19,6 +19,12 @@ type Results struct {
 	RegAlloc *RegAllocReport `json:"regalloc,omitempty"`
 	CodeSize *CodeSizeReport `json:"codesize,omitempty"`
 	Hetero   *HeteroReport   `json:"hetero,omitempty"`
+	// Host carries the host-throughput measurement (wall-clock speed of the
+	// simulator itself). It is tracked in the artifact but host-dependent
+	// and noisy, so Metrics deliberately ignores it: the regression gate
+	// only compares the deterministic simulated metrics above. Artifacts
+	// written before this field existed simply decode with Host == nil.
+	Host *HostReport `json:"host,omitempty"`
 }
 
 // ParseResults decodes a BENCH_results.json artifact.
@@ -39,7 +45,9 @@ type Metric struct {
 
 // Metrics flattens the artifact into named lower-is-better scalars, in a
 // stable order. The names are hierarchical (experiment/case/quantity) so a
-// regression report reads without cross-referencing the JSON.
+// regression report reads without cross-referencing the JSON. Only the
+// deterministic simulated metrics are included; the host-throughput section
+// (Results.Host) is wall-clock noise and never gated.
 func (r *Results) Metrics() []Metric {
 	var out []Metric
 	add := func(name string, v float64) { out = append(out, Metric{Name: name, Value: v}) }

@@ -1,0 +1,188 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/cil"
+	"repro/internal/core"
+	"repro/internal/jit"
+	"repro/internal/kernels"
+	"repro/internal/sim"
+	"repro/internal/target"
+)
+
+// The host-throughput experiment measures how fast the simulator itself
+// runs on the host: wall-clock nanoseconds, heap allocations and simulated
+// instructions per host-second for each Table 1 kernel on each Table 1
+// target. Unlike every other experiment these numbers are *not*
+// deterministic — they depend on the host CPU and load — so they are
+// recorded in BENCH_results.json for trend tracking but deliberately
+// excluded from the metrics the cmd/benchdiff regression gate compares
+// (see Results.Metrics).
+
+// HostOptions parameterizes the host-throughput measurement.
+type HostOptions struct {
+	// N is the number of elements per kernel invocation.
+	N int
+	// Runs is the number of timed executions per (kernel, target) cell.
+	Runs int
+	// Seed makes the pseudo-random inputs reproducible.
+	Seed int64
+}
+
+func (o *HostOptions) defaults() {
+	if o.N == 0 {
+		o.N = 4096
+	}
+	if o.Runs == 0 {
+		o.Runs = 16
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// HostCell is the host-side measurement of one kernel's vectorized
+// deployment on one target.
+type HostCell struct {
+	Kernel string
+	Target target.Arch
+	// Runs is the number of timed executions averaged below.
+	Runs int
+	// SimInstructions and SimCycles are the deterministic per-run simulated
+	// counts (they contextualize the host numbers).
+	SimInstructions int64
+	SimCycles       int64
+	// HostNanosPerRun is the average wall-clock time of one execution.
+	HostNanosPerRun float64
+	// AllocsPerRun is the average number of heap allocations per execution
+	// (0 in the steady state of the pre-decoded dispatch loop).
+	AllocsPerRun float64
+	// SimMIPS is simulated instructions executed per host second, in
+	// millions: the headline throughput of the simulator's dispatch loop.
+	SimMIPS float64
+}
+
+// HostReport is the host-throughput measurement across the Table 1 matrix.
+type HostReport struct {
+	Options HostOptions
+	// GoVersion and NumCPU describe the host the numbers were taken on.
+	GoVersion string
+	NumCPU    int
+	Cells     []HostCell
+}
+
+// RunHost measures host throughput of the simulator over the Table 1
+// kernels and targets. Each cell deploys the vectorized bytecode, marshals
+// the inputs once, warms the pre-decoded core up with one untimed run, then
+// times Runs steady-state executions over the in-place inputs.
+func RunHost(opts HostOptions) (*HostReport, error) {
+	opts.defaults()
+	report := &HostReport{Options: opts, GoVersion: runtime.Version(), NumCPU: runtime.NumCPU()}
+
+	for _, name := range kernels.Table1Names {
+		k := kernels.MustGet(name)
+		res, _, err := core.CompileKernel(name, core.OfflineOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", name, err)
+		}
+		for _, tgt := range target.Table1() {
+			dep, err := core.Deploy(res.Encoded, tgt, jit.Options{RegAlloc: jit.RegAllocSplit})
+			if err != nil {
+				return nil, err
+			}
+			in, err := kernels.NewInputs(name, opts.N, opts.Seed)
+			if err != nil {
+				return nil, err
+			}
+			cell, err := measureHostCell(k, dep, in, opts.Runs)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s on %s: %w", name, tgt.Name, err)
+			}
+			report.Cells = append(report.Cells, cell)
+		}
+	}
+	return report, nil
+}
+
+// MarshalKernelArgs copies a kernel's array inputs into the machine's heap
+// and builds the argument list for the kernel entry point, returning the
+// arguments and the simulated addresses of the copied arrays (in
+// in.Arrays order). It is the one marshalling protocol shared by the
+// experiment harness, the wall-clock benchmarks and the differential tests.
+func MarshalKernelArgs(m *sim.Machine, in *kernels.Inputs) ([]sim.Value, []sim.Addr) {
+	args := make([]sim.Value, len(in.Args))
+	addrs := make([]sim.Addr, 0, len(in.Arrays))
+	arrIdx := 0
+	for i, a := range in.Args {
+		switch {
+		case a.Kind == cil.Ref:
+			addr := m.CopyInArray(in.Arrays[arrIdx])
+			addrs = append(addrs, addr)
+			arrIdx++
+			args[i] = sim.IntArg(int64(addr))
+		case a.Kind.IsFloat():
+			args[i] = sim.FloatArg(a.Float())
+		default:
+			args[i] = sim.IntArg(a.Int())
+		}
+	}
+	return args, addrs
+}
+
+func measureHostCell(k kernels.Kernel, dep *core.Deployment, in *kernels.Inputs, runs int) (HostCell, error) {
+	m := dep.Machine
+	// Marshal the inputs once. The Table 1 kernels execute the same
+	// instruction sequence regardless of array contents, so re-running over
+	// the same memory is a faithful steady state.
+	args, _ := MarshalKernelArgs(m, in)
+	// Warm-up: decodes the functions and grows the frame pool off the clock.
+	if _, err := m.Call(k.Entry, args...); err != nil {
+		return HostCell{}, err
+	}
+	m.ResetStats()
+
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		if _, err := m.Call(k.Entry, args...); err != nil {
+			return HostCell{}, err
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&ms1)
+
+	cell := HostCell{
+		Kernel:          k.Name,
+		Target:          dep.Target.Arch,
+		Runs:            runs,
+		SimInstructions: m.Stats.Instructions / int64(runs),
+		SimCycles:       m.Stats.Cycles / int64(runs),
+		HostNanosPerRun: float64(elapsed.Nanoseconds()) / float64(runs),
+		AllocsPerRun:    float64(ms1.Mallocs-ms0.Mallocs) / float64(runs),
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		cell.SimMIPS = float64(m.Stats.Instructions) / sec / 1e6
+	}
+	return cell, nil
+}
+
+// String renders the host-throughput matrix.
+func (r *HostReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Host throughput: simulator dispatch-loop speed on this host (n=%d, %d runs/cell, %s, %d CPUs)\n",
+		r.Options.N, r.Options.Runs, r.GoVersion, r.NumCPU)
+	b.WriteString("wall-clock numbers are host-dependent; they are tracked, not gated\n\n")
+	fmt.Fprintf(&b, "%-12s %-12s %14s %14s %12s %10s %10s\n",
+		"benchmark", "target", "sim instr/run", "sim cyc/run", "host ns/run", "allocs/run", "sim MIPS")
+	b.WriteString(strings.Repeat("-", 90) + "\n")
+	for _, c := range r.Cells {
+		fmt.Fprintf(&b, "%-12s %-12s %14d %14d %12.0f %10.1f %10.1f\n",
+			c.Kernel, c.Target, c.SimInstructions, c.SimCycles, c.HostNanosPerRun, c.AllocsPerRun, c.SimMIPS)
+	}
+	return b.String()
+}

@@ -174,6 +174,11 @@ func (op Op) String() string {
 	return fmt.Sprintf("op(%d)", uint8(op))
 }
 
+// OpCount is the number of defined opcodes; [OpCount]-sized arrays make
+// handy dense per-opcode tables (the pre-decoded simulator core indexes a
+// few of them).
+const OpCount = int(numOps)
+
 // Valid reports whether op is a defined opcode.
 func (op Op) Valid() bool { return op < numOps }
 
@@ -182,6 +187,32 @@ func (op Op) IsVector() bool { return op >= VLoad && op <= VRedMin }
 
 // IsBranch reports whether the opcode may transfer control to Target.
 func (op Op) IsBranch() bool { return op == Jump || op == BranchCmp }
+
+// aluOpcodes maps native scalar ALU opcodes to the shared primitive
+// semantics of internal/prim (cil opcodes). Zero (cil.Nop) marks opcodes
+// without a scalar ALU equivalent.
+var aluOpcodes = [OpCount]cil.Opcode{
+	Add: cil.Add, Sub: cil.Sub, Mul: cil.Mul, Div: cil.Div, Rem: cil.Rem,
+	And: cil.And, Or: cil.Or, Xor: cil.Xor, Shl: cil.Shl, Shr: cil.Shr,
+	FAdd: cil.Add, FSub: cil.Sub, FMul: cil.Mul, FDiv: cil.Div,
+}
+
+// ALUOpcode returns the cil opcode carrying the shared scalar semantics of a
+// native ALU opcode (Add..Shr, FAdd..FDiv), or cil.Nop for opcodes that are
+// not two-operand ALU instructions.
+func (op Op) ALUOpcode() cil.Opcode { return aluOpcodes[op] }
+
+// vectorOpcodes maps native vector opcodes to the portable vector builtin
+// semantics of internal/prim.
+var vectorOpcodes = [OpCount]cil.Opcode{
+	VAdd: cil.VAdd, VSub: cil.VSub, VMul: cil.VMul, VMax: cil.VMax, VMin: cil.VMin,
+	VRedAdd: cil.VRedAdd, VRedMax: cil.VRedMax, VRedMin: cil.VRedMin,
+}
+
+// VectorOpcode returns the cil opcode carrying the shared element-wise or
+// reduction semantics of a native vector opcode, or cil.Nop for opcodes
+// without one (VLoad, VStore, VSplat and every scalar opcode).
+func (op Op) VectorOpcode() cil.Opcode { return vectorOpcodes[op] }
 
 // Cond is a comparison condition for SetCmp and BranchCmp.
 type Cond uint8
@@ -203,6 +234,25 @@ func (c Cond) String() string {
 		return condNames[c]
 	}
 	return fmt.Sprintf("cond(%d)", uint8(c))
+}
+
+// Opcode returns the cil comparison opcode carrying the condition's shared
+// semantics (the inverse of CondOf).
+func (c Cond) Opcode() cil.Opcode {
+	switch c {
+	case CondEq:
+		return cil.CmpEq
+	case CondNe:
+		return cil.CmpNe
+	case CondLt:
+		return cil.CmpLt
+	case CondLe:
+		return cil.CmpLe
+	case CondGt:
+		return cil.CmpGt
+	default:
+		return cil.CmpGe
+	}
 }
 
 // Negate returns the complementary condition.

@@ -1,0 +1,208 @@
+package prim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/cil"
+)
+
+var intKinds = []cil.Kind{cil.Bool, cil.I8, cil.U8, cil.I16, cil.U16, cil.I32, cil.U32, cil.I64, cil.U64}
+
+// scalarEq compares scalars bitwise so NaN results compare equal.
+func scalarEq(a, b Scalar) bool {
+	return a.I == b.I && math.Float64bits(a.F) == math.Float64bits(b.F)
+}
+
+// interesting integer operand patterns: boundaries, sign bits, wrap cases.
+var intProbes = []int64{0, 1, -1, 2, 127, 128, 255, 256, -128, -129, 32767, 65535,
+	1<<31 - 1, 1 << 31, -1 << 31, 1<<63 - 1, -1 << 63, 0x55AA55AA55AA55AA, -42}
+
+func TestNormModeMatchesNormalize(t *testing.T) {
+	// Every kind, not just the integer ones: Normalize is the identity on
+	// floats, Ref, Vec and Void, and NormModeOf must agree.
+	allKinds := append([]cil.Kind{cil.Void, cil.F32, cil.F64, cil.Ref, cil.Vec}, intKinds...)
+	for _, k := range allKinds {
+		nm := NormModeOf(k)
+		for _, v := range intProbes {
+			if got, want := nm.Apply(v), Normalize(k, v); got != want {
+				t.Errorf("NormModeOf(%s).Apply(%d) = %d, Normalize = %d", k, v, got, want)
+			}
+		}
+	}
+}
+
+func TestBinaryNoTrapMatchesBinary(t *testing.T) {
+	ops := []cil.Opcode{cil.Add, cil.Sub, cil.Mul, cil.Div, cil.Rem, cil.And, cil.Or, cil.Xor, cil.Shl, cil.Shr}
+	for _, k := range intKinds {
+		for _, op := range ops {
+			for _, x := range intProbes {
+				for _, y := range intProbes {
+					a, b := Int(k, x), Int(k, y)
+					want, err := Binary(op, k, a, b)
+					if err != nil {
+						continue // trapping case: NoTrap is not defined for it
+					}
+					if got := BinaryNoTrap(op, k, a, b); got != want {
+						t.Fatalf("BinaryNoTrap(%s, %s, %d, %d) = %+v, want %+v", op, k, a.I, b.I, got, want)
+					}
+				}
+			}
+		}
+	}
+	for _, k := range []cil.Kind{cil.F32, cil.F64} {
+		for _, op := range []cil.Opcode{cil.Add, cil.Sub, cil.Mul, cil.Div} {
+			for _, x := range []float64{0, 1, -2.5, 1e30, -1e-30, math.Pi} {
+				for _, y := range []float64{1, -1, 0.5, 3e7} {
+					a, b := Float(k, x), Float(k, y)
+					want, _ := Binary(op, k, a, b)
+					if got := BinaryNoTrap(op, k, a, b); !scalarEq(got, want) {
+						t.Fatalf("BinaryNoTrap(%s, %s, %g, %g) = %+v, want %+v", op, k, x, y, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestCompareNoTrapMatchesCompare(t *testing.T) {
+	ops := []cil.Opcode{cil.CmpEq, cil.CmpNe, cil.CmpLt, cil.CmpLe, cil.CmpGt, cil.CmpGe}
+	for _, k := range intKinds {
+		for _, op := range ops {
+			for _, x := range intProbes {
+				for _, y := range intProbes {
+					a, b := Int(k, x), Int(k, y)
+					want, err := Compare(op, k, a, b)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := CompareNoTrap(op, k, a, b); got != want {
+						t.Fatalf("CompareNoTrap(%s, %s, %d, %d) = %v, want %v", op, k, a.I, b.I, got, want)
+					}
+				}
+			}
+		}
+	}
+	// Float comparisons including NaN ordering.
+	for _, op := range ops {
+		for _, x := range []float64{0, 1, -1, math.NaN(), math.Inf(1)} {
+			for _, y := range []float64{0, 2, math.NaN()} {
+				a, b := Scalar{F: x}, Scalar{F: y}
+				want, _ := Compare(op, cil.F64, a, b)
+				if got := CompareNoTrap(op, cil.F64, a, b); got != want {
+					t.Fatalf("CompareNoTrap(%s, f64, %g, %g) = %v, want %v", op, x, y, got, want)
+				}
+			}
+		}
+	}
+}
+
+// referenceVecBinary is the pre-specialization lane loop, kept as the test
+// oracle for the specialized fast paths.
+func referenceVecBinary(op cil.Opcode, k cil.Kind, a, b Vec) Vec {
+	var out Vec
+	for lane := 0; lane < k.Lanes(); lane++ {
+		x, y := LaneGet(k, a, lane), LaneGet(k, b, lane)
+		var r Scalar
+		switch op {
+		case cil.VAdd, cil.VSub, cil.VMul:
+			sop := map[cil.Opcode]cil.Opcode{cil.VAdd: cil.Add, cil.VSub: cil.Sub, cil.VMul: cil.Mul}[op]
+			r, _ = Binary(sop, k, x, y)
+		case cil.VMax, cil.VMin:
+			cmp := cil.CmpGt
+			if op == cil.VMin {
+				cmp = cil.CmpLt
+			}
+			if keep, _ := Compare(cmp, k, x, y); keep {
+				r = x
+			} else {
+				r = y
+			}
+		}
+		LaneSet(k, &out, lane, r)
+	}
+	return out
+}
+
+func referenceVecReduce(op cil.Opcode, k cil.Kind, v Vec) Scalar {
+	rk := cil.ReduceKind(op, k)
+	acc := LaneGet(k, v, 0)
+	for lane := 1; lane < k.Lanes(); lane++ {
+		x := LaneGet(k, v, lane)
+		switch op {
+		case cil.VRedAdd:
+			if k.IsFloat() {
+				acc = Float(rk, acc.F+x.F)
+			} else {
+				acc = Scalar{I: acc.I + x.I}
+			}
+		default:
+			cmp := cil.CmpGt
+			if op == cil.VRedMin {
+				cmp = cil.CmpLt
+			}
+			if keep, _ := Compare(cmp, k, x, acc); keep {
+				acc = x
+			}
+		}
+	}
+	if !k.IsFloat() {
+		acc.I = Normalize(rk, acc.I)
+	}
+	return acc
+}
+
+var vecKinds = []cil.Kind{cil.I8, cil.U8, cil.I16, cil.U16, cil.I32, cil.U32, cil.I64, cil.U64, cil.F32, cil.F64}
+
+func testVectors() []Vec {
+	patterns := [][16]byte{
+		{},
+		{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16},
+		{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF},
+		{0x80, 0x00, 0x80, 0x7F, 0xFF, 0x80, 0x01, 0xFE, 0x80, 0x00, 0x80, 0x7F, 0xFF, 0x80, 0x01, 0xFE},
+		{0xAA, 0x55, 0xAA, 0x55, 0xAA, 0x55, 0xAA, 0x55, 0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0},
+	}
+	out := make([]Vec, len(patterns))
+	for i, p := range patterns {
+		out[i] = Vec(p)
+	}
+	// A vector of float lanes (f32 1.5, -2.25, 3e7, -0.0 / f64 views of same bits).
+	var f Vec
+	for lane, v := range []float32{1.5, -2.25, 3e7, math.Float32frombits(0x80000000)} {
+		bits := math.Float32bits(v)
+		for b := 0; b < 4; b++ {
+			f[lane*4+b] = byte(bits >> (8 * b))
+		}
+	}
+	return append(out, f)
+}
+
+func TestVecBinaryNoTrapMatchesReference(t *testing.T) {
+	vecs := testVectors()
+	for _, k := range vecKinds {
+		for _, op := range []cil.Opcode{cil.VAdd, cil.VSub, cil.VMul, cil.VMax, cil.VMin} {
+			for _, a := range vecs {
+				for _, b := range vecs {
+					want := referenceVecBinary(op, k, a, b)
+					if got := VecBinaryNoTrap(op, k, a, b); got != want {
+						t.Fatalf("VecBinaryNoTrap(%s, %s, %x, %x) = %x, want %x", op, k, a, b, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestVecReduceNoTrapMatchesReference(t *testing.T) {
+	vecs := testVectors()
+	for _, k := range vecKinds {
+		for _, op := range []cil.Opcode{cil.VRedAdd, cil.VRedMax, cil.VRedMin} {
+			for _, v := range vecs {
+				want := referenceVecReduce(op, k, v)
+				if got := VecReduceNoTrap(op, k, v); !scalarEq(got, want) {
+					t.Fatalf("VecReduceNoTrap(%s, %s, %x) = %+v, want %+v", op, k, v, got, want)
+				}
+			}
+		}
+	}
+}

@@ -245,39 +245,11 @@ func LaneSet(k cil.Kind, v *Vec, lane int, s Scalar) {
 // VecBinary applies the element-wise vector operation op (cil.VAdd, cil.VSub,
 // cil.VMul, cil.VMax or cil.VMin) with element kind k.
 func VecBinary(op cil.Opcode, k cil.Kind, a, b Vec) (Vec, error) {
-	var out Vec
-	for lane := 0; lane < k.Lanes(); lane++ {
-		x := LaneGet(k, a, lane)
-		y := LaneGet(k, b, lane)
-		var r Scalar
-		switch op {
-		case cil.VAdd, cil.VSub, cil.VMul:
-			scalarOp := map[cil.Opcode]cil.Opcode{cil.VAdd: cil.Add, cil.VSub: cil.Sub, cil.VMul: cil.Mul}[op]
-			var err error
-			r, err = Binary(scalarOp, k, x, y)
-			if err != nil {
-				return Vec{}, err
-			}
-		case cil.VMax, cil.VMin:
-			cmp := cil.CmpGt
-			if op == cil.VMin {
-				cmp = cil.CmpLt
-			}
-			keepX, err := Compare(cmp, k, x, y)
-			if err != nil {
-				return Vec{}, err
-			}
-			if keepX {
-				r = x
-			} else {
-				r = y
-			}
-		default:
-			return Vec{}, fmt.Errorf("prim: %s is not an element-wise vector operation", op)
-		}
-		LaneSet(k, &out, lane, r)
+	switch op {
+	case cil.VAdd, cil.VSub, cil.VMul, cil.VMax, cil.VMin:
+		return VecBinaryNoTrap(op, k, a, b), nil
 	}
-	return out, nil
+	return Vec{}, fmt.Errorf("prim: %s is not an element-wise vector operation", op)
 }
 
 // VecSplat broadcasts the scalar s to all lanes of a vector with element

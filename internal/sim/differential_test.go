@@ -1,0 +1,656 @@
+package sim_test
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/cil"
+	"repro/internal/core"
+	"repro/internal/jit"
+	"repro/internal/kernels"
+	"repro/internal/nisa"
+	"repro/internal/prim"
+	"repro/internal/sim"
+	"repro/internal/target"
+	"repro/internal/vm"
+)
+
+// TestPreDecodedCoreMatchesReferenceInterpreter is the differential gate of
+// the pre-decoded execution core: every bench kernel, compiled both scalar
+// and vectorized, deployed on every registered target, is executed by the
+// production machine and by refMachine — an independent re-implementation of
+// the original generic dispatch loop built only on the generic internal/prim
+// entry points. Results, output arrays and every Stats counter (cycles,
+// instructions, loads, stores, spills, vector ops, branches, calls) must
+// match exactly.
+func TestPreDecodedCoreMatchesReferenceInterpreter(t *testing.T) {
+	const n = 257 // odd length exercises the vectorized loops' scalar tails
+	for _, name := range kernels.Table1Names {
+		k := kernels.MustGet(name)
+		for _, variant := range []struct {
+			label string
+			opts  core.OfflineOptions
+		}{
+			{"scalar", core.OfflineOptions{DisableVectorize: true}},
+			{"vectorized", core.OfflineOptions{}},
+		} {
+			res, err := core.CompileOffline(k.Source, variant.opts)
+			if err != nil {
+				t.Fatalf("%s %s: %v", name, variant.label, err)
+			}
+			for _, tgt := range target.All() {
+				t.Run(name+"/"+variant.label+"/"+string(tgt.Arch), func(t *testing.T) {
+					dep, err := core.Deploy(res.Encoded, tgt, jit.Options{RegAlloc: jit.RegAllocSplit})
+					if err != nil {
+						t.Fatal(err)
+					}
+					in, err := kernels.NewInputs(name, n, 7)
+					if err != nil {
+						t.Fatal(err)
+					}
+
+					fastVal, fastStats, fastOut, fastErr := runFast(dep.Machine, k, in)
+					ref := newRefMachine(tgt, dep.Program)
+					refVal, refStats, refOut, refErr := runRef(ref, k, in)
+
+					if (fastErr == nil) != (refErr == nil) {
+						t.Fatalf("error mismatch: fast=%v ref=%v", fastErr, refErr)
+					}
+					if fastErr != nil {
+						return
+					}
+					if fastVal != refVal {
+						t.Errorf("result mismatch: fast=%+v ref=%+v", fastVal, refVal)
+					}
+					if fastStats != refStats {
+						t.Errorf("stats mismatch:\nfast %+v\nref  %+v", fastStats, refStats)
+					}
+					for i := range refOut {
+						if !bytes.Equal(fastOut[i].Data, refOut[i].Data) {
+							t.Errorf("output array %d differs", i)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// runFast marshals the kernel inputs into the production machine (via the
+// shared bench.MarshalKernelArgs protocol), runs the entry point and copies
+// the arrays back out.
+func runFast(m *sim.Machine, k kernels.Kernel, in *kernels.Inputs) (sim.Value, sim.Stats, []*vm.Array, error) {
+	work := in.Clone()
+	args, addrs := bench.MarshalKernelArgs(m, work)
+	val, err := m.Call(k.Entry, args...)
+	if err != nil {
+		return sim.Value{}, sim.Stats{}, nil, err
+	}
+	var outs []*vm.Array
+	for i, addr := range addrs {
+		out := vm.NewArray(work.Arrays[i].Elem, work.Arrays[i].Len())
+		if err := m.CopyOutArray(addr, out); err != nil {
+			return sim.Value{}, sim.Stats{}, nil, err
+		}
+		outs = append(outs, out)
+	}
+	return val, m.Stats, outs, nil
+}
+
+func runRef(m *refMachine, k kernels.Kernel, in *kernels.Inputs) (sim.Value, sim.Stats, []*vm.Array, error) {
+	work := in.Clone()
+	args := make([]sim.Value, len(work.Args))
+	var addrs []int64
+	arrIdx := 0
+	for i, a := range work.Args {
+		switch {
+		case a.Kind == cil.Ref:
+			addr := m.copyInArray(work.Arrays[arrIdx])
+			addrs = append(addrs, addr)
+			arrIdx++
+			args[i] = sim.IntArg(addr)
+		case a.Kind.IsFloat():
+			args[i] = sim.FloatArg(a.Float())
+		default:
+			args[i] = sim.IntArg(a.Int())
+		}
+	}
+	val, err := m.call(k.Entry, args...)
+	if err != nil {
+		return sim.Value{}, sim.Stats{}, nil, err
+	}
+	var outs []*vm.Array
+	for i, addr := range addrs {
+		out := vm.NewArray(work.Arrays[i].Elem, work.Arrays[i].Len())
+		copy(out.Data, m.mem[addr:int(addr)+len(out.Data)])
+		outs = append(outs, out)
+	}
+	return val, m.stats, outs, nil
+}
+
+// refMachine re-implements the simulator's original generic dispatch loop:
+// per-instruction dispatch on nisa.Instr, generic prim.Binary/Compare/Unary
+// calls for the scalar semantics, LaneGet/LaneSet lane loops for the vector
+// semantics, and freshly allocated frames per activation. It intentionally
+// shares no code with the pre-decoded core beyond the prim generic entry
+// points, so any divergence in either implementation breaks the test.
+type refMachine struct {
+	tgt     *target.Desc
+	prog    *nisa.Program
+	stats   sim.Stats
+	mem     []byte
+	callDep int
+}
+
+const (
+	refArrayHeader  = 8
+	refMaxCallDepth = 512
+)
+
+func newRefMachine(tgt *target.Desc, prog *nisa.Program) *refMachine {
+	return &refMachine{tgt: tgt, prog: prog, mem: make([]byte, 64)}
+}
+
+func (m *refMachine) allocArray(elem cil.Kind, n int) int64 {
+	size := n * elem.Size()
+	base := len(m.mem)
+	grow := refArrayHeader + size
+	if rem := (base + refArrayHeader + grow) % 16; rem != 0 {
+		grow += 16 - rem
+	}
+	m.mem = append(m.mem, make([]byte, grow)...)
+	m.mem[base] = byte(n)
+	m.mem[base+1] = byte(n >> 8)
+	m.mem[base+2] = byte(n >> 16)
+	m.mem[base+3] = byte(n >> 24)
+	return int64(base + refArrayHeader)
+}
+
+func (m *refMachine) copyInArray(a *vm.Array) int64 {
+	addr := m.allocArray(a.Elem, a.Len())
+	copy(m.mem[addr:], a.Data)
+	return addr
+}
+
+type refFrame struct {
+	ints  []int64
+	flts  []float64
+	vecs  []prim.Vec
+	spill []prim.Vec
+	args  []sim.Value
+}
+
+func (m *refMachine) call(name string, args ...sim.Value) (sim.Value, error) {
+	f := m.prog.Func(name)
+	if f == nil {
+		return sim.Value{}, fmt.Errorf("ref: unknown function %q", name)
+	}
+	return m.exec(f, args)
+}
+
+func (m *refMachine) exec(f *nisa.Func, args []sim.Value) (sim.Value, error) {
+	m.callDep++
+	defer func() { m.callDep-- }()
+	if m.callDep > refMaxCallDepth {
+		return sim.Value{}, fmt.Errorf("ref: call depth exceeds %d", refMaxCallDepth)
+	}
+	fr := &refFrame{
+		ints:  make([]int64, m.tgt.IntRegs+4),
+		flts:  make([]float64, m.tgt.FloatRegs+4),
+		vecs:  make([]prim.Vec, m.tgt.VecRegs+4),
+		spill: make([]prim.Vec, f.FrameSlots),
+		args:  args,
+	}
+	cost := &m.tgt.Cost
+
+	pc := 0
+	for {
+		if pc < 0 || pc >= len(f.Code) {
+			return sim.Value{}, fmt.Errorf("ref: %s: pc %d out of range", f.Name, pc)
+		}
+		in := &f.Code[pc]
+		m.stats.Instructions++
+		next := pc + 1
+
+		switch in.Op {
+		case nisa.Nop:
+			m.stats.Cycles += int64(cost.Move)
+		case nisa.MovImm:
+			fr.ints[in.Rd.Index] = in.Imm
+			m.stats.Cycles += int64(cost.Move)
+		case nisa.MovFImm:
+			fr.flts[in.Rd.Index] = in.FImm
+			m.stats.Cycles += int64(cost.Move)
+		case nisa.Mov:
+			switch in.Rd.Class {
+			case nisa.ClassInt:
+				fr.ints[in.Rd.Index] = fr.ints[in.Ra.Index]
+			case nisa.ClassFloat:
+				fr.flts[in.Rd.Index] = fr.flts[in.Ra.Index]
+			default:
+				fr.vecs[in.Rd.Index] = fr.vecs[in.Ra.Index]
+			}
+			m.stats.Cycles += int64(cost.Move)
+		case nisa.GetArg:
+			a := fr.args[in.Imm]
+			if in.Rd.Class == nisa.ClassFloat {
+				fr.flts[in.Rd.Index] = a.F
+			} else {
+				fr.ints[in.Rd.Index] = a.I
+			}
+			m.stats.Cycles += int64(cost.Move)
+
+		case nisa.Add, nisa.Sub, nisa.Mul, nisa.Div, nisa.Rem,
+			nisa.And, nisa.Or, nisa.Xor, nisa.Shl, nisa.Shr:
+			a := prim.Scalar{I: fr.ints[in.Ra.Index]}
+			b := prim.Scalar{I: fr.ints[in.Rb.Index]}
+			r, err := prim.Binary(in.Op.ALUOpcode(), in.Kind, a, b)
+			if err != nil {
+				return sim.Value{}, fmt.Errorf("ref: %s @%d: %v", f.Name, pc, err)
+			}
+			fr.ints[in.Rd.Index] = r.I
+			m.stats.Cycles += refALUCost(cost, in.Op)
+		case nisa.Neg, nisa.Not:
+			op := cil.Neg
+			if in.Op == nisa.Not {
+				op = cil.Not
+			}
+			r, err := prim.Unary(op, in.Kind, prim.Scalar{I: fr.ints[in.Ra.Index]})
+			if err != nil {
+				return sim.Value{}, fmt.Errorf("ref: %s @%d: %v", f.Name, pc, err)
+			}
+			fr.ints[in.Rd.Index] = r.I
+			m.stats.Cycles += int64(cost.IntALU)
+
+		case nisa.FAdd, nisa.FSub, nisa.FMul, nisa.FDiv:
+			a := prim.Scalar{F: fr.flts[in.Ra.Index]}
+			b := prim.Scalar{F: fr.flts[in.Rb.Index]}
+			r, err := prim.Binary(in.Op.ALUOpcode(), in.Kind, a, b)
+			if err != nil {
+				return sim.Value{}, fmt.Errorf("ref: %s @%d: %v", f.Name, pc, err)
+			}
+			fr.flts[in.Rd.Index] = r.F
+			m.stats.Cycles += refFPUCost(cost, in.Op)
+		case nisa.FNeg:
+			fr.flts[in.Rd.Index] = -fr.flts[in.Ra.Index]
+			m.stats.Cycles += int64(cost.FloatALU)
+
+		case nisa.SetCmp, nisa.Select:
+			res, err := m.compare(fr, in)
+			if err != nil {
+				return sim.Value{}, err
+			}
+			if in.Op == nisa.SetCmp {
+				if res {
+					fr.ints[in.Rd.Index] = 1
+				} else {
+					fr.ints[in.Rd.Index] = 0
+				}
+				m.stats.Cycles += int64(cost.IntALU)
+			} else {
+				src := in.Rb
+				if res {
+					src = in.Ra
+				}
+				if in.Rd.Class == nisa.ClassFloat {
+					fr.flts[in.Rd.Index] = fr.flts[src.Index]
+				} else {
+					fr.ints[in.Rd.Index] = fr.ints[src.Index]
+				}
+				m.stats.Cycles += 2 * int64(cost.IntALU)
+			}
+
+		case nisa.Conv:
+			var src prim.Scalar
+			if in.Ra.Class == nisa.ClassFloat {
+				src = prim.Scalar{F: fr.flts[in.Ra.Index]}
+			} else {
+				src = prim.Scalar{I: fr.ints[in.Ra.Index]}
+			}
+			r := prim.Convert(in.SrcKind, in.Kind, src)
+			if in.Rd.Class == nisa.ClassFloat {
+				fr.flts[in.Rd.Index] = r.F
+			} else {
+				fr.ints[in.Rd.Index] = r.I
+			}
+			m.stats.Cycles += int64(cost.Convert)
+
+		case nisa.Load:
+			addr, err := m.elemAddr(fr, in)
+			if err != nil {
+				return sim.Value{}, fmt.Errorf("ref: %s @%d: %v", f.Name, pc, err)
+			}
+			var vec prim.Vec
+			copy(vec[:in.Kind.Size()], m.mem[addr:])
+			s := prim.LaneGet(in.Kind, vec, 0)
+			if in.Rd.Class == nisa.ClassFloat {
+				fr.flts[in.Rd.Index] = s.F
+			} else {
+				fr.ints[in.Rd.Index] = s.I
+			}
+			m.stats.Loads++
+			m.stats.Cycles += m.memCost(in.Kind, cost.Load)
+		case nisa.Store:
+			addr, err := m.elemAddr(fr, in)
+			if err != nil {
+				return sim.Value{}, fmt.Errorf("ref: %s @%d: %v", f.Name, pc, err)
+			}
+			var s prim.Scalar
+			if in.Rd.Class == nisa.ClassFloat {
+				s = prim.Scalar{F: fr.flts[in.Rd.Index]}
+			} else {
+				s = prim.Scalar{I: fr.ints[in.Rd.Index]}
+			}
+			var vec prim.Vec
+			prim.LaneSet(in.Kind, &vec, 0, s)
+			copy(m.mem[addr:addr+int64(in.Kind.Size())], vec[:in.Kind.Size()])
+			m.stats.Stores++
+			m.stats.Cycles += m.memCost(in.Kind, cost.Store)
+
+		case nisa.SpillLoad:
+			slot := fr.spill[in.Imm]
+			if in.Rd.Class == nisa.ClassFloat {
+				fr.flts[in.Rd.Index] = math.Float64frombits(refUint64(slot[:8]))
+			} else if in.Rd.Class == nisa.ClassVec {
+				fr.vecs[in.Rd.Index] = slot
+			} else {
+				fr.ints[in.Rd.Index] = int64(refUint64(slot[:8]))
+			}
+			m.stats.SpillLoads++
+			m.stats.Cycles += int64(cost.Load)
+		case nisa.SpillStore:
+			var slot prim.Vec
+			if in.Rd.Class == nisa.ClassFloat {
+				refPutUint64(slot[:8], math.Float64bits(fr.flts[in.Rd.Index]))
+			} else if in.Rd.Class == nisa.ClassVec {
+				slot = fr.vecs[in.Rd.Index]
+			} else {
+				refPutUint64(slot[:8], uint64(fr.ints[in.Rd.Index]))
+			}
+			fr.spill[in.Imm] = slot
+			m.stats.SpillStores++
+			m.stats.Cycles += int64(cost.Store)
+
+		case nisa.Alloc:
+			n := fr.ints[in.Ra.Index]
+			if n < 0 {
+				return sim.Value{}, fmt.Errorf("ref: %s @%d: negative array length", f.Name, pc)
+			}
+			fr.ints[in.Rd.Index] = m.allocArray(in.Kind, int(n))
+			m.stats.Cycles += int64(cost.Call)
+		case nisa.ArrLen:
+			base := fr.ints[in.Ra.Index]
+			if base < refArrayHeader || int(base) > len(m.mem) {
+				return sim.Value{}, fmt.Errorf("ref: %s @%d: arrlen on invalid address", f.Name, pc)
+			}
+			h := m.mem[base-refArrayHeader:]
+			fr.ints[in.Rd.Index] = int64(uint32(h[0]) | uint32(h[1])<<8 | uint32(h[2])<<16 | uint32(h[3])<<24)
+			m.stats.Cycles += m.memCost(cil.I32, cost.Load)
+
+		case nisa.Jump:
+			next = in.Target
+			m.stats.Branches++
+			m.stats.Cycles += int64(cost.BranchTaken)
+		case nisa.BranchCmp:
+			res, err := m.compare(fr, in)
+			if err != nil {
+				return sim.Value{}, err
+			}
+			m.stats.Branches++
+			if res {
+				next = in.Target
+				m.stats.Cycles += int64(cost.BranchTaken)
+			} else {
+				m.stats.Cycles += int64(cost.BranchNotTaken)
+			}
+
+		case nisa.Call:
+			callee := m.prog.Func(in.Sym)
+			if callee == nil {
+				return sim.Value{}, fmt.Errorf("ref: %s @%d: unknown callee %q", f.Name, pc, in.Sym)
+			}
+			cargs := make([]sim.Value, len(in.Args))
+			for i := range in.Args {
+				if in.ArgSlots != nil && in.ArgSlots[i] >= 0 {
+					slot := fr.spill[in.ArgSlots[i]]
+					bits := refUint64(slot[:8])
+					cargs[i] = sim.Value{I: int64(bits), F: math.Float64frombits(bits)}
+					m.stats.Cycles += int64(cost.Load)
+					continue
+				}
+				r := in.Args[i]
+				if r.Class == nisa.ClassFloat {
+					cargs[i] = sim.Value{F: fr.flts[r.Index]}
+				} else {
+					cargs[i] = sim.Value{I: fr.ints[r.Index]}
+				}
+				m.stats.Cycles += int64(cost.Move)
+			}
+			m.stats.Calls++
+			m.stats.Cycles += int64(cost.Call)
+			ret, err := m.exec(callee, cargs)
+			if err != nil {
+				return sim.Value{}, err
+			}
+			if in.Rd.Class == nisa.ClassFloat {
+				fr.flts[in.Rd.Index] = ret.F
+			} else if in.Rd.Class == nisa.ClassInt {
+				fr.ints[in.Rd.Index] = ret.I
+			}
+
+		case nisa.Ret:
+			m.stats.Cycles += int64(cost.BranchTaken)
+			var ret sim.Value
+			if in.Ra.Class == nisa.ClassFloat {
+				ret.F = fr.flts[in.Ra.Index]
+			} else if in.Ra.Class == nisa.ClassInt {
+				ret.I = fr.ints[in.Ra.Index]
+			}
+			return ret, nil
+
+		default:
+			if in.Op.IsVector() {
+				if err := m.execVector(fr, in); err != nil {
+					return sim.Value{}, fmt.Errorf("ref: %s @%d: %v", f.Name, pc, err)
+				}
+				break
+			}
+			return sim.Value{}, fmt.Errorf("ref: %s @%d: unimplemented opcode %s", f.Name, pc, in.Op)
+		}
+		pc = next
+	}
+}
+
+func (m *refMachine) compare(fr *refFrame, in *nisa.Instr) (bool, error) {
+	var a, b prim.Scalar
+	if in.Ra.Class == nisa.ClassFloat {
+		a, b = prim.Scalar{F: fr.flts[in.Ra.Index]}, prim.Scalar{F: fr.flts[in.Rb.Index]}
+	} else {
+		a, b = prim.Scalar{I: fr.ints[in.Ra.Index]}, prim.Scalar{I: fr.ints[in.Rb.Index]}
+	}
+	return prim.Compare(in.Cond.Opcode(), in.Kind, a, b)
+}
+
+func (m *refMachine) elemAddr(fr *refFrame, in *nisa.Instr) (int64, error) {
+	base := fr.ints[in.Ra.Index]
+	idx := fr.ints[in.Rb.Index] + in.Imm
+	addr := base + idx*int64(in.Kind.Size())
+	span := int64(in.Kind.Size())
+	if in.Op == nisa.VLoad || in.Op == nisa.VStore {
+		span = cil.VecBytes
+	}
+	if base == 0 {
+		return 0, fmt.Errorf("null reference access")
+	}
+	if addr < refArrayHeader || addr+span > int64(len(m.mem)) {
+		return 0, fmt.Errorf("out of bounds")
+	}
+	return addr, nil
+}
+
+// execVector interprets one vector instruction with per-lane generic
+// primitive calls (the pre-fast-path semantics).
+func (m *refMachine) execVector(fr *refFrame, in *nisa.Instr) error {
+	c := &m.tgt.Cost
+	if !m.tgt.HasSIMD {
+		return fmt.Errorf("vector instruction %s on a target without a vector unit", in.Op)
+	}
+	m.stats.VectorOps++
+	switch in.Op {
+	case nisa.VLoad:
+		addr, err := m.elemAddr(fr, in)
+		if err != nil {
+			return err
+		}
+		var v prim.Vec
+		copy(v[:], m.mem[addr:addr+cil.VecBytes])
+		fr.vecs[in.Rd.Index] = v
+		m.stats.Loads++
+		m.stats.Cycles += int64(c.VecLoad + c.AddrCalcPenalty)
+	case nisa.VStore:
+		addr, err := m.elemAddr(fr, in)
+		if err != nil {
+			return err
+		}
+		v := fr.vecs[in.Rd.Index]
+		copy(m.mem[addr:addr+cil.VecBytes], v[:])
+		m.stats.Stores++
+		m.stats.Cycles += int64(c.VecStore + c.AddrCalcPenalty)
+	case nisa.VAdd, nisa.VSub, nisa.VMul, nisa.VMax, nisa.VMin:
+		a, b := fr.vecs[in.Ra.Index], fr.vecs[in.Rb.Index]
+		var out prim.Vec
+		for lane := 0; lane < in.Kind.Lanes(); lane++ {
+			x, y := prim.LaneGet(in.Kind, a, lane), prim.LaneGet(in.Kind, b, lane)
+			var r prim.Scalar
+			switch in.Op {
+			case nisa.VAdd, nisa.VSub, nisa.VMul:
+				sop := map[nisa.Op]cil.Opcode{nisa.VAdd: cil.Add, nisa.VSub: cil.Sub, nisa.VMul: cil.Mul}[in.Op]
+				var err error
+				r, err = prim.Binary(sop, in.Kind, x, y)
+				if err != nil {
+					return err
+				}
+			default:
+				cmp := cil.CmpGt
+				if in.Op == nisa.VMin {
+					cmp = cil.CmpLt
+				}
+				keepX, err := prim.Compare(cmp, in.Kind, x, y)
+				if err != nil {
+					return err
+				}
+				if keepX {
+					r = x
+				} else {
+					r = y
+				}
+			}
+			prim.LaneSet(in.Kind, &out, lane, r)
+		}
+		fr.vecs[in.Rd.Index] = out
+		if in.Op == nisa.VMul {
+			m.stats.Cycles += int64(c.VecMul)
+		} else {
+			m.stats.Cycles += int64(c.VecALU)
+		}
+	case nisa.VSplat:
+		var s prim.Scalar
+		if in.Ra.Class == nisa.ClassFloat {
+			s = prim.Scalar{F: fr.flts[in.Ra.Index]}
+		} else {
+			s = prim.Scalar{I: fr.ints[in.Ra.Index]}
+		}
+		var out prim.Vec
+		for lane := 0; lane < in.Kind.Lanes(); lane++ {
+			prim.LaneSet(in.Kind, &out, lane, s)
+		}
+		fr.vecs[in.Rd.Index] = out
+		m.stats.Cycles += int64(c.VecSplat)
+	case nisa.VRedAdd, nisa.VRedMax, nisa.VRedMin:
+		op := map[nisa.Op]cil.Opcode{
+			nisa.VRedAdd: cil.VRedAdd, nisa.VRedMax: cil.VRedMax, nisa.VRedMin: cil.VRedMin,
+		}[in.Op]
+		rk := cil.ReduceKind(op, in.Kind)
+		v := fr.vecs[in.Ra.Index]
+		acc := prim.LaneGet(in.Kind, v, 0)
+		for lane := 1; lane < in.Kind.Lanes(); lane++ {
+			x := prim.LaneGet(in.Kind, v, lane)
+			switch op {
+			case cil.VRedAdd:
+				if in.Kind.IsFloat() {
+					acc = prim.Float(rk, acc.F+x.F)
+				} else {
+					acc = prim.Scalar{I: acc.I + x.I}
+				}
+			default:
+				cmp := cil.CmpGt
+				if op == cil.VRedMin {
+					cmp = cil.CmpLt
+				}
+				keep, err := prim.Compare(cmp, in.Kind, x, acc)
+				if err != nil {
+					return err
+				}
+				if keep {
+					acc = x
+				}
+			}
+		}
+		if !in.Kind.IsFloat() {
+			acc.I = prim.Normalize(rk, acc.I)
+		}
+		if in.Rd.Class == nisa.ClassFloat {
+			fr.flts[in.Rd.Index] = acc.F
+		} else {
+			fr.ints[in.Rd.Index] = acc.I
+		}
+		m.stats.Cycles += int64(c.VecReduce)
+	default:
+		return fmt.Errorf("unimplemented vector opcode %s", in.Op)
+	}
+	return nil
+}
+
+func (m *refMachine) memCost(k cil.Kind, base int) int64 {
+	c := base + m.tgt.Cost.AddrCalcPenalty
+	if k.Size() < 4 {
+		c += m.tgt.Cost.SubWordPenalty
+	}
+	return int64(c)
+}
+
+func refALUCost(c *target.CostModel, op nisa.Op) int64 {
+	switch op {
+	case nisa.Mul:
+		return int64(c.IntMul)
+	case nisa.Div, nisa.Rem:
+		return int64(c.IntDiv)
+	default:
+		return int64(c.IntALU)
+	}
+}
+
+func refFPUCost(c *target.CostModel, op nisa.Op) int64 {
+	switch op {
+	case nisa.FMul:
+		return int64(c.FloatMul)
+	case nisa.FDiv:
+		return int64(c.FloatDiv)
+	default:
+		return int64(c.FloatALU)
+	}
+}
+
+func refUint64(b []byte) uint64 {
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+func refPutUint64(b []byte, v uint64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * i))
+	}
+}

@@ -8,6 +8,13 @@
 // to match 2010 silicon; the relative numbers (scalar vs vectorized code on
 // the same target, the same bytecode across targets) are what the experiments
 // report.
+//
+// Execution uses a pre-decoded core (see decode.go): each function is
+// lowered once, on its first call, into flat records with operand classes,
+// signedness, cycle costs and callee pointers resolved, and the dispatch
+// loop below runs those records with zero heap allocations in steady state
+// (frames and argument buffers are pooled per call depth). The machine
+// assumes the program's code is not mutated after its first execution.
 package sim
 
 import (
@@ -65,6 +72,16 @@ type Machine struct {
 
 	mem     []byte
 	callDep int
+
+	// Register-file sizes (allocatable registers plus JIT scratch), fixed
+	// per target at construction.
+	ni, nf, nv int
+
+	// decoded caches the pre-decoded form of each executed function.
+	decoded map[*nisa.Func]*dfunc
+	// frames pools one activation record per call depth, so the steady-state
+	// dispatch loop allocates nothing.
+	frames []*dframe
 }
 
 const (
@@ -78,6 +95,9 @@ func New(t *target.Desc, prog *nisa.Program) *Machine {
 	m := &Machine{Target: t, Program: prog, MaxSteps: 2_000_000_000}
 	// Address 0 is the null reference; start the heap past it.
 	m.mem = make([]byte, 64)
+	// The JIT reserves a few scratch registers beyond the allocatable files.
+	m.ni, m.nf, m.nv = t.IntRegs+4, t.FloatRegs+4, t.VecRegs+4
+	m.decoded = make(map[*nisa.Func]*dfunc)
 	return m
 }
 
@@ -109,8 +129,16 @@ func (m *Machine) CopyInArray(a *vm.Array) Addr {
 }
 
 // CopyOutArray copies array contents from simulated memory back into a
-// managed VM array (sizes must match).
+// managed VM array (sizes must match). The address must point at the data of
+// an array previously allocated in this machine's heap; out-of-range
+// addresses return an error.
 func (m *Machine) CopyOutArray(addr Addr, a *vm.Array) error {
+	if addr < arrayHeader || addr > int64(len(m.mem)) {
+		return fmt.Errorf("sim: copy-out address %d outside the heap of %d bytes", addr, len(m.mem))
+	}
+	if addr+int64(len(a.Data)) > int64(len(m.mem)) {
+		return fmt.Errorf("sim: copy-out of %d bytes at %d overruns the heap of %d bytes", len(a.Data), addr, len(m.mem))
+	}
 	n := int(binary.LittleEndian.Uint32(m.mem[addr-arrayHeader:]))
 	if n != a.Len() {
 		return fmt.Errorf("sim: array length mismatch: %d in memory, %d in destination", n, a.Len())
@@ -119,9 +147,9 @@ func (m *Machine) CopyOutArray(addr Addr, a *vm.Array) error {
 	return nil
 }
 
-// frame is one activation record.
-type frame struct {
-	fn    *nisa.Func
+// dframe is one pooled activation record: the register files, the spill
+// area, and the buffer the caller marshals this frame's arguments into.
+type dframe struct {
 	ints  []int64
 	flts  []float64
 	vecs  []prim.Vec
@@ -134,6 +162,28 @@ type argval struct {
 	f float64
 }
 
+// frameAt returns the pooled frame for a call depth, growing the pool on
+// first use of that depth.
+func (m *Machine) frameAt(depth int) *dframe {
+	for len(m.frames) <= depth {
+		m.frames = append(m.frames, &dframe{
+			ints: make([]int64, m.ni),
+			flts: make([]float64, m.nf),
+			vecs: make([]prim.Vec, m.nv),
+		})
+	}
+	return m.frames[depth]
+}
+
+// argBuf returns the frame's argument buffer resized to n entries.
+func (fr *dframe) argBuf(n int) []argval {
+	if cap(fr.args) < n {
+		fr.args = make([]argval, n)
+	}
+	fr.args = fr.args[:n]
+	return fr.args
+}
+
 // Call executes the named function with the given arguments and returns its
 // result (integers and addresses in I, floats in F).
 func (m *Machine) Call(name string, args ...Value) (Value, error) {
@@ -144,335 +194,517 @@ func (m *Machine) Call(name string, args ...Value) (Value, error) {
 	if len(args) != len(f.Params) {
 		return Value{}, fmt.Errorf("sim: %q expects %d arguments, got %d", name, len(f.Params), len(args))
 	}
-	av := make([]argval, len(args))
+	av := m.frameAt(m.callDep + 1).argBuf(len(args))
 	for i, a := range args {
 		av[i] = argval{i: a.I, f: a.F}
 	}
 	return m.exec(f, av)
 }
 
-func (m *Machine) regCounts() (ints, flts, vecs int) {
-	return m.Target.IntRegs + 4, m.Target.FloatRegs + 4, m.Target.VecRegs + 4
+// dAddrOK computes the effective address of a pre-decoded indexed access and
+// checks it against the heap bounds. It is small enough to inline into the
+// dispatch loop; the failing path rebuilds the precise error in memFault.
+func (m *Machine) dAddrOK(fr *dframe, d *dinstr) (int64, bool) {
+	base := fr.ints[d.ra]
+	addr := base + (fr.ints[d.rb]+d.imm)*int64(d.size)
+	if base == 0 || addr < arrayHeader || addr+int64(d.span) > int64(len(m.mem)) {
+		return 0, false
+	}
+	return addr, true
 }
 
+// memFault reports a failed memory access with the original interpreter's
+// error message (null dereference takes precedence over the bounds check).
+func (m *Machine) memFault(f *nisa.Func, pc int, fr *dframe, d *dinstr) error {
+	base := fr.ints[d.ra]
+	addr := base + (fr.ints[d.rb]+d.imm)*int64(d.size)
+	if base == 0 {
+		return fmt.Errorf("sim: %s @%d: null reference access", f.Name, pc)
+	}
+	return fmt.Errorf("sim: %s @%d: memory access at %d (+%d) outside the heap of %d bytes",
+		f.Name, pc, addr, d.span, len(m.mem))
+}
+
+// exec runs one function activation. The hot loop dispatches on pre-decoded
+// records; every per-instruction decision that does not depend on run-time
+// values (operand classes, signedness, cycle costs, callees, access spans)
+// was resolved by decode.go.
 func (m *Machine) exec(f *nisa.Func, args []argval) (Value, error) {
 	m.callDep++
 	defer func() { m.callDep-- }()
 	if m.callDep > maxCallDepth {
 		return Value{}, fmt.Errorf("sim: call depth exceeds %d", maxCallDepth)
 	}
-	ni, nf, nv := m.regCounts()
-	fr := &frame{
-		fn:    f,
-		ints:  make([]int64, ni),
-		flts:  make([]float64, nf),
-		vecs:  make([]prim.Vec, nv),
-		spill: make([]prim.Vec, f.FrameSlots),
-		args:  args,
+	df := m.decodedFunc(f)
+	fr := m.frameAt(m.callDep)
+	clear(fr.ints)
+	clear(fr.flts)
+	clear(fr.vecs)
+	if cap(fr.spill) < f.FrameSlots {
+		fr.spill = make([]prim.Vec, f.FrameSlots)
+	} else {
+		fr.spill = fr.spill[:f.FrameSlots]
+		clear(fr.spill)
 	}
 	maxSteps := m.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = 2_000_000_000
 	}
-	cost := &m.Target.Cost
+	stats := &m.Stats
+	code := df.code
 
 	pc := 0
 	for {
-		if pc < 0 || pc >= len(f.Code) {
+		if uint(pc) >= uint(len(code)) {
 			return Value{}, fmt.Errorf("sim: %s: program counter %d out of range", f.Name, pc)
 		}
-		if m.Stats.Instructions >= maxSteps {
+		if stats.Instructions >= maxSteps {
 			return Value{}, fmt.Errorf("sim: instruction budget of %d exhausted in %s", maxSteps, f.Name)
 		}
-		in := &f.Code[pc]
-		m.Stats.Instructions++
+		d := &code[pc]
+		stats.Instructions++
 		next := pc + 1
 
-		switch in.Op {
-		case nisa.Nop:
-			m.Stats.Cycles += int64(cost.Move)
+		switch d.x {
+		case xNop:
+			stats.Cycles += int64(d.cost)
 
-		case nisa.MovImm:
-			fr.setInt(in.Rd, in.Imm)
-			m.Stats.Cycles += int64(cost.Move)
-		case nisa.MovFImm:
-			fr.flts[in.Rd.Index] = in.FImm
-			m.Stats.Cycles += int64(cost.Move)
-		case nisa.Mov:
-			switch in.Rd.Class {
-			case nisa.ClassInt:
-				fr.ints[in.Rd.Index] = fr.ints[in.Ra.Index]
-			case nisa.ClassFloat:
-				fr.flts[in.Rd.Index] = fr.flts[in.Ra.Index]
-			default:
-				fr.vecs[in.Rd.Index] = fr.vecs[in.Ra.Index]
+		case xMovImm:
+			fr.ints[d.rd] = d.imm
+			stats.Cycles += int64(d.cost)
+		case xMovFImm:
+			fr.flts[d.rd] = d.fimm
+			stats.Cycles += int64(d.cost)
+		case xMovInt:
+			fr.ints[d.rd] = fr.ints[d.ra]
+			stats.Cycles += int64(d.cost)
+		case xMovFloat:
+			fr.flts[d.rd] = fr.flts[d.ra]
+			stats.Cycles += int64(d.cost)
+		case xMovVec:
+			fr.vecs[d.rd] = fr.vecs[d.ra]
+			stats.Cycles += int64(d.cost)
+		case xGetArgInt:
+			fr.ints[d.rd] = args[d.imm].i
+			stats.Cycles += int64(d.cost)
+		case xGetArgFloat:
+			fr.flts[d.rd] = args[d.imm].f
+			stats.Cycles += int64(d.cost)
+
+		case xAdd:
+			fr.ints[d.rd] = d.norm.Apply(fr.ints[d.ra] + fr.ints[d.rb])
+			stats.Cycles += int64(d.cost)
+		case xSub:
+			fr.ints[d.rd] = d.norm.Apply(fr.ints[d.ra] - fr.ints[d.rb])
+			stats.Cycles += int64(d.cost)
+		case xMul:
+			fr.ints[d.rd] = d.norm.Apply(fr.ints[d.ra] * fr.ints[d.rb])
+			stats.Cycles += int64(d.cost)
+		case xAnd:
+			fr.ints[d.rd] = d.norm.Apply(fr.ints[d.ra] & fr.ints[d.rb])
+			stats.Cycles += int64(d.cost)
+		case xOr:
+			fr.ints[d.rd] = d.norm.Apply(fr.ints[d.ra] | fr.ints[d.rb])
+			stats.Cycles += int64(d.cost)
+		case xXor:
+			fr.ints[d.rd] = d.norm.Apply(fr.ints[d.ra] ^ fr.ints[d.rb])
+			stats.Cycles += int64(d.cost)
+		case xShl:
+			fr.ints[d.rd] = d.norm.Apply(fr.ints[d.ra] << (uint64(fr.ints[d.rb]) & 63))
+			stats.Cycles += int64(d.cost)
+		case xShrS:
+			fr.ints[d.rd] = d.norm.Apply(fr.ints[d.ra] >> (uint64(fr.ints[d.rb]) & 63))
+			stats.Cycles += int64(d.cost)
+		case xShrU:
+			fr.ints[d.rd] = d.norm.Apply(int64(uint64(fr.ints[d.ra]) >> (uint64(fr.ints[d.rb]) & 63)))
+			stats.Cycles += int64(d.cost)
+		case xDivS:
+			y := fr.ints[d.rb]
+			if y == 0 {
+				return Value{}, fmt.Errorf("sim: %s @%d: prim: integer division by zero", f.Name, pc)
 			}
-			m.Stats.Cycles += int64(cost.Move)
-		case nisa.GetArg:
-			a := fr.args[in.Imm]
-			if in.Rd.Class == nisa.ClassFloat {
-				fr.flts[in.Rd.Index] = a.f
+			fr.ints[d.rd] = d.norm.Apply(fr.ints[d.ra] / y)
+			stats.Cycles += int64(d.cost)
+		case xDivU:
+			y := fr.ints[d.rb]
+			if y == 0 {
+				return Value{}, fmt.Errorf("sim: %s @%d: prim: integer division by zero", f.Name, pc)
+			}
+			fr.ints[d.rd] = d.norm.Apply(int64(uint64(fr.ints[d.ra]) / uint64(y)))
+			stats.Cycles += int64(d.cost)
+		case xRemS:
+			y := fr.ints[d.rb]
+			if y == 0 {
+				return Value{}, fmt.Errorf("sim: %s @%d: prim: integer remainder by zero", f.Name, pc)
+			}
+			fr.ints[d.rd] = d.norm.Apply(fr.ints[d.ra] % y)
+			stats.Cycles += int64(d.cost)
+		case xRemU:
+			y := fr.ints[d.rb]
+			if y == 0 {
+				return Value{}, fmt.Errorf("sim: %s @%d: prim: integer remainder by zero", f.Name, pc)
+			}
+			fr.ints[d.rd] = d.norm.Apply(int64(uint64(fr.ints[d.ra]) % uint64(y)))
+			stats.Cycles += int64(d.cost)
+		case xNeg:
+			fr.ints[d.rd] = d.norm.Apply(-fr.ints[d.ra])
+			stats.Cycles += int64(d.cost)
+		case xNot:
+			fr.ints[d.rd] = d.norm.Apply(^fr.ints[d.ra])
+			stats.Cycles += int64(d.cost)
+
+		case xFAdd:
+			r := fr.flts[d.ra] + fr.flts[d.rb]
+			if d.f32 {
+				r = float64(float32(r))
+			}
+			fr.flts[d.rd] = r
+			stats.Cycles += int64(d.cost)
+		case xFSub:
+			r := fr.flts[d.ra] - fr.flts[d.rb]
+			if d.f32 {
+				r = float64(float32(r))
+			}
+			fr.flts[d.rd] = r
+			stats.Cycles += int64(d.cost)
+		case xFMul:
+			r := fr.flts[d.ra] * fr.flts[d.rb]
+			if d.f32 {
+				r = float64(float32(r))
+			}
+			fr.flts[d.rd] = r
+			stats.Cycles += int64(d.cost)
+		case xFDiv:
+			r := fr.flts[d.ra] / fr.flts[d.rb]
+			if d.f32 {
+				r = float64(float32(r))
+			}
+			fr.flts[d.rd] = r
+			stats.Cycles += int64(d.cost)
+		case xFNeg:
+			fr.flts[d.rd] = -fr.flts[d.ra]
+			stats.Cycles += int64(d.cost)
+
+		case xSetCmp:
+			if d.evalCond(fr) {
+				fr.ints[d.rd] = 1
 			} else {
-				fr.ints[in.Rd.Index] = a.i
+				fr.ints[d.rd] = 0
 			}
-			m.Stats.Cycles += int64(cost.Move)
-
-		case nisa.Add, nisa.Sub, nisa.Mul, nisa.Div, nisa.Rem, nisa.And, nisa.Or, nisa.Xor, nisa.Shl, nisa.Shr:
-			a := prim.Scalar{I: fr.ints[in.Ra.Index]}
-			b := prim.Scalar{I: fr.ints[in.Rb.Index]}
-			r, err := prim.Binary(cilALUOp(in.Op), in.Kind, a, b)
-			if err != nil {
-				return Value{}, fmt.Errorf("sim: %s @%d: %v", f.Name, pc, err)
+			stats.Cycles += int64(d.cost)
+		case xSelect:
+			src := d.rb
+			if d.evalCond(fr) {
+				src = d.ra
 			}
-			fr.ints[in.Rd.Index] = r.I
-			m.Stats.Cycles += aluCost(cost, in.Op)
-		case nisa.Neg, nisa.Not:
-			a := prim.Scalar{I: fr.ints[in.Ra.Index]}
-			op := cil.Neg
-			if in.Op == nisa.Not {
-				op = cil.Not
-			}
-			r, err := prim.Unary(op, in.Kind, a)
-			if err != nil {
-				return Value{}, fmt.Errorf("sim: %s @%d: %v", f.Name, pc, err)
-			}
-			fr.ints[in.Rd.Index] = r.I
-			m.Stats.Cycles += int64(cost.IntALU)
-
-		case nisa.FAdd, nisa.FSub, nisa.FMul, nisa.FDiv:
-			a := prim.Scalar{F: fr.flts[in.Ra.Index]}
-			b := prim.Scalar{F: fr.flts[in.Rb.Index]}
-			r, err := prim.Binary(cilALUOp(in.Op), in.Kind, a, b)
-			if err != nil {
-				return Value{}, fmt.Errorf("sim: %s @%d: %v", f.Name, pc, err)
-			}
-			fr.flts[in.Rd.Index] = r.F
-			m.Stats.Cycles += fpuCost(cost, in.Op)
-		case nisa.FNeg:
-			fr.flts[in.Rd.Index] = -fr.flts[in.Ra.Index]
-			m.Stats.Cycles += int64(cost.FloatALU)
-
-		case nisa.SetCmp, nisa.Select:
-			res, err := m.compare(fr, in)
-			if err != nil {
-				return Value{}, fmt.Errorf("sim: %s @%d: %v", f.Name, pc, err)
-			}
-			if in.Op == nisa.SetCmp {
-				if res {
-					fr.ints[in.Rd.Index] = 1
-				} else {
-					fr.ints[in.Rd.Index] = 0
-				}
-				m.Stats.Cycles += int64(cost.IntALU)
+			if d.dstFloat {
+				fr.flts[d.rd] = fr.flts[src]
 			} else {
-				src := in.Rb
-				if res {
-					src = in.Ra
-				}
-				if in.Rd.Class == nisa.ClassFloat {
-					fr.flts[in.Rd.Index] = fr.flts[src.Index]
-				} else {
-					fr.ints[in.Rd.Index] = fr.ints[src.Index]
-				}
-				m.Stats.Cycles += 2 * int64(cost.IntALU) // compare + conditional move
+				fr.ints[d.rd] = fr.ints[src]
 			}
+			stats.Cycles += int64(d.cost)
 
-		case nisa.Conv:
+		case xConv:
 			var src prim.Scalar
-			if in.Ra.Class == nisa.ClassFloat {
-				src = prim.Scalar{F: fr.flts[in.Ra.Index]}
+			if d.srcFloat {
+				src = prim.Scalar{F: fr.flts[d.ra]}
 			} else {
-				src = prim.Scalar{I: fr.ints[in.Ra.Index]}
+				src = prim.Scalar{I: fr.ints[d.ra]}
 			}
-			r := prim.Convert(in.SrcKind, in.Kind, src)
-			if in.Rd.Class == nisa.ClassFloat {
-				fr.flts[in.Rd.Index] = r.F
+			r := prim.Convert(d.srcKind, d.kind, src)
+			if d.dstFloat {
+				fr.flts[d.rd] = r.F
 			} else {
-				fr.ints[in.Rd.Index] = r.I
+				fr.ints[d.rd] = r.I
 			}
-			m.Stats.Cycles += int64(cost.Convert)
+			stats.Cycles += int64(d.cost)
 
-		case nisa.Load:
-			addr, err := m.elemAddr(fr, in)
-			if err != nil {
-				return Value{}, fmt.Errorf("sim: %s @%d: %v", f.Name, pc, err)
+		case xLoadInt:
+			addr, ok := m.dAddrOK(fr, d)
+			if !ok {
+				return Value{}, m.memFault(f, pc, fr, d)
 			}
-			s := m.loadScalar(in.Kind, addr)
-			if in.Rd.Class == nisa.ClassFloat {
-				fr.flts[in.Rd.Index] = s.F
+			mem := m.mem
+			var v int64
+			switch d.kind {
+			case cil.Bool:
+				if mem[addr] != 0 {
+					v = 1
+				}
+			case cil.I8:
+				v = int64(int8(mem[addr]))
+			case cil.U8:
+				v = int64(mem[addr])
+			case cil.I16:
+				v = int64(int16(binary.LittleEndian.Uint16(mem[addr:])))
+			case cil.U16:
+				v = int64(binary.LittleEndian.Uint16(mem[addr:]))
+			case cil.I32:
+				v = int64(int32(binary.LittleEndian.Uint32(mem[addr:])))
+			case cil.U32, cil.Ref:
+				v = int64(binary.LittleEndian.Uint32(mem[addr:]))
+			default: // I64, U64
+				v = int64(binary.LittleEndian.Uint64(mem[addr:]))
+			}
+			fr.ints[d.rd] = v
+			stats.Loads++
+			stats.Cycles += int64(d.cost)
+		case xLoadFloat:
+			addr, ok := m.dAddrOK(fr, d)
+			if !ok {
+				return Value{}, m.memFault(f, pc, fr, d)
+			}
+			if d.kind == cil.F32 {
+				fr.flts[d.rd] = float64(math.Float32frombits(binary.LittleEndian.Uint32(m.mem[addr:])))
 			} else {
-				fr.ints[in.Rd.Index] = s.I
+				fr.flts[d.rd] = math.Float64frombits(binary.LittleEndian.Uint64(m.mem[addr:]))
 			}
-			m.Stats.Loads++
-			m.Stats.Cycles += m.memCost(in.Kind, cost.Load)
-		case nisa.Store:
-			addr, err := m.elemAddr(fr, in)
-			if err != nil {
-				return Value{}, fmt.Errorf("sim: %s @%d: %v", f.Name, pc, err)
+			stats.Loads++
+			stats.Cycles += int64(d.cost)
+		case xStoreInt:
+			addr, ok := m.dAddrOK(fr, d)
+			if !ok {
+				return Value{}, m.memFault(f, pc, fr, d)
 			}
-			var s prim.Scalar
-			if in.Rd.Class == nisa.ClassFloat {
-				s = prim.Scalar{F: fr.flts[in.Rd.Index]}
+			mem := m.mem
+			v := fr.ints[d.rd]
+			switch d.kind {
+			case cil.Bool:
+				b := byte(0)
+				if v != 0 {
+					b = 1
+				}
+				mem[addr] = b
+			case cil.I8, cil.U8:
+				mem[addr] = byte(v)
+			case cil.I16, cil.U16:
+				binary.LittleEndian.PutUint16(mem[addr:], uint16(v))
+			case cil.I32, cil.U32, cil.Ref:
+				binary.LittleEndian.PutUint32(mem[addr:], uint32(v))
+			default: // I64, U64
+				binary.LittleEndian.PutUint64(mem[addr:], uint64(v))
+			}
+			stats.Stores++
+			stats.Cycles += int64(d.cost)
+		case xStoreFloat:
+			addr, ok := m.dAddrOK(fr, d)
+			if !ok {
+				return Value{}, m.memFault(f, pc, fr, d)
+			}
+			if d.kind == cil.F32 {
+				binary.LittleEndian.PutUint32(m.mem[addr:], math.Float32bits(float32(fr.flts[d.rd])))
 			} else {
-				s = prim.Scalar{I: fr.ints[in.Rd.Index]}
+				binary.LittleEndian.PutUint64(m.mem[addr:], math.Float64bits(fr.flts[d.rd]))
 			}
-			m.storeScalar(in.Kind, addr, s)
-			m.Stats.Stores++
-			m.Stats.Cycles += m.memCost(in.Kind, cost.Store)
+			stats.Stores++
+			stats.Cycles += int64(d.cost)
 
-		case nisa.SpillLoad:
-			slot := fr.spill[in.Imm]
-			if in.Rd.Class == nisa.ClassFloat {
-				fr.flts[in.Rd.Index] = math.Float64frombits(binary.LittleEndian.Uint64(slot[:8]))
-			} else if in.Rd.Class == nisa.ClassVec {
-				fr.vecs[in.Rd.Index] = slot
-			} else {
-				fr.ints[in.Rd.Index] = int64(binary.LittleEndian.Uint64(slot[:8]))
-			}
-			m.Stats.SpillLoads++
-			m.Stats.Cycles += int64(cost.Load)
-		case nisa.SpillStore:
+		case xSpillLoadInt:
+			slot := fr.spill[d.imm]
+			fr.ints[d.rd] = int64(binary.LittleEndian.Uint64(slot[:8]))
+			stats.SpillLoads++
+			stats.Cycles += int64(d.cost)
+		case xSpillLoadFloat:
+			slot := fr.spill[d.imm]
+			fr.flts[d.rd] = math.Float64frombits(binary.LittleEndian.Uint64(slot[:8]))
+			stats.SpillLoads++
+			stats.Cycles += int64(d.cost)
+		case xSpillLoadVec:
+			fr.vecs[d.rd] = fr.spill[d.imm]
+			stats.SpillLoads++
+			stats.Cycles += int64(d.cost)
+		case xSpillStoreInt:
 			var slot prim.Vec
-			if in.Rd.Class == nisa.ClassFloat {
-				binary.LittleEndian.PutUint64(slot[:8], math.Float64bits(fr.flts[in.Rd.Index]))
-			} else if in.Rd.Class == nisa.ClassVec {
-				slot = fr.vecs[in.Rd.Index]
-			} else {
-				binary.LittleEndian.PutUint64(slot[:8], uint64(fr.ints[in.Rd.Index]))
-			}
-			fr.spill[in.Imm] = slot
-			m.Stats.SpillStores++
-			m.Stats.Cycles += int64(cost.Store)
+			binary.LittleEndian.PutUint64(slot[:8], uint64(fr.ints[d.rd]))
+			fr.spill[d.imm] = slot
+			stats.SpillStores++
+			stats.Cycles += int64(d.cost)
+		case xSpillStoreFloat:
+			var slot prim.Vec
+			binary.LittleEndian.PutUint64(slot[:8], math.Float64bits(fr.flts[d.rd]))
+			fr.spill[d.imm] = slot
+			stats.SpillStores++
+			stats.Cycles += int64(d.cost)
+		case xSpillStoreVec:
+			fr.spill[d.imm] = fr.vecs[d.rd]
+			stats.SpillStores++
+			stats.Cycles += int64(d.cost)
 
-		case nisa.Alloc:
-			n := fr.ints[in.Ra.Index]
+		case xAlloc:
+			n := fr.ints[d.ra]
 			if n < 0 {
 				return Value{}, fmt.Errorf("sim: %s @%d: negative array length %d", f.Name, pc, n)
 			}
-			fr.ints[in.Rd.Index] = m.AllocArray(in.Kind, int(n))
-			m.Stats.Cycles += int64(cost.Call)
-		case nisa.ArrLen:
-			base := fr.ints[in.Ra.Index]
+			fr.ints[d.rd] = m.AllocArray(d.kind, int(n))
+			stats.Cycles += int64(d.cost)
+		case xArrLen:
+			base := fr.ints[d.ra]
 			if base < arrayHeader || int(base) > len(m.mem) {
 				return Value{}, fmt.Errorf("sim: %s @%d: arrlen on invalid address %d", f.Name, pc, base)
 			}
-			fr.ints[in.Rd.Index] = int64(binary.LittleEndian.Uint32(m.mem[base-arrayHeader:]))
-			m.Stats.Cycles += m.memCost(cil.I32, cost.Load)
+			fr.ints[d.rd] = int64(binary.LittleEndian.Uint32(m.mem[base-arrayHeader:]))
+			stats.Cycles += int64(d.cost)
 
-		case nisa.Jump:
-			next = in.Target
-			m.Stats.Branches++
-			m.Stats.Cycles += int64(cost.BranchTaken)
-		case nisa.BranchCmp:
-			res, err := m.compare(fr, in)
-			if err != nil {
-				return Value{}, fmt.Errorf("sim: %s @%d: %v", f.Name, pc, err)
-			}
-			m.Stats.Branches++
-			if res {
-				next = in.Target
-				m.Stats.Cycles += int64(cost.BranchTaken)
+		case xJump:
+			next = int(d.target)
+			stats.Branches++
+			stats.Cycles += int64(d.cost)
+		case xBranchCmp:
+			stats.Branches++
+			if d.evalCond(fr) {
+				next = int(d.target)
+				stats.Cycles += int64(d.cost)
 			} else {
-				m.Stats.Cycles += int64(cost.BranchNotTaken)
+				stats.Cycles += int64(d.cost2)
 			}
 
-		case nisa.Call:
-			callee := m.Program.Func(in.Sym)
-			if callee == nil {
-				return Value{}, fmt.Errorf("sim: %s @%d: unknown callee %q", f.Name, pc, in.Sym)
+		case xCall:
+			if d.callee == nil {
+				return Value{}, fmt.Errorf("sim: %s @%d: %s", f.Name, pc, d.errMsg)
 			}
-			cargs := make([]argval, len(in.Args))
-			for i := range in.Args {
-				if in.ArgSlots != nil && in.ArgSlots[i] >= 0 {
-					slot := fr.spill[in.ArgSlots[i]]
-					cargs[i] = argval{
-						i: int64(binary.LittleEndian.Uint64(slot[:8])),
-						f: math.Float64frombits(binary.LittleEndian.Uint64(slot[:8])),
-					}
-					m.Stats.Cycles += int64(cost.Load)
-					continue
-				}
-				r := in.Args[i]
-				if r.Class == nisa.ClassFloat {
-					cargs[i] = argval{f: fr.flts[r.Index]}
+			cargs := m.frameAt(m.callDep + 1).argBuf(len(d.args))
+			for i := range d.args {
+				src := &d.args[i]
+				if src.slot >= 0 {
+					bits := binary.LittleEndian.Uint64(fr.spill[src.slot][:8])
+					cargs[i] = argval{i: int64(bits), f: math.Float64frombits(bits)}
+				} else if src.float {
+					cargs[i] = argval{f: fr.flts[src.idx]}
 				} else {
-					cargs[i] = argval{i: fr.ints[r.Index]}
+					cargs[i] = argval{i: fr.ints[src.idx]}
 				}
-				m.Stats.Cycles += int64(cost.Move)
 			}
-			m.Stats.Calls++
-			m.Stats.Cycles += int64(cost.Call)
-			ret, err := m.exec(callee, cargs)
+			stats.Cycles += int64(d.cost) // marshalling + call overhead
+			stats.Calls++
+			ret, err := m.exec(d.callee, cargs)
 			if err != nil {
 				return Value{}, err
 			}
-			if in.Rd.Class == nisa.ClassFloat {
-				fr.flts[in.Rd.Index] = ret.F
-			} else if in.Rd.Class == nisa.ClassInt {
-				fr.ints[in.Rd.Index] = ret.I
+			switch d.mode {
+			case retFloat:
+				fr.flts[d.rd] = ret.F
+			case retInt:
+				fr.ints[d.rd] = ret.I
 			}
 
-		case nisa.Ret:
-			m.Stats.Cycles += int64(cost.BranchTaken)
-			var ret Value
-			if in.Ra.Class == nisa.ClassFloat {
-				ret.F = fr.flts[in.Ra.Index]
-			} else if in.Ra.Class == nisa.ClassInt {
-				ret.I = fr.ints[in.Ra.Index]
-			}
-			return ret, nil
+		case xRetInt:
+			stats.Cycles += int64(d.cost)
+			return Value{I: fr.ints[d.ra]}, nil
+		case xRetFloat:
+			stats.Cycles += int64(d.cost)
+			return Value{F: fr.flts[d.ra]}, nil
+		case xRetVoid:
+			stats.Cycles += int64(d.cost)
+			return Value{}, nil
 
-		default:
-			if in.Op.IsVector() {
-				if err := m.execVector(fr, in); err != nil {
-					return Value{}, fmt.Errorf("sim: %s @%d: %v", f.Name, pc, err)
-				}
-				break
+		case xVLoad:
+			stats.VectorOps++
+			addr, ok := m.dAddrOK(fr, d)
+			if !ok {
+				return Value{}, m.memFault(f, pc, fr, d)
 			}
-			return Value{}, fmt.Errorf("sim: %s @%d: unimplemented opcode %s", f.Name, pc, in.Op)
+			var v prim.Vec
+			copy(v[:], m.mem[addr:addr+cil.VecBytes])
+			fr.vecs[d.rd] = v
+			stats.Loads++
+			stats.Cycles += int64(d.cost)
+		case xVStore:
+			stats.VectorOps++
+			addr, ok := m.dAddrOK(fr, d)
+			if !ok {
+				return Value{}, m.memFault(f, pc, fr, d)
+			}
+			v := fr.vecs[d.rd]
+			copy(m.mem[addr:addr+cil.VecBytes], v[:])
+			stats.Stores++
+			stats.Cycles += int64(d.cost)
+		case xVBin:
+			stats.VectorOps++
+			fr.vecs[d.rd] = prim.VecBinaryNoTrap(d.vop, d.kind, fr.vecs[d.ra], fr.vecs[d.rb])
+			stats.Cycles += int64(d.cost)
+		case xVSplatInt:
+			stats.VectorOps++
+			fr.vecs[d.rd] = prim.VecSplat(d.kind, prim.Scalar{I: fr.ints[d.ra]})
+			stats.Cycles += int64(d.cost)
+		case xVSplatFloat:
+			stats.VectorOps++
+			fr.vecs[d.rd] = prim.VecSplat(d.kind, prim.Scalar{F: fr.flts[d.ra]})
+			stats.Cycles += int64(d.cost)
+		case xVRedInt:
+			stats.VectorOps++
+			fr.ints[d.rd] = prim.VecReduceNoTrap(d.vop, d.kind, fr.vecs[d.ra]).I
+			stats.Cycles += int64(d.cost)
+		case xVRedFloat:
+			stats.VectorOps++
+			fr.flts[d.rd] = prim.VecReduceNoTrap(d.vop, d.kind, fr.vecs[d.ra]).F
+			stats.Cycles += int64(d.cost)
+
+		case xAluGeneric:
+			r, err := prim.Binary(d.vop, d.kind, prim.Scalar{I: fr.ints[d.ra]}, prim.Scalar{I: fr.ints[d.rb]})
+			if err != nil {
+				return Value{}, fmt.Errorf("sim: %s @%d: %v", f.Name, pc, err)
+			}
+			fr.ints[d.rd] = r.I
+			stats.Cycles += int64(d.cost)
+		case xUnaryGeneric:
+			r, err := prim.Unary(d.vop, d.kind, prim.Scalar{I: fr.ints[d.ra]})
+			if err != nil {
+				return Value{}, fmt.Errorf("sim: %s @%d: %v", f.Name, pc, err)
+			}
+			fr.ints[d.rd] = r.I
+			stats.Cycles += int64(d.cost)
+		case xFpuGeneric:
+			r, err := prim.Binary(d.vop, d.kind, prim.Scalar{F: fr.flts[d.ra]}, prim.Scalar{F: fr.flts[d.rb]})
+			if err != nil {
+				return Value{}, fmt.Errorf("sim: %s @%d: %v", f.Name, pc, err)
+			}
+			fr.flts[d.rd] = r.F
+			stats.Cycles += int64(d.cost)
+		case xLoadGeneric:
+			addr, ok := m.dAddrOK(fr, d)
+			if !ok {
+				return Value{}, m.memFault(f, pc, fr, d)
+			}
+			s := m.loadScalar(d.kind, int(addr))
+			if d.dstFloat {
+				fr.flts[d.rd] = s.F
+			} else {
+				fr.ints[d.rd] = s.I
+			}
+			stats.Loads++
+			stats.Cycles += int64(d.cost)
+		case xStoreGeneric:
+			addr, ok := m.dAddrOK(fr, d)
+			if !ok {
+				return Value{}, m.memFault(f, pc, fr, d)
+			}
+			var s prim.Scalar
+			if d.srcFloat {
+				s = prim.Scalar{F: fr.flts[d.rd]}
+			} else {
+				s = prim.Scalar{I: fr.ints[d.rd]}
+			}
+			m.storeScalar(d.kind, int(addr), s)
+			stats.Stores++
+			stats.Cycles += int64(d.cost)
+
+		default: // xTrap
+			return Value{}, fmt.Errorf("sim: %s @%d: %s", f.Name, pc, d.errMsg)
 		}
 		pc = next
 	}
 }
 
-func (fr *frame) setInt(r nisa.Reg, v int64) { fr.ints[r.Index] = v }
-
-// compare evaluates the condition of SetCmp, Select and BranchCmp.
-func (m *Machine) compare(fr *frame, in *nisa.Instr) (bool, error) {
-	var a, b prim.Scalar
-	if in.Ra.Class == nisa.ClassFloat {
-		a, b = prim.Scalar{F: fr.flts[in.Ra.Index]}, prim.Scalar{F: fr.flts[in.Rb.Index]}
-	} else {
-		a, b = prim.Scalar{I: fr.ints[in.Ra.Index]}, prim.Scalar{I: fr.ints[in.Rb.Index]}
-	}
-	return prim.Compare(cilCondOp(in.Cond), in.Kind, a, b)
-}
-
-// elemAddr computes the effective address of an indexed access and checks it
-// against the heap bounds.
-func (m *Machine) elemAddr(fr *frame, in *nisa.Instr) (int, error) {
-	base := fr.ints[in.Ra.Index]
-	idx := fr.ints[in.Rb.Index] + in.Imm
-	addr := base + idx*int64(in.Kind.Size())
-	span := int64(in.Kind.Size())
-	if in.Op == nisa.VLoad || in.Op == nisa.VStore {
-		span = cil.VecBytes
-	}
-	if base == 0 {
-		return 0, fmt.Errorf("null reference access")
-	}
-	if addr < arrayHeader || addr+span > int64(len(m.mem)) {
-		return 0, fmt.Errorf("memory access at %d (+%d) outside the heap of %d bytes", addr, span, len(m.mem))
-	}
-	return int(addr), nil
-}
-
+// loadScalar is the generic scalar load used by the slow path (unusual
+// kind/class combinations); the common kinds load directly in the dispatch
+// loop.
 func (m *Machine) loadScalar(k cil.Kind, addr int) prim.Scalar {
 	var vec prim.Vec
 	copy(vec[:k.Size()], m.mem[addr:addr+k.Size()])
 	return prim.LaneGet(k, vec, 0)
 }
 
+// storeScalar is the generic scalar store counterpart of loadScalar.
 func (m *Machine) storeScalar(k cil.Kind, addr int, s prim.Scalar) {
 	var vec prim.Vec
 	prim.LaneSet(k, &vec, 0, s)
@@ -509,119 +741,4 @@ func fpuCost(c *target.CostModel, op nisa.Op) int64 {
 	default:
 		return int64(c.FloatALU)
 	}
-}
-
-// cilALUOp maps native ALU opcodes back to the shared primitive semantics.
-func cilALUOp(op nisa.Op) cil.Opcode {
-	switch op {
-	case nisa.Add, nisa.FAdd:
-		return cil.Add
-	case nisa.Sub, nisa.FSub:
-		return cil.Sub
-	case nisa.Mul, nisa.FMul:
-		return cil.Mul
-	case nisa.Div, nisa.FDiv:
-		return cil.Div
-	case nisa.Rem:
-		return cil.Rem
-	case nisa.And:
-		return cil.And
-	case nisa.Or:
-		return cil.Or
-	case nisa.Xor:
-		return cil.Xor
-	case nisa.Shl:
-		return cil.Shl
-	case nisa.Shr:
-		return cil.Shr
-	}
-	return cil.Nop
-}
-
-func cilCondOp(c nisa.Cond) cil.Opcode {
-	switch c {
-	case nisa.CondEq:
-		return cil.CmpEq
-	case nisa.CondNe:
-		return cil.CmpNe
-	case nisa.CondLt:
-		return cil.CmpLt
-	case nisa.CondLe:
-		return cil.CmpLe
-	case nisa.CondGt:
-		return cil.CmpGt
-	default:
-		return cil.CmpGe
-	}
-}
-
-// execVector executes one native vector instruction.
-func (m *Machine) execVector(fr *frame, in *nisa.Instr) error {
-	c := &m.Target.Cost
-	if !m.Target.HasSIMD {
-		return fmt.Errorf("vector instruction %s on a target without a vector unit", in.Op)
-	}
-	m.Stats.VectorOps++
-	switch in.Op {
-	case nisa.VLoad:
-		addr, err := m.elemAddr(fr, in)
-		if err != nil {
-			return err
-		}
-		var v prim.Vec
-		copy(v[:], m.mem[addr:addr+cil.VecBytes])
-		fr.vecs[in.Rd.Index] = v
-		m.Stats.Loads++
-		m.Stats.Cycles += int64(c.VecLoad + c.AddrCalcPenalty)
-	case nisa.VStore:
-		addr, err := m.elemAddr(fr, in)
-		if err != nil {
-			return err
-		}
-		v := fr.vecs[in.Rd.Index]
-		copy(m.mem[addr:addr+cil.VecBytes], v[:])
-		m.Stats.Stores++
-		m.Stats.Cycles += int64(c.VecStore + c.AddrCalcPenalty)
-	case nisa.VAdd, nisa.VSub, nisa.VMul, nisa.VMax, nisa.VMin:
-		op := map[nisa.Op]cil.Opcode{
-			nisa.VAdd: cil.VAdd, nisa.VSub: cil.VSub, nisa.VMul: cil.VMul,
-			nisa.VMax: cil.VMax, nisa.VMin: cil.VMin,
-		}[in.Op]
-		r, err := prim.VecBinary(op, in.Kind, fr.vecs[in.Ra.Index], fr.vecs[in.Rb.Index])
-		if err != nil {
-			return err
-		}
-		fr.vecs[in.Rd.Index] = r
-		if in.Op == nisa.VMul {
-			m.Stats.Cycles += int64(c.VecMul)
-		} else {
-			m.Stats.Cycles += int64(c.VecALU)
-		}
-	case nisa.VSplat:
-		var s prim.Scalar
-		if in.Ra.Class == nisa.ClassFloat {
-			s = prim.Scalar{F: fr.flts[in.Ra.Index]}
-		} else {
-			s = prim.Scalar{I: fr.ints[in.Ra.Index]}
-		}
-		fr.vecs[in.Rd.Index] = prim.VecSplat(in.Kind, s)
-		m.Stats.Cycles += int64(c.VecSplat)
-	case nisa.VRedAdd, nisa.VRedMax, nisa.VRedMin:
-		op := map[nisa.Op]cil.Opcode{
-			nisa.VRedAdd: cil.VRedAdd, nisa.VRedMax: cil.VRedMax, nisa.VRedMin: cil.VRedMin,
-		}[in.Op]
-		s, err := prim.VecReduce(op, in.Kind, fr.vecs[in.Ra.Index])
-		if err != nil {
-			return err
-		}
-		if in.Rd.Class == nisa.ClassFloat {
-			fr.flts[in.Rd.Index] = s.F
-		} else {
-			fr.ints[in.Rd.Index] = s.I
-		}
-		m.Stats.Cycles += int64(c.VecReduce)
-	default:
-		return fmt.Errorf("unimplemented vector opcode %s", in.Op)
-	}
-	return nil
 }

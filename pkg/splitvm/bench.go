@@ -55,6 +55,19 @@ func RunCodeSize() (*CodeSizeReport, error) { return bench.RunCodeSize() }
 // both placement policies and compares end-to-end cycles.
 func RunHetero(opts HeteroOptions) (*HeteroReport, error) { return bench.RunHetero(opts) }
 
+// HostOptions parameterizes the host-throughput measurement.
+type HostOptions = bench.HostOptions
+
+// HostReport measures how fast the simulator itself runs on this host
+// (wall-clock ns/run, allocs/run, simulated instructions per host-second).
+type HostReport = bench.HostReport
+
+// RunHost measures the simulator's host throughput over the Table 1 kernels
+// and targets. Unlike the other experiments its numbers are host-dependent:
+// they are recorded in the results artifact for trend tracking but ignored
+// by CompareResults.
+func RunHost(opts HostOptions) (*HostReport, error) { return bench.RunHost(opts) }
+
 // RunScalarizationAblation returns cycles(forced-scalarized)/cycles(SIMD)
 // for one kernel on the SIMD-capable x86 target.
 func RunScalarizationAblation(kernel string, n int) (float64, error) {

@@ -1,0 +1,63 @@
+// Command annocorpus maintains the golden annotation corpus: the checked-in
+// encoded module streams (internal/anno/testdata/annocorpus/) that pin every
+// annotation encoding the toolchain has ever shipped.
+//
+// -check regenerates every corpus subject with the current encoder and fails
+// when its bytes are not already checked in — the CI `compat` job runs it so
+// a PR that changes any annotation encoding must also add the stream it now
+// produces (old streams are immutable: they stand for the installed base).
+// -update adds the missing streams and refreshes the manifest.
+//
+// Usage:
+//
+//	annocorpus -check [-dir internal/anno/testdata/annocorpus]
+//	annocorpus -update [-dir internal/anno/testdata/annocorpus]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/corpus"
+)
+
+func main() {
+	dir := flag.String("dir", "internal/anno/testdata/annocorpus", "corpus directory")
+	check := flag.Bool("check", false, "fail if the current encoder's output is not in the corpus")
+	update := flag.Bool("update", false, "add the current encoder's output to the corpus")
+	flag.Parse()
+
+	switch {
+	case *check == *update:
+		fmt.Fprintln(os.Stderr, "annocorpus: pass exactly one of -check or -update")
+		os.Exit(2)
+	case *update:
+		added, err := corpus.Update(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "annocorpus: %v\n", err)
+			os.Exit(1)
+		}
+		if len(added) == 0 {
+			fmt.Println("annocorpus: corpus already covers the current encoder output")
+			return
+		}
+		for _, f := range added {
+			fmt.Printf("annocorpus: added %s\n", f)
+		}
+		fmt.Printf("annocorpus: %d stream(s) added; commit them together with the encoder change\n", len(added))
+	case *check:
+		problems, err := corpus.Check(*dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "annocorpus: %v\n", err)
+			os.Exit(1)
+		}
+		if len(problems) > 0 {
+			for _, p := range problems {
+				fmt.Fprintf(os.Stderr, "annocorpus: %s\n", p)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("annocorpus: corpus covers the current encoder output")
+	}
+}

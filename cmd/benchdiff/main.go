@@ -16,7 +16,6 @@
 package main
 
 import (
-	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -40,25 +39,19 @@ func main() {
 	}
 	if *update {
 		// The baseline only gates the deterministic simulated metrics, so
-		// strip the machine-dependent host-throughput section: committing
-		// the refresher's wall-clock numbers would be meaningless churn.
-		cur, err := splitvm.ParseResults(current)
+		// strip every non-gated section generically (host throughput,
+		// annotation trajectory, whatever is added next): committing
+		// tracked-only numbers would be meaningless churn on every refresh.
+		data, err := splitvm.StripUngatedResults(current)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "benchdiff: current: %v\n", err)
 			os.Exit(2)
 		}
-		cur.Host = nil
-		data, err := json.MarshalIndent(cur, "", "  ")
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
-			os.Exit(2)
-		}
-		data = append(data, '\n')
 		if err := os.WriteFile(*baselinePath, data, 0o644); err != nil {
 			fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
 			os.Exit(2)
 		}
-		fmt.Printf("benchdiff: baseline %s refreshed from %s (host-throughput section excluded)\n", *baselinePath, *currentPath)
+		fmt.Printf("benchdiff: baseline %s refreshed from %s (non-gated sections excluded)\n", *baselinePath, *currentPath)
 		return
 	}
 	baseline, err := os.ReadFile(*baselinePath)

@@ -15,7 +15,7 @@
 //
 // Usage:
 //
-//	dacbench -exp table1|figure1|regalloc|codesize|hetero|host|all [-n 4096] [-frames 8]
+//	dacbench -exp table1|figure1|regalloc|codesize|hetero|host|anno|all [-n 4096] [-frames 8]
 //	         [-json BENCH_results.json] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 package main
 
@@ -31,7 +31,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, figure1, regalloc, codesize, hetero, host or all")
+	exp := flag.String("exp", "all", "experiment to run: table1, figure1, regalloc, codesize, hetero, host, anno or all")
 	n := flag.Int("n", 4096, "elements per kernel invocation (table1, host)")
 	frames := flag.Int("frames", 8, "frames for the heterogeneous scenario")
 	hostRuns := flag.Int("hostruns", 16, "timed executions per cell of the host-throughput experiment")
@@ -116,6 +116,13 @@ func main() {
 			}
 			res.Host = r
 			fmt.Println(r)
+		case "anno":
+			r, err := splitvm.RunAnno()
+			if err != nil {
+				return err
+			}
+			res.Anno = r
+			fmt.Println(r)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -124,7 +131,7 @@ func main() {
 
 	experiments := []string{*exp}
 	if *exp == "all" {
-		experiments = []string{"table1", "figure1", "regalloc", "codesize", "hetero", "host"}
+		experiments = []string{"table1", "figure1", "regalloc", "codesize", "hetero", "host", "anno"}
 	}
 	for _, e := range experiments {
 		if err := run(e); err != nil {

@@ -1,10 +1,13 @@
 // Command svdis disassembles an encoded bytecode module: signatures, locals,
-// annotations and the instruction stream. With -native it also prints the
-// native code a JIT would generate for the given target.
+// annotations and the instruction stream. With -anno it dumps the annotation
+// envelopes — declared versions, section tables, and whether this build's
+// reader supports each stream. With -native it also prints the native code a
+// JIT would generate for the given target.
 //
 // Usage:
 //
 //	svdis app.svbc
+//	svdis -anno app.svbc
 //	svdis -native -target powerpc app.svbc
 package main
 
@@ -19,6 +22,7 @@ import (
 
 func main() {
 	native := flag.Bool("native", false, "also print the JIT-generated native code")
+	annoDump := flag.Bool("anno", false, "dump the annotation envelopes (versions, sections, support)")
 	arch := flag.String("target", string(target.X86SSE), "target architecture for -native")
 	flag.Parse()
 	if flag.NArg() < 1 {
@@ -36,7 +40,11 @@ func main() {
 		fmt.Fprintf(os.Stderr, "svdis: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Print(mod.Disassemble())
+	if *annoDump {
+		dumpAnnotations(mod)
+	} else {
+		fmt.Print(mod.Disassemble())
+	}
 	if !*native {
 		return
 	}
@@ -47,4 +55,33 @@ func main() {
 	}
 	fmt.Println()
 	fmt.Print(dep.DisassembleNative())
+}
+
+// dumpAnnotations renders the per-method annotation versions recorded at
+// load time: one line per annotation value, with the envelope's section
+// table and the negotiation verdict of this build's reader.
+func dumpAnnotations(mod *splitvm.Module) {
+	infos := mod.AnnotationInfo()
+	fmt.Printf("module %s: %d annotation value(s)\n", mod.Name(), len(infos))
+	for _, info := range infos {
+		owner := info.Method
+		if owner == "" {
+			owner = "<module>"
+		}
+		form := "v0 legacy stream"
+		switch {
+		case info.Enveloped && info.Version == 0 && !info.Supported:
+			form = "envelope" // unreadable: no trustworthy version to print
+		case info.Enveloped:
+			form = fmt.Sprintf("v%d envelope", info.Version)
+		}
+		verdict := "ok"
+		if !info.Supported {
+			verdict = "FALLBACK: " + info.Reason
+		}
+		fmt.Printf("  %-12s %-16s %-14s %4d bytes  %s\n", owner, info.Key, form, info.Bytes, verdict)
+		for _, s := range info.Sections {
+			fmt.Printf("  %-12s   section %s@%d (%d bytes)\n", "", s.Name, s.Version, s.Bytes)
+		}
+	}
 }

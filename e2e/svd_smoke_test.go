@@ -1,0 +1,203 @@
+// Package e2e exercises the shipped binaries end to end — real processes,
+// real sockets — where the unit suites stop at httptest. The tests are
+// opt-in via SVD_SMOKE=1 (CI's svd-smoke job sets it) so the ordinary
+// `go test ./...` tier stays hermetic and fast.
+package e2e
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+)
+
+// TestSVDSmokeBinary boots cmd/svd as a real process and walks the deploy
+// lifecycle the README documents: upload a module, batch-deploy it to two
+// targets, invoke an entry point, and read /v1/stats. The uploaded module is
+// the corpus's synthetic version-99 stream, so the walk also proves the
+// annotation-fallback path end to end: both deployments must degrade to
+// online-only compilation, succeed anyway, and show up in the stats
+// counter.
+func TestSVDSmokeBinary(t *testing.T) {
+	if os.Getenv("SVD_SMOKE") == "" {
+		t.Skip("set SVD_SMOKE=1 to run the svd binary smoke test")
+	}
+
+	bin := filepath.Join(t.TempDir(), "svd")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/svd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building svd: %v\n%s", err, out)
+	}
+
+	addr := freeAddr(t)
+	cmd := exec.Command(bin, "-addr", addr)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting svd: %v", err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	defer func() {
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		select {
+		case err := <-exited:
+			if err != nil {
+				t.Errorf("svd exited uncleanly after SIGTERM: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			_ = cmd.Process.Kill()
+			t.Error("svd did not drain within 15s of SIGTERM")
+		}
+	}()
+
+	base := "http://" + addr
+	waitHealthy(t, base, exited)
+
+	// Upload the synthetic future stream: regalloc section declares v99.
+	stream, err := corpus.Generate(corpus.SyntheticKernel, corpus.SyntheticVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var upload struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, base+"/v1/modules", stream, http.StatusCreated, &upload)
+	if upload.ID == "" {
+		t.Fatal("upload returned no module id")
+	}
+
+	// Batch deploy on a SIMD desktop core and the MCU.
+	deployReq, _ := json.Marshal(map[string]any{
+		"module":  upload.ID,
+		"targets": []string{"x86-sse", "mcu"},
+	})
+	var deploy struct {
+		Deployments []struct {
+			ID                  string `json:"id"`
+			Target              string `json:"target"`
+			AnnotationFallbacks int    `json:"annotation_fallbacks"`
+		} `json:"deployments"`
+	}
+	postJSON(t, base+"/v1/deploy", deployReq, http.StatusCreated, &deploy)
+	if len(deploy.Deployments) != 2 {
+		t.Fatalf("deployed %d machines, want 2", len(deploy.Deployments))
+	}
+	for _, d := range deploy.Deployments {
+		if d.AnnotationFallbacks < 1 {
+			t.Errorf("deployment %s on %s: annotation_fallbacks = %d, want >= 1 (v99 stream must degrade)",
+				d.ID, d.Target, d.AnnotationFallbacks)
+		}
+	}
+
+	// The degraded deployments still run correctly: work(12) = sum i^2 = 506.
+	runReq, _ := json.Marshal(map[string]any{
+		"entry": corpus.SyntheticEntryPoint,
+		"args":  []string{"12"},
+	})
+	for _, d := range deploy.Deployments {
+		var run struct {
+			Value  int64 `json:"value"`
+			Cycles int64 `json:"cycles"`
+		}
+		postJSON(t, fmt.Sprintf("%s/v1/deployments/%s/run", base, d.ID), runReq, http.StatusOK, &run)
+		if run.Value != 506 {
+			t.Errorf("work(12) on %s = %d, want 506", d.Target, run.Value)
+		}
+		if run.Cycles <= 0 {
+			t.Errorf("run on %s reported %d cycles", d.Target, run.Cycles)
+		}
+	}
+
+	// The fallback compilations are visible in the stats counter.
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var stats struct {
+		Compile struct {
+			Compilations         int64 `json:"compilations"`
+			FallbackCompilations int64 `json:"fallback_compilations"`
+		} `json:"compile"`
+		Deployments int `json:"deployments"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats.Compile.FallbackCompilations < 1 {
+		t.Errorf("/v1/stats compile.fallback_compilations = %d, want >= 1", stats.Compile.FallbackCompilations)
+	}
+	if stats.Compile.Compilations < 2 {
+		t.Errorf("/v1/stats compile.compilations = %d, want >= 2 (two targets JIT-compiled)", stats.Compile.Compilations)
+	}
+	if stats.Deployments != 2 {
+		t.Errorf("/v1/stats deployments = %d, want 2", stats.Deployments)
+	}
+}
+
+// freeAddr reserves an ephemeral localhost port and releases it for svd.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// waitHealthy polls /healthz until the server answers (or the process dies).
+func waitHealthy(t *testing.T, base string, exited chan error) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for time.Now().Before(deadline) {
+		select {
+		case err := <-exited:
+			exited <- err // keep it observable for the shutdown check
+			t.Fatalf("svd exited before becoming healthy: %v", err)
+		default:
+		}
+		resp, err := http.Get(base + "/healthz")
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	t.Fatal("svd did not become healthy within 15s")
+}
+
+// postJSON posts a body, asserts the status and decodes the response.
+func postJSON(t *testing.T, url string, body []byte, wantStatus int, out any) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatalf("POST %s: reading body: %v", url, err)
+	}
+	if resp.StatusCode != wantStatus {
+		t.Fatalf("POST %s: status %d, want %d; body: %s", url, resp.StatusCode, wantStatus, buf.String())
+	}
+	if out != nil {
+		if err := json.Unmarshal(buf.Bytes(), out); err != nil {
+			t.Fatalf("POST %s: decoding %s: %v", url, buf.String(), err)
+		}
+	}
+}

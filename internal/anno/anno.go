@@ -20,6 +20,13 @@
 //
 // Annotations are advisory. A JIT that ignores them must still generate
 // correct code; it merely loses compile-time or code quality.
+//
+// Annotation values are versioned (see version.go and
+// internal/anno/envelope): v0 is the original bare encoding below,
+// grandfathered forever; newer schemas travel in a self-describing envelope
+// and are negotiated per section at load time. A reader that meets bytes
+// from the future falls back to online-only compilation for that aspect —
+// never a hard error, because the installed base must keep deploying.
 package anno
 
 import (
@@ -106,6 +113,12 @@ type RegAllocInfo struct {
 	NumSlots int
 	// Intervals is sorted by decreasing Weight (ties by Slot).
 	Intervals []SlotInterval
+	// Classes records the register class of every slot (indexed by slot
+	// number, length NumSlots). It is the v1 schema extension: with it the
+	// online allocator partitions the intervals per register class directly
+	// instead of re-deriving each slot's class from the bytecode types. Nil
+	// for v0 streams; always advisory.
+	Classes []SpillClass
 }
 
 // HWReq is the hardware requirement/affinity annotation used by the
@@ -321,55 +334,39 @@ func DecodeHWReq(data []byte) (*HWReq, error) {
 // ---- convenience accessors on methods --------------------------------------
 
 // VectorInfoOf returns the method's vectorization annotation, or nil if the
-// method carries none (or it fails to decode, in which case the annotation
-// is treated as absent: annotations are advisory).
+// method carries none (or it cannot be negotiated — malformed, or from the
+// future — in which case the annotation is treated as absent: annotations
+// are advisory). Both legacy v0 streams and enveloped values are understood.
 func VectorInfoOf(m *cil.Method) *VectorInfo {
-	data, ok := m.Annotation(KeyVector)
-	if !ok {
-		return nil
-	}
-	v, err := DecodeVectorInfo(data)
-	if err != nil {
-		return nil
-	}
+	v, _, _ := ReadVectorInfo(m, 0)
 	return v
 }
 
 // RegAllocInfoOf returns the method's register-allocation annotation, or nil.
 func RegAllocInfoOf(m *cil.Method) *RegAllocInfo {
-	data, ok := m.Annotation(KeyRegAlloc)
-	if !ok {
-		return nil
-	}
-	v, err := DecodeRegAllocInfo(data)
-	if err != nil {
-		return nil
-	}
+	v, _, _ := ReadRegAllocInfo(m, 0)
 	return v
 }
 
 // HWReqOf returns the method's hardware-requirement annotation, or nil.
 func HWReqOf(m *cil.Method) *HWReq {
-	data, ok := m.Annotation(KeyHWReq)
-	if !ok {
-		return nil
-	}
-	v, err := DecodeHWReq(data)
-	if err != nil {
-		return nil
-	}
+	v, _, _ := ReadHWReq(m, 0)
 	return v
 }
 
-// AttachVectorInfo stores the vectorization annotation on the method.
+// AttachVectorInfo stores the vectorization annotation on the method in the
+// legacy v0 encoding (see AttachVectorInfoV for versioned streams).
 func AttachVectorInfo(m *cil.Method, v *VectorInfo) { m.SetAnnotation(KeyVector, EncodeVectorInfo(v)) }
 
-// AttachRegAllocInfo stores the register-allocation annotation on the method.
+// AttachRegAllocInfo stores the register-allocation annotation on the method
+// in the legacy v0 encoding, which has no room for the spill-class metadata
+// (see AttachRegAllocInfoV).
 func AttachRegAllocInfo(m *cil.Method, v *RegAllocInfo) {
 	m.SetAnnotation(KeyRegAlloc, EncodeRegAllocInfo(v))
 }
 
-// AttachHWReq stores the hardware-requirement annotation on the method.
+// AttachHWReq stores the hardware-requirement annotation on the method in
+// the legacy v0 encoding (see AttachHWReqV).
 func AttachHWReq(m *cil.Method, v *HWReq) { m.SetAnnotation(KeyHWReq, EncodeHWReq(v)) }
 
 // TotalAnnotationBytes returns the number of annotation payload bytes in the

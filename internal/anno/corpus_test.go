@@ -1,0 +1,69 @@
+package anno_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/corpus"
+)
+
+const corpusDir = "testdata/annocorpus"
+
+// TestCorpus is the compatibility gate over the golden annotation corpus:
+// every checked-in byte stream — v0 streams predating the versioned
+// envelope, v1 streams, and the synthetic version-99 stream from the future
+// — must still decode with the current reader and deploy with results
+// identical to online-only compilation. The synthetic stream must degrade
+// to online-only compilation with the fallback surfaced, never an error.
+func TestCorpus(t *testing.T) {
+	man, err := corpus.LoadManifest(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Entries) == 0 {
+		t.Fatalf("empty corpus in %s: regenerate with `go run ./cmd/annocorpus -update`", corpusDir)
+	}
+	versions := map[uint32]bool{}
+	for _, e := range man.Entries {
+		versions[e.Version] = true
+		e := e
+		t.Run(e.File, func(t *testing.T) {
+			if err := corpus.VerifyEntry(corpusDir, e); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	// The corpus must keep covering both shipped writer versions and the
+	// future stream; losing one silently would hollow out the gate.
+	for _, want := range []uint32{0, 1, corpus.SyntheticVersion} {
+		if !versions[want] {
+			t.Errorf("corpus has no version-%d entry", want)
+		}
+	}
+}
+
+// TestCorpusFilesMatchManifest guards the corpus directory itself: every
+// file is indexed and unmodified (checked-in streams are immutable).
+func TestCorpusFilesMatchManifest(t *testing.T) {
+	man, err := corpus.LoadManifest(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed := map[string]bool{corpus.ManifestName: true}
+	for _, e := range man.Entries {
+		indexed[e.File] = true
+		if _, err := os.Stat(filepath.Join(corpusDir, e.File)); err != nil {
+			t.Errorf("manifest entry %s: %v", e.File, err)
+		}
+	}
+	files, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range files {
+		if !f.IsDir() && !indexed[f.Name()] {
+			t.Errorf("stray file %s not indexed in %s", f.Name(), corpus.ManifestName)
+		}
+	}
+}

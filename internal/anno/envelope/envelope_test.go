@@ -1,0 +1,143 @@
+package envelope
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func sample() *Envelope {
+	return &Envelope{Sections: []Section{
+		{Name: "regalloc", Version: 1, Payload: []byte{1, 2, 3, 4}},
+		{Name: "spillclass", Version: 1, Payload: []byte{9}},
+		{Name: "empty", Version: 3, Payload: nil},
+	}}
+}
+
+func TestRoundTrip(t *testing.T) {
+	enc := Encode(sample())
+	if !Is(enc) {
+		t.Fatal("encoded envelope does not carry the magic")
+	}
+	e, err := Parse(enc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Container != ContainerVersion {
+		t.Errorf("container = %d, want %d", e.Container, ContainerVersion)
+	}
+	if len(e.Sections) != 3 {
+		t.Fatalf("got %d sections, want 3", len(e.Sections))
+	}
+	if s := e.Section("regalloc"); s == nil || s.Version != 1 || !bytes.Equal(s.Payload, []byte{1, 2, 3, 4}) {
+		t.Errorf("regalloc section mismatch: %+v", s)
+	}
+	if s := e.Section("empty"); s == nil || s.Version != 3 || len(s.Payload) != 0 {
+		t.Errorf("empty section mismatch: %+v", s)
+	}
+	if e.Section("absent") != nil {
+		t.Error("lookup of absent section succeeded")
+	}
+}
+
+func TestParseRejectsLegacy(t *testing.T) {
+	for _, data := range [][]byte{nil, {}, {1}, []byte("SVA"), []byte("not an envelope")} {
+		if _, err := Parse(data); !errors.Is(err, ErrNotEnvelope) {
+			t.Errorf("Parse(%q) = %v, want ErrNotEnvelope", data, err)
+		}
+		if Is(data) {
+			t.Errorf("Is(%q) = true", data)
+		}
+	}
+}
+
+func TestParseTooNewContainer(t *testing.T) {
+	enc := Encode(&Envelope{Container: ContainerVersion + 1})
+	e, err := Parse(enc)
+	if !errors.Is(err, ErrTooNew) {
+		t.Fatalf("err = %v, want ErrTooNew", err)
+	}
+	if e == nil || e.Container != ContainerVersion+1 {
+		t.Errorf("envelope should carry the declared container version, got %+v", e)
+	}
+}
+
+func TestParseRejectsCorruption(t *testing.T) {
+	enc := Encode(sample())
+	cases := map[string][]byte{
+		"truncated header":   enc[:5],
+		"truncated table":    enc[:8],
+		"truncated payloads": enc[:len(enc)-2],
+		"trailing bytes":     append(append([]byte(nil), enc...), 0xAA),
+	}
+	// Flip one payload byte: checksum must catch it.
+	flipped := append([]byte(nil), enc...)
+	flipped[len(flipped)-1] ^= 0xFF
+	cases["checksum mismatch"] = flipped
+
+	for name, data := range cases {
+		_, err := Parse(data)
+		if err == nil || errors.Is(err, ErrNotEnvelope) || errors.Is(err, ErrTooNew) {
+			t.Errorf("%s: err = %v, want a corruption error", name, err)
+		}
+	}
+}
+
+func TestParseRejectsAbsurdLengths(t *testing.T) {
+	// A section declaring a payload far beyond the input must error without
+	// allocating it.
+	data := []byte(Magic)
+	data = append(data, ContainerVersion)
+	data = append(data, 1)                               // one section
+	data = append(data, 1, 'x')                          // name "x"
+	data = append(data, 1)                               // version 1
+	data = append(data, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 7) // huge uvarint length
+	data = append(data, 0, 0, 0, 0)                      // "checksum"
+	if _, err := Parse(data); err == nil {
+		t.Error("absurd payload length accepted")
+	}
+
+	// An implausible section count is rejected before allocation.
+	data = []byte(Magic)
+	data = append(data, ContainerVersion)
+	data = append(data, 0xFF, 0xFF, 0x3F) // count ~1M
+	if _, err := Parse(data); err == nil {
+		t.Error("absurd section count accepted")
+	}
+}
+
+func TestEncodePanicsOnReaderLimits(t *testing.T) {
+	expectPanic := func(name string, e *Envelope) {
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: Encode did not panic", name)
+			}
+		}()
+		Encode(e)
+	}
+	tooMany := &Envelope{Sections: make([]Section, maxSections+1)}
+	for i := range tooMany.Sections {
+		tooMany.Sections[i].Name = "s"
+	}
+	expectPanic("too many sections", tooMany)
+	expectPanic("oversized name", &Envelope{Sections: []Section{
+		{Name: string(make([]byte, maxNameLen+1)), Version: 1},
+	}})
+}
+
+func TestDeclaredVersion(t *testing.T) {
+	if v, env := DeclaredVersion([]byte{1, 2, 3}); v != 0 || env {
+		t.Errorf("legacy: got (%d, %v)", v, env)
+	}
+	if v, env := DeclaredVersion(Encode(sample())); v != 3 || !env {
+		t.Errorf("enveloped: got (%d, %v), want (3, true)", v, env)
+	}
+	if v, env := DeclaredVersion(Encode(&Envelope{Container: 9})); v != 9 || !env {
+		t.Errorf("future container: got (%d, %v), want (9, true)", v, env)
+	}
+	corrupt := Encode(sample())
+	corrupt[len(corrupt)-1] ^= 0xFF
+	if v, env := DeclaredVersion(corrupt); v != 0 || !env {
+		t.Errorf("corrupt: got (%d, %v), want (0, true)", v, env)
+	}
+}

@@ -1,0 +1,96 @@
+package anno
+
+import (
+	"testing"
+
+	"repro/internal/anno/envelope"
+	"repro/internal/cil"
+)
+
+// FuzzEnvelope drives arbitrary bytes through the whole annotation read
+// path: the container parser and every negotiated reader. The invariants
+// are the deployment-side survival rules — truncated section tables, bad
+// checksums and absurd declared lengths must come back as errors or
+// fallback outcomes, never as panics or huge allocations — and that
+// anything the writers produce round-trips.
+//
+// Run locally with:
+//
+//	go test -fuzz=FuzzEnvelope -fuzztime=30s ./internal/anno/
+//
+// CI (the compat job) executes the seed corpus on every run.
+func FuzzEnvelope(f *testing.F) {
+	// Seeds: every writer output plus targeted corruptions.
+	ra := &RegAllocInfo{
+		NumSlots:  3,
+		Intervals: []SlotInterval{{Slot: 0, Start: 0, End: 9, Weight: 42}},
+		Classes:   []SpillClass{SpillClassInt, SpillClassFloat, SpillClassVec},
+	}
+	vi := &VectorInfo{Loops: []VectorLoop{{LoopID: 0, Elem: cil.U8, Lanes: 16, Pattern: PatternReduceMax}}}
+	hw := &HWReq{UsesVector: true, VectorKinds: []cil.Kind{cil.U8}, EstimatedWork: 7}
+	for _, version := range []uint32{V0, V1} {
+		for _, enc := range [][]byte{
+			mustEncode(f, func() ([]byte, error) { return EncodeRegAllocInfoV(ra, version) }),
+			mustEncode(f, func() ([]byte, error) { return EncodeVectorInfoV(vi, version) }),
+			mustEncode(f, func() ([]byte, error) { return EncodeHWReqV(hw, version) }),
+		} {
+			f.Add(enc)
+			if len(enc) > 2 {
+				f.Add(enc[:len(enc)/2]) // truncation
+				flipped := append([]byte(nil), enc...)
+				flipped[len(flipped)-1] ^= 0xFF // checksum / payload corruption
+				f.Add(flipped)
+			}
+		}
+	}
+	f.Add([]byte(envelope.Magic))
+	f.Add([]byte("SVAE\x01\x01\x01x\x63\xff\xff\xff\xff\xff\x07")) // absurd length
+	f.Add(envelope.Encode(&envelope.Envelope{Container: 200}))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			return
+		}
+		// The container parser must confine itself to errors.
+		if env, err := envelope.Parse(data); err == nil {
+			// A parse-clean envelope re-encodes to something parseable.
+			if _, err := envelope.Parse(envelope.Encode(env)); err != nil {
+				t.Fatalf("re-encoded envelope does not parse: %v", err)
+			}
+		}
+		envelope.DeclaredVersion(data)
+
+		// The negotiated readers must never fail hard, whatever the bytes:
+		// worst case is a fallback outcome (annotations are advisory).
+		m := cil.NewMethod("fuzz", nil, cil.Scalar(cil.Void))
+		m.SetAnnotation(KeyRegAlloc, data)
+		m.SetAnnotation(KeyVector, data)
+		m.SetAnnotation(KeyHWReq, data)
+		if info, out, present := ReadRegAllocInfo(m, 0); present && !out.Fallback && info == nil {
+			t.Fatal("regalloc: no fallback but nil info")
+		}
+		if info, out, present := ReadVectorInfo(m, 0); present && !out.Fallback && info == nil {
+			t.Fatal("vector: no fallback but nil info")
+		}
+		if info, out, present := ReadHWReq(m, 0); present && !out.Fallback && info == nil {
+			t.Fatal("hwreq: no fallback but nil info")
+		}
+
+		// Inspection over a module carrying the bytes must also survive.
+		mod := cil.NewModule("fuzz")
+		if err := mod.AddMethod(m); err != nil {
+			t.Fatal(err)
+		}
+		InspectModule(mod)
+		NegotiateModule(mod, 1)
+	})
+}
+
+func mustEncode(f *testing.F, fn func() ([]byte, error)) []byte {
+	f.Helper()
+	data, err := fn()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}

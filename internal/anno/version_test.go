@@ -1,0 +1,221 @@
+package anno
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/anno/envelope"
+	"repro/internal/cil"
+)
+
+func regInfo() *RegAllocInfo {
+	return &RegAllocInfo{
+		NumSlots: 3,
+		Intervals: []SlotInterval{
+			{Slot: 1, Start: 0, End: 20, Weight: 100},
+			{Slot: 0, Start: 0, End: 5, Weight: 7},
+		},
+		Classes: []SpillClass{SpillClassInt, SpillClassFloat, SpillClassInt},
+	}
+}
+
+func TestV1RegAllocRoundTripKeepsClasses(t *testing.T) {
+	m := cil.NewMethod("f", nil, cil.Scalar(cil.Void))
+	if err := AttachRegAllocInfoV(m, regInfo(), V1); err != nil {
+		t.Fatal(err)
+	}
+	got, out, present := ReadRegAllocInfo(m, 0)
+	if !present || out.Fallback {
+		t.Fatalf("negotiation failed: %+v", out)
+	}
+	if out.Version != V1 || !out.Enveloped {
+		t.Errorf("outcome = %+v, want v1 enveloped", out)
+	}
+	if !reflect.DeepEqual(got, regInfo()) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestV0RegAllocDropsClasses(t *testing.T) {
+	m := cil.NewMethod("f", nil, cil.Scalar(cil.Void))
+	if err := AttachRegAllocInfoV(m, regInfo(), V0); err != nil {
+		t.Fatal(err)
+	}
+	got, out, present := ReadRegAllocInfo(m, 0)
+	if !present || out.Fallback {
+		t.Fatalf("negotiation failed: %+v", out)
+	}
+	if out.Version != V0 || out.Enveloped {
+		t.Errorf("outcome = %+v, want bare v0", out)
+	}
+	if got.Classes != nil {
+		t.Errorf("v0 stream carried classes: %v", got.Classes)
+	}
+	want := regInfo()
+	want.Classes = nil
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("round trip mismatch: %+v", got)
+	}
+}
+
+func TestV1VectorAndHWReqRoundTrip(t *testing.T) {
+	m := cil.NewMethod("f", nil, cil.Scalar(cil.Void))
+	vi := &VectorInfo{Loops: []VectorLoop{{LoopID: 2, Elem: cil.F32, Lanes: 4, Pattern: PatternReduceAdd, NoAliasProven: true}}}
+	hw := &HWReq{UsesVector: true, VectorKinds: []cil.Kind{cil.F32}, EstimatedWork: 99}
+	if err := AttachVectorInfoV(m, vi, V1); err != nil {
+		t.Fatal(err)
+	}
+	if err := AttachHWReqV(m, hw, V1); err != nil {
+		t.Fatal(err)
+	}
+	if got := VectorInfoOf(m); !reflect.DeepEqual(got, vi) {
+		t.Errorf("vector round trip mismatch: %+v", got)
+	}
+	if got := HWReqOf(m); !reflect.DeepEqual(got, hw) {
+		t.Errorf("hwreq round trip mismatch: %+v", got)
+	}
+}
+
+func TestWriterRejectsUnknownVersion(t *testing.T) {
+	if _, err := EncodeRegAllocInfoV(regInfo(), CurrentVersion+1); err == nil {
+		t.Error("future writer version accepted")
+	}
+	m := cil.NewMethod("f", nil, cil.Scalar(cil.Void))
+	if err := AttachVectorInfoV(m, &VectorInfo{}, 7); err == nil {
+		t.Error("AttachVectorInfoV accepted version 7")
+	}
+}
+
+// futureMethod returns a method whose regalloc annotation declares schema
+// version 99 — bytes from a future offline compiler.
+func futureMethod() *cil.Method {
+	m := cil.NewMethod("f", nil, cil.Scalar(cil.Void))
+	m.SetAnnotation(KeyRegAlloc, envelope.Encode(&envelope.Envelope{Sections: []envelope.Section{
+		{Name: secRegAlloc, Version: 99, Payload: EncodeRegAllocInfo(regInfo())},
+	}}))
+	return m
+}
+
+func TestFutureVersionFallsBack(t *testing.T) {
+	m := futureMethod()
+	got, out, present := ReadRegAllocInfo(m, 0)
+	if !present {
+		t.Fatal("annotation not seen")
+	}
+	if got != nil || !out.Fallback {
+		t.Fatalf("future section was consumed: info=%+v outcome=%+v", got, out)
+	}
+	if out.Version != 99 || !strings.Contains(out.Reason, "newer than supported") {
+		t.Errorf("outcome = %+v", out)
+	}
+	// The advisory accessor treats it as absent.
+	if RegAllocInfoOf(m) != nil {
+		t.Error("RegAllocInfoOf returned a future annotation")
+	}
+}
+
+func TestFutureContainerFallsBack(t *testing.T) {
+	m := cil.NewMethod("f", nil, cil.Scalar(cil.Void))
+	m.SetAnnotation(KeyRegAlloc, envelope.Encode(&envelope.Envelope{Container: envelope.ContainerVersion + 1}))
+	got, out, _ := ReadRegAllocInfo(m, 0)
+	if got != nil || !out.Fallback || !strings.Contains(out.Reason, "container") {
+		t.Errorf("future container not handled: info=%+v outcome=%+v", got, out)
+	}
+}
+
+func TestMinVersionRejectsStaleStreams(t *testing.T) {
+	legacy := cil.NewMethod("f", nil, cil.Scalar(cil.Void))
+	AttachRegAllocInfo(legacy, regInfo())
+	if got, out, _ := ReadRegAllocInfo(legacy, V1); got != nil || !out.Fallback {
+		t.Errorf("v0 stream survived min version 1: info=%+v outcome=%+v", got, out)
+	}
+	v1 := cil.NewMethod("g", nil, cil.Scalar(cil.Void))
+	if err := AttachRegAllocInfoV(v1, regInfo(), V1); err != nil {
+		t.Fatal(err)
+	}
+	if got, out, _ := ReadRegAllocInfo(v1, V1); got == nil || out.Fallback {
+		t.Errorf("v1 stream rejected by min version 1: %+v", out)
+	}
+}
+
+func TestMalformedSpillClassesOnlyLoseMetadata(t *testing.T) {
+	m := cil.NewMethod("f", nil, cil.Scalar(cil.Void))
+	m.SetAnnotation(KeyRegAlloc, envelope.Encode(&envelope.Envelope{Sections: []envelope.Section{
+		{Name: secRegAlloc, Version: V1, Payload: EncodeRegAllocInfo(regInfo())},
+		{Name: secSpillClass, Version: V1, Payload: []byte{0xFF, 0xFF}}, // corrupt
+	}}))
+	got, out, _ := ReadRegAllocInfo(m, 0)
+	if got == nil || out.Fallback {
+		t.Fatalf("base intervals lost to a bad aux section: %+v", out)
+	}
+	if got.Classes != nil {
+		t.Errorf("corrupt spill classes decoded: %v", got.Classes)
+	}
+}
+
+func TestNegotiateModuleCountsFallbacks(t *testing.T) {
+	mod := cil.NewModule("m")
+	good := cil.NewMethod("good", nil, cil.Scalar(cil.Void))
+	if err := AttachRegAllocInfoV(good, regInfo(), V1); err != nil {
+		t.Fatal(err)
+	}
+	if err := mod.AddMethod(good); err != nil {
+		t.Fatal(err)
+	}
+	if err := mod.AddMethod(futureMethod()); err != nil {
+		t.Fatal(err)
+	}
+	outcomes, fallbacks := NegotiateModule(mod, 0)
+	if fallbacks != 1 {
+		t.Errorf("fallbacks = %d, want 1", fallbacks)
+	}
+	if len(outcomes) != 2 {
+		t.Fatalf("outcomes = %+v, want 2 entries", outcomes)
+	}
+	if outcomes[0].Method != "good" || outcomes[0].Fallback {
+		t.Errorf("good outcome: %+v", outcomes[0])
+	}
+	if outcomes[1].Method != "f" || !outcomes[1].Fallback {
+		t.Errorf("future outcome: %+v", outcomes[1])
+	}
+}
+
+func TestInspectModule(t *testing.T) {
+	mod := cil.NewModule("m")
+	mod.SetAnnotation("custom", []byte{1, 2, 3})
+	legacy := cil.NewMethod("legacy", nil, cil.Scalar(cil.Void))
+	AttachRegAllocInfo(legacy, regInfo())
+	if err := mod.AddMethod(legacy); err != nil {
+		t.Fatal(err)
+	}
+	if err := mod.AddMethod(futureMethod()); err != nil {
+		t.Fatal(err)
+	}
+	infos := InspectModule(mod)
+	if len(infos) != 3 {
+		t.Fatalf("infos = %+v, want 3 entries", infos)
+	}
+	if infos[0].Key != "custom" || infos[0].Method != "" || !infos[0].Supported {
+		t.Errorf("module-level info: %+v", infos[0])
+	}
+	if infos[1].Method != "legacy" || infos[1].Version != 0 || infos[1].Enveloped || !infos[1].Supported {
+		t.Errorf("legacy info: %+v", infos[1])
+	}
+	fut := infos[2]
+	if fut.Method != "f" || fut.Version != 99 || !fut.Enveloped || fut.Supported || fut.Reason == "" {
+		t.Errorf("future info: %+v", fut)
+	}
+	if len(fut.Sections) != 1 || fut.Sections[0].Name != secRegAlloc || fut.Sections[0].Version != 99 {
+		t.Errorf("future section table: %+v", fut.Sections)
+	}
+}
+
+func TestCILAnnotationVersions(t *testing.T) {
+	m := futureMethod()
+	AttachHWReq(m, &HWReq{})
+	vers := m.AnnotationVersions()
+	if vers[KeyRegAlloc] != 99 || vers[KeyHWReq] != 0 {
+		t.Errorf("AnnotationVersions = %v", vers)
+	}
+}

@@ -25,6 +25,45 @@ type Results struct {
 	// only compares the deterministic simulated metrics above. Artifacts
 	// written before this field existed simply decode with Host == nil.
 	Host *HostReport `json:"host,omitempty"`
+	// Anno tracks the annotation-container trajectory (encoded sizes per
+	// writer version, fallback counts). Like Host it is recorded but never
+	// gated: its numbers change exactly when the annotation schema evolves,
+	// and the correctness contract is enforced by the golden corpus test
+	// instead. New non-gated sections belong in this pattern — add them
+	// here and leave them out of both Metrics and gatedSections.
+	Anno *AnnoReport `json:"anno,omitempty"`
+}
+
+// gatedSections are the top-level artifact keys whose metrics the
+// regression gate compares (the sections Metrics flattens). Everything else
+// — host throughput, annotation trajectory, future tracked-only sections —
+// is recorded but never gated, and StripUngated removes it generically when
+// a baseline is refreshed.
+var gatedSections = []string{"table1", "figure1", "regalloc", "codesize", "hetero"}
+
+// GatedSections lists the artifact sections the regression gate compares.
+func GatedSections() []string { return append([]string(nil), gatedSections...) }
+
+// StripUngated removes every non-gated top-level section from a raw results
+// artifact, returning the canonical baseline form (sorted keys, indented).
+// It operates on the JSON generically so future tracked-only sections are
+// stripped without anyone remembering to special-case them.
+func StripUngated(data []byte) ([]byte, error) {
+	var all map[string]json.RawMessage
+	if err := json.Unmarshal(data, &all); err != nil {
+		return nil, fmt.Errorf("bench: parsing results: %w", err)
+	}
+	kept := make(map[string]json.RawMessage, len(gatedSections))
+	for _, k := range gatedSections {
+		if v, ok := all[k]; ok {
+			kept[k] = v
+		}
+	}
+	out, err := json.MarshalIndent(kept, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
 }
 
 // ParseResults decodes a BENCH_results.json artifact.

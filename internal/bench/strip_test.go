@@ -1,0 +1,91 @@
+package bench
+
+import (
+	"encoding/json"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestStripUngated pins the generic baseline-refresh behavior: non-gated
+// sections (host, anno, and anything unknown from the future) disappear,
+// gated metrics survive bit-for-bit, and the output is stable.
+func TestStripUngated(t *testing.T) {
+	artifact := map[string]any{
+		"table1": map[string]any{"rows": []any{map[string]any{
+			"kernel": "sum_u8",
+			"cells": []any{map[string]any{
+				"target": "x86-sse", "scalar_cycles": 100, "vector_cycles": 10, "relative": 10.0,
+			}},
+		}}},
+		"host":           map[string]any{"rows": []any{}},
+		"anno":           map[string]any{"writer_version": 1},
+		"future_section": map[string]any{"tracked": true},
+	}
+	raw, err := json.Marshal(artifact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped, err := StripUngated(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept map[string]json.RawMessage
+	if err := json.Unmarshal(stripped, &kept); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := kept["table1"]; !ok {
+		t.Error("gated section table1 was stripped")
+	}
+	for _, gone := range []string{"host", "anno", "future_section"} {
+		if _, ok := kept[gone]; ok {
+			t.Errorf("non-gated section %q survived the strip", gone)
+		}
+	}
+
+	// The gated metrics are unchanged by the strip.
+	before, err := ParseResults(raw)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := ParseResults(stripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before.Metrics(), after.Metrics()) {
+		t.Error("stripping changed the gated metrics")
+	}
+
+	// Stripping is idempotent and stable (sorted keys), so refreshed
+	// baselines only churn when gated numbers move.
+	again, err := StripUngated(stripped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(stripped) {
+		t.Error("StripUngated is not idempotent")
+	}
+}
+
+// TestGatedSectionsCoverMetrics guards the invariant the generic strip
+// rests on: every metric the gate compares lives under a gated section key,
+// so stripping can never silently drop a gated metric.
+func TestGatedSectionsCoverMetrics(t *testing.T) {
+	full := &Results{
+		Table1:   &Table1Report{Rows: []Table1Row{{Kernel: "k", Cells: []Table1Cell{{Target: "t"}}}}},
+		Figure1:  &Figure1Report{Rows: []Figure1Row{{Kernel: "k"}}},
+		RegAlloc: &RegAllocReport{Points: []RegAllocPoint{{IntRegs: 4}}},
+		CodeSize: &CodeSizeReport{Rows: []CodeSizeRow{{Module: "m"}}},
+		Hetero:   &HeteroReport{},
+	}
+	gated := map[string]bool{}
+	for _, s := range GatedSections() {
+		gated[s] = true
+	}
+	for _, m := range full.Metrics() {
+		section := m.Name[:strings.Index(m.Name, "/")]
+		if !gated[section] {
+			t.Errorf("metric %q lives under non-gated section %q", m.Name, section)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package cil
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/anno/envelope"
 )
 
 // Disassemble returns a human-readable listing of the module: signatures,
@@ -12,7 +14,7 @@ func Disassemble(mod *Module) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "module %s\n", mod.Name)
 	for _, k := range sortedKeys(mod.Annotations) {
-		fmt.Fprintf(&b, "  .annotation %s (%d bytes)\n", k, len(mod.Annotations[k]))
+		b.WriteString(annotationLine(k, mod.Annotations[k]))
 	}
 	for _, m := range mod.Methods {
 		b.WriteString(DisassembleMethod(m))
@@ -37,7 +39,7 @@ func DisassembleMethod(m *Method) string {
 	}
 	fmt.Fprintf(&b, "  .maxstack %d\n", m.MaxStack)
 	for _, k := range sortedKeys(m.Annotations) {
-		fmt.Fprintf(&b, "  .annotation %s (%d bytes)\n", k, len(m.Annotations[k]))
+		b.WriteString(annotationLine(k, m.Annotations[k]))
 	}
 	targets := branchTargets(m)
 	for pc, in := range m.Code {
@@ -48,6 +50,24 @@ func DisassembleMethod(m *Method) string {
 		fmt.Fprintf(&b, "  %s %4d: %s\n", marker, pc, in)
 	}
 	return b.String()
+}
+
+// annotationLine renders one annotation: key, declared container version and
+// size, plus the section table for enveloped values.
+func annotationLine(k string, v []byte) string {
+	if !envelope.Is(v) {
+		return fmt.Sprintf("  .annotation %s (v0, %d bytes)\n", k, len(v))
+	}
+	e, err := envelope.Parse(v)
+	if err != nil {
+		ver, _ := envelope.DeclaredVersion(v)
+		return fmt.Sprintf("  .annotation %s (v%d envelope, %d bytes, unreadable: %v)\n", k, ver, len(v), err)
+	}
+	parts := make([]string, len(e.Sections))
+	for i, s := range e.Sections {
+		parts[i] = fmt.Sprintf("%s@%d:%dB", s.Name, s.Version, len(s.Payload))
+	}
+	return fmt.Sprintf("  .annotation %s (envelope, %d bytes: %s)\n", k, len(v), strings.Join(parts, " "))
 }
 
 // branchTargets returns the set of instruction indices that are targets of a

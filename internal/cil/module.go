@@ -3,6 +3,8 @@ package cil
 import (
 	"fmt"
 	"sort"
+
+	"repro/internal/anno/envelope"
 )
 
 // Method is a single bytecode method: typed signature, typed locals, a flat
@@ -60,6 +62,25 @@ func (m *Method) AnnotationKeys() []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// AnnotationVersions reports the declared container version of every
+// annotation on the method: 0 for grandfathered legacy streams (anything
+// without the envelope magic), otherwise the highest schema version the
+// value's envelope declares. It is computed from the stored bytes, so a
+// loaded module reports versions without any consumer-side decoding and the
+// map never goes stale across SetAnnotation.
+func (m *Method) AnnotationVersions() map[string]uint32 {
+	return annotationVersions(m.Annotations)
+}
+
+func annotationVersions(a map[string][]byte) map[string]uint32 {
+	out := make(map[string]uint32, len(a))
+	for k, v := range a {
+		ver, _ := envelope.DeclaredVersion(v)
+		out[k] = ver
+	}
+	return out
 }
 
 // Clone returns a deep copy of the method.
@@ -136,6 +157,12 @@ func (mod *Module) SetAnnotation(key string, value []byte) {
 func (mod *Module) Annotation(key string) ([]byte, bool) {
 	v, ok := mod.Annotations[key]
 	return v, ok
+}
+
+// AnnotationVersions reports the declared container version of every
+// module-level annotation (see Method.AnnotationVersions).
+func (mod *Module) AnnotationVersions() map[string]uint32 {
+	return annotationVersions(mod.Annotations)
 }
 
 // Clone returns a deep copy of the module.

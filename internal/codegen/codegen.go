@@ -27,6 +27,10 @@ type Options struct {
 	// DisableAnnotations suppresses all split-compilation annotations while
 	// still emitting vectorized code. Used by ablation experiments.
 	DisableAnnotations bool
+	// AnnotationVersion selects the on-wire schema of the attached
+	// annotations: anno.V0 (the default) emits the legacy bare streams,
+	// anno.V1 the versioned envelope.
+	AnnotationVersion uint32
 }
 
 // Compile lowers every function of the checked program into a verified
@@ -94,14 +98,16 @@ func (g *generator) genFunc(fn *minic.FuncDecl) (*cil.Method, error) {
 		return nil, err
 	}
 	if !g.opts.DisableAnnotations {
-		g.attachAnnotations(m)
+		if err := g.attachAnnotations(m); err != nil {
+			return nil, err
+		}
 	}
 	return m, nil
 }
 
 // attachAnnotations records the vectorization facts and hardware
-// requirements of the generated method.
-func (g *generator) attachAnnotations(m *cil.Method) {
+// requirements of the generated method at the configured schema version.
+func (g *generator) attachAnnotations(m *cil.Method) error {
 	if len(g.plans) > 0 {
 		info := &anno.VectorInfo{}
 		for _, p := range g.plans {
@@ -113,7 +119,9 @@ func (g *generator) attachAnnotations(m *cil.Method) {
 				NoAliasProven: true,
 			})
 		}
-		anno.AttachVectorInfo(m, info)
+		if err := anno.AttachVectorInfoV(m, info, g.opts.AnnotationVersion); err != nil {
+			return err
+		}
 	}
 
 	req := &anno.HWReq{}
@@ -135,7 +143,7 @@ func (g *generator) attachAnnotations(m *cil.Method) {
 	// Static instruction count is the work proxy the runtime scheduler uses
 	// to decide whether offloading is worth the dispatch latency.
 	req.EstimatedWork = int64(len(m.Code))
-	anno.AttachHWReq(m, req)
+	return anno.AttachHWReqV(m, req, g.opts.AnnotationVersion)
 }
 
 func sortKinds(kinds []cil.Kind) {

@@ -51,6 +51,11 @@ type OfflineOptions struct {
 	DisableAnnotations bool
 	// DisableConstFold skips constant folding.
 	DisableConstFold bool
+	// AnnotationVersion selects the on-wire schema of the produced
+	// annotations: anno.V0 (the zero value, matching the historical
+	// behavior) emits the legacy bare streams, anno.V1 the versioned
+	// envelope with the spill-class metadata.
+	AnnotationVersion uint32
 }
 
 // OfflineResult is the outcome of the offline compilation step.
@@ -100,12 +105,16 @@ func CompileOffline(source string, opts OfflineOptions) (*OfflineResult, error) 
 	mod, err := codegen.Compile(chk, name, codegen.Options{
 		DisableVectorPlans: opts.DisableVectorize,
 		DisableAnnotations: opts.DisableAnnotations,
+		AnnotationVersion:  opts.AnnotationVersion,
 	})
 	if err != nil {
 		return nil, err
 	}
 	if !opts.DisableRegAllocAnnotations && !opts.DisableAnnotations {
-		res.RegAllocAnalyses = regalloc.AnnotateModule(mod)
+		res.RegAllocAnalyses, err = regalloc.AnnotateModuleV(mod, opts.AnnotationVersion)
+		if err != nil {
+			return nil, err
+		}
 		for _, a := range res.RegAllocAnalyses {
 			res.OfflineSteps += a.Steps
 		}
@@ -146,6 +155,14 @@ type Image struct {
 	// split compilation this stays small even when the generated code is
 	// aggressive.
 	JITSteps int64
+
+	// AnnotationOutcomes is the per-method result of the load-time
+	// annotation negotiation: which sections were consumed at which schema
+	// version, and which fell back to online-only compilation.
+	AnnotationOutcomes []anno.MethodOutcome
+	// AnnotationFallbacks counts the sections that fell back (never an
+	// error: annotations are advisory).
+	AnnotationFallbacks int
 }
 
 // BuildImage decodes, verifies and JIT-compiles an encoded module for a
@@ -175,11 +192,17 @@ func ImageFromModule(mod *cil.Module, tgt *target.Desc, jopts jit.Options) (*Ima
 // verify once up front and use this entry point: the JIT itself only reads
 // the module.
 func ImageFromVerifiedModule(mod *cil.Module, tgt *target.Desc, jopts jit.Options) (*Image, error) {
-	prog, err := jit.New(tgt, jopts).CompileModule(mod)
+	prog, rep, err := jit.New(tgt, jopts).CompileModuleReport(mod)
 	if err != nil {
 		return nil, err
 	}
-	img := &Image{Target: tgt, Module: mod, Program: prog}
+	img := &Image{
+		Target:              tgt,
+		Module:              mod,
+		Program:             prog,
+		AnnotationOutcomes:  rep.Outcomes,
+		AnnotationFallbacks: rep.Fallbacks,
+	}
 	for _, f := range prog.Funcs {
 		img.JITSteps += f.Stats.CompileSteps
 	}
@@ -191,11 +214,13 @@ func ImageFromVerifiedModule(mod *cil.Module, tgt *target.Desc, jopts jit.Option
 // so concurrent instantiations are safe.
 func (img *Image) Instantiate() *Deployment {
 	return &Deployment{
-		Target:   img.Target,
-		Module:   img.Module,
-		Program:  img.Program,
-		Machine:  sim.New(img.Target, img.Program),
-		JITSteps: img.JITSteps,
+		Target:              img.Target,
+		Module:              img.Module,
+		Program:             img.Program,
+		Machine:             sim.New(img.Target, img.Program),
+		JITSteps:            img.JITSteps,
+		AnnotationOutcomes:  img.AnnotationOutcomes,
+		AnnotationFallbacks: img.AnnotationFallbacks,
 	}
 }
 
@@ -212,6 +237,11 @@ type Deployment struct {
 	// split compilation this stays small even when the generated code is
 	// aggressive.
 	JITSteps int64
+
+	// AnnotationOutcomes and AnnotationFallbacks carry the image's
+	// load-time annotation negotiation result (see Image).
+	AnnotationOutcomes  []anno.MethodOutcome
+	AnnotationFallbacks int
 }
 
 // Deploy decodes, verifies and JIT-compiles an encoded module for a target,

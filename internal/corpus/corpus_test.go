@@ -1,0 +1,173 @@
+package corpus
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestUpdateThenCheck exercises the corpus life cycle in a scratch
+// directory: -update populates it, -check passes, and -check flags a
+// tampered stream, a stray file, and a missing coverage entry.
+func TestUpdateThenCheck(t *testing.T) {
+	dir := t.TempDir()
+
+	added, err := Update(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantEntries := len(Kernels)*len(Versions) + 1
+	if len(added) != wantEntries {
+		t.Fatalf("Update added %d streams, want %d", len(added), wantEntries)
+	}
+	problems, err := Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(problems) != 0 {
+		t.Fatalf("fresh corpus should check clean, got: %v", problems)
+	}
+
+	// A second update is a no-op: the corpus already covers the encoder.
+	added, err = Update(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(added) != 0 {
+		t.Fatalf("repeated Update added %v", added)
+	}
+
+	// Tampering with a checked-in stream must be flagged: corpus entries
+	// are immutable stand-ins for the installed base.
+	tampered := filepath.Join(dir, problemsFreeFirstFile(t, dir))
+	data, err := os.ReadFile(tampered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(tampered, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err = Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !anyContains(problems, "was modified") {
+		t.Errorf("tampered stream not flagged: %v", problems)
+	}
+	data[len(data)-1] ^= 0xFF
+	if err := os.WriteFile(tampered, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// A stray unindexed file is flagged.
+	stray := filepath.Join(dir, "stray.svbc")
+	if err := os.WriteFile(stray, []byte("junk"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err = Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !anyContains(problems, "stray file") {
+		t.Errorf("stray file not flagged: %v", problems)
+	}
+	if err := os.Remove(stray); err != nil {
+		t.Fatal(err)
+	}
+
+	// Dropping an entry from the manifest makes the current encoder output
+	// uncovered — the exact situation -check exists to catch.
+	man, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man.Entries = man.Entries[1:]
+	raw, err := json.MarshalIndent(man, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ManifestName), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	problems, err = Check(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !anyContains(problems, "not in the corpus") {
+		t.Errorf("missing coverage not flagged: %v", problems)
+	}
+}
+
+// TestGenerateDeterministic pins the property the whole corpus scheme rests
+// on: compiling the same subject twice yields identical bytes.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, k := range Kernels {
+		for _, v := range Versions {
+			a, err := Generate(k, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Generate(k, v)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if digest(a) != digest(b) {
+				t.Errorf("Generate(%s, v%d) is not deterministic", k, v)
+			}
+		}
+	}
+	a, err := Generate(SyntheticKernel, SyntheticVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(SyntheticKernel, SyntheticVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if digest(a) != digest(b) {
+		t.Error("synthetic stream is not deterministic")
+	}
+}
+
+// TestV0V1SameDeployBehavior asserts the v1 envelope is a pure re-encoding:
+// the decoded annotation info drives the split allocator to the same
+// decisions as the v0 stream (identical spill statistics and cycles).
+func TestV0V1SameDeployBehavior(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Update(dir); err != nil {
+		t.Fatal(err)
+	}
+	man, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range man.Entries {
+		if err := VerifyEntry(dir, e); err != nil {
+			t.Errorf("%s: %v", e.File, err)
+		}
+	}
+}
+
+func problemsFreeFirstFile(t *testing.T, dir string) string {
+	t.Helper()
+	man, err := LoadManifest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(man.Entries) == 0 {
+		t.Fatal("empty manifest")
+	}
+	return man.Entries[0].File
+}
+
+func anyContains(list []string, substr string) bool {
+	for _, s := range list {
+		if strings.Contains(s, substr) {
+			return true
+		}
+	}
+	return false
+}

@@ -20,6 +20,7 @@ package jit
 import (
 	"fmt"
 
+	"repro/internal/anno"
 	"repro/internal/cil"
 	"repro/internal/nisa"
 	"repro/internal/target"
@@ -66,6 +67,12 @@ type Options struct {
 	// scalarize every vector builtin (ablation: "the JIT simply ignores the
 	// vectorization").
 	ForceScalarize bool
+	// MinAnnotationVersion rejects annotation sections older than this
+	// schema version during load-time negotiation: they fall back to
+	// online-only compilation like any section the reader cannot
+	// understand. Zero (the default) accepts everything, including the
+	// grandfathered v0 streams.
+	MinAnnotationVersion uint32
 }
 
 // Compiler is a JIT compiler instance for one target.
@@ -82,25 +89,78 @@ func New(t *target.Desc, opts Options) *Compiler {
 // useSIMD reports whether vector builtins are mapped to the vector unit.
 func (c *Compiler) useSIMD() bool { return c.Target.HasSIMD && !c.Opts.ForceScalarize }
 
+// Report summarizes the load-time annotation negotiation of one module
+// compilation: the per-method outcome of every annotation that was present,
+// and how many of them fell back to online-only compilation because the
+// reader could not (or was configured not to) consume them.
+type Report struct {
+	Outcomes []anno.MethodOutcome
+	// Fallbacks counts annotation sections that were present but degraded
+	// to online-only compilation. The compilation itself never fails on
+	// them: annotations are advisory.
+	Fallbacks int
+}
+
 // CompileModule compiles every method of a verified module into a native
 // program for the compiler's target.
 func (c *Compiler) CompileModule(mod *cil.Module) (*nisa.Program, error) {
+	prog, _, err := c.CompileModuleReport(mod)
+	return prog, err
+}
+
+// CompileModuleReport is CompileModule plus the annotation-negotiation
+// report of the build.
+func (c *Compiler) CompileModuleReport(mod *cil.Module) (*nisa.Program, *Report, error) {
 	prog := nisa.NewProgram(c.Target.Name)
+	rep := &Report{}
 	for _, m := range mod.Methods {
-		f, err := c.CompileMethod(mod, m)
+		f, outcomes, err := c.compileMethod(mod, m)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
+		}
+		for _, out := range outcomes {
+			rep.Outcomes = append(rep.Outcomes, anno.MethodOutcome{Method: m.Name, Outcome: out})
+			if out.Fallback {
+				rep.Fallbacks++
+			}
 		}
 		prog.Add(f)
 	}
-	return prog, nil
+	return prog, rep, nil
 }
 
 // CompileMethod compiles a single method.
 func (c *Compiler) CompileMethod(mod *cil.Module, m *cil.Method) (*nisa.Func, error) {
+	f, _, err := c.compileMethod(mod, m)
+	return f, err
+}
+
+// negotiateAnnotations runs load-time negotiation for every annotation the
+// deployment side knows about, and returns the split register-allocation
+// info when it survived negotiation (the vector and hardware-requirement
+// sections are validated and surfaced here but consumed elsewhere: vector
+// facts travel in the bytecode itself, hardware requirements feed the
+// heterogeneous runtime).
+func (c *Compiler) negotiateAnnotations(m *cil.Method) (*anno.RegAllocInfo, []anno.Outcome) {
+	var outcomes []anno.Outcome
+	ra, out, present := anno.ReadRegAllocInfo(m, c.Opts.MinAnnotationVersion)
+	if present {
+		outcomes = append(outcomes, out)
+	}
+	if _, out, present := anno.ReadVectorInfo(m, c.Opts.MinAnnotationVersion); present {
+		outcomes = append(outcomes, out)
+	}
+	if _, out, present := anno.ReadHWReq(m, c.Opts.MinAnnotationVersion); present {
+		outcomes = append(outcomes, out)
+	}
+	return ra, outcomes
+}
+
+func (c *Compiler) compileMethod(mod *cil.Module, m *cil.Method) (*nisa.Func, []anno.Outcome, error) {
+	annot, outcomes := c.negotiateAnnotations(m)
 	tr := newTranslator(c, mod, m)
 	if err := tr.run(); err != nil {
-		return nil, fmt.Errorf("jit: %s: %w", m.Name, err)
+		return nil, nil, fmt.Errorf("jit: %s: %w", m.Name, err)
 	}
 	f := &nisa.Func{
 		Name:   m.Name,
@@ -109,9 +169,9 @@ func (c *Compiler) CompileMethod(mod *cil.Module, m *cil.Method) (*nisa.Func, er
 		Code:   tr.code,
 		Stats:  tr.stats,
 	}
-	ra := newAssigner(c, m, tr, f)
+	ra := newAssigner(c, tr, f, annot)
 	if err := ra.run(); err != nil {
-		return nil, fmt.Errorf("jit: %s: register assignment: %w", m.Name, err)
+		return nil, nil, fmt.Errorf("jit: %s: register assignment: %w", m.Name, err)
 	}
-	return f, nil
+	return f, outcomes, nil
 }

@@ -40,14 +40,13 @@ type assigner struct {
 	steps int64
 }
 
-func newAssigner(c *Compiler, m interface{ Annotation(string) ([]byte, bool) }, tr *translator, f *nisa.Func) *assigner {
+// newAssigner builds the register assigner. annot is the method's
+// register-allocation annotation after load-time negotiation (nil when
+// absent or fallen back); it is only consulted in RegAllocSplit mode.
+func newAssigner(c *Compiler, tr *translator, f *nisa.Func, annot *anno.RegAllocInfo) *assigner {
 	a := &assigner{c: c, tr: tr, f: f}
 	if c.Opts.RegAlloc == RegAllocSplit {
-		if data, ok := m.Annotation(anno.KeyRegAlloc); ok {
-			if info, err := anno.DecodeRegAllocInfo(data); err == nil {
-				a.annot = info
-			}
-		}
+		a.annot = annot
 	}
 	return a
 }
@@ -257,7 +256,7 @@ func (a *assigner) allocateClass(class nisa.RegClass) error {
 		a.steps += sortCost
 		a.linearScan(vregs, numRegs)
 	case RegAllocSplit:
-		a.priorityAllocate(vregs, numRegs, a.splitOrder(vregs))
+		a.priorityAllocate(vregs, numRegs, a.splitOrder(class, vregs))
 	case RegAllocOptimal:
 		a.steps += int64(len(a.f.Code)) + sortCost
 		a.priorityAllocate(vregs, numRegs, a.weightOrder(vregs))
@@ -355,7 +354,7 @@ func (a *assigner) linearScan(vregs []int, numRegs int) {
 // are merged by weight. This is the linear-time online half of the split
 // register allocator: no interference or profitability analysis is redone
 // for the program's variables.
-func (a *assigner) splitOrder(vregs []int) []int {
+func (a *assigner) splitOrder(class nisa.RegClass, vregs []int) []int {
 	inClass := make(map[int]bool, len(vregs))
 	for _, v := range vregs {
 		inClass[v] = true
@@ -373,7 +372,16 @@ func (a *assigner) splitOrder(vregs []int) []int {
 	}
 	var named []weighted
 	taken := make(map[int]bool)
+	// With v1 spill-class metadata the annotation itself says which
+	// register class each slot belongs to, so intervals of other classes
+	// are skipped up front instead of being re-derived (looked up against
+	// this class's slot set) on every per-class pass.
+	classes := a.annot.Classes
+	want := spillClassOf(class)
 	for _, iv := range a.annot.Intervals {
+		if classes != nil && iv.Slot < len(classes) && classes[iv.Slot] != anno.SpillClassUnknown && classes[iv.Slot] != want {
+			continue
+		}
 		if v, ok := slotToVreg[iv.Slot]; ok && !taken[v] {
 			named = append(named, weighted{vreg: v, weight: int64(iv.Weight)})
 			taken[v] = true
@@ -408,6 +416,20 @@ func (a *assigner) splitOrder(vregs []int) []int {
 		}
 	}
 	return order
+}
+
+// spillClassOf maps a native register class to its annotation-level spill
+// class.
+func spillClassOf(class nisa.RegClass) anno.SpillClass {
+	switch class {
+	case nisa.ClassInt:
+		return anno.SpillClassInt
+	case nisa.ClassFloat:
+		return anno.SpillClassFloat
+	case nisa.ClassVec:
+		return anno.SpillClassVec
+	}
+	return anno.SpillClassUnknown
 }
 
 // weightOrder orders every virtual register by decreasing locally-computed

@@ -34,6 +34,18 @@ func AnalyzeMethod(m *cil.Method) *Analysis {
 	numSlots := len(m.Params) + len(m.Locals)
 	a := &Analysis{Method: m.Name, Info: &anno.RegAllocInfo{NumSlots: numSlots}}
 
+	// Record each slot's register class (the v1 spill-class metadata): it is
+	// a byte per slot offline, and it saves the online allocator from
+	// re-deriving the class of every annotated interval from the bytecode
+	// types. The v0 encoding simply has no room for it.
+	a.Info.Classes = make([]anno.SpillClass, 0, numSlots)
+	for _, t := range m.Params {
+		a.Info.Classes = append(a.Info.Classes, anno.SpillClassOf(t))
+	}
+	for _, t := range m.Locals {
+		a.Info.Classes = append(a.Info.Classes, anno.SpillClassOf(t))
+	}
+
 	type slotState struct {
 		used       bool
 		start, end int
@@ -148,19 +160,38 @@ func AnalyzeMethod(m *cil.Method) *Analysis {
 }
 
 // AnnotateMethod runs the offline analysis and attaches its annotation to the
-// method. It returns the analysis for inspection.
+// method in the legacy v0 encoding. It returns the analysis for inspection.
 func AnnotateMethod(m *cil.Method) *Analysis {
-	a := AnalyzeMethod(m)
-	anno.AttachRegAllocInfo(m, a.Info)
+	a, _ := AnnotateMethodV(m, anno.V0)
 	return a
 }
 
+// AnnotateMethodV runs the offline analysis and attaches its annotation at
+// the given schema version (anno.V0 or anno.V1).
+func AnnotateMethodV(m *cil.Method, version uint32) (*Analysis, error) {
+	a := AnalyzeMethod(m)
+	if err := anno.AttachRegAllocInfoV(m, a.Info, version); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
 // AnnotateModule runs the offline register allocation analysis on every
-// method of the module.
+// method of the module, attaching legacy v0 annotations.
 func AnnotateModule(mod *cil.Module) []*Analysis {
+	out, _ := AnnotateModuleV(mod, anno.V0)
+	return out
+}
+
+// AnnotateModuleV annotates every method at the given schema version.
+func AnnotateModuleV(mod *cil.Module, version uint32) ([]*Analysis, error) {
 	out := make([]*Analysis, 0, len(mod.Methods))
 	for _, m := range mod.Methods {
-		out = append(out, AnnotateMethod(m))
+		a, err := AnnotateMethodV(m, version)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
 	}
-	return out
+	return out, nil
 }

@@ -84,8 +84,23 @@ type DiffOptions = bench.DiffOptions
 // DiffReport is the outcome of comparing two Results artifacts.
 type DiffReport = bench.DiffReport
 
+// AnnoReport tracks the annotation-container trajectory (encoded sizes per
+// writer version, deploy-time fallback counts); recorded in the artifact but
+// never gated.
+type AnnoReport = bench.AnnoReport
+
+// RunAnno measures annotation sizes per writer version over the corpus
+// kernels and the fallback behavior of the synthetic future stream.
+func RunAnno() (*AnnoReport, error) { return bench.RunAnno() }
+
 // ParseResults decodes a BENCH_results.json artifact.
 func ParseResults(data []byte) (*Results, error) { return bench.ParseResults(data) }
+
+// StripUngatedResults removes every non-gated section from a raw results
+// artifact, returning the canonical committed-baseline form. The gate only
+// compares deterministic simulated metrics; host throughput, the annotation
+// trajectory and any future tracked-only section are stripped generically.
+func StripUngatedResults(data []byte) ([]byte, error) { return bench.StripUngated(data) }
 
 // CompareResults evaluates a current artifact against a baseline: every
 // lower-is-better metric (cycles, JIT steps, spill weights, code sizes) may

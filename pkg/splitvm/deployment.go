@@ -3,6 +3,7 @@ package splitvm
 import (
 	"fmt"
 
+	"repro/internal/anno"
 	"repro/internal/core"
 	"repro/internal/target"
 )
@@ -28,6 +29,46 @@ func (dp *Deployment) Target() *target.Desc { return dp.d.Target }
 // FromCache reports whether the native code came from the engine's code
 // cache rather than a fresh JIT compilation.
 func (dp *Deployment) FromCache() bool { return dp.fromCache }
+
+// AnnotationOutcome is the negotiated status of one annotation of one
+// method: the schema version it declared and whether it was consumed or
+// fell back to online-only compilation.
+type AnnotationOutcome = anno.MethodOutcome
+
+// CompileReport describes the JIT compilation behind a deployment: how much
+// online work it took and how the load-time annotation negotiation went.
+type CompileReport struct {
+	// Target is the deployment target's registry name.
+	Target string `json:"target"`
+	// FromCache reports whether the native code was reused from the
+	// engine's code cache (the negotiation outcomes then describe the
+	// original compilation).
+	FromCache bool `json:"from_cache"`
+	// JITSteps approximates the online compilation work.
+	JITSteps int64 `json:"jit_steps"`
+	// AnnotationOutcomes lists the negotiation result of every annotation
+	// present in the module, per method.
+	AnnotationOutcomes []AnnotationOutcome `json:"annotation_outcomes,omitempty"`
+	// AnnotationFallbacks counts the sections that degraded to online-only
+	// compilation (never an error: annotations are advisory).
+	AnnotationFallbacks int `json:"annotation_fallbacks"`
+}
+
+// AnnotationFallbacks returns the number of annotation sections of this
+// deployment's image that degraded to online-only compilation — the
+// CompileReport headline without copying the per-method outcome list.
+func (dp *Deployment) AnnotationFallbacks() int { return dp.d.AnnotationFallbacks }
+
+// CompileReport returns the compilation report of this deployment's image.
+func (dp *Deployment) CompileReport() CompileReport {
+	return CompileReport{
+		Target:              dp.d.Target.Name,
+		FromCache:           dp.fromCache,
+		JITSteps:            dp.d.JITSteps,
+		AnnotationOutcomes:  append([]AnnotationOutcome(nil), dp.d.AnnotationOutcomes...),
+		AnnotationFallbacks: dp.d.AnnotationFallbacks,
+	}
+}
 
 // Run executes an entry point on the deployment's machine.
 func (dp *Deployment) Run(entry string, args ...Value) (Value, error) {

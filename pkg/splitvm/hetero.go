@@ -67,7 +67,11 @@ func (e *Engine) DeployHetero(sys *System, m *Module, policy Policy, opts ...Opt
 		return nil, fmt.Errorf("splitvm: DeployHetero needs a module (did Compile fail?)")
 	}
 	cfg := e.config(opts)
-	jopts := jit.Options{RegAlloc: cfg.regAlloc, ForceScalarize: cfg.forceScalarize}
+	jopts := jit.Options{
+		RegAlloc:             cfg.regAlloc,
+		ForceScalarize:       cfg.forceScalarize,
+		MinAnnotationVersion: cfg.minAnnoVersion,
+	}
 	deploy := func(encoded []byte, tgt *target.Desc, _ jit.Options) (*core.Deployment, error) {
 		if cfg.noCache {
 			priv := *tgt // never alias the system's descriptor in a long-lived image
@@ -75,6 +79,7 @@ func (e *Engine) DeployHetero(sys *System, m *Module, policy Policy, opts ...Opt
 			if err != nil {
 				return nil, err
 			}
+			e.countCompilation(img)
 			return img.Instantiate(), nil
 		}
 		img, _, err := e.image(context.Background(), m, tgt, jopts)

@@ -22,6 +22,10 @@ type Module struct {
 	encoded []byte
 	hash    [sha256.Size]byte
 
+	// annoInfo records, at load time, the declared version and support
+	// status of every annotation in the module.
+	annoInfo []AnnotationSectionInfo
+
 	// stats carries offline-compilation accounting; zero for modules that
 	// were Load-ed rather than compiled.
 	stats ModuleStats
@@ -57,9 +61,10 @@ func newCompiledModule(res *core.OfflineResult) (*Module, error) {
 		return nil, err
 	}
 	m := &Module{
-		mod:     res.Module,
-		encoded: res.Encoded,
-		hash:    sha256.Sum256(res.Encoded),
+		mod:      res.Module,
+		encoded:  res.Encoded,
+		hash:     sha256.Sum256(res.Encoded),
+		annoInfo: anno.InspectModule(res.Module),
 		stats: ModuleStats{
 			EncodedBytes:    len(res.Encoded),
 			AnnotationBytes: res.AnnotationBytes,
@@ -83,9 +88,10 @@ func loadModule(encoded []byte) (*Module, error) {
 		return nil, err
 	}
 	return &Module{
-		mod:     mod,
-		encoded: buf,
-		hash:    sha256.Sum256(buf),
+		mod:      mod,
+		encoded:  buf,
+		hash:     sha256.Sum256(buf),
+		annoInfo: anno.InspectModule(mod),
 		stats: ModuleStats{
 			EncodedBytes:    len(buf),
 			AnnotationBytes: anno.TotalAnnotationBytes(mod),
@@ -106,6 +112,20 @@ func (m *Module) Encoded() []byte { return append([]byte(nil), m.encoded...) }
 
 // Stats returns the offline-compilation accounting.
 func (m *Module) Stats() ModuleStats { return m.stats }
+
+// AnnotationSectionInfo describes one annotation value of a loaded module:
+// its declared schema version (0 for grandfathered legacy streams), whether
+// this build can consume it, and — for enveloped values — the section table.
+type AnnotationSectionInfo = anno.SectionInfo
+
+// AnnotationInfo reports the per-method annotation versions recorded when
+// the module was loaded (or compiled): what each annotation declares and
+// whether this reader supports it. Unsupported annotations are not errors —
+// deployments degrade to online-only compilation for those sections (see
+// Deployment.CompileReport).
+func (m *Module) AnnotationInfo() []AnnotationSectionInfo {
+	return append([]AnnotationSectionInfo(nil), m.annoInfo...)
+}
 
 // Methods lists the module's method names in definition order.
 func (m *Module) Methods() []string {

@@ -1,6 +1,7 @@
 package splitvm
 
 import (
+	"repro/internal/anno"
 	"repro/internal/target"
 )
 
@@ -8,6 +9,17 @@ import (
 // New apply to every call on that engine; options given to a call apply on
 // top, last writer wins.
 type Option func(*config)
+
+// Annotation schema versions, for WithAnnotationVersion and
+// WithMinAnnotationVersion. Version 0 is the grandfathered legacy encoding
+// (bare payloads, no container); version 1 is the self-describing envelope.
+const (
+	AnnotationV0 uint32 = anno.V0
+	AnnotationV1 uint32 = anno.V1
+	// AnnotationVersionCurrent is the newest schema the toolchain emits and
+	// understands — the default for WithAnnotationVersion.
+	AnnotationVersionCurrent uint32 = anno.CurrentVersion
+)
 
 // config is the resolved configuration of one call. Offline options are read
 // by Compile, online options by Deploy; passing either kind to either call
@@ -19,6 +31,7 @@ type config struct {
 	constFold           bool
 	annotations         bool
 	regAllocAnnotations bool
+	annotationVersion   uint32
 
 	// Online (Deploy) options.
 	arch           target.Arch
@@ -26,6 +39,7 @@ type config struct {
 	regAlloc       RegAllocMode
 	forceScalarize bool
 	noCache        bool
+	minAnnoVersion uint32
 
 	// Engine-wide options (read by New only).
 	cacheSize int
@@ -37,6 +51,7 @@ func defaultConfig() config {
 		constFold:           true,
 		annotations:         true,
 		regAllocAnnotations: true,
+		annotationVersion:   anno.CurrentVersion,
 		arch:                target.X86SSE,
 		regAlloc:            RegAllocSplit,
 	}
@@ -78,6 +93,25 @@ func WithAnnotations(on bool) Option {
 // allocation analysis (the annotation the split allocator consumes).
 func WithRegAllocAnnotations(on bool) Option {
 	return func(c *config) { c.regAllocAnnotations = on }
+}
+
+// WithAnnotationVersion selects the on-wire schema version of the
+// annotations the offline compiler emits (default AnnotationVersionCurrent).
+// Version 0 is the legacy pre-envelope encoding, kept for byte streams that
+// must deploy on readers predating the versioned container; version 1 wraps
+// the payloads in the self-describing envelope and carries the spill-class
+// metadata. Compile fails on versions the writer cannot emit.
+func WithAnnotationVersion(v uint32) Option {
+	return func(c *config) { c.annotationVersion = v }
+}
+
+// WithMinAnnotationVersion makes deployments reject annotation sections
+// older than the given schema version during load-time negotiation: stale
+// sections degrade to online-only compilation (surfaced in the
+// CompileReport) instead of being consumed. Zero — the default — accepts
+// everything, including grandfathered v0 streams.
+func WithMinAnnotationVersion(v uint32) Option {
+	return func(c *config) { c.minAnnoVersion = v }
 }
 
 // WithTarget selects the deployment target by registry name (default

@@ -1,0 +1,83 @@
+package server
+
+import (
+	"net/http"
+	"testing"
+
+	"repro/internal/anno"
+	"repro/internal/anno/envelope"
+	"repro/internal/cil"
+)
+
+// futureStream compiles the test module and rewrites its regalloc
+// annotation to declare schema version 99 — an upload from a newer offline
+// toolchain than this server understands.
+func futureStream(t *testing.T) []byte {
+	t.Helper()
+	mod, err := cil.Decode(encodeModule(t, sumsqSource))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := mod.Method("sumsq")
+	data, ok := m.Annotation(anno.KeyRegAlloc)
+	if !ok {
+		t.Fatal("compiled module carries no regalloc annotation")
+	}
+	m.SetAnnotation(anno.KeyRegAlloc, envelope.Encode(&envelope.Envelope{Sections: []envelope.Section{
+		{Name: "regalloc", Version: 99, Payload: data},
+	}}))
+	return cil.Encode(mod)
+}
+
+// TestStatsCountsAnnotationFallbacks walks the server lifecycle with a
+// module from the future: upload succeeds, deployments succeed (degrading
+// to online-only register allocation), runs produce correct results, and
+// the fallback compilations surface in /v1/stats and per deployment.
+func TestStatsCountsAnnotationFallbacks(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := upload(t, ts, futureStream(t))
+
+	resp := postJSON(t, ts.URL+"/v1/deploy", DeployRequest{
+		Module:  id,
+		Targets: []string{"x86-sse", "mcu"},
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy: status %d", resp.StatusCode)
+	}
+	dr := decodeJSON[DeployResponse](t, resp.Body)
+	if len(dr.Deployments) != 2 {
+		t.Fatalf("got %d deployments, want 2", len(dr.Deployments))
+	}
+	for _, d := range dr.Deployments {
+		if d.AnnotationFallbacks < 1 {
+			t.Errorf("deployment on %s: annotation_fallbacks = %d, want >= 1", d.Target, d.AnnotationFallbacks)
+		}
+	}
+
+	runResp := postJSON(t, ts.URL+"/v1/deployments/"+dr.Deployments[0].ID+"/run", RunRequest{
+		Entry: "sumsq",
+		Args:  []string{"10"},
+	})
+	defer runResp.Body.Close()
+	if runResp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d", runResp.StatusCode)
+	}
+	rr := decodeJSON[RunResponse](t, runResp.Body)
+	if rr.Value != 385 { // 1^2 + ... + 10^2
+		t.Errorf("sumsq(10) = %d, want 385", rr.Value)
+	}
+
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	st := decodeJSON[StatsResponse](t, statsResp.Body)
+	if st.Compile.Compilations != 2 {
+		t.Errorf("compile.compilations = %d, want 2", st.Compile.Compilations)
+	}
+	if st.Compile.FallbackCompilations != 2 {
+		t.Errorf("compile.fallback_compilations = %d, want 2", st.Compile.FallbackCompilations)
+	}
+}

@@ -270,6 +270,11 @@ type DeploymentInfo struct {
 	// JITSteps approximates the online compilation work this deployment paid.
 	JITSteps        int64 `json:"jit_steps"`
 	NativeCodeBytes int   `json:"native_code_bytes"`
+	// AnnotationFallbacks counts the annotation sections of this
+	// deployment's image that could not be consumed (malformed, from the
+	// future, or below the configured minimum version) and degraded to
+	// online-only compilation.
+	AnnotationFallbacks int `json:"annotation_fallbacks"`
 }
 
 // DeployResponse lists the deployments a batch created, in target-major,
@@ -401,11 +406,12 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		ld := &liveDeployment{module: req.Module, arch: pq.arch, dep: res.dep}
 		deps = append(deps, ld)
 		infos = append(infos, DeploymentInfo{
-			Module:          req.Module,
-			Target:          string(pq.arch),
-			FromCache:       res.dep.FromCache(),
-			JITSteps:        res.dep.JITSteps(),
-			NativeCodeBytes: res.dep.NativeCodeBytes(),
+			Module:              req.Module,
+			Target:              string(pq.arch),
+			FromCache:           res.dep.FromCache(),
+			JITSteps:            res.dep.JITSteps(),
+			NativeCodeBytes:     res.dep.NativeCodeBytes(),
+			AnnotationFallbacks: res.dep.AnnotationFallbacks(),
 		})
 	}
 
@@ -429,12 +435,13 @@ func (s *Server) handleListDeployments(w http.ResponseWriter, r *http.Request) {
 	for _, id := range s.deployOrder {
 		ld := s.deployments[id]
 		out = append(out, DeploymentInfo{
-			ID:              id,
-			Module:          ld.module,
-			Target:          string(ld.arch),
-			FromCache:       ld.dep.FromCache(),
-			JITSteps:        ld.dep.JITSteps(),
-			NativeCodeBytes: ld.dep.NativeCodeBytes(),
+			ID:                  id,
+			Module:              ld.module,
+			Target:              string(ld.arch),
+			FromCache:           ld.dep.FromCache(),
+			JITSteps:            ld.dep.JITSteps(),
+			NativeCodeBytes:     ld.dep.NativeCodeBytes(),
+			AnnotationFallbacks: ld.dep.AnnotationFallbacks(),
 		})
 	}
 	s.mu.Unlock()
@@ -517,19 +524,27 @@ type PoolStats struct {
 	QueueCap int    `json:"queue_cap"`
 }
 
-// StatsResponse is the /v1/stats payload: code-cache effectiveness plus the
-// server's own registries and backpressure counters.
+// StatsResponse is the /v1/stats payload: code-cache effectiveness,
+// compilation outcomes (including annotation-fallback compilations), plus
+// the server's own registries and backpressure counters.
 type StatsResponse struct {
-	Cache       splitvm.CacheStats `json:"cache"`
-	Modules     int                `json:"modules"`
-	Deployments int                `json:"deployments"`
+	Cache splitvm.CacheStats `json:"cache"`
+	// Compile counts completed JIT compilations and — in
+	// fallback_compilations — how many of them had at least one annotation
+	// section degrade to online-only compilation (uploads from a newer
+	// offline toolchain than this server understands). The per-deployment
+	// annotation_fallbacks field counts sections instead, so the two units
+	// differ deliberately.
+	Compile     splitvm.CompileStats `json:"compile"`
+	Modules     int                  `json:"modules"`
+	Deployments int                  `json:"deployments"`
 	// Rejected counts batches refused with 429 since the server started.
 	Rejected int64       `json:"rejected"`
 	Pools    []PoolStats `json:"pools"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	st := StatsResponse{Cache: s.eng.CacheStats()}
+	st := StatsResponse{Cache: s.eng.CacheStats(), Compile: s.eng.CompileStats()}
 	s.mu.Lock()
 	st.Modules = len(s.modules)
 	st.Deployments = len(s.deployments)

@@ -67,6 +67,12 @@ type Engine struct {
 	hits       int64
 	misses     int64
 	evictions  int64
+
+	// compilations counts completed JIT compilations (cache hits excluded);
+	// annoFallbacks counts the subset whose load-time annotation
+	// negotiation degraded at least one section to online-only compilation.
+	compilations  int64
+	annoFallbacks int64
 }
 
 // New returns an engine. The options become the engine's defaults; every
@@ -111,6 +117,7 @@ func (e *Engine) CompileContext(ctx context.Context, source string, opts ...Opti
 		DisableRegAllocAnnotations: !cfg.regAllocAnnotations,
 		DisableAnnotations:         !cfg.annotations,
 		DisableConstFold:           !cfg.constFold,
+		AnnotationVersion:          cfg.annotationVersion,
 	})
 	if err != nil {
 		return nil, err
@@ -159,13 +166,18 @@ func (e *Engine) DeployContext(ctx context.Context, m *Module, opts ...Option) (
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	jopts := jit.Options{RegAlloc: cfg.regAlloc, ForceScalarize: cfg.forceScalarize}
+	jopts := jit.Options{
+		RegAlloc:             cfg.regAlloc,
+		ForceScalarize:       cfg.forceScalarize,
+		MinAnnotationVersion: cfg.minAnnoVersion,
+	}
 	if cfg.noCache {
 		priv := *tgt // the image outlives the call; never alias the caller's descriptor
 		img, err := core.ImageFromVerifiedModule(m.mod, &priv, jopts)
 		if err != nil {
 			return nil, err
 		}
+		e.countCompilation(img)
 		return &Deployment{d: img.Instantiate()}, nil
 	}
 	img, hit, err := e.image(ctx, m, tgt, jopts)
@@ -183,6 +195,7 @@ type cacheKey struct {
 	desc           target.Desc
 	regAlloc       jit.RegAllocMode
 	forceScalarize bool
+	minAnnoVersion uint32
 }
 
 // cacheEntry is one cached (or in-flight) JIT compilation. ready is closed
@@ -201,7 +214,13 @@ type cacheEntry struct {
 // building it at most once per key. The boolean reports whether the image
 // came from the cache (joining an in-flight compilation counts as a hit).
 func (e *Engine) image(ctx context.Context, m *Module, tgt *target.Desc, jopts jit.Options) (*core.Image, bool, error) {
-	key := cacheKey{hash: m.hash, desc: *tgt, regAlloc: jopts.RegAlloc, forceScalarize: jopts.ForceScalarize}
+	key := cacheKey{
+		hash:           m.hash,
+		desc:           *tgt,
+		regAlloc:       jopts.RegAlloc,
+		forceScalarize: jopts.ForceScalarize,
+		minAnnoVersion: jopts.MinAnnotationVersion,
+	}
 	// The cached image must describe exactly the key it is stored under:
 	// build and instantiate from the key's private copy of the descriptor,
 	// never the caller's pointer, so later mutation of a WithTargetDesc
@@ -237,6 +256,9 @@ func (e *Engine) image(ctx context.Context, m *Module, tgt *target.Desc, jopts j
 
 	ent.img, ent.err = core.ImageFromVerifiedModule(m.mod, tgt, jopts)
 	close(ent.ready)
+	if ent.err == nil {
+		e.countCompilation(ent.img)
+	}
 	e.mu.Lock()
 	switch {
 	case ent.err != nil:
@@ -265,6 +287,38 @@ func (e *Engine) image(ctx context.Context, m *Module, tgt *target.Desc, jopts j
 		return nil, false, ent.err
 	}
 	return ent.img, false, nil
+}
+
+// countCompilation records one completed JIT compilation and its
+// annotation-negotiation outcome in the engine counters.
+func (e *Engine) countCompilation(img *core.Image) {
+	e.mu.Lock()
+	e.compilations++
+	if img.AnnotationFallbacks > 0 {
+		e.annoFallbacks++
+	}
+	e.mu.Unlock()
+}
+
+// CompileStats reports JIT compilation outcomes over the engine's lifetime.
+type CompileStats struct {
+	// Compilations counts completed JIT compilations (deployments served
+	// from the code cache are not re-counted).
+	Compilations int64 `json:"compilations"`
+	// FallbackCompilations counts compilations in which at least one
+	// annotation section could not be consumed — malformed, from the
+	// future, or below WithMinAnnotationVersion — and degraded to
+	// online-only compilation. Note the unit: compilations, not sections —
+	// CompileReport.AnnotationFallbacks counts the individual sections of
+	// one compilation, so the two are not expected to add up.
+	FallbackCompilations int64 `json:"fallback_compilations"`
+}
+
+// CompileStats returns a snapshot of the engine's compilation counters.
+func (e *Engine) CompileStats() CompileStats {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return CompileStats{Compilations: e.compilations, FallbackCompilations: e.annoFallbacks}
 }
 
 // CacheStats reports code cache effectiveness.

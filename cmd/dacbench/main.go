@@ -10,12 +10,15 @@
 //
 // Besides the deterministic simulated metrics, the host experiment records
 // how fast the simulator itself runs on this host (ns/run, allocs/run,
-// simulated instructions per host-second); those numbers are tracked in the
-// artifact but never gated by cmd/benchdiff.
+// simulated instructions per host-second) and the compile experiment records
+// how fast the online JIT runs (ns/compile, allocs/compile, methods/sec,
+// parallel-pipeline speedup); those numbers are tracked in the artifact but
+// never gated by cmd/benchdiff.
 //
 // Usage:
 //
-//	dacbench -exp table1|figure1|regalloc|codesize|hetero|host|anno|all [-n 4096] [-frames 8]
+//	dacbench -exp table1|figure1|regalloc|codesize|hetero|host|anno|compile|all [-n 4096] [-frames 8]
+//	         [-compileruns 24] [-compile-workers 0]
 //	         [-json BENCH_results.json] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 package main
 
@@ -26,19 +29,30 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strconv"
 
 	"repro/pkg/splitvm"
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, figure1, regalloc, codesize, hetero, host, anno or all")
+	exp := flag.String("exp", "all", "experiment to run: table1, figure1, regalloc, codesize, hetero, host, anno, compile or all")
 	n := flag.Int("n", 4096, "elements per kernel invocation (table1, host)")
 	frames := flag.Int("frames", 8, "frames for the heterogeneous scenario")
 	hostRuns := flag.Int("hostruns", 16, "timed executions per cell of the host-throughput experiment")
+	compileRuns := flag.Int("compileruns", 24, "timed compilations per cell of the compile-throughput experiment")
+	compileWorkers := flag.Int("compile-workers", 0, "pin the JIT worker pool for every compilation in this run (0 = GOMAXPROCS); equivalent to SPLITVM_COMPILE_WORKERS")
 	jsonPath := flag.String("json", "BENCH_results.json", "write the reports of the executed experiments to this JSON file (empty to skip)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile taken after the experiment run to this file")
 	flag.Parse()
+
+	// The worker-pool pin must be in place before the first JIT call reads
+	// it (the jit package resolves the override once). CI uses this to
+	// prove the gated metrics are identical under sequential and parallel
+	// compilation.
+	if *compileWorkers > 0 {
+		os.Setenv("SPLITVM_COMPILE_WORKERS", strconv.Itoa(*compileWorkers))
+	}
 
 	// fail flushes the CPU profile before exiting: os.Exit skips deferred
 	// calls, and a truncated profile of a failing run would be useless
@@ -123,6 +137,13 @@ func main() {
 			}
 			res.Anno = r
 			fmt.Println(r)
+		case "compile":
+			r, err := splitvm.RunCompile(splitvm.CompileOptions{Runs: *compileRuns})
+			if err != nil {
+				return err
+			}
+			res.Compile = r
+			fmt.Println(r)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -131,7 +152,7 @@ func main() {
 
 	experiments := []string{*exp}
 	if *exp == "all" {
-		experiments = []string{"table1", "figure1", "regalloc", "codesize", "hetero", "host", "anno"}
+		experiments = []string{"table1", "figure1", "regalloc", "codesize", "hetero", "host", "anno", "compile"}
 	}
 	for _, e := range experiments {
 		if err := run(e); err != nil {

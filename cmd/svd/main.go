@@ -7,6 +7,7 @@
 // Usage:
 //
 //	svd [-addr :7420] [-workers 4] [-queue 64] [-cache-size 0] [-retry-after 1s]
+//	    [-deploy-ttl 0] [-compile-workers 0]
 //
 // A walkthrough with curl lives in the repository README. SIGINT/SIGTERM
 // trigger a graceful shutdown: the listener drains, then the worker pools.
@@ -35,15 +36,18 @@ func main() {
 	cacheSize := flag.Int("cache-size", 0, "max native images kept in the code cache (0 = unbounded)")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 	maxModule := flag.Int64("max-module-bytes", 4<<20, "largest accepted module upload")
+	deployTTL := flag.Duration("deploy-ttl", 0, "evict deployments idle for this long (0 = keep forever)")
+	compileWorkers := flag.Int("compile-workers", 0, "JIT worker pool per compilation (0 = GOMAXPROCS, 1 = sequential)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
 	flag.Parse()
 
-	eng := splitvm.New(splitvm.WithCacheSize(*cacheSize))
+	eng := splitvm.New(splitvm.WithCacheSize(*cacheSize), splitvm.WithCompileWorkers(*compileWorkers))
 	srv := server.New(eng, server.Config{
 		WorkersPerTarget: *workers,
 		QueueDepth:       *queue,
 		RetryAfter:       *retryAfter,
 		MaxModuleBytes:   *maxModule,
+		DeployTTL:        *deployTTL,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

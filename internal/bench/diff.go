@@ -32,6 +32,13 @@ type Results struct {
 	// instead. New non-gated sections belong in this pattern — add them
 	// here and leave them out of both Metrics and gatedSections.
 	Anno *AnnoReport `json:"anno,omitempty"`
+	// Compile carries the compile-throughput measurement (wall-clock speed
+	// of the online JIT itself: ns/compile, allocs/compile, methods/sec,
+	// parallel-pipeline speedup). Host-dependent like Host, so tracked but
+	// never gated; what *is* gated about compilation — that the generated
+	// code stays bit-identical — is covered by the deterministic sections
+	// above plus the workers=1 vs workers=N comparison in CI.
+	Compile *CompileReport `json:"compile,omitempty"`
 }
 
 // gatedSections are the top-level artifact keys whose metrics the

@@ -37,9 +37,12 @@ type Options struct {
 // bytecode module.
 func Compile(chk *minic.Checked, moduleName string, opts Options) (*cil.Module, error) {
 	mod := cil.NewModule(moduleName)
+	// One generator serves every function: its slot maps and plan buffer
+	// are cleared per function (genFunc) instead of reallocated, the same
+	// allocation-lean discipline the online compile pipeline follows.
+	g := &generator{chk: chk, opts: opts}
 	for _, fn := range chk.Prog.Funcs {
-		info := chk.Funcs[fn.Name]
-		g := &generator{chk: chk, info: info, opts: opts}
+		g.info = chk.Funcs[fn.Name]
 		m, err := g.genFunc(fn)
 		if err != nil {
 			return nil, err
@@ -72,8 +75,18 @@ func (g *generator) genFunc(fn *minic.FuncDecl) (*cil.Method, error) {
 		params[i] = p.Type
 	}
 	g.b = cil.NewMethodBuilder(fn.Name, params, fn.Ret)
-	g.localSlot = make(map[*minic.Symbol]int)
-	g.tempSlot = make(map[cil.Kind]int)
+	if g.localSlot == nil {
+		g.localSlot = make(map[*minic.Symbol]int)
+	} else {
+		clear(g.localSlot)
+	}
+	if g.tempSlot == nil {
+		g.tempSlot = make(map[cil.Kind]int)
+	} else {
+		clear(g.tempSlot)
+	}
+	clear(g.boundDecls) // no-op on the nil map; it is created lazily
+	g.plans = g.plans[:0]
 	for _, sym := range g.info.Locals {
 		g.localSlot[sym] = g.b.AddLocal(sym.Type)
 	}

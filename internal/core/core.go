@@ -21,6 +21,7 @@ package core
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/anno"
 	"repro/internal/cil"
@@ -155,6 +156,9 @@ type Image struct {
 	// split compilation this stays small even when the generated code is
 	// aggressive.
 	JITSteps int64
+	// CompileNanos is the wall-clock time the JIT spent producing this
+	// image (the online compile cost a deployment pays on a cache miss).
+	CompileNanos int64
 
 	// AnnotationOutcomes is the per-method result of the load-time
 	// annotation negotiation: which sections were consumed at which schema
@@ -192,6 +196,7 @@ func ImageFromModule(mod *cil.Module, tgt *target.Desc, jopts jit.Options) (*Ima
 // verify once up front and use this entry point: the JIT itself only reads
 // the module.
 func ImageFromVerifiedModule(mod *cil.Module, tgt *target.Desc, jopts jit.Options) (*Image, error) {
+	start := time.Now()
 	prog, rep, err := jit.New(tgt, jopts).CompileModuleReport(mod)
 	if err != nil {
 		return nil, err
@@ -200,6 +205,7 @@ func ImageFromVerifiedModule(mod *cil.Module, tgt *target.Desc, jopts jit.Option
 		Target:              tgt,
 		Module:              mod,
 		Program:             prog,
+		CompileNanos:        time.Since(start).Nanoseconds(),
 		AnnotationOutcomes:  rep.Outcomes,
 		AnnotationFallbacks: rep.Fallbacks,
 	}
@@ -219,6 +225,7 @@ func (img *Image) Instantiate() *Deployment {
 		Program:             img.Program,
 		Machine:             sim.New(img.Target, img.Program),
 		JITSteps:            img.JITSteps,
+		CompileNanos:        img.CompileNanos,
 		AnnotationOutcomes:  img.AnnotationOutcomes,
 		AnnotationFallbacks: img.AnnotationFallbacks,
 	}
@@ -237,6 +244,10 @@ type Deployment struct {
 	// split compilation this stays small even when the generated code is
 	// aggressive.
 	JITSteps int64
+	// CompileNanos is the wall-clock JIT time behind this deployment's
+	// image (paid once per image; cache-hit deployments inherit the
+	// original compilation's cost figure).
+	CompileNanos int64
 
 	// AnnotationOutcomes and AnnotationFallbacks carry the image's
 	// load-time annotation negotiation result (see Image).

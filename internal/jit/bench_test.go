@@ -1,0 +1,123 @@
+package jit
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/anno"
+	"repro/internal/cil"
+	"repro/internal/codegen"
+	"repro/internal/kernels"
+	"repro/internal/minic"
+	"repro/internal/opt"
+	"repro/internal/regalloc"
+	"repro/internal/target"
+)
+
+// benchModule compiles MiniC source through the offline pipeline including
+// the split register allocation annotation, the way deployable modules are
+// produced, so the compile benchmarks exercise the annotated path.
+func benchModule(tb testing.TB, src string) *cil.Module {
+	tb.Helper()
+	prog, err := minic.Parse(src)
+	if err != nil {
+		tb.Fatalf("parse: %v", err)
+	}
+	chk, err := minic.Check(prog)
+	if err != nil {
+		tb.Fatalf("check: %v", err)
+	}
+	opt.FoldConstants(chk)
+	opt.Vectorize(chk)
+	mod, err := codegen.Compile(chk, "bench", codegen.Options{AnnotationVersion: anno.CurrentVersion})
+	if err != nil {
+		tb.Fatalf("compile: %v", err)
+	}
+	if _, err := regalloc.AnnotateModuleV(mod, anno.CurrentVersion); err != nil {
+		tb.Fatalf("annotate: %v", err)
+	}
+	if err := cil.Verify(mod); err != nil {
+		tb.Fatalf("verify: %v", err)
+	}
+	return mod
+}
+
+// manyMethodSource synthesizes a module with n independent mid-size methods:
+// the shape of a real application module, where the parallel compile pipeline
+// has work to fan out (the Table 1 kernels are single-method and measure the
+// per-method path instead).
+func manyMethodSource(n int) string {
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, `
+f64 m%d(f64 a[], f64 b[], i32 n) {
+    f64 s = 0.0;
+    for (i32 i = 0; i < n; i++) {
+        f64 t0 = a[i] * b[i];
+        f64 t1 = a[i] + b[i];
+        f64 t2 = t0 * t1 - (f64) %d;
+        s = s + t2;
+    }
+    return s;
+}
+i32 g%d(i32 a, i32 b, i32 c) {
+    i32 acc = 0;
+    for (i32 i = 0; i < a; i++) {
+        i32 t0 = i * b + c;
+        i32 t1 = t0 %% 7;
+        if (t1 > 3) { acc += t0; } else { acc -= t1; }
+    }
+    return acc + %d;
+}`, i, i, i, i)
+	}
+	return b.String()
+}
+
+// BenchmarkCompileMethod measures the steady-state online compile path per
+// kernel × target × regalloc mode: one op is one full module compilation
+// (translate + register assignment + program assembly) of an already decoded
+// and verified module — exactly the work a warm deploy server repeats.
+func BenchmarkCompileMethod(b *testing.B) {
+	modes := []RegAllocMode{RegAllocOnline, RegAllocSplit, RegAllocOptimal}
+	for _, name := range []string{"saxpy_fp", "max_u8"} {
+		k := kernels.MustGet(name)
+		mod := benchModule(b, k.Source)
+		for _, arch := range []target.Arch{target.X86SSE, target.MCU} {
+			tgt := target.MustLookup(arch)
+			for _, mode := range modes {
+				b.Run(fmt.Sprintf("%s/%s/%s", name, arch, mode), func(b *testing.B) {
+					c := New(tgt, Options{RegAlloc: mode})
+					b.ReportAllocs()
+					for i := 0; i < b.N; i++ {
+						if _, _, err := c.CompileModuleReport(mod); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkCompileModuleParallel measures a multi-method module compile with
+// the worker pool at 1 and at GOMAXPROCS: the wall-clock win of the parallel
+// compile pipeline. methods/sec is reported as a custom metric.
+func BenchmarkCompileModuleParallel(b *testing.B) {
+	const methods = 16
+	mod := benchModule(b, manyMethodSource(methods/2))
+	tgt := target.MustLookup(target.X86SSE)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			c := New(tgt, Options{RegAlloc: RegAllocSplit, CompileWorkers: workers})
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := c.CompileModuleReport(mod); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(methods)*float64(b.N)/b.Elapsed().Seconds(), "methods/sec")
+		})
+	}
+}

@@ -19,6 +19,11 @@ package jit
 
 import (
 	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/anno"
 	"repro/internal/cil"
@@ -73,6 +78,12 @@ type Options struct {
 	// understand. Zero (the default) accepts everything, including the
 	// grandfathered v0 streams.
 	MinAnnotationVersion uint32
+	// CompileWorkers bounds the number of methods CompileModuleReport
+	// compiles concurrently. Zero (the default) uses GOMAXPROCS; negative
+	// or 1 compiles sequentially. The generated program is bit-identical
+	// regardless of the worker count — parallelism only changes wall-clock
+	// time, never code (see TestCompileDeterministicAcrossWorkers).
+	CompileWorkers int
 }
 
 // Compiler is a JIT compiler instance for one target.
@@ -101,6 +112,16 @@ type Report struct {
 	Fallbacks int
 }
 
+// add records one method's negotiation outcomes.
+func (rep *Report) add(method string, outcomes []anno.Outcome) {
+	for _, out := range outcomes {
+		rep.Outcomes = append(rep.Outcomes, anno.MethodOutcome{Method: method, Outcome: out})
+		if out.Fallback {
+			rep.Fallbacks++
+		}
+	}
+}
+
 // CompileModule compiles every method of a verified module into a native
 // program for the compiler's target.
 func (c *Compiler) CompileModule(mod *cil.Module) (*nisa.Program, error) {
@@ -108,30 +129,116 @@ func (c *Compiler) CompileModule(mod *cil.Module) (*nisa.Program, error) {
 	return prog, err
 }
 
+// envCompileWorkers is the SPLITVM_COMPILE_WORKERS override, read once: it
+// lets a whole process (CI proving workers=1 vs workers=N equivalence, a
+// benchmark sweep) pin the worker pool without threading an option through
+// every caller. Options.CompileWorkers still wins when set.
+var envCompileWorkers = sync.OnceValue(func() int {
+	n, err := strconv.Atoi(os.Getenv("SPLITVM_COMPILE_WORKERS"))
+	if err != nil || n < 1 {
+		return 0
+	}
+	return n
+})
+
+// DefaultCompileWorkers is the worker count used when Options.CompileWorkers
+// is zero: the SPLITVM_COMPILE_WORKERS environment override when set,
+// otherwise GOMAXPROCS.
+func DefaultCompileWorkers() int {
+	if n := envCompileWorkers(); n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// compileWorkers resolves the worker count for a module of n methods.
+func (c *Compiler) compileWorkers(methods int) int {
+	w := c.Opts.CompileWorkers
+	if w == 0 {
+		w = DefaultCompileWorkers()
+	}
+	if w > methods {
+		w = methods
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// methodResult is one slot of the parallel pipeline's output: results are
+// written by index, so the assembled program and report are deterministic
+// regardless of which worker finished first.
+type methodResult struct {
+	f        *nisa.Func
+	outcomes []anno.Outcome
+	err      error
+}
+
 // CompileModuleReport is CompileModule plus the annotation-negotiation
-// report of the build.
+// report of the build. Methods compile concurrently across a bounded worker
+// pool (Options.CompileWorkers); each worker reuses one pooled scratch state
+// for every method it compiles, and the emitted program is assembled in
+// module method order so the result is bit-identical to a sequential
+// compilation.
 func (c *Compiler) CompileModuleReport(mod *cil.Module) (*nisa.Program, *Report, error) {
 	prog := nisa.NewProgram(c.Target.Name)
 	rep := &Report{}
-	for _, m := range mod.Methods {
-		f, outcomes, err := c.compileMethod(mod, m)
-		if err != nil {
-			return nil, nil, err
-		}
-		for _, out := range outcomes {
-			rep.Outcomes = append(rep.Outcomes, anno.MethodOutcome{Method: m.Name, Outcome: out})
-			if out.Fallback {
-				rep.Fallbacks++
+	methods := mod.Methods
+	workers := c.compileWorkers(len(methods))
+	if workers <= 1 {
+		st := getState()
+		defer putState(st)
+		for _, m := range methods {
+			f, outcomes, err := c.compileMethod(st, mod, m)
+			if err != nil {
+				return nil, nil, err
 			}
+			rep.add(m.Name, outcomes)
+			prog.Add(f)
 		}
-		prog.Add(f)
+		return prog, rep, nil
+	}
+
+	results := make([]methodResult, len(methods))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			st := getState()
+			defer putState(st)
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(methods) {
+					return
+				}
+				r := &results[i]
+				r.f, r.outcomes, r.err = c.compileMethod(st, mod, methods[i])
+			}
+		}()
+	}
+	wg.Wait()
+
+	// Deterministic assembly: module method order, first error wins (the
+	// same error a sequential compilation would have stopped on).
+	for i, m := range methods {
+		r := results[i]
+		if r.err != nil {
+			return nil, nil, r.err
+		}
+		rep.add(m.Name, r.outcomes)
+		prog.Add(r.f)
 	}
 	return prog, rep, nil
 }
 
 // CompileMethod compiles a single method.
 func (c *Compiler) CompileMethod(mod *cil.Module, m *cil.Method) (*nisa.Func, error) {
-	f, _, err := c.compileMethod(mod, m)
+	st := getState()
+	defer putState(st)
+	f, _, err := c.compileMethod(st, mod, m)
 	return f, err
 }
 
@@ -156,9 +263,15 @@ func (c *Compiler) negotiateAnnotations(m *cil.Method) (*anno.RegAllocInfo, []an
 	return ra, outcomes
 }
 
-func (c *Compiler) compileMethod(mod *cil.Module, m *cil.Method) (*nisa.Func, []anno.Outcome, error) {
+// compileMethod runs the translate → register-assignment pipeline for one
+// method on the given scratch state. The returned Func owns all its memory:
+// the assigner's rewrite step always replaces the pooled code buffer with an
+// exactly-sized fresh slice.
+func (c *Compiler) compileMethod(st *compileState, mod *cil.Module, m *cil.Method) (*nisa.Func, []anno.Outcome, error) {
 	annot, outcomes := c.negotiateAnnotations(m)
-	tr := newTranslator(c, mod, m)
+	st.beginMethod()
+	tr := &st.tr
+	tr.reset(c, mod, m, st)
 	if err := tr.run(); err != nil {
 		return nil, nil, fmt.Errorf("jit: %s: %w", m.Name, err)
 	}
@@ -169,7 +282,8 @@ func (c *Compiler) compileMethod(mod *cil.Module, m *cil.Method) (*nisa.Func, []
 		Code:   tr.code,
 		Stats:  tr.stats,
 	}
-	ra := newAssigner(c, tr, f, annot)
+	ra := &st.as
+	ra.reset(c, tr, f, annot)
 	if err := ra.run(); err != nil {
 		return nil, nil, fmt.Errorf("jit: %s: register assignment: %w", m.Name, err)
 	}

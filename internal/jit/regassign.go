@@ -23,8 +23,20 @@ type interval struct {
 	weight int64
 }
 
+// lsActive is one live register assignment of the linear-scan allocator.
+type lsActive struct{ vreg, reg int }
+
+// weighted pairs a virtual register with its allocation priority.
+type weighted struct {
+	vreg   int
+	weight int64
+}
+
 // assigner performs register assignment and spill-code insertion on the
-// virtual-register code produced by the translator.
+// virtual-register code produced by the translator. Like the translator it
+// is pooled per compile worker: every work buffer below keeps its capacity
+// between compilations, so a warm assigner runs allocation-free except for
+// the final exactly-sized instruction slice it hands the compiled function.
 type assigner struct {
 	c  *Compiler
 	tr *translator
@@ -38,24 +50,48 @@ type assigner struct {
 	numSlots  int
 
 	steps int64
+
+	// Reusable work buffers (capacities survive across compilations).
+	defBuf, usesBuf []*nisa.Reg // regRefs results
+	classBuf        []int       // vregsOfClass result
+	orderBuf        []int       // linearScan / weightOrder allocation order
+	freeBuf         []int       // linearScan free-register stack
+	activeBuf       []lsActive  // linearScan active set
+	inClassBuf      []bool      // splitOrder: vreg is in the current class
+	takenBuf        []bool      // splitOrder: vreg already ordered
+	slotVregBuf     []int       // splitOrder: variable slot -> named vreg
+	namedBuf        []weighted  // splitOrder: annotated variables
+	restBuf         []weighted  // splitOrder: temporaries
+	mergeBuf        []int       // splitOrder merged order
+	perRegBuf       [][]int     // priorityAllocate per-register assignments
+	outBuf          []nisa.Instr
+	preBuf, postBuf []nisa.Instr // rewrite spill loads/stores around one instr
+	posMapBuf       []int        // rewrite old->new instruction positions
 }
 
-// newAssigner builds the register assigner. annot is the method's
+// reset readies a pooled assigner for one method. annot is the method's
 // register-allocation annotation after load-time negotiation (nil when
 // absent or fallen back); it is only consulted in RegAllocSplit mode.
-func newAssigner(c *Compiler, tr *translator, f *nisa.Func, annot *anno.RegAllocInfo) *assigner {
-	a := &assigner{c: c, tr: tr, f: f}
+func (a *assigner) reset(c *Compiler, tr *translator, f *nisa.Func, annot *anno.RegAllocInfo) {
+	a.c, a.tr, a.f = c, tr, f
+	a.annot = nil
 	if c.Opts.RegAlloc == RegAllocSplit {
 		a.annot = annot
 	}
-	return a
+	a.numSlots = 0
+	a.steps = 0
 }
 
 func (a *assigner) run() error {
 	n := len(a.tr.vregs)
-	a.intervals = make([]interval, n)
-	a.assigned = make([]int, n)
-	a.slot = make([]int, n)
+	if cap(a.intervals) < n {
+		a.intervals = make([]interval, n)
+	} else {
+		a.intervals = a.intervals[:n]
+		clear(a.intervals)
+	}
+	a.assigned = growInts(a.assigned, n)
+	a.slot = growInts(a.slot, n)
 	for i := range a.assigned {
 		a.assigned[i] = -1
 		a.slot[i] = -1
@@ -79,8 +115,10 @@ func (a *assigner) run() error {
 
 // regRefs returns the register operands of an instruction split into
 // definitions and uses. The returned pointers alias the instruction so the
-// rewriter can substitute physical registers in place.
-func regRefs(in *nisa.Instr) (defs, uses []*nisa.Reg) {
+// rewriter can substitute physical registers in place; the backing slices
+// are reused on the next call.
+func (a *assigner) regRefs(in *nisa.Instr) (defs, uses []*nisa.Reg) {
+	defs, uses = a.defBuf[:0], a.usesBuf[:0]
 	add := func(list []*nisa.Reg, r *nisa.Reg) []*nisa.Reg {
 		if r.Class == nisa.ClassNone {
 			return list
@@ -104,6 +142,7 @@ func regRefs(in *nisa.Instr) (defs, uses []*nisa.Reg) {
 		uses = add(uses, &in.Ra)
 		uses = add(uses, &in.Rb)
 	}
+	a.defBuf, a.usesBuf = defs, uses
 	return defs, uses
 }
 
@@ -124,8 +163,13 @@ func (a *assigner) touch(vreg, pos int) {
 
 func (a *assigner) computeIntervals() {
 	for pos := range a.f.Code {
-		defs, uses := regRefs(&a.f.Code[pos])
-		for _, r := range append(defs, uses...) {
+		defs, uses := a.regRefs(&a.f.Code[pos])
+		for _, r := range defs {
+			if r.Virtual {
+				a.touch(r.Index, pos)
+			}
+		}
+		for _, r := range uses {
 			if r.Virtual {
 				a.touch(r.Index, pos)
 			}
@@ -188,12 +232,17 @@ func (a *assigner) computeWeights() {
 		return d
 	}
 	for pos := range a.f.Code {
-		defs, uses := regRefs(&a.f.Code[pos])
+		defs, uses := a.regRefs(&a.f.Code[pos])
 		w := int64(1)
 		for i, d := 0, depthAt(pos); i < d; i++ {
 			w *= 10
 		}
-		for _, r := range append(defs, uses...) {
+		for _, r := range defs {
+			if r.Virtual {
+				a.intervals[r.Index].weight += w
+			}
+		}
+		for _, r := range uses {
 			if r.Virtual {
 				a.intervals[r.Index].weight += w
 			}
@@ -213,14 +262,16 @@ func (a *assigner) classRegs(class nisa.RegClass) int {
 	}
 }
 
-// vregsOfClass lists the used virtual registers of a class.
+// vregsOfClass lists the used virtual registers of a class. The result is
+// valid until the next call.
 func (a *assigner) vregsOfClass(class nisa.RegClass) []int {
-	var out []int
+	out := a.classBuf[:0]
 	for i, info := range a.tr.vregs {
 		if info.class == class && a.intervals[i].used {
 			out = append(out, i)
 		}
 	}
+	a.classBuf = out
 	return out
 }
 
@@ -256,10 +307,10 @@ func (a *assigner) allocateClass(class nisa.RegClass) error {
 		a.steps += sortCost
 		a.linearScan(vregs, numRegs)
 	case RegAllocSplit:
-		a.priorityAllocate(vregs, numRegs, a.splitOrder(class, vregs))
+		a.priorityAllocate(numRegs, a.splitOrder(class, vregs))
 	case RegAllocOptimal:
 		a.steps += int64(len(a.f.Code)) + sortCost
-		a.priorityAllocate(vregs, numRegs, a.weightOrder(vregs))
+		a.priorityAllocate(numRegs, a.weightOrder(vregs))
 	default:
 		return fmt.Errorf("unknown register allocation mode %v", mode)
 	}
@@ -290,7 +341,7 @@ func (a *assigner) spill(v int) {
 // scan in interval start order with the furthest-end spill heuristic and no
 // profitability information.
 func (a *assigner) linearScan(vregs []int, numRegs int) {
-	order := append([]int(nil), vregs...)
+	order := append(a.orderBuf[:0], vregs...)
 	sort.Slice(order, func(i, j int) bool {
 		si, sj := a.intervals[order[i]].start, a.intervals[order[j]].start
 		if si != sj {
@@ -298,12 +349,11 @@ func (a *assigner) linearScan(vregs []int, numRegs int) {
 		}
 		return order[i] < order[j]
 	})
-	free := make([]int, 0, numRegs)
+	free := a.freeBuf[:0]
 	for r := numRegs - 1; r >= 0; r-- {
 		free = append(free, r)
 	}
-	type act struct{ vreg, reg int }
-	var active []act
+	active := a.activeBuf[:0]
 
 	expire := func(pos int) {
 		keep := active[:0]
@@ -325,7 +375,7 @@ func (a *assigner) linearScan(vregs []int, numRegs int) {
 			reg := free[len(free)-1]
 			free = free[:len(free)-1]
 			a.assigned[v] = reg
-			active = append(active, act{v, reg})
+			active = append(active, lsActive{v, reg})
 			continue
 		}
 		// Spill the interval that ends furthest in the future.
@@ -340,11 +390,12 @@ func (a *assigner) linearScan(vregs []int, numRegs int) {
 			a.spill(victim.vreg)
 			a.assigned[victim.vreg] = -1
 			a.assigned[v] = victim.reg
-			active[furthest] = act{v, victim.reg}
+			active[furthest] = lsActive{v, victim.reg}
 		} else {
 			a.spill(v)
 		}
 	}
+	a.orderBuf, a.freeBuf, a.activeBuf = order, free, active
 }
 
 // splitOrder builds the allocation order from the offline annotation. Named
@@ -355,23 +406,27 @@ func (a *assigner) linearScan(vregs []int, numRegs int) {
 // register allocator: no interference or profitability analysis is redone
 // for the program's variables.
 func (a *assigner) splitOrder(class nisa.RegClass, vregs []int) []int {
-	inClass := make(map[int]bool, len(vregs))
+	nv := len(a.tr.vregs)
+	inClass := growBools(a.inClassBuf, nv)
 	for _, v := range vregs {
 		inClass[v] = true
 	}
-	slotToVreg := make(map[int]int)
+	// Variable slot -> named vreg of this class (the annotation talks in
+	// slots). Slots are params first, then locals; a slot the annotation
+	// names beyond that range is simply ignored, like a map miss was.
+	numSlots := len(a.tr.m.Params) + len(a.tr.m.Locals)
+	slotVreg := growInts(a.slotVregBuf, numSlots)
+	for i := range slotVreg {
+		slotVreg[i] = -1
+	}
 	for v, info := range a.tr.vregs {
 		if info.named && inClass[v] {
-			slotToVreg[info.slot] = v
+			slotVreg[info.slot] = v
 		}
 	}
 	// Named variables in annotation order (already sorted by weight).
-	type weighted struct {
-		vreg   int
-		weight int64
-	}
-	var named []weighted
-	taken := make(map[int]bool)
+	named := a.namedBuf[:0]
+	taken := growBools(a.takenBuf, nv)
 	// With v1 spill-class metadata the annotation itself says which
 	// register class each slot belongs to, so intervals of other classes
 	// are skipped up front instead of being re-derived (looked up against
@@ -382,15 +437,17 @@ func (a *assigner) splitOrder(class nisa.RegClass, vregs []int) []int {
 		if classes != nil && iv.Slot < len(classes) && classes[iv.Slot] != anno.SpillClassUnknown && classes[iv.Slot] != want {
 			continue
 		}
-		if v, ok := slotToVreg[iv.Slot]; ok && !taken[v] {
-			named = append(named, weighted{vreg: v, weight: int64(iv.Weight)})
-			taken[v] = true
+		if iv.Slot >= 0 && iv.Slot < numSlots {
+			if v := slotVreg[iv.Slot]; v >= 0 && !taken[v] {
+				named = append(named, weighted{vreg: v, weight: int64(iv.Weight)})
+				taken[v] = true
+			}
 		}
 		a.steps++
 	}
 	// Temporaries (and any named slot missing from the annotation) by
 	// decreasing native weight.
-	var rest []weighted
+	rest := a.restBuf[:0]
 	for _, v := range vregs {
 		if !taken[v] {
 			rest = append(rest, weighted{vreg: v, weight: a.intervals[v].weight})
@@ -403,7 +460,7 @@ func (a *assigner) splitOrder(class nisa.RegClass, vregs []int) []int {
 		return rest[i].vreg < rest[j].vreg
 	})
 	// Merge the two weight-sorted sequences (linear).
-	order := make([]int, 0, len(named)+len(rest))
+	order := a.mergeBuf[:0]
 	i, j := 0, 0
 	for i < len(named) || j < len(rest) {
 		a.steps++
@@ -415,6 +472,8 @@ func (a *assigner) splitOrder(class nisa.RegClass, vregs []int) []int {
 			j++
 		}
 	}
+	a.inClassBuf, a.takenBuf, a.slotVregBuf = inClass, taken, slotVreg
+	a.namedBuf, a.restBuf, a.mergeBuf = named, rest, order
 	return order
 }
 
@@ -435,7 +494,7 @@ func spillClassOf(class nisa.RegClass) anno.SpillClass {
 // weightOrder orders every virtual register by decreasing locally-computed
 // weight: the "offline quality" reference allocation.
 func (a *assigner) weightOrder(vregs []int) []int {
-	order := append([]int(nil), vregs...)
+	order := append(a.orderBuf[:0], vregs...)
 	sort.Slice(order, func(i, j int) bool {
 		wi, wj := a.intervals[order[i]].weight, a.intervals[order[j]].weight
 		if wi != wj {
@@ -443,13 +502,20 @@ func (a *assigner) weightOrder(vregs []int) []int {
 		}
 		return order[i] < order[j]
 	})
+	a.orderBuf = order
 	return order
 }
 
 // priorityAllocate assigns registers greedily in the given priority order,
 // using exact interval overlap as the interference test.
-func (a *assigner) priorityAllocate(vregs []int, numRegs int, order []int) {
-	perReg := make([][]int, numRegs) // vregs assigned to each register
+func (a *assigner) priorityAllocate(numRegs int, order []int) {
+	if cap(a.perRegBuf) < numRegs {
+		a.perRegBuf = make([][]int, numRegs)
+	}
+	perReg := a.perRegBuf[:numRegs] // vregs assigned to each register
+	for r := range perReg {
+		perReg[r] = perReg[r][:0]
+	}
 	overlaps := func(x, y int) bool {
 		ix, iy := a.intervals[x], a.intervals[y]
 		return ix.start <= iy.end && iy.start <= ix.end
@@ -478,12 +544,14 @@ func (a *assigner) priorityAllocate(vregs []int, numRegs int, order []int) {
 }
 
 // rewrite replaces virtual registers with physical ones and inserts spill
-// loads/stores around instructions that touch spilled values.
+// loads/stores around instructions that touch spilled values. The final
+// instruction slice handed to the compiled function is a fresh, exactly
+// sized allocation — never pooled memory.
 func (a *assigner) rewrite() {
-	var out []nisa.Instr
+	out := a.outBuf[:0]
 	// oldToNew maps original instruction indices to their new positions so
 	// branch targets can be fixed afterwards.
-	oldToNew := make([]int, len(a.f.Code)+1)
+	oldToNew := growInts(a.posMapBuf, len(a.f.Code)+1)
 
 	phys := func(r nisa.Reg) nisa.Reg {
 		return nisa.Reg{Class: r.Class, Index: a.assigned[r.Index]}
@@ -529,9 +597,9 @@ func (a *assigner) rewrite() {
 			continue
 		}
 
-		defs, uses := regRefs(&in)
+		defs, uses := a.regRefs(&in)
 		nextScratch := 0
-		var pre, post []nisa.Instr
+		pre, post := a.preBuf[:0], a.postBuf[:0]
 		for _, u := range uses {
 			if !u.Virtual {
 				continue
@@ -562,6 +630,7 @@ func (a *assigner) rewrite() {
 		out = append(out, pre...)
 		out = append(out, in)
 		out = append(out, post...)
+		a.preBuf, a.postBuf = pre, post
 	}
 	oldToNew[len(a.f.Code)] = len(out)
 
@@ -571,5 +640,8 @@ func (a *assigner) rewrite() {
 			out[i].Target = oldToNew[out[i].Target]
 		}
 	}
-	a.f.Code = out
+	final := make([]nisa.Instr, len(out))
+	copy(final, out)
+	a.f.Code = final
+	a.outBuf, a.posMapBuf = out, oldToNew
 }

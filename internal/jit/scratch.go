@@ -1,0 +1,95 @@
+package jit
+
+import (
+	"sync"
+)
+
+// compileState is the reusable per-worker scratch of one compile pipeline
+// lane: the translator and assigner with all their growable buffers, plus an
+// integer arena for the short-lived per-lane virtual-register slices of
+// scalarized vector code. One state serves one method compilation at a time;
+// a worker checks a state out of the pool, reuses it for every method it
+// compiles, and returns it when the module is done. Nothing reachable from a
+// compiled nisa.Func ever aliases pooled memory: the assigner's rewrite step
+// copies the final instruction slice into an exactly-sized fresh allocation.
+type compileState struct {
+	tr translator
+	as assigner
+
+	// ints is the current arena chunk that lane-vreg slices are carved
+	// from. Chunks are recycled wholesale at the start of each method
+	// (beginMethod); slices handed out never escape a single method's
+	// translation.
+	ints []int
+}
+
+// statePool recycles compile states across compilations and workers.
+var statePool = sync.Pool{New: func() any { return new(compileState) }}
+
+func getState() *compileState { return statePool.Get().(*compileState) }
+
+func putState(st *compileState) { statePool.Put(st) }
+
+// beginMethod readies the state for the next method: the arena rewinds so
+// lane slices of the previous method (all dead by now) are reused.
+func (st *compileState) beginMethod() {
+	st.ints = st.ints[:0]
+}
+
+// intSlice carves an n-int slice out of the arena. The result has full
+// capacity n so an accidental append can never bleed into a neighbor.
+func (st *compileState) intSlice(n int) []int {
+	if n == 0 {
+		return nil
+	}
+	if len(st.ints)+n > cap(st.ints) {
+		c := 1024
+		if n > c {
+			c = n
+		}
+		// The old chunk stays alive through the slices already handed out;
+		// only the arena pointer moves on.
+		st.ints = make([]int, 0, c)
+	}
+	out := st.ints[len(st.ints) : len(st.ints)+n : len(st.ints)+n]
+	st.ints = st.ints[:len(st.ints)+n]
+	return out
+}
+
+// intSliceCopy is intSlice plus a copy of src (the Dup / LdLoc clone).
+func (st *compileState) intSliceCopy(src []int) []int {
+	out := st.intSlice(len(src))
+	copy(out, src)
+	return out
+}
+
+// growInts resizes a pooled int buffer to n without zeroing; callers assign
+// every element.
+func growInts(buf []int, n int) []int {
+	if cap(buf) < n {
+		return make([]int, n)
+	}
+	return buf[:n]
+}
+
+// growLanes resizes a pooled slice-of-lane-slices to n and clears it (only
+// scalarized vector locals are ever assigned, so stale entries must not leak
+// through).
+func growLanes(buf [][]int, n int) [][]int {
+	if cap(buf) < n {
+		return make([][]int, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}
+
+// growBools resizes a pooled bool buffer to n and clears it.
+func growBools(buf []bool, n int) []bool {
+	if cap(buf) < n {
+		return make([]bool, n)
+	}
+	buf = buf[:n]
+	clear(buf)
+	return buf
+}

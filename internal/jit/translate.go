@@ -41,10 +41,22 @@ type fixup struct {
 	bcTarget int
 }
 
+// cmpState remembers the last emitted compare so a following conditional
+// branch can fuse with it.
+type cmpState struct {
+	valid   bool
+	codeIdx int
+	vreg    int
+	cond    nisa.Cond
+	kind    cil.Kind
+	ra, rb  nisa.Reg
+}
+
 type translator struct {
 	c   *Compiler
 	mod *cil.Module
 	m   *cil.Method
+	st  *compileState
 
 	code  []nisa.Instr
 	vregs []vregInfo
@@ -60,20 +72,34 @@ type translator struct {
 	fixups      []fixup
 	canon       map[canonKey]int
 
-	lastCmp struct {
-		valid   bool
-		codeIdx int
-		vreg    int
-		cond    nisa.Cond
-		kind    cil.Kind
-		ra, rb  nisa.Reg
-	}
+	lastCmp cmpState
 
 	stats nisa.Stats
 }
 
-func newTranslator(c *Compiler, mod *cil.Module, m *cil.Method) *translator {
-	return &translator{c: c, mod: mod, m: m, canon: make(map[canonKey]int)}
+// reset readies a pooled translator for one method, reusing every buffer's
+// capacity from the previous compilation. This is what makes the steady
+// state of the compile pipeline allocation-lean: a warm translator only
+// allocates when a method outgrows everything compiled on this state before.
+func (t *translator) reset(c *Compiler, mod *cil.Module, m *cil.Method, st *compileState) {
+	t.c, t.mod, t.m, t.st = c, mod, m, st
+	t.code = t.code[:0]
+	t.vregs = t.vregs[:0]
+	t.argVreg = t.argVreg[:0]
+	t.locVreg = t.locVreg[:0]
+	t.locLanes = t.locLanes[:0]
+	t.stack = t.stack[:0]
+	t.layouts = nil
+	t.isTarget = t.isTarget[:0]
+	t.nativeStart = t.nativeStart[:0]
+	t.fixups = t.fixups[:0]
+	if t.canon == nil {
+		t.canon = make(map[canonKey]int)
+	} else {
+		clear(t.canon)
+	}
+	t.lastCmp = cmpState{}
+	t.stats = nisa.Stats{}
 }
 
 // newVreg allocates a fresh virtual register of the given class.
@@ -155,7 +181,7 @@ func (t *translator) flushStack() {
 	for d := range t.stack {
 		op := t.stack[d]
 		if op.lanes != nil {
-			newLanes := make([]int, len(op.lanes))
+			newLanes := t.st.intSlice(len(op.lanes))
 			for l, lv := range op.lanes {
 				cv := t.canonVreg(d, l, t.vregs[lv].class)
 				if cv != lv {
@@ -196,7 +222,7 @@ func (t *translator) reconstructStack(layout []cil.Type) {
 			// The element kind is unknown from the layout alone; joins with
 			// live vector values do not occur in compiler-generated code,
 			// so byte lanes are assumed (the widest lane count).
-			lanes := make([]int, cil.VecBytes)
+			lanes := t.st.intSlice(cil.VecBytes)
 			for l := range lanes {
 				lanes[l] = t.canonVreg(d, l, nisa.ClassInt)
 			}
@@ -246,27 +272,27 @@ func (t *translator) run() error {
 		return err
 	}
 	t.layouts = layouts
-	t.isTarget = make([]bool, len(m.Code))
+	t.isTarget = growBools(t.isTarget, len(m.Code))
 	for _, in := range m.Code {
 		if in.Op.IsBranch() {
 			t.isTarget[in.Target] = true
 		}
 	}
-	t.nativeStart = make([]int, len(m.Code)+1)
+	t.nativeStart = growInts(t.nativeStart, len(m.Code)+1)
 
 	// Allocate named virtual registers and emit the argument prologue.
-	t.argVreg = make([]int, len(m.Params))
+	t.argVreg = growInts(t.argVreg, len(m.Params))
 	for i, p := range m.Params {
 		class := classOfStack(slotKindOf(p))
 		t.argVreg[i] = t.newNamedVreg(class, i)
 		t.emit(nisa.Instr{Op: nisa.GetArg, Kind: slotKindOf(p), Rd: t.vr(t.argVreg[i]), Imm: int64(i)})
 	}
-	t.locVreg = make([]int, len(m.Locals))
-	t.locLanes = make([][]int, len(m.Locals))
+	t.locVreg = growInts(t.locVreg, len(m.Locals))
+	t.locLanes = growLanes(t.locLanes, len(m.Locals))
 	for j, l := range m.Locals {
 		if l.Kind == cil.Vec && !t.c.useSIMD() {
 			t.locVreg[j] = -1
-			lanes := make([]int, cil.VecBytes)
+			lanes := t.st.intSlice(cil.VecBytes)
 			for i := range lanes {
 				lanes[i] = t.newVreg(nisa.ClassInt)
 			}
@@ -328,7 +354,7 @@ func (t *translator) translate(pc int, in cil.Instr) error {
 	case cil.LdLoc:
 		j := int(in.Int)
 		if t.locVreg[j] < 0 {
-			lanes := append([]int(nil), t.locLanes[j]...)
+			lanes := t.st.intSliceCopy(t.locLanes[j])
 			t.push(operand{kind: cil.Vec, lanes: lanes, elem: cil.U8})
 			return nil
 		}
@@ -352,7 +378,7 @@ func (t *translator) translate(pc int, in cil.Instr) error {
 	case cil.Dup:
 		top := t.stack[len(t.stack)-1]
 		if top.lanes != nil {
-			top.lanes = append([]int(nil), top.lanes...)
+			top.lanes = t.st.intSliceCopy(top.lanes)
 		}
 		t.push(top)
 	case cil.Pop:

@@ -85,7 +85,7 @@ func (t *translator) translateVectorScalarized(in cil.Instr) {
 		arr := t.pop()
 		arrR := t.vr(t.materialize(arr))
 		idxR := t.vr(t.materialize(idx))
-		lv := make([]int, lanes)
+		lv := t.st.intSlice(lanes)
 		for l := 0; l < lanes; l++ {
 			lv[l] = t.newVreg(laneClass)
 			t.emit(nisa.Instr{Op: nisa.Load, Kind: in.Kind, Rd: t.vr(lv[l]), Ra: arrR, Rb: idxR, Imm: int64(l)})
@@ -103,7 +103,7 @@ func (t *translator) translateVectorScalarized(in cil.Instr) {
 	case cil.VAdd, cil.VSub, cil.VMul:
 		b := t.pop()
 		a := t.pop()
-		lv := make([]int, lanes)
+		lv := t.st.intSlice(lanes)
 		var op cil.Opcode
 		switch in.Op {
 		case cil.VAdd:
@@ -126,7 +126,7 @@ func (t *translator) translateVectorScalarized(in cil.Instr) {
 		if in.Op == cil.VMin {
 			cond = nisa.CondLt
 		}
-		lv := make([]int, lanes)
+		lv := t.st.intSlice(lanes)
 		for l := 0; l < lanes; l++ {
 			lv[l] = t.newVreg(laneClass)
 			t.emit(nisa.Instr{Op: nisa.Select, Kind: in.Kind, Cond: cond,
@@ -136,7 +136,7 @@ func (t *translator) translateVectorScalarized(in cil.Instr) {
 	case cil.VSplat:
 		s := t.pop()
 		sr := t.materialize(s)
-		lv := make([]int, lanes)
+		lv := t.st.intSlice(lanes)
 		for l := 0; l < lanes; l++ {
 			lv[l] = sr
 		}

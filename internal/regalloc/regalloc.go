@@ -14,10 +14,32 @@ package regalloc
 
 import (
 	"sort"
+	"sync"
 
 	"repro/internal/anno"
 	"repro/internal/cil"
 )
+
+// slotState accumulates one variable slot's live range and access weight.
+type slotState struct {
+	used       bool
+	start, end int
+	weight     uint32
+}
+
+// loopRegion is one backward-branch region of the bytecode.
+type loopRegion struct{ start, end int }
+
+// analyzeScratch holds the per-method work buffers of the offline analysis.
+// They are pooled for the same reason the online JIT pools its scratch
+// state: the analysis runs once per method per offline compilation, and the
+// buffers never escape (the annotation intervals are built fresh).
+type analyzeScratch struct {
+	slots   []slotState
+	regions []loopRegion
+}
+
+var analyzePool = sync.Pool{New: func() any { return new(analyzeScratch) }}
 
 // Analysis is the offline allocation result for one method.
 type Analysis struct {
@@ -46,22 +68,25 @@ func AnalyzeMethod(m *cil.Method) *Analysis {
 		a.Info.Classes = append(a.Info.Classes, anno.SpillClassOf(t))
 	}
 
-	type slotState struct {
-		used       bool
-		start, end int
-		weight     uint32
+	sc := analyzePool.Get().(*analyzeScratch)
+	defer analyzePool.Put(sc)
+	if cap(sc.slots) < numSlots {
+		sc.slots = make([]slotState, numSlots)
+	} else {
+		sc.slots = sc.slots[:numSlots]
+		clear(sc.slots)
 	}
-	slots := make([]slotState, numSlots)
+	slots := sc.slots
 
 	// Loop regions from backward branches give the nesting depth used to
 	// weight accesses (an access in a loop body is worth 10x one outside).
-	type region struct{ start, end int }
-	var regions []region
+	regions := sc.regions[:0]
 	for pc, in := range m.Code {
 		if in.Op.IsBranch() && in.Target <= pc {
-			regions = append(regions, region{in.Target, pc})
+			regions = append(regions, loopRegion{in.Target, pc})
 		}
 	}
+	sc.regions = regions
 	depthAt := func(pc int) int {
 		d := 0
 		for _, r := range regions {

@@ -48,6 +48,13 @@ const (
 	// instructions, a tiny register file (the register-pressure sweep of the
 	// split register allocation experiment resizes it) and no vector unit.
 	MCU Arch = "mcu"
+	// WideVec is an AVX2-class machine with a 256-bit vector unit — twice
+	// the width of the portable 128-bit vector builtins, so each builtin
+	// uses half the datapath and vector operations come cheap. It is
+	// installed through Register (not the built-in table) as the reference
+	// user-registered target, and stresses a lane width no paper target
+	// uses in the compile benchmarks and scalarization paths.
+	WideVec Arch = "widevec-256"
 )
 
 // String returns the registry spelling of the architecture.
@@ -107,8 +114,14 @@ type Desc struct {
 	// immediates).
 	BytesPerInstr int
 	// HasSIMD reports whether the JIT may map portable vector builtins onto
-	// a 128-bit vector unit. Without it the JIT scalarizes.
+	// the target's vector unit. Without it the JIT scalarizes.
 	HasSIMD bool
+	// VecBits is the native width of the vector unit in bits. Zero means
+	// 128 — the width of the portable vector builtins and of every
+	// descriptor that predates the field. A wider unit (e.g. the 256-bit
+	// WideVec target) executes each 128-bit builtin on half its datapath;
+	// the cost model, not the instruction semantics, reflects the headroom.
+	VecBits int
 	// IntRegs, FloatRegs and VecRegs size the allocatable register files by
 	// class. The JIT reserves a few scratch registers beyond these for spill
 	// reloads.
@@ -247,6 +260,44 @@ func init() {
 	for _, d := range []*Desc{x86, sparc, ppc, spu, mcu} {
 		registry[d.Arch] = d
 	}
+
+	// The wide-vector machine goes through Register like any user-defined
+	// target (it is the ROADMAP "more targets via target.Register" item):
+	// it exercises the registration path at startup and keeps the built-in
+	// table identical to the paper's machine set.
+	wide := &Desc{
+		Arch:          WideVec,
+		Name:          "WideVec-256",
+		ClockMHz:      3000,
+		BytesPerInstr: 4,
+		HasSIMD:       true,
+		VecBits:       256,
+		IntRegs:       16,
+		FloatRegs:     16,
+		VecRegs:       16,
+		Cost:          baseCost,
+	}
+	// A 256-bit unit runs the 128-bit portable builtins on half its
+	// datapath: vector ops are cheap, and the wide loads amortize the
+	// address path.
+	wide.Cost.VecLoad = 3
+	wide.Cost.VecStore = 3
+	wide.Cost.VecALU = 1
+	wide.Cost.VecMul = 4
+	wide.Cost.VecSplat = 1
+	wide.Cost.VecReduce = 3
+	if err := Register(wide); err != nil {
+		panic(err)
+	}
+}
+
+// VectorBits returns the native vector width of the target in bits (128 for
+// descriptors that predate the VecBits field).
+func (d *Desc) VectorBits() int {
+	if d.VecBits == 0 {
+		return 128
+	}
+	return d.VecBits
 }
 
 // Register adds a user-defined target to the registry (or replaces an
@@ -262,6 +313,9 @@ func Register(d *Desc) error {
 	}
 	if d.HasSIMD && d.VecRegs < 1 {
 		return fmt.Errorf("target %q: HasSIMD requires vector registers", d.Arch)
+	}
+	if d.HasSIMD && d.VecBits != 0 && d.VecBits < 128 {
+		return fmt.Errorf("target %q: vector unit narrower than the 128-bit portable builtins", d.Arch)
 	}
 	c := *d
 	if c.Name == "" {

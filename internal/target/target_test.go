@@ -34,8 +34,11 @@ func TestBuiltinRegistry(t *testing.T) {
 
 func TestOnlyX86AndSPUHaveSIMD(t *testing.T) {
 	// Table 1 depends on exactly one SIMD column; Section 3 depends on the
-	// SPU accelerator being vector-capable.
-	for _, d := range All() {
+	// SPU accelerator being vector-capable. The invariant covers the
+	// paper's built-in machine set — registered extras (WideVec, user
+	// targets) may be vector-capable.
+	for _, a := range []Arch{X86SSE, Sparc, PPC, SPU, MCU} {
+		d := MustLookup(a)
 		wantSIMD := d.Arch == X86SSE || d.Arch == SPU
 		if d.HasSIMD != wantSIMD {
 			t.Errorf("%s: HasSIMD = %v, want %v", d.Arch, d.HasSIMD, wantSIMD)
@@ -102,5 +105,47 @@ func TestRegisterUserTarget(t *testing.T) {
 	}
 	if err := Register(&Desc{Arch: "bad", IntRegs: 4, HasSIMD: true, VecRegs: 0}); err == nil {
 		t.Error("SIMD descriptor without vector registers accepted")
+	}
+}
+
+func TestWideVecTargetRegistered(t *testing.T) {
+	d, err := Lookup(WideVec)
+	if err != nil {
+		t.Fatalf("wide-vector target not registered: %v", err)
+	}
+	if !d.HasSIMD || d.VecBits != 256 || d.VectorBits() != 256 {
+		t.Errorf("WideVec should be a 256-bit SIMD target, got HasSIMD=%v VecBits=%d", d.HasSIMD, d.VecBits)
+	}
+	if d.Cost.VecALU >= MustLookup(X86SSE).Cost.VecALU+1 {
+		t.Error("the wide unit should make vector ALU ops at least as cheap as the 128-bit x86 unit")
+	}
+	// 128-bit default for every descriptor predating the field.
+	for _, a := range []Arch{X86SSE, SPU} {
+		if got := MustLookup(a).VectorBits(); got != 128 {
+			t.Errorf("%s: VectorBits() = %d, want 128", a, got)
+		}
+	}
+	// Table 1 keeps the paper's machine set: the wide target must not
+	// change any gated experiment's target matrix.
+	for _, tgt := range Table1() {
+		if tgt.Arch == WideVec {
+			t.Error("WideVec leaked into the Table 1 target set")
+		}
+	}
+	found := false
+	for _, x := range All() {
+		if x.Arch == WideVec {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("WideVec missing from All()")
+	}
+}
+
+func TestRegisterRejectsNarrowVectorUnit(t *testing.T) {
+	err := Register(&Desc{Arch: "narrow", IntRegs: 4, HasSIMD: true, VecRegs: 4, VecBits: 64})
+	if err == nil {
+		t.Error("a 64-bit vector unit cannot run the 128-bit portable builtins and must be rejected")
 	}
 }

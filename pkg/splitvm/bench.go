@@ -93,6 +93,31 @@ type AnnoReport = bench.AnnoReport
 // kernels and the fallback behavior of the synthetic future stream.
 func RunAnno() (*AnnoReport, error) { return bench.RunAnno() }
 
+// CompileOptions parameterizes the compile-throughput measurement. (The
+// splitvm names carry a Throughput infix where internal/bench says
+// CompileReport, because CompileReport here already names the per-deployment
+// compilation report.)
+type CompileOptions = bench.CompileOptions
+
+// CompileThroughputCell is the compile-path measurement of one kernel ×
+// target × regalloc-mode cell.
+type CompileThroughputCell = bench.CompileCell
+
+// CompileThroughputParallel is the parallel compile-pipeline measurement
+// (workers=1 versus workers=N on a multi-method module).
+type CompileThroughputParallel = bench.CompileParallel
+
+// CompileThroughputReport measures how fast the online JIT itself runs on
+// this host (ns/compile, allocs/compile, methods/sec, parallel speedup).
+type CompileThroughputReport = bench.CompileReport
+
+// RunCompile measures online compile throughput over the Table 1 kernels on
+// the Table 1 targets plus the wide-vector machine, under every register
+// allocation mode, plus the parallel pipeline on a multi-method module.
+// Host-dependent like RunHost: recorded in the results artifact for trend
+// tracking but ignored by CompareResults.
+func RunCompile(opts CompileOptions) (*CompileThroughputReport, error) { return bench.RunCompile(opts) }
+
 // ParseResults decodes a BENCH_results.json artifact.
 func ParseResults(data []byte) (*Results, error) { return bench.ParseResults(data) }
 

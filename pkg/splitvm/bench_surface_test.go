@@ -139,3 +139,57 @@ func TestResultsRoundTrip(t *testing.T) {
 		t.Error("no metrics extracted from a real artifact")
 	}
 }
+
+func TestRunCompileSurface(t *testing.T) {
+	rep, err := RunCompile(CompileOptions{Runs: 2, ParallelMethods: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// kernels × (Table 1 targets + wide-vector) × 3 regalloc modes.
+	want := len(Table1KernelNames()) * 4 * 3
+	if len(rep.Cells) != want {
+		t.Fatalf("compile report has %d cells, want %d", len(rep.Cells), want)
+	}
+	sawWide := false
+	for _, c := range rep.Cells {
+		if c.WarmNanosPerCompile <= 0 || c.ColdNanos <= 0 || c.MethodsPerSec <= 0 {
+			t.Errorf("%s/%s/%s: degenerate compile timings %+v", c.Kernel, c.Target, c.Mode, c)
+		}
+		if c.AllocsPerCompile <= 0 {
+			t.Errorf("%s/%s/%s: allocs/compile = %v, want > 0 (MemStats must be wired up)",
+				c.Kernel, c.Target, c.Mode, c.AllocsPerCompile)
+		}
+		if string(c.Target) == "widevec-256" {
+			sawWide = true
+		}
+	}
+	if !sawWide {
+		t.Error("compile matrix is missing the wide-vector target")
+	}
+	p := rep.Parallel
+	if p == nil || p.Methods != 4 || p.SeqNanosPerCompile <= 0 || p.ParNanosPerCompile <= 0 || p.Speedup <= 0 {
+		t.Fatalf("parallel pipeline measurement is degenerate: %+v", p)
+	}
+
+	// The compile section is tracked, never gated: it must not add metrics
+	// and must be stripped from refreshed baselines.
+	res := &Results{Compile: rep}
+	if n := len(res.Metrics()); n != 0 {
+		t.Errorf("compile section leaked %d metrics into the regression gate", n)
+	}
+	data, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stripped, err := StripUngatedResults(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kept map[string]json.RawMessage
+	if err := json.Unmarshal(stripped, &kept); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := kept["compile"]; ok {
+		t.Error("compile section survived the baseline strip")
+	}
+}

@@ -1,0 +1,96 @@
+package splitvm
+
+import (
+	"testing"
+
+	"repro/internal/target"
+)
+
+// TestCompileWorkersShareCacheEntries pins the cache-key contract of the
+// parallel compile pipeline: the worker count changes wall-clock time, never
+// the generated program, so deployments that differ only in
+// WithCompileWorkers must share one cached image.
+func TestCompileWorkersShareCacheEntries(t *testing.T) {
+	eng := New(WithTarget(target.X86SSE))
+	m, err := eng.Compile(sumsqSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	seq, err := eng.Deploy(m, WithCompileWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := eng.Deploy(m, WithCompileWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := eng.CacheStats()
+	if st.Misses != 1 || st.Hits != 1 || st.Entries != 1 {
+		t.Errorf("cache stats %+v: worker counts must share one image (1 miss, 1 hit, 1 entry)", st)
+	}
+	if !par.FromCache() {
+		t.Error("the second deployment (different worker count) should be a cache hit")
+	}
+	if seq.DisassembleNative() != par.DisassembleNative() {
+		t.Error("sequential and parallel deployments must execute identical native code")
+	}
+
+	// Both deployments compute the same result, and the engine's compile
+	// stats carry the wall-clock cost of the single compilation.
+	a, err := seq.Run("sumsq", IntArg(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := par.Run("sumsq", IntArg(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.I != b.I {
+		t.Errorf("results diverge: %d vs %d", a.I, b.I)
+	}
+	cs := eng.CompileStats()
+	if cs.Compilations != 1 || cs.CompileNanosTotal <= 0 {
+		t.Errorf("compile stats %+v: want exactly one timed compilation", cs)
+	}
+	if seq.CompileNanos() <= 0 || seq.CompileReport().CompileNanos != seq.CompileNanos() {
+		t.Error("deployment must surface the image's compile time")
+	}
+	if par.CompileNanos() != seq.CompileNanos() {
+		t.Error("a cache hit inherits the original compilation's cost figure")
+	}
+}
+
+// TestDeployOnWideVecTarget deploys through the public API on the
+// register-installed 256-bit target and cross-checks the result against the
+// default x86 deployment.
+func TestDeployOnWideVecTarget(t *testing.T) {
+	eng := New()
+	m, err := eng.Compile(sumsqSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wide, err := eng.Deploy(m, WithTarget(target.WideVec))
+	if err != nil {
+		t.Fatalf("deploying on the wide-vector target: %v", err)
+	}
+	x86, err := eng.Deploy(m, WithTarget(target.X86SSE))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := x86.Run("sumsq", IntArg(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wide.Run("sumsq", IntArg(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.I != want.I {
+		t.Errorf("wide-vector target computed %d, x86 computed %d", got.I, want.I)
+	}
+	if wide.Target().VectorBits() != 256 {
+		t.Errorf("wide target VectorBits = %d, want 256", wide.Target().VectorBits())
+	}
+}

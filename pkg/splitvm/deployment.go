@@ -46,6 +46,9 @@ type CompileReport struct {
 	FromCache bool `json:"from_cache"`
 	// JITSteps approximates the online compilation work.
 	JITSteps int64 `json:"jit_steps"`
+	// CompileNanos is the wall-clock time the JIT spent producing the
+	// image (the original compilation's cost when FromCache is true).
+	CompileNanos int64 `json:"compile_nanos"`
 	// AnnotationOutcomes lists the negotiation result of every annotation
 	// present in the module, per method.
 	AnnotationOutcomes []AnnotationOutcome `json:"annotation_outcomes,omitempty"`
@@ -65,10 +68,16 @@ func (dp *Deployment) CompileReport() CompileReport {
 		Target:              dp.d.Target.Name,
 		FromCache:           dp.fromCache,
 		JITSteps:            dp.d.JITSteps,
+		CompileNanos:        dp.d.CompileNanos,
 		AnnotationOutcomes:  append([]AnnotationOutcome(nil), dp.d.AnnotationOutcomes...),
 		AnnotationFallbacks: dp.d.AnnotationFallbacks,
 	}
 }
+
+// CompileNanos returns the wall-clock time the JIT spent producing this
+// deployment's image (the original compilation's cost when the image came
+// from the code cache).
+func (dp *Deployment) CompileNanos() int64 { return dp.d.CompileNanos }
 
 // Run executes an entry point on the deployment's machine.
 func (dp *Deployment) Run(entry string, args ...Value) (Value, error) {

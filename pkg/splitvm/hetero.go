@@ -71,6 +71,7 @@ func (e *Engine) DeployHetero(sys *System, m *Module, policy Policy, opts ...Opt
 		RegAlloc:             cfg.regAlloc,
 		ForceScalarize:       cfg.forceScalarize,
 		MinAnnotationVersion: cfg.minAnnoVersion,
+		CompileWorkers:       cfg.compileWorkers,
 	}
 	deploy := func(encoded []byte, tgt *target.Desc, _ jit.Options) (*core.Deployment, error) {
 		if cfg.noCache {

@@ -40,6 +40,7 @@ type config struct {
 	forceScalarize bool
 	noCache        bool
 	minAnnoVersion uint32
+	compileWorkers int
 
 	// Engine-wide options (read by New only).
 	cacheSize int
@@ -153,6 +154,21 @@ func WithCacheSize(n int) Option {
 			n = 0
 		}
 		c.cacheSize = n
+	}
+}
+
+// WithCompileWorkers bounds the number of methods the JIT compiles
+// concurrently during one compilation (0 — the default — uses GOMAXPROCS; 1
+// compiles sequentially). The generated native code is bit-identical for
+// every worker count — parallelism buys wall-clock compile time, never a
+// different program — so the knob is deliberately not part of the code-cache
+// key: deployments that differ only in their worker count share images.
+func WithCompileWorkers(n int) Option {
+	return func(c *config) {
+		if n < 0 {
+			n = 1
+		}
+		c.compileWorkers = n
 	}
 }
 

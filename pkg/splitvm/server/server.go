@@ -19,6 +19,12 @@
 // when a target's queue is full the whole batch is rejected with 429 and a
 // Retry-After hint instead of queueing unboundedly — backpressure is the
 // contract that keeps one slow target from absorbing the server's memory.
+//
+// With Config.DeployTTL set, an idle sweeper evicts deployments that have
+// not run anything for that long (the other half of the memory contract:
+// bounded queues stop unbounded inflow, the TTL stops unbounded
+// accumulation). Eviction drops only the machine; the JIT image stays
+// cached, so re-deploying after eviction is a cache hit.
 package server
 
 import (
@@ -50,6 +56,15 @@ type Config struct {
 	// MaxBatchJobs caps targets × replicas of one deploy request (default
 	// 256) so a single request cannot reserve every queue slot of the server.
 	MaxBatchJobs int
+	// DeployTTL evicts deployments that have not run anything for this
+	// long (0 — the default — keeps live machines forever, the historical
+	// behavior). Eviction frees the machine's simulated memory; the JIT
+	// image stays in the engine's code cache, so re-deploying an evicted
+	// module is a cheap cache hit. Evictions are counted in /v1/stats.
+	DeployTTL time.Duration
+	// DeploySweepInterval is how often the idle sweeper scans (default
+	// DeployTTL/4, at least 100ms). Only meaningful with DeployTTL > 0.
+	DeploySweepInterval time.Duration
 }
 
 func (c *Config) defaults() {
@@ -67,6 +82,12 @@ func (c *Config) defaults() {
 	}
 	if c.MaxBatchJobs <= 0 {
 		c.MaxBatchJobs = 256
+	}
+	if c.DeployTTL > 0 && c.DeploySweepInterval <= 0 {
+		c.DeploySweepInterval = c.DeployTTL / 4
+		if c.DeploySweepInterval < 100*time.Millisecond {
+			c.DeploySweepInterval = 100 * time.Millisecond
+		}
 	}
 }
 
@@ -90,6 +111,7 @@ type Server struct {
 	pools       map[target.Arch]*pool
 	nextDep     int64
 	rejected    int64
+	evicted     int64
 
 	// gateDeploy, when non-nil, is called by every pool worker before it
 	// deploys a job — a test hook to hold workers and saturate the queues
@@ -103,6 +125,12 @@ type liveDeployment struct {
 	id     string
 	module string
 	arch   target.Arch
+	// lastUsed is when the deployment was created or last asked to run,
+	// and running counts in-flight invocations; both are read by the idle
+	// sweeper. Guarded by Server.mu (not the run mutex: the sweeper must
+	// never wait behind a long-running invocation).
+	lastUsed time.Time
+	running  int
 
 	mu  sync.Mutex
 	dep *splitvm.Deployment
@@ -134,7 +162,51 @@ func New(eng *splitvm.Engine, cfg Config) *Server {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	s.mux = mux
+	if cfg.DeployTTL > 0 {
+		s.wg.Add(1)
+		go s.sweepLoop()
+	}
 	return s
+}
+
+// sweepLoop periodically evicts idle deployments until the server closes.
+func (s *Server) sweepLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.DeploySweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.baseCtx.Done():
+			return
+		case <-t.C:
+			s.evictIdle(time.Now().Add(-s.cfg.DeployTTL))
+		}
+	}
+}
+
+// evictIdle drops every deployment whose last use predates the cutoff and
+// returns how many it removed. An eviction only forgets the machine (its
+// simulated memory is garbage); the module and the cached JIT image are
+// untouched, so a client that raced the sweeper simply re-deploys and gets a
+// code-cache hit. In-flight runs hold their own reference and finish
+// normally; their result just belongs to a machine that is no longer listed.
+func (s *Server) evictIdle(cutoff time.Time) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	removed := 0
+	keep := s.deployOrder[:0]
+	for _, id := range s.deployOrder {
+		ld := s.deployments[id]
+		if ld.running == 0 && ld.lastUsed.Before(cutoff) {
+			delete(s.deployments, id)
+			removed++
+			continue
+		}
+		keep = append(keep, id)
+	}
+	s.deployOrder = keep
+	s.evicted += int64(removed)
+	return removed
 }
 
 // ServeHTTP implements http.Handler.
@@ -268,7 +340,11 @@ type DeploymentInfo struct {
 	// cache rather than a fresh JIT compilation.
 	FromCache bool `json:"from_cache"`
 	// JITSteps approximates the online compilation work this deployment paid.
-	JITSteps        int64 `json:"jit_steps"`
+	JITSteps int64 `json:"jit_steps"`
+	// CompileNanos is the wall-clock time the JIT spent producing this
+	// deployment's native code (the original compilation's cost when
+	// FromCache is true — a cache hit pays none of it again).
+	CompileNanos    int64 `json:"compile_nanos"`
 	NativeCodeBytes int   `json:"native_code_bytes"`
 	// AnnotationFallbacks counts the annotation sections of this
 	// deployment's image that could not be consumed (malformed, from the
@@ -410,6 +486,7 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 			Target:              string(pq.arch),
 			FromCache:           res.dep.FromCache(),
 			JITSteps:            res.dep.JITSteps(),
+			CompileNanos:        res.dep.CompileNanos(),
 			NativeCodeBytes:     res.dep.NativeCodeBytes(),
 			AnnotationFallbacks: res.dep.AnnotationFallbacks(),
 		})
@@ -417,8 +494,10 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 
 	// Register the whole batch atomically, so clients never observe half a
 	// batch in the deployments listing.
+	now := time.Now()
 	s.mu.Lock()
 	for i, ld := range deps {
+		ld.lastUsed = now
 		s.nextDep++
 		ld.id = fmt.Sprintf("d-%06d", s.nextDep)
 		infos[i].ID = ld.id
@@ -440,6 +519,7 @@ func (s *Server) handleListDeployments(w http.ResponseWriter, r *http.Request) {
 			Target:              string(ld.arch),
 			FromCache:           ld.dep.FromCache(),
 			JITSteps:            ld.dep.JITSteps(),
+			CompileNanos:        ld.dep.CompileNanos(),
 			NativeCodeBytes:     ld.dep.NativeCodeBytes(),
 			AnnotationFallbacks: ld.dep.AnnotationFallbacks(),
 		})
@@ -471,11 +551,24 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	s.mu.Lock()
 	ld, ok := s.deployments[id]
+	if ok {
+		// A deployment being run is not idle, and an in-flight invocation
+		// pins it against the sweeper (running is checked by evictIdle) —
+		// a run that outlasts the TTL must not lose its machine mid-call.
+		ld.lastUsed = time.Now()
+		ld.running++
+	}
 	s.mu.Unlock()
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown deployment %q", id)
 		return
 	}
+	defer func() {
+		s.mu.Lock()
+		ld.running--
+		ld.lastUsed = time.Now()
+		s.mu.Unlock()
+	}()
 	var req RunRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
@@ -539,8 +632,11 @@ type StatsResponse struct {
 	Modules     int                  `json:"modules"`
 	Deployments int                  `json:"deployments"`
 	// Rejected counts batches refused with 429 since the server started.
-	Rejected int64       `json:"rejected"`
-	Pools    []PoolStats `json:"pools"`
+	Rejected int64 `json:"rejected"`
+	// DeploymentsEvicted counts idle deployments dropped by the -deploy-ttl
+	// sweeper since the server started (always zero with TTL disabled).
+	DeploymentsEvicted int64       `json:"deployments_evicted"`
+	Pools              []PoolStats `json:"pools"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -549,6 +645,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st.Modules = len(s.modules)
 	st.Deployments = len(s.deployments)
 	st.Rejected = s.rejected
+	st.DeploymentsEvicted = s.evicted
 	for a, p := range s.pools {
 		st.Pools = append(st.Pools, PoolStats{
 			Target:   string(a),

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+// deployOne uploads sumsq and deploys it on one target, returning the
+// deployment id.
+func deployOne(t *testing.T, ts *httptest.Server) string {
+	t.Helper()
+	id := upload(t, ts, encodeModule(t, sumsqSource))
+	resp := postJSON(t, ts.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"x86-sse"}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy: status %d", resp.StatusCode)
+	}
+	dr := decodeJSON[DeployResponse](t, resp.Body)
+	if len(dr.Deployments) != 1 {
+		t.Fatalf("deploy: got %d deployments, want 1", len(dr.Deployments))
+	}
+	return dr.Deployments[0].ID
+}
+
+// TestDeployTTLEvictsIdleDeployments drives the sweeper's core directly:
+// a deployment whose last use predates the cutoff disappears from the
+// registry, is counted in /v1/stats, and running it answers 404 — while a
+// fresh deployment survives.
+func TestDeployTTLEvictsIdleDeployments(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+
+	oldID := deployOne(t, ts)
+	// Backdate the first deployment, then deploy a second one that stays
+	// fresh.
+	srv.mu.Lock()
+	srv.deployments[oldID].lastUsed = time.Now().Add(-time.Hour)
+	srv.mu.Unlock()
+	freshID := deployOne(t, ts)
+
+	if removed := srv.evictIdle(time.Now().Add(-time.Minute)); removed != 1 {
+		t.Fatalf("evictIdle removed %d deployments, want 1", removed)
+	}
+
+	// The evicted machine is gone; the fresh one still runs.
+	resp := postJSON(t, ts.URL+"/v1/deployments/"+oldID+"/run", RunRequest{Entry: "sumsq", Args: []string{"10"}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("running an evicted deployment: status %d, want 404", resp.StatusCode)
+	}
+	resp = postJSON(t, ts.URL+"/v1/deployments/"+freshID+"/run", RunRequest{Entry: "sumsq", Args: []string{"10"}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("running a fresh deployment after the sweep: status %d, want 200", resp.StatusCode)
+	}
+
+	st := getStats(t, ts)
+	if st.DeploymentsEvicted != 1 {
+		t.Errorf("stats deployments_evicted = %d, want 1", st.DeploymentsEvicted)
+	}
+	if st.Deployments != 1 {
+		t.Errorf("stats deployments = %d, want 1", st.Deployments)
+	}
+}
+
+// TestDeployTTLSweeperRunsInBackground boots a server with a short TTL and
+// waits for the ticker-driven sweeper to collect an idle deployment on its
+// own.
+func TestDeployTTLSweeperRunsInBackground(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		DeployTTL:           30 * time.Millisecond,
+		DeploySweepInterval: 10 * time.Millisecond,
+	})
+	id := deployOne(t, ts)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStats(t, ts)
+		if st.Deployments == 0 && st.DeploymentsEvicted >= 1 {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("deployment %s was never evicted by the background sweeper", id)
+}
+
+// TestRunRefreshesDeployTTL pins that running a deployment resets its
+// idleness: a machine that keeps being used is never evicted even when it
+// is older than the TTL.
+func TestRunRefreshesDeployTTL(t *testing.T) {
+	srv, ts := newTestServer(t, Config{})
+	id := deployOne(t, ts)
+
+	srv.mu.Lock()
+	srv.deployments[id].lastUsed = time.Now().Add(-time.Hour)
+	srv.mu.Unlock()
+
+	// Running the stale deployment refreshes it...
+	resp := postJSON(t, ts.URL+"/v1/deployments/"+id+"/run", RunRequest{Entry: "sumsq", Args: []string{"10"}})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run: status %d", resp.StatusCode)
+	}
+	// ...so a sweep with a cutoff just before now leaves it alone.
+	if removed := srv.evictIdle(time.Now().Add(-time.Minute)); removed != 0 {
+		t.Errorf("evictIdle removed %d deployments after a refreshing run, want 0", removed)
+	}
+
+	// An in-flight invocation pins the deployment even when its lastUsed
+	// is ancient: a run that outlasts the TTL must not lose its machine.
+	srv.mu.Lock()
+	srv.deployments[id].lastUsed = time.Now().Add(-time.Hour)
+	srv.deployments[id].running = 1
+	srv.mu.Unlock()
+	if removed := srv.evictIdle(time.Now().Add(-time.Minute)); removed != 0 {
+		t.Errorf("evictIdle removed %d deployments with a run in flight, want 0", removed)
+	}
+	srv.mu.Lock()
+	srv.deployments[id].running = 0
+	srv.mu.Unlock()
+	if removed := srv.evictIdle(time.Now().Add(-time.Minute)); removed != 1 {
+		t.Errorf("evictIdle removed %d deployments once the run finished, want 1", removed)
+	}
+
+	// Deploy responses carry the compile-time figure of the image build.
+	st := getStats(t, ts)
+	if st.Compile.Compilations < 1 || st.Compile.CompileNanosTotal <= 0 {
+		t.Errorf("stats compile = %+v, want at least one timed compilation", st.Compile)
+	}
+}

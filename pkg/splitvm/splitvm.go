@@ -70,9 +70,11 @@ type Engine struct {
 
 	// compilations counts completed JIT compilations (cache hits excluded);
 	// annoFallbacks counts the subset whose load-time annotation
-	// negotiation degraded at least one section to online-only compilation.
+	// negotiation degraded at least one section to online-only compilation;
+	// compileNanos accumulates the wall-clock time those compilations took.
 	compilations  int64
 	annoFallbacks int64
+	compileNanos  int64
 }
 
 // New returns an engine. The options become the engine's defaults; every
@@ -170,6 +172,7 @@ func (e *Engine) DeployContext(ctx context.Context, m *Module, opts ...Option) (
 		RegAlloc:             cfg.regAlloc,
 		ForceScalarize:       cfg.forceScalarize,
 		MinAnnotationVersion: cfg.minAnnoVersion,
+		CompileWorkers:       cfg.compileWorkers,
 	}
 	if cfg.noCache {
 		priv := *tgt // the image outlives the call; never alias the caller's descriptor
@@ -190,6 +193,9 @@ func (e *Engine) DeployContext(ctx context.Context, m *Module, opts ...Option) (
 // cacheKey identifies one JIT compilation. The target description is keyed
 // by value, so two descriptors that differ in any machine parameter (for
 // example a WithIntRegs-resized register file) never share native code.
+// CompileWorkers is deliberately absent: the parallel compile pipeline
+// produces bit-identical programs for every worker count, so keying on it
+// would only duplicate images.
 type cacheKey struct {
 	hash           [sha256.Size]byte
 	desc           target.Desc
@@ -294,6 +300,7 @@ func (e *Engine) image(ctx context.Context, m *Module, tgt *target.Desc, jopts j
 func (e *Engine) countCompilation(img *core.Image) {
 	e.mu.Lock()
 	e.compilations++
+	e.compileNanos += img.CompileNanos
 	if img.AnnotationFallbacks > 0 {
 		e.annoFallbacks++
 	}
@@ -312,13 +319,21 @@ type CompileStats struct {
 	// CompileReport.AnnotationFallbacks counts the individual sections of
 	// one compilation, so the two are not expected to add up.
 	FallbackCompilations int64 `json:"fallback_compilations"`
+	// CompileNanosTotal is the cumulative wall-clock time of those
+	// compilations: divided by Compilations it gives the average online
+	// compile cost a cache miss pays on this engine.
+	CompileNanosTotal int64 `json:"compile_nanos_total"`
 }
 
 // CompileStats returns a snapshot of the engine's compilation counters.
 func (e *Engine) CompileStats() CompileStats {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	return CompileStats{Compilations: e.compilations, FallbackCompilations: e.annoFallbacks}
+	return CompileStats{
+		Compilations:         e.compilations,
+		FallbackCompilations: e.annoFallbacks,
+		CompileNanosTotal:    e.compileNanos,
+	}
 }
 
 // CacheStats reports code cache effectiveness.

@@ -12,12 +12,14 @@
 // how fast the simulator itself runs on this host (ns/run, allocs/run,
 // simulated instructions per host-second) and the compile experiment records
 // how fast the online JIT runs (ns/compile, allocs/compile, methods/sec,
-// parallel-pipeline speedup); those numbers are tracked in the artifact but
-// never gated by cmd/benchdiff.
+// parallel-pipeline speedup) and the tier experiment records the tiered
+// execution trajectory (promotion latency cold versus profile-warmed,
+// tier-2 host speedup, fused superinstruction pairs, profile sizes); those
+// numbers are tracked in the artifact but never gated by cmd/benchdiff.
 //
 // Usage:
 //
-//	dacbench -exp table1|figure1|regalloc|codesize|hetero|host|anno|compile|all [-n 4096] [-frames 8]
+//	dacbench -exp table1|figure1|regalloc|codesize|hetero|host|anno|compile|tier|all [-n 4096] [-frames 8]
 //	         [-compileruns 24] [-compile-workers 0]
 //	         [-json BENCH_results.json] [-cpuprofile cpu.prof] [-memprofile mem.prof]
 package main
@@ -35,7 +37,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, figure1, regalloc, codesize, hetero, host, anno, compile or all")
+	exp := flag.String("exp", "all", "experiment to run: table1, figure1, regalloc, codesize, hetero, host, anno, compile, tier or all")
 	n := flag.Int("n", 4096, "elements per kernel invocation (table1, host)")
 	frames := flag.Int("frames", 8, "frames for the heterogeneous scenario")
 	hostRuns := flag.Int("hostruns", 16, "timed executions per cell of the host-throughput experiment")
@@ -144,6 +146,13 @@ func main() {
 			}
 			res.Compile = r
 			fmt.Println(r)
+		case "tier":
+			r, err := splitvm.RunTier(splitvm.TierBenchOptions{N: *n, Runs: *hostRuns})
+			if err != nil {
+				return err
+			}
+			res.Tier = r
+			fmt.Println(r)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -152,7 +161,7 @@ func main() {
 
 	experiments := []string{*exp}
 	if *exp == "all" {
-		experiments = []string{"table1", "figure1", "regalloc", "codesize", "hetero", "host", "anno", "compile"}
+		experiments = []string{"table1", "figure1", "regalloc", "codesize", "hetero", "host", "anno", "compile", "tier"}
 	}
 	for _, e := range experiments {
 		if err := run(e); err != nil {

@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/target"
@@ -41,7 +42,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *annoDump {
-		dumpAnnotations(mod)
+		dumpAnnotations(os.Stdout, mod)
 	} else {
 		fmt.Print(mod.Disassemble())
 	}
@@ -59,10 +60,11 @@ func main() {
 
 // dumpAnnotations renders the per-method annotation versions recorded at
 // load time: one line per annotation value, with the envelope's section
-// table and the negotiation verdict of this build's reader.
-func dumpAnnotations(mod *splitvm.Module) {
+// table and the negotiation verdict of this build's reader. A consumable
+// execution profile is additionally decoded and pretty-printed.
+func dumpAnnotations(w io.Writer, mod *splitvm.Module) {
 	infos := mod.AnnotationInfo()
-	fmt.Printf("module %s: %d annotation value(s)\n", mod.Name(), len(infos))
+	fmt.Fprintf(w, "module %s: %d annotation value(s)\n", mod.Name(), len(infos))
 	for _, info := range infos {
 		owner := info.Method
 		if owner == "" {
@@ -79,9 +81,18 @@ func dumpAnnotations(mod *splitvm.Module) {
 		if !info.Supported {
 			verdict = "FALLBACK: " + info.Reason
 		}
-		fmt.Printf("  %-12s %-16s %-14s %4d bytes  %s\n", owner, info.Key, form, info.Bytes, verdict)
+		fmt.Fprintf(w, "  %-12s %-16s %-14s %4d bytes  %s\n", owner, info.Key, form, info.Bytes, verdict)
 		for _, s := range info.Sections {
-			fmt.Printf("  %-12s   section %s@%d (%d bytes)\n", "", s.Name, s.Version, s.Bytes)
+			fmt.Fprintf(w, "  %-12s   section %s@%d (%d bytes)\n", "", s.Name, s.Version, s.Bytes)
+		}
+	}
+	if p := mod.Profile(); p != nil {
+		fmt.Fprintf(w, "profile: %d function(s)\n", len(p.Funcs))
+		for _, f := range p.Funcs {
+			fmt.Fprintf(w, "  %-12s %d call(s)\n", f.Name, f.Calls)
+			for i, b := range f.Branches {
+				fmt.Fprintf(w, "  %-12s   branch %d: taken %d, not taken %d\n", "", i, b.Taken, b.NotTaken)
+			}
 		}
 	}
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/corpus"
+	"repro/pkg/splitvm"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// corpusDir is the golden annotation corpus the disassembly is pinned over:
+// checked-in streams that never change, so the rendered output is stable.
+const corpusDir = "../../internal/anno/testdata/annocorpus"
+
+// TestAnnoDumpGolden pins the -anno rendering over corpus streams: the
+// profiled entry exercises the profile pretty-printer, the future-schema
+// entry the fallback verdict line. Regenerate with `go test ./cmd/svdis
+// -update` after an intentional format change.
+func TestAnnoDumpGolden(t *testing.T) {
+	man, err := corpus.LoadManifest(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	subjects := map[string]string{
+		corpus.ProfiledKernel:       "profiled_anno.golden",
+		corpus.ProfiledFutureKernel: "profiled_future_anno.golden",
+	}
+	eng := splitvm.New()
+	for _, e := range man.Entries {
+		golden, ok := subjects[e.Kernel]
+		if !ok {
+			continue
+		}
+		delete(subjects, e.Kernel)
+		data, err := os.ReadFile(filepath.Join(corpusDir, e.File))
+		if err != nil {
+			t.Fatal(err)
+		}
+		mod, err := eng.Load(data)
+		if err != nil {
+			t.Fatalf("%s: %v", e.File, err)
+		}
+		var buf bytes.Buffer
+		dumpAnnotations(&buf, mod)
+
+		path := filepath.Join("testdata", golden)
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%v (regenerate with -update)", err)
+		}
+		if !bytes.Equal(buf.Bytes(), want) {
+			t.Errorf("%s: -anno output drifted from %s:\ngot:\n%swant:\n%s", e.File, golden, buf.Bytes(), want)
+		}
+	}
+	for k := range subjects {
+		t.Errorf("corpus has no %s entry to pin the golden output over", k)
+	}
+}

@@ -143,6 +143,106 @@ func TestSVDSmokeBinary(t *testing.T) {
 	if stats.Deployments != 2 {
 		t.Errorf("/v1/stats deployments = %d, want 2", stats.Deployments)
 	}
+
+	// The profile loop, end to end against the real binary: deploy tiered,
+	// run past the promotion threshold, export the observed profile, and
+	// warm a second tiered deployment with the exported blob.
+	tieredReq, _ := json.Marshal(map[string]any{
+		"module":        upload.ID,
+		"targets":       []string{"mcu"},
+		"tiering":       true,
+		"promote_calls": 2,
+	})
+	var tiered struct {
+		Deployments []struct {
+			ID      string `json:"id"`
+			Tiering bool   `json:"tiering"`
+		} `json:"deployments"`
+	}
+	postJSON(t, base+"/v1/deploy", tieredReq, http.StatusCreated, &tiered)
+	if len(tiered.Deployments) != 1 || !tiered.Deployments[0].Tiering {
+		t.Fatalf("tiered deploy = %+v", tiered.Deployments)
+	}
+	tid := tiered.Deployments[0].ID
+	for i := 0; i < 3; i++ {
+		var run struct {
+			Value int64 `json:"value"`
+		}
+		postJSON(t, fmt.Sprintf("%s/v1/deployments/%s/run", base, tid), runReq, http.StatusOK, &run)
+		if run.Value != 506 {
+			t.Fatalf("tiered work(12) = %d, want 506 (tier 2 must be bit-identical)", run.Value)
+		}
+	}
+
+	presp, err := http.Get(fmt.Sprintf("%s/v1/deployments/%s/profile", base, tid))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	var prof struct {
+		Profile []byte `json:"profile"`
+		Bytes   int    `json:"bytes"`
+	}
+	if err := json.NewDecoder(presp.Body).Decode(&prof); err != nil {
+		t.Fatal(err)
+	}
+	if presp.StatusCode != http.StatusOK || len(prof.Profile) == 0 || prof.Bytes != len(prof.Profile) {
+		t.Fatalf("profile export: status %d, %d bytes", presp.StatusCode, len(prof.Profile))
+	}
+
+	warmReq, _ := json.Marshal(map[string]any{
+		"module":        upload.ID,
+		"targets":       []string{"mcu"},
+		"promote_calls": 2,
+		"profile":       prof.Profile,
+	})
+	var warm struct {
+		Deployments []struct {
+			ID              string `json:"id"`
+			Tiering         bool   `json:"tiering"`
+			ProfileFallback string `json:"profile_fallback"`
+		} `json:"deployments"`
+	}
+	postJSON(t, base+"/v1/deploy", warmReq, http.StatusCreated, &warm)
+	if len(warm.Deployments) != 1 || !warm.Deployments[0].Tiering || warm.Deployments[0].ProfileFallback != "" {
+		t.Fatalf("warm deploy = %+v", warm.Deployments)
+	}
+	// One call both imports the warm counters (seeding happens when the
+	// function is first decoded) and — since the exporter ran past the
+	// threshold — promotes immediately.
+	var warmRun struct {
+		Value int64 `json:"value"`
+	}
+	postJSON(t, fmt.Sprintf("%s/v1/deployments/%s/run", base, warm.Deployments[0].ID), runReq, http.StatusOK, &warmRun)
+	if warmRun.Value != 506 {
+		t.Fatalf("warm work(12) = %d, want 506", warmRun.Value)
+	}
+
+	// The tiering activity shows up in /v1/stats.
+	sresp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var tstats struct {
+		TieredDeployments int `json:"tiered_deployments"`
+		Tier              struct {
+			Promotions int64 `json:"promotions"`
+			WarmSeeded int64 `json:"warm_seeded"`
+		} `json:"tier"`
+	}
+	if err := json.NewDecoder(sresp.Body).Decode(&tstats); err != nil {
+		t.Fatal(err)
+	}
+	if tstats.TieredDeployments < 2 {
+		t.Errorf("/v1/stats tiered_deployments = %d, want >= 2", tstats.TieredDeployments)
+	}
+	if tstats.Tier.Promotions < 1 {
+		t.Errorf("/v1/stats tier.promotions = %d, want >= 1", tstats.Tier.Promotions)
+	}
+	if tstats.Tier.WarmSeeded < 1 {
+		t.Errorf("/v1/stats tier.warm_seeded = %d, want >= 1", tstats.Tier.WarmSeeded)
+	}
 }
 
 // freeAddr reserves an ephemeral localhost port and releases it for svd.

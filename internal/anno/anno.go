@@ -41,6 +41,10 @@ const (
 	KeyVector   = "split.vec"
 	KeyRegAlloc = "split.regalloc"
 	KeyHWReq    = "split.hwreq"
+	// KeyProfile is the module-level runtime execution profile (see
+	// internal/profile and profile.go): the one annotation produced by the
+	// runtime rather than the offline compiler.
+	KeyProfile = "split.profile"
 )
 
 // VecPattern classifies a vectorized loop.

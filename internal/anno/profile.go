@@ -1,0 +1,76 @@
+package anno
+
+import (
+	"fmt"
+
+	"repro/internal/anno/envelope"
+	"repro/internal/cil"
+	"repro/internal/profile"
+)
+
+// Runtime execution profiles (internal/profile) travel through the same
+// versioned annotation envelope as the offline analyses: a module-level
+// annotation under KeyProfile whose primary section is "profile", schema v1.
+// Profiles close the split-compilation loop — the runtime generates the
+// annotation, the next deployment consumes it — and are advisory exactly
+// like every other section: a reader from before the profile era ignores
+// the unknown key entirely, and a reader meeting a future profile schema
+// falls back to running unprofiled, never to an error.
+
+// EncodeProfileV encodes a module profile at the given schema version.
+// Profiles have no grandfathered v0 form — they postdate the envelope — so
+// only V1 is valid.
+func EncodeProfileV(p *profile.ModuleProfile, version uint32) ([]byte, error) {
+	if version != V1 {
+		return nil, fmt.Errorf("anno: profile annotations require schema v1 (got %d)", version)
+	}
+	return wrap(envelope.Section{Name: secProfile, Version: V1, Payload: p.Encode()}), nil
+}
+
+// AttachProfileV stores the execution profile as a module-level annotation
+// at the given schema version.
+func AttachProfileV(mod *cil.Module, p *profile.ModuleProfile, version uint32) error {
+	data, err := EncodeProfileV(p, version)
+	if err != nil {
+		return err
+	}
+	mod.SetAnnotation(KeyProfile, data)
+	return nil
+}
+
+// ReadProfile negotiates and decodes the module's execution profile.
+// present reports whether the annotation exists at all; a nil profile with
+// present == true means the outcome fell back.
+func ReadProfile(mod *cil.Module, minVersion uint32) (p *profile.ModuleProfile, out Outcome, present bool) {
+	data, ok := mod.Annotation(KeyProfile)
+	if !ok {
+		return nil, Outcome{Key: KeyProfile}, false
+	}
+	p, out = ReadProfileValue(data, minVersion)
+	return p, out, true
+}
+
+// ReadProfileValue negotiates and decodes a standalone profile annotation
+// value — the blob a deployment exports and another imports without a
+// module around it (svd's profile endpoints). A nil profile means the
+// value fell back; see Outcome.Reason.
+func ReadProfileValue(data []byte, minVersion uint32) (*profile.ModuleProfile, Outcome) {
+	payload, _, out := negotiate(KeyProfile, data, minVersion)
+	if out.Fallback {
+		return nil, out
+	}
+	p, err := profile.Decode(payload)
+	if err != nil {
+		out.Fallback = true
+		out.Reason = err.Error()
+		return nil, out
+	}
+	return p, out
+}
+
+// ProfileOf returns the module's execution profile, or nil if the module
+// carries none or it cannot be negotiated.
+func ProfileOf(mod *cil.Module) *profile.ModuleProfile {
+	p, _, _ := ReadProfile(mod, 0)
+	return p
+}

@@ -1,0 +1,99 @@
+package anno
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/anno/envelope"
+	"repro/internal/cil"
+	"repro/internal/profile"
+)
+
+func sampleProfile() *profile.ModuleProfile {
+	return &profile.ModuleProfile{Funcs: []profile.FuncProfile{
+		{Name: "kernel", Calls: 64, Branches: []profile.BranchCount{{Taken: 64, NotTaken: 4032}, {Taken: 4032}}},
+	}}
+}
+
+func TestProfileRoundTrip(t *testing.T) {
+	mod := &cil.Module{Name: "m"}
+	if err := AttachProfileV(mod, sampleProfile(), V1); err != nil {
+		t.Fatal(err)
+	}
+	got, out, present := ReadProfile(mod, 0)
+	if !present || out.Fallback {
+		t.Fatalf("ReadProfile: present=%v outcome=%+v", present, out)
+	}
+	if out.Version != V1 || !out.Enveloped {
+		t.Fatalf("outcome = %+v, want enveloped v1", out)
+	}
+	if !reflect.DeepEqual(got, sampleProfile()) {
+		t.Fatalf("profile mismatch: %+v", got)
+	}
+	if ProfileOf(mod) == nil {
+		t.Fatal("ProfileOf returned nil")
+	}
+}
+
+func TestProfileAbsent(t *testing.T) {
+	mod := &cil.Module{Name: "m"}
+	if p, _, present := ReadProfile(mod, 0); present || p != nil {
+		t.Fatal("ReadProfile invented a profile")
+	}
+}
+
+func TestProfileWriterRejectsOtherVersions(t *testing.T) {
+	for _, v := range []uint32{V0, CurrentVersion + 1} {
+		if _, err := EncodeProfileV(sampleProfile(), v); err == nil {
+			t.Errorf("EncodeProfileV(%d) succeeded; profiles are v1-only", v)
+		}
+	}
+}
+
+func TestProfileFutureVersionFallsBack(t *testing.T) {
+	future := wrap(envelope.Section{Name: secProfile, Version: 99, Payload: sampleProfile().Encode()})
+	p, out := ReadProfileValue(future, 0)
+	if p != nil || !out.Fallback {
+		t.Fatalf("future profile did not fall back: %+v", out)
+	}
+	if !strings.Contains(out.Reason, "newer than supported") {
+		t.Fatalf("unexpected reason %q", out.Reason)
+	}
+
+	mod := &cil.Module{Name: "m"}
+	mod.SetAnnotation(KeyProfile, future)
+	if _, out, present := ReadProfile(mod, 0); !present || !out.Fallback {
+		t.Fatal("module-level future profile did not fall back")
+	}
+	// Negotiation surfaces the fallback as a module-level (Method "") outcome.
+	outcomes, fallbacks := NegotiateModule(mod, 0)
+	if fallbacks != 1 || len(outcomes) != 1 || outcomes[0].Method != "" || outcomes[0].Key != KeyProfile {
+		t.Fatalf("NegotiateModule = %+v (%d fallbacks)", outcomes, fallbacks)
+	}
+}
+
+func TestProfileMalformedPayloadFallsBack(t *testing.T) {
+	bad := wrap(envelope.Section{Name: secProfile, Version: V1, Payload: []byte{42}})
+	if p, out := ReadProfileValue(bad, 0); p != nil || !out.Fallback {
+		t.Fatalf("malformed profile did not fall back: %+v", out)
+	}
+}
+
+func TestProfileInspect(t *testing.T) {
+	mod := &cil.Module{Name: "m"}
+	if err := AttachProfileV(mod, sampleProfile(), V1); err != nil {
+		t.Fatal(err)
+	}
+	infos := InspectModule(mod)
+	if len(infos) != 1 {
+		t.Fatalf("InspectModule returned %d entries", len(infos))
+	}
+	info := infos[0]
+	if info.Method != "" || info.Key != KeyProfile || !info.Supported || info.Version != V1 {
+		t.Fatalf("InspectModule entry = %+v", info)
+	}
+	if len(info.Sections) != 1 || info.Sections[0].Name != secProfile {
+		t.Fatalf("section table = %+v", info.Sections)
+	}
+}

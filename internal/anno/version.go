@@ -36,6 +36,7 @@ const (
 	secRegAlloc   = "regalloc"
 	secHWReq      = "hwreq"
 	secSpillClass = "spillclass"
+	secProfile    = "profile"
 )
 
 // primarySection maps an annotation key to the envelope section holding its
@@ -44,6 +45,7 @@ var primarySection = map[string]string{
 	KeyVector:   secVector,
 	KeyRegAlloc: secRegAlloc,
 	KeyHWReq:    secHWReq,
+	KeyProfile:  secProfile,
 }
 
 // MaxSupported returns the newest schema version this reader understands for
@@ -372,6 +374,9 @@ func NegotiateModule(mod *cil.Module, minVersion uint32) ([]MethodOutcome, int) 
 			fallbacks++
 		}
 	}
+	// Module-level annotations first (Method "" marks the module owner).
+	_, out, present := ReadProfile(mod, minVersion)
+	record("", out, present)
 	for _, m := range mod.Methods {
 		_, out, present := ReadVectorInfo(m, minVersion)
 		record(m.Name, out, present)

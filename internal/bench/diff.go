@@ -39,6 +39,13 @@ type Results struct {
 	// code stays bit-identical — is covered by the deterministic sections
 	// above plus the workers=1 vs workers=N comparison in CI.
 	Compile *CompileReport `json:"compile,omitempty"`
+	// Tier carries the tiered-execution measurement (promotion latency cold
+	// versus profile-warmed, tier-2 host speedup, fused pairs, profile
+	// sizes). Host-dependent like Host and Compile, so tracked but never
+	// gated; what *is* gated about tiering is its absence from every other
+	// number — CI re-runs the full gated benchdiff with tiering enabled and
+	// demands zero drift.
+	Tier *TierReport `json:"tier,omitempty"`
 }
 
 // gatedSections are the top-level artifact keys whose metrics the

@@ -1,0 +1,254 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+
+	"repro/internal/anno"
+	"repro/internal/core"
+	"repro/internal/jit"
+	"repro/internal/kernels"
+	"repro/internal/profile"
+	"repro/internal/sim"
+	"repro/internal/target"
+)
+
+// The tier experiment measures the tiered-execution machinery: how many
+// calls a function stays in tier 1 before promotion (cold, and warmed with
+// an exported profile), how fast the host executes the tier-1 versus the
+// fused tier-2 code, how many superinstruction pairs fusion found, what the
+// profile-guided register allocation validation concluded, and how many
+// bytes the serialized profile costs on the wire. Like the host and compile
+// experiments the wall-clock numbers are host-dependent, so the family is
+// recorded in BENCH_results.json but never gated — what *is* gated about
+// tiering is that it changes nothing: the simulated-cycle sections of the
+// artifact are byte-identical with tiering on (CI runs the full gated
+// benchdiff under SPLITVM_TIER=1 at zero tolerance), and RunTier itself
+// hard-fails if a tier-2 run's simulated cycles diverge from tier 1.
+
+// TierBenchOptions parameterizes the tiered-execution measurement.
+type TierBenchOptions struct {
+	// N is the number of elements per kernel invocation.
+	N int
+	// Runs is the number of timed executions per tier per cell.
+	Runs int
+	// PromoteCalls is the tier-2 promotion threshold for the cold
+	// deployment (0 uses a bench-friendly low threshold).
+	PromoteCalls int64
+	// Seed makes the pseudo-random inputs reproducible.
+	Seed int64
+}
+
+func (o *TierBenchOptions) defaults() {
+	if o.N == 0 {
+		o.N = 4096
+	}
+	if o.Runs == 0 {
+		o.Runs = 16
+	}
+	if o.PromoteCalls == 0 {
+		o.PromoteCalls = 4
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+}
+
+// TierCell is the tiered-execution measurement of one kernel on one target.
+type TierCell struct {
+	Kernel string
+	Target target.Arch
+	// SimCycles is the deterministic per-run simulated cycle count —
+	// identical in tier 1 and tier 2 by construction (RunTier verifies it).
+	SimCycles int64
+	// ColdPromoteCalls is the number of calls the entry function spent in
+	// tier 1 before promotion on a cold deployment (the threshold).
+	ColdPromoteCalls int64
+	// WarmPromoteCalls is the same latency on a deployment warmed with the
+	// cold deployment's exported profile (1 when the import succeeded: the
+	// first call promotes).
+	WarmPromoteCalls int64
+	// Tier1NanosPerRun and Tier2NanosPerRun are the average wall-clock times
+	// of one execution before and after promotion.
+	Tier1NanosPerRun float64
+	Tier2NanosPerRun float64
+	// Tier2Speedup is Tier1NanosPerRun / Tier2NanosPerRun (host-dependent;
+	// near 1.0 is expected — fusion removes dispatch overhead only).
+	Tier2Speedup float64
+	// FusedPairs is the number of superinstruction pairs tier 2 fused.
+	FusedPairs int64
+	// ReallocConfirmed and ReallocDiverged report the profile-guided
+	// register allocation validation: whether recompiling with observed
+	// block frequencies reproduced the deployed code.
+	ReallocConfirmed int64
+	ReallocDiverged  int64
+	// ProfileBytes is the size of the exported profile serialized as a
+	// versioned annotation value.
+	ProfileBytes int
+}
+
+// TierReport is the tiered-execution measurement across the Table 1 matrix.
+type TierReport struct {
+	Options   TierBenchOptions
+	GoVersion string
+	NumCPU    int
+	Cells     []TierCell
+}
+
+// RunTier measures the tiering machinery over the Table 1 kernels and
+// targets. Each cell deploys the same image twice — plain and tiered —
+// drives the tiered machine to promotion, checks the tier-2 simulated
+// cycles against tier 1, times both steady states, and warms a third
+// deployment with the exported profile to measure the warm-start latency.
+func RunTier(opts TierBenchOptions) (*TierReport, error) {
+	opts.defaults()
+	report := &TierReport{Options: opts, GoVersion: runtime.Version(), NumCPU: runtime.NumCPU()}
+
+	for _, name := range kernels.Table1Names {
+		k := kernels.MustGet(name)
+		res, _, err := core.CompileKernel(name, core.OfflineOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", name, err)
+		}
+		for _, tgt := range target.Table1() {
+			cell, err := measureTierCell(k, res.Encoded, tgt, opts)
+			if err != nil {
+				return nil, fmt.Errorf("bench: %s on %s: %w", name, tgt.Name, err)
+			}
+			report.Cells = append(report.Cells, cell)
+		}
+	}
+	return report, nil
+}
+
+// timeRuns times runs steady-state executions and returns (ns/run,
+// simulated cycles/run). Stats are reset first so the per-run cycle count
+// comes out exact.
+func timeRuns(dep *core.Deployment, entry string, args []sim.Value, runs int) (float64, int64, error) {
+	m := dep.Machine
+	m.ResetStats()
+	start := time.Now()
+	for i := 0; i < runs; i++ {
+		if _, err := m.Call(entry, args...); err != nil {
+			return 0, 0, err
+		}
+	}
+	elapsed := time.Since(start)
+	return float64(elapsed.Nanoseconds()) / float64(runs), m.Stats.Cycles / int64(runs), nil
+}
+
+func measureTierCell(k kernels.Kernel, encoded []byte, tgt *target.Desc, opts TierBenchOptions) (TierCell, error) {
+	in, err := kernels.NewInputs(k.Name, opts.N, opts.Seed)
+	if err != nil {
+		return TierCell{}, err
+	}
+
+	// Tier-1 baseline: a plain deployment, never promoted.
+	plain, err := core.Deploy(encoded, tgt, jit.Options{RegAlloc: jit.RegAllocSplit})
+	if err != nil {
+		return TierCell{}, err
+	}
+	args, _ := MarshalKernelArgs(plain.Machine, in)
+	if _, err := plain.Machine.Call(k.Entry, args...); err != nil { // warm-up
+		return TierCell{}, err
+	}
+	t1ns, t1cyc, err := timeRuns(plain, k.Entry, args, opts.Runs)
+	if err != nil {
+		return TierCell{}, err
+	}
+
+	// Cold tiered deployment: run to promotion, then time the tier-2
+	// steady state over the same inputs.
+	tiered, err := core.Deploy(encoded, tgt, jit.Options{RegAlloc: jit.RegAllocSplit})
+	if err != nil {
+		return TierCell{}, err
+	}
+	tiered.EnableTiering(core.TierOptions{Policy: profile.Policy{PromoteCalls: opts.PromoteCalls}})
+	targs, _ := MarshalKernelArgs(tiered.Machine, in)
+	for i := int64(0); i < opts.PromoteCalls; i++ {
+		if _, err := tiered.Machine.Call(k.Entry, targs...); err != nil {
+			return TierCell{}, err
+		}
+	}
+	ts := tiered.TierStats()
+	if ts.Promotions == 0 {
+		return TierCell{}, fmt.Errorf("no promotion after %d calls", opts.PromoteCalls)
+	}
+	t2ns, t2cyc, err := timeRuns(tiered, k.Entry, targs, opts.Runs)
+	if err != nil {
+		return TierCell{}, err
+	}
+	// The architectural-invariance contract, enforced rather than assumed:
+	// tier 2 must simulate the exact same cycles as tier 1.
+	if t2cyc != t1cyc {
+		return TierCell{}, fmt.Errorf("tier-2 cycles %d != tier-1 cycles %d", t2cyc, t1cyc)
+	}
+
+	// Export the observed profile and warm a fresh deployment with it: the
+	// promotion latency drops from the threshold to a single call.
+	exported := tiered.ExportProfile()
+	encProfile, err := anno.EncodeProfileV(exported, anno.CurrentVersion)
+	if err != nil {
+		return TierCell{}, err
+	}
+	warm, err := core.Deploy(encoded, tgt, jit.Options{RegAlloc: jit.RegAllocSplit})
+	if err != nil {
+		return TierCell{}, err
+	}
+	warm.EnableTiering(core.TierOptions{
+		Policy:  profile.Policy{PromoteCalls: opts.PromoteCalls},
+		Profile: exported,
+	})
+	wargs, _ := MarshalKernelArgs(warm.Machine, in)
+	if _, err := warm.Machine.Call(k.Entry, wargs...); err != nil {
+		return TierCell{}, err
+	}
+	ws := warm.TierStats()
+	if ws.Promotions == 0 {
+		return TierCell{}, fmt.Errorf("warm deployment did not promote on first call (seeded=%d degraded=%d)", ws.WarmSeeded, ws.WarmDegraded)
+	}
+
+	cell := TierCell{
+		Kernel:           k.Name,
+		Target:           tgt.Arch,
+		SimCycles:        t1cyc,
+		ColdPromoteCalls: ts.PromoteCallsSum / ts.Promotions,
+		WarmPromoteCalls: ws.PromoteCallsSum / ws.Promotions,
+		Tier1NanosPerRun: t1ns,
+		Tier2NanosPerRun: t2ns,
+		FusedPairs:       ts.FusedPairs,
+		ReallocConfirmed: ts.ReallocConfirmed,
+		ReallocDiverged:  ts.ReallocDiverged,
+		ProfileBytes:     len(encProfile),
+	}
+	if t2ns > 0 {
+		cell.Tier2Speedup = t1ns / t2ns
+	}
+	return cell, nil
+}
+
+// String renders the tiered-execution matrix.
+func (r *TierReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Tiered execution: promotion latency, tier-2 speedup and profile sizes (n=%d, %d runs/tier, threshold=%d, %s, %d CPUs)\n",
+		r.Options.N, r.Options.Runs, r.Options.PromoteCalls, r.GoVersion, r.NumCPU)
+	b.WriteString("wall-clock numbers are host-dependent; tracked, not gated — simulated cycles are tier-invariant by contract\n\n")
+	fmt.Fprintf(&b, "%-12s %-12s %12s %10s %10s %12s %12s %8s %7s %9s %10s\n",
+		"benchmark", "target", "sim cyc/run", "cold prom", "warm prom", "t1 ns/run", "t2 ns/run", "speedup", "fused", "realloc", "prof bytes")
+	b.WriteString(strings.Repeat("-", 124) + "\n")
+	for _, c := range r.Cells {
+		realloc := "-"
+		switch {
+		case c.ReallocConfirmed > 0 && c.ReallocDiverged == 0:
+			realloc = "confirm"
+		case c.ReallocDiverged > 0:
+			realloc = "diverge"
+		}
+		fmt.Fprintf(&b, "%-12s %-12s %12d %10d %10d %12.0f %12.0f %8.2fx %7d %9s %10d\n",
+			c.Kernel, c.Target, c.SimCycles, c.ColdPromoteCalls, c.WarmPromoteCalls,
+			c.Tier1NanosPerRun, c.Tier2NanosPerRun, c.Tier2Speedup, c.FusedPairs, realloc, c.ProfileBytes)
+	}
+	return b.String()
+}

@@ -1,0 +1,85 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/kernels"
+	"repro/internal/target"
+)
+
+func TestRunTierMeasuresEveryCell(t *testing.T) {
+	r, err := RunTier(TierBenchOptions{N: 256, Runs: 3, PromoteCalls: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(kernels.Table1Names) * len(target.Table1()); len(r.Cells) != want {
+		t.Fatalf("got %d cells, want %d", len(r.Cells), want)
+	}
+	for _, c := range r.Cells {
+		// RunTier itself errors on a cycle mismatch, so a returned cell
+		// already passed the tier-invariance check.
+		if c.SimCycles <= 0 || c.Tier1NanosPerRun <= 0 || c.Tier2NanosPerRun <= 0 {
+			t.Errorf("%s/%s: missing measurements: %+v", c.Kernel, c.Target, c)
+		}
+		if c.ColdPromoteCalls != 2 {
+			t.Errorf("%s/%s: cold promotion latency %d, want the threshold 2", c.Kernel, c.Target, c.ColdPromoteCalls)
+		}
+		// The exported profile must measurably speed up the fresh
+		// deployment: warm promotion on the first call.
+		if c.WarmPromoteCalls != 1 {
+			t.Errorf("%s/%s: warm promotion latency %d, want 1", c.Kernel, c.Target, c.WarmPromoteCalls)
+		}
+		if c.FusedPairs < 1 {
+			t.Errorf("%s/%s: no fused pairs", c.Kernel, c.Target)
+		}
+		if c.ProfileBytes <= 0 {
+			t.Errorf("%s/%s: empty serialized profile", c.Kernel, c.Target)
+		}
+		if c.ReallocConfirmed+c.ReallocDiverged == 0 {
+			t.Errorf("%s/%s: profile-guided regalloc validation never ran", c.Kernel, c.Target)
+		}
+	}
+	if s := r.String(); !strings.Contains(s, "prof bytes") || !strings.Contains(s, "saxpy_fp") {
+		t.Errorf("report rendering looks wrong:\n%s", s)
+	}
+}
+
+// TestTierSectionIsTrackedNotGated pins the compatibility contract of the
+// tier section: artifacts without it (old baselines) compare cleanly
+// against artifacts with it, and none of its values ever become gated
+// metrics.
+func TestTierSectionIsTrackedNotGated(t *testing.T) {
+	baseline := sampleResults() // pre-tier schema: Tier == nil
+	current := clone(t, sampleResults())
+	current.Tier = &TierReport{
+		Options: TierBenchOptions{N: 256, Runs: 3, PromoteCalls: 2},
+		Cells: []TierCell{{
+			Kernel: "saxpy_fp", Target: target.X86SSE,
+			SimCycles: 4000, ColdPromoteCalls: 2, WarmPromoteCalls: 1,
+			Tier1NanosPerRun: 12345, Tier2NanosPerRun: 11000, Tier2Speedup: 1.12,
+			FusedPairs: 3, ReallocDiverged: 1, ProfileBytes: 42,
+		}},
+	}
+
+	for _, m := range current.Metrics() {
+		if strings.HasPrefix(m.Name, "tier/") {
+			t.Errorf("tier metric %q leaked into the gated metric set", m.Name)
+		}
+	}
+	if got, want := len(current.Metrics()), len(baseline.Metrics()); got != want {
+		t.Errorf("tier section changed the gated metric count: %d != %d", got, want)
+	}
+	rep := Compare(baseline, current, DiffOptions{})
+	if rep.Failed() {
+		t.Fatalf("tier section must not fail the gate:\n%s", rep)
+	}
+	if rep.New != 0 {
+		t.Errorf("tier section produced %d unexpected new gated metrics", rep.New)
+	}
+
+	// Round-tripping an artifact that carries the tier section keeps it.
+	if again := clone(t, current); again.Tier == nil || len(again.Tier.Cells) != 1 {
+		t.Error("tier section lost in the JSON round trip")
+	}
+}

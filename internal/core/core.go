@@ -151,6 +151,10 @@ type Image struct {
 	Target  *target.Desc
 	Module  *cil.Module
 	Program *nisa.Program
+	// JITOpts is the online-compiler configuration that produced the
+	// program (kept so tiering can re-run the same pipeline for its
+	// profile-guided validation).
+	JITOpts jit.Options
 
 	// JITSteps approximates the work the online compiler performed; with
 	// split compilation this stays small even when the generated code is
@@ -205,6 +209,7 @@ func ImageFromVerifiedModule(mod *cil.Module, tgt *target.Desc, jopts jit.Option
 		Target:              tgt,
 		Module:              mod,
 		Program:             prog,
+		JITOpts:             jopts,
 		CompileNanos:        time.Since(start).Nanoseconds(),
 		AnnotationOutcomes:  rep.Outcomes,
 		AnnotationFallbacks: rep.Fallbacks,
@@ -219,16 +224,21 @@ func ImageFromVerifiedModule(mod *cil.Module, tgt *target.Desc, jopts jit.Option
 // its memory and statistics; the image itself is shared and never mutated,
 // so concurrent instantiations are safe.
 func (img *Image) Instantiate() *Deployment {
-	return &Deployment{
+	d := &Deployment{
 		Target:              img.Target,
 		Module:              img.Module,
 		Program:             img.Program,
+		JITOpts:             img.JITOpts,
 		Machine:             sim.New(img.Target, img.Program),
 		JITSteps:            img.JITSteps,
 		CompileNanos:        img.CompileNanos,
 		AnnotationOutcomes:  img.AnnotationOutcomes,
 		AnnotationFallbacks: img.AnnotationFallbacks,
 	}
+	if envTier() {
+		d.EnableTiering(TierOptions{})
+	}
+	return d
 }
 
 // Deployment is a module deployed on one simulated target: the decoded and
@@ -239,6 +249,9 @@ type Deployment struct {
 	Module  *cil.Module
 	Program *nisa.Program
 	Machine *sim.Machine
+	// JITOpts is the online-compiler configuration behind the deployed
+	// program (see Image.JITOpts).
+	JITOpts jit.Options
 
 	// JITSteps approximates the work the online compiler performed; with
 	// split compilation this stays small even when the generated code is

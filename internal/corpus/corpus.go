@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/jit"
 	"repro/internal/kernels"
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/target"
 )
@@ -71,6 +72,17 @@ i32 work(i32 n) {
 // SyntheticEntryPoint is the entry point of the synthetic module, invoked
 // with one small integer argument.
 const SyntheticEntryPoint = "work"
+
+// ProfiledKernel names the corpus entry whose module carries a runtime
+// execution profile annotation (module-level anno.KeyProfile, schema v1):
+// the stream a deployment re-exports after profiling, pinned so future
+// readers keep negotiating and consuming it.
+const ProfiledKernel = "profiled"
+
+// ProfiledFutureKernel names the entry whose profile section declares
+// schema version 99 — a profile from a future toolchain. Pre-profile and
+// current readers must degrade to running unprofiled, never error.
+const ProfiledFutureKernel = "profiled-future"
 
 // ManifestName is the corpus index file.
 const ManifestName = "MANIFEST.json"
@@ -133,8 +145,13 @@ func (m *Manifest) find(kernel string, version uint32, sum string) *Entry {
 // Generate produces the current encoder's byte stream for one corpus
 // subject. Pass SyntheticKernel/SyntheticVersion for the future stream.
 func Generate(kernel string, version uint32) ([]byte, error) {
-	if kernel == SyntheticKernel {
+	switch kernel {
+	case SyntheticKernel:
 		return generateSynthetic()
+	case ProfiledKernel:
+		return generateProfiled(false)
+	case ProfiledFutureKernel:
+		return generateProfiled(true)
 	}
 	res, _, err := core.CompileKernel(kernel, core.OfflineOptions{AnnotationVersion: version})
 	if err != nil {
@@ -169,6 +186,44 @@ func generateSynthetic() ([]byte, error) {
 	return cil.Encode(res.Module), nil
 }
 
+// generateProfiled compiles the synthetic module, records an execution
+// profile by running it in a profiling deployment, and attaches the profile
+// as a module-level annotation. Execution is deterministic, so the profile
+// — and with it the whole stream — is byte-stable. With future set the
+// profile section declares schema version 99 instead of v1.
+func generateProfiled(future bool) ([]byte, error) {
+	res, err := core.CompileOffline(syntheticSource, core.OfflineOptions{
+		ModuleName:        "profiled",
+		AnnotationVersion: anno.V1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	tgt, err := target.Lookup(target.MCU)
+	if err != nil {
+		return nil, err
+	}
+	dep, err := core.Deploy(res.Encoded, tgt, jit.Options{RegAlloc: jit.RegAllocSplit})
+	if err != nil {
+		return nil, err
+	}
+	dep.EnableTiering(core.TierOptions{Policy: profile.Policy{PromoteCalls: -1}}) // profile only
+	for i := 0; i < 3; i++ {
+		if _, err := dep.Run(SyntheticEntryPoint, sim.IntArg(16)); err != nil {
+			return nil, err
+		}
+	}
+	p := dep.ExportProfile()
+	if future {
+		res.Module.SetAnnotation(anno.KeyProfile, envelope.Encode(&envelope.Envelope{Sections: []envelope.Section{
+			{Name: "profile", Version: SyntheticVersion, Payload: p.Encode()},
+		}}))
+	} else if err := anno.AttachProfileV(res.Module, p, anno.V1); err != nil {
+		return nil, err
+	}
+	return cil.Encode(res.Module), nil
+}
+
 // subject is one (kernel, writer version) pair the corpus must cover.
 type subject struct {
 	kernel  string
@@ -183,7 +238,9 @@ func subjects() []subject {
 			out = append(out, subject{kernel: k, version: v})
 		}
 	}
-	return append(out, subject{kernel: SyntheticKernel, version: SyntheticVersion})
+	out = append(out, subject{kernel: SyntheticKernel, version: SyntheticVersion})
+	out = append(out, subject{kernel: ProfiledKernel, version: anno.V1})
+	return append(out, subject{kernel: ProfiledFutureKernel, version: SyntheticVersion})
 }
 
 func digest(data []byte) string {
@@ -298,6 +355,21 @@ func VerifyEntry(dir string, e Entry) error {
 	}
 	strippedBytes := cil.Encode(mod.StripAnnotations())
 
+	// The profile entries additionally pin the negotiation outcome of the
+	// module-level profile annotation itself: the v1 stream must still be
+	// consumable, the future stream must degrade to nil (run unprofiled),
+	// and neither may error.
+	switch e.Kernel {
+	case ProfiledKernel:
+		if anno.ProfileOf(mod) == nil {
+			return fmt.Errorf("%s: v1 profile annotation no longer negotiates", e.File)
+		}
+	case ProfiledFutureKernel:
+		if anno.ProfileOf(mod) != nil {
+			return fmt.Errorf("%s: future profile annotation unexpectedly negotiated", e.File)
+		}
+	}
+
 	for _, arch := range verifyTargets {
 		tgt, err := target.Lookup(arch)
 		if err != nil {
@@ -312,7 +384,7 @@ func VerifyEntry(dir string, e Entry) error {
 			return fmt.Errorf("%s on %s: deploying online-only: %w", e.File, arch, err)
 		}
 
-		wantFallbacks := e.Kernel == SyntheticKernel
+		wantFallbacks := e.Kernel == SyntheticKernel || e.Kernel == ProfiledFutureKernel
 		if wantFallbacks && annotated.AnnotationFallbacks == 0 {
 			return fmt.Errorf("%s on %s: future annotation did not register a fallback", e.File, arch)
 		}
@@ -320,7 +392,7 @@ func VerifyEntry(dir string, e Entry) error {
 			return fmt.Errorf("%s on %s: unexpected annotation fallbacks: %+v", e.File, arch, annotated.AnnotationOutcomes)
 		}
 
-		if e.Kernel == SyntheticKernel {
+		if e.Kernel == SyntheticKernel || e.Kernel == ProfiledKernel || e.Kernel == ProfiledFutureKernel {
 			if err := compareScalarRun(annotated, online); err != nil {
 				return fmt.Errorf("%s on %s: %w", e.File, arch, err)
 			}

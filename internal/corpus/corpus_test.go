@@ -18,7 +18,7 @@ func TestUpdateThenCheck(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	wantEntries := len(Kernels)*len(Versions) + 1
+	wantEntries := len(Kernels)*len(Versions) + 3 // + synthetic, profiled, profiled-future
 	if len(added) != wantEntries {
 		t.Fatalf("Update added %d streams, want %d", len(added), wantEntries)
 	}
@@ -119,16 +119,18 @@ func TestGenerateDeterministic(t *testing.T) {
 			}
 		}
 	}
-	a, err := Generate(SyntheticKernel, SyntheticVersion)
-	if err != nil {
-		t.Fatal(err)
-	}
-	b, err := Generate(SyntheticKernel, SyntheticVersion)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if digest(a) != digest(b) {
-		t.Error("synthetic stream is not deterministic")
+	for _, k := range []string{SyntheticKernel, ProfiledKernel, ProfiledFutureKernel} {
+		a, err := Generate(k, SyntheticVersion)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Generate(k, SyntheticVersion)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if digest(a) != digest(b) {
+			t.Errorf("%s stream is not deterministic", k)
+		}
 	}
 }
 

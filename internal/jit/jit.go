@@ -184,6 +184,13 @@ type methodResult struct {
 func (c *Compiler) CompileModuleReport(mod *cil.Module) (*nisa.Program, *Report, error) {
 	prog := nisa.NewProgram(c.Target.Name)
 	rep := &Report{}
+	// Module-level annotations negotiate once per compilation (Method "" in
+	// the report). The execution profile is not consumed here — tiering
+	// imports it at deploy time — but a stream carrying one the reader
+	// cannot negotiate must surface as a fallback, never as an error.
+	if _, out, present := anno.ReadProfile(mod, c.Opts.MinAnnotationVersion); present {
+		rep.add("", []anno.Outcome{out})
+	}
 	methods := mod.Methods
 	workers := c.compileWorkers(len(methods))
 	if workers <= 1 {

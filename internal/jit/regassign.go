@@ -43,6 +43,10 @@ type assigner struct {
 	f  *nisa.Func
 
 	annot *anno.RegAllocInfo
+	// freqs, when non-nil, holds observed per-instruction execution
+	// frequencies (profile.BlockFreqs) that replace the static 10^depth
+	// weight heuristic (CompileMethodProfiled).
+	freqs []int64
 
 	intervals []interval
 	assigned  []int // physical register index per vreg, -1 = spilled/unused
@@ -75,6 +79,7 @@ type assigner struct {
 func (a *assigner) reset(c *Compiler, tr *translator, f *nisa.Func, annot *anno.RegAllocInfo) {
 	a.c, a.tr, a.f = c, tr, f
 	a.annot = nil
+	a.freqs = nil
 	if c.Opts.RegAlloc == RegAllocSplit {
 		a.annot = annot
 	}
@@ -216,8 +221,29 @@ func (a *assigner) extendAcrossLoops() {
 }
 
 // computeWeights estimates dynamic use counts: every occurrence counts
-// 10^loop-depth.
+// 10^loop-depth — or, when an execution profile supplied observed block
+// frequencies, exactly the frequency of its instruction's block.
 func (a *assigner) computeWeights() {
+	if a.freqs != nil {
+		for pos := range a.f.Code {
+			w := a.freqs[pos]
+			if w < 1 {
+				w = 1
+			}
+			defs, uses := a.regRefs(&a.f.Code[pos])
+			for _, r := range defs {
+				if r.Virtual {
+					a.intervals[r.Index].weight += w
+				}
+			}
+			for _, r := range uses {
+				if r.Virtual {
+					a.intervals[r.Index].weight += w
+				}
+			}
+		}
+		return
+	}
 	regions := a.loopRegions()
 	depthAt := func(pos int) int {
 		d := 0

@@ -1,0 +1,111 @@
+package profile
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/nisa"
+)
+
+// loopCode is a minimal counted loop:
+//
+//	0: movi r0, #0
+//	1: bcmp ge r0, r1, @5   ; guard (ordinal 0)
+//	2: add  r2, r2, r0
+//	3: add  r0, r0, #1
+//	4: jump @1              ; back edge (ordinal 1)
+//	5: ret
+func loopCode() []nisa.Instr {
+	return []nisa.Instr{
+		{Op: nisa.MovImm},
+		{Op: nisa.BranchCmp, Cond: nisa.CondGe, Target: 5},
+		{Op: nisa.Add},
+		{Op: nisa.Add},
+		{Op: nisa.Jump, Target: 1},
+		{Op: nisa.Ret},
+	}
+}
+
+func TestBranchOrdinals(t *testing.T) {
+	if got := BranchOrdinals(loopCode()); got != 2 {
+		t.Fatalf("BranchOrdinals = %d, want 2", got)
+	}
+}
+
+func TestBlockFreqs(t *testing.T) {
+	// Two calls, three iterations each: the guard runs 4x per call (3
+	// not-taken + 1 taken), the back edge 3x per call.
+	fp := &FuncProfile{
+		Name:     "loop",
+		Calls:    2,
+		Branches: []BranchCount{{Taken: 2, NotTaken: 6}, {Taken: 6}},
+	}
+	freqs, err := BlockFreqs(loopCode(), fp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{2, 8, 6, 6, 6, 2}
+	if !reflect.DeepEqual(freqs, want) {
+		t.Fatalf("BlockFreqs = %v, want %v", freqs, want)
+	}
+}
+
+func TestBlockFreqsMismatch(t *testing.T) {
+	fp := &FuncProfile{Name: "loop", Calls: 1, Branches: []BranchCount{{Taken: 1}}}
+	if _, err := BlockFreqs(loopCode(), fp); err == nil {
+		t.Fatal("BlockFreqs accepted a branch-count mismatch")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := &ModuleProfile{Funcs: []FuncProfile{
+		{Name: "kernel", Calls: 1 << 40, Branches: []BranchCount{{Taken: 3, NotTaken: 500}, {Taken: 0, NotTaken: 0}}},
+		{Name: "helper", Calls: 1},
+	}}
+	data := p.Encode()
+	got, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, p) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, p)
+	}
+	if got.Func("kernel") == nil || got.Func("nope") != nil {
+		t.Fatal("Func lookup wrong")
+	}
+}
+
+func TestDecodeRejectsBadPayloads(t *testing.T) {
+	p := &ModuleProfile{Funcs: []FuncProfile{{Name: "k", Calls: 9, Branches: []BranchCount{{Taken: 1, NotTaken: 2}}}}}
+	good := p.Encode()
+	cases := map[string][]byte{
+		"empty":         nil,
+		"bad version":   {9, 1},
+		"truncated":     good[:len(good)-1],
+		"trailing":      append(append([]byte{}, good...), 0),
+		"runaway count": {SchemaVersion, 0xff, 0xff, 0xff, 0xff, 0x0f},
+	}
+	for name, data := range cases {
+		if _, err := Decode(data); err == nil {
+			t.Errorf("%s: Decode accepted invalid payload", name)
+		}
+	}
+}
+
+func TestPolicy(t *testing.T) {
+	var def Policy
+	if def.Threshold() != DefaultPromoteCalls {
+		t.Fatalf("default threshold = %d", def.Threshold())
+	}
+	if def.Hot(DefaultPromoteCalls-1) || !def.Hot(DefaultPromoteCalls) {
+		t.Fatal("default policy threshold off by one")
+	}
+	off := Policy{PromoteCalls: -1}
+	if off.Hot(1 << 62) {
+		t.Fatal("disabled policy promoted")
+	}
+	two := Policy{PromoteCalls: 2}
+	if two.Hot(1) || !two.Hot(2) {
+		t.Fatal("explicit threshold off by one")
+	}
+}

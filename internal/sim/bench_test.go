@@ -15,6 +15,7 @@ import (
 	"repro/internal/jit"
 	"repro/internal/kernels"
 	"repro/internal/nisa"
+	"repro/internal/profile"
 	"repro/internal/sim"
 	"repro/internal/target"
 	"repro/internal/vm"
@@ -63,6 +64,41 @@ func BenchmarkDispatchScalarLoop(b *testing.B) {
 	// One warm-up call so one-time per-function work is off the clock.
 	if _, err := m.Call("sum", args...); err != nil {
 		b.Fatal(err)
+	}
+	m.ResetStats()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Call("sum", args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	reportHostThroughput(b, m)
+}
+
+// BenchmarkDispatchScalarLoopTiered is the tiered twin of
+// BenchmarkDispatchScalarLoop: profiling on, function promoted to tier 2
+// during warm-up, so benchstat comparisons against the plain benchmark
+// show what the profile counters cost and what superinstruction fusion
+// buys on the host. Simulated cycles are identical by construction.
+func BenchmarkDispatchScalarLoopTiered(b *testing.B) {
+	const n = 4096
+	m := sim.New(target.MustLookup(target.PPC), sumProgram())
+	m.EnableTiering(profile.Policy{PromoteCalls: 2})
+	arr := vm.NewArray(cil.I32, n)
+	for i := 0; i < n; i++ {
+		arr.SetInt(i, int64(i))
+	}
+	addr := m.CopyInArray(arr)
+	args := []sim.Value{sim.IntArg(int64(addr)), sim.IntArg(n)}
+	for call := 0; call < 3; call++ { // warm up past promotion
+		if _, err := m.Call("sum", args...); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if m.TierStats().Promotions == 0 {
+		b.Fatal("warm-up did not promote")
 	}
 	m.ResetStats()
 	b.ReportAllocs()

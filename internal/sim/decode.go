@@ -108,6 +108,16 @@ const (
 	// xTrap reproduces a lazily-reported decode-time error (unimplemented
 	// opcode, vector instruction without a vector unit) at execution time.
 	xTrap
+
+	// Tier-2 superinstructions (see tier.go): slot i executes both itself
+	// and the record at i+1, charging exactly the cycles and statistics of
+	// the two constituents. The partner record at i+1 stays in place for
+	// branches that target it.
+	xFusedMovImmAdd  // xMovImm + xAdd (loop-latch increment setup)
+	xFusedAddMov     // xAdd + xMovInt (induction-variable update)
+	xFusedMovJump    // xMovInt + xJump (loop back edge)
+	xFusedVLoadVBin  // xVLoad + xVBin
+	xFusedVBinVStore // xVBin + xVStore
 )
 
 // mode values for the per-xop "mode" field.
@@ -174,6 +184,7 @@ type dinstr struct {
 	cost2      int32 // cycles of the branch-not-taken path
 	size       int32 // element size scaling the index of a memory access
 	span       int32 // byte span of a memory access (bounds check)
+	prof       int32 // branch-counter base index (xJump/xBranchCmp): 2*ordinal
 
 	imm  int64
 	fimm float64
@@ -183,9 +194,22 @@ type dinstr struct {
 	errMsg string
 }
 
-// dfunc is one pre-decoded function.
+// dfunc is one pre-decoded function, plus its tiering state (see tier.go):
+// the profile counters are per machine and per function, live outside
+// Stats (ResetStats does not clear them), and are only allocated when
+// tiering is enabled — the tier-1 steady state stays allocation-free.
 type dfunc struct {
 	code []dinstr
+	fn   *nisa.Func
+
+	// calls counts invocations; branchCounts holds one taken/not-taken
+	// counter pair per branch in pc order (nil with tiering off). seeded
+	// remembers the invocation count imported from a warm profile, so
+	// promotion latency is measured in local calls only.
+	calls        uint64
+	seeded       uint64
+	branchCounts []uint64
+	promoted     bool
 }
 
 // decodedFunc returns the pre-decoded form of f, decoding it on first use.
@@ -200,10 +224,19 @@ func (m *Machine) decodedFunc(f *nisa.Func) *dfunc {
 
 func (m *Machine) decodeFunc(f *nisa.Func) *dfunc {
 	code := make([]dinstr, len(f.Code))
+	branches := int32(0)
 	for pc := range f.Code {
 		m.decodeInstr(&f.Code[pc], &code[pc])
+		if f.Code[pc].Op.IsBranch() {
+			code[pc].prof = 2 * branches
+			branches++
+		}
 	}
-	return &dfunc{code: code}
+	df := &dfunc{code: code, fn: f}
+	if m.tier != nil {
+		m.tier.initFunc(df)
+	}
+	return df
 }
 
 func (m *Machine) decodeInstr(in *nisa.Instr, d *dinstr) {

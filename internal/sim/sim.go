@@ -82,6 +82,10 @@ type Machine struct {
 	// frames pools one activation record per call depth, so the steady-state
 	// dispatch loop allocates nothing.
 	frames []*dframe
+
+	// tier holds the profiling and promotion state of tiered execution
+	// (tier.go); nil — the default — runs plain tier 1.
+	tier *tierState
 }
 
 const (
@@ -102,6 +106,9 @@ func New(t *target.Desc, prog *nisa.Program) *Machine {
 }
 
 // ResetStats clears the execution statistics (the memory image is kept).
+// Tiering profile counters are not statistics and survive a reset: they
+// describe the code's observed behavior since deployment, which resetting
+// a measurement window must not erase.
 func (m *Machine) ResetStats() { m.Stats = Stats{} }
 
 // AllocArray allocates an array of n elements of kind elem in simulated
@@ -251,6 +258,14 @@ func (m *Machine) exec(f *nisa.Func, args []argval) (Value, error) {
 		maxSteps = 2_000_000_000
 	}
 	stats := &m.Stats
+	var bcnt []uint64 // branch profile counters; nil keeps tiering free
+	if t := m.tier; t != nil {
+		df.calls++
+		if !df.promoted && t.threshold >= 0 && df.calls >= uint64(t.threshold) {
+			m.promoteFunc(df)
+		}
+		bcnt = df.branchCounts
+	}
 	code := df.code
 
 	pc := 0
@@ -549,13 +564,22 @@ func (m *Machine) exec(f *nisa.Func, args []argval) (Value, error) {
 			next = int(d.target)
 			stats.Branches++
 			stats.Cycles += int64(d.cost)
+			if bcnt != nil {
+				bcnt[d.prof]++
+			}
 		case xBranchCmp:
 			stats.Branches++
 			if d.evalCond(fr) {
 				next = int(d.target)
 				stats.Cycles += int64(d.cost)
+				if bcnt != nil {
+					bcnt[d.prof]++
+				}
 			} else {
 				stats.Cycles += int64(d.cost2)
+				if bcnt != nil {
+					bcnt[d.prof+1]++
+				}
 			}
 
 		case xCall:
@@ -687,6 +711,91 @@ func (m *Machine) exec(f *nisa.Func, args []argval) (Value, error) {
 			m.storeScalar(d.kind, int(addr), s)
 			stats.Stores++
 			stats.Cycles += int64(d.cost)
+
+		// Tier-2 superinstructions (tier.go). Each case runs the fused
+		// record's own operation, then — after reproducing the exact
+		// per-instruction budget check of the loop head — the partner
+		// record at pc+1, so statistics, cycles and every error path stay
+		// bit-identical to dispatching the two instructions separately.
+		case xFusedMovImmAdd:
+			fr.ints[d.rd] = d.imm
+			stats.Cycles += int64(d.cost)
+			if stats.Instructions >= maxSteps {
+				return Value{}, fmt.Errorf("sim: instruction budget of %d exhausted in %s", maxSteps, f.Name)
+			}
+			stats.Instructions++
+			d2 := &code[pc+1]
+			fr.ints[d2.rd] = d2.norm.Apply(fr.ints[d2.ra] + fr.ints[d2.rb])
+			stats.Cycles += int64(d2.cost)
+			next = pc + 2
+
+		case xFusedAddMov:
+			fr.ints[d.rd] = d.norm.Apply(fr.ints[d.ra] + fr.ints[d.rb])
+			stats.Cycles += int64(d.cost)
+			if stats.Instructions >= maxSteps {
+				return Value{}, fmt.Errorf("sim: instruction budget of %d exhausted in %s", maxSteps, f.Name)
+			}
+			stats.Instructions++
+			d2 := &code[pc+1]
+			fr.ints[d2.rd] = fr.ints[d2.ra]
+			stats.Cycles += int64(d2.cost)
+			next = pc + 2
+
+		case xFusedMovJump:
+			fr.ints[d.rd] = fr.ints[d.ra]
+			stats.Cycles += int64(d.cost)
+			if stats.Instructions >= maxSteps {
+				return Value{}, fmt.Errorf("sim: instruction budget of %d exhausted in %s", maxSteps, f.Name)
+			}
+			stats.Instructions++
+			d2 := &code[pc+1]
+			next = int(d2.target)
+			stats.Branches++
+			stats.Cycles += int64(d2.cost)
+			if bcnt != nil {
+				bcnt[d2.prof]++
+			}
+
+		case xFusedVLoadVBin:
+			stats.VectorOps++
+			addr, ok := m.dAddrOK(fr, d)
+			if !ok {
+				return Value{}, m.memFault(f, pc, fr, d)
+			}
+			var v prim.Vec
+			copy(v[:], m.mem[addr:addr+cil.VecBytes])
+			fr.vecs[d.rd] = v
+			stats.Loads++
+			stats.Cycles += int64(d.cost)
+			if stats.Instructions >= maxSteps {
+				return Value{}, fmt.Errorf("sim: instruction budget of %d exhausted in %s", maxSteps, f.Name)
+			}
+			stats.Instructions++
+			d2 := &code[pc+1]
+			stats.VectorOps++
+			fr.vecs[d2.rd] = prim.VecBinaryNoTrap(d2.vop, d2.kind, fr.vecs[d2.ra], fr.vecs[d2.rb])
+			stats.Cycles += int64(d2.cost)
+			next = pc + 2
+
+		case xFusedVBinVStore:
+			stats.VectorOps++
+			fr.vecs[d.rd] = prim.VecBinaryNoTrap(d.vop, d.kind, fr.vecs[d.ra], fr.vecs[d.rb])
+			stats.Cycles += int64(d.cost)
+			if stats.Instructions >= maxSteps {
+				return Value{}, fmt.Errorf("sim: instruction budget of %d exhausted in %s", maxSteps, f.Name)
+			}
+			stats.Instructions++
+			d2 := &code[pc+1]
+			stats.VectorOps++
+			addr, ok := m.dAddrOK(fr, d2)
+			if !ok {
+				return Value{}, m.memFault(f, pc+1, fr, d2)
+			}
+			v := fr.vecs[d2.rd]
+			copy(m.mem[addr:addr+cil.VecBytes], v[:])
+			stats.Stores++
+			stats.Cycles += int64(d2.cost)
+			next = pc + 2
 
 		default: // xTrap
 			return Value{}, fmt.Errorf("sim: %s @%d: %s", f.Name, pc, d.errMsg)

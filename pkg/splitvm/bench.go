@@ -118,6 +118,25 @@ type CompileThroughputReport = bench.CompileReport
 // tracking but ignored by CompareResults.
 func RunCompile(opts CompileOptions) (*CompileThroughputReport, error) { return bench.RunCompile(opts) }
 
+// TierBenchOptions parameterizes the tiered-execution measurement.
+type TierBenchOptions = bench.TierBenchOptions
+
+// TierCell is the tiered-execution measurement of one kernel on one target.
+type TierCell = bench.TierCell
+
+// TierReport measures the tiered-execution machinery over the Table 1
+// matrix: promotion latency cold versus profile-warmed, tier-1 versus
+// tier-2 host speed, fused superinstruction pairs, profile-guided regalloc
+// validation outcomes and serialized profile sizes.
+type TierReport = bench.TierReport
+
+// RunTier measures the tiering machinery over the Table 1 kernels and
+// targets. Wall-clock numbers are host-dependent like RunHost: recorded in
+// the results artifact for trend tracking but ignored by CompareResults.
+// RunTier itself fails if any tier-2 run's simulated cycles diverge from
+// the tier-1 baseline — the architectural-invariance contract.
+func RunTier(opts TierBenchOptions) (*TierReport, error) { return bench.RunTier(opts) }
+
 // ParseResults decodes a BENCH_results.json artifact.
 func ParseResults(data []byte) (*Results, error) { return bench.ParseResults(data) }
 

@@ -2,6 +2,7 @@ package splitvm
 
 import (
 	"repro/internal/anno"
+	"repro/internal/profile"
 	"repro/internal/target"
 )
 
@@ -41,6 +42,10 @@ type config struct {
 	noCache        bool
 	minAnnoVersion uint32
 	compileWorkers int
+	// Tiering options (per machine, never part of the cache key).
+	tiering      bool
+	promoteCalls int64
+	profile      *profile.ModuleProfile
 
 	// Engine-wide options (read by New only).
 	cacheSize int

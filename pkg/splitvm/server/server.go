@@ -7,13 +7,14 @@
 //
 // The API (all bodies JSON unless noted):
 //
-//	POST /v1/modules               upload an encoded module (raw bytes) → id
-//	GET  /v1/modules               list uploaded modules
-//	POST /v1/deploy                batch deploy: one module × many targets
-//	GET  /v1/deployments           list live deployments
-//	POST /v1/deployments/{id}/run  invoke an entry point on a deployment
-//	GET  /v1/stats                 cache, pool and registry counters
-//	GET  /healthz                  liveness
+//	POST /v1/modules                   upload an encoded module (raw bytes) → id
+//	GET  /v1/modules                   list uploaded modules
+//	POST /v1/deploy                    batch deploy: one module × many targets
+//	GET  /v1/deployments               list live deployments
+//	POST /v1/deployments/{id}/run      invoke an entry point on a deployment
+//	GET  /v1/deployments/{id}/profile  export a tiered deployment's profile
+//	GET  /v1/stats                     cache, pool, registry and tier counters
+//	GET  /healthz                      liveness
 //
 // Deploy requests fan out to per-target worker pools with bounded queues;
 // when a target's queue is full the whole batch is rejected with 429 and a
@@ -157,6 +158,7 @@ func New(eng *splitvm.Engine, cfg Config) *Server {
 	mux.HandleFunc("POST /v1/deploy", s.handleDeploy)
 	mux.HandleFunc("GET /v1/deployments", s.handleListDeployments)
 	mux.HandleFunc("POST /v1/deployments/{id}/run", s.handleRun)
+	mux.HandleFunc("GET /v1/deployments/{id}/profile", s.handleProfile)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
@@ -329,6 +331,20 @@ type DeployRequest struct {
 	RegAlloc string `json:"reg_alloc,omitempty"`
 	// ForceScalarize makes the JIT ignore the target's SIMD unit.
 	ForceScalarize bool `json:"force_scalarize,omitempty"`
+	// Tiering enables runtime profiling and tier-2 promotion on the
+	// deployed machines (per machine; the cached JIT image is shared with
+	// untiered deployments because tier 2 never changes simulated
+	// behavior).
+	Tiering bool `json:"tiering,omitempty"`
+	// PromoteCalls overrides the tier-2 promotion threshold in calls
+	// (implies tiering; negative profiles without promoting).
+	PromoteCalls int64 `json:"promote_calls,omitempty"`
+	// Profile is an execution profile annotation value (as exported by the
+	// profile endpoint; base64 in JSON) to warm the deployed machines with
+	// — implies tiering. A profile this server cannot negotiate (future
+	// schema, malformed) degrades to deploying without one, like every
+	// annotation: it is surfaced per deployment, never an error.
+	Profile []byte `json:"profile,omitempty"`
 }
 
 // DeploymentInfo describes one live deployment.
@@ -351,6 +367,12 @@ type DeploymentInfo struct {
 	// future, or below the configured minimum version) and degraded to
 	// online-only compilation.
 	AnnotationFallbacks int `json:"annotation_fallbacks"`
+	// Tiering reports whether the deployment profiles and promotes.
+	Tiering bool `json:"tiering,omitempty"`
+	// ProfileFallback is set when the deploy request carried a warm profile
+	// this server could not negotiate: the deployment runs (tiered, if
+	// requested) without it.
+	ProfileFallback string `json:"profile_fallback,omitempty"`
 }
 
 // DeployResponse lists the deployments a batch created, in target-major,
@@ -428,6 +450,25 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		splitvm.WithRegAllocMode(mode),
 		splitvm.WithForceScalarize(req.ForceScalarize),
 	}
+	tiering := req.Tiering || req.PromoteCalls != 0 || len(req.Profile) > 0
+	if tiering {
+		opts = append(opts, splitvm.WithTiering(true))
+	}
+	if req.PromoteCalls != 0 {
+		opts = append(opts, splitvm.WithPromoteCalls(req.PromoteCalls))
+	}
+	profileFallback := ""
+	if len(req.Profile) > 0 {
+		// Negotiate-or-fallback, like every annotation: a profile from a
+		// newer toolchain (or a corrupt one) deploys without warm counters
+		// instead of failing the batch.
+		p, err := splitvm.DecodeProfile(req.Profile)
+		if err != nil {
+			profileFallback = err.Error()
+		} else {
+			opts = append(opts, splitvm.WithProfile(p))
+		}
+	}
 
 	// Enqueue every job before waiting on any: the pools work concurrently
 	// across targets, and a full queue is detected up front.
@@ -489,6 +530,8 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 			CompileNanos:        res.dep.CompileNanos(),
 			NativeCodeBytes:     res.dep.NativeCodeBytes(),
 			AnnotationFallbacks: res.dep.AnnotationFallbacks(),
+			Tiering:             res.dep.TieringEnabled(),
+			ProfileFallback:     profileFallback,
 		})
 	}
 
@@ -522,6 +565,7 @@ func (s *Server) handleListDeployments(w http.ResponseWriter, r *http.Request) {
 			CompileNanos:        ld.dep.CompileNanos(),
 			NativeCodeBytes:     ld.dep.NativeCodeBytes(),
 			AnnotationFallbacks: ld.dep.AnnotationFallbacks(),
+			Tiering:             ld.dep.TieringEnabled(),
 		})
 	}
 	s.mu.Unlock()
@@ -609,6 +653,62 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// ProfileResponse is the payload of the profile-export endpoint: the
+// deployment's observed execution profile as a versioned annotation value
+// (base64 in JSON), ready to be passed back verbatim in
+// DeployRequest.Profile to warm a later deployment.
+type ProfileResponse struct {
+	ID      string `json:"id"`
+	Module  string `json:"module"`
+	Target  string `json:"target"`
+	Profile []byte `json:"profile"`
+	// Bytes is the encoded profile size (the annotation's transport cost).
+	Bytes int `json:"bytes"`
+}
+
+// handleProfile exports the observed execution profile of one tiered
+// deployment.
+func (s *Server) handleProfile(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	ld, ok := s.deployments[id]
+	if ok {
+		ld.lastUsed = time.Now()
+		ld.running++
+	}
+	s.mu.Unlock()
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown deployment %q", id)
+		return
+	}
+	defer func() {
+		s.mu.Lock()
+		ld.running--
+		s.mu.Unlock()
+	}()
+	if !ld.dep.TieringEnabled() {
+		writeError(w, http.StatusConflict, "deployment %q is not tiered (deploy with \"tiering\": true)", id)
+		return
+	}
+	// The snapshot reads the machine's live counters; serialize against runs
+	// like an invocation would.
+	ld.mu.Lock()
+	p := ld.dep.ExportProfile()
+	ld.mu.Unlock()
+	data, err := splitvm.EncodeProfile(p)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, "encoding profile: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ProfileResponse{
+		ID:      id,
+		Module:  ld.module,
+		Target:  string(ld.arch),
+		Profile: data,
+		Bytes:   len(data),
+	})
+}
+
 // PoolStats describes one per-target worker pool.
 type PoolStats struct {
 	Target   string `json:"target"`
@@ -637,6 +737,11 @@ type StatsResponse struct {
 	// sweeper since the server started (always zero with TTL disabled).
 	DeploymentsEvicted int64       `json:"deployments_evicted"`
 	Pools              []PoolStats `json:"pools"`
+	// TieredDeployments counts live deployments with tiering enabled, and
+	// Tier sums their tiering activity (promotions, fused pairs,
+	// profile-guided register allocation validations, warm imports).
+	TieredDeployments int               `json:"tiered_deployments"`
+	Tier              splitvm.TierStats `json:"tier"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -646,6 +751,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st.Deployments = len(s.deployments)
 	st.Rejected = s.rejected
 	st.DeploymentsEvicted = s.evicted
+	live := make([]*liveDeployment, 0, len(s.deployments))
+	for _, ld := range s.deployments {
+		live = append(live, ld)
+	}
 	for a, p := range s.pools {
 		st.Pools = append(st.Pools, PoolStats{
 			Target:   string(a),
@@ -655,6 +764,25 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	s.mu.Unlock()
+	// Tier counters read live machine state, so they are aggregated outside
+	// the registry lock, serializing with runs per deployment only.
+	for _, ld := range live {
+		if !ld.dep.TieringEnabled() {
+			continue
+		}
+		st.TieredDeployments++
+		ld.mu.Lock()
+		ts := ld.dep.TierStats()
+		ld.mu.Unlock()
+		st.Tier.Promotions += ts.Promotions
+		st.Tier.PromoteCallsSum += ts.PromoteCallsSum
+		st.Tier.FusedPairs += ts.FusedPairs
+		st.Tier.ReallocChecked += ts.ReallocChecked
+		st.Tier.ReallocConfirmed += ts.ReallocConfirmed
+		st.Tier.ReallocDiverged += ts.ReallocDiverged
+		st.Tier.WarmSeeded += ts.WarmSeeded
+		st.Tier.WarmDegraded += ts.WarmDegraded
+	}
 	sort.Slice(st.Pools, func(i, j int) bool { return st.Pools[i].Target < st.Pools[j].Target })
 	writeJSON(w, http.StatusOK, st)
 }

@@ -181,13 +181,17 @@ func (e *Engine) DeployContext(ctx context.Context, m *Module, opts ...Option) (
 			return nil, err
 		}
 		e.countCompilation(img)
-		return &Deployment{d: img.Instantiate()}, nil
+		d := img.Instantiate()
+		cfg.applyTiering(d)
+		return &Deployment{d: d}, nil
 	}
 	img, hit, err := e.image(ctx, m, tgt, jopts)
 	if err != nil {
 		return nil, err
 	}
-	return &Deployment{d: img.Instantiate(), fromCache: hit}, nil
+	d := img.Instantiate()
+	cfg.applyTiering(d)
+	return &Deployment{d: d, fromCache: hit}, nil
 }
 
 // cacheKey identifies one JIT compilation. The target description is keyed

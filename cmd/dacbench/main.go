@@ -28,20 +28,46 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
 	"runtime"
 	"runtime/pprof"
 	"strconv"
 
 	"repro/pkg/splitvm"
+	"repro/pkg/splitvm/server"
 )
 
+// serveHarness wires the svd HTTP servers into the serve experiment. The
+// bench package cannot import pkg/splitvm/server (it sits below pkg/splitvm
+// in the import graph), so this command supplies the constructors.
+func serveHarness() *splitvm.ServeHarness {
+	return &splitvm.ServeHarness{
+		NewBackend: func(cacheDir string) (http.Handler, func()) {
+			opts := []splitvm.Option{}
+			if cacheDir != "" {
+				opts = append(opts, splitvm.WithDiskCache(cacheDir))
+			}
+			srv := server.New(splitvm.New(opts...), server.Config{})
+			return srv, srv.Close
+		},
+		NewRouter: func(backends []string) (http.Handler, func(), error) {
+			rt, err := server.NewRouter(server.RouterConfig{Backends: backends})
+			if err != nil {
+				return nil, nil, err
+			}
+			return rt, rt.Close, nil
+		},
+	}
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1, figure1, regalloc, codesize, hetero, host, anno, compile, tier or all")
+	exp := flag.String("exp", "all", "experiment to run: table1, figure1, regalloc, codesize, hetero, host, anno, compile, tier, serve or all")
 	n := flag.Int("n", 4096, "elements per kernel invocation (table1, host)")
 	frames := flag.Int("frames", 8, "frames for the heterogeneous scenario")
 	hostRuns := flag.Int("hostruns", 16, "timed executions per cell of the host-throughput experiment")
 	compileRuns := flag.Int("compileruns", 24, "timed compilations per cell of the compile-throughput experiment")
+	serveRuns := flag.Int("serveruns", 48, "timed requests per latency distribution of the serve experiment")
 	compileWorkers := flag.Int("compile-workers", 0, "pin the JIT worker pool for every compilation in this run (0 = GOMAXPROCS); equivalent to SPLITVM_COMPILE_WORKERS")
 	jsonPath := flag.String("json", "BENCH_results.json", "write the reports of the executed experiments to this JSON file (empty to skip)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the experiment run to this file")
@@ -153,6 +179,13 @@ func main() {
 			}
 			res.Tier = r
 			fmt.Println(r)
+		case "serve":
+			r, err := splitvm.RunServe(splitvm.ServeOptions{Runs: *serveRuns, Harness: serveHarness()})
+			if err != nil {
+				return err
+			}
+			res.Serve = r
+			fmt.Println(r)
 		default:
 			return fmt.Errorf("unknown experiment %q", name)
 		}
@@ -161,7 +194,7 @@ func main() {
 
 	experiments := []string{*exp}
 	if *exp == "all" {
-		experiments = []string{"table1", "figure1", "regalloc", "codesize", "hetero", "host", "anno", "compile", "tier"}
+		experiments = []string{"table1", "figure1", "regalloc", "codesize", "hetero", "host", "anno", "compile", "tier", "serve"}
 	}
 	for _, e := range experiments {
 		if err := run(e); err != nil {

@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+
+	"repro/pkg/splitvm"
+)
+
+// TestServeExperiment runs the serve family end to end through the real
+// harness wiring: backend latency, the disk-cache warm restart, and the
+// router phase. The wall-clock numbers are free to vary; the structural
+// claims (warm restart serves from cache without compiling) are not.
+func TestServeExperiment(t *testing.T) {
+	r, err := splitvm.RunServe(splitvm.ServeOptions{Runs: 4, Harness: serveHarness()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Deploy.Count != 4 || r.Run.Count != 4 || r.RouterRun.Count != 4 {
+		t.Errorf("distribution counts = %d/%d/%d, want 4 each", r.Deploy.Count, r.Run.Count, r.RouterRun.Count)
+	}
+	if !r.WarmFromCache {
+		t.Error("warm restart did not deploy from cache")
+	}
+	if r.WarmCompilations != 0 {
+		t.Errorf("warm restart compiled %d times, want 0", r.WarmCompilations)
+	}
+	if r.ColdDeployNanos <= 0 || r.WarmDeployNanos <= 0 {
+		t.Errorf("deploy nanos = %d cold / %d warm, want > 0", r.ColdDeployNanos, r.WarmDeployNanos)
+	}
+	if r.RouterBackends != 2 {
+		t.Errorf("router backends = %d, want 2", r.RouterBackends)
+	}
+}

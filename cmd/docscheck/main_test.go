@@ -1,0 +1,99 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckLinks(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "README.md"), strings.Join([]string{
+		"# Title",
+		"[good](docs/page.md) and [external](https://example.com/x) stay quiet.",
+		"[fragment](docs/page.md#section) resolves without the fragment.",
+		"[inpage](#local) is a bare fragment.",
+		"[broken](docs/missing.md) must be reported.",
+	}, "\n"))
+	write(t, filepath.Join(root, "docs", "page.md"),
+		"[up](../README.md) resolves relative to the containing file.\n[bad](nope.md)\n")
+
+	problems := checkLinks(root)
+	if len(problems) != 2 {
+		t.Fatalf("problems = %v, want exactly the two broken links", problems)
+	}
+	if !strings.Contains(problems[0], "missing.md") || !strings.Contains(problems[1], "nope.md") {
+		t.Errorf("problems = %v", problems)
+	}
+}
+
+func TestCheckDocComments(t *testing.T) {
+	root := t.TempDir()
+	write(t, filepath.Join(root, "pkg", "demo", "demo.go"), `// Package demo is a fixture.
+package demo
+
+// Documented is fine.
+const Documented = 1
+
+const Bare = 2
+
+// Grouped docs cover the whole decl.
+const (
+	A = 1
+	B = 2
+)
+
+// T is documented.
+type T struct{}
+
+type U struct{}
+
+// M is documented.
+func (t T) M() {}
+
+func (t T) N() {}
+
+// onHidden methods need no comment: the receiver is unexported.
+type hidden struct{}
+
+func (h hidden) Exported() {}
+`)
+	write(t, filepath.Join(root, "pkg", "demo", "demo_test.go"), `package demo
+
+func Helper() {}
+`)
+
+	problems := checkDocComments(root, "pkg/demo")
+	var names []string
+	for _, p := range problems {
+		names = append(names, p[strings.LastIndex(p, "exported "):])
+	}
+	want := map[string]bool{
+		"exported const Bare has no doc comment": false,
+		"exported type U has no doc comment":     false,
+		"exported function N has no doc comment": false,
+	}
+	for _, n := range names {
+		if _, ok := want[n]; !ok {
+			t.Errorf("unexpected problem %q", n)
+			continue
+		}
+		want[n] = true
+	}
+	for n, seen := range want {
+		if !seen {
+			t.Errorf("missing problem %q (got %v)", n, problems)
+		}
+	}
+}

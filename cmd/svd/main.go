@@ -6,10 +6,22 @@
 //
 // Usage:
 //
-//	svd [-addr :7420] [-workers 4] [-queue 64] [-cache-size 0] [-retry-after 1s]
-//	    [-deploy-ttl 0] [-compile-workers 0]
+//	svd [-addr :7420] [-workers 4] [-queue 64] [-cache-size 0] [-cache-dir DIR]
+//	    [-retry-after 1s] [-deploy-ttl 0] [-compile-workers 0]
+//	    [-max-deploys-per-module 0] [-max-deploys-per-tenant 0]
 //
-// A walkthrough with curl lives in the repository README. SIGINT/SIGTERM
+// With -cache-dir the code cache is backed by a persistent on-disk store:
+// restarts deploy warm (from_cache without recompiling) and replicas
+// pointed at one shared volume reuse each other's JIT work.
+//
+// Router mode turns the same binary into a stateless front door over a
+// fleet of svd replicas, consistent-hash sharding deployments by module:
+//
+//	svd -router -backends http://host1:7420,http://host2:7420 [-addr :7421]
+//	    [-load-factor 1.25] [-health-interval 2s]
+//
+// Operational details — topology, cache-volume sharing, quota tuning and a
+// full curl walkthrough — live in docs/operations.md. SIGINT/SIGTERM
 // trigger a graceful shutdown: the listener drains, then the worker pools.
 package main
 
@@ -22,6 +34,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -34,20 +47,47 @@ func main() {
 	workers := flag.Int("workers", 4, "deploy workers per target")
 	queue := flag.Int("queue", 64, "pending deployments per target before batches are rejected with 429")
 	cacheSize := flag.Int("cache-size", 0, "max native images kept in the code cache (0 = unbounded)")
+	cacheDir := flag.String("cache-dir", "", "persistent disk cache directory (empty = memory only); share it between replicas for fleet-wide JIT reuse")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 	maxModule := flag.Int64("max-module-bytes", 4<<20, "largest accepted module upload")
 	deployTTL := flag.Duration("deploy-ttl", 0, "evict deployments idle for this long (0 = keep forever)")
 	compileWorkers := flag.Int("compile-workers", 0, "JIT worker pool per compilation (0 = GOMAXPROCS, 1 = sequential)")
+	maxPerModule := flag.Int("max-deploys-per-module", 0, "cap live deployments per module (0 = unlimited)")
+	maxPerTenant := flag.Int("max-deploys-per-tenant", 0, "cap live deployments per X-Tenant header value (0 = unlimited)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+
+	router := flag.Bool("router", false, "run as a consistent-hash router over -backends instead of a backend")
+	backends := flag.String("backends", "", "comma-separated backend base URLs (router mode)")
+	loadFactor := flag.Float64("load-factor", 1.25, "bounded-load headroom over the fair share (router mode)")
+	healthInterval := flag.Duration("health-interval", 2*time.Second, "backend probe interval (router mode)")
 	flag.Parse()
 
-	eng := splitvm.New(splitvm.WithCacheSize(*cacheSize), splitvm.WithCompileWorkers(*compileWorkers))
+	if *router {
+		runRouter(*addr, *backends, *loadFactor, *healthInterval, *maxModule, *drain)
+		return
+	}
+
+	opts := []splitvm.Option{
+		splitvm.WithCacheSize(*cacheSize),
+		splitvm.WithCompileWorkers(*compileWorkers),
+	}
+	if *cacheDir != "" {
+		opts = append(opts, splitvm.WithDiskCache(*cacheDir))
+	}
+	eng := splitvm.New(opts...)
+	if err := eng.DiskCacheErr(); err != nil {
+		// An operator who asked for durability gets a hard failure, not a
+		// silent memory-only daemon.
+		log.Fatalf("svd: disk cache: %v", err)
+	}
 	srv := server.New(eng, server.Config{
-		WorkersPerTarget: *workers,
-		QueueDepth:       *queue,
-		RetryAfter:       *retryAfter,
-		MaxModuleBytes:   *maxModule,
-		DeployTTL:        *deployTTL,
+		WorkersPerTarget:        *workers,
+		QueueDepth:              *queue,
+		RetryAfter:              *retryAfter,
+		MaxModuleBytes:          *maxModule,
+		DeployTTL:               *deployTTL,
+		MaxDeploymentsPerModule: *maxPerModule,
+		MaxDeploymentsPerTenant: *maxPerTenant,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -60,8 +100,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("svd: serving on %s (workers/target=%d, queue=%d, cache-size=%d)",
-		*addr, *workers, *queue, *cacheSize)
+	log.Printf("svd: serving on %s (workers/target=%d, queue=%d, cache-size=%d, cache-dir=%q)",
+		*addr, *workers, *queue, *cacheSize, *cacheDir)
 
 	select {
 	case err := <-errc:
@@ -80,6 +120,61 @@ func main() {
 	srv.Close()
 
 	st := eng.CacheStats()
-	fmt.Printf("svd: final cache stats: %d hits, %d misses, %d evictions, %d entries\n",
-		st.Hits, st.Misses, st.Evictions, st.Entries)
+	fmt.Printf("svd: final cache stats: %d hits (%d from disk), %d misses, %d evictions, %d entries\n",
+		st.Hits, st.DiskHits, st.Misses, st.Evictions, st.Entries)
+}
+
+// runRouter is svd's router mode: no engine of its own, just the
+// consistent-hash front door of server.NewRouter over the listed backends.
+func runRouter(addr, backendList string, loadFactor float64, healthInterval time.Duration, maxModule int64, drain time.Duration) {
+	var urls []string
+	for _, b := range strings.Split(backendList, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, b)
+		}
+	}
+	rt, err := server.NewRouter(server.RouterConfig{
+		Backends:       urls,
+		LoadFactor:     loadFactor,
+		HealthInterval: healthInterval,
+		MaxModuleBytes: maxModule,
+	})
+	if err != nil {
+		log.Fatalf("svd: router: %v (pass -backends url1,url2,...)", err)
+	}
+	httpSrv := &http.Server{
+		Addr:              addr,
+		Handler:           rt,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	log.Printf("svd: routing on %s across %d backends (load-factor=%.2f)", addr, len(urls), loadFactor)
+
+	select {
+	case err := <-errc:
+		rt.Close()
+		log.Fatalf("svd: %v", err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("svd: router shutting down (draining for up to %s)", drain)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("svd: drain: %v", err)
+	}
+	rt.Close()
+
+	st := rt.Stats()
+	routed := int64(0)
+	for _, b := range st.Backends {
+		routed += b.Routed
+	}
+	fmt.Printf("svd: router final stats: %d requests routed, %d retries, %d fanouts\n",
+		routed, st.Retries, st.Fanouts)
 }

@@ -1,0 +1,269 @@
+package e2e
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+)
+
+// startSVD boots the svd binary with extra flags and returns its base URL
+// and a stop function (SIGTERM, wait for drain).
+func startSVD(t *testing.T, bin string, extraArgs ...string) (string, func()) {
+	t.Helper()
+	addr := freeAddr(t)
+	args := append([]string{"-addr", addr}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting svd: %v", err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	stop := func() {
+		_ = cmd.Process.Signal(syscall.SIGTERM)
+		select {
+		case err := <-exited:
+			if err != nil {
+				t.Errorf("svd exited uncleanly after SIGTERM: %v", err)
+			}
+		case <-time.After(15 * time.Second):
+			_ = cmd.Process.Kill()
+			t.Error("svd did not drain within 15s of SIGTERM")
+		}
+	}
+	base := "http://" + addr
+	waitHealthy(t, base, exited)
+	return base, stop
+}
+
+// buildSVD compiles the svd binary into a temp dir.
+func buildSVD(t *testing.T) string {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "svd")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/svd")
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building svd: %v\n%s", err, out)
+	}
+	return bin
+}
+
+// TestSVDWarmRestart is the horizontal-scalability acceptance walk against
+// the real binary: run svd with -cache-dir, deploy (cold JIT compile), kill
+// the process, restart it over the same cache directory, and demand the
+// re-deploy is served from the persistent cache — from_cache true, zero
+// compilations after the restart.
+func TestSVDWarmRestart(t *testing.T) {
+	if os.Getenv("SVD_SMOKE") == "" {
+		t.Skip("set SVD_SMOKE=1 to run the svd binary smoke test")
+	}
+	bin := buildSVD(t)
+	cacheDir := filepath.Join(t.TempDir(), "jit-cache")
+
+	stream, err := corpus.Generate(corpus.SyntheticKernel, corpus.SyntheticVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deployBody := func(id string) []byte {
+		b, _ := json.Marshal(map[string]any{"module": id, "targets": []string{"x86-sse"}})
+		return b
+	}
+	runBody, _ := json.Marshal(map[string]any{
+		"entry": corpus.SyntheticEntryPoint,
+		"args":  []string{"12"},
+	})
+
+	// Generation 1: cold. Upload, deploy, run; the compile spills to disk.
+	base, stop := startSVD(t, bin, "-cache-dir", cacheDir)
+	var up struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, base+"/v1/modules", stream, http.StatusCreated, &up)
+	var cold struct {
+		Deployments []struct {
+			ID        string `json:"id"`
+			FromCache bool   `json:"from_cache"`
+		} `json:"deployments"`
+	}
+	postJSON(t, base+"/v1/deploy", deployBody(up.ID), http.StatusCreated, &cold)
+	if len(cold.Deployments) != 1 || cold.Deployments[0].FromCache {
+		t.Fatalf("cold deploy = %+v, want one fresh compilation", cold.Deployments)
+	}
+	var coldRun struct {
+		Value int64 `json:"value"`
+	}
+	postJSON(t, fmt.Sprintf("%s/v1/deployments/%s/run", base, cold.Deployments[0].ID), runBody, http.StatusOK, &coldRun)
+	if coldRun.Value != 506 {
+		t.Fatalf("cold work(12) = %d, want 506", coldRun.Value)
+	}
+	stop()
+
+	// Generation 2: the restart. Same cache dir, fresh process and engine.
+	base2, stop2 := startSVD(t, bin, "-cache-dir", cacheDir)
+	defer stop2()
+	postJSON(t, base2+"/v1/modules", stream, http.StatusCreated, &up)
+	var warm struct {
+		Deployments []struct {
+			ID        string `json:"id"`
+			FromCache bool   `json:"from_cache"`
+		} `json:"deployments"`
+	}
+	postJSON(t, base2+"/v1/deploy", deployBody(up.ID), http.StatusCreated, &warm)
+	if len(warm.Deployments) != 1 {
+		t.Fatalf("warm deploy = %+v", warm.Deployments)
+	}
+	if !warm.Deployments[0].FromCache {
+		t.Error("warm deploy from_cache = false, want true (persistent cache must survive the restart)")
+	}
+
+	var stats struct {
+		Cache struct {
+			DiskHits int64 `json:"disk_hits"`
+			Disk     *struct {
+				Entries int `json:"entries"`
+			} `json:"disk"`
+		} `json:"cache"`
+		Compile struct {
+			Compilations int64 `json:"compilations"`
+		} `json:"compile"`
+	}
+	resp, err := http.Get(base2 + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&stats)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Compile.Compilations != 0 {
+		t.Errorf("compilations after restart = %d, want 0", stats.Compile.Compilations)
+	}
+	if stats.Cache.DiskHits != 1 {
+		t.Errorf("disk_hits after restart = %d, want 1", stats.Cache.DiskHits)
+	}
+	if stats.Cache.Disk == nil || stats.Cache.Disk.Entries == 0 {
+		t.Errorf("stats.cache.disk = %+v, want a populated store", stats.Cache.Disk)
+	}
+
+	// And the warm machine still computes the same answer.
+	var warmRun struct {
+		Value int64 `json:"value"`
+	}
+	postJSON(t, fmt.Sprintf("%s/v1/deployments/%s/run", base2, warm.Deployments[0].ID), runBody, http.StatusOK, &warmRun)
+	if warmRun.Value != 506 {
+		t.Errorf("warm work(12) = %d, want 506", warmRun.Value)
+	}
+}
+
+// TestSVDRouterTopology boots the 1-router/2-backend topology from
+// docs/operations.md as real processes: deploys route through the router
+// with namespaced IDs, runs proxy to the owning backend, and the router's
+// stats aggregate the fleet.
+func TestSVDRouterTopology(t *testing.T) {
+	if os.Getenv("SVD_SMOKE") == "" {
+		t.Skip("set SVD_SMOKE=1 to run the svd binary smoke test")
+	}
+	bin := buildSVD(t)
+	cacheDir := filepath.Join(t.TempDir(), "shared-cache")
+
+	// Two backends sharing one cache volume, one router in front.
+	b0, stop0 := startSVD(t, bin, "-cache-dir", cacheDir)
+	defer stop0()
+	b1, stop1 := startSVD(t, bin, "-cache-dir", cacheDir)
+	defer stop1()
+	front, stopRouter := startSVD(t, bin, "-router", "-backends", b0+","+b1)
+	defer stopRouter()
+
+	stream, err := corpus.Generate(corpus.SyntheticKernel, corpus.SyntheticVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, front+"/v1/modules", stream, http.StatusCreated, &up)
+
+	deployBody, _ := json.Marshal(map[string]any{"module": up.ID, "targets": []string{"x86-sse", "mcu"}})
+	var dr struct {
+		Deployments []struct {
+			ID string `json:"id"`
+		} `json:"deployments"`
+	}
+	postJSON(t, front+"/v1/deploy", deployBody, http.StatusCreated, &dr)
+	if len(dr.Deployments) != 2 {
+		t.Fatalf("deployed %d machines through the router, want 2", len(dr.Deployments))
+	}
+
+	runBody, _ := json.Marshal(map[string]any{
+		"entry": corpus.SyntheticEntryPoint,
+		"args":  []string{"12"},
+	})
+	for _, d := range dr.Deployments {
+		var run struct {
+			Value int64 `json:"value"`
+		}
+		postJSON(t, fmt.Sprintf("%s/v1/deployments/%s/run", front, d.ID), runBody, http.StatusOK, &run)
+		if run.Value != 506 {
+			t.Errorf("work(12) via router on %s = %d, want 506", d.ID, run.Value)
+		}
+	}
+
+	// Batch-run the module across the fleet through the router.
+	batchBody, _ := json.Marshal(map[string]any{
+		"module": up.ID,
+		"entry":  corpus.SyntheticEntryPoint,
+		"args":   []string{"12"},
+	})
+	var br struct {
+		Results []struct {
+			Deployment string `json:"deployment"`
+			Value      int64  `json:"value"`
+			Error      string `json:"error"`
+		} `json:"results"`
+	}
+	postJSON(t, front+"/v1/run-batch", batchBody, http.StatusOK, &br)
+	if len(br.Results) != 2 {
+		t.Fatalf("run-batch returned %d results, want 2", len(br.Results))
+	}
+	for _, r := range br.Results {
+		if r.Error != "" || r.Value != 506 {
+			t.Errorf("run-batch result %+v", r)
+		}
+	}
+
+	// The router's aggregated stats cover its backends.
+	resp, err := http.Get(front + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st struct {
+		Router struct {
+			Backends []struct {
+				Healthy bool `json:"healthy"`
+			} `json:"backends"`
+		} `json:"router"`
+		Backends map[string]json.RawMessage `json:"backends"`
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Router.Backends) != 2 || len(st.Backends) != 2 {
+		t.Errorf("router stats cover %d/%d backends, want 2/2", len(st.Router.Backends), len(st.Backends))
+	}
+	for i, b := range st.Router.Backends {
+		if !b.Healthy {
+			t.Errorf("backend %d reported unhealthy", i)
+		}
+	}
+}

@@ -46,6 +46,13 @@ type Results struct {
 	// number — CI re-runs the full gated benchdiff with tiering enabled and
 	// demands zero drift.
 	Tier *TierReport `json:"tier,omitempty"`
+	// Serve carries the serving-latency measurement (svd HTTP deploy/run
+	// percentiles, warm-restart speedup through the disk cache, router hop
+	// overhead). Host-dependent like Host, Compile and Tier, so tracked but
+	// never gated; what *is* gated about serving — warm restarts deploying
+	// from cache with zero compilations — is asserted by the svd-smoke CI
+	// job and the e2e warm-restart test.
+	Serve *ServeReport `json:"serve,omitempty"`
 }
 
 // gatedSections are the top-level artifact keys whose metrics the

@@ -1,0 +1,420 @@
+package bench
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+)
+
+// The serve experiment measures the deploy daemon itself: request latency
+// of the svd HTTP API (deploy and run percentiles), the warm-restart
+// speedup a persistent disk cache buys, and the overhead of fronting the
+// fleet with the consistent-hash router. Wall-clock and host-dependent like
+// the host/compile/tier families, so tracked in BENCH_results.json but
+// never gated by cmd/benchdiff.
+//
+// The package under measurement (pkg/splitvm/server) sits above this one in
+// the import graph — pkg/splitvm re-exports internal/bench — so the servers
+// are injected: cmd/dacbench wires server.New and server.NewRouter into a
+// ServeHarness.
+
+// ServeHarness wires the HTTP servers under measurement into RunServe.
+type ServeHarness struct {
+	// NewBackend returns a ready http.Handler over a fresh engine, its code
+	// cache backed by cacheDir when non-empty ("" = memory only), plus a
+	// closer that releases the server's pools.
+	NewBackend func(cacheDir string) (http.Handler, func())
+	// NewRouter returns a router handler over the given backend base URLs,
+	// plus a closer.
+	NewRouter func(backends []string) (http.Handler, func(), error)
+}
+
+// ServeOptions parameterizes the serving-latency measurement.
+type ServeOptions struct {
+	// Runs is the number of timed requests per latency distribution.
+	Runs int
+	// N is the scalar workload size per run request.
+	N int
+	// Harness provides the servers under test (required; not serialized).
+	Harness *ServeHarness `json:"-"`
+}
+
+func (o *ServeOptions) defaults() {
+	if o.Runs == 0 {
+		o.Runs = 48
+	}
+	if o.N == 0 {
+		o.N = 512
+	}
+}
+
+// serveSource is the module the servers deploy and run: scalar args only,
+// so the run endpoint's textual argument parsing applies.
+const serveSource = `
+i64 sumsq(i32 n) {
+    i64 s = 0;
+    for (i32 i = 1; i <= n; i++) { s = s + (i64) (i * i); }
+    return s;
+}
+`
+
+// ServeLatency is one request-latency distribution (nanoseconds,
+// nearest-rank percentiles over all Runs samples).
+type ServeLatency struct {
+	Count     int   `json:"count"`
+	MeanNanos int64 `json:"mean_nanos"`
+	P50Nanos  int64 `json:"p50_nanos"`
+	P95Nanos  int64 `json:"p95_nanos"`
+	P99Nanos  int64 `json:"p99_nanos"`
+	MaxNanos  int64 `json:"max_nanos"`
+}
+
+func summarize(samples []time.Duration) ServeLatency {
+	s := ServeLatency{Count: len(samples)}
+	if len(samples) == 0 {
+		return s
+	}
+	sorted := append([]time.Duration(nil), samples...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var sum time.Duration
+	for _, d := range sorted {
+		sum += d
+	}
+	rank := func(p int) int64 {
+		r := (len(sorted)*p + 99) / 100
+		if r < 1 {
+			r = 1
+		}
+		return int64(sorted[r-1])
+	}
+	s.MeanNanos = int64(sum) / int64(len(sorted))
+	s.P50Nanos = rank(50)
+	s.P95Nanos = rank(95)
+	s.P99Nanos = rank(99)
+	s.MaxNanos = int64(sorted[len(sorted)-1])
+	return s
+}
+
+// ServeReport is the serving-latency measurement.
+type ServeReport struct {
+	Options   ServeOptions
+	GoVersion string
+	NumCPU    int
+
+	// Deploy is the latency of warm deploy requests (code-cache hits — the
+	// steady state of a fleet); Run is the latency of run requests on one
+	// deployment. Both against a single directly-hit backend.
+	Deploy ServeLatency
+	Run    ServeLatency
+
+	// The warm-restart phase: one backend compiles cold into a disk cache,
+	// is torn down, and a fresh backend over the same directory deploys the
+	// same module. WarmFromCache and WarmCompilations are the correctness
+	// half (must be true / 0); the speedup is the performance half.
+	ColdDeployNanos  int64 `json:"cold_deploy_nanos"`
+	WarmDeployNanos  int64 `json:"warm_deploy_nanos"`
+	WarmFromCache    bool  `json:"warm_from_cache"`
+	WarmCompilations int64 `json:"warm_compilations"`
+	// WarmRestartSpeedup is ColdDeployNanos / WarmDeployNanos.
+	WarmRestartSpeedup float64 `json:"warm_restart_speedup"`
+
+	// RouterRun is the run-request latency through a router fronting two
+	// backends; RouterOverheadNanos is its p50 minus the direct p50 — the
+	// per-request cost of the extra hop.
+	RouterBackends      int          `json:"router_backends"`
+	RouterRun           ServeLatency `json:"router_run"`
+	RouterOverheadNanos int64        `json:"router_overhead_nanos"`
+}
+
+// serveClient is the minimal HTTP client of the measurement; responses are
+// decoded into anonymous structs so this package needs none of the server's
+// types.
+type serveClient struct {
+	base   string
+	client *http.Client
+}
+
+func (c *serveClient) postJSON(path string, req, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	resp, err := c.client.Post(c.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, msg)
+	}
+	if out == nil {
+		io.Copy(io.Discard, resp.Body)
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *serveClient) getJSON(path string, out any) error {
+	resp, err := c.client.Get(c.base + path)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(resp.Body)
+		return fmt.Errorf("%s: status %d: %s", path, resp.StatusCode, msg)
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+func (c *serveClient) upload(encoded []byte) (string, error) {
+	resp, err := c.client.Post(c.base+"/v1/modules", "application/octet-stream", bytes.NewReader(encoded))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	var info struct {
+		ID string `json:"id"`
+	}
+	if resp.StatusCode != http.StatusCreated {
+		msg, _ := io.ReadAll(resp.Body)
+		return "", fmt.Errorf("upload: status %d: %s", resp.StatusCode, msg)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return "", err
+	}
+	return info.ID, nil
+}
+
+type serveDeployInfo struct {
+	ID        string `json:"id"`
+	FromCache bool   `json:"from_cache"`
+}
+
+// deployOnce posts one single-target deploy and returns the deployment and
+// the request's wall-clock time.
+func (c *serveClient) deployOnce(module string) (serveDeployInfo, time.Duration, error) {
+	var dr struct {
+		Deployments []serveDeployInfo `json:"deployments"`
+	}
+	start := time.Now()
+	err := c.postJSON("/v1/deploy", map[string]any{"module": module, "targets": []string{"x86-sse"}}, &dr)
+	elapsed := time.Since(start)
+	if err != nil {
+		return serveDeployInfo{}, 0, err
+	}
+	if len(dr.Deployments) != 1 {
+		return serveDeployInfo{}, 0, fmt.Errorf("deploy returned %d deployments", len(dr.Deployments))
+	}
+	return dr.Deployments[0], elapsed, nil
+}
+
+// timeRuns posts runs invocations of the module's entry point against one
+// deployment and returns the per-request durations.
+func (c *serveClient) timeRuns(depID string, n, runs int) ([]time.Duration, error) {
+	out := make([]time.Duration, 0, runs)
+	for i := 0; i < runs; i++ {
+		var rr struct {
+			Value int64 `json:"value"`
+		}
+		start := time.Now()
+		err := c.postJSON("/v1/deployments/"+depID+"/run",
+			map[string]any{"entry": "sumsq", "args": []string{fmt.Sprint(n)}}, &rr)
+		elapsed := time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		if rr.Value == 0 {
+			return nil, fmt.Errorf("run returned 0")
+		}
+		out = append(out, elapsed)
+	}
+	return out, nil
+}
+
+// RunServe measures the deploy daemon: warm deploy and run latency against
+// a single backend, the warm-restart speedup of the persistent disk cache,
+// and the router's per-request overhead over a two-backend fleet.
+func RunServe(opts ServeOptions) (*ServeReport, error) {
+	opts.defaults()
+	if opts.Harness == nil || opts.Harness.NewBackend == nil || opts.Harness.NewRouter == nil {
+		return nil, errors.New("bench: ServeOptions.Harness is required (wired by cmd/dacbench)")
+	}
+	report := &ServeReport{Options: opts, GoVersion: runtime.Version(), NumCPU: runtime.NumCPU()}
+
+	offline, err := core.CompileOffline(serveSource, core.OfflineOptions{ModuleName: "servebench"})
+	if err != nil {
+		return nil, fmt.Errorf("bench: serve: %w", err)
+	}
+	encoded := offline.Encoded
+
+	// Phase 1: deploy/run latency on one directly-hit backend.
+	if err := func() error {
+		h, closeBackend := opts.Harness.NewBackend("")
+		ts := httptest.NewServer(h)
+		defer func() { ts.Close(); closeBackend() }()
+		c := &serveClient{base: ts.URL, client: ts.Client()}
+		id, err := c.upload(encoded)
+		if err != nil {
+			return err
+		}
+		// First deploy compiles; the timed distribution is the steady state
+		// (cache hits).
+		first, _, err := c.deployOnce(id)
+		if err != nil {
+			return err
+		}
+		deploys := make([]time.Duration, 0, opts.Runs)
+		for i := 0; i < opts.Runs; i++ {
+			_, d, err := c.deployOnce(id)
+			if err != nil {
+				return err
+			}
+			deploys = append(deploys, d)
+		}
+		report.Deploy = summarize(deploys)
+		runs, err := c.timeRuns(first.ID, opts.N, opts.Runs)
+		if err != nil {
+			return err
+		}
+		report.Run = summarize(runs)
+		return nil
+	}(); err != nil {
+		return nil, fmt.Errorf("bench: serve: backend phase: %w", err)
+	}
+
+	// Phase 2: warm restart through the disk cache.
+	if err := func() error {
+		dir, err := os.MkdirTemp("", "servebench-cache-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+
+		h, closeBackend := opts.Harness.NewBackend(dir)
+		ts := httptest.NewServer(h)
+		c := &serveClient{base: ts.URL, client: ts.Client()}
+		id, err := c.upload(encoded)
+		if err != nil {
+			ts.Close()
+			closeBackend()
+			return err
+		}
+		cold, coldNanos, err := c.deployOnce(id)
+		if err != nil {
+			ts.Close()
+			closeBackend()
+			return err
+		}
+		if cold.FromCache {
+			return errors.New("cold deploy reported from_cache")
+		}
+		ts.Close()
+		closeBackend()
+
+		// The restart: a new server and engine over the same cache volume.
+		h2, closeBackend2 := opts.Harness.NewBackend(dir)
+		ts2 := httptest.NewServer(h2)
+		defer func() { ts2.Close(); closeBackend2() }()
+		c2 := &serveClient{base: ts2.URL, client: ts2.Client()}
+		if _, err := c2.upload(encoded); err != nil {
+			return err
+		}
+		warm, warmNanos, err := c2.deployOnce(id)
+		if err != nil {
+			return err
+		}
+		var st struct {
+			Compile struct {
+				Compilations int64 `json:"compilations"`
+			} `json:"compile"`
+		}
+		if err := c2.getJSON("/v1/stats", &st); err != nil {
+			return err
+		}
+		report.ColdDeployNanos = coldNanos.Nanoseconds()
+		report.WarmDeployNanos = warmNanos.Nanoseconds()
+		report.WarmFromCache = warm.FromCache
+		report.WarmCompilations = st.Compile.Compilations
+		if warmNanos > 0 {
+			report.WarmRestartSpeedup = float64(coldNanos) / float64(warmNanos)
+		}
+		return nil
+	}(); err != nil {
+		return nil, fmt.Errorf("bench: serve: warm-restart phase: %w", err)
+	}
+
+	// Phase 3: the router's extra hop over a two-backend fleet.
+	if err := func() error {
+		const fleet = 2
+		report.RouterBackends = fleet
+		var urls []string
+		for i := 0; i < fleet; i++ {
+			h, closeBackend := opts.Harness.NewBackend("")
+			ts := httptest.NewServer(h)
+			defer func() { ts.Close(); closeBackend() }()
+			urls = append(urls, ts.URL)
+		}
+		rh, closeRouter, err := opts.Harness.NewRouter(urls)
+		if err != nil {
+			return err
+		}
+		front := httptest.NewServer(rh)
+		defer func() { front.Close(); closeRouter() }()
+		c := &serveClient{base: front.URL, client: front.Client()}
+		id, err := c.upload(encoded)
+		if err != nil {
+			return err
+		}
+		dep, _, err := c.deployOnce(id)
+		if err != nil {
+			return err
+		}
+		runs, err := c.timeRuns(dep.ID, opts.N, opts.Runs)
+		if err != nil {
+			return err
+		}
+		report.RouterRun = summarize(runs)
+		report.RouterOverheadNanos = report.RouterRun.P50Nanos - report.Run.P50Nanos
+		return nil
+	}(); err != nil {
+		return nil, fmt.Errorf("bench: serve: router phase: %w", err)
+	}
+
+	return report, nil
+}
+
+// String renders the serving-latency report.
+func (r *ServeReport) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Serving latency: svd HTTP API on this host (%d runs/distribution, n=%d, %s, %d CPUs)\n",
+		r.Options.Runs, r.Options.N, r.GoVersion, r.NumCPU)
+	b.WriteString("wall-clock numbers are host-dependent; they are tracked, not gated\n\n")
+	fmt.Fprintf(&b, "%-22s %8s %12s %12s %12s %12s\n", "distribution", "count", "p50", "p95", "p99", "max")
+	b.WriteString(strings.Repeat("-", 84) + "\n")
+	row := func(name string, l ServeLatency) {
+		fmt.Fprintf(&b, "%-22s %8d %12s %12s %12s %12s\n", name, l.Count,
+			time.Duration(l.P50Nanos), time.Duration(l.P95Nanos), time.Duration(l.P99Nanos), time.Duration(l.MaxNanos))
+	}
+	row("deploy (cache hit)", r.Deploy)
+	row("run (direct)", r.Run)
+	row("run (via router)", r.RouterRun)
+	fmt.Fprintf(&b, "\nwarm restart: cold deploy %s -> warm deploy %s (%.1fx, from_cache=%t, %d compilations after restart)\n",
+		time.Duration(r.ColdDeployNanos), time.Duration(r.WarmDeployNanos),
+		r.WarmRestartSpeedup, r.WarmFromCache, r.WarmCompilations)
+	fmt.Fprintf(&b, "router overhead: %s per run request at p50 across %d backends\n",
+		time.Duration(r.RouterOverheadNanos), r.RouterBackends)
+	return b.String()
+}

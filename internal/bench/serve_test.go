@@ -1,0 +1,42 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+func TestServeSummarize(t *testing.T) {
+	if s := summarize(nil); s.Count != 0 || s.P50Nanos != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+	samples := make([]time.Duration, 100)
+	for i := range samples {
+		// Reverse order: summarize must sort before ranking.
+		samples[i] = time.Duration(100-i) * time.Microsecond
+	}
+	s := summarize(samples)
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if got := time.Duration(s.P50Nanos); got != 50*time.Microsecond {
+		t.Errorf("p50 = %v", got)
+	}
+	if got := time.Duration(s.P95Nanos); got != 95*time.Microsecond {
+		t.Errorf("p95 = %v", got)
+	}
+	if got := time.Duration(s.P99Nanos); got != 99*time.Microsecond {
+		t.Errorf("p99 = %v", got)
+	}
+	if got := time.Duration(s.MaxNanos); got != 100*time.Microsecond {
+		t.Errorf("max = %v", got)
+	}
+	if got := time.Duration(s.MeanNanos); got != 50500*time.Nanosecond {
+		t.Errorf("mean = %v", got)
+	}
+}
+
+func TestRunServeRequiresHarness(t *testing.T) {
+	if _, err := RunServe(ServeOptions{}); err == nil {
+		t.Error("RunServe without a harness did not error")
+	}
+}

@@ -137,6 +137,28 @@ type TierReport = bench.TierReport
 // the tier-1 baseline — the architectural-invariance contract.
 func RunTier(opts TierBenchOptions) (*TierReport, error) { return bench.RunTier(opts) }
 
+// ServeOptions parameterizes the serving-latency measurement.
+type ServeOptions = bench.ServeOptions
+
+// ServeHarness wires the HTTP servers under measurement into RunServe (the
+// bench layer sits below pkg/splitvm/server in the import graph, so the
+// caller supplies the constructors — see cmd/dacbench).
+type ServeHarness = bench.ServeHarness
+
+// ServeLatency is one request-latency distribution (nearest-rank
+// percentiles in nanoseconds).
+type ServeLatency = bench.ServeLatency
+
+// ServeReport measures the deploy daemon itself: svd deploy/run request
+// percentiles, the warm-restart speedup of the persistent disk cache, and
+// the router's per-request overhead.
+type ServeReport = bench.ServeReport
+
+// RunServe measures serving latency over the injected servers. Wall-clock
+// and host-dependent like RunHost: recorded in the results artifact for
+// trend tracking but ignored by CompareResults.
+func RunServe(opts ServeOptions) (*ServeReport, error) { return bench.RunServe(opts) }
+
 // ParseResults decodes a BENCH_results.json artifact.
 func ParseResults(data []byte) (*Results, error) { return bench.ParseResults(data) }
 

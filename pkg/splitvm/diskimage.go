@@ -1,0 +1,125 @@
+package splitvm
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/gob"
+	"encoding/hex"
+	"fmt"
+
+	"repro/internal/anno"
+	"repro/internal/core"
+	"repro/internal/diskcache"
+	"repro/internal/jit"
+	"repro/internal/nisa"
+	"repro/internal/target"
+)
+
+// The persistent half of the code cache. With WithDiskCache(dir) an engine
+// spills every completed JIT compilation to a content-addressed on-disk
+// store (internal/diskcache) keyed by the same (module sha256, target
+// descriptor, JIT options) identity as the in-memory LRU. A later engine —
+// after a restart, or a replica sharing the cache volume — resolves a miss
+// against the disk first and only compiles when both layers miss, so warm
+// restarts deploy with FromCache == true and zero compilations.
+//
+// The disk layer is strictly behind the LRU: a disk hit is promoted into
+// memory and shared exactly like a freshly compiled image, and an LRU
+// eviction demotes to disk (entries whose write-through already landed are
+// simply dropped from memory — the disk copy is the durable one). Disk
+// contents are advisory by the same "degrade, don't fail" policy as
+// annotations: corrupt, truncated or schema-incompatible entries fall back
+// to recompilation, never surface as deployment errors.
+
+// diskFormat versions the serialized image payload; bumping it orphans old
+// entries (they fail to decode and are recompiled — never an error).
+const diskFormat = "svdc-img-v1"
+
+// diskImage is the serialized form of one cached compilation: everything an
+// Image carries except the module (the caller always has the decoded,
+// verified module — it is the thing being deployed) and the target
+// descriptor (part of the cache key).
+type diskImage struct {
+	Format              string
+	TargetName          string
+	Program             *nisa.Program
+	JITSteps            int64
+	CompileNanos        int64
+	AnnotationOutcomes  []anno.MethodOutcome
+	AnnotationFallbacks int
+}
+
+// DiskCacheStats reports the persistent cache layer's traffic (see
+// CacheStats.Disk).
+type DiskCacheStats = diskcache.Stats
+
+// diskName derives the content address of one cache key: a hex SHA-256 over
+// the module hash, the full target descriptor (every machine parameter —
+// resized register files never share entries, mirroring the in-memory key)
+// and the JIT options, salted with the payload format version so a schema
+// bump starts a fresh namespace instead of mass-invalidating reads.
+func diskName(key cacheKey) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%x|%#v|%d|%t|%d", diskFormat,
+		key.hash, key.desc, key.regAlloc, key.forceScalarize, key.minAnnoVersion)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// loadFromDisk resolves a cache key against the disk store and
+// reconstitutes the image around the caller's decoded module (tgt is the
+// stable descriptor pointer the image must reference; jopts is recorded on
+// it so tiering can re-run the same pipeline). A miss or any decode/sanity
+// failure returns false — the caller compiles.
+func (e *Engine) loadFromDisk(key cacheKey, tgt *target.Desc, jopts jit.Options, m *Module) (*core.Image, bool) {
+	payload, ok := e.disk.Get(diskName(key))
+	if !ok {
+		return nil, false
+	}
+	var di diskImage
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&di); err != nil {
+		return nil, false
+	}
+	if di.Format != diskFormat || di.Program == nil || di.TargetName != key.desc.Name {
+		return nil, false
+	}
+	// The program must cover the module being deployed: a content collision
+	// is cryptographically improbable, but a half-written index entry is
+	// not, and a missing function would otherwise surface at Run time.
+	for _, meth := range m.mod.Methods {
+		if di.Program.Func(meth.Name) == nil {
+			return nil, false
+		}
+	}
+	return &core.Image{
+		Target:              tgt,
+		Module:              m.mod,
+		Program:             di.Program,
+		JITOpts:             jopts,
+		JITSteps:            di.JITSteps,
+		CompileNanos:        di.CompileNanos,
+		AnnotationOutcomes:  di.AnnotationOutcomes,
+		AnnotationFallbacks: di.AnnotationFallbacks,
+	}, true
+}
+
+// persistImage spills one completed compilation to the disk store
+// (best-effort: filesystem failures degrade to memory-only caching) and
+// reports whether the entry is durably present afterwards.
+func (e *Engine) persistImage(key cacheKey, img *core.Image) bool {
+	name := diskName(key)
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&diskImage{
+		Format:              diskFormat,
+		TargetName:          img.Target.Name,
+		Program:             img.Program,
+		JITSteps:            img.JITSteps,
+		CompileNanos:        img.CompileNanos,
+		AnnotationOutcomes:  img.AnnotationOutcomes,
+		AnnotationFallbacks: img.AnnotationFallbacks,
+	})
+	if err != nil {
+		return false
+	}
+	e.disk.Put(name, buf.Bytes())
+	return e.disk.Has(name)
+}

@@ -1,0 +1,157 @@
+package splitvm_test
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/target"
+	"repro/pkg/splitvm"
+)
+
+const sumsqSource = `
+i64 sumsq(i32 n) {
+    i64 s = 0;
+    for (i32 i = 1; i <= n; i++) { s = s + (i64) (i * i); }
+    return s;
+}
+`
+
+// The minimal round trip: compile MiniC offline into a deployable module,
+// deploy it online on a simulated target, run an entry point. The same
+// encoded bytes deploy on every registered target.
+func Example() {
+	eng := splitvm.New()
+
+	mod, err := eng.Compile(sumsqSource, splitvm.WithModuleName("demo"))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	dep, err := eng.Deploy(mod, splitvm.WithTarget(target.X86SSE))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := dep.Run("sumsq", splitvm.IntArg(1000))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(res.I)
+	// Output: 333833500
+}
+
+// Deployments share JIT-compiled native code through the engine's
+// concurrency-safe cache: the first deploy of a (module, target, options)
+// key compiles, every further deploy reuses the image and only pays for a
+// fresh machine.
+func ExampleEngine_Deploy() {
+	eng := splitvm.New()
+	mod, err := eng.Compile(sumsqSource)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	first, err := eng.Deploy(mod, splitvm.WithTarget(target.MCU))
+	if err != nil {
+		log.Fatal(err)
+	}
+	second, err := eng.Deploy(mod, splitvm.WithTarget(target.MCU))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("first from cache:", first.FromCache())
+	fmt.Println("second from cache:", second.FromCache())
+	fmt.Println("compilations:", eng.CompileStats().Compilations)
+	// Output:
+	// first from cache: false
+	// second from cache: true
+	// compilations: 1
+}
+
+// WithDiskCache persists compiled images to a content-addressed store, so
+// a restarted engine (or another replica sharing the volume) deploys warm:
+// the fresh engine serves the deploy from disk without compiling at all.
+func ExampleWithDiskCache() {
+	dir, err := os.MkdirTemp("", "svdc-example-")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+
+	// First engine: compiles, and spills the image to the cache directory.
+	eng1 := splitvm.New(splitvm.WithDiskCache(dir))
+	mod, err := eng1.Compile(sumsqSource)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng1.Deploy(mod, splitvm.WithTarget(target.X86SSE)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Second engine over the same directory — a restart or a replica. The
+	// module is re-loaded from its encoded bytes, as it would be after a
+	// real process restart.
+	eng2 := splitvm.New(splitvm.WithDiskCache(dir))
+	reloaded, err := eng2.Load(mod.Encoded())
+	if err != nil {
+		log.Fatal(err)
+	}
+	dep, err := eng2.Deploy(reloaded, splitvm.WithTarget(target.X86SSE))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("warm deploy from cache:", dep.FromCache())
+	fmt.Println("compilations on the restarted engine:", eng2.CompileStats().Compilations)
+	fmt.Println("disk hits:", eng2.CacheStats().DiskHits)
+	// Output:
+	// warm deploy from cache: true
+	// compilations on the restarted engine: 0
+	// disk hits: 1
+}
+
+// A deployment with tiering observes its own execution; the profile
+// exports as a versioned annotation value and warms a fresh deployment,
+// which promotes hot functions on their first call.
+func ExampleWithProfile() {
+	eng := splitvm.New()
+	mod, err := eng.Compile(sumsqSource)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Warm up a tiered deployment past the promotion threshold.
+	hot, err := eng.Deploy(mod,
+		splitvm.WithTarget(target.X86SSE),
+		splitvm.WithTiering(true),
+		splitvm.WithPromoteCalls(4))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := hot.Run("sumsq", splitvm.IntArg(100)); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Seed a fresh deployment with the observed profile.
+	seeded, err := eng.Deploy(mod,
+		splitvm.WithTarget(target.X86SSE),
+		splitvm.WithTiering(true),
+		splitvm.WithPromoteCalls(4),
+		splitvm.WithProfile(hot.ExportProfile()))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := seeded.Run("sumsq", splitvm.IntArg(100))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("value:", res.I)
+	fmt.Println("promotions after one call:", seeded.TierStats().Promotions)
+	// Output:
+	// value: 338350
+	// promotions after one call: 1
+}

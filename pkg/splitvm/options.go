@@ -49,6 +49,7 @@ type config struct {
 
 	// Engine-wide options (read by New only).
 	cacheSize int
+	diskDir   string
 }
 
 func defaultConfig() config {
@@ -160,6 +161,22 @@ func WithCacheSize(n int) Option {
 		}
 		c.cacheSize = n
 	}
+}
+
+// WithDiskCache backs the engine's code cache with a persistent
+// content-addressed store rooted at dir (created if absent): every completed
+// JIT compilation is spilled to disk keyed by the same (module sha256,
+// target descriptor, JIT options) identity as the in-memory cache, an LRU
+// eviction demotes to disk instead of dropping, and a miss consults the
+// disk before compiling — so restarted engines deploy warm
+// (Deployment.FromCache reports true, CompileStats counts no compilation)
+// and replicas can share a cache volume. Entries are written atomically and
+// checksummed; a corrupt or truncated entry degrades to recompilation,
+// never to an error. Like WithCacheSize this is a property of the whole
+// engine: it takes effect when passed to New and is ignored on individual
+// calls. Check Engine.DiskCacheErr when durability is required.
+func WithDiskCache(dir string) Option {
+	return func(c *config) { c.diskDir = dir }
 }
 
 // WithCompileWorkers bounds the number of methods the JIT compiles

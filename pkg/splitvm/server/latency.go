@@ -1,0 +1,120 @@
+package server
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// maxLatencySamples bounds the per-route sample window. Percentiles are
+// computed over the most recent window rather than the full history so the
+// recorder's memory stays constant and the numbers track current behavior
+// (a warm cache shows up in p50 even after a cold start inflated the early
+// samples).
+const maxLatencySamples = 1024
+
+// latencyRecorder accumulates request durations for one route: total count
+// and sum forever, plus a ring of recent samples for percentiles.
+type latencyRecorder struct {
+	mu      sync.Mutex
+	count   int64
+	sum     time.Duration
+	samples []time.Duration // ring buffer, len <= maxLatencySamples
+	next    int             // ring write cursor once the buffer is full
+}
+
+func (l *latencyRecorder) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	l.mu.Lock()
+	l.count++
+	l.sum += d
+	if len(l.samples) < maxLatencySamples {
+		l.samples = append(l.samples, d)
+	} else {
+		l.samples[l.next] = d
+		l.next = (l.next + 1) % maxLatencySamples
+	}
+	l.mu.Unlock()
+}
+
+// LatencySummary reports one route's request-latency distribution: lifetime
+// count and mean, percentiles over the most recent window (up to 1024
+// samples). Durations are nanoseconds.
+type LatencySummary struct {
+	Count     int64 `json:"count"`
+	MeanNanos int64 `json:"mean_nanos"`
+	P50Nanos  int64 `json:"p50_nanos"`
+	P95Nanos  int64 `json:"p95_nanos"`
+	P99Nanos  int64 `json:"p99_nanos"`
+	MaxNanos  int64 `json:"max_nanos"`
+}
+
+// percentile returns the pth percentile (0 < p <= 100) of a sorted slice
+// using the nearest-rank method.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := (len(sorted)*p + 99) / 100
+	if rank < 1 {
+		rank = 1
+	}
+	return sorted[rank-1]
+}
+
+func (l *latencyRecorder) summary() LatencySummary {
+	l.mu.Lock()
+	s := LatencySummary{Count: l.count}
+	if l.count > 0 {
+		s.MeanNanos = int64(l.sum) / l.count
+	}
+	win := append([]time.Duration(nil), l.samples...)
+	l.mu.Unlock()
+	if len(win) == 0 {
+		return s
+	}
+	sort.Slice(win, func(i, j int) bool { return win[i] < win[j] })
+	s.P50Nanos = int64(percentile(win, 50))
+	s.P95Nanos = int64(percentile(win, 95))
+	s.P99Nanos = int64(percentile(win, 99))
+	s.MaxNanos = int64(win[len(win)-1])
+	return s
+}
+
+// routeLatencies is the fixed set of instrumented routes.
+type routeLatencies struct {
+	upload   latencyRecorder
+	deploy   latencyRecorder
+	run      latencyRecorder
+	runBatch latencyRecorder
+}
+
+func (r *routeLatencies) summaries() map[string]LatencySummary {
+	out := make(map[string]LatencySummary, 4)
+	for name, rec := range map[string]*latencyRecorder{
+		"upload":    &r.upload,
+		"deploy":    &r.deploy,
+		"run":       &r.run,
+		"run_batch": &r.runBatch,
+	} {
+		if s := rec.summary(); s.Count > 0 {
+			out[name] = s
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+// timed wraps a handler to record its wall-clock latency.
+func timed(rec *latencyRecorder, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		h(w, r)
+		rec.observe(time.Since(start))
+	}
+}

@@ -1,0 +1,132 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Consistent-hash ring with bounded load, the router's placement policy.
+// Each backend owns vnodes points on a 64-bit circle; a key is served by the
+// first point clockwise of its hash. Virtual nodes smooth the load split,
+// and consistency is the property the cache depends on: adding or removing
+// one backend remaps only the keys in the arcs it gains or loses (~1/N of
+// the space), so the other replicas' disk and memory caches stay warm.
+//
+// The bounded-load refinement (Mirrokni et al.) caps how far a hot key can
+// pile onto one backend: a candidate already carrying more than
+// loadFactor × the fair share of in-flight work is skipped and the walk
+// continues clockwise. The skip is deterministic for a given load vector,
+// and an unloaded ring always uses the pure consistent-hash owner.
+
+// ringVNodes is the number of points each backend owns (enough that a
+// 2–10 backend ring splits the space within a few percent of even).
+const ringVNodes = 64
+
+type ringPoint struct {
+	hash    uint64
+	backend int // index into the router's backend list
+}
+
+type hashRing struct {
+	points   []ringPoint
+	backends int
+}
+
+// ringHash positions a string on the circle. SHA-256 (truncated) rather
+// than a fast non-cryptographic hash: placement must not be correlated with
+// the structure of module hashes, which are themselves SHA-256 hex.
+func ringHash(s string) uint64 {
+	sum := sha256.Sum256([]byte(s))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// newHashRing builds the ring over n backends (identified by index; the
+// caller owns the index→address mapping).
+func newHashRing(n int) *hashRing {
+	r := &hashRing{backends: n}
+	for b := 0; b < n; b++ {
+		for v := 0; v < ringVNodes; v++ {
+			r.points = append(r.points, ringPoint{
+				hash:    ringHash(fmt.Sprintf("backend-%d/vnode-%d", b, v)),
+				backend: b,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool { return r.points[i].hash < r.points[j].hash })
+	return r
+}
+
+// owner returns the pure consistent-hash owner of a key: the backend of the
+// first point clockwise of the key's hash.
+func (r *hashRing) owner(key string) int {
+	return r.points[r.search(ringHash(key))].backend
+}
+
+func (r *hashRing) search(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return i
+}
+
+// walk returns the distinct backends in clockwise preference order starting
+// from the key's owner. The first entry is the consistent-hash owner; the
+// rest are the retry/overflow order — the same for every request with this
+// key, so overflow traffic is itself consistent.
+func (r *hashRing) walk(key string) []int {
+	out := make([]int, 0, r.backends)
+	seen := make([]bool, r.backends)
+	start := r.search(ringHash(key))
+	for i := 0; i < len(r.points) && len(out) < r.backends; i++ {
+		b := r.points[(start+i)%len(r.points)].backend
+		if !seen[b] {
+			seen[b] = true
+			out = append(out, b)
+		}
+	}
+	return out
+}
+
+// pick chooses the backend for a key under the bounded-load rule: walk
+// clockwise from the owner, skipping unhealthy backends and backends whose
+// in-flight count already exceeds loadFactor × the fair share. If every
+// healthy backend is over the bound (a burst), the walk falls back to the
+// least-loaded healthy backend; if none is healthy, it returns -1.
+//
+// healthy and inflight are indexed by backend; total is the sum of inflight.
+func (r *hashRing) pick(key string, healthy []bool, inflight []int64, loadFactor float64) int {
+	var total int64
+	nHealthy := 0
+	for b := 0; b < r.backends; b++ {
+		total += inflight[b]
+		if healthy[b] {
+			nHealthy++
+		}
+	}
+	if nHealthy == 0 {
+		return -1
+	}
+	// Fair share of in-flight work including the request being placed,
+	// scaled by the load factor and rounded up (ceil keeps the bound ≥ 1 so
+	// an idle ring never skips its owner).
+	bound := int64(loadFactor * float64(total+1) / float64(nHealthy))
+	if bound < 1 {
+		bound = 1
+	}
+	fallback := -1
+	for _, b := range r.walk(key) {
+		if !healthy[b] {
+			continue
+		}
+		if inflight[b]+1 <= bound {
+			return b
+		}
+		if fallback == -1 || inflight[b] < inflight[fallback] {
+			fallback = b
+		}
+	}
+	return fallback
+}

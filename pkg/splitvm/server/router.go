@@ -1,0 +1,727 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Router shards the /v1/* API across a fleet of backend svd servers: one
+// stateless front door, N replicas each holding their own engine (ideally
+// over a shared disk-cache volume, so a module JIT-compiled by any replica
+// is warm for all of them).
+//
+// Placement is consistent hashing on the module hash with bounded load (see
+// hashRing): deployments of one module concentrate on one replica — maximum
+// code-cache reuse — until that replica is saturated or down, then overflow
+// clockwise. Module uploads are replicated to every healthy backend (they
+// are idempotent by content and small next to compiled images), so any
+// replica the ring picks can deploy any known module.
+//
+// Deployment IDs are namespaced by backend — "b2.d-000017" is backend 2's
+// local "d-000017" — which is what lets the router stay stateless: every
+// deployment-addressed request carries its own routing key. Transport
+// failures mark the backend unhealthy and retry the next replica clockwise;
+// HTTP-level errors (4xx/5xx) are the backend's answer and proxy through
+// unchanged.
+type Router struct {
+	cfg    RouterConfig
+	ring   *hashRing
+	names  []string
+	client *http.Client
+
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	mux    *http.ServeMux
+
+	mu       sync.Mutex
+	healthy  []bool
+	inflight []int64
+	routed   []int64
+	retries  int64
+	fanouts  int64
+}
+
+// RouterConfig parameterizes a Router. Backends is required; everything
+// else defaults.
+type RouterConfig struct {
+	// Backends are the base URLs of the svd replicas (http://host:port).
+	// Order matters: it defines the b0, b1, … namespace baked into
+	// deployment IDs, so keep it stable across router restarts.
+	Backends []string
+	// LoadFactor is the bounded-load headroom: a backend is skipped when its
+	// in-flight requests exceed LoadFactor × the fair share (default 1.25).
+	LoadFactor float64
+	// HealthInterval is how often backends are probed (default 2s; negative
+	// disables active probing — backends are then only marked down by
+	// transport failures).
+	HealthInterval time.Duration
+	// HealthTimeout bounds one probe (default 1s).
+	HealthTimeout time.Duration
+	// MaxModuleBytes caps proxied module uploads (default 4 MiB, matching
+	// Config.MaxModuleBytes).
+	MaxModuleBytes int64
+}
+
+func (c *RouterConfig) defaults() {
+	if c.LoadFactor <= 1 {
+		c.LoadFactor = 1.25
+	}
+	if c.HealthInterval == 0 {
+		c.HealthInterval = 2 * time.Second
+	}
+	if c.HealthTimeout <= 0 {
+		c.HealthTimeout = time.Second
+	}
+	if c.MaxModuleBytes <= 0 {
+		c.MaxModuleBytes = 4 << 20
+	}
+}
+
+// NewRouter builds the front door over the configured backends. Backends
+// start healthy and are probed immediately and then periodically; Close
+// stops the prober.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	cfg.defaults()
+	n := len(cfg.Backends)
+	if n == 0 {
+		return nil, errors.New("router needs at least one backend")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	rt := &Router{
+		cfg:      cfg,
+		ring:     newHashRing(n),
+		names:    make([]string, n),
+		client:   &http.Client{},
+		cancel:   cancel,
+		healthy:  make([]bool, n),
+		inflight: make([]int64, n),
+		routed:   make([]int64, n),
+	}
+	for i := range rt.names {
+		rt.names[i] = fmt.Sprintf("b%d", i)
+		rt.healthy[i] = true
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/modules", rt.handleUpload)
+	mux.HandleFunc("GET /v1/modules", rt.handleListModules)
+	mux.HandleFunc("POST /v1/deploy", rt.handleDeploy)
+	mux.HandleFunc("GET /v1/deployments", rt.handleListDeployments)
+	mux.HandleFunc("POST /v1/deployments/{id}/run", rt.handleRun)
+	mux.HandleFunc("POST /v1/run-batch", rt.handleRunBatch)
+	mux.HandleFunc("GET /v1/deployments/{id}/profile", rt.handleProfile)
+	mux.HandleFunc("GET /v1/stats", rt.handleStats)
+	mux.HandleFunc("GET /healthz", rt.handleHealthz)
+	rt.mux = mux
+	if cfg.HealthInterval > 0 {
+		rt.probeAll()
+		rt.wg.Add(1)
+		go rt.healthLoop(ctx)
+	}
+	return rt, nil
+}
+
+// ServeHTTP implements http.Handler.
+func (rt *Router) ServeHTTP(w http.ResponseWriter, r *http.Request) { rt.mux.ServeHTTP(w, r) }
+
+// Close stops the health prober.
+func (rt *Router) Close() {
+	rt.cancel()
+	rt.wg.Wait()
+}
+
+func (rt *Router) healthLoop(ctx context.Context) {
+	defer rt.wg.Done()
+	t := time.NewTicker(rt.cfg.HealthInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			rt.probeAll()
+		}
+	}
+}
+
+// probeAll health-checks every backend concurrently. A probe is the only
+// way a backend marked down by a transport failure comes back.
+func (rt *Router) probeAll() {
+	var wg sync.WaitGroup
+	up := make([]bool, len(rt.cfg.Backends))
+	for i, base := range rt.cfg.Backends {
+		wg.Add(1)
+		go func(i int, base string) {
+			defer wg.Done()
+			ctx, cancel := context.WithTimeout(context.Background(), rt.cfg.HealthTimeout)
+			defer cancel()
+			req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/healthz", nil)
+			if err != nil {
+				return
+			}
+			resp, err := rt.client.Do(req)
+			if err != nil {
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			up[i] = resp.StatusCode == http.StatusOK
+		}(i, base)
+	}
+	wg.Wait()
+	rt.mu.Lock()
+	copy(rt.healthy, up)
+	rt.mu.Unlock()
+}
+
+func (rt *Router) markDown(b int) {
+	rt.mu.Lock()
+	rt.healthy[b] = false
+	rt.mu.Unlock()
+}
+
+// snapshot copies the health and load vectors for a placement decision.
+func (rt *Router) snapshot() (healthy []bool, inflight []int64) {
+	rt.mu.Lock()
+	healthy = append([]bool(nil), rt.healthy...)
+	inflight = append([]int64(nil), rt.inflight...)
+	rt.mu.Unlock()
+	return
+}
+
+// healthyBackends returns the indexes of backends currently believed up.
+func (rt *Router) healthyBackends() []int {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	var out []int
+	for i, h := range rt.healthy {
+		if h {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// forward sends one request to one backend, tracking in-flight load. A nil
+// error means an HTTP response was received (whatever its status); the
+// caller owns resp.Body.
+func (rt *Router) forward(ctx context.Context, b int, method, path string, body []byte, contentType string) (*http.Response, error) {
+	rt.mu.Lock()
+	rt.inflight[b]++
+	rt.routed[b]++
+	rt.mu.Unlock()
+	defer func() {
+		rt.mu.Lock()
+		rt.inflight[b]--
+		rt.mu.Unlock()
+	}()
+	req, err := http.NewRequestWithContext(ctx, method, rt.cfg.Backends[b]+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	return rt.client.Do(req)
+}
+
+// forwardByKey places a keyed request on the ring and retries clockwise
+// across replicas on transport failures (the failed backend is marked down
+// until the next successful probe).
+func (rt *Router) forwardByKey(ctx context.Context, key, method, path string, body []byte, contentType string) (*http.Response, int, error) {
+	var lastErr error
+	for attempt := 0; attempt < len(rt.cfg.Backends); attempt++ {
+		healthy, inflight := rt.snapshot()
+		b := rt.ring.pick(key, healthy, inflight, rt.cfg.LoadFactor)
+		if b == -1 {
+			break
+		}
+		resp, err := rt.forward(ctx, b, method, path, body, contentType)
+		if err == nil {
+			return resp, b, nil
+		}
+		lastErr = err
+		rt.markDown(b)
+		rt.mu.Lock()
+		rt.retries++
+		rt.mu.Unlock()
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no healthy backend")
+	}
+	return nil, -1, lastErr
+}
+
+// copyResponse proxies a backend response through unchanged.
+func copyResponse(w http.ResponseWriter, resp *http.Response) {
+	if ct := resp.Header.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.WriteHeader(resp.StatusCode)
+	io.Copy(w, resp.Body)
+}
+
+// splitDeployID resolves a namespaced deployment ID ("b2.d-000017") to its
+// backend index and backend-local ID.
+func (rt *Router) splitDeployID(id string) (int, string, bool) {
+	name, local, ok := strings.Cut(id, ".")
+	if !ok {
+		return 0, "", false
+	}
+	for i, n := range rt.names {
+		if n == name {
+			return i, local, true
+		}
+	}
+	return 0, "", false
+}
+
+func (rt *Router) prefixID(b int, local string) string {
+	return rt.names[b] + "." + local
+}
+
+// handleUpload replicates a module to every healthy backend so the ring can
+// later place its deployments on any of them. Uploads are idempotent by
+// content, so replication is safe to repeat; the client sees success when
+// at least one replica accepted (stragglers pick the module up from the
+// shared cache volume or a re-upload).
+func (rt *Router) handleUpload(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, rt.cfg.MaxModuleBytes+1))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	if int64(len(body)) > rt.cfg.MaxModuleBytes {
+		writeError(w, http.StatusRequestEntityTooLarge, "module exceeds %d bytes", rt.cfg.MaxModuleBytes)
+		return
+	}
+	targets := rt.healthyBackends()
+	if len(targets) == 0 {
+		writeError(w, http.StatusBadGateway, "no healthy backend")
+		return
+	}
+	rt.mu.Lock()
+	rt.fanouts++
+	rt.mu.Unlock()
+	type result struct {
+		b    int
+		resp *http.Response
+		err  error
+	}
+	results := make([]result, len(targets))
+	var wg sync.WaitGroup
+	for i, b := range targets {
+		wg.Add(1)
+		go func(i, b int) {
+			defer wg.Done()
+			resp, err := rt.forward(r.Context(), b, http.MethodPost, "/v1/modules", body, "application/octet-stream")
+			results[i] = result{b: b, resp: resp, err: err}
+		}(i, b)
+	}
+	wg.Wait()
+	var winner, fallback *http.Response
+	for _, res := range results {
+		switch {
+		case res.err != nil:
+			rt.markDown(res.b)
+		case res.resp.StatusCode == http.StatusCreated && winner == nil:
+			winner = res.resp
+		case fallback == nil:
+			fallback = res.resp
+		}
+	}
+	for _, res := range results {
+		if res.resp != nil && res.resp != winner && res.resp != fallback {
+			io.Copy(io.Discard, res.resp.Body)
+			res.resp.Body.Close()
+		}
+	}
+	resp := winner
+	if resp == nil {
+		resp = fallback
+	}
+	if resp == nil {
+		writeError(w, http.StatusBadGateway, "every backend failed the upload")
+		return
+	}
+	defer resp.Body.Close()
+	if fallback != nil && fallback != resp {
+		io.Copy(io.Discard, fallback.Body)
+		fallback.Body.Close()
+	}
+	copyResponse(w, resp)
+}
+
+// handleDeploy routes a batch by its module hash: the ring concentrates one
+// module's deployments on one replica so its JIT image is compiled once.
+func (rt *Router) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	var req struct {
+		Module string `json:"module"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	resp, b, err := rt.forwardByKey(r.Context(), req.Module, http.MethodPost, "/v1/deploy", body, "application/json")
+	if err != nil {
+		writeError(w, http.StatusBadGateway, "deploy: %v", err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		copyResponse(w, resp)
+		return
+	}
+	var dr DeployResponse
+	if err := json.NewDecoder(resp.Body).Decode(&dr); err != nil {
+		writeError(w, http.StatusBadGateway, "decoding backend response: %v", err)
+		return
+	}
+	for i := range dr.Deployments {
+		dr.Deployments[i].ID = rt.prefixID(b, dr.Deployments[i].ID)
+	}
+	writeJSON(w, http.StatusCreated, dr)
+}
+
+// handleRun forwards an invocation to the backend named by the deployment
+// ID. No retry: the machine lives on exactly one replica.
+func (rt *Router) handleRun(w http.ResponseWriter, r *http.Request) {
+	b, local, ok := rt.splitDeployID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown deployment %q", r.PathValue("id"))
+		return
+	}
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "reading body: %v", err)
+		return
+	}
+	resp, err := rt.forward(r.Context(), b, http.MethodPost, "/v1/deployments/"+local+"/run", body, "application/json")
+	if err != nil {
+		rt.markDown(b)
+		writeError(w, http.StatusBadGateway, "backend %s: %v", rt.names[b], err)
+		return
+	}
+	defer resp.Body.Close()
+	copyResponse(w, resp)
+}
+
+// handleProfile forwards a profile export, restoring the namespaced ID in
+// the response.
+func (rt *Router) handleProfile(w http.ResponseWriter, r *http.Request) {
+	b, local, ok := rt.splitDeployID(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown deployment %q", r.PathValue("id"))
+		return
+	}
+	resp, err := rt.forward(r.Context(), b, http.MethodGet, "/v1/deployments/"+local+"/profile", nil, "")
+	if err != nil {
+		rt.markDown(b)
+		writeError(w, http.StatusBadGateway, "backend %s: %v", rt.names[b], err)
+		return
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		copyResponse(w, resp)
+		return
+	}
+	var pr ProfileResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		writeError(w, http.StatusBadGateway, "decoding backend response: %v", err)
+		return
+	}
+	pr.ID = rt.prefixID(b, pr.ID)
+	writeJSON(w, http.StatusOK, pr)
+}
+
+// handleRunBatch splits a batch across the fleet: an explicit deployment
+// list is grouped by backend, a module selector fans out to every healthy
+// replica (deployments of one module can overflow onto several under
+// bounded load). Results keep request order; per-machine errors stay
+// per-result, as on a single backend.
+func (rt *Router) handleRunBatch(w http.ResponseWriter, r *http.Request) {
+	var req RunBatchRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Entry == "" {
+		writeError(w, http.StatusBadRequest, "missing entry point name")
+		return
+	}
+	if (len(req.Deployments) == 0) == (req.Module == "") {
+		writeError(w, http.StatusBadRequest, "set exactly one of deployments or module")
+		return
+	}
+	rt.mu.Lock()
+	rt.fanouts++
+	rt.mu.Unlock()
+
+	type shard struct {
+		b       int
+		req     RunBatchRequest
+		slots   []int // result index per entry (explicit-list mode)
+		resp    RunBatchResponse
+		status  int
+		errBody errorBody
+		err     error
+	}
+	var shards []*shard
+	if req.Module != "" {
+		for _, b := range rt.healthyBackends() {
+			shards = append(shards, &shard{b: b, req: RunBatchRequest{Module: req.Module, Entry: req.Entry, Args: req.Args}})
+		}
+		if len(shards) == 0 {
+			writeError(w, http.StatusBadGateway, "no healthy backend")
+			return
+		}
+	} else {
+		byBackend := map[int]*shard{}
+		for i, id := range req.Deployments {
+			b, local, ok := rt.splitDeployID(id)
+			if !ok {
+				writeError(w, http.StatusNotFound, "unknown deployment %q", id)
+				return
+			}
+			sh := byBackend[b]
+			if sh == nil {
+				sh = &shard{b: b, req: RunBatchRequest{Entry: req.Entry, Args: req.Args}}
+				byBackend[b] = sh
+				shards = append(shards, sh)
+			}
+			sh.req.Deployments = append(sh.req.Deployments, local)
+			sh.slots = append(sh.slots, i)
+		}
+	}
+
+	var wg sync.WaitGroup
+	for _, sh := range shards {
+		wg.Add(1)
+		go func(sh *shard) {
+			defer wg.Done()
+			body, err := json.Marshal(sh.req)
+			if err != nil {
+				sh.err = err
+				return
+			}
+			resp, err := rt.forward(r.Context(), sh.b, http.MethodPost, "/v1/run-batch", body, "application/json")
+			if err != nil {
+				rt.markDown(sh.b)
+				sh.err = err
+				return
+			}
+			defer resp.Body.Close()
+			sh.status = resp.StatusCode
+			if resp.StatusCode == http.StatusOK {
+				sh.err = json.NewDecoder(resp.Body).Decode(&sh.resp)
+			} else {
+				_ = json.NewDecoder(resp.Body).Decode(&sh.errBody)
+			}
+		}(sh)
+	}
+	wg.Wait()
+
+	if req.Module != "" {
+		// Merge module-wide shards; replicas without machines for the module
+		// answer 404 and drop out, any other failure fails the batch (silently
+		// missing results would misreport the fleet).
+		var out RunBatchResponse
+		sawFleet := false
+		for _, sh := range shards {
+			if sh.err != nil {
+				writeError(w, http.StatusBadGateway, "backend %s: %v", rt.names[sh.b], sh.err)
+				return
+			}
+			if sh.status == http.StatusNotFound {
+				continue
+			}
+			if sh.status != http.StatusOK {
+				writeJSON(w, sh.status, sh.errBody)
+				return
+			}
+			sawFleet = true
+			for _, res := range sh.resp.Results {
+				res.Deployment = rt.prefixID(sh.b, res.Deployment)
+				out.Results = append(out.Results, res)
+			}
+		}
+		if !sawFleet {
+			writeError(w, http.StatusNotFound, "module %q has no live deployments", req.Module)
+			return
+		}
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+
+	out := RunBatchResponse{Results: make([]RunBatchResult, len(req.Deployments))}
+	for _, sh := range shards {
+		if sh.err != nil {
+			writeError(w, http.StatusBadGateway, "backend %s: %v", rt.names[sh.b], sh.err)
+			return
+		}
+		if sh.status != http.StatusOK {
+			writeJSON(w, sh.status, sh.errBody)
+			return
+		}
+		if len(sh.resp.Results) != len(sh.slots) {
+			writeError(w, http.StatusBadGateway, "backend %s returned %d results for %d runs", rt.names[sh.b], len(sh.resp.Results), len(sh.slots))
+			return
+		}
+		for j, res := range sh.resp.Results {
+			res.Deployment = rt.prefixID(sh.b, res.Deployment)
+			out.Results[sh.slots[j]] = res
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleListModules merges the module registries of every healthy backend,
+// deduplicated by content hash (uploads are replicated, so every replica
+// normally lists the same set).
+func (rt *Router) handleListModules(w http.ResponseWriter, r *http.Request) {
+	merged := make(map[string]ModuleInfo)
+	var order []string
+	for _, b := range rt.healthyBackends() {
+		resp, err := rt.forward(r.Context(), b, http.MethodGet, "/v1/modules", nil, "")
+		if err != nil {
+			rt.markDown(b)
+			continue
+		}
+		var body struct {
+			Modules []ModuleInfo `json:"modules"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&body)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		for _, m := range body.Modules {
+			if _, ok := merged[m.ID]; !ok {
+				merged[m.ID] = m
+				order = append(order, m.ID)
+			}
+		}
+	}
+	out := make([]ModuleInfo, 0, len(order))
+	for _, id := range order {
+		out = append(out, merged[id])
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"modules": out})
+}
+
+// handleListDeployments concatenates every healthy backend's deployments,
+// IDs namespaced.
+func (rt *Router) handleListDeployments(w http.ResponseWriter, r *http.Request) {
+	var out DeployResponse
+	for _, b := range rt.healthyBackends() {
+		resp, err := rt.forward(r.Context(), b, http.MethodGet, "/v1/deployments", nil, "")
+		if err != nil {
+			rt.markDown(b)
+			continue
+		}
+		var dr DeployResponse
+		err = json.NewDecoder(resp.Body).Decode(&dr)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		for _, d := range dr.Deployments {
+			d.ID = rt.prefixID(b, d.ID)
+			out.Deployments = append(out.Deployments, d)
+		}
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// RouterBackendStats describes one backend as the router sees it.
+type RouterBackendStats struct {
+	Name    string `json:"name"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Routed counts requests this router sent to the backend; Inflight is
+	// the bounded-load vector's current entry.
+	Routed   int64 `json:"routed"`
+	Inflight int64 `json:"inflight"`
+}
+
+// RouterStats is the router's own /v1/stats section.
+type RouterStats struct {
+	Backends []RouterBackendStats `json:"backends"`
+	// Retries counts transport failures that moved a request to the next
+	// replica clockwise; Fanouts counts requests replicated or sharded to
+	// multiple backends (uploads, run-batch).
+	Retries int64 `json:"retries"`
+	Fanouts int64 `json:"fanouts"`
+}
+
+// RouterStatsResponse is the router's /v1/stats payload: its own routing
+// counters plus each healthy backend's full StatsResponse, keyed by
+// backend name.
+type RouterStatsResponse struct {
+	Router   RouterStats              `json:"router"`
+	Backends map[string]StatsResponse `json:"backends"`
+}
+
+// Stats snapshots the router's routing counters.
+func (rt *Router) Stats() RouterStats {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	st := RouterStats{Retries: rt.retries, Fanouts: rt.fanouts}
+	for i, base := range rt.cfg.Backends {
+		st.Backends = append(st.Backends, RouterBackendStats{
+			Name:     rt.names[i],
+			URL:      base,
+			Healthy:  rt.healthy[i],
+			Routed:   rt.routed[i],
+			Inflight: rt.inflight[i],
+		})
+	}
+	return st
+}
+
+func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
+	out := RouterStatsResponse{Backends: make(map[string]StatsResponse)}
+	for _, b := range rt.healthyBackends() {
+		resp, err := rt.forward(r.Context(), b, http.MethodGet, "/v1/stats", nil, "")
+		if err != nil {
+			rt.markDown(b)
+			continue
+		}
+		var st StatsResponse
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			continue
+		}
+		out.Backends[rt.names[b]] = st
+	}
+	out.Router = rt.Stats()
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleHealthz reports the router healthy while at least one backend is.
+func (rt *Router) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	n := len(rt.healthyBackends())
+	status := http.StatusOK
+	state := "ok"
+	if n == 0 {
+		status = http.StatusServiceUnavailable
+		state = "no healthy backend"
+	}
+	writeJSON(w, status, map[string]any{"status": state, "healthy_backends": n, "backends": len(rt.cfg.Backends)})
+}

@@ -1,0 +1,293 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+)
+
+// postJSONTenant is postJSON with an X-Tenant header.
+func postJSONTenant(t *testing.T, url, tenant string, req any) *http.Response {
+	t.Helper()
+	data, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq, err := http.NewRequest(http.MethodPost, url, bytes.NewReader(data))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	hreq.Header.Set("X-Tenant", tenant)
+	resp, err := http.DefaultClient.Do(hreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestModuleQuota(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxDeploymentsPerModule: 3})
+	id := upload(t, ts, encodeModule(t, sumsqSource))
+
+	resp := postJSON(t, ts.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"x86-sse"}, Replicas: 2})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("first batch: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// 2 live + 2 more would exceed the cap of 3 — whole batch refused.
+	resp = postJSON(t, ts.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"x86-sse"}, Replicas: 2})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-quota batch: status %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Error("quota rejection carries no Retry-After hint")
+	}
+	resp.Body.Close()
+
+	// 2 + 1 fits exactly.
+	resp = postJSON(t, ts.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"mcu"}})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("fitting batch: status %d, want 201", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	st := getStats(t, ts)
+	if st.QuotaRejected != 1 || st.Deployments != 3 {
+		t.Errorf("stats = %d quota rejections / %d deployments, want 1 / 3", st.QuotaRejected, st.Deployments)
+	}
+	// Quota rejections are not queue-saturation rejections.
+	if st.Rejected != 0 {
+		t.Errorf("rejected = %d, want 0", st.Rejected)
+	}
+}
+
+func TestTenantQuotaIsPerTenant(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxDeploymentsPerTenant: 2})
+	id := upload(t, ts, encodeModule(t, sumsqSource))
+
+	for _, tenant := range []string{"alice", "bob"} {
+		resp := postJSONTenant(t, ts.URL+"/v1/deploy", tenant, DeployRequest{Module: id, Targets: []string{"x86-sse"}, Replicas: 2})
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("tenant %s: status %d", tenant, resp.StatusCode)
+		}
+		resp.Body.Close()
+	}
+	// alice is full; bob being full too must not mask whose quota tripped.
+	resp := postJSONTenant(t, ts.URL+"/v1/deploy", "alice", DeployRequest{Module: id, Targets: []string{"mcu"}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("alice over quota: status %d, want 429", resp.StatusCode)
+	}
+	body := decodeJSON[errorBody](t, resp.Body)
+	resp.Body.Close()
+	if want := `tenant "alice"`; !bytes.Contains([]byte(body.Error), []byte(want)) {
+		t.Errorf("error %q does not name the tenant", body.Error)
+	}
+	// A third tenant is unaffected.
+	resp = postJSONTenant(t, ts.URL+"/v1/deploy", "carol", DeployRequest{Module: id, Targets: []string{"mcu"}})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("carol: status %d, want 201", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestQuotaFreedBySweeper(t *testing.T) {
+	srv, ts := newTestServer(t, Config{MaxDeploymentsPerModule: 1})
+	id := upload(t, ts, encodeModule(t, sumsqSource))
+
+	resp := postJSON(t, ts.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"x86-sse"}})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+	resp = postJSON(t, ts.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"mcu"}})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("second deploy: status %d, want 429", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Evicting the idle machine frees its quota slot.
+	if n := srv.evictIdle(time.Now().Add(time.Minute)); n != 1 {
+		t.Fatalf("evicted %d deployments, want 1", n)
+	}
+	resp = postJSON(t, ts.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"mcu"}})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy after eviction: status %d, want 201", resp.StatusCode)
+	}
+	resp.Body.Close()
+}
+
+func TestRunBatch(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := upload(t, ts, encodeModule(t, sumsqSource))
+
+	resp := postJSON(t, ts.URL+"/v1/deploy", DeployRequest{
+		Module: id, Targets: []string{"x86-sse", "mcu"}, Replicas: 2,
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy: status %d", resp.StatusCode)
+	}
+	dr := decodeJSON[DeployResponse](t, resp.Body)
+	resp.Body.Close()
+	if len(dr.Deployments) != 4 {
+		t.Fatalf("%d deployments, want 4", len(dr.Deployments))
+	}
+
+	// By module: every live deployment computes the same answer.
+	resp = postJSON(t, ts.URL+"/v1/run-batch", RunBatchRequest{
+		Module: id, Entry: "sumsq", Args: []string{"100"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run-batch by module: status %d", resp.StatusCode)
+	}
+	br := decodeJSON[RunBatchResponse](t, resp.Body)
+	resp.Body.Close()
+	if len(br.Results) != 4 {
+		t.Fatalf("%d results, want 4", len(br.Results))
+	}
+	for _, r := range br.Results {
+		if r.Error != "" || r.Value != 338350 {
+			t.Errorf("deployment %s on %s: value %d, error %q", r.Deployment, r.Target, r.Value, r.Error)
+		}
+		if r.Cycles <= 0 {
+			t.Errorf("deployment %s: cycles %d, want > 0", r.Deployment, r.Cycles)
+		}
+	}
+
+	// Explicit list preserves request order.
+	want := []string{dr.Deployments[2].ID, dr.Deployments[0].ID}
+	resp = postJSON(t, ts.URL+"/v1/run-batch", RunBatchRequest{
+		Deployments: want, Entry: "sumsq", Args: []string{"10"},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run-batch by id: status %d", resp.StatusCode)
+	}
+	br = decodeJSON[RunBatchResponse](t, resp.Body)
+	resp.Body.Close()
+	for i, r := range br.Results {
+		if r.Deployment != want[i] {
+			t.Errorf("result %d is %s, want %s", i, r.Deployment, want[i])
+		}
+		if r.Value != 385 {
+			t.Errorf("result %d value = %d, want 385", i, r.Value)
+		}
+	}
+}
+
+func TestRunBatchValidation(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := upload(t, ts, encodeModule(t, sumsqSource))
+	resp := postJSON(t, ts.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"x86-sse"}})
+	dr := decodeJSON[DeployResponse](t, resp.Body)
+	resp.Body.Close()
+	depID := dr.Deployments[0].ID
+
+	cases := []struct {
+		name string
+		req  RunBatchRequest
+		want int
+	}{
+		{"no entry", RunBatchRequest{Module: id}, http.StatusBadRequest},
+		{"neither selector", RunBatchRequest{Entry: "sumsq"}, http.StatusBadRequest},
+		{"both selectors", RunBatchRequest{Module: id, Deployments: []string{depID}, Entry: "sumsq"}, http.StatusBadRequest},
+		{"unknown deployment", RunBatchRequest{Deployments: []string{"d-999999"}, Entry: "sumsq"}, http.StatusNotFound},
+		{"module without fleet", RunBatchRequest{Module: "nope", Entry: "sumsq"}, http.StatusNotFound},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+"/v1/run-batch", tc.req)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+		resp.Body.Close()
+	}
+
+	// A bad entry point inside an otherwise valid batch is a per-result
+	// error, not a request failure.
+	resp = postJSON(t, ts.URL+"/v1/run-batch", RunBatchRequest{Deployments: []string{depID}, Entry: "missing"})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("per-result error case: status %d, want 200", resp.StatusCode)
+	}
+	br := decodeJSON[RunBatchResponse](t, resp.Body)
+	resp.Body.Close()
+	if len(br.Results) != 1 || br.Results[0].Error == "" {
+		t.Errorf("results = %+v, want one entry with an error", br.Results)
+	}
+}
+
+func TestStatsLatencyHistograms(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	st := getStats(t, ts)
+	if len(st.Latency) != 0 {
+		t.Errorf("latency families before traffic = %v, want none", st.Latency)
+	}
+
+	id := upload(t, ts, encodeModule(t, sumsqSource))
+	resp := postJSON(t, ts.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"x86-sse"}})
+	dr := decodeJSON[DeployResponse](t, resp.Body)
+	resp.Body.Close()
+	for i := 0; i < 3; i++ {
+		resp = postJSON(t, ts.URL+"/v1/deployments/"+dr.Deployments[0].ID+"/run",
+			RunRequest{Entry: "sumsq", Args: []string{"50"}})
+		resp.Body.Close()
+	}
+	resp = postJSON(t, ts.URL+"/v1/run-batch", RunBatchRequest{Module: id, Entry: "sumsq", Args: []string{"5"}})
+	resp.Body.Close()
+
+	st = getStats(t, ts)
+	wantCounts := map[string]int64{"upload": 1, "deploy": 1, "run": 3, "run_batch": 1}
+	for route, n := range wantCounts {
+		s, ok := st.Latency[route]
+		if !ok {
+			t.Errorf("latency family %q missing", route)
+			continue
+		}
+		if s.Count != n {
+			t.Errorf("%s count = %d, want %d", route, s.Count, n)
+		}
+		if s.P50Nanos <= 0 || s.P95Nanos < s.P50Nanos || s.P99Nanos < s.P95Nanos || s.MaxNanos < s.P99Nanos {
+			t.Errorf("%s percentiles not monotone: %+v", route, s)
+		}
+	}
+}
+
+func TestLatencyRecorderPercentiles(t *testing.T) {
+	var rec latencyRecorder
+	for i := 1; i <= 100; i++ {
+		rec.observe(time.Duration(i) * time.Millisecond)
+	}
+	s := rec.summary()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if got := time.Duration(s.P50Nanos); got != 50*time.Millisecond {
+		t.Errorf("p50 = %v, want 50ms", got)
+	}
+	if got := time.Duration(s.P95Nanos); got != 95*time.Millisecond {
+		t.Errorf("p95 = %v, want 95ms", got)
+	}
+	if got := time.Duration(s.P99Nanos); got != 99*time.Millisecond {
+		t.Errorf("p99 = %v, want 99ms", got)
+	}
+	if got := time.Duration(s.MaxNanos); got != 100*time.Millisecond {
+		t.Errorf("max = %v, want 100ms", got)
+	}
+	if got := time.Duration(s.MeanNanos); got != 50500*time.Microsecond {
+		t.Errorf("mean = %v, want 50.5ms", got)
+	}
+
+	// The window slides: after many large samples the early small ones no
+	// longer drag the percentiles down, but the lifetime count keeps growing.
+	for i := 0; i < maxLatencySamples; i++ {
+		rec.observe(time.Second)
+	}
+	s = rec.summary()
+	if s.Count != 100+maxLatencySamples {
+		t.Errorf("count = %d", s.Count)
+	}
+	if got := time.Duration(s.P50Nanos); got != time.Second {
+		t.Errorf("p50 after window rollover = %v, want 1s", got)
+	}
+}

@@ -12,6 +12,7 @@
 //	POST /v1/deploy                    batch deploy: one module × many targets
 //	GET  /v1/deployments               list live deployments
 //	POST /v1/deployments/{id}/run      invoke an entry point on a deployment
+//	POST /v1/run-batch                 invoke one entry point across many deployments
 //	GET  /v1/deployments/{id}/profile  export a tiered deployment's profile
 //	GET  /v1/stats                     cache, pool, registry and tier counters
 //	GET  /healthz                      liveness
@@ -66,6 +67,16 @@ type Config struct {
 	// DeploySweepInterval is how often the idle sweeper scans (default
 	// DeployTTL/4, at least 100ms). Only meaningful with DeployTTL > 0.
 	DeploySweepInterval time.Duration
+	// MaxDeploymentsPerModule caps the live deployments of any single module
+	// (0 — the default — is unlimited). A batch that would push a module over
+	// the cap is rejected whole with 429, like queue saturation; evicted or
+	// swept deployments free their slots.
+	MaxDeploymentsPerModule int
+	// MaxDeploymentsPerTenant caps the live deployments attributed to one
+	// tenant (0 — the default — is unlimited). The tenant is the X-Tenant
+	// request header; requests without one share the "default" tenant, so a
+	// single-tenant installation behaves like a global cap.
+	MaxDeploymentsPerTenant int
 }
 
 func (c *Config) defaults() {
@@ -113,6 +124,15 @@ type Server struct {
 	nextDep     int64
 	rejected    int64
 	evicted     int64
+	// Quota accounting: live (registered) plus in-flight (reserved) deploy
+	// counts per module id and per tenant. Reservations are taken before the
+	// pools see a batch and converted into live counts at registration, so
+	// two racing batches cannot both squeeze under a cap.
+	quotaRejected int64
+	byModule      map[string]int
+	byTenant      map[string]int
+
+	lat routeLatencies
 
 	// gateDeploy, when non-nil, is called by every pool worker before it
 	// deploys a job — a test hook to hold workers and saturate the queues
@@ -125,6 +145,7 @@ type Server struct {
 type liveDeployment struct {
 	id     string
 	module string
+	tenant string
 	arch   target.Arch
 	// lastUsed is when the deployment was created or last asked to run,
 	// and running counts in-flight invocations; both are read by the idle
@@ -151,13 +172,16 @@ func New(eng *splitvm.Engine, cfg Config) *Server {
 		modules:     make(map[string]*splitvm.Module),
 		deployments: make(map[string]*liveDeployment),
 		pools:       make(map[target.Arch]*pool),
+		byModule:    make(map[string]int),
+		byTenant:    make(map[string]int),
 	}
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/modules", s.handleUpload)
+	mux.HandleFunc("POST /v1/modules", timed(&s.lat.upload, s.handleUpload))
 	mux.HandleFunc("GET /v1/modules", s.handleListModules)
-	mux.HandleFunc("POST /v1/deploy", s.handleDeploy)
+	mux.HandleFunc("POST /v1/deploy", timed(&s.lat.deploy, s.handleDeploy))
 	mux.HandleFunc("GET /v1/deployments", s.handleListDeployments)
-	mux.HandleFunc("POST /v1/deployments/{id}/run", s.handleRun)
+	mux.HandleFunc("POST /v1/deployments/{id}/run", timed(&s.lat.run, s.handleRun))
+	mux.HandleFunc("POST /v1/run-batch", timed(&s.lat.runBatch, s.handleRunBatch))
 	mux.HandleFunc("GET /v1/deployments/{id}/profile", s.handleProfile)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -201,6 +225,8 @@ func (s *Server) evictIdle(cutoff time.Time) int {
 		ld := s.deployments[id]
 		if ld.running == 0 && ld.lastUsed.Before(cutoff) {
 			delete(s.deployments, id)
+			s.byModule[ld.module]--
+			s.byTenant[ld.tenant]--
 			removed++
 			continue
 		}
@@ -381,6 +407,41 @@ type DeployResponse struct {
 	Deployments []DeploymentInfo `json:"deployments"`
 }
 
+// tenantOf attributes a request to a tenant: the X-Tenant header, or the
+// shared "default" tenant when the client sends none.
+func tenantOf(r *http.Request) string {
+	if t := r.Header.Get("X-Tenant"); t != "" {
+		return t
+	}
+	return "default"
+}
+
+// reserveQuotaLocked admits n more deployments for (module, tenant) against
+// the configured caps, counting both live machines and reservations other
+// in-flight batches already hold. Caller holds s.mu.
+func (s *Server) reserveQuotaLocked(module, tenant string, n int) error {
+	if max := s.cfg.MaxDeploymentsPerModule; max > 0 && s.byModule[module]+n > max {
+		return fmt.Errorf("module %s would exceed its deployment quota (%d live or pending, cap %d)",
+			module, s.byModule[module], max)
+	}
+	if max := s.cfg.MaxDeploymentsPerTenant; max > 0 && s.byTenant[tenant]+n > max {
+		return fmt.Errorf("tenant %q would exceed its deployment quota (%d live or pending, cap %d)",
+			tenant, s.byTenant[tenant], max)
+	}
+	s.byModule[module] += n
+	s.byTenant[tenant] += n
+	return nil
+}
+
+// releaseQuota returns n reserved slots (a batch that failed before
+// registration).
+func (s *Server) releaseQuota(module, tenant string, n int) {
+	s.mu.Lock()
+	s.byModule[module] -= n
+	s.byTenant[tenant] -= n
+	s.mu.Unlock()
+}
+
 func regAllocMode(name string) (splitvm.RegAllocMode, error) {
 	switch name {
 	case "", "split":
@@ -433,6 +494,8 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		archs[i] = a
 	}
 
+	tenant := tenantOf(r)
+	batchSize := len(req.Targets) * req.Replicas
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -440,11 +503,28 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	m, ok := s.modules[req.Module]
-	s.mu.Unlock()
 	if !ok {
+		s.mu.Unlock()
 		writeError(w, http.StatusNotFound, "unknown module %q (upload it first)", req.Module)
 		return
 	}
+	// Admit the whole batch against the quotas before any pool sees it: a
+	// reservation taken here is either converted into live deployments at
+	// registration or released on any earlier exit.
+	if err := s.reserveQuotaLocked(req.Module, tenant, batchSize); err != nil {
+		s.quotaRejected++
+		s.mu.Unlock()
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Seconds()+0.999)))
+		writeError(w, http.StatusTooManyRequests, "%v", err)
+		return
+	}
+	s.mu.Unlock()
+	reserved := true
+	defer func() {
+		if reserved {
+			s.releaseQuota(req.Module, tenant, batchSize)
+		}
+	}()
 
 	opts := []splitvm.Option{
 		splitvm.WithRegAllocMode(mode),
@@ -520,7 +600,7 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "deploying on %s: %v", pq.arch, res.err)
 			return
 		}
-		ld := &liveDeployment{module: req.Module, arch: pq.arch, dep: res.dep}
+		ld := &liveDeployment{module: req.Module, tenant: tenant, arch: pq.arch, dep: res.dep}
 		deps = append(deps, ld)
 		infos = append(infos, DeploymentInfo{
 			Module:              req.Module,
@@ -536,7 +616,8 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 	}
 
 	// Register the whole batch atomically, so clients never observe half a
-	// batch in the deployments listing.
+	// batch in the deployments listing. The quota reservation converts into
+	// the registered machines' live counts here.
 	now := time.Now()
 	s.mu.Lock()
 	for i, ld := range deps {
@@ -547,6 +628,7 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		s.deployments[ld.id] = ld
 		s.deployOrder = append(s.deployOrder, ld.id)
 	}
+	reserved = false
 	s.mu.Unlock()
 	writeJSON(w, http.StatusCreated, DeployResponse{Deployments: infos})
 }
@@ -653,6 +735,148 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// RunBatchRequest invokes one entry point across many deployments — the
+// fleet-wide counterpart of /v1/deployments/{id}/run. Address the machines
+// either explicitly (Deployments) or by module (every live deployment of
+// that module); exactly one of the two must be set.
+type RunBatchRequest struct {
+	Deployments []string `json:"deployments,omitempty"`
+	Module      string   `json:"module,omitempty"`
+	Entry       string   `json:"entry"`
+	Args        []string `json:"args,omitempty"`
+}
+
+// RunBatchResult is one machine's outcome within a batch run. Error is set
+// (and the value fields zero) when that machine failed; other machines'
+// results are unaffected.
+type RunBatchResult struct {
+	Deployment string  `json:"deployment"`
+	Target     string  `json:"target"`
+	Value      int64   `json:"value"`
+	Float      float64 `json:"float"`
+	IsFloat    bool    `json:"is_float"`
+	Cycles     int64   `json:"cycles"`
+	Error      string  `json:"error,omitempty"`
+}
+
+// RunBatchResponse lists per-deployment results in the order the
+// deployments were addressed (request order, or registration order when
+// selected by module).
+type RunBatchResponse struct {
+	Results []RunBatchResult `json:"results"`
+}
+
+// handleRunBatch fans one invocation out across N machines concurrently.
+// Machines still serialize their own runs (they are single-threaded
+// devices); the batch buys parallelism across machines, not within one.
+// Per-machine failures are reported inline so one broken replica cannot
+// hide the rest of the fleet's results.
+func (s *Server) handleRunBatch(w http.ResponseWriter, r *http.Request) {
+	var req RunBatchRequest
+	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		return
+	}
+	if req.Entry == "" {
+		writeError(w, http.StatusBadRequest, "missing entry point name")
+		return
+	}
+	if (len(req.Deployments) == 0) == (req.Module == "") {
+		writeError(w, http.StatusBadRequest, "set exactly one of deployments or module")
+		return
+	}
+
+	// Resolve the fleet and pin every machine against the sweeper for the
+	// duration of the batch, like a single run would.
+	now := time.Now()
+	s.mu.Lock()
+	var ids []string
+	if req.Module != "" {
+		for _, id := range s.deployOrder {
+			if s.deployments[id].module == req.Module {
+				ids = append(ids, id)
+			}
+		}
+	} else {
+		ids = req.Deployments
+	}
+	lds := make([]*liveDeployment, len(ids))
+	var missing string
+	for i, id := range ids {
+		ld, ok := s.deployments[id]
+		if !ok {
+			missing = id
+			break
+		}
+		lds[i] = ld
+	}
+	if missing == "" && len(ids) > s.cfg.MaxBatchJobs {
+		s.mu.Unlock()
+		writeError(w, http.StatusBadRequest, "batch of %d runs exceeds the limit of %d", len(ids), s.cfg.MaxBatchJobs)
+		return
+	}
+	if missing == "" {
+		for _, ld := range lds {
+			ld.lastUsed = now
+			ld.running++
+		}
+	}
+	s.mu.Unlock()
+	if missing != "" {
+		writeError(w, http.StatusNotFound, "unknown deployment %q", missing)
+		return
+	}
+	if len(lds) == 0 {
+		writeError(w, http.StatusNotFound, "module %q has no live deployments", req.Module)
+		return
+	}
+	defer func() {
+		s.mu.Lock()
+		for _, ld := range lds {
+			ld.running--
+			ld.lastUsed = time.Now()
+		}
+		s.mu.Unlock()
+	}()
+
+	results := make([]RunBatchResult, len(lds))
+	var wg sync.WaitGroup
+	for i, ld := range lds {
+		wg.Add(1)
+		go func(i int, ld *liveDeployment) {
+			defer wg.Done()
+			res := RunBatchResult{Deployment: ld.id, Target: string(ld.arch)}
+			sig, err := ld.dep.Signature(req.Entry)
+			if err != nil {
+				res.Error = err.Error()
+				results[i] = res
+				return
+			}
+			args, err := sig.ParseArgs(req.Args)
+			if err != nil {
+				res.Error = err.Error()
+				results[i] = res
+				return
+			}
+			ld.mu.Lock()
+			before := ld.dep.Cycles()
+			val, err := ld.dep.Run(req.Entry, args...)
+			res.Cycles = ld.dep.Cycles() - before
+			ld.mu.Unlock()
+			if err != nil {
+				res.Error = err.Error()
+			} else {
+				res.Value = val.I
+				res.Float = val.F
+				res.IsFloat = sig.ReturnsFloat
+			}
+			results[i] = res
+		}(i, ld)
+	}
+	wg.Wait()
+	writeJSON(w, http.StatusOK, RunBatchResponse{Results: results})
+}
+
 // ProfileResponse is the payload of the profile-export endpoint: the
 // deployment's observed execution profile as a versioned annotation value
 // (base64 in JSON), ready to be passed back verbatim in
@@ -731,8 +955,11 @@ type StatsResponse struct {
 	Compile     splitvm.CompileStats `json:"compile"`
 	Modules     int                  `json:"modules"`
 	Deployments int                  `json:"deployments"`
-	// Rejected counts batches refused with 429 since the server started.
-	Rejected int64 `json:"rejected"`
+	// Rejected counts batches refused with 429 for queue saturation since the
+	// server started; QuotaRejected counts batches refused for exceeding a
+	// per-module or per-tenant deployment quota.
+	Rejected      int64 `json:"rejected"`
+	QuotaRejected int64 `json:"quota_rejected"`
 	// DeploymentsEvicted counts idle deployments dropped by the -deploy-ttl
 	// sweeper since the server started (always zero with TTL disabled).
 	DeploymentsEvicted int64       `json:"deployments_evicted"`
@@ -742,6 +969,10 @@ type StatsResponse struct {
 	// profile-guided register allocation validations, warm imports).
 	TieredDeployments int               `json:"tiered_deployments"`
 	Tier              splitvm.TierStats `json:"tier"`
+	// Latency maps instrumented routes (upload, deploy, run, run_batch) to
+	// their request-latency distributions; routes with no traffic yet are
+	// omitted.
+	Latency map[string]LatencySummary `json:"latency,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -750,6 +981,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st.Modules = len(s.modules)
 	st.Deployments = len(s.deployments)
 	st.Rejected = s.rejected
+	st.QuotaRejected = s.quotaRejected
 	st.DeploymentsEvicted = s.evicted
 	live := make([]*liveDeployment, 0, len(s.deployments))
 	for _, ld := range s.deployments {
@@ -784,5 +1016,6 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		st.Tier.WarmDegraded += ts.WarmDegraded
 	}
 	sort.Slice(st.Pools, func(i, j int) bool { return st.Pools[i].Target < st.Pools[j].Target })
+	st.Latency = s.lat.summaries()
 	writeJSON(w, http.StatusOK, st)
 }

@@ -42,9 +42,11 @@ import (
 	"context"
 	"crypto/sha256"
 	"fmt"
+	"os"
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/diskcache"
 	"repro/internal/jit"
 	"repro/internal/kernels"
 	"repro/internal/target"
@@ -57,6 +59,12 @@ import (
 type Engine struct {
 	defaults []Option
 
+	// disk is the persistent cache layer (WithDiskCache), nil when not
+	// configured; diskErr records why opening the store failed — the
+	// engine then runs memory-only, and DiskCacheErr surfaces the reason.
+	disk    *diskcache.Store
+	diskErr error
+
 	mu    sync.Mutex
 	cache map[cacheKey]*cacheEntry
 	// lru orders the completed cache entries, most recently used first;
@@ -67,6 +75,10 @@ type Engine struct {
 	hits       int64
 	misses     int64
 	evictions  int64
+	// diskHits counts deployments served from the persistent layer after a
+	// memory miss (each is also counted in hits: the caller experienced a
+	// cache hit, just a slower one).
+	diskHits int64
 
 	// compilations counts completed JIT compilations (cache hits excluded);
 	// annoFallbacks counts the subset whose load-time annotation
@@ -79,15 +91,34 @@ type Engine struct {
 
 // New returns an engine. The options become the engine's defaults; every
 // Compile/Deploy call starts from them and applies its own options on top.
+//
+// The SPLITVM_DISK_CACHE environment variable names a persistent cache
+// directory applied to every engine that was not explicitly configured
+// with WithDiskCache — the process-wide twin of that option, like
+// SPLITVM_TIER and SPLITVM_COMPILE_WORKERS. CI uses it to prove that
+// enabling the disk cache never moves a gated metric.
 func New(defaults ...Option) *Engine {
 	e := &Engine{
 		defaults: append([]Option(nil), defaults...),
 		cache:    make(map[cacheKey]*cacheEntry),
 		lru:      list.New(),
 	}
-	e.maxEntries = e.config(nil).cacheSize
+	cfg := e.config(nil)
+	e.maxEntries = cfg.cacheSize
+	if cfg.diskDir == "" {
+		cfg.diskDir = os.Getenv("SPLITVM_DISK_CACHE")
+	}
+	if cfg.diskDir != "" {
+		e.disk, e.diskErr = diskcache.Open(cfg.diskDir)
+	}
 	return e
 }
+
+// DiskCacheErr reports why the persistent cache layer requested with
+// WithDiskCache could not be opened (nil when it opened, or when none was
+// requested). An engine with a failed disk layer still works — it caches in
+// memory only — so callers that require durability must check explicitly.
+func (e *Engine) DiskCacheErr() error { return e.diskErr }
 
 // config resolves the effective configuration for one call.
 func (e *Engine) config(opts []Option) config {
@@ -218,6 +249,11 @@ type cacheEntry struct {
 	// elem is the entry's position in the engine's LRU list, nil while the
 	// compilation is in flight or after eviction. Guarded by Engine.mu.
 	elem *list.Element
+	// persisted records that the image is durably in the disk store, so an
+	// LRU eviction can drop it from memory without losing it; entries that
+	// missed their write-through are demoted at eviction time instead.
+	// Written only by the goroutine that owns the compilation or eviction.
+	persisted bool
 }
 
 // image returns the JIT-compiled image for (module, target, options),
@@ -261,14 +297,38 @@ func (e *Engine) image(ctx context.Context, m *Module, tgt *target.Desc, jopts j
 	}
 	ent := &cacheEntry{key: key, ready: make(chan struct{})}
 	e.cache[key] = ent
-	e.misses++
 	e.mu.Unlock()
 
-	ent.img, ent.err = core.ImageFromVerifiedModule(m.mod, tgt, jopts)
-	close(ent.ready)
-	if ent.err == nil {
-		e.countCompilation(ent.img)
+	// Memory missed; the persistent layer gets the next word. A disk hit is
+	// a cache hit for the caller (same image the original compilation
+	// produced, no JIT work) — just a slower one — and is promoted into the
+	// LRU like any completed entry. Anything wrong with the disk copy
+	// (absent, truncated, bit-flipped, stale schema) falls through to a
+	// plain recompilation: the disk is advisory, never authoritative.
+	diskHit := false
+	if e.disk != nil {
+		if img, ok := e.loadFromDisk(key, tgt, jopts, m); ok {
+			ent.img = img
+			ent.persisted = true
+			diskHit = true
+		}
 	}
+	if !diskHit {
+		ent.img, ent.err = core.ImageFromVerifiedModule(m.mod, tgt, jopts)
+	}
+	close(ent.ready)
+	if ent.err == nil && !diskHit {
+		e.countCompilation(ent.img)
+		if e.disk != nil {
+			// Write-through, outside the engine lock: restarts are warm and
+			// replicas sharing the volume skip this compilation entirely.
+			ent.persisted = e.persistImage(key, ent.img)
+		}
+	}
+	// demoted collects evicted entries whose write-through never landed;
+	// they are persisted after the lock is released (disk I/O under the
+	// engine mutex would stall every concurrent deployment).
+	var demoted []*cacheEntry
 	e.mu.Lock()
 	switch {
 	case ent.err != nil:
@@ -278,7 +338,14 @@ func (e *Engine) image(ctx context.Context, m *Module, tgt *target.Desc, jopts j
 		if e.cache[key] == ent {
 			delete(e.cache, key)
 		}
+		e.misses++
 	case e.cache[key] == ent:
+		if diskHit {
+			e.hits++
+			e.diskHits++
+		} else {
+			e.misses++
+		}
 		// Publish to the LRU list and enforce the size bound. Only completed
 		// entries are evictable; an in-flight compilation is pinned by its
 		// waiters.
@@ -290,13 +357,25 @@ func (e *Engine) image(ctx context.Context, m *Module, tgt *target.Desc, jopts j
 				delete(e.cache, old.key)
 			}
 			e.evictions++
+			if e.disk != nil && !old.persisted {
+				demoted = append(demoted, old)
+			}
+		}
+	default:
+		// A concurrent ClearCache superseded the entry; the caller still
+		// gets the image it built or loaded.
+		if !diskHit {
+			e.misses++
 		}
 	}
 	e.mu.Unlock()
+	for _, old := range demoted {
+		old.persisted = e.persistImage(old.key, old.img)
+	}
 	if ent.err != nil {
 		return nil, false, ent.err
 	}
-	return ent.img, false, nil
+	return ent.img, diskHit, nil
 }
 
 // countCompilation records one completed JIT compilation and its
@@ -353,20 +432,33 @@ type CacheStats struct {
 	Entries int `json:"entries"`
 	// MaxEntries is the configured size bound (0 = unbounded).
 	MaxEntries int `json:"max_entries"`
+	// DiskHits counts deployments served from the persistent layer after a
+	// memory miss (each is also counted in Hits); always zero without
+	// WithDiskCache.
+	DiskHits int64 `json:"disk_hits,omitempty"`
+	// Disk reports the persistent store's own traffic (entries, bytes,
+	// corrupt files degraded to recompilation); nil without WithDiskCache.
+	Disk *DiskCacheStats `json:"disk,omitempty"`
 }
 
 // CacheStats returns a snapshot of the engine's code cache counters.
 // Entries counts completed images only; in-flight compilations are excluded.
 func (e *Engine) CacheStats() CacheStats {
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	return CacheStats{
+	st := CacheStats{
 		Hits:       e.hits,
 		Misses:     e.misses,
 		Evictions:  e.evictions,
 		Entries:    e.lru.Len(),
 		MaxEntries: e.maxEntries,
+		DiskHits:   e.diskHits,
 	}
+	e.mu.Unlock()
+	if e.disk != nil {
+		ds := e.disk.Stats()
+		st.Disk = &ds
+	}
+	return st
 }
 
 // ClearCache drops every cached native image (counters are kept; a clear is

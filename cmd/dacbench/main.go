@@ -43,12 +43,12 @@ import (
 // in the import graph), so this command supplies the constructors.
 func serveHarness() *splitvm.ServeHarness {
 	return &splitvm.ServeHarness{
-		NewBackend: func(cacheDir string) (http.Handler, func()) {
+		NewBackend: func(cacheDir, journalPath string) (http.Handler, func()) {
 			opts := []splitvm.Option{}
 			if cacheDir != "" {
 				opts = append(opts, splitvm.WithDiskCache(cacheDir))
 			}
-			srv := server.New(splitvm.New(opts...), server.Config{})
+			srv := server.New(splitvm.New(opts...), server.Config{JournalPath: journalPath})
 			return srv, srv.Close
 		},
 		NewRouter: func(backends []string) (http.Handler, func(), error) {

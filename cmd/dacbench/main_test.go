@@ -30,4 +30,14 @@ func TestServeExperiment(t *testing.T) {
 	if r.RouterBackends != 2 {
 		t.Errorf("router backends = %d, want 2", r.RouterBackends)
 	}
+	if r.FailoverRunNanos <= 0 {
+		t.Errorf("failover run nanos = %d, want > 0 (run must survive backend death)", r.FailoverRunNanos)
+	}
+	if r.JournalReplayDeployments != 1 || r.JournalReplayCompilations != 0 {
+		t.Errorf("journal replay restored %d deployments with %d compilations, want 1 / 0",
+			r.JournalReplayDeployments, r.JournalReplayCompilations)
+	}
+	if r.JournalReplayNanos <= 0 {
+		t.Errorf("journal replay nanos = %d, want > 0", r.JournalReplayNanos)
+	}
 }

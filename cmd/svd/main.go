@@ -7,22 +7,29 @@
 // Usage:
 //
 //	svd [-addr :7420] [-workers 4] [-queue 64] [-cache-size 0] [-cache-dir DIR]
-//	    [-retry-after 1s] [-deploy-ttl 0] [-compile-workers 0]
+//	    [-journal FILE] [-retry-after 1s] [-deploy-ttl 0] [-compile-workers 0]
 //	    [-max-deploys-per-module 0] [-max-deploys-per-tenant 0]
 //
 // With -cache-dir the code cache is backed by a persistent on-disk store:
 // restarts deploy warm (from_cache without recompiling) and replicas
-// pointed at one shared volume reuse each other's JIT work.
+// pointed at one shared volume reuse each other's JIT work. With -journal
+// the deployment table itself survives crashes: every upload, deploy and
+// eviction is appended to the journal and replayed on startup, so a
+// SIGKILLed backend restarts with its machines live (and, combined with
+// -cache-dir, without recompiling anything).
 //
 // Router mode turns the same binary into a stateless front door over a
 // fleet of svd replicas, consistent-hash sharding deployments by module:
 //
 //	svd -router -backends http://host1:7420,http://host2:7420 [-addr :7421]
-//	    [-load-factor 1.25] [-health-interval 2s]
+//	    [-load-factor 1.25] [-health-interval 2s] [-breaker-failures 3]
+//	    [-breaker-successes 2] [-breaker-cooldown 5s] [-run-deadline 60s]
 //
-// Operational details — topology, cache-volume sharing, quota tuning and a
-// full curl walkthrough — live in docs/operations.md. SIGINT/SIGTERM
-// trigger a graceful shutdown: the listener drains, then the worker pools.
+// The router ejects backends through per-backend circuit breakers and fails
+// runs over to surviving replicas; see docs/operations.md for the failure
+// model. SIGINT/SIGTERM trigger a graceful shutdown: the listener drains
+// for up to -drain, then in-flight simulations are force-cancelled, bounded
+// overall by -shutdown-timeout.
 package main
 
 import (
@@ -48,22 +55,43 @@ func main() {
 	queue := flag.Int("queue", 64, "pending deployments per target before batches are rejected with 429")
 	cacheSize := flag.Int("cache-size", 0, "max native images kept in the code cache (0 = unbounded)")
 	cacheDir := flag.String("cache-dir", "", "persistent disk cache directory (empty = memory only); share it between replicas for fleet-wide JIT reuse")
+	journalPath := flag.String("journal", "", "deployment journal file (empty = in-memory deployments); replayed on startup so restarts keep the deployment table")
 	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After hint on 429 responses")
 	maxModule := flag.Int64("max-module-bytes", 4<<20, "largest accepted module upload")
 	deployTTL := flag.Duration("deploy-ttl", 0, "evict deployments idle for this long (0 = keep forever)")
 	compileWorkers := flag.Int("compile-workers", 0, "JIT worker pool per compilation (0 = GOMAXPROCS, 1 = sequential)")
 	maxPerModule := flag.Int("max-deploys-per-module", 0, "cap live deployments per module (0 = unlimited)")
 	maxPerTenant := flag.Int("max-deploys-per-tenant", 0, "cap live deployments per X-Tenant header value (0 = unlimited)")
-	drain := flag.Duration("drain", 10*time.Second, "graceful shutdown timeout")
+	drain := flag.Duration("drain", 10*time.Second, "graceful drain: how long in-flight requests may finish on their own after SIGTERM")
+	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "hard shutdown bound: after -drain, in-flight simulations are force-cancelled; the process exits within this total")
 
 	router := flag.Bool("router", false, "run as a consistent-hash router over -backends instead of a backend")
 	backends := flag.String("backends", "", "comma-separated backend base URLs (router mode)")
 	loadFactor := flag.Float64("load-factor", 1.25, "bounded-load headroom over the fair share (router mode)")
 	healthInterval := flag.Duration("health-interval", 2*time.Second, "backend probe interval (router mode)")
+	breakerFailures := flag.Int("breaker-failures", 3, "consecutive failures that open a backend's circuit breaker (router mode)")
+	breakerSuccesses := flag.Int("breaker-successes", 2, "consecutive half-open successes that close the breaker again (router mode)")
+	breakerCooldown := flag.Duration("breaker-cooldown", 5*time.Second, "how long an open breaker blocks a backend before the first half-open probe (router mode)")
+	runDeadline := flag.Duration("run-deadline", 60*time.Second, "end-to-end bound on one run, including failover re-deploys and retries (router mode; negative disables)")
 	flag.Parse()
 
 	if *router {
-		runRouter(*addr, *backends, *loadFactor, *healthInterval, *maxModule, *drain)
+		var urls []string
+		for _, b := range strings.Split(*backends, ",") {
+			if b = strings.TrimSpace(b); b != "" {
+				urls = append(urls, b)
+			}
+		}
+		runRouter(*addr, *drain, server.RouterConfig{
+			Backends:         urls,
+			LoadFactor:       *loadFactor,
+			HealthInterval:   *healthInterval,
+			MaxModuleBytes:   *maxModule,
+			BreakerFailures:  *breakerFailures,
+			BreakerSuccesses: *breakerSuccesses,
+			BreakerCooldown:  *breakerCooldown,
+			RunDeadline:      *runDeadline,
+		})
 		return
 	}
 
@@ -88,7 +116,13 @@ func main() {
 		DeployTTL:               *deployTTL,
 		MaxDeploymentsPerModule: *maxPerModule,
 		MaxDeploymentsPerTenant: *maxPerTenant,
+		JournalPath:             *journalPath,
 	})
+	if err := srv.JournalErr(); err != nil {
+		// Same contract as the disk cache: asked-for durability that cannot
+		// be provided is a startup failure, not a silent downgrade.
+		log.Fatalf("svd: journal: %v", err)
+	}
 	httpSrv := &http.Server{
 		Addr:              *addr,
 		Handler:           srv,
@@ -100,8 +134,8 @@ func main() {
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("svd: serving on %s (workers/target=%d, queue=%d, cache-size=%d, cache-dir=%q)",
-		*addr, *workers, *queue, *cacheSize, *cacheDir)
+	log.Printf("svd: serving on %s (workers/target=%d, queue=%d, cache-size=%d, cache-dir=%q, journal=%q)",
+		*addr, *workers, *queue, *cacheSize, *cacheDir, *journalPath)
 
 	select {
 	case err := <-errc:
@@ -111,13 +145,30 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	log.Printf("svd: shutting down (draining for up to %s)", *drain)
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	log.Printf("svd: shutting down (draining for up to %s, hard stop within %s)", *drain, *shutdownTimeout)
+	deadline := time.Now().Add(*shutdownTimeout)
+	drainBound := *drain
+	if drainBound > *shutdownTimeout {
+		drainBound = *shutdownTimeout
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), drainBound)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("svd: drain: %v", err)
+		// A stuck simulation outlived the drain; close the listener's
+		// remaining connections and let srv.Close cancel the run contexts —
+		// the interpreters observe the cancellation within one interrupt
+		// stride and their handlers return.
+		log.Printf("svd: drain incomplete (%v); force-cancelling in-flight simulations", err)
+		httpSrv.Close()
 	}
-	srv.Close()
+	closed := make(chan struct{})
+	go func() { srv.Close(); close(closed) }()
+	select {
+	case <-closed:
+	case <-time.After(time.Until(deadline)):
+		log.Printf("svd: shutdown timeout %s exceeded; exiting with work in flight", *shutdownTimeout)
+		os.Exit(1)
+	}
 
 	st := eng.CacheStats()
 	fmt.Printf("svd: final cache stats: %d hits (%d from disk), %d misses, %d evictions, %d entries\n",
@@ -126,19 +177,8 @@ func main() {
 
 // runRouter is svd's router mode: no engine of its own, just the
 // consistent-hash front door of server.NewRouter over the listed backends.
-func runRouter(addr, backendList string, loadFactor float64, healthInterval time.Duration, maxModule int64, drain time.Duration) {
-	var urls []string
-	for _, b := range strings.Split(backendList, ",") {
-		if b = strings.TrimSpace(b); b != "" {
-			urls = append(urls, b)
-		}
-	}
-	rt, err := server.NewRouter(server.RouterConfig{
-		Backends:       urls,
-		LoadFactor:     loadFactor,
-		HealthInterval: healthInterval,
-		MaxModuleBytes: maxModule,
-	})
+func runRouter(addr string, drain time.Duration, cfg server.RouterConfig) {
+	rt, err := server.NewRouter(cfg)
 	if err != nil {
 		log.Fatalf("svd: router: %v (pass -backends url1,url2,...)", err)
 	}
@@ -153,7 +193,7 @@ func runRouter(addr, backendList string, loadFactor float64, healthInterval time
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()
-	log.Printf("svd: routing on %s across %d backends (load-factor=%.2f)", addr, len(urls), loadFactor)
+	log.Printf("svd: routing on %s across %d backends (load-factor=%.2f)", addr, len(cfg.Backends), cfg.LoadFactor)
 
 	select {
 	case err := <-errc:
@@ -175,6 +215,6 @@ func runRouter(addr, backendList string, loadFactor float64, healthInterval time
 	for _, b := range st.Backends {
 		routed += b.Routed
 	}
-	fmt.Printf("svd: router final stats: %d requests routed, %d retries, %d fanouts\n",
-		routed, st.Retries, st.Fanouts)
+	fmt.Printf("svd: router final stats: %d requests routed, %d retries, %d fanouts, %d failovers\n",
+		routed, st.Retries, st.Fanouts, st.Failovers)
 }

@@ -1,0 +1,271 @@
+package e2e
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/corpus"
+)
+
+// The chaos walk: a fleet of journaled svd backends behind the router, a
+// SIGKILL mid-run-batch, and the two recovery mechanisms under test — run
+// failover (the batch must still answer, via re-deploy on the survivor) and
+// journal replay (the restarted victim must come back with its full
+// deployment table and zero compilations). SPLITVM_FAULTS latency injection
+// at the backends' run endpoint holds the batch open long enough for the
+// kill to land mid-flight deterministically.
+
+// startSVDAt launches the svd binary on a fixed address with extra
+// environment, returning the process (for SIGKILL) and its exit channel.
+func startSVDAt(t *testing.T, bin, addr string, env []string, extraArgs ...string) (*exec.Cmd, chan error) {
+	t.Helper()
+	args := append([]string{"-addr", addr}, extraArgs...)
+	cmd := exec.Command(bin, args...)
+	cmd.Stdout = os.Stderr
+	cmd.Stderr = os.Stderr
+	cmd.Env = append(os.Environ(), env...)
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("starting svd: %v", err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	t.Cleanup(func() {
+		_ = cmd.Process.Kill()
+		<-exited
+	})
+	waitHealthy(t, "http://"+addr, exited)
+	return cmd, exited
+}
+
+// sigkill hard-kills a backend and waits for the process to be gone.
+func sigkill(t *testing.T, cmd *exec.Cmd, exited chan error) {
+	t.Helper()
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	select {
+	case err := <-exited:
+		exited <- err
+	case <-time.After(10 * time.Second):
+		t.Fatal("svd survived SIGKILL for 10s")
+	}
+}
+
+func getStatsRaw(t *testing.T, base string, out any) {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/stats")
+	if err != nil {
+		t.Fatalf("GET %s/v1/stats: %v", base, err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatalf("decoding stats: %v", err)
+	}
+}
+
+// TestSVDChaosFailoverAndReplay is the fault-tolerance acceptance walk:
+//
+//  1. Two journaled backends over one shared cache volume, router in front.
+//  2. Deploy two replicas (both land on the module's ring owner).
+//  3. Fire a run-batch and SIGKILL the owner while the batch is in flight
+//     (fault-injected run latency keeps it there). Every batch item must
+//     still succeed — the router re-deploys on the survivor and retries.
+//  4. Restart the victim over its journal + cache: the deployment table
+//     must be back, identical ids, zero compilations.
+func TestSVDChaosFailoverAndReplay(t *testing.T) {
+	if os.Getenv("SVD_CHAOS") == "" {
+		t.Skip("set SVD_CHAOS=1 to run the svd chaos test")
+	}
+	bin := buildSVD(t)
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "shared-cache")
+	journals := []string{filepath.Join(dir, "b0.journal"), filepath.Join(dir, "b1.journal")}
+
+	// Backends answer runs ~300ms late so the SIGKILL lands mid-batch.
+	backendEnv := []string{"SPLITVM_FAULTS=server.run:latency:300ms"}
+	addrs := []string{freeAddr(t), freeAddr(t)}
+	cmds := make([]*exec.Cmd, 2)
+	exits := make([]chan error, 2)
+	for i := range addrs {
+		cmds[i], exits[i] = startSVDAt(t, bin, addrs[i], backendEnv,
+			"-cache-dir", cacheDir, "-journal", journals[i])
+	}
+	routerAddr := freeAddr(t)
+	startSVDAt(t, bin, routerAddr, nil,
+		"-router", "-backends", "http://"+addrs[0]+",http://"+addrs[1],
+		"-health-interval", "200ms", "-breaker-failures", "2", "-breaker-cooldown", "500ms")
+	frontBase := "http://" + routerAddr
+
+	stream, err := corpus.Generate(corpus.SyntheticKernel, corpus.SyntheticVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, frontBase+"/v1/modules", stream, http.StatusCreated, &up)
+
+	deployBody, _ := json.Marshal(map[string]any{
+		"module": up.ID, "targets": []string{"x86-sse"}, "replicas": 2,
+	})
+	var dr struct {
+		Deployments []struct {
+			ID string `json:"id"`
+		} `json:"deployments"`
+	}
+	postJSON(t, frontBase+"/v1/deploy", deployBody, http.StatusCreated, &dr)
+	if len(dr.Deployments) != 2 {
+		t.Fatalf("deployed %d replicas, want 2", len(dr.Deployments))
+	}
+	victim := 0
+	if strings.HasPrefix(dr.Deployments[0].ID, "b1.") {
+		victim = 1
+	}
+
+	// Fire the batch, then kill the owner while its runs sit in the
+	// injected latency window.
+	batchBody, _ := json.Marshal(map[string]any{
+		"deployments": []string{dr.Deployments[0].ID, dr.Deployments[1].ID},
+		"entry":       corpus.SyntheticEntryPoint,
+		"args":        []string{"12"},
+	})
+	type batchOut struct {
+		Results []struct {
+			Deployment string `json:"deployment"`
+			Value      int64  `json:"value"`
+			Error      string `json:"error"`
+			ErrorClass string `json:"error_class"`
+		} `json:"results"`
+	}
+	batchDone := make(chan batchOut, 1)
+	go func() {
+		var out batchOut
+		resp, err := http.Post(frontBase+"/v1/run-batch", "application/json", strings.NewReader(string(batchBody)))
+		if err == nil {
+			defer resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				_ = json.NewDecoder(resp.Body).Decode(&out)
+			}
+		}
+		batchDone <- out
+	}()
+	time.Sleep(100 * time.Millisecond)
+	sigkill(t, cmds[victim], exits[victim])
+
+	var out batchOut
+	select {
+	case out = <-batchDone:
+	case <-time.After(60 * time.Second):
+		t.Fatal("run-batch did not return within 60s of the SIGKILL")
+	}
+	if len(out.Results) != 2 {
+		t.Fatalf("batch returned %d results, want 2 (batch must survive the kill)", len(out.Results))
+	}
+	for i, r := range out.Results {
+		if r.Error != "" || r.Value != 506 {
+			t.Errorf("batch item %d after SIGKILL = %+v, want value 506 via failover", i, r)
+		}
+	}
+	var rst struct {
+		Router struct {
+			Failovers int64 `json:"failovers"`
+		} `json:"router"`
+	}
+	getStatsRaw(t, frontBase, &rst)
+	if rst.Router.Failovers == 0 {
+		t.Error("router counted no failovers after the SIGKILL")
+	}
+
+	// Restart the victim over the same journal + cache volume: the full
+	// deployment table must come back without a single recompilation.
+	startSVDAt(t, bin, addrs[victim], backendEnv,
+		"-cache-dir", cacheDir, "-journal", journals[victim])
+	var bst struct {
+		Deployments int `json:"deployments"`
+		Journal     *struct {
+			ReplayedDeployments int `json:"replayed_deployments"`
+			ReplayFailed        int `json:"replay_failed"`
+		} `json:"journal"`
+		Compile struct {
+			Compilations int64 `json:"compilations"`
+		} `json:"compile"`
+	}
+	getStatsRaw(t, "http://"+addrs[victim], &bst)
+	if bst.Deployments != 2 {
+		t.Fatalf("restarted victim has %d deployments, want 2 (journal replay lost deployments)", bst.Deployments)
+	}
+	if bst.Journal == nil || bst.Journal.ReplayedDeployments != 2 || bst.Journal.ReplayFailed != 0 {
+		t.Fatalf("journal stats after replay = %+v", bst.Journal)
+	}
+	if bst.Compile.Compilations != 0 {
+		t.Fatalf("replay recompiled %d images, want 0 (shared disk cache)", bst.Compile.Compilations)
+	}
+
+	// And the restored machines answer, by their original backend-local ids.
+	runBody, _ := json.Marshal(map[string]any{
+		"entry": corpus.SyntheticEntryPoint,
+		"args":  []string{"12"},
+	})
+	local := strings.TrimPrefix(dr.Deployments[0].ID, fmt.Sprintf("b%d.", victim))
+	var run struct {
+		Value int64 `json:"value"`
+	}
+	postJSON(t, fmt.Sprintf("http://%s/v1/deployments/%s/run", addrs[victim], local), runBody, http.StatusOK, &run)
+	if run.Value != 506 {
+		t.Errorf("replayed deployment computed %d, want 506", run.Value)
+	}
+}
+
+// TestSVDChaosCorruptCacheDegrades pins the cross-fault interaction: a
+// journaled restart over a corrupted disk cache must still restore every
+// deployment — it degrades to recompiling, never to losing machines.
+func TestSVDChaosCorruptCacheDegrades(t *testing.T) {
+	if os.Getenv("SVD_CHAOS") == "" {
+		t.Skip("set SVD_CHAOS=1 to run the svd chaos test")
+	}
+	bin := buildSVD(t)
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	journal := filepath.Join(dir, "svd.journal")
+	addr := freeAddr(t)
+
+	cmd, exited := startSVDAt(t, bin, addr, nil, "-cache-dir", cacheDir, "-journal", journal)
+	base := "http://" + addr
+
+	stream, err := corpus.Generate(corpus.SyntheticKernel, corpus.SyntheticVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, base+"/v1/modules", stream, http.StatusCreated, &up)
+	deployBody, _ := json.Marshal(map[string]any{"module": up.ID, "targets": []string{"x86-sse", "mcu"}})
+	postJSON(t, base+"/v1/deploy", deployBody, http.StatusCreated, nil)
+	sigkill(t, cmd, exited)
+
+	// Restart with every disk-cache read corrupted: replay must fall back
+	// to recompiling both images and still restore both deployments.
+	startSVDAt(t, bin, addr, []string{"SPLITVM_FAULTS=diskcache.get:corrupt"},
+		"-cache-dir", cacheDir, "-journal", journal)
+	var st struct {
+		Deployments int `json:"deployments"`
+		Compile     struct {
+			Compilations int64 `json:"compilations"`
+		} `json:"compile"`
+	}
+	getStatsRaw(t, base, &st)
+	if st.Deployments != 2 {
+		t.Fatalf("restart over corrupted cache restored %d deployments, want 2", st.Deployments)
+	}
+	if st.Compile.Compilations != 2 {
+		t.Errorf("restart over corrupted cache compiled %d times, want 2 (degrade to recompile)", st.Compile.Compilations)
+	}
+}

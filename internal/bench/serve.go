@@ -32,9 +32,10 @@ import (
 // ServeHarness wires the HTTP servers under measurement into RunServe.
 type ServeHarness struct {
 	// NewBackend returns a ready http.Handler over a fresh engine, its code
-	// cache backed by cacheDir when non-empty ("" = memory only), plus a
-	// closer that releases the server's pools.
-	NewBackend func(cacheDir string) (http.Handler, func())
+	// cache backed by cacheDir and its deployment table by journalPath when
+	// non-empty ("" = memory only), plus a closer that releases the server's
+	// pools. When journalPath exists, construction replays it.
+	NewBackend func(cacheDir, journalPath string) (http.Handler, func())
 	// NewRouter returns a router handler over the given backend base URLs,
 	// plus a closer.
 	NewRouter func(backends []string) (http.Handler, func(), error)
@@ -135,6 +136,18 @@ type ServeReport struct {
 	RouterBackends      int          `json:"router_backends"`
 	RouterRun           ServeLatency `json:"router_run"`
 	RouterOverheadNanos int64        `json:"router_overhead_nanos"`
+
+	// The recovery phase: how fast the fault-tolerance machinery restores
+	// service. FailoverRunNanos is one run through the router after its
+	// deployment's backend was torn down — re-deploy on the survivor plus
+	// the retried run. JournalReplayNanos is the construction time of a
+	// backend restarted over its journal and disk cache;
+	// JournalReplayDeployments and JournalReplayCompilations are the
+	// correctness half (the deployment must be back, with zero compiles).
+	FailoverRunNanos          int64 `json:"failover_run_nanos"`
+	JournalReplayNanos        int64 `json:"journal_replay_nanos"`
+	JournalReplayDeployments  int   `json:"journal_replay_deployments"`
+	JournalReplayCompilations int64 `json:"journal_replay_compilations"`
 }
 
 // serveClient is the minimal HTTP client of the measurement; responses are
@@ -262,7 +275,7 @@ func RunServe(opts ServeOptions) (*ServeReport, error) {
 
 	// Phase 1: deploy/run latency on one directly-hit backend.
 	if err := func() error {
-		h, closeBackend := opts.Harness.NewBackend("")
+		h, closeBackend := opts.Harness.NewBackend("", "")
 		ts := httptest.NewServer(h)
 		defer func() { ts.Close(); closeBackend() }()
 		c := &serveClient{base: ts.URL, client: ts.Client()}
@@ -303,7 +316,7 @@ func RunServe(opts ServeOptions) (*ServeReport, error) {
 		}
 		defer os.RemoveAll(dir)
 
-		h, closeBackend := opts.Harness.NewBackend(dir)
+		h, closeBackend := opts.Harness.NewBackend(dir, "")
 		ts := httptest.NewServer(h)
 		c := &serveClient{base: ts.URL, client: ts.Client()}
 		id, err := c.upload(encoded)
@@ -325,7 +338,7 @@ func RunServe(opts ServeOptions) (*ServeReport, error) {
 		closeBackend()
 
 		// The restart: a new server and engine over the same cache volume.
-		h2, closeBackend2 := opts.Harness.NewBackend(dir)
+		h2, closeBackend2 := opts.Harness.NewBackend(dir, "")
 		ts2 := httptest.NewServer(h2)
 		defer func() { ts2.Close(); closeBackend2() }()
 		c2 := &serveClient{base: ts2.URL, client: ts2.Client()}
@@ -362,7 +375,7 @@ func RunServe(opts ServeOptions) (*ServeReport, error) {
 		report.RouterBackends = fleet
 		var urls []string
 		for i := 0; i < fleet; i++ {
-			h, closeBackend := opts.Harness.NewBackend("")
+			h, closeBackend := opts.Harness.NewBackend("", "")
 			ts := httptest.NewServer(h)
 			defer func() { ts.Close(); closeBackend() }()
 			urls = append(urls, ts.URL)
@@ -393,6 +406,104 @@ func RunServe(opts ServeOptions) (*ServeReport, error) {
 		return nil, fmt.Errorf("bench: serve: router phase: %w", err)
 	}
 
+	// Phase 4: recovery. First the router's run failover — kill the backend
+	// holding the deployment and time the run that re-homes it — then the
+	// journal replay of a SIGKILLed backend over its disk cache.
+	if err := func() error {
+		var urls []string
+		var servers []*httptest.Server
+		for i := 0; i < 2; i++ {
+			h, closeBackend := opts.Harness.NewBackend("", "")
+			ts := httptest.NewServer(h)
+			defer closeBackend()
+			servers = append(servers, ts)
+			urls = append(urls, ts.URL)
+		}
+		defer func() {
+			for _, ts := range servers {
+				ts.Close()
+			}
+		}()
+		rh, closeRouter, err := opts.Harness.NewRouter(urls)
+		if err != nil {
+			return err
+		}
+		front := httptest.NewServer(rh)
+		defer func() { front.Close(); closeRouter() }()
+		c := &serveClient{base: front.URL, client: front.Client()}
+		id, err := c.upload(encoded)
+		if err != nil {
+			return err
+		}
+		dep, _, err := c.deployOnce(id)
+		if err != nil {
+			return err
+		}
+		// The namespaced id names its backend ("b0." or "b1."); kill it.
+		victim := 0
+		if strings.HasPrefix(dep.ID, "b1.") {
+			victim = 1
+		}
+		servers[victim].CloseClientConnections()
+		servers[victim].Close()
+		runs, err := c.timeRuns(dep.ID, opts.N, 1)
+		if err != nil {
+			return fmt.Errorf("failover run: %w", err)
+		}
+		report.FailoverRunNanos = int64(runs[0])
+		return nil
+	}(); err != nil {
+		return nil, fmt.Errorf("bench: serve: failover phase: %w", err)
+	}
+
+	if err := func() error {
+		dir, err := os.MkdirTemp("", "servebench-journal-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		cacheDir := dir + "/cache"
+		journalPath := dir + "/svd.journal"
+
+		h, closeBackend := opts.Harness.NewBackend(cacheDir, journalPath)
+		ts := httptest.NewServer(h)
+		c := &serveClient{base: ts.URL, client: ts.Client()}
+		id, err := c.upload(encoded)
+		if err != nil {
+			ts.Close()
+			closeBackend()
+			return err
+		}
+		if _, _, err := c.deployOnce(id); err != nil {
+			ts.Close()
+			closeBackend()
+			return err
+		}
+		// SIGKILL-like: no graceful close of the server, just the listener.
+		ts.Close()
+
+		start := time.Now()
+		h2, closeBackend2 := opts.Harness.NewBackend(cacheDir, journalPath)
+		report.JournalReplayNanos = time.Since(start).Nanoseconds()
+		ts2 := httptest.NewServer(h2)
+		defer func() { ts2.Close(); closeBackend2(); closeBackend() }()
+		c2 := &serveClient{base: ts2.URL, client: ts2.Client()}
+		var st struct {
+			Deployments int `json:"deployments"`
+			Compile     struct {
+				Compilations int64 `json:"compilations"`
+			} `json:"compile"`
+		}
+		if err := c2.getJSON("/v1/stats", &st); err != nil {
+			return err
+		}
+		report.JournalReplayDeployments = st.Deployments
+		report.JournalReplayCompilations = st.Compile.Compilations
+		return nil
+	}(); err != nil {
+		return nil, fmt.Errorf("bench: serve: journal-replay phase: %w", err)
+	}
+
 	return report, nil
 }
 
@@ -416,5 +527,9 @@ func (r *ServeReport) String() string {
 		r.WarmRestartSpeedup, r.WarmFromCache, r.WarmCompilations)
 	fmt.Fprintf(&b, "router overhead: %s per run request at p50 across %d backends\n",
 		time.Duration(r.RouterOverheadNanos), r.RouterBackends)
+	fmt.Fprintf(&b, "run failover: %s to re-home and answer after backend death\n",
+		time.Duration(r.FailoverRunNanos))
+	fmt.Fprintf(&b, "journal replay: %s to restore %d deployments with %d compilations\n",
+		time.Duration(r.JournalReplayNanos), r.JournalReplayDeployments, r.JournalReplayCompilations)
 	return b.String()
 }

@@ -20,6 +20,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -283,6 +284,13 @@ func Deploy(encoded []byte, tgt *target.Desc, jopts jit.Options) (*Deployment, e
 // Run executes an entry point on the deployment's machine.
 func (d *Deployment) Run(entry string, args ...sim.Value) (sim.Value, error) {
 	return d.Machine.Call(entry, args...)
+}
+
+// RunContext executes an entry point like Run, aborting between simulated
+// instructions once ctx is cancelled (the error wraps ctx.Err()).
+// Uncancelled runs are instruction- and cycle-identical to Run.
+func (d *Deployment) RunContext(ctx context.Context, entry string, args ...sim.Value) (sim.Value, error) {
+	return d.Machine.CallContext(ctx, entry, args...)
 }
 
 // Cycles returns the cycles consumed so far by the deployment's machine.

@@ -22,6 +22,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"repro/internal/faultinject"
 )
 
 // File framing. The payload checksum lives in the header (fixed offset), so
@@ -155,26 +157,28 @@ func validateHeader(path string) (int64, error) {
 // "recompute"; Get never returns an error.
 func (s *Store) Get(key string) (payload []byte, ok bool) {
 	path := s.path(key)
+	fault := faultinject.At("diskcache.get")
+	if fault != nil {
+		if err := fault.Apply(); err != nil {
+			// Injected I/O failure: degrade exactly like a real one.
+			s.miss(key, false, false)
+			return nil, false
+		}
+	}
 	data, err := os.ReadFile(path)
 	if err != nil {
 		s.miss(key, false, os.IsNotExist(err))
 		return nil, false
 	}
-	if len(data) < headerSize || string(data[:4]) != magic || data[4] != formatVersion {
+	if fault != nil {
+		fault.Corrupt(data)
+	}
+	payload, ok = decodeFrame(data)
+	if !ok {
 		s.drop(key, path)
 		return nil, false
 	}
-	n := binary.LittleEndian.Uint64(data[5:13])
-	if uint64(len(data)-headerSize) != n {
-		s.drop(key, path)
-		return nil, false
-	}
-	payload = data[headerSize:]
-	sum := sha256.Sum256(payload)
-	if !bytes.Equal(sum[:], data[13:13+sha256.Size]) {
-		s.drop(key, path)
-		return nil, false
-	}
+	n := uint64(len(payload))
 	s.mu.Lock()
 	s.stats.Hits++
 	if _, known := s.index[key]; !known {
@@ -183,6 +187,26 @@ func (s *Store) Get(key string) (payload []byte, ok bool) {
 		s.stats.Bytes += int64(n)
 	}
 	s.mu.Unlock()
+	return payload, true
+}
+
+// decodeFrame validates the SVDC framing of one entry file's bytes and
+// returns the payload. It only ever slices data — no allocation is sized
+// from the (attacker-controlled) declared length, so hostile frames cannot
+// over-allocate. FuzzDiskCacheFrame drives this parser directly.
+func decodeFrame(data []byte) ([]byte, bool) {
+	if len(data) < headerSize || string(data[:4]) != magic || data[4] != formatVersion {
+		return nil, false
+	}
+	n := binary.LittleEndian.Uint64(data[5:13])
+	if uint64(len(data)-headerSize) != n {
+		return nil, false
+	}
+	payload := data[headerSize:]
+	sum := sha256.Sum256(payload)
+	if !bytes.Equal(sum[:], data[13:13+sha256.Size]) {
+		return nil, false
+	}
 	return payload, true
 }
 
@@ -225,6 +249,13 @@ func (s *Store) Put(key string, payload []byte) {
 	s.mu.Unlock()
 	if exists {
 		return
+	}
+	if f := faultinject.At("diskcache.put"); f != nil {
+		if err := f.Apply(); err != nil {
+			// Injected write failure: degrade to memory-only, like a full disk.
+			s.fail()
+			return
+		}
 	}
 	hdr := make([]byte, headerSize, headerSize+len(payload))
 	copy(hdr, magic)

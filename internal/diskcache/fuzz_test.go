@@ -1,0 +1,80 @@
+package diskcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// frame builds a valid SVDC entry file image for payload, mirroring Put.
+func frame(payload []byte) []byte {
+	buf := make([]byte, headerSize+len(payload))
+	copy(buf, magic)
+	buf[4] = formatVersion
+	binary.LittleEndian.PutUint64(buf[5:13], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(buf[13:], sum[:])
+	copy(buf[headerSize:], payload)
+	return buf
+}
+
+// FuzzDiskCacheFrame throws hostile bytes at the SVDC framing parser: it
+// must never panic, never allocate from the declared length, and a frame it
+// accepts must checksum-verify. The seeds reproduce the corruption classes
+// the PR 7 tests pinned by hand (truncation, bit flips, version skew, lying
+// length fields).
+func FuzzDiskCacheFrame(f *testing.F) {
+	valid := frame([]byte("compiled image bytes"))
+	f.Add(append([]byte(nil), valid...))
+	f.Add(valid[:len(valid)-1]) // truncated payload
+	f.Add(valid[:headerSize])   // header only, zero payload claimed wrong
+	f.Add(valid[:headerSize-3]) // torn header
+	f.Add([]byte{})             // empty file
+	f.Add([]byte("SVDC"))       // magic only
+	f.Add(frame(nil))           // valid empty payload
+	bitflip := append([]byte(nil), valid...)
+	bitflip[len(bitflip)-4] ^= 0x20 // payload bit flip
+	f.Add(bitflip)
+	badver := append([]byte(nil), valid...)
+	badver[4] = 99 // version from the future
+	f.Add(badver)
+	liar := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(liar[5:13], 1<<60) // 1 EiB declared length
+	f.Add(liar)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, ok := decodeFrame(data)
+		if ok {
+			// Anything the parser accepts must actually verify.
+			if uint64(len(data)-headerSize) != binary.LittleEndian.Uint64(data[5:13]) {
+				t.Fatal("accepted frame with lying length field")
+			}
+			sum := sha256.Sum256(payload)
+			if !bytes.Equal(sum[:], data[13:13+sha256.Size]) {
+				t.Fatal("accepted frame with bad checksum")
+			}
+		}
+
+		// End to end: the same bytes as an on-disk entry must be either a
+		// clean hit with the identical payload or a clean miss — never a
+		// panic, never an error surfaced to the caller.
+		dir := t.TempDir()
+		if err := os.WriteFile(filepath.Join(dir, "k"+entrySuffix), data, 0o644); err != nil {
+			t.Skip()
+		}
+		s, err := Open(dir)
+		if err != nil {
+			t.Fatalf("Open over fuzzed entry: %v", err)
+		}
+		got, hit := s.Get("k")
+		if hit != ok {
+			t.Fatalf("Get hit=%v but decodeFrame ok=%v", hit, ok)
+		}
+		if hit && !bytes.Equal(got, payload) {
+			t.Fatal("Get returned different payload than decodeFrame")
+		}
+	})
+}

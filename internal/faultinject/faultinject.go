@@ -1,0 +1,233 @@
+// Package faultinject is a fault-injection harness for chaos testing the
+// serving stack. Faults are armed from the SPLITVM_FAULTS environment
+// variable (or programmatically via Arm) and fire at named sites that the
+// production code declares with At. Disarmed — the production default —
+// the harness costs a single atomic pointer load per site, returns nil,
+// and allocates nothing, so instrumented hot paths stay hot.
+//
+// The spec grammar is a semicolon-separated list of clauses:
+//
+//	site:mode[:param[:prob]]
+//
+// where mode is one of
+//
+//	latency  – sleep param (a time.Duration, e.g. 250ms) before proceeding
+//	error    – return an injected error from the site
+//	crash    – os.Exit(3) the process at the site (simulates SIGKILL)
+//	corrupt  – flip one byte of the payload passed to Fault.Corrupt
+//
+// and prob (default 1) is the probability in [0,1] that a given hit fires.
+// Example: SPLITVM_FAULTS="server.run:latency:300ms;diskcache.get:corrupt"
+//
+// Site names are free-form strings owned by the instrumented package; the
+// ones wired into this repo are listed in docs/operations.md.
+package faultinject
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// EnvVar is the environment variable Init reads fault specs from.
+const EnvVar = "SPLITVM_FAULTS"
+
+// ErrInjected is the sentinel wrapped by every error-mode fault, so tests
+// can assert a failure was injected rather than organic.
+var ErrInjected = errors.New("injected fault")
+
+// Mode names a fault behavior. See the package comment for semantics.
+type Mode string
+
+// The supported fault modes.
+const (
+	ModeLatency Mode = "latency"
+	ModeError   Mode = "error"
+	ModeCrash   Mode = "crash"
+	ModeCorrupt Mode = "corrupt"
+)
+
+// Fault is one armed fault at one site. The zero value is not useful;
+// faults are built by Arm/Init and handed out by At.
+type Fault struct {
+	// Site is the name the fault is armed at.
+	Site string
+	// Mode is the fault's behavior.
+	Mode Mode
+	// Latency is the injected delay for ModeLatency.
+	Latency time.Duration
+	// Prob is the per-hit firing probability in [0,1].
+	Prob float64
+
+	hits  atomic.Int64
+	fired atomic.Int64
+}
+
+type config struct {
+	faults map[string]*Fault
+}
+
+var current atomic.Pointer[config]
+
+// exit is swapped out by tests of ModeCrash; production always os.Exit(3)s.
+var exit = func() { os.Exit(3) }
+
+// randMu serializes the package-level firing coin; fault sites are not hot
+// enough when armed for this to matter.
+var randMu sync.Mutex
+
+func init() {
+	if spec := os.Getenv(EnvVar); spec != "" {
+		if err := Arm(spec); err != nil {
+			fmt.Fprintf(os.Stderr, "faultinject: ignoring %s=%q: %v\n", EnvVar, spec, err)
+		}
+	}
+}
+
+// Arm parses a fault spec (the SPLITVM_FAULTS grammar) and arms it,
+// replacing any previously armed set. Tests use Arm/Disarm pairs;
+// production arms once at startup from the environment.
+func Arm(spec string) error {
+	cfg := &config{faults: make(map[string]*Fault)}
+	for _, clause := range strings.Split(spec, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		f, err := parseClause(clause)
+		if err != nil {
+			return err
+		}
+		cfg.faults[f.Site] = f
+	}
+	if len(cfg.faults) == 0 {
+		current.Store(nil)
+		return nil
+	}
+	current.Store(cfg)
+	return nil
+}
+
+// Disarm removes every armed fault, restoring the zero-cost path.
+func Disarm() { current.Store(nil) }
+
+// Enabled reports whether any fault is armed.
+func Enabled() bool { return current.Load() != nil }
+
+// At returns the armed fault for site, or nil — the common case — when
+// nothing is armed there. The nil check is the entire disarmed cost.
+func At(site string) *Fault {
+	cfg := current.Load()
+	if cfg == nil {
+		return nil
+	}
+	return cfg.faults[site]
+}
+
+// Counts returns per-site hit counts (times the site was reached while
+// armed) for every armed fault. Returns nil when disarmed.
+func Counts() map[string]int64 {
+	cfg := current.Load()
+	if cfg == nil {
+		return nil
+	}
+	out := make(map[string]int64, len(cfg.faults))
+	for site, f := range cfg.faults {
+		out[site] = f.hits.Load()
+	}
+	return out
+}
+
+func parseClause(clause string) (*Fault, error) {
+	parts := strings.Split(clause, ":")
+	if len(parts) < 2 {
+		return nil, fmt.Errorf("clause %q: want site:mode[:param[:prob]]", clause)
+	}
+	f := &Fault{Site: parts[0], Mode: Mode(parts[1]), Prob: 1}
+	rest := parts[2:]
+	switch f.Mode {
+	case ModeLatency:
+		if len(rest) == 0 {
+			return nil, fmt.Errorf("clause %q: latency needs a duration param", clause)
+		}
+		d, err := time.ParseDuration(rest[0])
+		if err != nil {
+			return nil, fmt.Errorf("clause %q: %v", clause, err)
+		}
+		f.Latency = d
+		rest = rest[1:]
+	case ModeError, ModeCrash, ModeCorrupt:
+	default:
+		return nil, fmt.Errorf("clause %q: unknown mode %q", clause, parts[1])
+	}
+	if len(rest) > 1 {
+		return nil, fmt.Errorf("clause %q: trailing fields", clause)
+	}
+	if len(rest) == 1 {
+		p, err := strconv.ParseFloat(rest[0], 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("clause %q: probability must be in [0,1]", clause)
+		}
+		f.Prob = p
+	}
+	return f, nil
+}
+
+// fire records a hit and reports whether this hit should take effect,
+// applying the fault's probability.
+func (f *Fault) fire() bool {
+	f.hits.Add(1)
+	if f.Prob >= 1 {
+		f.fired.Add(1)
+		return true
+	}
+	if f.Prob <= 0 {
+		return false
+	}
+	randMu.Lock()
+	ok := rand.Float64() < f.Prob
+	randMu.Unlock()
+	if ok {
+		f.fired.Add(1)
+	}
+	return ok
+}
+
+// Apply executes the fault's side effect for latency, error and crash
+// modes: it sleeps, returns a wrapped ErrInjected, or exits the process.
+// Corrupt-mode faults return nil here — they act through Corrupt instead.
+func (f *Fault) Apply() error {
+	if !f.fire() {
+		return nil
+	}
+	switch f.Mode {
+	case ModeLatency:
+		time.Sleep(f.Latency)
+	case ModeError:
+		return fmt.Errorf("faultinject: %s: %w", f.Site, ErrInjected)
+	case ModeCrash:
+		fmt.Fprintf(os.Stderr, "faultinject: crashing at %s\n", f.Site)
+		exit()
+	}
+	return nil
+}
+
+// Corrupt flips one byte of data in place when the fault is corrupt-mode
+// and fires, reporting whether it did. Other modes (and empty payloads)
+// are untouched.
+func (f *Fault) Corrupt(data []byte) bool {
+	if f.Mode != ModeCorrupt || len(data) == 0 {
+		return false
+	}
+	if !f.fire() {
+		return false
+	}
+	data[len(data)/2] ^= 0x80
+	return true
+}

@@ -1,0 +1,165 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNil(t *testing.T) {
+	Disarm()
+	if Enabled() {
+		t.Fatal("Enabled() = true with nothing armed")
+	}
+	if f := At("server.run"); f != nil {
+		t.Fatalf("At() = %+v, want nil", f)
+	}
+	if c := Counts(); c != nil {
+		t.Fatalf("Counts() = %v, want nil", c)
+	}
+}
+
+func TestArmErrorMode(t *testing.T) {
+	if err := Arm("diskcache.get:error"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disarm()
+	f := At("diskcache.get")
+	if f == nil {
+		t.Fatal("At() = nil for armed site")
+	}
+	if err := f.Apply(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Apply() = %v, want ErrInjected", err)
+	}
+	if At("other.site") != nil {
+		t.Fatal("unarmed site returned a fault")
+	}
+	if got := Counts()["diskcache.get"]; got != 1 {
+		t.Fatalf("hit count = %d, want 1", got)
+	}
+}
+
+func TestArmLatencyMode(t *testing.T) {
+	if err := Arm("server.run:latency:30ms"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disarm()
+	f := At("server.run")
+	start := time.Now()
+	if err := f.Apply(); err != nil {
+		t.Fatalf("Apply() = %v, want nil", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency fault slept %v, want ≥30ms", d)
+	}
+}
+
+func TestCorruptFlipsAByte(t *testing.T) {
+	if err := Arm("diskcache.get:corrupt"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disarm()
+	f := At("diskcache.get")
+	data := []byte{1, 2, 3, 4, 5}
+	orig := append([]byte(nil), data...)
+	if !f.Corrupt(data) {
+		t.Fatal("Corrupt() = false, want true")
+	}
+	same := true
+	for i := range data {
+		if data[i] != orig[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("Corrupt() did not change the payload")
+	}
+	// Non-corrupt modes never touch data.
+	if err := Arm("diskcache.get:error"); err != nil {
+		t.Fatal(err)
+	}
+	if At("diskcache.get").Corrupt(data) {
+		t.Fatal("error-mode fault corrupted data")
+	}
+}
+
+func TestCrashModeCallsExit(t *testing.T) {
+	exited := false
+	old := exit
+	exit = func() { exited = true }
+	defer func() { exit = old }()
+	if err := Arm("server.deploy:crash"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disarm()
+	if err := At("server.deploy").Apply(); err != nil {
+		t.Fatalf("Apply() = %v", err)
+	}
+	if !exited {
+		t.Fatal("crash fault did not exit")
+	}
+}
+
+func TestProbabilityZeroNeverFires(t *testing.T) {
+	if err := Arm("x:error:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disarm()
+	f := At("x")
+	for i := 0; i < 100; i++ {
+		if err := f.Apply(); err != nil {
+			t.Fatal("prob-0 fault fired")
+		}
+	}
+	if got := Counts()["x"]; got != 100 {
+		t.Fatalf("hits = %d, want 100", got)
+	}
+}
+
+func TestMultiClauseSpec(t *testing.T) {
+	if err := Arm("a:error; b:latency:1ms ;c:corrupt:0.5"); err != nil {
+		t.Fatal(err)
+	}
+	defer Disarm()
+	for _, site := range []string{"a", "b", "c"} {
+		if At(site) == nil {
+			t.Fatalf("site %q not armed", site)
+		}
+	}
+	if got := At("c").Prob; got != 0.5 {
+		t.Fatalf("c prob = %v, want 0.5", got)
+	}
+}
+
+func TestBadSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"nocolon",
+		"site:unknownmode",
+		"site:latency",         // missing duration
+		"site:latency:notadur", // bad duration
+		"site:error:2",         // prob out of range
+		"site:error:0.5:extra", // trailing fields
+		"site:crash:0.5:0.5:1", // trailing fields
+	} {
+		if err := Arm(spec); err == nil {
+			Disarm()
+			t.Fatalf("Arm(%q) accepted a bad spec", spec)
+		}
+	}
+	// A failed Arm must leave the harness disarmed rather than half-armed.
+	if Enabled() {
+		t.Fatal("harness armed after failed Arm")
+	}
+}
+
+func TestEmptySpecDisarms(t *testing.T) {
+	if err := Arm("a:error"); err != nil {
+		t.Fatal(err)
+	}
+	if err := Arm(""); err != nil {
+		t.Fatal(err)
+	}
+	if Enabled() {
+		t.Fatal("empty spec left faults armed")
+	}
+}

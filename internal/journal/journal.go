@@ -1,0 +1,302 @@
+// Package journal is an append-only, crash-safe deployment journal for the
+// svd backend. Every record is framed with a length prefix and a SHA-256
+// checksum (the same trust-nothing discipline as the SVDC disk cache), so
+// a journal torn by SIGKILL or a full disk replays up to the last complete
+// record and truncates the rest — corruption degrades to lost tail
+// records, never to a failed startup.
+//
+// File layout:
+//
+//	"SVJL" (4 bytes) | version (1 byte) | records...
+//
+// and each record:
+//
+//	payload length (u32 LE) | SHA-256(payload) (32 bytes) | payload
+//
+// where the payload encodes Record as: op length (u16 LE) | op | data.
+package journal
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+)
+
+const (
+	fileMagic   = "SVJL"
+	fileVersion = 1
+	headerSize  = 5
+	// recHeaderSize is the per-record framing overhead: u32 length + sha256.
+	recHeaderSize = 4 + sha256.Size
+	// maxRecordBytes bounds one record's payload so a hostile or corrupt
+	// length field can never drive a huge allocation. Generous: the
+	// largest legitimate record is a module upload, capped well below
+	// this by the server's own -max-module-bytes.
+	maxRecordBytes = 64 << 20
+)
+
+// Record is one journal entry: an operation name and its opaque payload.
+// The journal does not interpret either — replay semantics belong to the
+// caller.
+type Record struct {
+	// Op names the operation ("module", "deploy", "evict", ...).
+	Op string
+	// Data is the operation's payload.
+	Data []byte
+}
+
+// Stats are the journal's persistence counters, surfaced in /v1/stats.
+type Stats struct {
+	// Path is the journal file location.
+	Path string `json:"path"`
+	// Records is the number of live records appended or replayed into the
+	// current file.
+	Records int64 `json:"records"`
+	// Bytes is the current file size.
+	Bytes int64 `json:"bytes"`
+	// Replayed counts records recovered by Open from an existing file.
+	Replayed int64 `json:"replayed"`
+	// TruncatedBytes counts bytes of torn or corrupt tail discarded by
+	// Open. Nonzero after recovering from a mid-append crash.
+	TruncatedBytes int64 `json:"truncated_bytes"`
+	// Rewrites counts compactions (Rewrite calls).
+	Rewrites int64 `json:"rewrites"`
+}
+
+// Journal is an open journal file. Appends are serialized and durable
+// against process crash (the data reaches the kernel before Append
+// returns); replay tolerates a torn final record.
+type Journal struct {
+	mu    sync.Mutex
+	path  string
+	f     *os.File
+	stats Stats
+}
+
+// Open opens (creating if absent) the journal at path and replays its
+// records. A corrupt or torn tail is truncated in place; a file with an
+// unrecognized header is reset to empty (the records' framing version is
+// the file version — there is nothing safe to salvage). The returned
+// records are in append order.
+func Open(path string) (*Journal, []Record, error) {
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	recs, valid := parseFile(data)
+	j := &Journal{path: path}
+	j.stats.Path = path
+	j.stats.Replayed = int64(len(recs))
+	j.stats.Records = int64(len(recs))
+	j.stats.TruncatedBytes = int64(len(data)) - valid
+
+	if len(data) == 0 || valid < headerSize {
+		// New file, or nothing salvageable: start fresh.
+		if err := j.reset(nil); err != nil {
+			return nil, nil, err
+		}
+		return j, recs, nil
+	}
+	if valid < int64(len(data)) {
+		if err := os.Truncate(path, valid); err != nil {
+			return nil, nil, fmt.Errorf("journal: truncating torn tail: %w", err)
+		}
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal: %w", err)
+	}
+	j.f = f
+	j.stats.Bytes = valid
+	return j, recs, nil
+}
+
+// parseFile decodes records from data, returning the parsed records and
+// the byte offset of the last fully valid record (0 when even the header
+// is bad).
+func parseFile(data []byte) ([]Record, int64) {
+	if len(data) < headerSize || string(data[:4]) != fileMagic || data[4] != fileVersion {
+		return nil, 0
+	}
+	var recs []Record
+	off := int64(headerSize)
+	rest := data[headerSize:]
+	for len(rest) >= recHeaderSize {
+		n := binary.LittleEndian.Uint32(rest[:4])
+		if n > maxRecordBytes || int(n) > len(rest)-recHeaderSize {
+			break
+		}
+		payload := rest[recHeaderSize : recHeaderSize+int(n)]
+		sum := sha256.Sum256(payload)
+		if !bytes.Equal(sum[:], rest[4:recHeaderSize]) {
+			break
+		}
+		rec, ok := decodePayload(payload)
+		if !ok {
+			break
+		}
+		recs = append(recs, rec)
+		step := int64(recHeaderSize) + int64(n)
+		off += step
+		rest = rest[step:]
+	}
+	return recs, off
+}
+
+func decodePayload(payload []byte) (Record, bool) {
+	if len(payload) < 2 {
+		return Record{}, false
+	}
+	opLen := int(binary.LittleEndian.Uint16(payload[:2]))
+	if 2+opLen > len(payload) {
+		return Record{}, false
+	}
+	return Record{
+		Op:   string(payload[2 : 2+opLen]),
+		Data: append([]byte(nil), payload[2+opLen:]...),
+	}, true
+}
+
+func encodeRecord(rec Record) ([]byte, error) {
+	if len(rec.Op) > 0xFFFF {
+		return nil, fmt.Errorf("journal: op name too long (%d bytes)", len(rec.Op))
+	}
+	payloadLen := 2 + len(rec.Op) + len(rec.Data)
+	if payloadLen > maxRecordBytes {
+		return nil, fmt.Errorf("journal: record too large (%d bytes)", payloadLen)
+	}
+	buf := make([]byte, recHeaderSize+payloadLen)
+	payload := buf[recHeaderSize:]
+	binary.LittleEndian.PutUint16(payload[:2], uint16(len(rec.Op)))
+	copy(payload[2:], rec.Op)
+	copy(payload[2+len(rec.Op):], rec.Data)
+	binary.LittleEndian.PutUint32(buf[:4], uint32(payloadLen))
+	sum := sha256.Sum256(payload)
+	copy(buf[4:recHeaderSize], sum[:])
+	return buf, nil
+}
+
+// Append writes one record. The write is a single write(2) into an
+// O_APPEND file, so a crash mid-call leaves at most one torn record,
+// which the next Open truncates.
+func (j *Journal) Append(rec Record) error {
+	buf, err := encodeRecord(rec)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	if _, err := j.f.Write(buf); err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	j.stats.Records++
+	j.stats.Bytes += int64(len(buf))
+	return nil
+}
+
+// Rewrite atomically replaces the journal's contents with recs
+// (compaction: the caller collapses its replayed history into the minimal
+// record set). The new file is written beside the old and renamed over
+// it, so a crash mid-rewrite leaves either the old or the new journal,
+// never a mix.
+func (j *Journal) Rewrite(recs []Record) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), ".journal-*")
+	if err != nil {
+		return fmt.Errorf("journal: rewrite: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	var buf bytes.Buffer
+	buf.WriteString(fileMagic)
+	buf.WriteByte(fileVersion)
+	for _, rec := range recs {
+		b, err := encodeRecord(rec)
+		if err != nil {
+			tmp.Close()
+			return err
+		}
+		buf.Write(b)
+	}
+	if _, err := tmp.Write(buf.Bytes()); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: rewrite: %w", err)
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: rewrite: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("journal: rewrite: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("journal: rewrite: %w", err)
+	}
+	j.f.Close()
+	f, err := os.OpenFile(j.path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		j.f = nil
+		return fmt.Errorf("journal: rewrite: %w", err)
+	}
+	j.f = f
+	j.stats.Records = int64(len(recs))
+	j.stats.Bytes = int64(buf.Len())
+	j.stats.Rewrites++
+	return nil
+}
+
+// reset writes a fresh file containing only the header plus recs.
+// Called with no lock held (only from Open, before the journal escapes).
+func (j *Journal) reset(recs []Record) error {
+	f, err := os.OpenFile(j.path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("journal: %w", err)
+	}
+	var buf bytes.Buffer
+	buf.WriteString(fileMagic)
+	buf.WriteByte(fileVersion)
+	for _, rec := range recs {
+		b, err := encodeRecord(rec)
+		if err != nil {
+			f.Close()
+			return err
+		}
+		buf.Write(b)
+	}
+	if _, err := f.Write(buf.Bytes()); err != nil {
+		f.Close()
+		return fmt.Errorf("journal: %w", err)
+	}
+	j.f = f
+	j.stats.Bytes = int64(buf.Len())
+	return nil
+}
+
+// Stats returns a snapshot of the journal's counters.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.stats
+}
+
+// Close closes the journal file. Further Appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,256 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func tempJournal(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "svd.journal")
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	path := tempJournal(t)
+	j, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("fresh journal replayed %d records", len(recs))
+	}
+	want := []Record{
+		{Op: "module", Data: []byte("module-bytes")},
+		{Op: "deploy", Data: []byte(`{"id":"d-000001"}`)},
+		{Op: "evict", Data: nil},
+	}
+	for _, r := range want {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, got, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Op != want[i].Op || !bytes.Equal(got[i].Data, want[i].Data) {
+			t.Fatalf("record %d = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	st := j2.Stats()
+	if st.Replayed != 3 || st.TruncatedBytes != 0 {
+		t.Fatalf("stats = %+v, want 3 replayed, 0 truncated", st)
+	}
+}
+
+func TestTornTailIsTruncated(t *testing.T) {
+	path := tempJournal(t)
+	j, _, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Op: "deploy", Data: []byte("one")})
+	j.Append(Record{Op: "deploy", Data: []byte("two")})
+	j.Close()
+
+	// Simulate a crash mid-append: chop bytes off the last record.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-5], 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || string(recs[0].Data) != "one" {
+		t.Fatalf("replayed %+v, want just the first record", recs)
+	}
+	if st := j2.Stats(); st.TruncatedBytes == 0 {
+		t.Fatal("torn tail not counted in TruncatedBytes")
+	}
+	// The file was repaired in place: appending and replaying again works.
+	if err := j2.Append(Record{Op: "deploy", Data: []byte("three")}); err != nil {
+		t.Fatal(err)
+	}
+	j2.Close()
+	_, recs, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || string(recs[1].Data) != "three" {
+		t.Fatalf("after repair+append replayed %+v", recs)
+	}
+}
+
+func TestBitFlippedRecordStopsReplay(t *testing.T) {
+	path := tempJournal(t)
+	j, _, _ := Open(path)
+	j.Append(Record{Op: "a", Data: []byte("first")})
+	j.Append(Record{Op: "b", Data: []byte("second")})
+	j.Close()
+
+	data, _ := os.ReadFile(path)
+	// Flip a payload byte of the second record (near the end of the file).
+	data[len(data)-2] ^= 0x40
+	os.WriteFile(path, data, 0o644)
+
+	_, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Op != "a" {
+		t.Fatalf("replayed %+v, want only the intact first record", recs)
+	}
+}
+
+func TestBadHeaderResetsFile(t *testing.T) {
+	path := tempJournal(t)
+	if err := os.WriteFile(path, []byte("not a journal at all"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 0 {
+		t.Fatalf("replayed %d records from garbage", len(recs))
+	}
+	if st := j.Stats(); st.TruncatedBytes == 0 {
+		t.Fatal("garbage file not counted as truncated")
+	}
+	if err := j.Append(Record{Op: "deploy", Data: []byte("x")}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, recs, err = Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 {
+		t.Fatalf("replayed %d records after reset, want 1", len(recs))
+	}
+}
+
+func TestRewriteCompacts(t *testing.T) {
+	path := tempJournal(t)
+	j, _, _ := Open(path)
+	for i := 0; i < 10; i++ {
+		j.Append(Record{Op: "deploy", Data: []byte("dead")})
+	}
+	before := j.Stats().Bytes
+	live := []Record{{Op: "deploy", Data: []byte("live")}}
+	if err := j.Rewrite(live); err != nil {
+		t.Fatal(err)
+	}
+	st := j.Stats()
+	if st.Bytes >= before {
+		t.Fatalf("rewrite did not shrink the file: %d -> %d", before, st.Bytes)
+	}
+	if st.Rewrites != 1 || st.Records != 1 {
+		t.Fatalf("stats after rewrite = %+v", st)
+	}
+	// Appends continue to land after the rename swapped the fd.
+	if err := j.Append(Record{Op: "evict", Data: nil}); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	_, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || string(recs[0].Data) != "live" || recs[1].Op != "evict" {
+		t.Fatalf("replay after rewrite = %+v", recs)
+	}
+}
+
+func TestOversizedRecordRejected(t *testing.T) {
+	path := tempJournal(t)
+	j, _, _ := Open(path)
+	defer j.Close()
+	if err := j.Append(Record{Op: "x", Data: make([]byte, maxRecordBytes)}); err == nil {
+		t.Fatal("oversized record accepted")
+	}
+}
+
+func TestHostileLengthFieldDoesNotOverAllocate(t *testing.T) {
+	path := tempJournal(t)
+	// Header plus a record claiming a 4 GiB payload.
+	data := append([]byte(fileMagic), fileVersion)
+	data = append(data, 0xFF, 0xFF, 0xFF, 0xFF)
+	data = append(data, make([]byte, 64)...)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j, recs, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if len(recs) != 0 {
+		t.Fatalf("replayed %d records from hostile file", len(recs))
+	}
+}
+
+func TestClosedJournalRejectsAppends(t *testing.T) {
+	path := tempJournal(t)
+	j, _, _ := Open(path)
+	j.Close()
+	if err := j.Append(Record{Op: "x"}); err == nil {
+		t.Fatal("append after Close succeeded")
+	}
+	if err := j.Rewrite(nil); err == nil {
+		t.Fatal("rewrite after Close succeeded")
+	}
+}
+
+// FuzzJournalReplay feeds arbitrary bytes to Open: it must never panic or
+// over-allocate, and whatever survives must leave an appendable journal.
+func FuzzJournalReplay(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("SVJL\x01"))
+	f.Add([]byte("SVJL\x02junkversion"))
+	good, _ := encodeRecord(Record{Op: "deploy", Data: []byte("payload")})
+	full := append([]byte("SVJL\x01"), good...)
+	f.Add(full)
+	f.Add(full[:len(full)-3])
+	flipped := append([]byte(nil), full...)
+	flipped[len(flipped)-1] ^= 0x01
+	f.Add(flipped)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		dir := t.TempDir()
+		path := filepath.Join(dir, "fuzz.journal")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		j, _, err := Open(path)
+		if err != nil {
+			return
+		}
+		if err := j.Append(Record{Op: "probe", Data: []byte("x")}); err != nil {
+			t.Fatalf("append after replaying fuzz input: %v", err)
+		}
+		j.Close()
+		_, recs, err := Open(path)
+		if err != nil {
+			t.Fatalf("reopen after append: %v", err)
+		}
+		if len(recs) == 0 || recs[len(recs)-1].Op != "probe" {
+			t.Fatalf("appended record lost: %+v", recs)
+		}
+	})
+}

@@ -18,6 +18,7 @@
 package sim
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -86,7 +87,21 @@ type Machine struct {
 	// tier holds the profiling and promotion state of tiered execution
 	// (tier.go); nil — the default — runs plain tier 1.
 	tier *tierState
+
+	// runCtx, when set by CallContext, is polled every interruptStride
+	// instructions so a cancelled context aborts execution between
+	// instructions. interruptAt is the instruction count of the next poll;
+	// math.MaxInt64 — the Call default — disables polling, keeping the
+	// uncancellable path at one always-false compare per instruction.
+	runCtx      context.Context
+	interruptAt int64
 }
+
+// interruptStride is how many instructions run between context polls in
+// CallContext. Large enough that the ctx.Err() call vanishes from the
+// per-instruction cost, small enough that cancellation lands within
+// microseconds of simulated work.
+const interruptStride = 16384
 
 const (
 	arrayHeader  = 8 // length (4 bytes) + padding to keep data 8-aligned
@@ -96,7 +111,7 @@ const (
 // New returns a machine for the target and program. The initial heap is
 // small and grows on demand.
 func New(t *target.Desc, prog *nisa.Program) *Machine {
-	m := &Machine{Target: t, Program: prog, MaxSteps: 2_000_000_000}
+	m := &Machine{Target: t, Program: prog, MaxSteps: 2_000_000_000, interruptAt: math.MaxInt64}
 	// Address 0 is the null reference; start the heap past it.
 	m.mem = make([]byte, 64)
 	// The JIT reserves a few scratch registers beyond the allocatable files.
@@ -208,6 +223,26 @@ func (m *Machine) Call(name string, args ...Value) (Value, error) {
 	return m.exec(f, av)
 }
 
+// CallContext is Call with cooperative cancellation: once ctx is done, the
+// dispatch loop aborts between simulated instructions and returns an error
+// wrapping ctx.Err(). The context is polled every interruptStride
+// instructions, so an uncancelled run executes the exact same instruction
+// and cycle sequence as Call — cancellation support never moves a gated
+// metric. A ctx that can never be cancelled delegates straight to Call.
+func (m *Machine) CallContext(ctx context.Context, name string, args ...Value) (Value, error) {
+	if ctx == nil || ctx.Done() == nil {
+		return m.Call(name, args...)
+	}
+	if err := ctx.Err(); err != nil {
+		return Value{}, fmt.Errorf("sim: %q not started: %w", name, err)
+	}
+	prevCtx, prevAt := m.runCtx, m.interruptAt
+	m.runCtx = ctx
+	m.interruptAt = m.Stats.Instructions + interruptStride
+	defer func() { m.runCtx, m.interruptAt = prevCtx, prevAt }()
+	return m.Call(name, args...)
+}
+
 // dAddrOK computes the effective address of a pre-decoded indexed access and
 // checks it against the heap bounds. It is small enough to inline into the
 // dispatch loop; the failing path rebuilds the precise error in memFault.
@@ -275,6 +310,12 @@ func (m *Machine) exec(f *nisa.Func, args []argval) (Value, error) {
 		}
 		if stats.Instructions >= maxSteps {
 			return Value{}, fmt.Errorf("sim: instruction budget of %d exhausted in %s", maxSteps, f.Name)
+		}
+		if stats.Instructions >= m.interruptAt {
+			if err := m.runCtx.Err(); err != nil {
+				return Value{}, fmt.Errorf("sim: %s interrupted: %w", f.Name, err)
+			}
+			m.interruptAt += interruptStride
 		}
 		d := &code[pc]
 		stats.Instructions++

@@ -1,6 +1,7 @@
 package splitvm
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/anno"
@@ -82,6 +83,14 @@ func (dp *Deployment) CompileNanos() int64 { return dp.d.CompileNanos }
 // Run executes an entry point on the deployment's machine.
 func (dp *Deployment) Run(entry string, args ...Value) (Value, error) {
 	return dp.d.Run(entry, args...)
+}
+
+// RunContext executes an entry point like Run, aborting the simulation
+// between instructions once ctx is cancelled — the error wraps ctx.Err(),
+// so errors.Is(err, context.Canceled) detects a client disconnect.
+// Uncancelled runs are instruction- and cycle-identical to Run.
+func (dp *Deployment) RunContext(ctx context.Context, entry string, args ...Value) (Value, error) {
+	return dp.d.RunContext(ctx, entry, args...)
 }
 
 // RunKernel marshals kernel inputs into the deployment's memory, runs the

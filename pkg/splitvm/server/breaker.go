@@ -1,0 +1,134 @@
+package server
+
+import (
+	"sync"
+	"time"
+)
+
+// breakerState is one backend's circuit-breaker position.
+type breakerState int
+
+// The breaker's three states: Closed passes traffic; Open blocks it until
+// the cooldown elapses; HalfOpen admits traffic as probes — enough
+// consecutive successes close the breaker, any failure re-opens it.
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// String returns the state's wire name ("closed", "open", "half-open").
+func (st breakerState) String() string {
+	switch st {
+	case breakerOpen:
+		return "open"
+	case breakerHalfOpen:
+		return "half-open"
+	default:
+		return "closed"
+	}
+}
+
+// breakerConfig sets one breaker's thresholds.
+type breakerConfig struct {
+	// failures is how many consecutive failures open the breaker.
+	failures int
+	// successes is how many consecutive half-open successes close it.
+	successes int
+	// cooldown is how long an open breaker blocks before probing.
+	cooldown time.Duration
+}
+
+// breaker is one backend's circuit breaker, replacing the old binary
+// healthy/dead flag with hysteresis: a single failed probe or request no
+// longer ejects a backend (and a single success no longer readmits a dead
+// one), so flapping backends shed load gradually instead of oscillating in
+// and out of the ring. Probes and real traffic feed the same breaker.
+type breaker struct {
+	cfg breakerConfig
+
+	mu          sync.Mutex
+	state       breakerState
+	consecFails int
+	consecOKs   int
+	openedAt    time.Time
+	opens       int64
+}
+
+func newBreaker(cfg breakerConfig) *breaker {
+	if cfg.failures <= 0 {
+		cfg.failures = 3
+	}
+	if cfg.successes <= 0 {
+		cfg.successes = 2
+	}
+	if cfg.cooldown <= 0 {
+		cfg.cooldown = 5 * time.Second
+	}
+	return &breaker{cfg: cfg}
+}
+
+// allow reports whether traffic may be sent through the breaker at time
+// now. An open breaker whose cooldown has elapsed transitions to half-open
+// and admits the request as a probe.
+func (bk *breaker) allow(now time.Time) bool {
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	if bk.state == breakerOpen {
+		if now.Sub(bk.openedAt) < bk.cfg.cooldown {
+			return false
+		}
+		bk.state = breakerHalfOpen
+		bk.consecOKs = 0
+	}
+	return true
+}
+
+// onSuccess records a successful probe or request.
+func (bk *breaker) onSuccess() {
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	bk.consecFails = 0
+	if bk.state == breakerHalfOpen {
+		bk.consecOKs++
+		if bk.consecOKs >= bk.cfg.successes {
+			bk.state = breakerClosed
+		}
+	}
+	// A success while open (a request admitted before the breaker tripped)
+	// does not close it: readmission goes through half-open probing.
+}
+
+// onFailure records a failed probe or request at time now.
+func (bk *breaker) onFailure(now time.Time) {
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	bk.consecOKs = 0
+	switch bk.state {
+	case breakerClosed:
+		bk.consecFails++
+		if bk.consecFails >= bk.cfg.failures {
+			bk.trip(now)
+		}
+	case breakerHalfOpen:
+		// The probe failed; back to blocking for another cooldown.
+		bk.trip(now)
+	case breakerOpen:
+		// Stragglers from before the trip; nothing to update.
+	}
+}
+
+// trip opens the breaker. Caller holds bk.mu.
+func (bk *breaker) trip(now time.Time) {
+	bk.state = breakerOpen
+	bk.openedAt = now
+	bk.consecFails = 0
+	bk.opens++
+}
+
+// snapshot returns the state, consecutive-failure count and total opens.
+func (bk *breaker) snapshot() (breakerState, int, int64) {
+	bk.mu.Lock()
+	defer bk.mu.Unlock()
+	return bk.state, bk.consecFails, bk.opens
+}

@@ -1,0 +1,76 @@
+package server
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterConsecutiveFailures(t *testing.T) {
+	bk := newBreaker(breakerConfig{failures: 3, successes: 2, cooldown: time.Minute})
+	now := time.Now()
+	for i := 0; i < 2; i++ {
+		bk.onFailure(now)
+		if !bk.allow(now) {
+			t.Fatalf("breaker opened after %d failures, want 3", i+1)
+		}
+	}
+	// A success resets the streak: two more failures must not trip it.
+	bk.onSuccess()
+	bk.onFailure(now)
+	bk.onFailure(now)
+	if !bk.allow(now) {
+		t.Fatal("breaker opened though the failure streak was broken")
+	}
+	bk.onFailure(now)
+	if bk.allow(now) {
+		t.Fatal("breaker still closed after 3 consecutive failures")
+	}
+	if st, _, opens := bk.snapshot(); st != breakerOpen || opens != 1 {
+		t.Fatalf("state %v opens %d, want open/1", st, opens)
+	}
+}
+
+func TestBreakerHalfOpenProbing(t *testing.T) {
+	bk := newBreaker(breakerConfig{failures: 1, successes: 2, cooldown: 10 * time.Millisecond})
+	start := time.Now()
+	bk.onFailure(start)
+	if bk.allow(start.Add(5 * time.Millisecond)) {
+		t.Fatal("open breaker admitted traffic inside the cooldown")
+	}
+
+	// Cooldown over: the next request is admitted as a half-open probe, but
+	// one success is not enough to close — that's the readmission hysteresis.
+	probe := start.Add(20 * time.Millisecond)
+	if !bk.allow(probe) {
+		t.Fatal("open breaker did not go half-open after the cooldown")
+	}
+	if st, _, _ := bk.snapshot(); st != breakerHalfOpen {
+		t.Fatalf("state %v, want half-open", st)
+	}
+	bk.onSuccess()
+	if st, _, _ := bk.snapshot(); st != breakerHalfOpen {
+		t.Fatal("breaker closed after a single half-open success, want 2")
+	}
+	bk.onSuccess()
+	if st, _, _ := bk.snapshot(); st != breakerClosed {
+		t.Fatal("breaker did not close after enough half-open successes")
+	}
+}
+
+func TestBreakerHalfOpenFailureReopens(t *testing.T) {
+	bk := newBreaker(breakerConfig{failures: 1, successes: 2, cooldown: 10 * time.Millisecond})
+	start := time.Now()
+	bk.onFailure(start)
+	probe := start.Add(20 * time.Millisecond)
+	if !bk.allow(probe) {
+		t.Fatal("no half-open probe after cooldown")
+	}
+	bk.onFailure(probe)
+	if st, _, opens := bk.snapshot(); st != breakerOpen || opens != 2 {
+		t.Fatalf("state %v opens %d after failed probe, want open/2", st, opens)
+	}
+	// And the new cooldown starts from the re-trip.
+	if bk.allow(probe.Add(5 * time.Millisecond)) {
+		t.Fatal("re-opened breaker admitted traffic inside the new cooldown")
+	}
+}

@@ -1,0 +1,203 @@
+package server
+
+import (
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/pkg/splitvm"
+)
+
+// startBackendAt serves srv on addr ("127.0.0.1:0" for any port) so a test
+// can kill a backend and later resurrect it on the same address.
+func startBackendAt(t *testing.T, srv *Server, addr string) *httptest.Server {
+	t.Helper()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatalf("listen %s: %v", addr, err)
+	}
+	ts := httptest.NewUnstartedServer(srv)
+	ts.Listener.Close()
+	ts.Listener = ln
+	ts.Start()
+	return ts
+}
+
+// TestRouterBreakerHysteresis pins the probe hysteresis: one failed probe
+// must not eject a backend (N consecutive failures do), and one successful
+// probe must not readmit it (cooldown + N consecutive successes do).
+func TestRouterBreakerHysteresis(t *testing.T) {
+	srv0 := New(splitvm.New(), Config{})
+	defer srv0.Close()
+	b0 := startBackendAt(t, srv0, "127.0.0.1:0")
+	addr := b0.Listener.Addr().String()
+	srv1 := New(splitvm.New(), Config{})
+	b1 := httptest.NewServer(srv1)
+	defer func() { b1.Close(); srv1.Close() }()
+
+	rt, err := NewRouter(RouterConfig{
+		Backends:         []string{"http://" + addr, b1.URL},
+		HealthInterval:   -1,
+		BreakerFailures:  2,
+		BreakerSuccesses: 2,
+		BreakerCooldown:  20 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+
+	// Kill b0 the hard way and probe: the first failure must not eject it.
+	b0.CloseClientConnections()
+	b0.Close()
+	rt.probeAll()
+	if st := rt.Stats(); !st.Backends[0].Healthy || st.Backends[0].ConsecutiveFailures != 1 {
+		t.Fatalf("one failed probe ejected the backend: %+v", st.Backends[0])
+	}
+	rt.probeAll()
+	if st := rt.Stats(); st.Backends[0].Healthy || st.Backends[0].Breaker != "open" {
+		t.Fatalf("two failed probes did not open the breaker: %+v", st.Backends[0])
+	}
+
+	// Resurrect b0 on the same address. One successful probe (the half-open
+	// one after the cooldown) must not readmit it; the second one does.
+	b0 = startBackendAt(t, srv0, addr)
+	defer b0.Close()
+	time.Sleep(30 * time.Millisecond)
+	rt.probeAll()
+	if st := rt.Stats(); st.Backends[0].Healthy {
+		t.Fatalf("one successful probe readmitted the backend: %+v", st.Backends[0])
+	}
+	rt.probeAll()
+	st := rt.Stats()
+	if !st.Backends[0].Healthy || st.Backends[0].Breaker != "closed" {
+		t.Fatalf("backend not readmitted after cooldown + 2 good probes: %+v", st.Backends[0])
+	}
+}
+
+// TestRouterRunFailover is the tentpole behavior: a backend dying mid-run
+// must not fail the request — the router re-deploys the machine on a
+// surviving replica and retries there, and the original deployment id keeps
+// working afterwards via the alias.
+func TestRouterRunFailover(t *testing.T) {
+	rt, front, backends := newTestFleet(t, 2, Config{})
+	id := upload(t, front, encodeModule(t, sumsqSource))
+
+	resp := postJSON(t, front.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"mcu"}})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy: status %d", resp.StatusCode)
+	}
+	dr := decodeJSON[DeployResponse](t, resp.Body)
+	resp.Body.Close()
+	depID := dr.Deployments[0].ID
+	owner := rt.ring.owner(id)
+	if want := "b" + string(rune('0'+owner)) + "."; !strings.HasPrefix(depID, want) {
+		t.Fatalf("deployment %s not on ring owner %d", depID, owner)
+	}
+
+	backends[owner].CloseClientConnections()
+	backends[owner].Close()
+
+	resp = postJSON(t, front.URL+"/v1/deployments/"+depID+"/run", RunRequest{Entry: "sumsq", Args: []string{"12"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("run after backend death: status %d, want 200 via failover", resp.StatusCode)
+	}
+	rr := decodeJSON[RunResponse](t, resp.Body)
+	resp.Body.Close()
+	if rr.Value != 650 {
+		t.Errorf("failover run value = %d, want 650", rr.Value)
+	}
+	st := rt.Stats()
+	if st.Failovers != 1 || st.FailoverRedeploys != 1 || st.FailoverFailed != 0 {
+		t.Fatalf("failover counters = %+v", st)
+	}
+
+	// The original id now aliases the replacement on the survivor: a second
+	// run must hit it directly, with no additional failover.
+	resp = postJSON(t, front.URL+"/v1/deployments/"+depID+"/run", RunRequest{Entry: "sumsq", Args: []string{"3"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-failover run: status %d", resp.StatusCode)
+	}
+	rr = decodeJSON[RunResponse](t, resp.Body)
+	resp.Body.Close()
+	if rr.Value != 14 {
+		t.Errorf("post-failover run value = %d, want 14", rr.Value)
+	}
+	if st := rt.Stats(); st.Failovers != 1 {
+		t.Errorf("aliased run triggered another failover: %+v", st)
+	}
+}
+
+// TestRouterBatchFailover: a batch whose shard's backend dies recovers item
+// by item instead of failing the whole batch.
+func TestRouterBatchFailover(t *testing.T) {
+	rt, front, backends := newTestFleet(t, 2, Config{})
+	id := upload(t, front, encodeModule(t, sumsqSource))
+
+	resp := postJSON(t, front.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"mcu"}, Replicas: 2})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy: status %d", resp.StatusCode)
+	}
+	dr := decodeJSON[DeployResponse](t, resp.Body)
+	resp.Body.Close()
+	if len(dr.Deployments) != 2 {
+		t.Fatalf("%d deployments, want 2", len(dr.Deployments))
+	}
+	ids := []string{dr.Deployments[0].ID, dr.Deployments[1].ID}
+
+	owner := rt.ring.owner(id)
+	backends[owner].CloseClientConnections()
+	backends[owner].Close()
+
+	resp = postJSON(t, front.URL+"/v1/run-batch", RunBatchRequest{Deployments: ids, Entry: "sumsq", Args: []string{"10"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch after backend death: status %d, want 200", resp.StatusCode)
+	}
+	out := decodeJSON[RunBatchResponse](t, resp.Body)
+	resp.Body.Close()
+	if len(out.Results) != 2 {
+		t.Fatalf("%d results, want 2", len(out.Results))
+	}
+	for i, res := range out.Results {
+		if res.Error != "" || res.Value != 385 {
+			t.Errorf("result %d = %+v, want value 385 via failover", i, res)
+		}
+	}
+	if st := rt.Stats(); st.Failovers == 0 {
+		t.Error("batch recovery counted no failovers")
+	}
+}
+
+// TestRouterBatchPreservesErrorClasses pins that the router's fan-out merge
+// keeps the backends' structured per-item errors intact.
+func TestRouterBatchPreservesErrorClasses(t *testing.T) {
+	_, front, _ := newTestFleet(t, 2, Config{})
+	id := upload(t, front, encodeModule(t, sumsqSource))
+	resp := postJSON(t, front.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"mcu"}})
+	dr := decodeJSON[DeployResponse](t, resp.Body)
+	resp.Body.Close()
+	depID := dr.Deployments[0].ID
+
+	cases := []struct {
+		name      string
+		req       RunBatchRequest
+		wantClass string
+	}{
+		{"unknown entry", RunBatchRequest{Deployments: []string{depID}, Entry: "nope"}, errClassNotFound},
+		{"bad args", RunBatchRequest{Deployments: []string{depID}, Entry: "sumsq", Args: []string{"zap"}}, errClassBadRequest},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, front.URL+"/v1/run-batch", tc.req)
+		out := decodeJSON[RunBatchResponse](t, resp.Body)
+		resp.Body.Close()
+		if len(out.Results) != 1 {
+			t.Fatalf("%s: %d results", tc.name, len(out.Results))
+		}
+		if got := out.Results[0]; got.ErrorClass != tc.wantClass || got.Error == "" {
+			t.Errorf("%s: class %q (%q), want %q through the router merge", tc.name, got.ErrorClass, got.Error, tc.wantClass)
+		}
+	}
+}

@@ -1,0 +1,192 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/pkg/splitvm"
+)
+
+// journaledServer builds a server over a shared disk cache + journal pair,
+// the durable-backend configuration of cmd/svd.
+func journaledServer(t *testing.T, cacheDir, journalPath string) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(splitvm.New(splitvm.WithDiskCache(cacheDir)), Config{JournalPath: journalPath})
+	if err := srv.JournalErr(); err != nil {
+		t.Fatalf("journal: %v", err)
+	}
+	ts := httptest.NewServer(srv)
+	return srv, ts
+}
+
+// TestJournalReplayRestoresDeployments is the warm-restart contract, now
+// for deployments and not just images: kill a journaled backend, restart
+// it over the same cache volume and journal, and the full deployment table
+// comes back — same ids, zero compilations — with runs working immediately.
+func TestJournalReplayRestoresDeployments(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	journalPath := filepath.Join(dir, "svd.journal")
+
+	srv1, ts1 := journaledServer(t, cacheDir, journalPath)
+	id := upload(t, ts1, encodeModule(t, sumsqSource))
+	resp := postJSON(t, ts1.URL+"/v1/deploy", DeployRequest{
+		Module:  id,
+		Targets: []string{"x86-sse", "mcu"},
+	})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy: status %d", resp.StatusCode)
+	}
+	dep := decodeJSON[DeployResponse](t, resp.Body)
+	resp.Body.Close()
+	if len(dep.Deployments) != 2 {
+		t.Fatalf("deployed %d machines, want 2", len(dep.Deployments))
+	}
+	depID := dep.Deployments[0].ID
+
+	run := func(ts *httptest.Server) int64 {
+		resp := postJSON(t, ts.URL+"/v1/deployments/"+depID+"/run", RunRequest{Entry: "sumsq", Args: []string{"12"}})
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("run: status %d", resp.StatusCode)
+		}
+		return decodeJSON[RunResponse](t, resp.Body).Value
+	}
+	want := run(ts1)
+
+	// No graceful shutdown: drop the server on the floor like a SIGKILL
+	// (the journal must not depend on a clean close).
+	ts1.Close()
+	_ = srv1
+
+	srv2, ts2 := journaledServer(t, cacheDir, journalPath)
+	defer func() { ts2.Close(); srv2.Close() }()
+
+	st := getStats(t, ts2)
+	if st.Deployments != 2 || st.Modules != 1 {
+		t.Fatalf("restored %d deployments / %d modules, want 2 / 1", st.Deployments, st.Modules)
+	}
+	if st.Journal == nil || st.Journal.ReplayedDeployments != 2 || st.Journal.ReplayFailed != 0 {
+		t.Fatalf("journal stats after replay: %+v", st.Journal)
+	}
+	if st.Compile.Compilations != 0 {
+		t.Fatalf("replay recompiled %d images; want 0 (disk cache)", st.Compile.Compilations)
+	}
+	if got := run(ts2); got != want {
+		t.Fatalf("replayed deployment computed %d, want %d", got, want)
+	}
+
+	// New deployments after a replay must not collide with restored ids.
+	resp = postJSON(t, ts2.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"mcu"}})
+	defer resp.Body.Close()
+	more := decodeJSON[DeployResponse](t, resp.Body)
+	if len(more.Deployments) != 1 {
+		t.Fatalf("post-replay deploy failed: %+v", more)
+	}
+	newID := more.Deployments[0].ID
+	if newID == dep.Deployments[0].ID || newID == dep.Deployments[1].ID {
+		t.Fatalf("post-replay deployment id %q collides with a restored one", newID)
+	}
+}
+
+// TestJournalReplayHonorsEvictions pins that evict records mask earlier
+// deploy records: an evicted machine stays gone across restarts while the
+// module (and its quota slot) is reusable.
+func TestJournalReplayHonorsEvictions(t *testing.T) {
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	journalPath := filepath.Join(dir, "svd.journal")
+
+	srv1, ts1 := journaledServer(t, cacheDir, journalPath)
+	id := upload(t, ts1, encodeModule(t, sumsqSource))
+	resp := postJSON(t, ts1.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"mcu"}})
+	resp.Body.Close()
+	if n := srv1.evictIdle(time.Now().Add(time.Hour)); n != 1 {
+		t.Fatalf("evicted %d, want 1", n)
+	}
+	ts1.Close()
+
+	srv2, ts2 := journaledServer(t, cacheDir, journalPath)
+	defer func() { ts2.Close(); srv2.Close() }()
+	st := getStats(t, ts2)
+	if st.Deployments != 0 {
+		t.Fatalf("evicted deployment came back: %d live", st.Deployments)
+	}
+	if st.Modules != 1 {
+		t.Fatalf("module lost across restart: %d", st.Modules)
+	}
+}
+
+// TestJournalAppendFaultDegrades pins that an unwritable journal (injected
+// at the journal.append site) never fails the request it rode on.
+func TestJournalAppendFaultDegrades(t *testing.T) {
+	dir := t.TempDir()
+	_, ts := journaledServer(t, filepath.Join(dir, "cache"), filepath.Join(dir, "svd.journal"))
+	defer ts.Close()
+	if err := faultinject.Arm("journal.append:error"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Disarm()
+
+	id := upload(t, ts, encodeModule(t, sumsqSource))
+	resp := postJSON(t, ts.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"mcu"}})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy with failing journal: status %d, want 201", resp.StatusCode)
+	}
+	st := getStats(t, ts)
+	if st.Journal == nil || st.Journal.AppendErrors == 0 {
+		t.Fatalf("append failures not counted: %+v", st.Journal)
+	}
+}
+
+// TestRunErrorClasses pins the structured per-item errors of run-batch:
+// each failure mode carries its machine-readable class and retryability.
+func TestRunErrorClasses(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	id := upload(t, ts, encodeModule(t, sumsqSource))
+	resp := postJSON(t, ts.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"mcu"}})
+	dep := decodeJSON[DeployResponse](t, resp.Body)
+	resp.Body.Close()
+	depID := dep.Deployments[0].ID
+
+	cases := []struct {
+		name      string
+		req       RunBatchRequest
+		wantClass string
+		retryable bool
+	}{
+		{"unknown entry", RunBatchRequest{Deployments: []string{depID}, Entry: "nope"}, errClassNotFound, false},
+		{"bad args", RunBatchRequest{Deployments: []string{depID}, Entry: "sumsq", Args: []string{"NaN-ish"}}, errClassBadRequest, false},
+	}
+	for _, tc := range cases {
+		resp := postJSON(t, ts.URL+"/v1/run-batch", tc.req)
+		out := decodeJSON[RunBatchResponse](t, resp.Body)
+		resp.Body.Close()
+		if len(out.Results) != 1 {
+			t.Fatalf("%s: %d results", tc.name, len(out.Results))
+		}
+		r := out.Results[0]
+		if r.Error == "" || r.ErrorClass != tc.wantClass || r.Retryable != tc.retryable {
+			t.Fatalf("%s: got class %q retryable %v (%q), want %q/%v",
+				tc.name, r.ErrorClass, r.Retryable, r.Error, tc.wantClass, tc.retryable)
+		}
+	}
+
+	// An injected backend fault surfaces as unavailable + retryable.
+	if err := faultinject.Arm("server.run:error"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Disarm()
+	resp2 := postJSON(t, ts.URL+"/v1/run-batch", RunBatchRequest{Deployments: []string{depID}, Entry: "sumsq", Args: []string{"4"}})
+	out := decodeJSON[RunBatchResponse](t, resp2.Body)
+	resp2.Body.Close()
+	r := out.Results[0]
+	if r.ErrorClass != errClassUnavailable || !r.Retryable {
+		t.Fatalf("injected fault: class %q retryable %v, want unavailable/true", r.ErrorClass, r.Retryable)
+	}
+}

@@ -11,6 +11,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 // Router shards the /v1/* API across a fleet of backend svd servers: one
@@ -26,11 +28,18 @@ import (
 // replica the ring picks can deploy any known module.
 //
 // Deployment IDs are namespaced by backend — "b2.d-000017" is backend 2's
-// local "d-000017" — which is what lets the router stay stateless: every
-// deployment-addressed request carries its own routing key. Transport
-// failures mark the backend unhealthy and retry the next replica clockwise;
+// local "d-000017" — which is what lets the router stay stateless for
+// routing: every deployment-addressed request carries its own routing key.
 // HTTP-level errors (4xx/5xx) are the backend's answer and proxy through
 // unchanged.
+//
+// Transport failures feed per-backend circuit breakers (see breaker):
+// consecutive failures open the breaker and take the replica out of the
+// ring, a cooldown later it is probed half-open, and consecutive successes
+// readmit it. For runs the router additionally fails over: it remembers how
+// every deployment it created can be re-created (module, target, options),
+// and when a backend dies mid-run it re-deploys the machine on the next
+// healthy replica and retries there, within the request deadline.
 type Router struct {
 	cfg    RouterConfig
 	ring   *hashRing
@@ -41,12 +50,28 @@ type Router struct {
 	wg     sync.WaitGroup
 	mux    *http.ServeMux
 
-	mu       sync.Mutex
-	healthy  []bool
-	inflight []int64
-	routed   []int64
-	retries  int64
-	fanouts  int64
+	breakers []*breaker
+
+	mu                sync.Mutex
+	meta              map[string]deployMeta // namespaced id → re-create recipe
+	alias             map[string]string     // failed-over id → replacement id
+	inflight          []int64
+	routed            []int64
+	retries           int64
+	fanouts           int64
+	failovers         int64
+	failoverRedeploys int64
+	failoverFailed    int64
+}
+
+// deployMeta is the recipe for re-creating one deployment elsewhere: the
+// original deploy request narrowed to this machine's target, plus where it
+// currently lives.
+type deployMeta struct {
+	backend int
+	module  string
+	target  string
+	req     DeployRequest
 }
 
 // RouterConfig parameterizes a Router. Backends is required; everything
@@ -68,6 +93,21 @@ type RouterConfig struct {
 	// MaxModuleBytes caps proxied module uploads (default 4 MiB, matching
 	// Config.MaxModuleBytes).
 	MaxModuleBytes int64
+	// BreakerFailures is how many consecutive transport failures (probes or
+	// real traffic) open a backend's circuit breaker (default 3).
+	BreakerFailures int
+	// BreakerSuccesses is how many consecutive half-open successes close an
+	// open breaker again (default 2).
+	BreakerSuccesses int
+	// BreakerCooldown is how long an open breaker blocks a backend before
+	// the first half-open probe (default 5s).
+	BreakerCooldown time.Duration
+	// RunDeadline bounds one run request end to end, including failover
+	// re-deploys and retries (default 60s; negative disables).
+	RunDeadline time.Duration
+	// RunBackoff is the initial failover backoff, doubled (with ±50% jitter)
+	// each time the router finds no usable replica (default 25ms).
+	RunBackoff time.Duration
 }
 
 func (c *RouterConfig) defaults() {
@@ -82,6 +122,21 @@ func (c *RouterConfig) defaults() {
 	}
 	if c.MaxModuleBytes <= 0 {
 		c.MaxModuleBytes = 4 << 20
+	}
+	if c.BreakerFailures <= 0 {
+		c.BreakerFailures = 3
+	}
+	if c.BreakerSuccesses <= 0 {
+		c.BreakerSuccesses = 2
+	}
+	if c.BreakerCooldown <= 0 {
+		c.BreakerCooldown = 5 * time.Second
+	}
+	if c.RunDeadline == 0 {
+		c.RunDeadline = 60 * time.Second
+	}
+	if c.RunBackoff <= 0 {
+		c.RunBackoff = 25 * time.Millisecond
 	}
 }
 
@@ -101,13 +156,20 @@ func NewRouter(cfg RouterConfig) (*Router, error) {
 		names:    make([]string, n),
 		client:   &http.Client{},
 		cancel:   cancel,
-		healthy:  make([]bool, n),
+		breakers: make([]*breaker, n),
+		meta:     make(map[string]deployMeta),
+		alias:    make(map[string]string),
 		inflight: make([]int64, n),
 		routed:   make([]int64, n),
 	}
+	bcfg := breakerConfig{
+		failures:  cfg.BreakerFailures,
+		successes: cfg.BreakerSuccesses,
+		cooldown:  cfg.BreakerCooldown,
+	}
 	for i := range rt.names {
 		rt.names[i] = fmt.Sprintf("b%d", i)
-		rt.healthy[i] = true
+		rt.breakers[i] = newBreaker(bcfg)
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/modules", rt.handleUpload)
@@ -151,12 +213,17 @@ func (rt *Router) healthLoop(ctx context.Context) {
 	}
 }
 
-// probeAll health-checks every backend concurrently. A probe is the only
-// way a backend marked down by a transport failure comes back.
+// probeAll health-checks every backend concurrently. Probes feed the same
+// breakers as real traffic: an ejected backend must answer
+// BreakerSuccesses probes in a row before it is readmitted, and a flapping
+// one must fail BreakerFailures times before it is ejected.
 func (rt *Router) probeAll() {
 	var wg sync.WaitGroup
-	up := make([]bool, len(rt.cfg.Backends))
+	now := time.Now()
 	for i, base := range rt.cfg.Backends {
+		if !rt.breakers[i].allow(now) {
+			continue // open and still cooling down — not even probes get through
+		}
 		wg.Add(1)
 		go func(i int, base string) {
 			defer wg.Done()
@@ -167,51 +234,51 @@ func (rt *Router) probeAll() {
 				return
 			}
 			resp, err := rt.client.Do(req)
-			if err != nil {
-				return
+			if err == nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
 			}
-			io.Copy(io.Discard, resp.Body)
-			resp.Body.Close()
-			up[i] = resp.StatusCode == http.StatusOK
+			if err == nil && resp.StatusCode == http.StatusOK {
+				rt.breakers[i].onSuccess()
+			} else {
+				rt.breakers[i].onFailure(time.Now())
+			}
 		}(i, base)
 	}
 	wg.Wait()
-	rt.mu.Lock()
-	copy(rt.healthy, up)
-	rt.mu.Unlock()
 }
 
-func (rt *Router) markDown(b int) {
-	rt.mu.Lock()
-	rt.healthy[b] = false
-	rt.mu.Unlock()
-}
-
-// snapshot copies the health and load vectors for a placement decision.
+// snapshot derives the health vector from the breakers (open breakers past
+// their cooldown admit the request as a half-open probe) and copies the
+// load vector, for a placement decision.
 func (rt *Router) snapshot() (healthy []bool, inflight []int64) {
+	now := time.Now()
+	healthy = make([]bool, len(rt.breakers))
+	for i, bk := range rt.breakers {
+		healthy[i] = bk.allow(now)
+	}
 	rt.mu.Lock()
-	healthy = append([]bool(nil), rt.healthy...)
 	inflight = append([]int64(nil), rt.inflight...)
 	rt.mu.Unlock()
 	return
 }
 
-// healthyBackends returns the indexes of backends currently believed up.
+// healthyBackends returns the indexes of backends whose breakers currently
+// admit traffic.
 func (rt *Router) healthyBackends() []int {
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
+	now := time.Now()
 	var out []int
-	for i, h := range rt.healthy {
-		if h {
+	for i, bk := range rt.breakers {
+		if bk.allow(now) {
 			out = append(out, i)
 		}
 	}
 	return out
 }
 
-// forward sends one request to one backend, tracking in-flight load. A nil
-// error means an HTTP response was received (whatever its status); the
-// caller owns resp.Body.
+// forward sends one request to one backend, tracking in-flight load and
+// feeding the backend's breaker with the outcome. A nil error means an HTTP
+// response was received (whatever its status); the caller owns resp.Body.
 func (rt *Router) forward(ctx context.Context, b int, method, path string, body []byte, contentType string) (*http.Response, error) {
 	rt.mu.Lock()
 	rt.inflight[b]++
@@ -229,16 +296,37 @@ func (rt *Router) forward(ctx context.Context, b int, method, path string, body 
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
-	return rt.client.Do(req)
+	resp, err := rt.client.Do(req)
+	if err == nil {
+		if f := faultinject.At("router.forward"); f != nil {
+			if ferr := f.Apply(); ferr != nil {
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				resp, err = nil, ferr
+			}
+		}
+	}
+	switch {
+	case err == nil:
+		rt.breakers[b].onSuccess()
+	case ctx.Err() != nil:
+		// The client went away (or the deadline fired); that says nothing
+		// about the backend's health, so don't charge its breaker.
+	default:
+		rt.breakers[b].onFailure(time.Now())
+	}
+	return resp, err
 }
 
 // forwardByKey places a keyed request on the ring and retries clockwise
-// across replicas on transport failures (the failed backend is marked down
-// until the next successful probe).
+// across replicas on transport failures. A failed backend is excluded for
+// the rest of this request even if its breaker has not tripped yet — the
+// breaker decides fleet-wide ejection, the local exclusion keeps one
+// request from hammering the same dying replica.
 func (rt *Router) forwardByKey(ctx context.Context, key, method, path string, body []byte, contentType string) (*http.Response, int, error) {
+	healthy, inflight := rt.snapshot()
 	var lastErr error
 	for attempt := 0; attempt < len(rt.cfg.Backends); attempt++ {
-		healthy, inflight := rt.snapshot()
 		b := rt.ring.pick(key, healthy, inflight, rt.cfg.LoadFactor)
 		if b == -1 {
 			break
@@ -248,7 +336,7 @@ func (rt *Router) forwardByKey(ctx context.Context, key, method, path string, bo
 			return resp, b, nil
 		}
 		lastErr = err
-		rt.markDown(b)
+		healthy[b] = false
 		rt.mu.Lock()
 		rt.retries++
 		rt.mu.Unlock()
@@ -333,7 +421,7 @@ func (rt *Router) handleUpload(w http.ResponseWriter, r *http.Request) {
 	for _, res := range results {
 		switch {
 		case res.err != nil:
-			rt.markDown(res.b)
+			// forward already fed the breaker; nothing to merge.
 		case res.resp.StatusCode == http.StatusCreated && winner == nil:
 			winner = res.resp
 		case fallback == nil:
@@ -364,15 +452,16 @@ func (rt *Router) handleUpload(w http.ResponseWriter, r *http.Request) {
 
 // handleDeploy routes a batch by its module hash: the ring concentrates one
 // module's deployments on one replica so its JIT image is compiled once.
+// The full request is decoded (not just the module) so the router can
+// remember, per deployment, how to re-create it on another replica if its
+// backend later dies mid-run.
 func (rt *Router) handleDeploy(w http.ResponseWriter, r *http.Request) {
 	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
 	if err != nil {
 		writeError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
-	var req struct {
-		Module string `json:"module"`
-	}
+	var req DeployRequest
 	if err := json.Unmarshal(body, &req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
 		return
@@ -392,17 +481,28 @@ func (rt *Router) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadGateway, "decoding backend response: %v", err)
 		return
 	}
+	rt.mu.Lock()
 	for i := range dr.Deployments {
-		dr.Deployments[i].ID = rt.prefixID(b, dr.Deployments[i].ID)
+		nsID := rt.prefixID(b, dr.Deployments[i].ID)
+		rt.meta[nsID] = deployMeta{
+			backend: b,
+			module:  req.Module,
+			target:  dr.Deployments[i].Target,
+			req:     req,
+		}
+		dr.Deployments[i].ID = nsID
 	}
+	rt.mu.Unlock()
 	writeJSON(w, http.StatusCreated, dr)
 }
 
 // handleRun forwards an invocation to the backend named by the deployment
-// ID. No retry: the machine lives on exactly one replica.
+// ID. On a transport failure the router fails over: the machine is
+// re-deployed from its recorded recipe on the next healthy replica and the
+// run retried there, bounded by RunDeadline.
 func (rt *Router) handleRun(w http.ResponseWriter, r *http.Request) {
-	b, local, ok := rt.splitDeployID(r.PathValue("id"))
-	if !ok {
+	id := rt.resolveAlias(r.PathValue("id"))
+	if _, _, ok := rt.splitDeployID(id); !ok {
 		writeError(w, http.StatusNotFound, "unknown deployment %q", r.PathValue("id"))
 		return
 	}
@@ -411,10 +511,15 @@ func (rt *Router) handleRun(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "reading body: %v", err)
 		return
 	}
-	resp, err := rt.forward(r.Context(), b, http.MethodPost, "/v1/deployments/"+local+"/run", body, "application/json")
+	ctx, cancel := rt.runDeadline(r.Context())
+	defer cancel()
+	resp, err := rt.runWithFailover(ctx, id, body)
 	if err != nil {
-		rt.markDown(b)
-		writeError(w, http.StatusBadGateway, "backend %s: %v", rt.names[b], err)
+		writeJSON(w, http.StatusBadGateway, errorBody{
+			Error:     err.Error(),
+			Class:     errClassUnavailable,
+			Retryable: true,
+		})
 		return
 	}
 	defer resp.Body.Close()
@@ -422,16 +527,15 @@ func (rt *Router) handleRun(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleProfile forwards a profile export, restoring the namespaced ID in
-// the response.
+// the response. Failed-over deployments are followed to their replacement.
 func (rt *Router) handleProfile(w http.ResponseWriter, r *http.Request) {
-	b, local, ok := rt.splitDeployID(r.PathValue("id"))
+	b, local, ok := rt.splitDeployID(rt.resolveAlias(r.PathValue("id")))
 	if !ok {
 		writeError(w, http.StatusNotFound, "unknown deployment %q", r.PathValue("id"))
 		return
 	}
 	resp, err := rt.forward(r.Context(), b, http.MethodGet, "/v1/deployments/"+local+"/profile", nil, "")
 	if err != nil {
-		rt.markDown(b)
 		writeError(w, http.StatusBadGateway, "backend %s: %v", rt.names[b], err)
 		return
 	}
@@ -453,7 +557,9 @@ func (rt *Router) handleProfile(w http.ResponseWriter, r *http.Request) {
 // list is grouped by backend, a module selector fans out to every healthy
 // replica (deployments of one module can overflow onto several under
 // bounded load). Results keep request order; per-machine errors stay
-// per-result, as on a single backend.
+// per-result, as on a single backend — including transport failures, which
+// are retried item by item through run failover instead of failing the
+// whole batch.
 func (rt *Router) handleRunBatch(w http.ResponseWriter, r *http.Request) {
 	var req RunBatchRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
@@ -471,11 +577,14 @@ func (rt *Router) handleRunBatch(w http.ResponseWriter, r *http.Request) {
 	rt.mu.Lock()
 	rt.fanouts++
 	rt.mu.Unlock()
+	ctx, cancel := rt.runDeadline(r.Context())
+	defer cancel()
 
 	type shard struct {
 		b       int
 		req     RunBatchRequest
-		slots   []int // result index per entry (explicit-list mode)
+		ids     []string // namespaced ids, parallel to req.Deployments
+		slots   []int    // result index per entry (explicit-list mode)
 		resp    RunBatchResponse
 		status  int
 		errBody errorBody
@@ -493,7 +602,8 @@ func (rt *Router) handleRunBatch(w http.ResponseWriter, r *http.Request) {
 	} else {
 		byBackend := map[int]*shard{}
 		for i, id := range req.Deployments {
-			b, local, ok := rt.splitDeployID(id)
+			nsID := rt.resolveAlias(id)
+			b, local, ok := rt.splitDeployID(nsID)
 			if !ok {
 				writeError(w, http.StatusNotFound, "unknown deployment %q", id)
 				return
@@ -505,6 +615,7 @@ func (rt *Router) handleRunBatch(w http.ResponseWriter, r *http.Request) {
 				shards = append(shards, sh)
 			}
 			sh.req.Deployments = append(sh.req.Deployments, local)
+			sh.ids = append(sh.ids, nsID)
 			sh.slots = append(sh.slots, i)
 		}
 	}
@@ -519,9 +630,8 @@ func (rt *Router) handleRunBatch(w http.ResponseWriter, r *http.Request) {
 				sh.err = err
 				return
 			}
-			resp, err := rt.forward(r.Context(), sh.b, http.MethodPost, "/v1/run-batch", body, "application/json")
+			resp, err := rt.forward(ctx, sh.b, http.MethodPost, "/v1/run-batch", body, "application/json")
 			if err != nil {
-				rt.markDown(sh.b)
 				sh.err = err
 				return
 			}
@@ -538,14 +648,19 @@ func (rt *Router) handleRunBatch(w http.ResponseWriter, r *http.Request) {
 
 	if req.Module != "" {
 		// Merge module-wide shards; replicas without machines for the module
-		// answer 404 and drop out, any other failure fails the batch (silently
-		// missing results would misreport the fleet).
+		// answer 404 and drop out. A shard whose backend died is recovered
+		// item by item: the router knows which of its deployments lived
+		// there and fails each over to a surviving replica.
 		var out RunBatchResponse
 		sawFleet := false
 		for _, sh := range shards {
 			if sh.err != nil {
-				writeError(w, http.StatusBadGateway, "backend %s: %v", rt.names[sh.b], sh.err)
-				return
+				ids := rt.metaIDsOn(req.Module, sh.b)
+				for _, nsID := range ids {
+					out.Results = append(out.Results, rt.failoverBatchItem(ctx, nsID, req.Entry, req.Args))
+					sawFleet = true
+				}
+				continue
 			}
 			if sh.status == http.StatusNotFound {
 				continue
@@ -571,8 +686,12 @@ func (rt *Router) handleRunBatch(w http.ResponseWriter, r *http.Request) {
 	out := RunBatchResponse{Results: make([]RunBatchResult, len(req.Deployments))}
 	for _, sh := range shards {
 		if sh.err != nil {
-			writeError(w, http.StatusBadGateway, "backend %s: %v", rt.names[sh.b], sh.err)
-			return
+			// The shard's backend died; recover each of its items through
+			// run failover rather than failing the whole batch.
+			for j, nsID := range sh.ids {
+				out.Results[sh.slots[j]] = rt.failoverBatchItem(ctx, nsID, req.Entry, req.Args)
+			}
+			continue
 		}
 		if sh.status != http.StatusOK {
 			writeJSON(w, sh.status, sh.errBody)
@@ -599,7 +718,6 @@ func (rt *Router) handleListModules(w http.ResponseWriter, r *http.Request) {
 	for _, b := range rt.healthyBackends() {
 		resp, err := rt.forward(r.Context(), b, http.MethodGet, "/v1/modules", nil, "")
 		if err != nil {
-			rt.markDown(b)
 			continue
 		}
 		var body struct {
@@ -631,7 +749,6 @@ func (rt *Router) handleListDeployments(w http.ResponseWriter, r *http.Request) 
 	for _, b := range rt.healthyBackends() {
 		resp, err := rt.forward(r.Context(), b, http.MethodGet, "/v1/deployments", nil, "")
 		if err != nil {
-			rt.markDown(b)
 			continue
 		}
 		var dr DeployResponse
@@ -650,9 +767,16 @@ func (rt *Router) handleListDeployments(w http.ResponseWriter, r *http.Request) 
 
 // RouterBackendStats describes one backend as the router sees it.
 type RouterBackendStats struct {
-	Name    string `json:"name"`
-	URL     string `json:"url"`
+	Name string `json:"name"`
+	URL  string `json:"url"`
+	// Healthy is true while the circuit breaker is closed; Breaker is the
+	// breaker state by name ("closed", "open", "half-open").
 	Healthy bool   `json:"healthy"`
+	Breaker string `json:"breaker"`
+	// ConsecutiveFailures is the breaker's current failure streak;
+	// BreakerOpens counts how often the breaker has tripped.
+	ConsecutiveFailures int   `json:"consecutive_failures"`
+	BreakerOpens        int64 `json:"breaker_opens"`
 	// Routed counts requests this router sent to the backend; Inflight is
 	// the bounded-load vector's current entry.
 	Routed   int64 `json:"routed"`
@@ -667,6 +791,14 @@ type RouterStats struct {
 	// multiple backends (uploads, run-batch).
 	Retries int64 `json:"retries"`
 	Fanouts int64 `json:"fanouts"`
+	// Failovers counts runs recovered onto another replica after a backend
+	// died; FailoverRedeploys counts the re-deployments that took (one
+	// failover can redeploy on several candidates before one answers);
+	// FailoverFailed counts runs that exhausted their deadline without
+	// finding a survivor.
+	Failovers         int64 `json:"failovers"`
+	FailoverRedeploys int64 `json:"failover_redeploys"`
+	FailoverFailed    int64 `json:"failover_failed"`
 }
 
 // RouterStatsResponse is the router's /v1/stats payload: its own routing
@@ -681,14 +813,24 @@ type RouterStatsResponse struct {
 func (rt *Router) Stats() RouterStats {
 	rt.mu.Lock()
 	defer rt.mu.Unlock()
-	st := RouterStats{Retries: rt.retries, Fanouts: rt.fanouts}
+	st := RouterStats{
+		Retries:           rt.retries,
+		Fanouts:           rt.fanouts,
+		Failovers:         rt.failovers,
+		FailoverRedeploys: rt.failoverRedeploys,
+		FailoverFailed:    rt.failoverFailed,
+	}
 	for i, base := range rt.cfg.Backends {
+		state, fails, opens := rt.breakers[i].snapshot()
 		st.Backends = append(st.Backends, RouterBackendStats{
-			Name:     rt.names[i],
-			URL:      base,
-			Healthy:  rt.healthy[i],
-			Routed:   rt.routed[i],
-			Inflight: rt.inflight[i],
+			Name:                rt.names[i],
+			URL:                 base,
+			Healthy:             state == breakerClosed,
+			Breaker:             state.String(),
+			ConsecutiveFailures: fails,
+			BreakerOpens:        opens,
+			Routed:              rt.routed[i],
+			Inflight:            rt.inflight[i],
 		})
 	}
 	return st
@@ -699,7 +841,6 @@ func (rt *Router) handleStats(w http.ResponseWriter, r *http.Request) {
 	for _, b := range rt.healthyBackends() {
 		resp, err := rt.forward(r.Context(), b, http.MethodGet, "/v1/stats", nil, "")
 		if err != nil {
-			rt.markDown(b)
 			continue
 		}
 		var st StatsResponse

@@ -16,6 +16,14 @@ import (
 // backend liveness by closing the httptest servers.
 func newTestFleet(t *testing.T, n int, cfg Config) (*Router, *httptest.Server, []*httptest.Server) {
 	t.Helper()
+	return newTestFleetCfg(t, n, cfg, RouterConfig{})
+}
+
+// newTestFleetCfg is newTestFleet with router knobs (breaker thresholds,
+// deadlines) under test control. rcfg.Backends and HealthInterval are
+// overwritten.
+func newTestFleetCfg(t *testing.T, n int, cfg Config, rcfg RouterConfig) (*Router, *httptest.Server, []*httptest.Server) {
+	t.Helper()
 	backends := make([]*httptest.Server, n)
 	urls := make([]string, n)
 	for i := range backends {
@@ -28,7 +36,9 @@ func newTestFleet(t *testing.T, n int, cfg Config) (*Router, *httptest.Server, [
 			srv.Close()
 		})
 	}
-	rt, err := NewRouter(RouterConfig{Backends: urls, HealthInterval: -1})
+	rcfg.Backends = urls
+	rcfg.HealthInterval = -1
+	rt, err := NewRouter(rcfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +155,9 @@ func TestRouterUploadReplication(t *testing.T) {
 }
 
 func TestRouterRetriesNextReplicaOnBackendDeath(t *testing.T) {
-	rt, front, backends := newTestFleet(t, 2, Config{})
+	// BreakerFailures:1 restores the old hair-trigger ejection this test
+	// pins; hysteresis itself is covered by TestRouterBreakerHysteresis.
+	rt, front, backends := newTestFleetCfg(t, 2, Config{}, RouterConfig{BreakerFailures: 1})
 	id := upload(t, front, encodeModule(t, sumsqSource))
 
 	// Kill the module's ring owner; deploys must fail over clockwise.

@@ -32,6 +32,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -39,6 +40,8 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/faultinject"
+	"repro/internal/journal"
 	"repro/internal/target"
 	"repro/pkg/splitvm"
 )
@@ -77,6 +80,14 @@ type Config struct {
 	// request header; requests without one share the "default" tenant, so a
 	// single-tenant installation behaves like a global cap.
 	MaxDeploymentsPerTenant int
+	// JournalPath, when set, makes the server keep a crash-safe deployment
+	// journal at that file: every upload, deploy and eviction is appended,
+	// and New replays the file so a restarted (even SIGKILLed) server
+	// recovers its module and deployment registries — warm, with zero
+	// compilations, when the engine also has its disk cache. An unusable
+	// journal does not fail New; check JournalErr for callers that require
+	// durability.
+	JournalPath string
 }
 
 func (c *Config) defaults() {
@@ -134,6 +145,16 @@ type Server struct {
 
 	lat routeLatencies
 
+	// Deployment journal (nil without Config.JournalPath). The replay
+	// counters are fixed at New; journalAppendErrs is guarded by mu.
+	jnl                 *journal.Journal
+	journalErr          error
+	journalAppendErrs   int64
+	moduleBytes         map[string][]byte // raw uploads, retained for compaction
+	replayedModules     int
+	replayedDeployments int
+	replayFailed        int
+
 	// gateDeploy, when non-nil, is called by every pool worker before it
 	// deploys a job — a test hook to hold workers and saturate the queues
 	// deterministically. Set it before the first request is served.
@@ -153,6 +174,14 @@ type liveDeployment struct {
 	// never wait behind a long-running invocation).
 	lastUsed time.Time
 	running  int
+
+	// The deploy options the machine was created with, retained so the
+	// journal can re-create it verbatim on replay and compaction.
+	regAlloc       string
+	forceScalarize bool
+	tiering        bool
+	promoteCalls   int64
+	profile        []byte
 
 	mu  sync.Mutex
 	dep *splitvm.Deployment
@@ -188,6 +217,9 @@ func New(eng *splitvm.Engine, cfg Config) *Server {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
 	s.mux = mux
+	if cfg.JournalPath != "" {
+		s.openJournal(cfg.JournalPath)
+	}
 	if cfg.DeployTTL > 0 {
 		s.wg.Add(1)
 		go s.sweepLoop()
@@ -227,6 +259,7 @@ func (s *Server) evictIdle(cutoff time.Time) int {
 			delete(s.deployments, id)
 			s.byModule[ld.module]--
 			s.byTenant[ld.tenant]--
+			s.appendJournalJSON(journalOpEvict, journalEvictRecord{ID: id})
 			removed++
 			continue
 		}
@@ -253,11 +286,48 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.cancel()
 	s.wg.Wait()
+	if s.jnl != nil {
+		_ = s.jnl.Close()
+	}
 }
 
-// errorBody is the uniform error payload.
+// runContext derives the context one simulated invocation runs under: it
+// follows the incoming request — a client that disconnects cancels its
+// simulation — and additionally the server's base context, so Close
+// force-cancels every in-flight run during a bounded shutdown.
+func (s *Server) runContext(r *http.Request) (context.Context, context.CancelFunc) {
+	ctx, cancel := context.WithCancel(r.Context())
+	stop := context.AfterFunc(s.baseCtx, cancel)
+	return ctx, func() { stop(); cancel() }
+}
+
+// Error classes for run failures, machine-readable so routers and clients
+// can decide what to retry without parsing error prose.
+const (
+	errClassNotFound    = "not_found"
+	errClassBadRequest  = "bad_request"
+	errClassExecution   = "execution"
+	errClassCancelled   = "cancelled"
+	errClassUnavailable = "unavailable"
+)
+
+// classifyRunError maps a simulation error to (class, retryable). A
+// cancelled run is retryable — the machine is fine, the caller went away
+// or the server was shutting down; an execution trap is not — retrying the
+// same inputs traps again.
+func classifyRunError(err error) (string, bool) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		return errClassCancelled, true
+	}
+	return errClassExecution, false
+}
+
+// errorBody is the uniform error payload. Class and Retryable are set on
+// run failures (see the errClass constants); other routes leave them empty.
 type errorBody struct {
-	Error string `json:"error"`
+	Error     string `json:"error"`
+	Class     string `json:"error_class,omitempty"`
+	Retryable bool   `json:"retryable,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -326,6 +396,10 @@ func (s *Server) handleUpload(w http.ResponseWriter, r *http.Request) {
 	if _, ok := s.modules[id]; !ok {
 		s.modules[id] = m
 		s.moduleOrder = append(s.moduleOrder, id)
+		if s.jnl != nil {
+			s.moduleBytes[id] = append([]byte(nil), data...)
+			s.appendJournal(journalOpModule, data)
+		}
 	}
 	m = s.modules[id]
 	s.mu.Unlock()
@@ -459,6 +533,12 @@ func regAllocMode(name string) (splitvm.RegAllocMode, error) {
 // machines. Saturation anywhere rejects the whole batch: partial deployment
 // would leave the client guessing which replicas exist.
 func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
+	if f := faultinject.At("server.deploy"); f != nil {
+		if err := f.Apply(); err != nil {
+			writeError(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+	}
 	var req DeployRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
@@ -600,7 +680,17 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 			writeError(w, http.StatusInternalServerError, "deploying on %s: %v", pq.arch, res.err)
 			return
 		}
-		ld := &liveDeployment{module: req.Module, tenant: tenant, arch: pq.arch, dep: res.dep}
+		ld := &liveDeployment{
+			module:         req.Module,
+			tenant:         tenant,
+			arch:           pq.arch,
+			dep:            res.dep,
+			regAlloc:       req.RegAlloc,
+			forceScalarize: req.ForceScalarize,
+			tiering:        req.Tiering,
+			promoteCalls:   req.PromoteCalls,
+			profile:        req.Profile,
+		}
 		deps = append(deps, ld)
 		infos = append(infos, DeploymentInfo{
 			Module:              req.Module,
@@ -627,6 +717,11 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		infos[i].ID = ld.id
 		s.deployments[ld.id] = ld
 		s.deployOrder = append(s.deployOrder, ld.id)
+		// Journal before the response: once the client has seen the id, a
+		// crash and restart must still know the deployment. The compiled
+		// image is already on disk (write-through in the engine), so replay
+		// re-instantiates without compiling.
+		s.appendJournalJSON(journalOpDeploy, deployRecordOf(ld))
 	}
 	reserved = false
 	s.mu.Unlock()
@@ -686,7 +781,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Unlock()
 	if !ok {
-		writeError(w, http.StatusNotFound, "unknown deployment %q", id)
+		writeJSON(w, http.StatusNotFound,
+			errorBody{Error: fmt.Sprintf("unknown deployment %q", id), Class: errClassNotFound})
 		return
 	}
 	defer func() {
@@ -697,33 +793,60 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}()
 	var req RunRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{Error: fmt.Sprintf("decoding request: %v", err), Class: errClassBadRequest})
 		return
 	}
 	if req.Entry == "" {
-		writeError(w, http.StatusBadRequest, "missing entry point name")
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{Error: "missing entry point name", Class: errClassBadRequest})
 		return
 	}
 	sig, err := ld.dep.Signature(req.Entry)
 	if err != nil {
-		writeError(w, http.StatusNotFound, "%v", err)
+		writeJSON(w, http.StatusNotFound,
+			errorBody{Error: err.Error(), Class: errClassNotFound})
 		return
 	}
 	args, err := sig.ParseArgs(req.Args)
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "%v", err)
+		writeJSON(w, http.StatusBadRequest,
+			errorBody{Error: err.Error(), Class: errClassBadRequest})
 		return
 	}
+
+	if f := faultinject.At("server.run"); f != nil {
+		if err := f.Apply(); err != nil {
+			writeJSON(w, http.StatusInternalServerError,
+				errorBody{Error: err.Error(), Class: errClassUnavailable, Retryable: true})
+			return
+		}
+	}
+
+	// The run follows the client: a disconnect (or a bounded shutdown)
+	// cancels the simulation between instructions instead of letting it
+	// burn the machine for an answer nobody will read.
+	ctx, cancel := s.runContext(r)
+	defer cancel()
 
 	// Machines are single-threaded devices; concurrent runs on one
 	// deployment serialize here (deploy replicas to run in parallel).
 	ld.mu.Lock()
 	before := ld.dep.Cycles()
-	val, err := ld.dep.Run(req.Entry, args...)
+	val, err := ld.dep.RunContext(ctx, req.Entry, args...)
 	elapsed := ld.dep.Cycles() - before
 	ld.mu.Unlock()
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, "running %s: %v", req.Entry, err)
+		class, retryable := classifyRunError(err)
+		status := http.StatusUnprocessableEntity
+		if class == errClassCancelled {
+			status = http.StatusServiceUnavailable
+		}
+		writeJSON(w, status, errorBody{
+			Error:     fmt.Sprintf("running %s: %v", req.Entry, err),
+			Class:     class,
+			Retryable: retryable,
+		})
 		return
 	}
 	writeJSON(w, http.StatusOK, RunResponse{
@@ -757,6 +880,15 @@ type RunBatchResult struct {
 	IsFloat    bool    `json:"is_float"`
 	Cycles     int64   `json:"cycles"`
 	Error      string  `json:"error,omitempty"`
+	// ErrorClass classifies a failure machine-readably: "not_found" (no
+	// such entry point), "bad_request" (arguments), "execution" (the
+	// simulation trapped), "cancelled" (client disconnect or shutdown) or
+	// "unavailable" (the backend holding the machine is unreachable —
+	// set by the router). Empty on success.
+	ErrorClass string `json:"error_class,omitempty"`
+	// Retryable marks failures that may succeed if the item is retried:
+	// cancelled runs and unavailable backends, but not traps or bad inputs.
+	Retryable bool `json:"retryable,omitempty"`
 }
 
 // RunBatchResponse lists per-deployment results in the order the
@@ -839,6 +971,11 @@ func (s *Server) handleRunBatch(w http.ResponseWriter, r *http.Request) {
 		s.mu.Unlock()
 	}()
 
+	// One shared context for the whole batch: the client disconnecting (or
+	// a bounded shutdown) cancels every still-running item.
+	ctx, cancel := s.runContext(r)
+	defer cancel()
+
 	results := make([]RunBatchResult, len(lds))
 	var wg sync.WaitGroup
 	for i, ld := range lds {
@@ -849,22 +986,34 @@ func (s *Server) handleRunBatch(w http.ResponseWriter, r *http.Request) {
 			sig, err := ld.dep.Signature(req.Entry)
 			if err != nil {
 				res.Error = err.Error()
+				res.ErrorClass = errClassNotFound
 				results[i] = res
 				return
 			}
 			args, err := sig.ParseArgs(req.Args)
 			if err != nil {
 				res.Error = err.Error()
+				res.ErrorClass = errClassBadRequest
 				results[i] = res
 				return
 			}
+			if f := faultinject.At("server.run"); f != nil {
+				if err := f.Apply(); err != nil {
+					res.Error = err.Error()
+					res.ErrorClass = errClassUnavailable
+					res.Retryable = true
+					results[i] = res
+					return
+				}
+			}
 			ld.mu.Lock()
 			before := ld.dep.Cycles()
-			val, err := ld.dep.Run(req.Entry, args...)
+			val, err := ld.dep.RunContext(ctx, req.Entry, args...)
 			res.Cycles = ld.dep.Cycles() - before
 			ld.mu.Unlock()
 			if err != nil {
 				res.Error = err.Error()
+				res.ErrorClass, res.Retryable = classifyRunError(err)
 			} else {
 				res.Value = val.I
 				res.Float = val.F
@@ -973,6 +1122,9 @@ type StatsResponse struct {
 	// their request-latency distributions; routes with no traffic yet are
 	// omitted.
 	Latency map[string]LatencySummary `json:"latency,omitempty"`
+	// Journal reports the deployment journal's persistence and startup-
+	// replay counters; omitted when the server runs without one.
+	Journal *JournalStatsResponse `json:"journal,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -1017,5 +1169,16 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	sort.Slice(st.Pools, func(i, j int) bool { return st.Pools[i].Target < st.Pools[j].Target })
 	st.Latency = s.lat.summaries()
+	if s.jnl != nil {
+		s.mu.Lock()
+		st.Journal = &JournalStatsResponse{
+			Journal:             s.jnl.Stats(),
+			ReplayedModules:     s.replayedModules,
+			ReplayedDeployments: s.replayedDeployments,
+			ReplayFailed:        s.replayFailed,
+			AppendErrors:        s.journalAppendErrs,
+		}
+		s.mu.Unlock()
+	}
 	writeJSON(w, http.StatusOK, st)
 }

@@ -269,3 +269,106 @@ func TestSVDChaosCorruptCacheDegrades(t *testing.T) {
 		t.Errorf("restart over corrupted cache compiled %d times, want 2 (degrade to recompile)", st.Compile.Compilations)
 	}
 }
+
+// TestSVDChaosSIGKILLDuringLazyFirstCall kills a backend while a lazy
+// deployment's first call sits inside its method compilation (held open by
+// fault-injected latency at the JIT's lazy-compile site). The contract: the
+// interrupted compilation must be invisible after restart — journal replay
+// restores the deployment as a lazy stub table (zero compilations, nothing
+// half-patched), and the retried call compiles and answers correctly.
+func TestSVDChaosSIGKILLDuringLazyFirstCall(t *testing.T) {
+	if os.Getenv("SVD_CHAOS") == "" {
+		t.Skip("set SVD_CHAOS=1 to run the svd chaos test")
+	}
+	bin := buildSVD(t)
+	dir := t.TempDir()
+	cacheDir := filepath.Join(dir, "cache")
+	journal := filepath.Join(dir, "svd.journal")
+	addr := freeAddr(t)
+
+	// First-call compilations hang in the fault's latency window so the
+	// SIGKILL deterministically lands mid-compilation.
+	slowEnv := []string{"SPLITVM_FAULTS=core.lazy_compile:latency:2s"}
+	cmd, exited := startSVDAt(t, bin, addr, slowEnv, "-cache-dir", cacheDir, "-journal", journal)
+	base := "http://" + addr
+
+	stream, err := corpus.Generate(corpus.SyntheticKernel, corpus.SyntheticVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, base+"/v1/modules", stream, http.StatusCreated, &up)
+
+	deployBody, _ := json.Marshal(map[string]any{
+		"module": up.ID, "targets": []string{"x86-sse"}, "lazy": true,
+	})
+	var dr struct {
+		Deployments []struct {
+			ID              string `json:"id"`
+			Lazy            bool   `json:"lazy"`
+			MethodsCompiled int    `json:"methods_compiled"`
+			MethodsTotal    int    `json:"methods_total"`
+		} `json:"deployments"`
+	}
+	postJSON(t, base+"/v1/deploy", deployBody, http.StatusCreated, &dr)
+	if len(dr.Deployments) != 1 {
+		t.Fatalf("deployed %d machines, want 1", len(dr.Deployments))
+	}
+	dep := dr.Deployments[0]
+	if !dep.Lazy || dep.MethodsCompiled != 0 || dep.MethodsTotal == 0 {
+		t.Fatalf("lazy deploy info = %+v, want lazy with 0/%d methods compiled", dep, dep.MethodsTotal)
+	}
+
+	// Fire the first call; it blocks inside the injected compile latency.
+	runBody, _ := json.Marshal(map[string]any{
+		"entry": corpus.SyntheticEntryPoint,
+		"args":  []string{"12"},
+	})
+	go func() {
+		resp, err := http.Post(base+"/v1/deployments/"+dep.ID+"/run", "application/json", strings.NewReader(string(runBody)))
+		if err == nil {
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(300 * time.Millisecond)
+	sigkill(t, cmd, exited)
+
+	// Restart without the fault, over the same journal + cache. The lazy
+	// deployment must be back as a clean stub table: zero compilations at
+	// replay, nothing left over from the interrupted first call.
+	startSVDAt(t, bin, addr, nil, "-cache-dir", cacheDir, "-journal", journal)
+	var st struct {
+		Deployments int `json:"deployments"`
+		Journal     *struct {
+			ReplayedDeployments int `json:"replayed_deployments"`
+			ReplayFailed        int `json:"replay_failed"`
+		} `json:"journal"`
+		Compile struct {
+			Compilations int64 `json:"compilations"`
+			LazyCompiles int64 `json:"lazy_compiles"`
+		} `json:"compile"`
+	}
+	getStatsRaw(t, base, &st)
+	if st.Deployments != 1 || st.Journal == nil || st.Journal.ReplayedDeployments != 1 || st.Journal.ReplayFailed != 0 {
+		t.Fatalf("replay after mid-compile SIGKILL = %+v", st)
+	}
+	if st.Compile.Compilations != 0 || st.Compile.LazyCompiles != 0 {
+		t.Fatalf("replay compiled (%d eager, %d lazy), want 0/0 — lazy replay must restore stubs only",
+			st.Compile.Compilations, st.Compile.LazyCompiles)
+	}
+
+	// The retried first call compiles for real now and answers correctly.
+	var run struct {
+		Value int64 `json:"value"`
+	}
+	postJSON(t, base+"/v1/deployments/"+dep.ID+"/run", runBody, http.StatusOK, &run)
+	if run.Value != 506 {
+		t.Fatalf("retried first call = %d, want 506", run.Value)
+	}
+	getStatsRaw(t, base, &st)
+	if st.Compile.LazyCompiles < 1 {
+		t.Error("retried first call did not register a lazy compilation")
+	}
+}

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -68,6 +70,11 @@ func RunCodeSize() (*CodeSizeReport, error) {
 		for _, tgt := range target.Table1() {
 			dep, err := core.Deploy(res.Encoded, tgt, jit.Options{RegAlloc: jit.RegAllocSplit})
 			if err != nil {
+				return nil, err
+			}
+			// Code size measures the produced code; a lazy deployment
+			// (SPLITVM_LAZY) must materialize it all first.
+			if err := dep.EnsureCompiled(context.Background()); err != nil {
 				return nil, err
 			}
 			n := dep.NativeCodeBytes()

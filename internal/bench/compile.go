@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"strings"
@@ -95,6 +96,29 @@ type CompileParallel struct {
 	ParAllocsPerCompile float64 `json:"par_allocs_per_compile"`
 }
 
+// CompileLazy is the lazy-deployment measurement on the same synthetic
+// multi-method module: the up-front cost an eager deployment pays versus the
+// near-zero stub installation of a lazy one, and the total first-call
+// compile time once every method has been demanded. The generated code is
+// bit-identical either way; the experiment shows *when* the compile cost is
+// paid, which is the entire point of on-demand compilation.
+type CompileLazy struct {
+	// Methods is the method count of the synthetic module.
+	Methods int `json:"methods"`
+	// EagerDeployNanos is one eager image build: every method JIT-compiled
+	// before the deployment can serve its first call.
+	EagerDeployNanos int64 `json:"eager_deploy_nanos"`
+	// LazyDeployNanos is one lazy deployment: per-method stubs installed,
+	// zero methods compiled.
+	LazyDeployNanos int64 `json:"lazy_deploy_nanos"`
+	// MethodsCompiledAtDeploy counts methods holding native code right
+	// after the lazy deployment (zero by construction).
+	MethodsCompiledAtDeploy int `json:"methods_compiled_at_deploy"`
+	// FirstCallNanosTotal sums the first-call JIT time over all methods —
+	// the eager cost, amortized over the calls that actually need it.
+	FirstCallNanosTotal int64 `json:"first_call_nanos_total"`
+}
+
 // CompileReport is the compile-throughput measurement across the kernel ×
 // target × regalloc-mode matrix.
 type CompileReport struct {
@@ -106,6 +130,7 @@ type CompileReport struct {
 	GOMAXPROCS int              `json:"gomaxprocs"`
 	Cells      []CompileCell    `json:"cells"`
 	Parallel   *CompileParallel `json:"parallel,omitempty"`
+	Lazy       *CompileLazy     `json:"lazy,omitempty"`
 }
 
 // compileTargets is the target matrix of the compile experiment: the Table 1
@@ -150,7 +175,59 @@ func RunCompile(opts CompileOptions) (*CompileReport, error) {
 		return nil, err
 	}
 	report.Parallel = par
+	lazy, err := measureCompileLazy(opts)
+	if err != nil {
+		return nil, err
+	}
+	report.Lazy = lazy
 	return report, nil
+}
+
+// measureCompileLazy deploys the synthetic multi-method module eagerly and
+// lazily and accounts for where the compile time goes: all up front, or
+// spread over the first calls.
+func measureCompileLazy(opts CompileOptions) (*CompileLazy, error) {
+	res, err := core.CompileOffline(parallelCompileSource(opts.ParallelMethods),
+		core.OfflineOptions{ModuleName: "parallel", AnnotationVersion: anno.CurrentVersion})
+	if err != nil {
+		return nil, err
+	}
+	mod, err := cil.Decode(res.Encoded)
+	if err != nil {
+		return nil, err
+	}
+	if err := cil.Verify(mod); err != nil {
+		return nil, err
+	}
+	tgt := target.MustLookup(target.X86SSE)
+	jopts := jit.Options{RegAlloc: jit.RegAllocSplit}
+
+	start := time.Now()
+	if _, err := core.ImageFromVerifiedModule(mod, tgt, jopts); err != nil {
+		return nil, err
+	}
+	cell := &CompileLazy{
+		Methods:          len(mod.Methods),
+		EagerDeployNanos: time.Since(start).Nanoseconds(),
+	}
+
+	start = time.Now()
+	lazyImg, err := core.LazyImageFromVerifiedModule(mod, tgt, jopts)
+	if err != nil {
+		return nil, err
+	}
+	lazyImg.Instantiate()
+	cell.LazyDeployNanos = time.Since(start).Nanoseconds()
+	cell.MethodsCompiledAtDeploy, _ = lazyImg.MethodCounts()
+
+	// Demand every method once; each resolution is one first-call JIT.
+	for _, m := range mod.Methods {
+		if _, err := lazyImg.ResolveMethod(context.Background(), m.Name); err != nil {
+			return nil, err
+		}
+	}
+	cell.FirstCallNanosTotal = lazyImg.LazyCompileNanos()
+	return cell, nil
 }
 
 func measureCompileCell(kernel string, encoded []byte, tgt *target.Desc, mode jit.RegAllocMode, runs int) (CompileCell, error) {
@@ -290,6 +367,10 @@ func (r *CompileReport) String() string {
 	if p := r.Parallel; p != nil {
 		fmt.Fprintf(&b, "\nparallel pipeline (%d-method module): %.0f ns/compile with 1 worker, %.0f ns/compile with %d workers (%.2fx)\n",
 			p.Methods, p.SeqNanosPerCompile, p.ParNanosPerCompile, p.Workers, p.Speedup)
+	}
+	if l := r.Lazy; l != nil {
+		fmt.Fprintf(&b, "lazy deployment (%d-method module): eager pays %d ns up front; lazy deploys in %d ns with %d methods compiled, then %d ns spread over first calls\n",
+			l.Methods, l.EagerDeployNanos, l.LazyDeployNanos, l.MethodsCompiledAtDeploy, l.FirstCallNanosTotal)
 	}
 	return b.String()
 }

@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -60,6 +62,14 @@ func RunFigure1() (*Figure1Report, error) {
 		// the JIT has to recompute weights and interference itself.
 		withoutAnn, err := core.Deploy(stripped.Encoded, tgt, jit.Options{RegAlloc: jit.RegAllocOptimal})
 		if err != nil {
+			return nil, err
+		}
+		// The JIT-step comparison measures the produced code, so a lazy
+		// deployment (SPLITVM_LAZY) must materialize it all first.
+		if err := withAnn.EnsureCompiled(context.Background()); err != nil {
+			return nil, err
+		}
+		if err := withoutAnn.EnsureCompiled(context.Background()); err != nil {
 			return nil, err
 		}
 

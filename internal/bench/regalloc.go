@@ -1,6 +1,8 @@
 package bench
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -132,6 +134,11 @@ func RunRegAlloc(opts RegAllocOptions) (*RegAllocReport, error) {
 			for _, mode := range []jit.RegAllocMode{jit.RegAllocOnline, jit.RegAllocSplit, jit.RegAllocOptimal} {
 				dep, err := core.Deploy(res.Encoded, tgt, jit.Options{RegAlloc: mode})
 				if err != nil {
+					return nil, err
+				}
+				// Spill statistics measure the produced code; a lazy deploy
+				// (SPLITVM_LAZY) must materialize it all first.
+				if err := dep.EnsureCompiled(context.Background()); err != nil {
 					return nil, err
 				}
 				s, loads, stores := dep.SpillSummary()

@@ -16,6 +16,14 @@ func Disassemble(mod *Module) string {
 	for _, k := range sortedKeys(mod.Annotations) {
 		b.WriteString(annotationLine(k, mod.Annotations[k]))
 	}
+	for i := range mod.Imports {
+		im := &mod.Imports[i]
+		names := make([]string, len(im.Methods))
+		for j, m := range im.Methods {
+			names[j] = m.Name
+		}
+		fmt.Fprintf(&b, "  .import %s %x {%s}\n", im.Module, im.Hash[:8], strings.Join(names, ", "))
+	}
 	for _, m := range mod.Methods {
 		b.WriteString(DisassembleMethod(m))
 	}

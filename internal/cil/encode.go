@@ -16,7 +16,19 @@ import (
 //	u8      format version
 //	string  module name
 //	uvarint annotation count, then (string key, bytes value)*
+//	uvarint import count, then import*        (format version 2 only)
 //	uvarint method count, then method*
+//
+// Each import (version 2):
+//
+//	raw32   SHA-256 of the imported module's encoded bytes
+//	string  imported module name (diagnostics only)
+//	uvarint method count, then (string name, uvarint param count, type*,
+//	        type return)*
+//
+// A module without imports always encodes as format version 1, bit-for-bit
+// identical to pre-linking toolchains: the code-size experiment and every
+// content hash of an unlinked module are unchanged by the import feature.
 //
 // Each method:
 //
@@ -32,8 +44,11 @@ import (
 // instruction is one opcode byte, one kind byte, then operands selected by
 // the opcode (see encodeInstr).
 const (
-	formatMagic   = "SVBC"
-	formatVersion = 1
+	formatMagic = "SVBC"
+	// formatVersion is the original, import-free encoding; formatVersionImports
+	// adds the import table and is only emitted when a module declares one.
+	formatVersion        = 1
+	formatVersionImports = 2
 )
 
 // Encode serializes the module to its compact binary deployment format. The
@@ -42,9 +57,16 @@ const (
 func Encode(mod *Module) []byte {
 	var w encoder
 	w.raw([]byte(formatMagic))
-	w.u8(formatVersion)
+	version := uint8(formatVersion)
+	if len(mod.Imports) > 0 {
+		version = formatVersionImports
+	}
+	w.u8(version)
 	w.str(mod.Name)
 	w.annotations(mod.Annotations)
+	if version >= formatVersionImports {
+		w.imports(mod.Imports)
+	}
 	w.uvarint(uint64(len(mod.Methods)))
 	for _, m := range mod.Methods {
 		w.method(m)
@@ -59,11 +81,22 @@ func Decode(data []byte) (*Module, error) {
 	if r.err == nil && string(magic) != formatMagic {
 		return nil, fmt.Errorf("cil: bad magic %q", magic)
 	}
-	if v := r.u8(); r.err == nil && v != formatVersion {
+	v := r.u8()
+	if r.err == nil && v != formatVersion && v != formatVersionImports {
 		return nil, fmt.Errorf("cil: unsupported format version %d", v)
 	}
 	mod := NewModule(r.str())
 	mod.Annotations = r.annotations()
+	if v >= formatVersionImports {
+		imports, err := r.imports()
+		if err != nil {
+			return nil, err
+		}
+		mod.Imports = imports
+		if err := ValidateImports(mod); err != nil {
+			return nil, err
+		}
+	}
 	n := int(r.uvarint())
 	if r.err != nil {
 		return nil, r.err
@@ -132,6 +165,23 @@ func (w *encoder) annotations(a map[string][]byte) {
 	for _, k := range keys {
 		w.str(k)
 		w.bytesv(a[k])
+	}
+}
+
+func (w *encoder) imports(imports []Import) {
+	w.uvarint(uint64(len(imports)))
+	for _, im := range imports {
+		w.raw(im.Hash[:])
+		w.str(im.Module)
+		w.uvarint(uint64(len(im.Methods)))
+		for _, m := range im.Methods {
+			w.str(m.Name)
+			w.uvarint(uint64(len(m.Params)))
+			for _, t := range m.Params {
+				w.typ(t)
+			}
+			w.typ(m.Ret)
+		}
 	}
 }
 
@@ -289,6 +339,46 @@ func (r *decoder) annotations() map[string][]byte {
 		a[k] = r.bytesv()
 	}
 	return a
+}
+
+func (r *decoder) imports() ([]Import, error) {
+	n := int(r.uvarint())
+	if r.err != nil {
+		return nil, r.err
+	}
+	if n < 0 || n > 1<<12 {
+		return nil, fmt.Errorf("cil: implausible import count %d", n)
+	}
+	out := make([]Import, 0, n)
+	for i := 0; i < n && r.err == nil; i++ {
+		var im Import
+		copy(im.Hash[:], r.raw(HashSize))
+		im.Module = r.str()
+		nm := int(r.uvarint())
+		if r.err != nil {
+			break
+		}
+		if nm < 0 || nm > 1<<16 {
+			return nil, fmt.Errorf("cil: implausible imported method count %d", nm)
+		}
+		for j := 0; j < nm && r.err == nil; j++ {
+			m := ImportedMethod{Name: r.str()}
+			np := int(r.uvarint())
+			if r.err != nil {
+				break
+			}
+			if np < 0 || np > 1<<10 {
+				return nil, fmt.Errorf("cil: implausible imported param count %d", np)
+			}
+			for k := 0; k < np && r.err == nil; k++ {
+				m.Params = append(m.Params, r.typ())
+			}
+			m.Ret = r.typ()
+			im.Methods = append(im.Methods, m)
+		}
+		out = append(out, im)
+	}
+	return out, r.err
 }
 
 func (r *decoder) typ() Type {

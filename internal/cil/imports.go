@@ -1,0 +1,176 @@
+package cil
+
+import (
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// Multi-module linking at the bytecode level. A module may declare imports:
+// dependencies on other modules identified by the SHA-256 of their encoded
+// byte stream (the same content identity the engine's code cache keys on).
+// Each import lists the signatures of the methods this module calls, so the
+// importer verifies and JIT-compiles without the imported module present —
+// the call becomes a stub symbol (ImportSym) that the runtime resolves
+// module-by-content-hash at link time.
+
+// HashSize is the byte length of a module content hash (SHA-256).
+const HashSize = 32
+
+// ImportedMethod declares the signature of one method of an imported
+// module, as the importer depends on it. Verification and JIT compilation
+// of the importing module use this signature; the linker checks it against
+// the imported module's real method at deploy time.
+type ImportedMethod struct {
+	Name   string
+	Params []Type
+	Ret    Type
+}
+
+// Import declares a dependency on another module by content hash. Module is
+// the imported module's name, kept for diagnostics only — the hash is the
+// identity.
+type Import struct {
+	Hash    [HashSize]byte
+	Module  string
+	Methods []ImportedMethod
+}
+
+// Clone returns a deep copy of the import.
+func (im *Import) Clone() Import {
+	c := Import{Hash: im.Hash, Module: im.Module}
+	for _, m := range im.Methods {
+		c.Methods = append(c.Methods, ImportedMethod{
+			Name:   m.Name,
+			Params: append([]Type(nil), m.Params...),
+			Ret:    m.Ret,
+		})
+	}
+	return c
+}
+
+// importSymSep separates the method name from the content-hash qualifier in
+// an ImportSym. '@' cannot appear in MiniC identifiers, so qualified symbols
+// never collide with local method names.
+const importSymSep = "@"
+
+// importSymHashLen is the number of hash bytes spelled into the symbol —
+// enough to make accidental collisions inside one linked set implausible;
+// the import table keeps the full hash for the authoritative resolution.
+const importSymHashLen = 8
+
+// ImportSym is the program-level symbol of a cross-module call: the method
+// name qualified by a prefix of the imported module's content hash. The JIT
+// emits calls to imported methods under this symbol; the linker maps it back
+// to (module hash, method) through the import table.
+func ImportSym(hash [HashSize]byte, method string) string {
+	return method + importSymSep + hex.EncodeToString(hash[:importSymHashLen])
+}
+
+// IsImportSym reports whether a call symbol is hash-qualified (produced by
+// ImportSym) rather than a plain local method name.
+func IsImportSym(sym string) bool { return strings.Contains(sym, importSymSep) }
+
+// SplitImportSym splits a hash-qualified symbol into the plain method name
+// and the hex hash qualifier. The qualifier is empty for plain symbols.
+func SplitImportSym(sym string) (method, qual string) {
+	method, qual, _ = strings.Cut(sym, importSymSep)
+	return method, qual
+}
+
+// HashQualifier is the hex spelling of a content hash as it appears in
+// import symbols (see ImportSym).
+func HashQualifier(hash [HashSize]byte) string {
+	return hex.EncodeToString(hash[:importSymHashLen])
+}
+
+// AddImport records a dependency on another module. Adding the same hash
+// twice merges the method lists (later signatures win on name clashes).
+func (mod *Module) AddImport(im Import) {
+	for i := range mod.Imports {
+		if mod.Imports[i].Hash != im.Hash {
+			continue
+		}
+		for _, m := range im.Methods {
+			replaced := false
+			for j := range mod.Imports[i].Methods {
+				if mod.Imports[i].Methods[j].Name == m.Name {
+					mod.Imports[i].Methods[j] = m
+					replaced = true
+					break
+				}
+			}
+			if !replaced {
+				mod.Imports[i].Methods = append(mod.Imports[i].Methods, m)
+			}
+		}
+		return
+	}
+	mod.Imports = append(mod.Imports, im.Clone())
+}
+
+// ImportedMethod resolves a hash-qualified call symbol against the import
+// table: the import it belongs to and the declared method signature.
+func (mod *Module) ImportedMethod(sym string) (*Import, *ImportedMethod, bool) {
+	name, qual, found := strings.Cut(sym, importSymSep)
+	if !found {
+		return nil, nil, false
+	}
+	for i := range mod.Imports {
+		im := &mod.Imports[i]
+		if hex.EncodeToString(im.Hash[:importSymHashLen]) != qual {
+			continue
+		}
+		for j := range im.Methods {
+			if im.Methods[j].Name == name {
+				return im, &im.Methods[j], true
+			}
+		}
+	}
+	return nil, nil, false
+}
+
+// ResolveCall returns the signature of a call target: a local method of the
+// module, or an imported method matched by its hash-qualified symbol.
+func (mod *Module) ResolveCall(sym string) (params []Type, ret Type, ok bool) {
+	if m := mod.Method(sym); m != nil {
+		return m.Params, m.Ret, true
+	}
+	if _, im, found := mod.ImportedMethod(sym); found {
+		return im.Params, im.Ret, true
+	}
+	return nil, Type{}, false
+}
+
+// ValidateImports performs the structural checks the encoder and linker
+// rely on: non-empty method lists, unique hashes, unique method names per
+// import, and no two imports whose symbol qualifiers collide.
+func ValidateImports(mod *Module) error {
+	seenHash := make(map[[HashSize]byte]bool, len(mod.Imports))
+	seenQual := make(map[string]bool, len(mod.Imports))
+	for _, im := range mod.Imports {
+		if seenHash[im.Hash] {
+			return fmt.Errorf("cil: module %q imports %x twice", mod.Name, im.Hash[:8])
+		}
+		seenHash[im.Hash] = true
+		qual := hex.EncodeToString(im.Hash[:importSymHashLen])
+		if seenQual[qual] {
+			return fmt.Errorf("cil: module %q: import hash prefix collision on %s", mod.Name, qual)
+		}
+		seenQual[qual] = true
+		if len(im.Methods) == 0 {
+			return fmt.Errorf("cil: module %q: import of %x declares no methods", mod.Name, im.Hash[:8])
+		}
+		names := make(map[string]bool, len(im.Methods))
+		for _, m := range im.Methods {
+			if m.Name == "" {
+				return fmt.Errorf("cil: module %q: import of %x declares an unnamed method", mod.Name, im.Hash[:8])
+			}
+			if names[m.Name] {
+				return fmt.Errorf("cil: module %q: import of %x declares %q twice", mod.Name, im.Hash[:8], m.Name)
+			}
+			names[m.Name] = true
+		}
+	}
+	return nil
+}

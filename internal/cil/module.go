@@ -109,6 +109,11 @@ type Module struct {
 	Name        string
 	Methods     []*Method
 	Annotations map[string][]byte
+
+	// Imports declares the other modules this one calls into, keyed by
+	// content hash (see imports.go). A module without imports encodes in
+	// the original v1 format, byte-identical to pre-linking toolchains.
+	Imports []Import
 }
 
 // NewModule returns an empty module with the given name.
@@ -170,6 +175,9 @@ func (mod *Module) Clone() *Module {
 	c := NewModule(mod.Name)
 	for _, m := range mod.Methods {
 		c.Methods = append(c.Methods, m.Clone())
+	}
+	for i := range mod.Imports {
+		c.Imports = append(c.Imports, mod.Imports[i].Clone())
 	}
 	for k, v := range mod.Annotations {
 		c.Annotations[k] = append([]byte(nil), v...)

@@ -257,17 +257,19 @@ func (v *verifier) step(pc int) error {
 		}
 		branch = true
 	case Call:
-		callee := v.mod.Method(in.Str)
-		if callee == nil {
+		// A call resolves against the module's own methods first, then the
+		// import table (hash-qualified symbols of linked modules).
+		params, ret, ok := v.mod.ResolveCall(in.Str)
+		if !ok {
 			return v.errf(pc, "call to unknown method %q", in.Str)
 		}
-		for i := len(callee.Params) - 1; i >= 0; i-- {
-			if err := popAssignable(v, pc, in, &stack, callee.Params[i]); err != nil {
+		for i := len(params) - 1; i >= 0; i-- {
+			if err := popAssignable(v, pc, in, &stack, params[i]); err != nil {
 				return err
 			}
 		}
-		if callee.Ret.Kind != Void {
-			push(normalize(callee.Ret))
+		if ret.Kind != Void {
+			push(normalize(ret))
 		}
 	case Ret:
 		if m.Ret.Kind != Void {

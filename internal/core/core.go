@@ -172,17 +172,38 @@ type Image struct {
 	// AnnotationFallbacks counts the sections that fell back (never an
 	// error: annotations are advisory).
 	AnnotationFallbacks int
+
+	// lazy, when non-nil, marks the image as compile-on-first-call: Program
+	// starts empty and methods move stub → compiling → ready through
+	// ResolveMethod (see lazy.go). Nil — the default — is the eager image
+	// with every method compiled up front.
+	lazy *lazyState
 }
 
 // BuildImage decodes, verifies and JIT-compiles an encoded module for a
 // target. This is everything that happens on the device side of the
-// distribution boundary, short of instantiating a machine.
+// distribution boundary, short of instantiating a machine. Modules that
+// import other modules are rejected here: their cross-module calls can only
+// resolve through a link set (NewLinked), and failing at build time is what
+// keeps a missing dependency from surfacing as a first-call panic.
 func BuildImage(encoded []byte, tgt *target.Desc, jopts jit.Options) (*Image, error) {
 	mod, err := cil.Decode(encoded)
 	if err != nil {
 		return nil, err
 	}
+	if err := requireNoImports(mod); err != nil {
+		return nil, err
+	}
 	return ImageFromModule(mod, tgt, jopts)
+}
+
+// requireNoImports rejects standalone deployment of a module whose calls
+// reach into other modules.
+func requireNoImports(mod *cil.Module) error {
+	if len(mod.Imports) == 0 {
+		return nil
+	}
+	return fmt.Errorf("core: module %q imports %d other module(s); deploy it as a link set so cross-module calls resolve at link time", mod.Name, len(mod.Imports))
 }
 
 // ImageFromModule verifies and JIT-compiles an already-decoded module. The
@@ -222,15 +243,29 @@ func ImageFromVerifiedModule(mod *cil.Module, tgt *target.Desc, jopts jit.Option
 }
 
 // Instantiate creates a fresh machine executing the image. The machine owns
-// its memory and statistics; the image itself is shared and never mutated,
-// so concurrent instantiations are safe.
+// its memory and statistics; eager images share their immutable program
+// between machines, so concurrent instantiations are safe. Lazy images give
+// every machine its own program value — the machine patches it as methods
+// resolve — pre-seeded with whatever methods earlier deployments already
+// compiled, all resolving through the image's shared singleflight table.
 func (img *Image) Instantiate() *Deployment {
+	prog := img.Program
+	var machine *sim.Machine
+	if img.lazy != nil {
+		prog = nisa.NewProgram(img.Target.Name)
+		img.lazy.snapshot(prog)
+		machine = sim.New(img.Target, prog)
+		machine.SetResolver(lazyResolverFor(img))
+	} else {
+		machine = sim.New(img.Target, prog)
+	}
 	d := &Deployment{
 		Target:              img.Target,
 		Module:              img.Module,
-		Program:             img.Program,
+		Program:             prog,
 		JITOpts:             img.JITOpts,
-		Machine:             sim.New(img.Target, img.Program),
+		Machine:             machine,
+		Image:               img,
 		JITSteps:            img.JITSteps,
 		CompileNanos:        img.CompileNanos,
 		AnnotationOutcomes:  img.AnnotationOutcomes,
@@ -250,6 +285,10 @@ type Deployment struct {
 	Module  *cil.Module
 	Program *nisa.Program
 	Machine *sim.Machine
+	// Image is the image this deployment was instantiated from; for lazy
+	// images it carries the live per-method compilation state
+	// (Image.CompileState, Image.MethodCounts).
+	Image *Image
 	// JITOpts is the online-compiler configuration behind the deployed
 	// program (see Image.JITOpts).
 	JITOpts jit.Options
@@ -267,14 +306,70 @@ type Deployment struct {
 	// load-time annotation negotiation result (see Image).
 	AnnotationOutcomes  []anno.MethodOutcome
 	AnnotationFallbacks int
+
+	// linked is set on deployments instantiated from a link set; it lets
+	// EnsureCompiled span every unit, not just the root image.
+	linked *Linked
+}
+
+// EnsureCompiled forces a lazy deployment fully compiled, as if every
+// method (of every unit, on linked deployments) had already taken its first
+// call: each resolution is the usual singleflight JIT, and the resulting
+// code is patched into this deployment's program, including the
+// hash-qualified alias symbols cross-module call sites use. Afterwards the
+// code-derived statistics — NativeCodeBytes, SpillSummary, SpillWeight,
+// JITSteps — equal those of an eager deployment of the same module(s).
+// Eager deployments are a no-op. Cancelling ctx aborts between methods,
+// leaving the usual consistent partial state.
+func (d *Deployment) EnsureCompiled(ctx context.Context) error {
+	if d.linked != nil {
+		if err := d.linked.ensureCompiled(ctx, d.Program); err != nil {
+			return err
+		}
+		var steps int64
+		for _, u := range d.linked.Units {
+			steps += u.Image.JITSteps + u.Image.LazyJITSteps()
+		}
+		d.JITSteps = steps
+		return nil
+	}
+	if d.Image == nil || !d.Image.Lazy() {
+		return nil
+	}
+	for _, m := range d.Module.Methods {
+		f, err := d.Image.ResolveMethod(ctx, m.Name)
+		if err != nil {
+			return err
+		}
+		d.Program.Funcs[m.Name] = f
+	}
+	d.JITSteps = d.Image.JITSteps + d.Image.LazyJITSteps()
+	return nil
 }
 
 // Deploy decodes, verifies and JIT-compiles an encoded module for a target,
 // then instantiates a machine for it. Callers that deploy the same module
 // repeatedly should build an Image once (or use the pkg/splitvm engine,
-// which caches images) and instantiate it per deployment.
+// which caches images) and instantiate it per deployment. With SPLITVM_LAZY
+// set the image is built lazy — methods JIT on first call — which never
+// changes results or simulated cycles, only when compile time is paid.
 func Deploy(encoded []byte, tgt *target.Desc, jopts jit.Options) (*Deployment, error) {
-	img, err := BuildImage(encoded, tgt, jopts)
+	mod, err := cil.Decode(encoded)
+	if err != nil {
+		return nil, err
+	}
+	if err := requireNoImports(mod); err != nil {
+		return nil, err
+	}
+	if err := cil.Verify(mod); err != nil {
+		return nil, err
+	}
+	var img *Image
+	if envLazy() {
+		img, err = LazyImageFromVerifiedModule(mod, tgt, jopts)
+	} else {
+		img, err = ImageFromVerifiedModule(mod, tgt, jopts)
+	}
 	if err != nil {
 		return nil, err
 	}

@@ -243,10 +243,20 @@ func (c *Compiler) CompileModuleReport(mod *cil.Module) (*nisa.Program, *Report,
 
 // CompileMethod compiles a single method.
 func (c *Compiler) CompileMethod(mod *cil.Module, m *cil.Method) (*nisa.Func, error) {
+	f, _, err := c.CompileMethodReport(mod, m)
+	return f, err
+}
+
+// CompileMethodReport compiles a single method and returns its
+// annotation-negotiation outcomes. It is the entry point of lazy on-demand
+// compilation: the runtime calls it once per method on first call, and the
+// emitted code is bit-identical to the same method's slot in a
+// CompileModuleReport build (both run the same translate → register-assignment
+// pipeline on a pooled scratch state).
+func (c *Compiler) CompileMethodReport(mod *cil.Module, m *cil.Method) (*nisa.Func, []anno.Outcome, error) {
 	st := getState()
 	defer putState(st)
-	f, _, err := c.compileMethod(st, mod, m)
-	return f, err
+	return c.compileMethod(st, mod, m)
 }
 
 // negotiateAnnotations runs load-time negotiation for every annotation the

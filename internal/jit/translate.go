@@ -468,17 +468,20 @@ func (t *translator) translate(pc int, in cil.Instr) error {
 		}
 
 	case cil.Call:
-		callee := t.mod.Method(in.Str)
-		if callee == nil {
+		// Local methods and imported ones translate identically — the import
+		// table carries the signature, and the hash-qualified symbol stays in
+		// the native code as the stub the linker resolves at run time.
+		params, ret, ok := t.mod.ResolveCall(in.Str)
+		if !ok {
 			return fmt.Errorf("call to unknown method %q", in.Str)
 		}
-		args := make([]nisa.Reg, len(callee.Params))
-		for i := len(callee.Params) - 1; i >= 0; i-- {
+		args := make([]nisa.Reg, len(params))
+		for i := len(params) - 1; i >= 0; i-- {
 			args[i] = t.vr(t.materialize(t.pop()))
 		}
 		call := nisa.Instr{Op: nisa.Call, Sym: in.Str, Args: args}
-		if callee.Ret.Kind != cil.Void {
-			retKind := slotKindOf(callee.Ret).StackKind()
+		if ret.Kind != cil.Void {
+			retKind := slotKindOf(ret).StackKind()
 			rd := t.newVreg(classOfStack(retKind))
 			call.Rd = t.vr(rd)
 			call.Kind = retKind

@@ -190,6 +190,7 @@ type dinstr struct {
 	fimm float64
 
 	callee *nisa.Func
+	sym    string // call symbol, kept for resolver-based late binding
 	args   []argsrc
 	errMsg string
 }
@@ -427,8 +428,10 @@ func (m *Machine) decodeInstr(in *nisa.Instr, d *dinstr) {
 	case nisa.Call:
 		d.x = xCall
 		// The callee is resolved once; unknown callees keep reporting the
-		// original runtime error if the call ever executes.
+		// original runtime error if the call ever executes — unless the
+		// machine has a resolver, which binds the kept symbol on first call.
 		d.callee = m.Program.Func(in.Sym)
+		d.sym = in.Sym
 		if d.callee == nil {
 			d.errMsg = fmt.Sprintf("unknown callee %q", in.Sym)
 		}

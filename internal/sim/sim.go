@@ -95,6 +95,44 @@ type Machine struct {
 	// uncancellable path at one always-false compare per instruction.
 	runCtx      context.Context
 	interruptAt int64
+
+	// resolver, when set, supplies functions the program does not hold yet:
+	// the lazy-JIT trampoline. A call to an unknown symbol asks the resolver
+	// once, patches the machine's program and the pre-decoded call site, and
+	// re-dispatches; without a resolver unknown callees keep reporting the
+	// original runtime error.
+	resolver Resolver
+}
+
+// Resolver produces the native code of a symbol on first call. The context is
+// the one the enclosing CallContext run carries (context.Background for plain
+// Call): a cancelled run aborts resolution without patching anything, so a
+// later call retries cleanly.
+type Resolver func(ctx context.Context, sym string) (*nisa.Func, error)
+
+// SetResolver installs the machine's lazy-call resolver (nil disables it).
+// Resolution results are patched into the machine's own Program, so machines
+// sharing compiled functions must each carry their own Program value.
+func (m *Machine) SetResolver(r Resolver) { m.resolver = r }
+
+// resolve asks the resolver for sym and patches the program on success. The
+// program map is keyed by the call symbol, not the function's own name: a
+// hash-qualified cross-module symbol resolves to a function whose Name is the
+// plain method name in its home module.
+func (m *Machine) resolve(sym string) (*nisa.Func, error) {
+	ctx := m.runCtx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	f, err := m.resolver(ctx, sym)
+	if err != nil {
+		return nil, err
+	}
+	if f == nil {
+		return nil, fmt.Errorf("sim: resolver returned no function for %q", sym)
+	}
+	m.Program.Funcs[sym] = f
+	return f, nil
 }
 
 // interruptStride is how many instructions run between context polls in
@@ -210,6 +248,12 @@ func (fr *dframe) argBuf(n int) []argval {
 // result (integers and addresses in I, floats in F).
 func (m *Machine) Call(name string, args ...Value) (Value, error) {
 	f := m.Program.Func(name)
+	if f == nil && m.resolver != nil {
+		var err error
+		if f, err = m.resolve(name); err != nil {
+			return Value{}, fmt.Errorf("sim: %q: %w", name, err)
+		}
+	}
 	if f == nil {
 		return Value{}, fmt.Errorf("sim: unknown function %q", name)
 	}
@@ -625,7 +669,21 @@ func (m *Machine) exec(f *nisa.Func, args []argval) (Value, error) {
 
 		case xCall:
 			if d.callee == nil {
-				return Value{}, fmt.Errorf("sim: %s @%d: %s", f.Name, pc, d.errMsg)
+				// Slow path, taken at most once per call site: lazy callees
+				// resolve through the machine's resolver and patch the
+				// pre-decoded record; without a resolver the decode-time
+				// error is reported here, like the original interpreter.
+				if m.resolver == nil {
+					return Value{}, fmt.Errorf("sim: %s @%d: %s", f.Name, pc, d.errMsg)
+				}
+				callee := m.Program.Func(d.sym)
+				if callee == nil {
+					var err error
+					if callee, err = m.resolve(d.sym); err != nil {
+						return Value{}, fmt.Errorf("sim: %s @%d: call %q: %w", f.Name, pc, d.sym, err)
+					}
+				}
+				d.callee = callee
 			}
 			cargs := m.frameAt(m.callDep + 1).argBuf(len(d.args))
 			for i := range d.args {

@@ -18,6 +18,10 @@ import (
 type Deployment struct {
 	d         *core.Deployment
 	fromCache bool
+	fromDisk  bool
+	// linked is set on DeployLinked deployments: the validated link set the
+	// machine spans; per-method state queries then aggregate over its units.
+	linked *core.Linked
 }
 
 // KernelRun is the result of running a benchmark kernel once on a
@@ -30,6 +34,64 @@ func (dp *Deployment) Target() *target.Desc { return dp.d.Target }
 // FromCache reports whether the native code came from the engine's code
 // cache rather than a fresh JIT compilation.
 func (dp *Deployment) FromCache() bool { return dp.fromCache }
+
+// FromDisk reports whether the native code was materialized from the
+// engine's persistent cache layer (a restart or a replica sharing the
+// volume); every FromDisk deployment is also FromCache.
+func (dp *Deployment) FromDisk() bool { return dp.fromDisk }
+
+// Lazy reports whether this deployment compiles methods on their first call
+// (WithLazyCompile) instead of having compiled everything at deploy time.
+func (dp *Deployment) Lazy() bool {
+	if dp.linked != nil {
+		return dp.linked.Lazy()
+	}
+	return dp.d.Image != nil && dp.d.Image.Lazy()
+}
+
+// MethodState is one method's position in the lazy compilation lifecycle.
+type MethodState = core.MethodState
+
+// The lazy method states (see core.MethodState).
+const (
+	MethodStub      = core.MethodStub
+	MethodCompiling = core.MethodCompiling
+	MethodReady     = core.MethodReady
+)
+
+// MethodCompileState is one method's entry in a CompileState report.
+type MethodCompileState = core.MethodCompileState
+
+// CompileState reports the per-method compilation state of the deployment's
+// image, shared by every deployment of that image: eager deployments report
+// every method ready, lazy ones the live stub/compiling/ready table.
+func (dp *Deployment) CompileState() map[string]MethodCompileState {
+	if dp.linked != nil {
+		return dp.linked.CompileState()
+	}
+	if dp.d.Image != nil {
+		return dp.d.Image.CompileState()
+	}
+	out := make(map[string]MethodCompileState, len(dp.d.Module.Methods))
+	for _, m := range dp.d.Module.Methods {
+		out[m.Name] = MethodCompileState{State: core.MethodReady}
+	}
+	return out
+}
+
+// MethodCounts returns how many of the deployment's methods have native
+// code and how many the module has in total. Eager deployments always
+// report compiled == total; a fresh lazy deployment reports 0 compiled.
+func (dp *Deployment) MethodCounts() (compiled, total int) {
+	if dp.linked != nil {
+		return dp.linked.MethodCounts()
+	}
+	if dp.d.Image != nil {
+		return dp.d.Image.MethodCounts()
+	}
+	n := len(dp.d.Module.Methods)
+	return n, n
+}
 
 // AnnotationOutcome is the negotiated status of one annotation of one
 // method: the schema version it declared and whether it was consumed or
@@ -56,6 +118,12 @@ type CompileReport struct {
 	// AnnotationFallbacks counts the sections that degraded to online-only
 	// compilation (never an error: annotations are advisory).
 	AnnotationFallbacks int `json:"annotation_fallbacks"`
+	// Lazy reports whether the deployment compiles methods on first call.
+	Lazy bool `json:"lazy,omitempty"`
+	// MethodsCompiled/MethodsTotal are the image's per-method progress at
+	// the moment the report was taken (equal on eager deployments).
+	MethodsCompiled int `json:"methods_compiled"`
+	MethodsTotal    int `json:"methods_total"`
 }
 
 // AnnotationFallbacks returns the number of annotation sections of this
@@ -64,21 +132,49 @@ type CompileReport struct {
 func (dp *Deployment) AnnotationFallbacks() int { return dp.d.AnnotationFallbacks }
 
 // CompileReport returns the compilation report of this deployment's image.
+// On lazy deployments the report is a live snapshot: CompileNanos and the
+// method counts grow as first calls compile methods.
 func (dp *Deployment) CompileReport() CompileReport {
+	compiled, total := dp.MethodCounts()
 	return CompileReport{
 		Target:              dp.d.Target.Name,
 		FromCache:           dp.fromCache,
 		JITSteps:            dp.d.JITSteps,
-		CompileNanos:        dp.d.CompileNanos,
+		CompileNanos:        dp.CompileNanos(),
 		AnnotationOutcomes:  append([]AnnotationOutcome(nil), dp.d.AnnotationOutcomes...),
 		AnnotationFallbacks: dp.d.AnnotationFallbacks,
+		Lazy:                dp.Lazy(),
+		MethodsCompiled:     compiled,
+		MethodsTotal:        total,
 	}
 }
 
 // CompileNanos returns the wall-clock time the JIT spent producing this
-// deployment's image (the original compilation's cost when the image came
-// from the code cache).
-func (dp *Deployment) CompileNanos() int64 { return dp.d.CompileNanos }
+// deployment's native code: the image compilation on eager deployments (the
+// original compilation's cost when the image came from the code cache), the
+// sum of the first-call method compilations so far on lazy ones.
+func (dp *Deployment) CompileNanos() int64 {
+	n := dp.d.CompileNanos
+	if dp.linked != nil {
+		return n + dp.linked.LazyCompileNanos()
+	}
+	if dp.d.Image != nil {
+		n += dp.d.Image.LazyCompileNanos()
+	}
+	return n
+}
+
+// EnsureCompiled forces a lazy deployment fully compiled, as if every
+// method (of every linked unit) had already taken its first call: each
+// resolution is the usual singleflight JIT shared with every other
+// deployment of the image, so warming one canary this way warms the whole
+// fleet through the method store. Afterwards code-derived statistics
+// (NativeCodeBytes, SpillSummary, SpillWeight, JITSteps) equal the eager
+// deployment's. Eager deployments are a no-op; cancelling ctx aborts
+// between methods, leaving the usual consistent partial state.
+func (dp *Deployment) EnsureCompiled(ctx context.Context) error {
+	return dp.d.EnsureCompiled(ctx)
+}
 
 // Run executes an entry point on the deployment's machine.
 func (dp *Deployment) Run(entry string, args ...Value) (Value, error) {
@@ -100,8 +196,17 @@ func (dp *Deployment) RunKernel(k Kernel, in *Inputs) (*KernelRun, error) {
 	return dp.d.RunKernel(k, in)
 }
 
-// Signature returns the signature of a named method of the deployed module.
+// Signature returns the signature of a named method of the deployed module
+// (any module of the set, on linked deployments).
 func (dp *Deployment) Signature(entry string) (Signature, error) {
+	if dp.linked != nil {
+		for _, u := range dp.linked.Units {
+			if meth := u.Image.Module.Method(entry); meth != nil {
+				return signatureOf(meth), nil
+			}
+		}
+		return Signature{}, fmt.Errorf("splitvm: no method %q in link set", entry)
+	}
 	meth := dp.d.Module.Method(entry)
 	if meth == nil {
 		return Signature{}, fmt.Errorf("splitvm: no method %q in module %s", entry, dp.d.Module.Name)

@@ -119,7 +119,7 @@ func TestDiskCacheKeyedByOptions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	deploys := [][]Option{
+	deploys := [][]DeployOption{
 		{WithTarget(target.X86SSE)},
 		{WithTarget(target.MCU)},
 		{WithTarget(target.X86SSE), WithRegAllocMode(RegAllocOnline)},

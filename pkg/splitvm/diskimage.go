@@ -60,9 +60,73 @@ type DiskCacheStats = diskcache.Stats
 // bump starts a fresh namespace instead of mass-invalidating reads.
 func diskName(key cacheKey) string {
 	h := sha256.New()
-	fmt.Fprintf(h, "%s|%x|%#v|%d|%t|%d", diskFormat,
-		key.hash, key.desc, key.regAlloc, key.forceScalarize, key.minAnnoVersion)
+	fmt.Fprintf(h, "%s|%x|%#v|%d|%t|%d|%t", diskFormat,
+		key.hash, key.desc, key.regAlloc, key.forceScalarize, key.minAnnoVersion, key.lazy)
 	return hex.EncodeToString(h.Sum(nil))
+}
+
+// diskMethodFormat versions the per-method payload the lazy layer persists
+// (one entry per first-call compilation, fleet-wide).
+const diskMethodFormat = "svdc-mth-v1"
+
+// diskMethod is the serialized form of one lazily compiled method.
+type diskMethod struct {
+	Format       string
+	Name         string
+	Func         *nisa.Func
+	CompileNanos int64
+}
+
+// methodStore adapts the engine's disk store to the core.MethodStore
+// interface for one cache key: every replica mounting the same volume and
+// deploying the same (module, target, options) resolves its first calls
+// against the same per-method entries, so each method JIT-compiles at most
+// once fleet-wide. Same durability contract as whole images: writes are
+// best-effort, corrupt entries degrade to recompilation.
+type methodStore struct {
+	disk *diskcache.Store
+	// base is the cache key's content address; method entries are addressed
+	// under it so two modules sharing a method name never collide.
+	base string
+}
+
+func (e *Engine) methodStore(key cacheKey) core.MethodStore {
+	return &methodStore{disk: e.disk, base: diskName(key)}
+}
+
+func (s *methodStore) entryName(method string) string {
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%s|%s", diskMethodFormat, s.base, method)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+func (s *methodStore) GetMethod(name string) (*core.CompiledMethod, bool) {
+	payload, ok := s.disk.Get(s.entryName(name))
+	if !ok {
+		return nil, false
+	}
+	var dm diskMethod
+	if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&dm); err != nil {
+		return nil, false
+	}
+	if dm.Format != diskMethodFormat || dm.Name != name || dm.Func == nil {
+		return nil, false
+	}
+	return &core.CompiledMethod{Func: dm.Func, CompileNanos: dm.CompileNanos}, true
+}
+
+func (s *methodStore) PutMethod(name string, cm *core.CompiledMethod) {
+	var buf bytes.Buffer
+	err := gob.NewEncoder(&buf).Encode(&diskMethod{
+		Format:       diskMethodFormat,
+		Name:         name,
+		Func:         cm.Func,
+		CompileNanos: cm.CompileNanos,
+	})
+	if err != nil {
+		return
+	}
+	s.disk.Put(s.entryName(name), buf.Bytes())
 }
 
 // loadFromDisk resolves a cache key against the disk store and

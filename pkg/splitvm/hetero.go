@@ -62,28 +62,25 @@ func EmbeddedSoC() *System { return hetero.EmbeddedSoC() }
 // go through the engine's code cache, so a system with several accelerators
 // of the same kind compiles once — and repeated DeployHetero calls for the
 // same module reuse all native code.
-func (e *Engine) DeployHetero(sys *System, m *Module, policy Policy, opts ...Option) (*HeteroRuntime, error) {
+func (e *Engine) DeployHetero(sys *System, m *Module, policy Policy, opts ...DeployOption) (*HeteroRuntime, error) {
 	if m == nil {
 		return nil, fmt.Errorf("splitvm: DeployHetero needs a module (did Compile fail?)")
 	}
-	cfg := e.config(opts)
-	jopts := jit.Options{
-		RegAlloc:             cfg.regAlloc,
-		ForceScalarize:       cfg.forceScalarize,
-		MinAnnotationVersion: cfg.minAnnoVersion,
-		CompileWorkers:       cfg.compileWorkers,
+	if len(m.mod.Imports) > 0 {
+		return nil, fmt.Errorf("splitvm: module %q imports other modules; use Engine.Link and DeployLinked so its cross-module calls resolve at link time", m.mod.Name)
 	}
+	cfg := e.deployConfig(opts)
+	jopts := cfg.jitOptions()
 	deploy := func(encoded []byte, tgt *target.Desc, _ jit.Options) (*core.Deployment, error) {
 		if cfg.noCache {
 			priv := *tgt // never alias the system's descriptor in a long-lived image
-			img, err := core.ImageFromVerifiedModule(m.mod, &priv, jopts)
+			img, err := e.buildImage(m, &priv, jopts, cfg.lazyCompile, cacheKey{})
 			if err != nil {
 				return nil, err
 			}
-			e.countCompilation(img)
 			return img.Instantiate(), nil
 		}
-		img, _, err := e.image(context.Background(), m, tgt, jopts)
+		img, _, _, err := e.image(context.Background(), m, tgt, jopts, cfg.lazyCompile)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,267 @@
+package splitvm
+
+import (
+	"strings"
+	"testing"
+)
+
+const linkUtilSource = `
+i64 cube(i64 x) {
+    return x * x * x;
+}
+`
+
+const linkMainSource = `
+i64 sumcubes(i32 n) {
+    i64 s = 0;
+    for (i32 i = 1; i <= n; i++) { s = s + cube((i64) i); }
+    return s;
+}
+`
+
+// compileLinkPair compiles the util/main pair as two modules; main's call to
+// cube crosses the module boundary and becomes a content-hash import.
+func compileLinkPair(t *testing.T, eng *Engine) (util, main *Module) {
+	t.Helper()
+	mods, err := eng.CompileModules([]ModuleSource{
+		{Name: "util", Source: linkUtilSource},
+		{Name: "main", Source: linkMainSource},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mods) != 2 {
+		t.Fatalf("CompileModules returned %d modules, want 2", len(mods))
+	}
+	return mods[0], mods[1]
+}
+
+// TestCompileModulesLinkDeploy is the multi-module acceptance walk: compile
+// a two-module program, link it, deploy it, and get results and simulated
+// cycles identical to the same program compiled as one module.
+func TestCompileModulesLinkDeploy(t *testing.T) {
+	eng := New()
+	util, mainMod := compileLinkPair(t, eng)
+
+	if n := len(util.mod.Imports); n != 0 {
+		t.Fatalf("util has %d imports, want 0", n)
+	}
+	if n := len(mainMod.mod.Imports); n != 1 {
+		t.Fatalf("main has %d imports, want 1 (the cross-module call to cube)", n)
+	}
+	if mainMod.mod.Imports[0].Hash != util.hash {
+		t.Fatal("main's import hash is not util's content hash")
+	}
+
+	lm, err := eng.Link(util, mainMod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lm.Methods(); len(got) != 2 {
+		t.Fatalf("linked methods = %v", got)
+	}
+	dep, err := eng.DeployLinked(lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := dep.Run("sumcubes", IntArg(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.I != 3025 { // (10*11/2)^2
+		t.Fatalf("sumcubes(10) = %v, want 3025", got)
+	}
+	// Methods of every unit are callable by plain name.
+	if v, err := dep.Run("cube", IntArg(7)); err != nil || v.I != 343 {
+		t.Fatalf("cube(7) = %v, %v", v, err)
+	}
+
+	// Splitting must not change the generated code: the concatenated
+	// single-module program gives the same result and the same cycles for
+	// the same call.
+	mono, err := eng.Compile(linkUtilSource + linkMainSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := eng.Deploy(mono)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Run("sumcubes", IntArg(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep2, err := eng.DeployLinked(lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := dep2.Run("sumcubes", IntArg(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got2 != want {
+		t.Fatalf("linked result %v != single-module result %v", got2, want)
+	}
+	if ref.Cycles() != dep2.Cycles() {
+		t.Fatalf("linked cycles %d != single-module cycles %d", dep2.Cycles(), ref.Cycles())
+	}
+}
+
+// TestLinkedFromLoadedBytes: the byte streams carry the import table, so a
+// fresh engine can reconstruct and deploy the linked program from bytes
+// alone — the paper's distribution model across a module boundary.
+func TestLinkedFromLoadedBytes(t *testing.T) {
+	producer := New()
+	util, mainMod := compileLinkPair(t, producer)
+
+	consumer := New()
+	utilLoaded, err := consumer.Load(util.Encoded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	mainLoaded, err := consumer.Load(mainMod.Encoded())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lm, err := consumer.Link(utilLoaded, mainLoaded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := consumer.DeployLinked(lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, err := dep.Run("sumcubes", IntArg(5)); err != nil || got.I != 225 {
+		t.Fatalf("sumcubes(5) = %v, %v, want 225", got, err)
+	}
+}
+
+// TestLinkMissingDependencyFailsEarly pins the failure-locality satellite: a
+// module whose import is absent from the set is a Link error naming the
+// dependency — and a plain Deploy error — never a first-call panic.
+func TestLinkMissingDependencyFailsEarly(t *testing.T) {
+	eng := New()
+	_, mainMod := compileLinkPair(t, eng)
+
+	if _, err := eng.Link(mainMod); err == nil || !strings.Contains(err.Error(), "not in the link set") {
+		t.Fatalf("Link without the dependency = %v, want a missing-import error", err)
+	}
+	if _, err := eng.Deploy(mainMod); err == nil || !strings.Contains(err.Error(), "Link") {
+		t.Fatalf("Deploy of an importing module = %v, want an error directing to Link", err)
+	}
+	if _, err := eng.DeployHetero(CellLike(), mainMod, HostOnly); err == nil {
+		t.Fatal("DeployHetero accepted an importing module")
+	}
+}
+
+// TestLinkDuplicateMethodNames: method names must be unique across a link
+// set, so plain-name dispatch is unambiguous.
+func TestLinkDuplicateMethodNames(t *testing.T) {
+	eng := New()
+	a, err := eng.Compile(linkUtilSource, WithModuleName("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := eng.Compile(linkUtilSource+"\ni64 other(i64 x) { return x; }", WithModuleName("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eng.Link(a, b); err == nil || !strings.Contains(err.Error(), "unique") {
+		t.Fatalf("Link with duplicate method names = %v, want a uniqueness error", err)
+	}
+	if _, err := eng.Link(a, a); err == nil {
+		t.Fatal("Link accepted the same module twice")
+	}
+}
+
+// TestCompileModulesRejectsCycles: cross-source call cycles cannot be
+// content-hashed (a module's hash cannot include itself) and must fail the
+// offline compilation with a clear error.
+func TestCompileModulesRejectsCycles(t *testing.T) {
+	eng := New()
+	_, err := eng.CompileModules([]ModuleSource{
+		{Name: "a", Source: "i64 pingf(i64 x) { if (x <= 0) { return 0; } return pongf(x - 1); }"},
+		{Name: "b", Source: "i64 pongf(i64 x) { if (x <= 0) { return 1; } return pingf(x - 1); }"},
+	})
+	if err == nil || !strings.Contains(err.Error(), "cycle") {
+		t.Fatalf("CompileModules with a cross-module cycle = %v, want a cycle error", err)
+	}
+}
+
+// TestDeployLinkedLazy: lazy compilation composes with linking — nothing
+// compiles at deploy time, a cross-module call resolves callee methods on
+// demand, and results and cycles stay identical to the eager linked deploy.
+func TestDeployLinkedLazy(t *testing.T) {
+	eng := New()
+	util, mainMod := compileLinkPair(t, eng)
+	lm, err := eng.Link(util, mainMod)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	eager, err := eng.DeployLinked(lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := eager.Run("sumcubes", IntArg(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	lazy, err := eng.DeployLinked(lm, WithLazyCompile(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lazy.Lazy() {
+		t.Fatal("Lazy() = false on a lazy linked deployment")
+	}
+	if compiled, total := lazy.MethodCounts(); compiled != 0 || total != 2 {
+		t.Fatalf("fresh lazy linked counts = %d/%d, want 0/2", compiled, total)
+	}
+	got, err := lazy.Run("sumcubes", IntArg(12))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("lazy linked result %v != eager %v", got, want)
+	}
+	if eager.Cycles() != lazy.Cycles() {
+		t.Fatalf("lazy linked cycles %d != eager %d", lazy.Cycles(), eager.Cycles())
+	}
+	// The cross-module call demanded cube transitively: both methods ready.
+	if compiled, total := lazy.MethodCounts(); compiled != 2 || total != 2 {
+		t.Fatalf("lazy linked counts after run = %d/%d, want 2/2", compiled, total)
+	}
+	rep := lazy.CompileReport()
+	if !rep.Lazy || rep.MethodsCompiled != 2 || rep.MethodsTotal != 2 {
+		t.Fatalf("lazy linked CompileReport = %+v", rep)
+	}
+}
+
+// TestDeployLinkedSharesCache: repeated linked deployments resolve every
+// unit from the engine's code cache.
+func TestDeployLinkedSharesCache(t *testing.T) {
+	eng := New()
+	util, mainMod := compileLinkPair(t, eng)
+	lm, err := eng.Link(util, mainMod)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := eng.DeployLinked(lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.FromCache() {
+		t.Fatal("first linked deploy claims a cache hit")
+	}
+	second, err := eng.DeployLinked(lm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.FromCache() {
+		t.Fatal("second linked deploy missed the code cache")
+	}
+	if cs := eng.CompileStats(); cs.Compilations != 2 {
+		t.Fatalf("compilations = %d, want 2 (one per unit, once)", cs.Compilations)
+	}
+}

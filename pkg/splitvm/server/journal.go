@@ -40,6 +40,7 @@ type journalDeployRecord struct {
 	Tenant         string `json:"tenant,omitempty"`
 	RegAlloc       string `json:"reg_alloc,omitempty"`
 	ForceScalarize bool   `json:"force_scalarize,omitempty"`
+	Lazy           bool   `json:"lazy,omitempty"`
 	Tiering        bool   `json:"tiering,omitempty"`
 	PromoteCalls   int64  `json:"promote_calls,omitempty"`
 	Profile        []byte `json:"profile,omitempty"`
@@ -175,10 +176,11 @@ func (s *Server) instantiateFromJournal(dr journalDeployRecord) (*liveDeployment
 	if err != nil {
 		return nil, err
 	}
-	opts := []splitvm.Option{
+	opts := []splitvm.DeployOption{
 		splitvm.WithTarget(arch),
 		splitvm.WithRegAllocMode(mode),
 		splitvm.WithForceScalarize(dr.ForceScalarize),
+		splitvm.WithLazyCompile(dr.Lazy),
 	}
 	if dr.Tiering || dr.PromoteCalls != 0 || len(dr.Profile) > 0 {
 		opts = append(opts, splitvm.WithTiering(true))
@@ -209,6 +211,7 @@ func (s *Server) instantiateFromJournal(dr journalDeployRecord) (*liveDeployment
 		dep:            dep,
 		regAlloc:       dr.RegAlloc,
 		forceScalarize: dr.ForceScalarize,
+		lazy:           dr.Lazy,
 		tiering:        dr.Tiering,
 		promoteCalls:   dr.PromoteCalls,
 		profile:        dr.Profile,
@@ -251,6 +254,7 @@ func deployRecordOf(ld *liveDeployment) journalDeployRecord {
 		Tenant:         ld.tenant,
 		RegAlloc:       ld.regAlloc,
 		ForceScalarize: ld.forceScalarize,
+		Lazy:           ld.lazy,
 		Tiering:        ld.tiering,
 		PromoteCalls:   ld.promoteCalls,
 		Profile:        ld.profile,

@@ -13,7 +13,7 @@ import (
 type deployJob struct {
 	ctx  context.Context
 	m    *splitvm.Module
-	opts []splitvm.Option
+	opts []splitvm.DeployOption
 	res  chan deployResult
 }
 

@@ -179,6 +179,7 @@ type liveDeployment struct {
 	// journal can re-create it verbatim on replay and compaction.
 	regAlloc       string
 	forceScalarize bool
+	lazy           bool
 	tiering        bool
 	promoteCalls   int64
 	profile        []byte
@@ -431,6 +432,12 @@ type DeployRequest struct {
 	RegAlloc string `json:"reg_alloc,omitempty"`
 	// ForceScalarize makes the JIT ignore the target's SIMD unit.
 	ForceScalarize bool `json:"force_scalarize,omitempty"`
+	// Lazy deploys with on-demand compilation: the machines install
+	// per-method stubs and JIT each method on its first call (once per
+	// image, shared by every replica; once fleet-wide with a shared disk
+	// cache). Results and simulated cycles are identical to an eager
+	// deployment — only when compile time is paid changes.
+	Lazy bool `json:"lazy,omitempty"`
 	// Tiering enables runtime profiling and tier-2 promotion on the
 	// deployed machines (per machine; the cached JIT image is shared with
 	// untiered deployments because tier 2 never changes simulated
@@ -473,12 +480,27 @@ type DeploymentInfo struct {
 	// this server could not negotiate: the deployment runs (tiered, if
 	// requested) without it.
 	ProfileFallback string `json:"profile_fallback,omitempty"`
+	// Lazy reports whether the deployment compiles methods on first call;
+	// MethodsCompiled/MethodsTotal are its per-method progress at response
+	// time (equal on eager deployments, MethodsCompiled 0 on a fresh lazy
+	// one).
+	Lazy            bool `json:"lazy,omitempty"`
+	MethodsCompiled int  `json:"methods_compiled"`
+	MethodsTotal    int  `json:"methods_total"`
+	// FromDisk reports that the native code was materialized from the
+	// engine's persistent cache layer (a warm restart or a replica sharing
+	// the cache volume); every FromDisk deployment is also FromCache.
+	FromDisk bool `json:"from_disk,omitempty"`
 }
 
 // DeployResponse lists the deployments a batch created, in target-major,
 // replica-minor order.
 type DeployResponse struct {
 	Deployments []DeploymentInfo `json:"deployments"`
+	// DiskHits counts how many of the batch's deployments were served from
+	// the engine's persistent cache layer instead of being JIT-compiled
+	// (always zero without a disk cache).
+	DiskHits int `json:"disk_hits"`
 }
 
 // tenantOf attributes a request to a tenant: the X-Tenant header, or the
@@ -606,9 +628,10 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		}
 	}()
 
-	opts := []splitvm.Option{
+	opts := []splitvm.DeployOption{
 		splitvm.WithRegAllocMode(mode),
 		splitvm.WithForceScalarize(req.ForceScalarize),
+		splitvm.WithLazyCompile(req.Lazy),
 	}
 	tiering := req.Tiering || req.PromoteCalls != 0 || len(req.Profile) > 0
 	if tiering {
@@ -643,7 +666,7 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 			j := &deployJob{
 				ctx:  r.Context(),
 				m:    m,
-				opts: append([]splitvm.Option{splitvm.WithTarget(a)}, opts...),
+				opts: append([]splitvm.DeployOption{splitvm.WithTarget(a)}, opts...),
 				res:  make(chan deployResult, 1),
 			}
 			if !p.trySubmit(j) {
@@ -664,6 +687,7 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 	}
 
 	infos := make([]DeploymentInfo, 0, len(queued))
+	diskHits := 0
 	var deps []*liveDeployment
 	for _, pq := range queued {
 		var res deployResult
@@ -687,21 +711,30 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 			dep:            res.dep,
 			regAlloc:       req.RegAlloc,
 			forceScalarize: req.ForceScalarize,
+			lazy:           req.Lazy,
 			tiering:        req.Tiering,
 			promoteCalls:   req.PromoteCalls,
 			profile:        req.Profile,
 		}
 		deps = append(deps, ld)
+		if res.dep.FromDisk() {
+			diskHits++
+		}
+		compiled, total := res.dep.MethodCounts()
 		infos = append(infos, DeploymentInfo{
 			Module:              req.Module,
 			Target:              string(pq.arch),
 			FromCache:           res.dep.FromCache(),
+			FromDisk:            res.dep.FromDisk(),
 			JITSteps:            res.dep.JITSteps(),
 			CompileNanos:        res.dep.CompileNanos(),
 			NativeCodeBytes:     res.dep.NativeCodeBytes(),
 			AnnotationFallbacks: res.dep.AnnotationFallbacks(),
 			Tiering:             res.dep.TieringEnabled(),
 			ProfileFallback:     profileFallback,
+			Lazy:                res.dep.Lazy(),
+			MethodsCompiled:     compiled,
+			MethodsTotal:        total,
 		})
 	}
 
@@ -725,7 +758,7 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 	}
 	reserved = false
 	s.mu.Unlock()
-	writeJSON(w, http.StatusCreated, DeployResponse{Deployments: infos})
+	writeJSON(w, http.StatusCreated, DeployResponse{Deployments: infos, DiskHits: diskHits})
 }
 
 func (s *Server) handleListDeployments(w http.ResponseWriter, r *http.Request) {
@@ -733,16 +766,21 @@ func (s *Server) handleListDeployments(w http.ResponseWriter, r *http.Request) {
 	out := make([]DeploymentInfo, 0, len(s.deployOrder))
 	for _, id := range s.deployOrder {
 		ld := s.deployments[id]
+		compiled, total := ld.dep.MethodCounts()
 		out = append(out, DeploymentInfo{
 			ID:                  id,
 			Module:              ld.module,
 			Target:              string(ld.arch),
 			FromCache:           ld.dep.FromCache(),
+			FromDisk:            ld.dep.FromDisk(),
 			JITSteps:            ld.dep.JITSteps(),
 			CompileNanos:        ld.dep.CompileNanos(),
 			NativeCodeBytes:     ld.dep.NativeCodeBytes(),
 			AnnotationFallbacks: ld.dep.AnnotationFallbacks(),
 			Tiering:             ld.dep.TieringEnabled(),
+			Lazy:                ld.dep.Lazy(),
+			MethodsCompiled:     compiled,
+			MethodsTotal:        total,
 		})
 	}
 	s.mu.Unlock()

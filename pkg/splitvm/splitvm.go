@@ -16,10 +16,34 @@
 //     register allocation annotation) and instantiate a cycle-approximate
 //     machine ready to Run entry points.
 //
-// Both stages are configured with functional options (WithTarget,
-// WithRegAllocMode, WithVectorize, WithAnnotations, ...). Options passed to
-// New become engine-wide defaults; options passed to a single call override
-// them for that call.
+// Both stages are configured with functional options, typed by the stage
+// they configure: a CompileOption (WithVectorize, WithAnnotations, ...)
+// is accepted by Compile, a DeployOption (WithTarget, WithRegAllocMode,
+// WithLazyCompile, ...) by Deploy, and a SharedOption (WithProfile) by
+// both — passing an option to the wrong stage is a compile error, not a
+// silent no-op. Every option also satisfies the root Option interface,
+// which is what New accepts: options passed to New become engine-wide
+// defaults; options passed to a single call override them for that call.
+//
+// Context plumbing follows one convention across the whole surface, stated
+// here once: the *Context variant (CompileContext, DeployContext,
+// DeployLinkedContext, RunContext) is the canonical method, and the short
+// name is a thin wrapper over context.Background(). Cancellation is safe
+// mid-flight by construction — a cancelled deploy leaves the shared code
+// cache consistent (the in-flight compilation completes for the next
+// caller), and a cancelled lazy run never leaves a half-patched dispatch
+// table: the method stays a stub and the next call compiles it.
+//
+// Deployments are eager by default: every method JIT-compiles at deploy
+// time. WithLazyCompile(true) installs per-method stubs instead; each
+// method compiles on its first call (singleflight per image and method),
+// producing code bit-identical to the eager build — results and simulated
+// cycles never depend on compilation timing — and sharing per-method code
+// fleet-wide through the disk cache. Programs authored as several modules
+// compile with CompileModules, validate with Link and deploy with
+// DeployLinked; cross-module calls resolve module-by-content-hash at link
+// time, so a missing or mismatched dependency is a Link error, never a
+// first-call panic.
 //
 // The engine maintains a concurrency-safe code cache keyed by (module
 // content hash, target description, JIT options): repeated deployments of
@@ -45,6 +69,8 @@ import (
 	"os"
 	"sync"
 
+	"repro/internal/anno"
+	"repro/internal/cil"
 	"repro/internal/core"
 	"repro/internal/diskcache"
 	"repro/internal/jit"
@@ -87,6 +113,10 @@ type Engine struct {
 	compilations  int64
 	annoFallbacks int64
 	compileNanos  int64
+	// lazyCompiles counts methods JIT-compiled on first call by lazy
+	// deployments (fleet-store hits excluded); their wall-clock time also
+	// accumulates into compileNanos.
+	lazyCompiles int64
 }
 
 // New returns an engine. The options become the engine's defaults; every
@@ -120,55 +150,109 @@ func New(defaults ...Option) *Engine {
 // memory only — so callers that require durability must check explicitly.
 func (e *Engine) DiskCacheErr() error { return e.diskErr }
 
-// config resolves the effective configuration for one call.
+// config resolves the effective configuration for one call. The three
+// variants differ only in the option type they accept; New's defaults are
+// always applied first.
 func (e *Engine) config(opts []Option) config {
 	cfg := defaultConfig()
 	for _, o := range e.defaults {
-		o(&cfg)
+		o.apply(&cfg)
 	}
 	for _, o := range opts {
-		o(&cfg)
+		o.apply(&cfg)
 	}
 	return cfg
 }
 
+func (e *Engine) compileConfig(opts []CompileOption) config {
+	cfg := e.config(nil)
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	return cfg
+}
+
+func (e *Engine) deployConfig(opts []DeployOption) config {
+	cfg := e.config(nil)
+	for _, o := range opts {
+		o.apply(&cfg)
+	}
+	return cfg
+}
+
+// offlineOptions maps the resolved config onto the core offline compiler.
+func (c *config) offlineOptions() core.OfflineOptions {
+	return core.OfflineOptions{
+		ModuleName:                 c.moduleName,
+		DisableVectorize:           !c.vectorize,
+		DisableRegAllocAnnotations: !c.regAllocAnnotations,
+		DisableAnnotations:         !c.annotations,
+		DisableConstFold:           !c.constFold,
+		AnnotationVersion:          c.annotationVersion,
+	}
+}
+
+// jitOptions maps the resolved config onto the online compiler.
+func (c *config) jitOptions() jit.Options {
+	return jit.Options{
+		RegAlloc:             c.regAlloc,
+		ForceScalarize:       c.forceScalarize,
+		MinAnnotationVersion: c.minAnnoVersion,
+		CompileWorkers:       c.compileWorkers,
+	}
+}
+
 // Compile runs the offline stage on MiniC source text and returns the
 // deployable module.
-func (e *Engine) Compile(source string, opts ...Option) (*Module, error) {
+func (e *Engine) Compile(source string, opts ...CompileOption) (*Module, error) {
 	return e.CompileContext(context.Background(), source, opts...)
 }
 
 // CompileContext is Compile with cancellation between pipeline stages.
-func (e *Engine) CompileContext(ctx context.Context, source string, opts ...Option) (*Module, error) {
-	cfg := e.config(opts)
+func (e *Engine) CompileContext(ctx context.Context, source string, opts ...CompileOption) (*Module, error) {
+	cfg := e.compileConfig(opts)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	res, err := core.CompileOffline(source, core.OfflineOptions{
-		ModuleName:                 cfg.moduleName,
-		DisableVectorize:           !cfg.vectorize,
-		DisableRegAllocAnnotations: !cfg.regAllocAnnotations,
-		DisableAnnotations:         !cfg.annotations,
-		DisableConstFold:           !cfg.constFold,
-		AnnotationVersion:          cfg.annotationVersion,
-	})
+	res, err := core.CompileOffline(source, cfg.offlineOptions())
 	if err != nil {
 		return nil, err
 	}
 	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := cfg.attachProfile(res); err != nil {
 		return nil, err
 	}
 	return newCompiledModule(res)
 }
 
+// attachProfile embeds a WithProfile profile into the compiled module as a
+// versioned annotation (the compile-time half of the shared option) and
+// refreshes the encoded byte stream. Profiles only exist in the enveloped
+// schema, so the attachment always uses the current version regardless of
+// WithAnnotationVersion; WithAnnotations(false) suppresses it like every
+// other annotation.
+func (c *config) attachProfile(res *core.OfflineResult) error {
+	if c.profile == nil || !c.annotations {
+		return nil
+	}
+	if err := anno.AttachProfileV(res.Module, c.profile, anno.CurrentVersion); err != nil {
+		return err
+	}
+	res.Encoded = cil.Encode(res.Module)
+	res.AnnotationBytes = anno.TotalAnnotationBytes(res.Module)
+	return nil
+}
+
 // CompileKernel compiles one named benchmark kernel (see Kernels) with the
 // kernel's name as the default module name.
-func (e *Engine) CompileKernel(name string, opts ...Option) (*Module, Kernel, error) {
+func (e *Engine) CompileKernel(name string, opts ...CompileOption) (*Module, Kernel, error) {
 	k, err := kernels.Get(name)
 	if err != nil {
 		return nil, Kernel{}, err
 	}
-	m, err := e.Compile(k.Source, append([]Option{WithModuleName(name)}, opts...)...)
+	m, err := e.Compile(k.Source, append([]CompileOption{WithModuleName(name)}, opts...)...)
 	return m, k, err
 }
 
@@ -179,19 +263,29 @@ func (e *Engine) Load(encoded []byte) (*Module, error) {
 }
 
 // Deploy runs the online stage: JIT-compile the module for the configured
-// target (through the engine's code cache) and instantiate a machine.
-func (e *Engine) Deploy(m *Module, opts ...Option) (*Deployment, error) {
+// target (through the engine's code cache) and instantiate a machine. With
+// WithLazyCompile the whole-module JIT is replaced by per-method stubs that
+// compile on first call; everything else — decode, verify, cache identity —
+// is unchanged, and the deployment behaves identically apart from when
+// compile time is paid.
+func (e *Engine) Deploy(m *Module, opts ...DeployOption) (*Deployment, error) {
 	return e.DeployContext(context.Background(), m, opts...)
 }
 
 // DeployContext is Deploy with cancellation. A caller whose context expires
 // while another goroutine JIT-compiles the shared image returns early; the
-// compilation itself finishes and stays cached.
-func (e *Engine) DeployContext(ctx context.Context, m *Module, opts ...Option) (*Deployment, error) {
+// compilation itself finishes and stays cached. On lazy deployments the
+// machine threads each Run's context into any first-call compilation it
+// triggers, so a cancelled run aborts the resolution before anything is
+// patched — a later call retries cleanly.
+func (e *Engine) DeployContext(ctx context.Context, m *Module, opts ...DeployOption) (*Deployment, error) {
 	if m == nil {
 		return nil, fmt.Errorf("splitvm: Deploy needs a module (did Compile fail?)")
 	}
-	cfg := e.config(opts)
+	if len(m.mod.Imports) > 0 {
+		return nil, fmt.Errorf("splitvm: module %q imports other modules; use Engine.Link and DeployLinked so its cross-module calls resolve at link time", m.mod.Name)
+	}
+	cfg := e.deployConfig(opts)
 	tgt, err := cfg.targetDesc()
 	if err != nil {
 		return nil, err
@@ -199,30 +293,57 @@ func (e *Engine) DeployContext(ctx context.Context, m *Module, opts ...Option) (
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	jopts := jit.Options{
-		RegAlloc:             cfg.regAlloc,
-		ForceScalarize:       cfg.forceScalarize,
-		MinAnnotationVersion: cfg.minAnnoVersion,
-		CompileWorkers:       cfg.compileWorkers,
-	}
+	jopts := cfg.jitOptions()
 	if cfg.noCache {
 		priv := *tgt // the image outlives the call; never alias the caller's descriptor
-		img, err := core.ImageFromVerifiedModule(m.mod, &priv, jopts)
+		img, err := e.buildImage(m, &priv, jopts, cfg.lazyCompile, cacheKey{})
 		if err != nil {
 			return nil, err
 		}
-		e.countCompilation(img)
 		d := img.Instantiate()
 		cfg.applyTiering(d)
 		return &Deployment{d: d}, nil
 	}
-	img, hit, err := e.image(ctx, m, tgt, jopts)
+	img, hit, diskHit, err := e.image(ctx, m, tgt, jopts, cfg.lazyCompile)
 	if err != nil {
 		return nil, err
 	}
 	d := img.Instantiate()
 	cfg.applyTiering(d)
-	return &Deployment{d: d, fromCache: hit}, nil
+	return &Deployment{d: d, fromCache: hit, fromDisk: diskHit}, nil
+}
+
+// buildImage constructs one image outside the cache lookup: eager (counted
+// as a compilation) or lazy (counted per method as first calls arrive). The
+// key wires lazy images to the per-method disk store; the zero key — the
+// no-cache path — leaves them store-less.
+func (e *Engine) buildImage(m *Module, tgt *target.Desc, jopts jit.Options, lazy bool, key cacheKey) (*core.Image, error) {
+	if !lazy {
+		img, err := core.ImageFromVerifiedModule(m.mod, tgt, jopts)
+		if err != nil {
+			return nil, err
+		}
+		e.countCompilation(img)
+		return img, nil
+	}
+	img, err := core.LazyImageFromVerifiedModule(m.mod, tgt, jopts)
+	if err != nil {
+		return nil, err
+	}
+	if e.disk != nil && key != (cacheKey{}) {
+		img.SetMethodStore(e.methodStore(key))
+	}
+	img.OnLazyCompile(func(method string, nanos int64, fromStore bool) {
+		e.mu.Lock()
+		if fromStore {
+			e.diskHits++
+		} else {
+			e.lazyCompiles++
+			e.compileNanos += nanos
+		}
+		e.mu.Unlock()
+	})
+	return img, nil
 }
 
 // cacheKey identifies one JIT compilation. The target description is keyed
@@ -237,6 +358,11 @@ type cacheKey struct {
 	regAlloc       jit.RegAllocMode
 	forceScalarize bool
 	minAnnoVersion uint32
+	// lazy separates lazily materialized images from eager ones: the native
+	// code is bit-identical method by method, but an eager image is complete
+	// at deploy time while a lazy one fills in as methods are first called,
+	// so the two must never be the same cache entry.
+	lazy bool
 }
 
 // cacheEntry is one cached (or in-flight) JIT compilation. ready is closed
@@ -257,15 +383,17 @@ type cacheEntry struct {
 }
 
 // image returns the JIT-compiled image for (module, target, options),
-// building it at most once per key. The boolean reports whether the image
-// came from the cache (joining an in-flight compilation counts as a hit).
-func (e *Engine) image(ctx context.Context, m *Module, tgt *target.Desc, jopts jit.Options) (*core.Image, bool, error) {
+// building it at most once per key. The first boolean reports whether the
+// image came from the cache (joining an in-flight compilation counts as a
+// hit); the second whether it was materialized from the persistent layer.
+func (e *Engine) image(ctx context.Context, m *Module, tgt *target.Desc, jopts jit.Options, lazy bool) (*core.Image, bool, bool, error) {
 	key := cacheKey{
 		hash:           m.hash,
 		desc:           *tgt,
 		regAlloc:       jopts.RegAlloc,
 		forceScalarize: jopts.ForceScalarize,
 		minAnnoVersion: jopts.MinAnnotationVersion,
+		lazy:           lazy,
 	}
 	// The cached image must describe exactly the key it is stored under:
 	// build and instantiate from the key's private copy of the descriptor,
@@ -282,10 +410,10 @@ func (e *Engine) image(ctx context.Context, m *Module, tgt *target.Desc, jopts j
 		select {
 		case <-ent.ready:
 		case <-ctx.Done():
-			return nil, false, ctx.Err()
+			return nil, false, false, ctx.Err()
 		}
 		if ent.err != nil {
-			return nil, false, ent.err
+			return nil, false, false, ent.err
 		}
 		// Count the hit only once the deployment is actually served from
 		// the shared image; cancelled or failed waits are neither hits nor
@@ -293,7 +421,7 @@ func (e *Engine) image(ctx context.Context, m *Module, tgt *target.Desc, jopts j
 		e.mu.Lock()
 		e.hits++
 		e.mu.Unlock()
-		return ent.img, true, nil
+		return ent.img, true, false, nil
 	}
 	ent := &cacheEntry{key: key, ready: make(chan struct{})}
 	e.cache[key] = ent
@@ -304,9 +432,11 @@ func (e *Engine) image(ctx context.Context, m *Module, tgt *target.Desc, jopts j
 	// produced, no JIT work) — just a slower one — and is promoted into the
 	// LRU like any completed entry. Anything wrong with the disk copy
 	// (absent, truncated, bit-flipped, stale schema) falls through to a
-	// plain recompilation: the disk is advisory, never authoritative.
+	// plain recompilation: the disk is advisory, never authoritative. Lazy
+	// images skip the whole-image layer entirely: they persist method by
+	// method through the method store instead.
 	diskHit := false
-	if e.disk != nil {
+	if e.disk != nil && !lazy {
 		if img, ok := e.loadFromDisk(key, tgt, jopts, m); ok {
 			ent.img = img
 			ent.persisted = true
@@ -314,12 +444,16 @@ func (e *Engine) image(ctx context.Context, m *Module, tgt *target.Desc, jopts j
 		}
 	}
 	if !diskHit {
-		ent.img, ent.err = core.ImageFromVerifiedModule(m.mod, tgt, jopts)
+		ent.img, ent.err = e.buildImage(m, tgt, jopts, lazy, key)
 	}
 	close(ent.ready)
 	if ent.err == nil && !diskHit {
-		e.countCompilation(ent.img)
-		if e.disk != nil {
+		if lazy {
+			// A lazy image is never gob-encoded whole (it may be partial at
+			// any moment); marking it persisted lets an LRU eviction drop it
+			// without a pointless demotion write.
+			ent.persisted = true
+		} else if e.disk != nil {
 			// Write-through, outside the engine lock: restarts are warm and
 			// replicas sharing the volume skip this compilation entirely.
 			ent.persisted = e.persistImage(key, ent.img)
@@ -373,9 +507,9 @@ func (e *Engine) image(ctx context.Context, m *Module, tgt *target.Desc, jopts j
 		old.persisted = e.persistImage(old.key, old.img)
 	}
 	if ent.err != nil {
-		return nil, false, ent.err
+		return nil, false, false, ent.err
 	}
-	return ent.img, diskHit, nil
+	return ent.img, diskHit, diskHit, nil
 }
 
 // countCompilation records one completed JIT compilation and its
@@ -402,10 +536,17 @@ type CompileStats struct {
 	// CompileReport.AnnotationFallbacks counts the individual sections of
 	// one compilation, so the two are not expected to add up.
 	FallbackCompilations int64 `json:"fallback_compilations"`
-	// CompileNanosTotal is the cumulative wall-clock time of those
-	// compilations: divided by Compilations it gives the average online
-	// compile cost a cache miss pays on this engine.
+	// CompileNanosTotal is the cumulative wall-clock time of whole-module
+	// compilations plus first-call method compilations: divided by
+	// Compilations it gives the average online compile cost a cache miss
+	// pays on an eager engine.
 	CompileNanosTotal int64 `json:"compile_nanos_total"`
+	// LazyCompiles counts methods JIT-compiled on first call by lazy
+	// deployments. Methods materialized from the fleet-wide per-method disk
+	// store are excluded (they cost no JIT work here) — they show up in
+	// CacheStats.DiskHits instead. A lazy deployment itself never increments
+	// Compilations: it performs zero up-front compilations by construction.
+	LazyCompiles int64 `json:"lazy_compiles"`
 }
 
 // CompileStats returns a snapshot of the engine's compilation counters.
@@ -416,6 +557,7 @@ func (e *Engine) CompileStats() CompileStats {
 		Compilations:         e.compilations,
 		FallbackCompilations: e.annoFallbacks,
 		CompileNanosTotal:    e.compileNanos,
+		LazyCompiles:         e.lazyCompiles,
 	}
 }
 

@@ -31,25 +31,30 @@ type TierStats = sim.TierStats
 // deployment (default off). Tiering is per machine and deliberately not
 // part of the code-cache key: tier 2 never changes simulated cycles,
 // statistics or results, so tiered and plain deployments share images.
-func WithTiering(on bool) Option {
-	return func(c *config) { c.tiering = on }
+func WithTiering(on bool) DeployOption {
+	return deployOption(func(c *config) { c.tiering = on })
 }
 
 // WithPromoteCalls sets the tier-2 promotion threshold in calls (implies
 // WithTiering(true); n < 0 profiles without ever promoting; 0 uses the
 // default threshold).
-func WithPromoteCalls(n int64) Option {
-	return func(c *config) { c.tiering = true; c.promoteCalls = n }
+func WithPromoteCalls(n int64) DeployOption {
+	return deployOption(func(c *config) { c.tiering = true; c.promoteCalls = n })
 }
 
-// WithProfile warms the deployment with a previously exported profile
-// (implies WithTiering(true)): functions the exporter observed hot are
-// promoted on their first call here instead of after the full threshold.
-func WithProfile(p *Profile) Option {
-	return func(c *config) {
+// WithProfile carries a previously exported profile into either stage — the
+// one genuinely two-sided option, which is why it is a SharedOption. At
+// deploy time it warms the machine (implies WithTiering(true)): functions
+// the exporter observed hot are promoted on their first call here instead
+// of after the full threshold. At compile time it embeds the profile in the
+// produced module as a versioned annotation, so the byte stream itself
+// carries the warm-up — any later deployment of that module (on any engine)
+// imports it through the ordinary annotation negotiation.
+func WithProfile(p *Profile) SharedOption {
+	return sharedOption(func(c *config) {
 		c.tiering = true
 		c.profile = p
-	}
+	})
 }
 
 // applyTiering wires the resolved tiering configuration onto a freshly

@@ -9,6 +9,7 @@
 //	svd [-addr :7420] [-workers 4] [-queue 64] [-cache-size 0] [-cache-dir DIR]
 //	    [-journal FILE] [-retry-after 1s] [-deploy-ttl 0] [-compile-workers 0]
 //	    [-max-deploys-per-module 0] [-max-deploys-per-tenant 0]
+//	    [-max-inflight-per-tenant 0]
 //
 // With -cache-dir the code cache is backed by a persistent on-disk store:
 // restarts deploy warm (from_cache without recompiling) and replicas
@@ -62,6 +63,7 @@ func main() {
 	compileWorkers := flag.Int("compile-workers", 0, "JIT worker pool per compilation (0 = GOMAXPROCS, 1 = sequential)")
 	maxPerModule := flag.Int("max-deploys-per-module", 0, "cap live deployments per module (0 = unlimited)")
 	maxPerTenant := flag.Int("max-deploys-per-tenant", 0, "cap live deployments per X-Tenant header value (0 = unlimited)")
+	maxInflight := flag.Int("max-inflight-per-tenant", 0, "cap in-flight run/run-batch requests per tenant; excess is shed with 429 resource_exhausted (0 = unlimited)")
 	drain := flag.Duration("drain", 10*time.Second, "graceful drain: how long in-flight requests may finish on their own after SIGTERM")
 	shutdownTimeout := flag.Duration("shutdown-timeout", 30*time.Second, "hard shutdown bound: after -drain, in-flight simulations are force-cancelled; the process exits within this total")
 
@@ -116,6 +118,7 @@ func main() {
 		DeployTTL:               *deployTTL,
 		MaxDeploymentsPerModule: *maxPerModule,
 		MaxDeploymentsPerTenant: *maxPerTenant,
+		MaxInflightPerTenant:    *maxInflight,
 		JournalPath:             *journalPath,
 	})
 	if err := srv.JournalErr(); err != nil {

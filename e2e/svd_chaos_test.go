@@ -1,13 +1,17 @@
 package e2e
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -371,4 +375,273 @@ func TestSVDChaosSIGKILLDuringLazyFirstCall(t *testing.T) {
 	if st.Compile.LazyCompiles < 1 {
 		t.Error("retried first call did not register a lazy compilation")
 	}
+}
+
+// TestSVDChaosPanicMidBatch drives guest panics through the serving stack:
+// backends run with a probabilistic sim.panic fault, so batch items panic
+// inside the simulator mid-batch. The panic firewall must turn each one into
+// a structured per-item execution error, quarantine and transparently
+// rebuild the machine (later items and iterations keep answering), and the
+// router must treat it all as application outcome — the backends stay
+// healthy and nothing fails over or re-deploys.
+func TestSVDChaosPanicMidBatch(t *testing.T) {
+	if os.Getenv("SVD_CHAOS") == "" {
+		t.Skip("set SVD_CHAOS=1 to run the svd chaos test")
+	}
+	bin := buildSVD(t)
+
+	// Every guest call panics with probability 0.5: enough runs hit the
+	// firewall to exercise quarantine + rebuild, enough survive to prove
+	// rebuilt machines still answer.
+	backendEnv := []string{"SPLITVM_FAULTS=sim.panic:error:0.5"}
+	addrs := []string{freeAddr(t), freeAddr(t)}
+	for i := range addrs {
+		startSVDAt(t, bin, addrs[i], backendEnv)
+	}
+	routerAddr := freeAddr(t)
+	startSVDAt(t, bin, routerAddr, nil,
+		"-router", "-backends", "http://"+addrs[0]+",http://"+addrs[1],
+		"-health-interval", "200ms")
+	frontBase := "http://" + routerAddr
+
+	stream, err := corpus.Generate(corpus.SyntheticKernel, corpus.SyntheticVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, frontBase+"/v1/modules", stream, http.StatusCreated, &up)
+	deployBody, _ := json.Marshal(map[string]any{
+		"module": up.ID, "targets": []string{"x86-sse"}, "replicas": 2,
+	})
+	var dr struct {
+		Deployments []struct {
+			ID string `json:"id"`
+		} `json:"deployments"`
+	}
+	postJSON(t, frontBase+"/v1/deploy", deployBody, http.StatusCreated, &dr)
+
+	batchBody, _ := json.Marshal(map[string]any{
+		"deployments": []string{dr.Deployments[0].ID, dr.Deployments[1].ID},
+		"entry":       corpus.SyntheticEntryPoint,
+		"args":        []string{"12"},
+	})
+	// Run batches until both outcomes have been observed, then a couple
+	// more: a machine quarantined by the loop's last panic only rebuilds on
+	// its next run, and the ledger check below wants that rebuild on record.
+	panicked, answered, extra := 0, 0, 0
+	for i := 0; i < 64 && extra < 2; i++ {
+		if panicked > 0 && answered > 0 {
+			extra++
+		}
+		var out struct {
+			Results []struct {
+				Value      int64  `json:"value"`
+				Error      string `json:"error"`
+				ErrorClass string `json:"error_class"`
+				Retryable  bool   `json:"retryable"`
+			} `json:"results"`
+		}
+		postJSON(t, frontBase+"/v1/run-batch", batchBody, http.StatusOK, &out)
+		if len(out.Results) != 2 {
+			t.Fatalf("batch returned %d results, want 2", len(out.Results))
+		}
+		for _, r := range out.Results {
+			switch {
+			case r.Error == "" && r.Value == 506:
+				answered++
+			case r.Error != "" && r.ErrorClass == "execution":
+				panicked++
+			default:
+				t.Fatalf("batch item under injected panics = %+v, want value 506 or a structured execution error", r)
+			}
+		}
+	}
+	if panicked == 0 || answered == 0 {
+		t.Fatalf("60 batches produced %d panics and %d answers; need both to prove the firewall", panicked, answered)
+	}
+
+	// The firewall's ledger: quarantines for the recovered panics, rebuilds
+	// for the transparent recoveries that kept the batches answering.
+	var quarantines, rebuilds int64
+	for _, addr := range addrs {
+		var st struct {
+			Guard struct {
+				Quarantines int64 `json:"quarantines"`
+				Rebuilds    int64 `json:"rebuilds"`
+			} `json:"guard"`
+		}
+		getStatsRaw(t, "http://"+addr, &st)
+		quarantines += st.Guard.Quarantines
+		rebuilds += st.Guard.Rebuilds
+		resp, err := http.Get("http://" + addr + "/healthz")
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("backend %s unhealthy after recovered panics: %v", addr, err)
+		}
+		resp.Body.Close()
+	}
+	if quarantines < int64(panicked) {
+		t.Errorf("backends counted %d quarantines for %d recovered panics", quarantines, panicked)
+	}
+	if rebuilds < 1 {
+		t.Error("no machine was ever rebuilt despite answers after panics")
+	}
+
+	// Guest panics are application outcomes, not infrastructure failures:
+	// the router never failed over or re-deployed anything.
+	var rst struct {
+		Router struct {
+			Failovers         int64 `json:"failovers"`
+			FailoverRedeploys int64 `json:"failover_redeploys"`
+		} `json:"router"`
+	}
+	getStatsRaw(t, frontBase, &rst)
+	if rst.Router.Failovers != 0 || rst.Router.FailoverRedeploys != 0 {
+		t.Errorf("guest panics triggered failover: %+v", rst.Router)
+	}
+}
+
+// TestSVDChaosOverloadSoak floods one governed backend at roughly 10x its
+// admission capacity for a sustained window and holds the overload contract:
+// every response is a success or a retryable 429 shed (never a 5xx), memory
+// stays bounded while shedding, and when the flood stops the backend drains
+// clean — the next request is admitted and answers.
+func TestSVDChaosOverloadSoak(t *testing.T) {
+	if os.Getenv("SVD_CHAOS") == "" {
+		t.Skip("set SVD_CHAOS=1 to run the svd chaos test")
+	}
+	soak := 10 * time.Second
+	if d, err := time.ParseDuration(os.Getenv("SVD_SOAK")); err == nil && d > 0 {
+		soak = d
+	}
+	bin := buildSVD(t)
+	addr := freeAddr(t)
+	// 50ms injected run latency x 4 slots caps throughput at ~80 runs/s;
+	// 32 back-to-back clients offer ~10x that.
+	cmd, _ := startSVDAt(t, bin, addr, []string{"SPLITVM_FAULTS=server.run:latency:50ms"},
+		"-max-inflight-per-tenant", "4")
+	base := "http://" + addr
+
+	stream, err := corpus.Generate(corpus.SyntheticKernel, corpus.SyntheticVersion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up struct {
+		ID string `json:"id"`
+	}
+	postJSON(t, base+"/v1/modules", stream, http.StatusCreated, &up)
+	deployBody, _ := json.Marshal(map[string]any{"module": up.ID, "targets": []string{"x86-sse"}})
+	var dr struct {
+		Deployments []struct {
+			ID string `json:"id"`
+		} `json:"deployments"`
+	}
+	postJSON(t, base+"/v1/deploy", deployBody, http.StatusCreated, &dr)
+	runURL := base + "/v1/deployments/" + dr.Deployments[0].ID + "/run"
+	runBody, _ := json.Marshal(map[string]any{"entry": corpus.SyntheticEntryPoint, "args": []string{"12"}})
+
+	var okRuns, shed, badStatus, badBody atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 32; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				resp, err := http.Post(runURL, "application/json", bytes.NewReader(runBody))
+				if err != nil {
+					continue // client-side churn (socket exhaustion) is not the backend's failure
+				}
+				var eb struct {
+					ErrorClass string `json:"error_class"`
+					Retryable  bool   `json:"retryable"`
+				}
+				dec := json.NewDecoder(resp.Body)
+				switch resp.StatusCode {
+				case http.StatusOK:
+					okRuns.Add(1)
+				case http.StatusTooManyRequests:
+					if dec.Decode(&eb) != nil || eb.ErrorClass != "resource_exhausted" || !eb.Retryable {
+						badBody.Add(1)
+					}
+					shed.Add(1)
+				default:
+					badStatus.Add(1)
+				}
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	// Sample RSS through the soak: shedding must keep memory flat, not queue
+	// requests into an ever-growing heap.
+	var peakRSS int64
+	deadline := time.Now().Add(soak)
+	for time.Now().Before(deadline) {
+		if rss := readRSS(t, cmd.Process.Pid); rss > peakRSS {
+			peakRSS = rss
+		}
+		time.Sleep(250 * time.Millisecond)
+	}
+	close(stop)
+	wg.Wait()
+
+	if badStatus.Load() != 0 {
+		t.Errorf("%d responses were neither 200 nor a 429 shed", badStatus.Load())
+	}
+	if badBody.Load() != 0 {
+		t.Errorf("%d sheds lacked the retryable resource_exhausted body", badBody.Load())
+	}
+	if okRuns.Load() == 0 || shed.Load() == 0 {
+		t.Fatalf("soak saw %d successes and %d sheds; overload never materialized", okRuns.Load(), shed.Load())
+	}
+	const rssCap = 512 << 20
+	if peakRSS > rssCap {
+		t.Errorf("peak RSS %d MiB exceeds %d MiB — overload is buffering, not shedding", peakRSS>>20, rssCap>>20)
+	}
+
+	// Clean drain: with the flood gone the very next request is admitted.
+	time.Sleep(500 * time.Millisecond)
+	var run struct {
+		Value int64 `json:"value"`
+	}
+	postJSON(t, runURL, runBody, http.StatusOK, &run)
+	if run.Value != 506 {
+		t.Fatalf("post-drain run = %d, want 506", run.Value)
+	}
+	var st struct {
+		RunsShed int64 `json:"runs_shed"`
+	}
+	getStatsRaw(t, base, &st)
+	if st.RunsShed != shed.Load() {
+		t.Errorf("server counted %d sheds, clients saw %d", st.RunsShed, shed.Load())
+	}
+}
+
+// readRSS returns the process's resident set size in bytes via /proc.
+func readRSS(t *testing.T, pid int) int64 {
+	t.Helper()
+	data, err := os.ReadFile(fmt.Sprintf("/proc/%d/status", pid))
+	if err != nil {
+		return 0 // process gone or non-Linux; the status checks catch real failures
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmRSS:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) >= 2 {
+			kb, err := strconv.ParseInt(fields[1], 10, 64)
+			if err == nil {
+				return kb << 10
+			}
+		}
+	}
+	return 0
 }

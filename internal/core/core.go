@@ -274,6 +274,9 @@ func (img *Image) Instantiate() *Deployment {
 	if envTier() {
 		d.EnableTiering(TierOptions{})
 	}
+	if ml := envMemLimit(); ml > 0 {
+		d.SetMemLimit(ml)
+	}
 	return d
 }
 
@@ -307,9 +310,24 @@ type Deployment struct {
 	AnnotationOutcomes  []anno.MethodOutcome
 	AnnotationFallbacks int
 
+	// RunDeadline, when positive, bounds the wall-clock time of each run:
+	// the run context is derived with this timeout and the dispatch loop
+	// aborts on its cancellation stride, reporting a *sim.ResourceError of
+	// kind deadline (a caller-cancelled context still reports cancellation).
+	RunDeadline time.Duration
+
 	// linked is set on deployments instantiated from a link set; it lets
 	// EnsureCompiled span every unit, not just the root image.
 	linked *Linked
+
+	// Panic-firewall state (guard.go): quarantined marks a machine whose
+	// last run panicked, guard counts quarantines and rebuilds, and
+	// memLimit/tierOpts remember the per-machine configuration a rebuild
+	// must re-apply.
+	quarantined bool
+	guard       GuardStats
+	memLimit    int64
+	tierOpts    *TierOptions
 }
 
 // EnsureCompiled forces a lazy deployment fully compiled, as if every
@@ -376,16 +394,18 @@ func Deploy(encoded []byte, tgt *target.Desc, jopts jit.Options) (*Deployment, e
 	return img.Instantiate(), nil
 }
 
-// Run executes an entry point on the deployment's machine.
+// Run executes an entry point on the deployment's machine, behind the panic
+// firewall (guard.go): a panic escaping dispatch is recovered into a
+// *PanicError and the machine is rebuilt from its image on the next run.
 func (d *Deployment) Run(entry string, args ...sim.Value) (sim.Value, error) {
-	return d.Machine.Call(entry, args...)
+	return d.guardedCall(context.Background(), entry, args...)
 }
 
 // RunContext executes an entry point like Run, aborting between simulated
 // instructions once ctx is cancelled (the error wraps ctx.Err()).
 // Uncancelled runs are instruction- and cycle-identical to Run.
 func (d *Deployment) RunContext(ctx context.Context, entry string, args ...sim.Value) (sim.Value, error) {
-	return d.Machine.CallContext(ctx, entry, args...)
+	return d.guardedCall(ctx, entry, args...)
 }
 
 // Cycles returns the cycles consumed so far by the deployment's machine.
@@ -432,6 +452,11 @@ type KernelRun struct {
 // kernel entry point once and returns the result, the cycles it took and the
 // output arrays. The inputs are not modified (they are cloned first).
 func (d *Deployment) RunKernel(k kernels.Kernel, in *kernels.Inputs) (*KernelRun, error) {
+	// Rebuild a quarantined machine before marshalling: inputs copied into
+	// the old machine's memory would be lost to the guardedCall rebuild.
+	if d.quarantined {
+		d.rebuild()
+	}
 	work := in.Clone()
 	args := make([]sim.Value, len(work.Args))
 	addrs := make([]sim.Addr, 0, len(work.Arrays))
@@ -450,7 +475,7 @@ func (d *Deployment) RunKernel(k kernels.Kernel, in *kernels.Inputs) (*KernelRun
 		}
 	}
 	before := d.Machine.Stats.Cycles
-	res, err := d.Machine.Call(k.Entry, args...)
+	res, err := d.guardedCall(context.Background(), k.Entry, args...)
 	if err != nil {
 		return nil, fmt.Errorf("core: running %s on %s: %w", k.Entry, d.Target.Name, err)
 	}

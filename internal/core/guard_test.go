@@ -1,0 +1,125 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/internal/jit"
+	"repro/internal/sim"
+	"repro/internal/target"
+)
+
+// deployGuardTest compiles and deploys the shared test module for the
+// firewall tests.
+func deployGuardTest(t *testing.T) *Deployment {
+	t.Helper()
+	res, err := CompileOffline(testSource, OfflineOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := Deploy(res.Encoded, target.MustLookup(target.X86SSE), jit.Options{RegAlloc: jit.RegAllocSplit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dep
+}
+
+func TestPanicFirewallQuarantinesAndRebuilds(t *testing.T) {
+	dep := deployGuardTest(t)
+	want, err := dep.Run("weight", sim.IntArg(100))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := faultinject.Arm("sim.panic:error"); err != nil {
+		t.Fatal(err)
+	}
+	_, err = dep.Run("weight", sim.IntArg(100))
+	faultinject.Disarm()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("run under injected panic = %v, want *PanicError", err)
+	}
+	if !dep.Quarantined() {
+		t.Fatal("machine not quarantined after a recovered panic")
+	}
+	if gs := dep.GuardStats(); gs.Quarantines != 1 || gs.Rebuilds != 0 {
+		t.Fatalf("GuardStats after panic = %+v, want 1 quarantine, 0 rebuilds", gs)
+	}
+
+	// The next run transparently gets a rebuilt machine and the right answer.
+	got, err := dep.Run("weight", sim.IntArg(100))
+	if err != nil {
+		t.Fatalf("run after quarantine: %v", err)
+	}
+	if got.I != want.I {
+		t.Fatalf("rebuilt machine computed %d, want %d", got.I, want.I)
+	}
+	if dep.Quarantined() {
+		t.Error("machine still quarantined after rebuild")
+	}
+	if gs := dep.GuardStats(); gs.Quarantines != 1 || gs.Rebuilds != 1 {
+		t.Fatalf("GuardStats after rebuild = %+v, want 1 quarantine, 1 rebuild", gs)
+	}
+}
+
+func TestRebuildPreservesGovernorAndTiering(t *testing.T) {
+	dep := deployGuardTest(t)
+	dep.SetMemLimit(1 << 20)
+	dep.EnableTiering(TierOptions{})
+	if !dep.Machine.TieringEnabled() {
+		t.Fatal("tiering not enabled before the test even started")
+	}
+
+	if err := faultinject.Arm("sim.panic:error"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := dep.Run("weight", sim.IntArg(10))
+	faultinject.Disarm()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("run under injected panic = %v, want *PanicError", err)
+	}
+
+	if _, err := dep.Run("weight", sim.IntArg(10)); err != nil {
+		t.Fatalf("run after quarantine: %v", err)
+	}
+	if got := dep.MemLimit(); got != 1<<20 {
+		t.Errorf("rebuild lost the memory limit: %d", got)
+	}
+	if dep.Machine.MemLimit != 1<<20 {
+		t.Errorf("rebuilt machine not governed: MemLimit = %d", dep.Machine.MemLimit)
+	}
+	if !dep.Machine.TieringEnabled() {
+		t.Error("rebuild lost tiering")
+	}
+}
+
+func TestRunDeadlineBecomesResourceError(t *testing.T) {
+	dep := deployGuardTest(t)
+	dep.RunDeadline = time.Nanosecond // expires before the first stride check
+	_, err := dep.RunContext(context.Background(), "weight", sim.IntArg(50_000_000))
+	var re *sim.ResourceError
+	if !errors.As(err, &re) || re.Kind != sim.ResourceDeadline {
+		t.Fatalf("run past its deadline = %v, want ResourceError{deadline}", err)
+	}
+	if dep.Quarantined() {
+		t.Error("a deadline breach must not quarantine the machine")
+	}
+
+	// A cancellation the caller's own context carries still reports as a
+	// cancellation, not as a governor breach.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	dep.RunDeadline = time.Hour
+	_, err = dep.RunContext(ctx, "weight", sim.IntArg(50_000_000))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("caller-cancelled run = %v, want context.Canceled", err)
+	}
+	if errors.As(err, &re) {
+		t.Fatalf("caller cancellation misreported as ResourceError: %v", err)
+	}
+}

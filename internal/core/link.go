@@ -273,6 +273,9 @@ func (l *Linked) Instantiate() *Deployment {
 	if envTier() {
 		d.EnableTiering(TierOptions{})
 	}
+	if ml := envMemLimit(); ml > 0 {
+		d.SetMemLimit(ml)
+	}
 	return d
 }
 

@@ -38,6 +38,7 @@ type TierOptions struct {
 // deployment. Must be called before or between runs, not concurrently
 // with them.
 func (d *Deployment) EnableTiering(opts TierOptions) {
+	d.tierOpts = &opts // remembered so a quarantine rebuild re-applies it
 	m := d.Machine
 	m.EnableTiering(opts.Policy)
 	if !opts.DisableReallocCheck {

@@ -69,10 +69,20 @@ type Machine struct {
 	// against generated infinite loops); 0 means the default of 2e9.
 	MaxSteps int64
 
+	// MemLimit bounds the guest memory the machine may consume (simulated
+	// heap plus the pooled frame and argument buffers), in bytes; a breach
+	// returns a *ResourceError with Kind ResourceMem, checked before the
+	// offending allocation so a hostile length never reaches the host
+	// allocator. 0 — the default — leaves guest memory ungoverned.
+	MemLimit int64
+
 	Stats Stats
 
 	mem     []byte
 	callDep int
+	// memCharged accumulates the guest memory charges (see resource.go); it
+	// is bookkeeping, never part of the simulated statistics.
+	memCharged int64
 
 	// Register-file sizes (allocatable registers plus JIT scratch), fixed
 	// per target at construction.
@@ -174,6 +184,7 @@ func (m *Machine) AllocArray(elem cil.Kind, n int) Addr {
 	if rem := (base + arrayHeader + grow) % 16; rem != 0 {
 		grow += 16 - rem
 	}
+	m.memCharged += int64(grow)
 	m.mem = append(m.mem, make([]byte, grow)...)
 	binary.LittleEndian.PutUint32(m.mem[base:], uint32(n))
 	return Addr(base + arrayHeader)
@@ -231,14 +242,17 @@ func (m *Machine) frameAt(depth int) *dframe {
 			flts: make([]float64, m.nf),
 			vecs: make([]prim.Vec, m.nv),
 		})
+		m.memCharged += m.frameBytes()
 	}
 	return m.frames[depth]
 }
 
-// argBuf returns the frame's argument buffer resized to n entries.
-func (fr *dframe) argBuf(n int) []argval {
+// argBuf returns the frame's argument buffer resized to n entries, charging
+// the machine's memory accounting when the buffer grows.
+func (m *Machine) argBuf(fr *dframe, n int) []argval {
 	if cap(fr.args) < n {
 		fr.args = make([]argval, n)
+		m.memCharged += int64(n) * 16
 	}
 	fr.args = fr.args[:n]
 	return fr.args
@@ -247,6 +261,7 @@ func (fr *dframe) argBuf(n int) []argval {
 // Call executes the named function with the given arguments and returns its
 // result (integers and addresses in I, floats in F).
 func (m *Machine) Call(name string, args ...Value) (Value, error) {
+	injectPanic(name)
 	f := m.Program.Func(name)
 	if f == nil && m.resolver != nil {
 		var err error
@@ -260,7 +275,7 @@ func (m *Machine) Call(name string, args ...Value) (Value, error) {
 	if len(args) != len(f.Params) {
 		return Value{}, fmt.Errorf("sim: %q expects %d arguments, got %d", name, len(f.Params), len(args))
 	}
-	av := m.frameAt(m.callDep + 1).argBuf(len(args))
+	av := m.argBuf(m.frameAt(m.callDep+1), len(args))
 	for i, a := range args {
 		av[i] = argval{i: a.I, f: a.F}
 	}
@@ -328,9 +343,18 @@ func (m *Machine) exec(f *nisa.Func, args []argval) (Value, error) {
 	clear(fr.vecs)
 	if cap(fr.spill) < f.FrameSlots {
 		fr.spill = make([]prim.Vec, f.FrameSlots)
+		m.memCharged += int64(f.FrameSlots) * vecBytes
 	} else {
 		fr.spill = fr.spill[:f.FrameSlots]
 		clear(fr.spill)
+	}
+	// The per-activation limit check catches frame, spill, argument and
+	// copy-in growth; the allocation instruction pre-checks its own growth
+	// below. One predictable branch per activation when ungoverned.
+	if m.MemLimit > 0 {
+		if err := m.memCheck(f); err != nil {
+			return Value{}, err
+		}
 	}
 	maxSteps := m.MaxSteps
 	if maxSteps == 0 {
@@ -353,7 +377,7 @@ func (m *Machine) exec(f *nisa.Func, args []argval) (Value, error) {
 			return Value{}, fmt.Errorf("sim: %s: program counter %d out of range", f.Name, pc)
 		}
 		if stats.Instructions >= maxSteps {
-			return Value{}, fmt.Errorf("sim: instruction budget of %d exhausted in %s", maxSteps, f.Name)
+			return Value{}, budgetExhausted(maxSteps, f.Name)
 		}
 		if stats.Instructions >= m.interruptAt {
 			if err := m.runCtx.Err(); err != nil {
@@ -635,6 +659,14 @@ func (m *Machine) exec(f *nisa.Func, args []argval) (Value, error) {
 			if n < 0 {
 				return Value{}, fmt.Errorf("sim: %s @%d: negative array length %d", f.Name, pc, n)
 			}
+			if err := m.injectMemGrow(f); err != nil {
+				return Value{}, err
+			}
+			if m.MemLimit > 0 {
+				if err := m.allocGoverned(f, d.kind, n); err != nil {
+					return Value{}, err
+				}
+			}
 			fr.ints[d.rd] = m.AllocArray(d.kind, int(n))
 			stats.Cycles += int64(d.cost)
 		case xArrLen:
@@ -685,7 +717,7 @@ func (m *Machine) exec(f *nisa.Func, args []argval) (Value, error) {
 				}
 				d.callee = callee
 			}
-			cargs := m.frameAt(m.callDep + 1).argBuf(len(d.args))
+			cargs := m.argBuf(m.frameAt(m.callDep+1), len(d.args))
 			for i := range d.args {
 				src := &d.args[i]
 				if src.slot >= 0 {
@@ -820,7 +852,7 @@ func (m *Machine) exec(f *nisa.Func, args []argval) (Value, error) {
 			fr.ints[d.rd] = d.imm
 			stats.Cycles += int64(d.cost)
 			if stats.Instructions >= maxSteps {
-				return Value{}, fmt.Errorf("sim: instruction budget of %d exhausted in %s", maxSteps, f.Name)
+				return Value{}, budgetExhausted(maxSteps, f.Name)
 			}
 			stats.Instructions++
 			d2 := &code[pc+1]
@@ -832,7 +864,7 @@ func (m *Machine) exec(f *nisa.Func, args []argval) (Value, error) {
 			fr.ints[d.rd] = d.norm.Apply(fr.ints[d.ra] + fr.ints[d.rb])
 			stats.Cycles += int64(d.cost)
 			if stats.Instructions >= maxSteps {
-				return Value{}, fmt.Errorf("sim: instruction budget of %d exhausted in %s", maxSteps, f.Name)
+				return Value{}, budgetExhausted(maxSteps, f.Name)
 			}
 			stats.Instructions++
 			d2 := &code[pc+1]
@@ -844,7 +876,7 @@ func (m *Machine) exec(f *nisa.Func, args []argval) (Value, error) {
 			fr.ints[d.rd] = fr.ints[d.ra]
 			stats.Cycles += int64(d.cost)
 			if stats.Instructions >= maxSteps {
-				return Value{}, fmt.Errorf("sim: instruction budget of %d exhausted in %s", maxSteps, f.Name)
+				return Value{}, budgetExhausted(maxSteps, f.Name)
 			}
 			stats.Instructions++
 			d2 := &code[pc+1]
@@ -867,7 +899,7 @@ func (m *Machine) exec(f *nisa.Func, args []argval) (Value, error) {
 			stats.Loads++
 			stats.Cycles += int64(d.cost)
 			if stats.Instructions >= maxSteps {
-				return Value{}, fmt.Errorf("sim: instruction budget of %d exhausted in %s", maxSteps, f.Name)
+				return Value{}, budgetExhausted(maxSteps, f.Name)
 			}
 			stats.Instructions++
 			d2 := &code[pc+1]
@@ -881,7 +913,7 @@ func (m *Machine) exec(f *nisa.Func, args []argval) (Value, error) {
 			fr.vecs[d.rd] = prim.VecBinaryNoTrap(d.vop, d.kind, fr.vecs[d.ra], fr.vecs[d.rb])
 			stats.Cycles += int64(d.cost)
 			if stats.Instructions >= maxSteps {
-				return Value{}, fmt.Errorf("sim: instruction budget of %d exhausted in %s", maxSteps, f.Name)
+				return Value{}, budgetExhausted(maxSteps, f.Name)
 			}
 			stats.Instructions++
 			d2 := &code[pc+1]

@@ -1,0 +1,191 @@
+package splitvm
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/kernels"
+	"repro/internal/target"
+)
+
+// TestGovernorMatrixBitIdentical is the governor's central contract, checked
+// over every Table 1 kernel on every registered target: a run governed by a
+// just-sufficient memory limit is bit-identical to an ungoverned one —
+// result, output arrays and simulated cycles — and a limit one byte lower
+// fails with a typed ResourceError of kind ResourceMem. MemUsed of the
+// ungoverned run doubles as the oracle for "just sufficient", which also
+// pins the accounting itself as deterministic.
+func TestGovernorMatrixBitIdentical(t *testing.T) {
+	eng := New()
+	for _, name := range Table1KernelNames() {
+		k := kernels.MustGet(name)
+		m, err := eng.Compile(k.Source, WithModuleName(k.Name))
+		if err != nil {
+			t.Fatalf("%s: compile: %v", name, err)
+		}
+		for _, d := range target.All() {
+			in, err := NewInputs(k.Name, 64, 7)
+			if err != nil {
+				t.Fatalf("%s: inputs: %v", name, err)
+			}
+			base, err := eng.Deploy(m, WithTarget(d.Arch))
+			if err != nil {
+				t.Fatalf("%s/%s: deploy: %v", name, d.Arch, err)
+			}
+			want, err := base.RunKernel(k, in)
+			if err != nil {
+				t.Fatalf("%s/%s: ungoverned run: %v", name, d.Arch, err)
+			}
+			used := base.MemUsed()
+			if used <= 1 {
+				t.Fatalf("%s/%s: MemUsed = %d, expected real charges", name, d.Arch, used)
+			}
+
+			gov, err := eng.Deploy(m, WithTarget(d.Arch), WithMemLimit(used))
+			if err != nil {
+				t.Fatalf("%s/%s: governed deploy: %v", name, d.Arch, err)
+			}
+			if gov.MemLimit() != used {
+				t.Fatalf("%s/%s: MemLimit = %d, want %d", name, d.Arch, gov.MemLimit(), used)
+			}
+			if !gov.FromCache() {
+				t.Errorf("%s/%s: governed deployment missed the cache — the limit leaked into the cache key", name, d.Arch)
+			}
+			got, err := gov.RunKernel(k, in)
+			if err != nil {
+				t.Fatalf("%s/%s: run under just-sufficient limit: %v", name, d.Arch, err)
+			}
+			if got.Result != want.Result {
+				t.Errorf("%s/%s: governed result %+v != ungoverned %+v", name, d.Arch, got.Result, want.Result)
+			}
+			if got.Cycles != want.Cycles {
+				t.Errorf("%s/%s: governed cycles %d != ungoverned %d", name, d.Arch, got.Cycles, want.Cycles)
+			}
+			if !reflect.DeepEqual(got.Outputs, want.Outputs) {
+				t.Errorf("%s/%s: governed outputs differ from ungoverned", name, d.Arch)
+			}
+			if gov.MemUsed() != used {
+				t.Errorf("%s/%s: governed run charged %d, ungoverned %d", name, d.Arch, gov.MemUsed(), used)
+			}
+
+			tight, err := eng.Deploy(m, WithTarget(d.Arch), WithMemLimit(used-1))
+			if err != nil {
+				t.Fatalf("%s/%s: tight deploy: %v", name, d.Arch, err)
+			}
+			_, err = tight.RunKernel(k, in)
+			var re *ResourceError
+			if !errors.As(err, &re) || re.Kind != ResourceMem {
+				t.Fatalf("%s/%s: one-byte-lower limit = %v, want ResourceError{mem}", name, d.Arch, err)
+			}
+		}
+	}
+}
+
+// TestGovernorLazyFirstCallCompilesFree pins the lazy-deployment half of
+// the contract: first-call JIT compilation is host work and must not charge
+// the guest's memory budget, so a lazy deployment governed at exactly the
+// eager run's MemUsed still compiles and runs bit-identically.
+func TestGovernorLazyFirstCallCompilesFree(t *testing.T) {
+	eng := New()
+	for _, name := range []string{"sum_u16", "saxpy_fp"} {
+		k := kernels.MustGet(name)
+		m, err := eng.Compile(k.Source, WithModuleName(k.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		in, err := NewInputs(k.Name, 48, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base, err := eng.Deploy(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := base.RunKernel(k, in)
+		if err != nil {
+			t.Fatal(err)
+		}
+		used := base.MemUsed()
+
+		lazy, err := eng.Deploy(m, WithLazyCompile(true), WithMemLimit(used))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := lazy.RunKernel(k, in)
+		if err != nil {
+			t.Fatalf("%s: lazy first call under just-sufficient limit: %v", name, err)
+		}
+		if got.Result != want.Result || got.Cycles != want.Cycles {
+			t.Errorf("%s: lazy governed run (%+v, %d cycles) != eager ungoverned (%+v, %d cycles)",
+				name, got.Result, got.Cycles, want.Result, want.Cycles)
+		}
+		if lazy.MemUsed() != used {
+			t.Errorf("%s: lazy first call charged %d guest bytes, eager %d — compilation leaked into the budget",
+				name, lazy.MemUsed(), used)
+		}
+	}
+}
+
+func TestGovernorRunDeadline(t *testing.T) {
+	eng := New()
+	m, err := eng.Compile(sumsqSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := eng.Deploy(m, WithRunDeadline(time.Nanosecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dep.RunDeadline() != time.Nanosecond {
+		t.Fatalf("RunDeadline = %v", dep.RunDeadline())
+	}
+	_, err = dep.Run("sumsq", IntArg(50_000_000))
+	var re *ResourceError
+	if !errors.As(err, &re) || re.Kind != ResourceDeadline {
+		t.Fatalf("run past its deadline = %v, want ResourceError{deadline}", err)
+	}
+
+	// The same deployment honors a caller cancellation as a cancellation.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = dep.RunContext(ctx, "sumsq", IntArg(50_000_000))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("caller-cancelled run = %v, want context.Canceled", err)
+	}
+}
+
+// TestGovernorHostileAllocation drives a hostile `new` through the whole
+// public pipeline: a guest that asks for terabytes under a governed
+// deployment fails typed before the host allocator is touched.
+func TestGovernorHostileAllocation(t *testing.T) {
+	const src = `
+i64 bomb(i32 n) {
+    i64 total = 0;
+    for (i32 i = 0; i < n; i++) {
+        f64 a[] = new f64[200000000];
+        total = total + (i64) a[0];
+    }
+    return total;
+}
+`
+	eng := New()
+	m, err := eng.Compile(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dep, err := eng.Deploy(m, WithMemLimit(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = dep.Run("bomb", IntArg(1_000_000))
+	var re *ResourceError
+	if !errors.As(err, &re) || re.Kind != ResourceMem {
+		t.Fatalf("hostile allocation loop = %v, want ResourceError{mem}", err)
+	}
+	if dep.GuardStats() != (GuardStats{}) {
+		t.Errorf("a governed breach must not quarantine: %+v", dep.GuardStats())
+	}
+}

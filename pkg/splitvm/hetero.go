@@ -78,13 +78,17 @@ func (e *Engine) DeployHetero(sys *System, m *Module, policy Policy, opts ...Dep
 			if err != nil {
 				return nil, err
 			}
-			return img.Instantiate(), nil
+			d := img.Instantiate()
+			cfg.applyGovernor(d)
+			return d, nil
 		}
 		img, _, _, err := e.image(context.Background(), m, tgt, jopts, cfg.lazyCompile)
 		if err != nil {
 			return nil, err
 		}
-		return img.Instantiate(), nil
+		d := img.Instantiate()
+		cfg.applyGovernor(d)
+		return d, nil
 	}
 	return hetero.NewRuntimeWith(sys, m.encoded, policy, deploy)
 }

@@ -207,5 +207,6 @@ func (e *Engine) DeployLinkedContext(ctx context.Context, lm *LinkedModule, opts
 	}
 	d := linked.Instantiate()
 	cfg.applyTiering(d)
+	cfg.applyGovernor(d)
 	return &Deployment{d: d, fromCache: allHit, fromDisk: allDisk, linked: linked}, nil
 }

@@ -3,6 +3,7 @@ package splitvm
 import (
 	"os"
 	"sync"
+	"time"
 
 	"repro/internal/anno"
 	"repro/internal/profile"
@@ -108,6 +109,10 @@ type config struct {
 	tiering      bool
 	promoteCalls int64
 	profile      *profile.ModuleProfile
+	// Resource-governor options (per machine, never part of the cache key;
+	// see governor.go).
+	memLimit    int64
+	runDeadline time.Duration
 
 	// Engine-wide options (read by New only).
 	cacheSize int
@@ -133,6 +138,7 @@ func defaultConfig() config {
 		arch:                target.X86SSE,
 		regAlloc:            RegAllocSplit,
 		lazyCompile:         envLazyCompile(),
+		memLimit:            envMemLimit(),
 	}
 }
 

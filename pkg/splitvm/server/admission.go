@@ -1,0 +1,106 @@
+package server
+
+// Adaptive admission control for the run routes. Deploy batches already had
+// backpressure (bounded pool queues, deployment quotas); admission is the
+// same contract for invocations: with Config.MaxInflightPerTenant set, each
+// tenant may have at most that many run or run-batch requests in flight.
+// A request over the cap is shed with 429, error_class "resource_exhausted"
+// and retryable true — the overloaded-but-healthy signal a router must not
+// treat as a backend failure (shed, don't fail over).
+//
+// Shedding is deadline-aware: a request that carries a deadline is shed
+// immediately when its tenant is saturated (the client has a time budget;
+// queueing would spend it waiting), while a deadline-less request may wait
+// for a slot — but only behind a bounded number of other waiters, so the
+// queue, like every queue in this server, cannot grow without bound.
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// admission is the per-tenant in-flight limiter shared by the run routes.
+// A nil or zero-capacity admission admits everything (the default).
+type admission struct {
+	capacity int // in-flight cap per tenant; <= 0 disables admission
+
+	mu    sync.Mutex
+	gates map[string]*tenantGate
+	shed  atomic.Int64
+}
+
+// tenantGate is one tenant's slot pool. slots is buffered to capacity: a
+// send acquires a slot, a receive releases it. waiters bounds the
+// deadline-less queue (guarded by admission.mu).
+type tenantGate struct {
+	slots   chan struct{}
+	waiters int
+}
+
+func newAdmission(capacity int) *admission {
+	return &admission{capacity: capacity, gates: make(map[string]*tenantGate)}
+}
+
+func (a *admission) gateFor(tenant string) *tenantGate {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	g, ok := a.gates[tenant]
+	if !ok {
+		g = &tenantGate{slots: make(chan struct{}, a.capacity)}
+		a.gates[tenant] = g
+	}
+	return g
+}
+
+// acquire admits one request for the tenant. On admission it returns a
+// release function (call exactly once, when the request's run work is done)
+// and true; on shed it returns false and counts the shed. ctx is the
+// request context: its deadline selects immediate shedding over queueing,
+// and its cancellation aborts a queued wait.
+func (a *admission) acquire(ctx context.Context, tenant string) (release func(), ok bool) {
+	if a == nil || a.capacity <= 0 {
+		return func() {}, true
+	}
+	g := a.gateFor(tenant)
+	select {
+	case g.slots <- struct{}{}:
+		return func() { <-g.slots }, true
+	default:
+	}
+	// Saturated. A deadline-carrying request sheds now — its time budget is
+	// better spent retrying elsewhere than queueing here — and the
+	// deadline-less queue is capped at one full round of waiters.
+	if _, hasDeadline := ctx.Deadline(); hasDeadline {
+		a.shed.Add(1)
+		return nil, false
+	}
+	a.mu.Lock()
+	if g.waiters >= a.capacity {
+		a.mu.Unlock()
+		a.shed.Add(1)
+		return nil, false
+	}
+	g.waiters++
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		g.waiters--
+		a.mu.Unlock()
+	}()
+	select {
+	case g.slots <- struct{}{}:
+		return func() { <-g.slots }, true
+	case <-ctx.Done():
+		a.shed.Add(1)
+		return nil, false
+	}
+}
+
+// shedCount reports how many requests admission has shed since startup.
+func (a *admission) shedCount() int64 {
+	if a == nil {
+		return 0
+	}
+	return a.shed.Load()
+}

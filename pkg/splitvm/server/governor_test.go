@@ -1,0 +1,261 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faultinject"
+	"repro/pkg/splitvm"
+)
+
+// runStatus posts one run request with an optional tenant header and
+// returns the HTTP status and decoded error body (zero on success).
+func runStatus(t *testing.T, url, tenant string, req RunRequest) (int, errorBody, http.Header) {
+	t.Helper()
+	resp := postJSONTenant(t, url, tenant, req)
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		return resp.StatusCode, errorBody{}, resp.Header
+	}
+	return resp.StatusCode, decodeJSON[errorBody](t, resp.Body), resp.Header
+}
+
+// deployGoverned uploads sumsq and deploys it once on mcu with the given
+// governor fields, returning the deployment id.
+func deployGoverned(t *testing.T, ts *httptest.Server, memLimit, deadlineMillis int64) string {
+	t.Helper()
+	id := upload(t, ts, encodeModule(t, sumsqSource))
+	resp := postJSON(t, ts.URL+"/v1/deploy", DeployRequest{
+		Module:            id,
+		Targets:           []string{"mcu"},
+		MemLimit:          memLimit,
+		RunDeadlineMillis: deadlineMillis,
+	})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy: status %d", resp.StatusCode)
+	}
+	dr := decodeJSON[DeployResponse](t, resp.Body)
+	if got := dr.Deployments[0].MemLimit; got != memLimit {
+		t.Fatalf("deploy echoed mem_limit %d, want %d", got, memLimit)
+	}
+	if got := dr.Deployments[0].RunDeadlineMillis; got != deadlineMillis {
+		t.Fatalf("deploy echoed run_deadline_ms %d, want %d", got, deadlineMillis)
+	}
+	return dr.Deployments[0].ID
+}
+
+func TestRunGovernorBreachIsResourceExhausted(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	depID := deployGoverned(t, ts, 1, 0) // one byte: the first frame trips it
+
+	status, eb, _ := runStatus(t, ts.URL+"/v1/deployments/"+depID+"/run", "", RunRequest{Entry: "sumsq", Args: []string{"10"}})
+	if status != http.StatusUnprocessableEntity {
+		t.Fatalf("governed breach: status %d, want 422", status)
+	}
+	if eb.Class != errClassResourceExhausted || eb.Retryable {
+		t.Fatalf("governed breach = %+v, want non-retryable resource_exhausted", eb)
+	}
+
+	// The breach quarantines nothing and sheds nothing — the machine is
+	// healthy, the module just hit its limit.
+	st := getStats(t, ts)
+	if st.Guard.Quarantines != 0 || st.RunsShed != 0 {
+		t.Errorf("stats after breach = guard %+v, shed %d", st.Guard, st.RunsShed)
+	}
+
+	// A negative limit never deploys.
+	resp := postJSON(t, ts.URL+"/v1/deploy", DeployRequest{Module: upload(t, ts, encodeModule(t, sumsqSource)), Targets: []string{"mcu"}, MemLimit: -1})
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("negative mem_limit: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestStatsCountQuarantinesAndRebuilds(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	depID := deployGoverned(t, ts, 0, 0)
+
+	if err := faultinject.Arm("sim.panic:error"); err != nil {
+		t.Fatal(err)
+	}
+	status, eb, _ := runStatus(t, ts.URL+"/v1/deployments/"+depID+"/run", "", RunRequest{Entry: "sumsq", Args: []string{"10"}})
+	faultinject.Disarm()
+	if status != http.StatusUnprocessableEntity || eb.Class != errClassExecution || eb.Retryable {
+		t.Fatalf("injected guest panic: status %d body %+v, want 422 execution", status, eb)
+	}
+	if st := getStats(t, ts); st.Guard.Quarantines != 1 || st.Guard.Rebuilds != 0 {
+		t.Fatalf("guard stats after panic = %+v", st.Guard)
+	}
+
+	// The next run transparently rebuilds and answers.
+	status, _, _ = runStatus(t, ts.URL+"/v1/deployments/"+depID+"/run", "", RunRequest{Entry: "sumsq", Args: []string{"10"}})
+	if status != http.StatusOK {
+		t.Fatalf("run after quarantine: status %d, want 200", status)
+	}
+	if st := getStats(t, ts); st.Guard.Quarantines != 1 || st.Guard.Rebuilds != 1 {
+		t.Fatalf("guard stats after rebuild = %+v", st.Guard)
+	}
+}
+
+func TestAdmissionShedsPerTenant(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxInflightPerTenant: 1})
+	depID := deployGoverned(t, ts, 0, 0)
+	runURL := ts.URL + "/v1/deployments/" + depID + "/run"
+
+	// Hold tenant a's only slot with a slow run (injected handler latency,
+	// inside the admission window).
+	if err := faultinject.Arm("server.run:latency:500ms"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Disarm()
+
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // slot holder
+		defer wg.Done()
+		if status, _, _ := runStatus(t, runURL, "a", RunRequest{Entry: "sumsq", Args: []string{"5"}}); status != http.StatusOK {
+			t.Errorf("slot holder: status %d", status)
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	go func() { // deadline-less waiter: queues, runs when the slot frees
+		defer wg.Done()
+		if status, _, _ := runStatus(t, runURL, "a", RunRequest{Entry: "sumsq", Args: []string{"5"}}); status != http.StatusOK {
+			t.Errorf("queued waiter: status %d", status)
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+
+	// Third request: slot held, waiter queue full — shed.
+	status, eb, hdr := runStatus(t, runURL, "a", RunRequest{Entry: "sumsq", Args: []string{"5"}})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("over-cap run: status %d, want 429", status)
+	}
+	if eb.Class != errClassResourceExhausted || !eb.Retryable {
+		t.Fatalf("shed body = %+v, want retryable resource_exhausted", eb)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("shed response missing Retry-After")
+	}
+
+	// Another tenant is unaffected by a's saturation.
+	if status, _, _ := runStatus(t, runURL, "b", RunRequest{Entry: "sumsq", Args: []string{"5"}}); status != http.StatusOK {
+		t.Errorf("tenant b during a's overload: status %d, want 200", status)
+	}
+
+	wg.Wait()
+	if st := getStats(t, ts); st.RunsShed < 1 {
+		t.Errorf("RunsShed = %d, want >= 1", st.RunsShed)
+	}
+}
+
+// TestRouterShedsDontFailover pins shed-don't-failover: a backend answering
+// resource_exhausted — whether an admission shed (429) or a run-level
+// governor breach (422) — proxies through the router verbatim. It must not
+// charge the breaker, trigger failover, or redeploy the machine elsewhere:
+// overload on a healthy backend is the client's signal to back off, not the
+// router's cue to spread the overload.
+func TestRouterShedsDontFailover(t *testing.T) {
+	rt, front, _ := newTestFleet(t, 2, Config{MaxInflightPerTenant: 1})
+	id := upload(t, front, encodeModule(t, sumsqSource))
+
+	// A governed deployment through the router: the governor fields ride the
+	// deploy recipe, and the breach surfaces typed end to end.
+	resp := postJSON(t, front.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"mcu"}, MemLimit: 1})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("governed deploy via router: status %d", resp.StatusCode)
+	}
+	governedID := decodeJSON[DeployResponse](t, resp.Body).Deployments[0].ID
+	resp.Body.Close()
+	status, eb, _ := runStatus(t, front.URL+"/v1/deployments/"+governedID+"/run", "", RunRequest{Entry: "sumsq", Args: []string{"10"}})
+	if status != http.StatusUnprocessableEntity || eb.Class != errClassResourceExhausted || eb.Retryable {
+		t.Fatalf("governed breach via router: status %d body %+v, want 422 resource_exhausted", status, eb)
+	}
+
+	// An ungoverned deployment for the admission half: hold its backend's
+	// only slot and fill the waiter queue, then overload it. Deadlines do
+	// not cross the wire, so forwarded runs queue like any deadline-less
+	// request until the waiter cap sheds them.
+	resp = postJSON(t, front.URL+"/v1/deploy", DeployRequest{Module: id, Targets: []string{"mcu"}})
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("deploy via router: status %d", resp.StatusCode)
+	}
+	depID := decodeJSON[DeployResponse](t, resp.Body).Deployments[0].ID
+	resp.Body.Close()
+	runURL := front.URL + "/v1/deployments/" + depID + "/run"
+
+	if err := faultinject.Arm("server.run:latency:500ms"); err != nil {
+		t.Fatal(err)
+	}
+	defer faultinject.Disarm()
+	var wg sync.WaitGroup
+	wg.Add(2)
+	for _, who := range []string{"slot holder", "queued waiter"} {
+		go func() {
+			defer wg.Done()
+			if status, _, _ := runStatus(t, runURL, "", RunRequest{Entry: "sumsq", Args: []string{"5"}}); status != http.StatusOK {
+				t.Errorf("%s via router: status %d", who, status)
+			}
+		}()
+		time.Sleep(100 * time.Millisecond)
+	}
+	status, eb, hdr := runStatus(t, runURL, "", RunRequest{Entry: "sumsq", Args: []string{"5"}})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("overloaded run via router: status %d, want 429", status)
+	}
+	if eb.Class != errClassResourceExhausted || !eb.Retryable {
+		t.Fatalf("shed via router = %+v, want retryable resource_exhausted", eb)
+	}
+	if hdr.Get("Retry-After") == "" {
+		t.Error("router dropped the backend's Retry-After header")
+	}
+	wg.Wait()
+
+	st := rt.Stats()
+	if st.Failovers != 0 || st.FailoverRedeploys != 0 {
+		t.Errorf("resource_exhausted triggered failover: %d failovers, %d redeploys", st.Failovers, st.FailoverRedeploys)
+	}
+	for i, b := range st.Backends {
+		if !b.Healthy {
+			t.Errorf("backend %d ejected by overload responses", i)
+		}
+	}
+}
+
+// TestJournalReplaysGovernor pins that the resource governor travels with
+// the deployment across a crash/restart: a replayed machine is governed
+// exactly like the one the client deployed.
+func TestJournalReplaysGovernor(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal")
+	srv1 := New(splitvm.New(), Config{JournalPath: path})
+	ts1 := httptest.NewServer(srv1)
+	depID := deployGoverned(t, ts1, 1, 5000)
+	ts1.Close()
+	srv1.Close()
+
+	srv2 := New(splitvm.New(), Config{JournalPath: path})
+	ts2 := httptest.NewServer(srv2)
+	defer func() { ts2.Close(); srv2.Close() }()
+
+	resp, err := http.Get(ts2.URL + "/v1/deployments")
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := decodeJSON[DeployResponse](t, resp.Body)
+	resp.Body.Close()
+	if len(list.Deployments) != 1 {
+		t.Fatalf("replayed %d deployments, want 1", len(list.Deployments))
+	}
+	if d := list.Deployments[0]; d.ID != depID || d.MemLimit != 1 || d.RunDeadlineMillis != 5000 {
+		t.Fatalf("replayed deployment = %+v, want governor intact", d)
+	}
+	status, eb, _ := runStatus(t, ts2.URL+"/v1/deployments/"+depID+"/run", "", RunRequest{Entry: "sumsq", Args: []string{"10"}})
+	if status != http.StatusUnprocessableEntity || eb.Class != errClassResourceExhausted {
+		t.Fatalf("replayed machine breach: status %d body %+v, want 422 resource_exhausted", status, eb)
+	}
+}

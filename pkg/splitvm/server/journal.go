@@ -44,6 +44,10 @@ type journalDeployRecord struct {
 	Tiering        bool   `json:"tiering,omitempty"`
 	PromoteCalls   int64  `json:"promote_calls,omitempty"`
 	Profile        []byte `json:"profile,omitempty"`
+	// The resource governor travels with the deployment: a replayed machine
+	// is governed exactly like the one the client originally deployed.
+	MemLimit          int64 `json:"mem_limit,omitempty"`
+	RunDeadlineMillis int64 `json:"run_deadline_ms,omitempty"`
 }
 
 // journalEvictRecord is the JSON payload of one evict record.
@@ -195,6 +199,12 @@ func (s *Server) instantiateFromJournal(dr journalDeployRecord) (*liveDeployment
 			opts = append(opts, splitvm.WithProfile(p))
 		}
 	}
+	if dr.MemLimit > 0 {
+		opts = append(opts, splitvm.WithMemLimit(dr.MemLimit))
+	}
+	if dr.RunDeadlineMillis > 0 {
+		opts = append(opts, splitvm.WithRunDeadline(time.Duration(dr.RunDeadlineMillis)*time.Millisecond))
+	}
 	dep, err := s.eng.Deploy(m, opts...)
 	if err != nil {
 		return nil, err
@@ -204,17 +214,19 @@ func (s *Server) instantiateFromJournal(dr journalDeployRecord) (*liveDeployment
 		tenant = "default"
 	}
 	return &liveDeployment{
-		id:             dr.ID,
-		module:         dr.Module,
-		tenant:         tenant,
-		arch:           arch,
-		dep:            dep,
-		regAlloc:       dr.RegAlloc,
-		forceScalarize: dr.ForceScalarize,
-		lazy:           dr.Lazy,
-		tiering:        dr.Tiering,
-		promoteCalls:   dr.PromoteCalls,
-		profile:        dr.Profile,
+		id:                dr.ID,
+		module:            dr.Module,
+		tenant:            tenant,
+		arch:              arch,
+		dep:               dep,
+		regAlloc:          dr.RegAlloc,
+		forceScalarize:    dr.ForceScalarize,
+		lazy:              dr.Lazy,
+		tiering:           dr.Tiering,
+		promoteCalls:      dr.PromoteCalls,
+		profile:           dr.Profile,
+		memLimit:          dr.MemLimit,
+		runDeadlineMillis: dr.RunDeadlineMillis,
 	}, nil
 }
 
@@ -248,16 +260,18 @@ func (s *Server) compactJournal() {
 // deployRecordOf captures a live deployment as a journal record payload.
 func deployRecordOf(ld *liveDeployment) journalDeployRecord {
 	return journalDeployRecord{
-		ID:             ld.id,
-		Module:         ld.module,
-		Target:         string(ld.arch),
-		Tenant:         ld.tenant,
-		RegAlloc:       ld.regAlloc,
-		ForceScalarize: ld.forceScalarize,
-		Lazy:           ld.lazy,
-		Tiering:        ld.tiering,
-		PromoteCalls:   ld.promoteCalls,
-		Profile:        ld.profile,
+		ID:                ld.id,
+		Module:            ld.module,
+		Target:            string(ld.arch),
+		Tenant:            ld.tenant,
+		RegAlloc:          ld.regAlloc,
+		ForceScalarize:    ld.forceScalarize,
+		Lazy:              ld.lazy,
+		Tiering:           ld.tiering,
+		PromoteCalls:      ld.promoteCalls,
+		Profile:           ld.profile,
+		MemLimit:          ld.memLimit,
+		RunDeadlineMillis: ld.runDeadlineMillis,
 	}
 }
 

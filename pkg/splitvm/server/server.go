@@ -80,6 +80,14 @@ type Config struct {
 	// request header; requests without one share the "default" tenant, so a
 	// single-tenant installation behaves like a global cap.
 	MaxDeploymentsPerTenant int
+	// MaxInflightPerTenant caps the run and run-batch requests one tenant may
+	// have in flight (0 — the default — is unlimited). A request over the cap
+	// is shed with 429, error class "resource_exhausted" and retryable true:
+	// the server is overloaded, not broken, so routers retry or back off
+	// instead of failing over. Requests that carry a deadline are shed
+	// immediately when the tenant is saturated; deadline-less requests may
+	// queue behind at most MaxInflightPerTenant waiters.
+	MaxInflightPerTenant int
 	// JournalPath, when set, makes the server keep a crash-safe deployment
 	// journal at that file: every upload, deploy and eviction is appended,
 	// and New replays the file so a restarted (even SIGKILLed) server
@@ -124,6 +132,10 @@ type Server struct {
 	baseCtx context.Context
 	cancel  context.CancelFunc
 	wg      sync.WaitGroup
+
+	// adm sheds run requests over the per-tenant in-flight cap (admits
+	// everything with Config.MaxInflightPerTenant unset).
+	adm *admission
 
 	mu          sync.Mutex
 	closed      bool
@@ -177,12 +189,14 @@ type liveDeployment struct {
 
 	// The deploy options the machine was created with, retained so the
 	// journal can re-create it verbatim on replay and compaction.
-	regAlloc       string
-	forceScalarize bool
-	lazy           bool
-	tiering        bool
-	promoteCalls   int64
-	profile        []byte
+	regAlloc          string
+	forceScalarize    bool
+	lazy              bool
+	tiering           bool
+	promoteCalls      int64
+	profile           []byte
+	memLimit          int64
+	runDeadlineMillis int64
 
 	mu  sync.Mutex
 	dep *splitvm.Deployment
@@ -204,6 +218,7 @@ func New(eng *splitvm.Engine, cfg Config) *Server {
 		pools:       make(map[target.Arch]*pool),
 		byModule:    make(map[string]int),
 		byTenant:    make(map[string]int),
+		adm:         newAdmission(cfg.MaxInflightPerTenant),
 	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/modules", timed(&s.lat.upload, s.handleUpload))
@@ -305,18 +320,27 @@ func (s *Server) runContext(r *http.Request) (context.Context, context.CancelFun
 // Error classes for run failures, machine-readable so routers and clients
 // can decide what to retry without parsing error prose.
 const (
-	errClassNotFound    = "not_found"
-	errClassBadRequest  = "bad_request"
-	errClassExecution   = "execution"
-	errClassCancelled   = "cancelled"
-	errClassUnavailable = "unavailable"
+	errClassNotFound          = "not_found"
+	errClassBadRequest        = "bad_request"
+	errClassExecution         = "execution"
+	errClassCancelled         = "cancelled"
+	errClassUnavailable       = "unavailable"
+	errClassResourceExhausted = "resource_exhausted"
 )
 
 // classifyRunError maps a simulation error to (class, retryable). A
 // cancelled run is retryable — the machine is fine, the caller went away
 // or the server was shutting down; an execution trap is not — retrying the
-// same inputs traps again.
+// same inputs traps again. A governed run that exceeded one of its limits
+// (instruction budget, guest memory, run deadline) is resource_exhausted
+// and not retryable on the same machine with the same limits: the breach is
+// a deterministic property of the module and its governor, not a transient
+// fault — which is also why routers must not fail it over.
 func classifyRunError(err error) (string, bool) {
+	var re *splitvm.ResourceError
+	if errors.As(err, &re) {
+		return errClassResourceExhausted, false
+	}
 	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
 		return errClassCancelled, true
 	}
@@ -341,6 +365,25 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, errorBody{Error: fmt.Sprintf(format, args...)})
+}
+
+// admit applies the per-tenant in-flight cap to one run-route request. On
+// shed it writes the full 429 response — resource_exhausted, retryable,
+// with a Retry-After hint — and returns ok false; on admission the caller
+// must invoke release exactly once when the request's work is done.
+func (s *Server) admit(w http.ResponseWriter, r *http.Request) (release func(), ok bool) {
+	tenant := tenantOf(r)
+	release, ok = s.adm.acquire(r.Context(), tenant)
+	if !ok {
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", int(s.cfg.RetryAfter.Seconds()+0.999)))
+		writeJSON(w, http.StatusTooManyRequests, errorBody{
+			Error:     fmt.Sprintf("tenant %q is at its in-flight run cap (%d); retry later", tenant, s.cfg.MaxInflightPerTenant),
+			Class:     errClassResourceExhausted,
+			Retryable: true,
+		})
+		return nil, false
+	}
+	return release, true
 }
 
 // ModuleInfo describes one uploaded module.
@@ -452,6 +495,14 @@ type DeployRequest struct {
 	// schema, malformed) degrades to deploying without one, like every
 	// annotation: it is surfaced per deployment, never an error.
 	Profile []byte `json:"profile,omitempty"`
+	// MemLimit bounds the guest memory of each deployed machine in bytes
+	// (0 = ungoverned). A run that would breach it fails with error class
+	// resource_exhausted; the machine and its cached image are unaffected.
+	MemLimit int64 `json:"mem_limit,omitempty"`
+	// RunDeadlineMillis bounds the wall-clock time of each run on the
+	// deployed machines, in milliseconds (0 = unbounded). A breach fails the
+	// run with error class resource_exhausted.
+	RunDeadlineMillis int64 `json:"run_deadline_ms,omitempty"`
 }
 
 // DeploymentInfo describes one live deployment.
@@ -491,6 +542,10 @@ type DeploymentInfo struct {
 	// engine's persistent cache layer (a warm restart or a replica sharing
 	// the cache volume); every FromDisk deployment is also FromCache.
 	FromDisk bool `json:"from_disk,omitempty"`
+	// MemLimit and RunDeadlineMillis echo the deployment's resource governor
+	// (0 = ungoverned / unbounded; see DeployRequest).
+	MemLimit          int64 `json:"mem_limit,omitempty"`
+	RunDeadlineMillis int64 `json:"run_deadline_ms,omitempty"`
 }
 
 // DeployResponse lists the deployments a batch created, in target-major,
@@ -586,6 +641,14 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "%v", err)
 		return
 	}
+	if req.MemLimit < 0 {
+		writeError(w, http.StatusBadRequest, "mem_limit must be non-negative")
+		return
+	}
+	if req.RunDeadlineMillis < 0 {
+		writeError(w, http.StatusBadRequest, "run_deadline_ms must be non-negative")
+		return
+	}
 	archs := make([]target.Arch, len(req.Targets))
 	for i, name := range req.Targets {
 		a := target.Arch(name)
@@ -636,6 +699,12 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 	tiering := req.Tiering || req.PromoteCalls != 0 || len(req.Profile) > 0
 	if tiering {
 		opts = append(opts, splitvm.WithTiering(true))
+	}
+	if req.MemLimit > 0 {
+		opts = append(opts, splitvm.WithMemLimit(req.MemLimit))
+	}
+	if req.RunDeadlineMillis > 0 {
+		opts = append(opts, splitvm.WithRunDeadline(time.Duration(req.RunDeadlineMillis)*time.Millisecond))
 	}
 	if req.PromoteCalls != 0 {
 		opts = append(opts, splitvm.WithPromoteCalls(req.PromoteCalls))
@@ -705,16 +774,18 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		ld := &liveDeployment{
-			module:         req.Module,
-			tenant:         tenant,
-			arch:           pq.arch,
-			dep:            res.dep,
-			regAlloc:       req.RegAlloc,
-			forceScalarize: req.ForceScalarize,
-			lazy:           req.Lazy,
-			tiering:        req.Tiering,
-			promoteCalls:   req.PromoteCalls,
-			profile:        req.Profile,
+			module:            req.Module,
+			tenant:            tenant,
+			arch:              pq.arch,
+			dep:               res.dep,
+			regAlloc:          req.RegAlloc,
+			forceScalarize:    req.ForceScalarize,
+			lazy:              req.Lazy,
+			tiering:           req.Tiering,
+			promoteCalls:      req.PromoteCalls,
+			profile:           req.Profile,
+			memLimit:          req.MemLimit,
+			runDeadlineMillis: req.RunDeadlineMillis,
 		}
 		deps = append(deps, ld)
 		if res.dep.FromDisk() {
@@ -735,6 +806,8 @@ func (s *Server) handleDeploy(w http.ResponseWriter, r *http.Request) {
 			Lazy:                res.dep.Lazy(),
 			MethodsCompiled:     compiled,
 			MethodsTotal:        total,
+			MemLimit:            res.dep.MemLimit(),
+			RunDeadlineMillis:   int64(res.dep.RunDeadline() / time.Millisecond),
 		})
 	}
 
@@ -781,6 +854,8 @@ func (s *Server) handleListDeployments(w http.ResponseWriter, r *http.Request) {
 			Lazy:                ld.dep.Lazy(),
 			MethodsCompiled:     compiled,
 			MethodsTotal:        total,
+			MemLimit:            ld.dep.MemLimit(),
+			RunDeadlineMillis:   int64(ld.dep.RunDeadline() / time.Millisecond),
 		})
 	}
 	s.mu.Unlock()
@@ -807,6 +882,11 @@ type RunResponse struct {
 }
 
 func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	release, admitted := s.admit(w, r)
+	if !admitted {
+		return
+	}
+	defer release()
 	id := r.PathValue("id")
 	s.mu.Lock()
 	ld, ok := s.deployments[id]
@@ -920,9 +1000,11 @@ type RunBatchResult struct {
 	Error      string  `json:"error,omitempty"`
 	// ErrorClass classifies a failure machine-readably: "not_found" (no
 	// such entry point), "bad_request" (arguments), "execution" (the
-	// simulation trapped), "cancelled" (client disconnect or shutdown) or
-	// "unavailable" (the backend holding the machine is unreachable —
-	// set by the router). Empty on success.
+	// simulation trapped), "cancelled" (client disconnect or shutdown),
+	// "resource_exhausted" (the run breached its governor — instruction
+	// budget, memory limit or run deadline — or the tenant's in-flight cap
+	// shed it) or "unavailable" (the backend holding the machine is
+	// unreachable — set by the router). Empty on success.
 	ErrorClass string `json:"error_class,omitempty"`
 	// Retryable marks failures that may succeed if the item is retried:
 	// cancelled runs and unavailable backends, but not traps or bad inputs.
@@ -942,6 +1024,13 @@ type RunBatchResponse struct {
 // Per-machine failures are reported inline so one broken replica cannot
 // hide the rest of the fleet's results.
 func (s *Server) handleRunBatch(w http.ResponseWriter, r *http.Request) {
+	// One batch is one in-flight unit against the tenant's cap, like one run:
+	// the cap bounds concurrent requests, MaxBatchJobs bounds each one's fan-out.
+	release, admitted := s.admit(w, r)
+	if !admitted {
+		return
+	}
+	defer release()
 	var req RunBatchRequest
 	if err := json.NewDecoder(io.LimitReader(r.Body, 1<<20)).Decode(&req); err != nil {
 		writeError(w, http.StatusBadRequest, "decoding request: %v", err)
@@ -1151,6 +1240,14 @@ type StatsResponse struct {
 	// sweeper since the server started (always zero with TTL disabled).
 	DeploymentsEvicted int64       `json:"deployments_evicted"`
 	Pools              []PoolStats `json:"pools"`
+	// RunsShed counts run and run-batch requests shed with 429 by the
+	// per-tenant in-flight cap since the server started (always zero with
+	// -max-inflight-per-tenant unset).
+	RunsShed int64 `json:"runs_shed"`
+	// Guard sums the panic-firewall activity of the live deployments:
+	// quarantines (runs that ended in a recovered guest panic) and rebuilds
+	// (machines re-instantiated from their cached image afterwards).
+	Guard splitvm.GuardStats `json:"guard"`
 	// TieredDeployments counts live deployments with tiering enabled, and
 	// Tier sums their tiering activity (promotions, fused pairs,
 	// profile-guided register allocation validations, warm imports).
@@ -1173,6 +1270,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	st.Rejected = s.rejected
 	st.QuotaRejected = s.quotaRejected
 	st.DeploymentsEvicted = s.evicted
+	st.RunsShed = s.adm.shedCount()
 	live := make([]*liveDeployment, 0, len(s.deployments))
 	for _, ld := range s.deployments {
 		live = append(live, ld)
@@ -1186,16 +1284,23 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	s.mu.Unlock()
-	// Tier counters read live machine state, so they are aggregated outside
-	// the registry lock, serializing with runs per deployment only.
+	// Tier and guard counters read live machine state, so they are aggregated
+	// outside the registry lock, serializing with runs per deployment only.
 	for _, ld := range live {
-		if !ld.dep.TieringEnabled() {
+		ld.mu.Lock()
+		gs := ld.dep.GuardStats()
+		tiered := ld.dep.TieringEnabled()
+		var ts splitvm.TierStats
+		if tiered {
+			ts = ld.dep.TierStats()
+		}
+		ld.mu.Unlock()
+		st.Guard.Quarantines += gs.Quarantines
+		st.Guard.Rebuilds += gs.Rebuilds
+		if !tiered {
 			continue
 		}
 		st.TieredDeployments++
-		ld.mu.Lock()
-		ts := ld.dep.TierStats()
-		ld.mu.Unlock()
 		st.Tier.Promotions += ts.Promotions
 		st.Tier.PromoteCallsSum += ts.PromoteCallsSum
 		st.Tier.FusedPairs += ts.FusedPairs

@@ -302,6 +302,7 @@ func (e *Engine) DeployContext(ctx context.Context, m *Module, opts ...DeployOpt
 		}
 		d := img.Instantiate()
 		cfg.applyTiering(d)
+		cfg.applyGovernor(d)
 		return &Deployment{d: d}, nil
 	}
 	img, hit, diskHit, err := e.image(ctx, m, tgt, jopts, cfg.lazyCompile)
@@ -310,6 +311,7 @@ func (e *Engine) DeployContext(ctx context.Context, m *Module, opts ...DeployOpt
 	}
 	d := img.Instantiate()
 	cfg.applyTiering(d)
+	cfg.applyGovernor(d)
 	return &Deployment{d: d, fromCache: hit, fromDisk: diskHit}, nil
 }
 
